@@ -1,0 +1,30 @@
+// Shared helpers for the experiment harness. Every bench binary prints one
+// or more tables (the paper has no numbered tables/figures; each table here
+// regenerates the quantitative shape of one theorem, per DESIGN.md's
+// experiment index E1..E11).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+#include "support/table.h"
+
+namespace mpcstab::bench {
+
+inline LegalGraph identity(const Graph& g) {
+  return LegalGraph::with_identity(g);
+}
+
+inline Cluster cluster_for(const LegalGraph& g, double phi = 0.5,
+                           std::uint64_t machine_factor = 1) {
+  return Cluster(
+      MpcConfig::for_graph(g.n(), g.graph().m(), phi, machine_factor));
+}
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "\n=== " << experiment << " ===\n" << claim << "\n";
+}
+
+}  // namespace mpcstab::bench

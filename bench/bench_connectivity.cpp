@@ -1,0 +1,61 @@
+// E4 — the connectivity-conjecture baseline (Section 1 / [GKU19]).
+// Claim shape: distinguishing one n-cycle from two n/2-cycles takes
+// Theta(log n) rounds with the best known approach (hash-to-min with
+// shortcutting), and truncated o(log n)-round attempts cannot certify
+// their answer. Every conditional lower bound in the paper stands on this.
+#include <iostream>
+
+#include "algorithms/connectivity.h"
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "support/math.h"
+
+using namespace mpcstab;
+using namespace mpcstab::bench;
+
+int main() {
+  banner("E4: connectivity conjecture instance",
+         "rounds to distinguish 1 n-cycle from 2 n/2-cycles grow ~ log n; "
+         "truncated runs are unreliable");
+
+  Table table({"n", "instance", "iterations", "rounds", "answer", "correct",
+               "log2(n)"});
+  for (Node n : {256u, 1024u, 4096u, 16384u, 65536u}) {
+    for (int two : {0, 1}) {
+      const LegalGraph g =
+          identity(two ? two_cycles_graph(n) : cycle_graph(n));
+      Cluster cluster = cluster_for(g);
+      const CycleDecision d = distinguish_cycles(cluster, g);
+      const bool correct = d.one_cycle == (two == 0);
+      table.add_row({std::to_string(n), two ? "two-cycles" : "one-cycle",
+                     std::to_string(d.rounds / 2), std::to_string(d.rounds),
+                     d.one_cycle ? "ONE" : "TWO", correct ? "yes" : "NO",
+                     std::to_string(ceil_log2(n))});
+    }
+  }
+  table.print(std::cout, "hash-to-min on conjecture instances");
+
+  Table trunc({"n", "iteration budget", "reliable", "note"});
+  const Node n = 16384;
+  const LegalGraph g = identity(cycle_graph(n));
+  for (std::uint64_t budget : {2ull, 4ull, 8ull, 16ull, 32ull, 64ull}) {
+    Cluster cluster = cluster_for(g);
+    const CycleDecision d = distinguish_cycles_truncated(cluster, g, budget);
+    trunc.add_row({std::to_string(n), std::to_string(budget),
+                   d.reliable ? "yes" : "NO",
+                   d.reliable ? "converged" : "cannot certify answer"});
+  }
+  trunc.print(std::cout,
+              "truncated (o(log n)-round) attempts on a 16384-cycle");
+
+  Table st({"path nodes", "D bound", "rounds", "yes", "log2(D)"});
+  for (std::uint32_t D : {4u, 16u, 64u, 256u}) {
+    const LegalGraph path = identity(path_graph(512));
+    Cluster cluster = cluster_for(path);
+    const StConnResult r = st_connectivity(cluster, path, 0, 3, D);
+    st.add_row({"512", std::to_string(D), std::to_string(r.rounds),
+                r.yes ? "yes" : "no", std::to_string(ceil_log2(D))});
+  }
+  st.print(std::cout, "D-diameter s-t connectivity: rounds ~ log D");
+  return 0;
+}

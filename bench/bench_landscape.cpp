@@ -1,0 +1,63 @@
+// E12 — the Section 2.5 "complexity summary" regenerated as data: four
+// witness algorithms for the large-IS problem, one per class, on the same
+// inputs. The table shows the paper's landscape: S-DetMPC pays Theta(n)
+// rounds, S-RandMPC is O(1) but misses whp-correctness, and both unstable
+// classes get O(1) rounds AND certainty — instability is the active
+// ingredient (Theorems 19-22).
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "core/landscape.h"
+#include "graph/generators.h"
+
+using namespace mpcstab;
+using namespace mpcstab::bench;
+
+int main() {
+  banner("E12: the MPC complexity landscape (Section 2.5)",
+         "large-IS witnesses, each judged against its own guarantee");
+
+  Table table({"n", "class", "witness", "stable", "det", "round shape",
+               "rounds", "own guarantee", "success rate (16 seeds)"});
+  for (Node n : {128u, 512u, 2048u}) {
+    const LegalGraph g = identity(random_regular_graph(n, 4, Prf(n)));
+    // Aggregate over seeds per class.
+    struct Agg {
+      std::uint64_t rounds = 0;
+      int successes = 0;
+      WitnessRun sample;
+    };
+    std::map<MpcClass, Agg> agg;
+    const int seeds = 16;
+    for (int seed = 0; seed < seeds; ++seed) {
+      for (const WitnessRun& run : run_landscape(g, 0.9, seed)) {
+        auto& a = agg[run.cls];
+        a.rounds = run.rounds;
+        a.successes += run.success ? 1 : 0;
+        a.sample = run;
+      }
+    }
+    for (const MpcClass cls : {MpcClass::kSDet, MpcClass::kSRand,
+                               MpcClass::kDet, MpcClass::kRand}) {
+      const Agg& a = agg[cls];
+      table.add_row({std::to_string(n), class_name(cls), a.sample.witness,
+                     a.sample.component_stable ? "yes" : "no",
+                     a.sample.deterministic ? "yes" : "no",
+                     a.sample.round_shape, std::to_string(a.rounds),
+                     fmt(a.sample.threshold, 1),
+                     fmt(static_cast<double>(a.successes) / seeds, 2)});
+    }
+  }
+  table.print(std::cout, "class witnesses on 4-regular graphs");
+
+  std::cout
+      << "Paper's summary (conditioned on the connectivity conjecture):\n"
+         "  S-DetMPC  (subset-neq)  DetMPC      [Theorem 19]\n"
+         "  S-RandMPC (subset-neq)  RandMPC     [Theorem 20]\n"
+         "  S-DetMPC  (subset-neq)  S-RandMPC   [Theorem 21]\n"
+         "  DetMPC    =             RandMPC     [Theorem 22, non-uniform]\n"
+         "The rows above exhibit the witnesses: only the unstable classes "
+         "combine O(1) rounds with certain success.\n";
+  return 0;
+}

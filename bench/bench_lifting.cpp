@@ -1,0 +1,78 @@
+// E3 — Lemma 27: B_st-conn from a sensitive component-stable algorithm.
+// Shape to reproduce: planted-h simulations produce exactly the full copy
+// of G at v_s on YES instances (different outputs -> YES); NO instances
+// never produce a differing pair; random-h simulations succeed with
+// probability ~ D^-D per simulation, fixed by running many in parallel.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/lifting.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+
+using namespace mpcstab;
+using namespace mpcstab::bench;
+
+int main() {
+  banner("E3: Lemma 27 — lifting sensitivity to st-connectivity",
+         "marker algorithm + path sensitive pairs, planted and random h");
+
+  Table table({"D", "instance", "path nodes", "sims", "yes votes",
+               "full copies", "output", "expected", "rounds"});
+  for (std::uint32_t D : {2u, 3u, 4u}) {
+    const SensitivePair pair = path_marker_pair(2 * D + 1, D, 999);
+    const MarkerAlgorithm alg({999});
+
+    for (Node p = 2; p <= D + 2; ++p) {
+      const LegalGraph h = identity(path_graph(p));
+      Cluster cluster = cluster_for(h);
+      const BStConnResult r = b_st_conn(cluster, h, 0, p - 1, pair, alg,
+                                        /*seed=*/7, /*sims=*/8,
+                                        /*planted_first=*/true);
+      const bool expected_yes = p <= D + 1;
+      table.add_row({std::to_string(D), "path", std::to_string(p), "8",
+                     std::to_string(r.yes_votes),
+                     std::to_string(r.full_copies_seen),
+                     r.yes ? "YES" : "NO", expected_yes ? "YES" : "NO",
+                     std::to_string(r.rounds)});
+    }
+    {
+      const Graph parts[] = {path_graph(3), path_graph(3)};
+      const LegalGraph h = identity(disjoint_union(parts));
+      Cluster cluster = cluster_for(h);
+      const BStConnResult r =
+          b_st_conn(cluster, h, 0, 5, pair, alg, 7, 64, true);
+      table.add_row({std::to_string(D), "disconnected", "-", "64",
+                     std::to_string(r.yes_votes),
+                     std::to_string(r.full_copies_seen),
+                     r.yes ? "YES" : "NO", "NO", std::to_string(r.rounds)});
+    }
+  }
+  table.print(std::cout, "B_st-conn with planted h (validation mode)");
+
+  // Random-h success probability: the D^-D amplification story.
+  Table random_mode({"D", "sims", "yes votes", "empirical p(sim yes)",
+                     "reference D^-D-ish", "output"});
+  for (std::uint32_t D : {2u, 3u}) {
+    const SensitivePair pair = path_marker_pair(2 * D + 1, D, 999);
+    const MarkerAlgorithm alg({999});
+    const LegalGraph h = identity(path_graph(D + 1));  // exactly D edges
+    const std::uint64_t sims = (D == 2) ? 512 : 4096;
+    Cluster cluster = cluster_for(h);
+    const BStConnResult r =
+        b_st_conn(cluster, h, 0, D, pair, alg, 11, sims, false);
+    const double reference =
+        1.0 / std::pow(static_cast<double>(D), static_cast<double>(D));
+    random_mode.add_row(
+        {std::to_string(D), std::to_string(sims),
+         std::to_string(r.yes_votes),
+         fmt(static_cast<double>(r.yes_votes) / sims, 4),
+         fmt(reference, 4), r.yes ? "YES" : "NO"});
+  }
+  random_mode.print(std::cout,
+                    "random-h mode: per-simulation success ~ D^-D, "
+                    "amplified away by parallel simulations (paper, proof "
+                    "of Lemma 27)");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E5 — Theorem 45/46 shape: deterministic MIS in low-space MPC via ball
+// collection + PRG-seed fixing. The LOCAL budget t is O(log Delta +
+// log log n); the MPC round count tracks O(log t) per iteration (ball
+// collection) plus O(1) trees — exponentially below t.
+#include <iostream>
+
+#include "algorithms/ghaffari.h"
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "local/engine.h"
+#include "problems/problems.h"
+#include "support/math.h"
+
+using namespace mpcstab;
+using namespace mpcstab::bench;
+
+int main() {
+  banner("E5: Theorem 46 — deterministic MPC MIS via exponentiation",
+         "LOCAL budget t vs MPC rounds (log t per iteration); validity "
+         "checked on every output");
+
+  Table table({"graph", "n", "Delta", "t (LOCAL budget)", "iterations",
+               "MPC rounds", "colors", "valid MIS", "log2(t)"});
+  struct Case {
+    const char* name;
+    LegalGraph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"forest", identity(random_forest(96, 6, Prf(1)))});
+  cases.push_back({"forest", identity(random_forest(192, 12, Prf(2)))});
+  cases.push_back({"3-bounded", identity(random_bounded_degree_graph(
+                                    128, 3, 160, Prf(3)))});
+  cases.push_back({"cycle", identity(cycle_graph(256))});
+  cases.push_back({"caterpillar", identity(caterpillar_forest(8, 2, 4))});
+
+  for (auto& c : cases) {
+    Cluster cluster = cluster_for(c.g, 0.8);
+    const DetMisResult r = deterministic_mis_mpc(cluster, c.g, 6);
+    const bool valid = MisProblem().valid(c.g, r.labels);
+    table.add_row({c.name, std::to_string(c.g.n()),
+                   std::to_string(c.g.max_degree()),
+                   std::to_string(r.local_t),
+                   std::to_string(r.iterations),
+                   std::to_string(r.mpc_rounds),
+                   std::to_string(r.colors_used), valid ? "yes" : "NO",
+                   std::to_string(ceil_log2(std::max<std::uint64_t>(
+                       2, r.local_t)))});
+  }
+  table.print(std::cout, "deterministic MPC MIS (PRG seed space 2^6)");
+
+  // The randomized LOCAL reference: Ghaffari's t to full decision.
+  Table local_ref({"n", "Delta", "rounds to all-decided (LOCAL)",
+                   "BOT after budget t", "t"});
+  for (Node n : {128u, 512u, 2048u}) {
+    const LegalGraph g = identity(random_regular_graph(n, 4, Prf(n)));
+    const std::uint64_t t = ghaffari_round_budget(n, 4);
+    SyncNetwork net = SyncNetwork::local(g, Prf(5));
+    const ExtendableResult r =
+        ghaffari_mis(net, t, shared_bit_source(Prf(6), g, 0));
+    // Measure rounds until decided with a generous second run.
+    SyncNetwork net2 = SyncNetwork::local(g, Prf(5));
+    std::uint64_t decided_at = 0;
+    for (std::uint64_t probe = 1; probe <= 4 * t; probe *= 2) {
+      SyncNetwork probe_net = SyncNetwork::local(g, Prf(5));
+      if (ghaffari_mis(probe_net, probe, shared_bit_source(Prf(6), g, 0))
+              .bot_count == 0) {
+        decided_at = probe;
+        break;
+      }
+    }
+    local_ref.add_row({std::to_string(n), "4",
+                       decided_at ? std::to_string(decided_at) : ">4t",
+                       std::to_string(r.bot_count), std::to_string(t)});
+  }
+  local_ref.print(std::cout,
+                  "Ghaffari MIS in LOCAL: budget t = O(log Delta + "
+                  "loglog n) leaves (near-)zero BOT");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E15 — cost-model validation: the native sharded connectivity (every word
+// through Cluster::exchange, flow-controlled) against the semantic
+// hash-to-min whose per-iteration costs are charged analytically. Matching
+// labels + comparable round accounting = the analytic charges are honest.
+#include <iostream>
+
+#include "algorithms/connectivity.h"
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "mpc/exponentiation.h"
+#include "mpc/native_connectivity.h"
+#include "support/math.h"
+
+using namespace mpcstab;
+using namespace mpcstab::bench;
+
+int main() {
+  banner("E15: native vs semantic MPC connectivity",
+         "same semantics; native pays for every word, semantic charges the "
+         "documented O(1)/iteration");
+
+  Table table({"graph", "n", "native iters", "native rounds",
+               "native words", "semantic iters", "semantic rounds",
+               "labels agree"});
+  struct Case {
+    std::string name;
+    LegalGraph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"grid 8x16", identity(grid_graph(8, 16))});
+  cases.push_back({"grid 16x16", identity(grid_graph(16, 16))});
+  cases.push_back({"forest", identity(random_forest(256, 16, Prf(1)))});
+  cases.push_back({"binary tree 512", identity(balanced_binary_tree(512))});
+  cases.push_back({"hypercube d=8", identity(hypercube_graph(8))});
+  cases.push_back({"ER n=128 p=.05",
+                   identity(random_graph(128, 0.05, Prf(2)))});
+
+  for (auto& c : cases) {
+    Cluster c1(MpcConfig::for_graph(c.g.n(), c.g.graph().m(), 0.6));
+    const NativeConnectivityResult native =
+        native_min_label_propagation(c1, c.g, 2000);
+    Cluster c2(MpcConfig::for_graph(c.g.n(), c.g.graph().m(), 0.6));
+    const ConnectivityResult semantic =
+        hash_to_min_components(c2, c.g, 2000);
+    table.add_row({c.name, std::to_string(c.g.n()),
+                   std::to_string(native.iterations),
+                   std::to_string(native.rounds),
+                   std::to_string(native.words_moved),
+                   std::to_string(semantic.iterations),
+                   std::to_string(semantic.rounds),
+                   native.labels == semantic.labels ? "yes" : "NO"});
+  }
+  table.print(std::cout,
+              "native propagation (O(diameter) iters, real traffic) vs "
+              "semantic hash-to-min (O(log n) iters, charged)");
+
+  Table pacing({"phi", "S", "native rounds on 128-cycle",
+                "rounds/iteration"});
+  for (double phi : {0.35, 0.5, 0.7, 0.9}) {
+    const LegalGraph g = identity(cycle_graph(128));
+    Cluster cluster(MpcConfig::for_graph(128, 128, phi));
+    const auto r = native_min_label_propagation(cluster, g, 2000);
+    pacing.add_row({fmt(phi, 2), std::to_string(cluster.local_space()),
+                    std::to_string(r.rounds),
+                    fmt(static_cast<double>(r.rounds) /
+                            std::max<std::uint64_t>(1, r.iterations),
+                        2)});
+  }
+  pacing.print(std::cout,
+               "flow control: smaller S forces more exchange rounds per "
+               "iteration — space is genuinely paid in rounds");
+
+  Table expo({"radius", "doubling steps", "native rounds", "native words",
+              "charged rounds (collect_balls)"});
+  const LegalGraph cyc = identity(cycle_graph(256));
+  for (std::uint32_t radius : {2u, 4u, 8u}) {
+    Cluster c1(MpcConfig::for_graph(cyc.n(), cyc.graph().m(), 0.8, 4));
+    const NativeBallsResult nb = collect_balls_native(c1, cyc, radius);
+    expo.add_row({std::to_string(radius),
+                  std::to_string(nb.doubling_steps),
+                  std::to_string(nb.rounds),
+                  std::to_string(nb.words_moved),
+                  std::to_string(ball_collection_rounds(radius))});
+  }
+  expo.print(std::cout,
+             "native graph exponentiation on a 256-cycle: ceil(log2 r) "
+             "doubling steps, a constant number of paced exchanges each — "
+             "the charged model's log r, with its constant made visible");
+  return 0;
+}

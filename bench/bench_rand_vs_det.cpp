@@ -1,0 +1,136 @@
+// E14 — the randomized-vs-deterministic axis (Theorems 21/22/29 context):
+// for each implemented problem, the measured cost of the randomized
+// algorithm, the deterministic component-UNSTABLE algorithm (derandomized
+// via global seed agreement), and — where one exists — a deterministic
+// component-STABLE baseline. The recurring pattern is the paper's message:
+// the deterministic unstable route matches the randomized round shape,
+// while the stable deterministic route pays dearly.
+#include <iostream>
+
+#include "algorithms/ghaffari.h"
+#include "algorithms/large_is.h"
+#include "algorithms/luby.h"
+#include "algorithms/matching.h"
+#include "algorithms/sinkless.h"
+#include "algorithms/tree_coloring.h"
+#include "bench_common.h"
+#include "core/component_stable.h"
+#include "graph/generators.h"
+#include "local/engine.h"
+#include "problems/problems.h"
+
+using namespace mpcstab;
+using namespace mpcstab::bench;
+
+int main() {
+  banner("E14: randomized vs deterministic, stable vs unstable",
+         "per-problem cost comparison across the paper's axes");
+
+  Table table({"problem", "algorithm", "character", "rounds", "valid"});
+
+  // --- large IS -----------------------------------------------------------
+  {
+    const LegalGraph g = identity(random_regular_graph(512, 4, Prf(1)));
+    {
+      Cluster cluster = cluster_for(g, 0.5, 64);
+      const auto r = amplified_large_is(cluster, g, Prf(2), 44);
+      table.add_row({"large-IS", "amplified Luby", "rand, unstable",
+                     std::to_string(r.rounds),
+                     LargeIsProblem::independent(g, r.labels) ? "yes" : "NO"});
+    }
+    {
+      Cluster cluster = cluster_for(g);
+      const auto r = derandomized_large_is(cluster, g, 10, 0.5);
+      table.add_row({"large-IS", "derandomized pairwise", "det, unstable",
+                     std::to_string(r.rounds),
+                     LargeIsProblem::independent(g, r.labels) ? "yes" : "NO"});
+    }
+    {
+      Cluster cluster = cluster_for(g);
+      const std::uint64_t start = cluster.rounds();
+      const auto labels =
+          run_component_stable(cluster, StableGreedyMis(), g, 0);
+      table.add_row({"large-IS", "greedy MIS by ID", "det, STABLE",
+                     std::to_string(cluster.rounds() - start),
+                     MisProblem().valid(g, labels) ? "yes" : "NO"});
+    }
+  }
+
+  // --- MIS -----------------------------------------------------------------
+  {
+    const LegalGraph g = identity(random_forest(128, 8, Prf(3)));
+    {
+      SyncNetwork net = SyncNetwork::local(g, Prf(4));
+      const MisResult r = luby_mis(net, 0);
+      table.add_row({"MIS", "Luby", "rand, stable-ish",
+                     std::to_string(r.rounds),
+                     MisProblem().valid(g, r.labels) ? "yes" : "NO"});
+    }
+    {
+      Cluster cluster = cluster_for(g, 0.8);
+      const DetMisResult r = deterministic_mis_mpc(cluster, g, 6);
+      table.add_row({"MIS", "ball-collection + PRG seed", "det, unstable",
+                     std::to_string(r.mpc_rounds),
+                     MisProblem().valid(g, r.labels) ? "yes" : "NO"});
+    }
+  }
+
+  // --- maximal matching -----------------------------------------------------
+  {
+    const LegalGraph g = identity(path_graph(96));
+    {
+      const MatchingResult r = maximal_matching_local(g, Prf(5), 0);
+      table.add_row({"maximal matching", "Luby on line graph",
+                     "rand, stable-ish", std::to_string(r.rounds),
+                     is_maximal_matching(g.graph(), r.edge_labels) ? "yes"
+                                                                   : "NO"});
+    }
+    {
+      Cluster cluster = cluster_for(g, 0.9);
+      const DetMatchingResult r = deterministic_matching_mpc(cluster, g, 6);
+      table.add_row({"maximal matching", "det MIS on line graph",
+                     "det, unstable", std::to_string(r.mpc_rounds),
+                     is_maximal_matching(g.graph(), r.edge_labels) ? "yes"
+                                                                   : "NO"});
+    }
+  }
+
+  // --- sinkless orientation ---------------------------------------------
+  {
+    const LegalGraph g = identity(random_regular_graph(512, 4, Prf(6)));
+    {
+      const SinklessResult r = moser_tardos_sinkless(g, Prf(7), 0, 500);
+      table.add_row({"sinkless orientation", "Moser-Tardos",
+                     "rand, stable-ish", std::to_string(r.rounds),
+                     r.success ? "yes" : "NO"});
+    }
+    {
+      Cluster cluster = cluster_for(g);
+      const std::uint64_t start = cluster.rounds();
+      const SinklessResult r = derandomized_sinkless(&cluster, g, 10);
+      table.add_row({"sinkless orientation", "seed fixing + repair",
+                     "det, unstable",
+                     std::to_string(cluster.rounds() - start),
+                     r.success ? "yes" : "NO"});
+    }
+  }
+
+  // --- forest 3-coloring ---------------------------------------------------
+  {
+    const LegalGraph g = identity(random_forest(256, 8, Prf(8)));
+    SyncNetwork net = SyncNetwork::local(g, Prf(9));
+    const auto r = cole_vishkin_three_coloring(net, root_forest(g));
+    bool ok = true;
+    for (const Edge& e : g.graph().edges()) {
+      ok = ok && r.colors[e.u] != r.colors[e.v];
+    }
+    table.add_row({"forest 3-coloring", "Cole-Vishkin", "det, stable-ish",
+                   std::to_string(r.total_rounds), ok ? "yes" : "NO"});
+  }
+
+  table.print(std::cout,
+              "cross-problem costs ('stable-ish' = per-component local "
+              "rules that would be component-stable as Definition 13 "
+              "functions of (CC, v, n, Delta, seed))");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// E11 — substrate micro-benchmarks (google-benchmark): throughput of the
+// MPC engine's primitives and the randomness toolchain. These are
+// engineering numbers, not paper claims; they bound how large the
+// experiment sweeps can go.
+#include <algorithm>
+
+#include <benchmark/benchmark.h>
+
+#include "algorithms/luby.h"
+#include "graph/balls.h"
+#include "graph/generators.h"
+#include "local/engine.h"
+#include "mpc/cluster.h"
+#include "mpc/pacing.h"
+#include "mpc/primitives.h"
+#include "mpc/shuffle.h"
+#include "local/flooding.h"
+#include "rng/kwise.h"
+#include "rng/prg.h"
+
+namespace {
+
+using namespace mpcstab;
+
+void BM_ClusterExchange(benchmark::State& state) {
+  const std::uint64_t machines = state.range(0);
+  MpcConfig cfg;
+  cfg.n = machines * 64;
+  cfg.local_space = 64;
+  cfg.machines = machines;
+  Cluster cluster(cfg);
+  for (auto _ : state) {
+    std::vector<std::vector<MpcMessage>> out(machines);
+    for (std::uint32_t m = 0; m < machines; ++m) {
+      out[m].push_back({static_cast<std::uint32_t>((m + 1) % machines),
+                        {m, m + 1, m + 2}});
+    }
+    benchmark::DoNotOptimize(cluster.exchange(std::move(out)));
+  }
+  state.SetItemsProcessed(state.iterations() * machines);
+}
+BENCHMARK(BM_ClusterExchange)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_AllreduceSum(benchmark::State& state) {
+  Cluster cluster(MpcConfig::for_graph(state.range(0), state.range(0)));
+  for (auto _ : state) {
+    std::vector<std::uint64_t> values(cluster.machines(), 7);
+    benchmark::DoNotOptimize(allreduce_sum(cluster, std::move(values)));
+  }
+}
+BENCHMARK(BM_AllreduceSum)->Arg(1024)->Arg(65536);
+
+void BM_KWiseEval(benchmark::State& state) {
+  const unsigned k = static_cast<unsigned>(state.range(0));
+  const KWiseHash h = KWiseHash::from_seed(k, 12345, std::max(20u, k));
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.eval(x++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KWiseEval)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_PrgExpand(benchmark::State& state) {
+  const Prg prg(16, state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prg.expand(seed++ & 0xffff));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) / 8);
+}
+BENCHMARK(BM_PrgExpand)->Arg(1024)->Arg(65536);
+
+void BM_BallExtraction(benchmark::State& state) {
+  const LegalGraph g = LegalGraph::with_identity(
+      random_regular_graph(4096, 4, Prf(1)));
+  std::uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        extract_ball(g, v++ % g.n(), static_cast<std::uint32_t>(
+                                         state.range(0))));
+  }
+}
+BENCHMARK(BM_BallExtraction)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LubyMisLocal(benchmark::State& state) {
+  const LegalGraph g = LegalGraph::with_identity(random_bounded_degree_graph(
+      state.range(0), 8, 2 * state.range(0), Prf(9)));
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    SyncNetwork net = SyncNetwork::local(g, Prf(2));
+    benchmark::DoNotOptimize(luby_mis(net, stream++));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LubyMisLocal)->Arg(1024)->Arg(8192);
+
+void BM_PacedExchangeFragmented(benchmark::State& state) {
+  MpcConfig cfg;
+  cfg.n = 1024;
+  cfg.local_space = 32;
+  cfg.machines = 64;
+  for (auto _ : state) {
+    Cluster cluster(cfg);
+    std::vector<std::vector<MpcMessage>> out(64);
+    out[0].push_back({1, std::vector<std::uint64_t>(state.range(0), 7)});
+    benchmark::DoNotOptimize(paced_exchange(cluster, std::move(out)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_PacedExchangeFragmented)->Arg(64)->Arg(1024);
+
+void BM_DistinctCount(benchmark::State& state) {
+  Cluster proto(MpcConfig::for_graph(state.range(0), state.range(0)));
+  std::vector<std::uint64_t> keys(state.range(0));
+  for (std::uint64_t i = 0; i < keys.size(); ++i) keys[i] = i % 5;
+  for (auto _ : state) {
+    Cluster cluster(MpcConfig::for_graph(state.range(0), state.range(0)));
+    benchmark::DoNotOptimize(
+        distinct_count(cluster, shard_keys(cluster, keys)));
+  }
+}
+BENCHMARK(BM_DistinctCount)->Arg(1024)->Arg(8192);
+
+void BM_FloodBalls(benchmark::State& state) {
+  const LegalGraph g =
+      LegalGraph::with_identity(cycle_graph(state.range(0)));
+  for (auto _ : state) {
+    SyncNetwork net = SyncNetwork::local(g, Prf(1));
+    benchmark::DoNotOptimize(flood_balls(net, 3));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FloodBalls)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

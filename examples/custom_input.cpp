@@ -1,0 +1,83 @@
+// Bring-your-own-graph: read a legal graph from the plain-text format
+// (graph/io.h), run the whole Section 2.5 landscape of witnesses on it,
+// and dump the graph back out. The entry point for users with their own
+// instances.
+//
+//   $ ./example_custom_input [path/to/graph.txt]
+//
+// Without an argument, a built-in sample (two components with clashing IDs
+// — legal by Definition 6!) is used.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/landscape.h"
+#include "graph/io.h"
+#include "support/table.h"
+
+using namespace mpcstab;
+
+namespace {
+
+constexpr const char* kSample = R"(# sample: one 6-cycle and one 6-path.
+# IDs repeat across the two components (component-unique is enough);
+# names are globally unique.
+graph 12 11
+node 0  10 100
+node 1  11 101
+node 2  12 102
+node 3  13 103
+node 4  14 104
+node 5  15 105
+node 6  10 200
+node 7  11 201
+node 8  12 202
+node 9  13 203
+node 10 14 204
+node 11 15 205
+edge 0 1
+edge 1 2
+edge 2 3
+edge 3 4
+edge 4 5
+edge 5 0
+edge 6 7
+edge 7 8
+edge 8 9
+edge 9 10
+edge 10 11
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LegalGraph g = [&] {
+    if (argc > 1) {
+      std::ifstream in(argv[1]);
+      if (!in) {
+        std::cerr << "cannot open " << argv[1] << "\n";
+        std::exit(1);
+      }
+      return read_graph(in);
+    }
+    std::istringstream in(kSample);
+    return read_graph(in);
+  }();
+
+  std::cout << "loaded: " << g.n() << " nodes, " << g.graph().m()
+            << " edges, " << g.component_count()
+            << " components, Delta = " << g.max_degree() << "\n";
+
+  Table table({"class", "witness", "stable", "rounds", "own guarantee",
+               "achieved |IS|", "success"});
+  for (const WitnessRun& run : run_landscape(g, 0.9, /*seed=*/7)) {
+    table.add_row({class_name(run.cls), run.witness,
+                   run.component_stable ? "yes" : "no",
+                   std::to_string(run.rounds), fmt(run.threshold, 2),
+                   fmt(run.achieved, 0), run.success ? "yes" : "NO"});
+  }
+  table.print(std::cout, "the four class witnesses on your graph");
+
+  std::cout << "round-tripped serialization:\n\n" << graph_to_string(g);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The derandomization toolchain (Sections 4.1-4.3, Theorem 53), narrated:
+// compress the randomness into a short seed (a hash-family member), have
+// every machine evaluate the cost of every candidate seed, and globally
+// fix the argmin — the method of conditional expectations. The global
+// agreement is exactly what makes the result component-UNSTABLE.
+//
+//   $ ./example_derandomization_demo
+#include <iostream>
+
+#include "algorithms/large_is.h"
+#include "algorithms/sinkless.h"
+#include "derand/seed_select.h"
+#include "graph/generators.h"
+#include "problems/problems.h"
+#include "rng/kwise.h"
+
+using namespace mpcstab;
+
+int main() {
+  // --- Large IS (Theorem 53) -------------------------------------------
+  const LegalGraph g =
+      LegalGraph::with_identity(random_regular_graph(256, 4, Prf(1)));
+  std::cout << "graph: 256 nodes, 4-regular\n\n";
+
+  // What the seed space looks like: each seed indexes a pairwise-
+  // independent hash; the cost is the (exact) IS size under that seed.
+  const unsigned bits = 10;
+  const auto cost = [&](std::uint64_t s) {
+    Cluster scratch(MpcConfig::for_graph(g.n(), g.graph().m()));
+    return -static_cast<double>(
+        one_round_is_pairwise(scratch, g, PairwiseHash::from_seed(s, bits))
+            .is_size);
+  };
+  const double mean = mean_seed_cost(bits, cost);
+  const SeedSelection best = select_seed(nullptr, bits, cost);
+  std::cout << "pairwise-Luby seed space 2^" << bits << ": mean |IS| = "
+            << -mean << ", best seed " << best.seed << " gives |IS| = "
+            << -best.cost
+            << " (conditional expectations can never do worse than the "
+               "mean)\n";
+
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const LargeIsResult det = derandomized_large_is(cluster, g, bits, 0.5);
+  std::cout << "derandomized_large_is: |IS| = " << det.is_size
+            << " >= n/(4*Delta+1) = " << 256.0 / 17.0 << ", independent: "
+            << (LargeIsProblem::independent(g, det.labels) ? "yes" : "no")
+            << ", " << det.rounds << " MPC rounds — deterministic and O(1) "
+            << "rounds\n\n";
+
+  // --- Sinkless orientation (Theorem 39 shape) --------------------------
+  const LegalGraph h =
+      LegalGraph::with_identity(random_regular_graph(512, 4, Prf(2)));
+  const SinklessResult sink = derandomized_sinkless(nullptr, h, 10);
+  std::cout << "sinkless orientation on a 512-node 4-regular graph:\n"
+            << "  seed fixed by conditional expectations left "
+            << sink.initial_sinks << " sinks (family mean ~ n*2^-d = "
+            << 512.0 / 16.0 << ")\n"
+            << "  deterministic path-reversal repair fixed them in "
+            << sink.rounds << " steps; valid: "
+            << (sink.success ? "yes" : "no") << "\n\n";
+
+  std::cout << "Both pipelines end with a *global* argmin over seeds — all "
+               "machines, all components, one agreed value. That global "
+               "agreement is the component-instability the paper shows is "
+               "inherent to derandomization (Questions 3 and 4).\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// The Lemma 27 reduction, narrated: from a sensitive component-stable
+// algorithm to an s-t connectivity solver.
+//
+// A "farsighted" component-stable algorithm — here, one that reports
+// whether its component contains a marker ID — distinguishes two
+// D-radius-identical centered graphs G, G'. The reduction builds, from an
+// s-t connectivity instance H, two simulation graphs in which a full copy
+// of G (resp. G') materializes around v_s exactly when s-t is a short
+// path and the random h-labels line up. Component stability is what makes
+// the algorithm's verdict on that embedded copy trustworthy.
+//
+//   $ ./example_lifting_demo
+#include <iostream>
+
+#include "core/lifting.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+
+using namespace mpcstab;
+
+int main() {
+  const std::uint32_t D = 3;
+  const SensitivePair pair = path_marker_pair(/*length=*/2 * D + 1, D,
+                                              /*marker_id=*/999);
+  std::cout << "sensitive pair: two " << pair.g.n()
+            << "-node paths, IDs equal except the far endpoint (999); "
+            << D << "-radius-identical at the near endpoint: "
+            << (verify_radius_identical(pair) ? "yes" : "no") << "\n";
+
+  const MarkerAlgorithm alg({999});
+  std::cout << "algorithm: '" << alg.name()
+            << "' — outputs 1 iff the component contains ID 999 "
+               "(component-stable, deterministic, farsighted)\n\n";
+
+  // YES instance: s and t are endpoints of a 3-edge path.
+  {
+    const LegalGraph h = LegalGraph::with_identity(path_graph(4));
+    Cluster cluster(MpcConfig::for_graph(h.n(), h.graph().m()));
+    const auto planted = planted_h_values(h, 0, 3, D);
+    std::cout << "YES instance (path of 4 nodes): planted h exists: "
+              << (planted ? "yes" : "no") << "\n";
+    const BStConnResult r =
+        b_st_conn(cluster, h, 0, 3, pair, alg, /*seed=*/5,
+                  /*simulations=*/8, /*planted_first=*/true);
+    std::cout << "  B_st-conn: " << (r.yes ? "YES" : "NO") << " ("
+              << r.yes_votes << " differing-output votes, "
+              << r.full_copies_seen << " full copies of G materialized, "
+              << r.rounds << " MPC rounds)\n";
+  }
+
+  // NO instance: s and t in different components.
+  {
+    const Graph parts[] = {path_graph(3), path_graph(3)};
+    const LegalGraph h = LegalGraph::with_identity(disjoint_union(parts));
+    Cluster cluster(MpcConfig::for_graph(h.n(), h.graph().m()));
+    const BStConnResult r = b_st_conn(cluster, h, 0, 5, pair, alg, 5,
+                                      /*simulations=*/64, true);
+    std::cout << "NO instance (two disjoint paths): B_st-conn: "
+              << (r.yes ? "YES" : "NO") << " (" << r.yes_votes
+              << " votes over 64 simulations — the construction guarantees "
+                 "CC(v_s) is identical in both graphs)\n";
+  }
+
+  std::cout << "\nWithout the planted labels, each simulation succeeds with "
+               "probability ~ D^-D; the paper runs poly(n) simulations in "
+               "parallel. Hence: a o(log T)-round component-stable "
+               "algorithm for a hard problem would give a o(log n)-round "
+               "connectivity algorithm — contradicting the conjecture "
+               "(Theorem 14).\n";
+  return 0;
+}

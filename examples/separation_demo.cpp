@@ -1,0 +1,78 @@
+// The Theorem 5 story on one screen: computing an independent set of size
+// Omega(n/Delta) with success probability 1 - 1/n.
+//
+//   * A component-STABLE algorithm (one Luby step keyed to the shared seed
+//     and node IDs) gets there only in expectation — some seeds miss.
+//   * The component-UNSTABLE amplified algorithm runs Theta(log n)
+//     repetitions in parallel and globally votes for the best — every seed
+//     succeeds, still in O(1) rounds.
+//   * The stability checker then *certifies* the instability: embed the
+//     same component next to two different contexts (same n, same Delta)
+//     and watch its output change.
+//
+//   $ ./example_separation_demo
+#include <iostream>
+
+#include "algorithms/large_is.h"
+#include "core/amplification.h"
+#include "core/component_stable.h"
+#include "core/stability_checker.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+
+using namespace mpcstab;
+
+int main() {
+  const Node n = 512;
+  const std::uint32_t d = 4;
+  const LegalGraph g =
+      LegalGraph::with_identity(random_regular_graph(n, d, Prf(3)));
+  const double threshold = 0.9 * static_cast<double>(n) / (d + 1);
+  std::cout << "graph: " << n << " nodes, " << d << "-regular; target |IS| >= "
+            << threshold << "\n\n";
+
+  int stable_misses = 0;
+  const int trials = 32;
+  for (int seed = 0; seed < trials; ++seed) {
+    Cluster cluster(MpcConfig::for_graph(n, g.graph().m()));
+    const LargeIsResult r = one_round_is(cluster, g, Prf(seed), 0);
+    if (static_cast<double>(r.is_size) < threshold) ++stable_misses;
+  }
+  std::cout << "component-stable one-round IS: missed the threshold on "
+            << stable_misses << "/" << trials << " seeds (2 MPC rounds)\n";
+
+  const std::uint64_t reps = amplification_repetitions(n);
+  int unstable_misses = 0;
+  std::uint64_t rounds = 0;
+  for (int seed = 0; seed < trials / 4; ++seed) {
+    Cluster cluster(MpcConfig::for_graph(n, g.graph().m(), 0.5, reps));
+    const LargeIsResult r = amplified_large_is(cluster, g, Prf(seed), reps);
+    if (static_cast<double>(r.is_size) < threshold) ++unstable_misses;
+    rounds = r.rounds;
+  }
+  std::cout << "component-unstable amplified IS (" << reps
+            << " parallel repetitions): missed on " << unstable_misses << "/"
+            << trials / 4 << " seeds (" << rounds << " MPC rounds)\n\n";
+
+  // Certify the instability.
+  const MpcAlgorithm amplified = [](Cluster& cluster, const LegalGraph& host,
+                                    std::uint64_t seed) {
+    return amplified_large_is(cluster, host, Prf(seed), 12).labels;
+  };
+  const LegalGraph probe = LegalGraph::with_identity(cycle_graph(10));
+  const Graph parts[] = {cycle_graph(5), cycle_graph(5)};
+  const LegalGraph ctx_a = LegalGraph::with_identity(cycle_graph(10));
+  const LegalGraph ctx_b = LegalGraph::with_identity(disjoint_union(parts));
+  std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5, 6, 7, 8};
+  const StabilityReport report =
+      check_stability(amplified, probe, ctx_a, ctx_b, seeds, 12);
+  std::cout << "stability probe of the amplified algorithm: context-"
+            << (report.context_invariant ? "invariant (unexpected!)"
+                                         : "SENSITIVE")
+            << " — " << report.context_violations
+            << " output changes on the probe component when unrelated "
+               "components changed.\n";
+  std::cout << "That is Theorem 5: the speed comes from a global vote, and "
+               "the global vote breaks component stability.\n";
+  return 0;
+}

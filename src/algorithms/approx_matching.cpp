@@ -1,0 +1,48 @@
+#include "algorithms/approx_matching.h"
+
+#include "algorithms/luby.h"
+#include "algorithms/matching.h"
+#include "core/amplification.h"
+#include "graph/ops.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+ApproxMatchingResult amplified_approx_matching(Cluster& cluster,
+                                               const LegalGraph& g,
+                                               const Prf& shared,
+                                               std::uint64_t repetitions) {
+  ApproxMatchingResult result;
+  if (g.graph().m() == 0) {
+    cluster.charge_rounds(1, "empty matching");
+    result.rounds = 1;
+    result.quality = 1.0;
+    return result;
+  }
+  const LegalLineGraph line = legal_line_graph(g);
+  cluster.charge_rounds(1, "line-graph construction");
+
+  const AmplifiedResult amplified = amplify_best(
+      cluster, shared, repetitions, /*per_repetition_rounds=*/2,
+      [&](const Prf& rep) {
+        return luby_step(line.graph, [&](Node e) {
+          return rep.word(/*stream=*/0x6d, line.graph.id(e));
+        });
+      },
+      [](const std::vector<Label>& labels) {
+        return static_cast<double>(LargeIsProblem::size(labels));
+      });
+
+  result.edge_labels = amplified.labels;
+  result.chosen_repetition = amplified.winner;
+  result.rounds = amplified.rounds + 1;
+  for (Label l : result.edge_labels) {
+    result.size += (l == kLabelIn) ? 1 : 0;
+  }
+  ensure(is_matching(g.graph(), result.edge_labels),
+         "a line-graph IS is always a matching");
+  result.quality = matching_quality(g, result.edge_labels);
+  return result;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,42 @@
+// Omega(1)-approximate maximum matching in O(1) rounds — the second
+// flagship application of success amplification (Theorem 28 lists constant
+// approximation of maximum matching among the lifted lower bounds;
+// Lemma 12 shows the problem is 2-replicable, so the lower bound applies
+// to component-stable algorithms — while the amplified algorithm below
+// beats it, being component-unstable).
+//
+// Construction: one Luby step on the line graph is an independent set of
+// line nodes = a matching, of expected size Omega(m/Delta_L) =
+// Omega(matching number / const) on bounded-degree graphs; amplification
+// picks the best of Theta(log n) parallel repetitions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+#include "problems/problems.h"
+#include "rng/prf.h"
+
+namespace mpcstab {
+
+/// Result of the amplified approximate matching.
+struct ApproxMatchingResult {
+  std::vector<Label> edge_labels;  // Graph::edges() order
+  std::uint64_t size = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t chosen_repetition = 0;
+  /// |M| / |greedy maximal matching| (>= some constant whp).
+  double quality = 0.0;
+};
+
+/// O(1)-round component-unstable approximate matching: `repetitions`
+/// parallel one-step line-graph Luby runs, global argmax vote. Requires
+/// cluster.machines() >= repetitions.
+ApproxMatchingResult amplified_approx_matching(Cluster& cluster,
+                                               const LegalGraph& g,
+                                               const Prf& shared,
+                                               std::uint64_t repetitions);
+
+}  // namespace mpcstab

@@ -1,0 +1,365 @@
+#include "algorithms/coloring.h"
+
+#include <algorithm>
+
+#include "derand/seed_select.h"
+#include "graph/ops.h"
+#include "rng/kwise.h"
+#include "support/check.h"
+#include "support/math.h"
+
+namespace mpcstab {
+
+namespace {
+
+/// Smallest prime q such that q > delta * d(q), where d(q) is the least
+/// degree with q^(d+1) >= palette. Guarantees a collision-free evaluation
+/// point exists in Linial's reduction step.
+struct LinialField {
+  std::uint64_t q = 0;
+  unsigned degree = 0;
+};
+
+LinialField pick_field(std::uint64_t palette, std::uint32_t delta) {
+  for (std::uint64_t q = next_prime(std::max<std::uint64_t>(2, delta + 1));;
+       q = next_prime(q + 1)) {
+    // Least d with q^(d+1) >= palette.
+    unsigned d = 0;
+    std::uint64_t power = q;
+    while (power < palette) {
+      power = (power > palette / q + 1) ? palette : power * q;
+      ++d;
+    }
+    if (q > static_cast<std::uint64_t>(delta) * std::max(1u, d)) {
+      return {q, d};
+    }
+  }
+}
+
+/// Digits of `value` in base q, lowest first, exactly degree+1 of them.
+std::vector<std::uint64_t> to_digits(std::uint64_t value, std::uint64_t q,
+                                     unsigned degree) {
+  std::vector<std::uint64_t> digits(degree + 1, 0);
+  for (unsigned i = 0; i <= degree; ++i) {
+    digits[i] = value % q;
+    value /= q;
+  }
+  return digits;
+}
+
+std::uint64_t eval_poly(std::span<const std::uint64_t> digits,
+                        std::uint64_t x, std::uint64_t q) {
+  std::uint64_t acc = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    acc = (mulmod(acc, x, q) + *it) % q;
+  }
+  return acc;
+}
+
+}  // namespace
+
+ColoringResult linial_coloring(SyncNetwork& net) {
+  const LegalGraph& g = net.graph();
+  const Node n = g.n();
+  const std::uint32_t delta = std::max<std::uint32_t>(1, g.max_degree());
+  const std::uint64_t start_rounds = net.rounds();
+
+  // Initial palette: the ID space.
+  std::uint64_t palette = 1;
+  std::vector<std::uint64_t> color(n);
+  for (Node v = 0; v < n; ++v) {
+    color[v] = g.id(v);
+    palette = std::max(palette, g.id(v) + 1);
+  }
+
+  // Iterate K -> q^2 until the palette stops shrinking (O(log* K) steps).
+  while (true) {
+    const LinialField field = pick_field(palette, delta);
+    const std::uint64_t next_palette = field.q * field.q;
+    if (next_palette >= palette) break;
+
+    // One round: exchange current colors; each node picks an evaluation
+    // point x avoiding all neighbors' polynomials.
+    std::vector<std::uint64_t> next_color(n);
+    net.round([&](RoundIo& io) { io.broadcast({color[io.v()]}); });
+    net.round([&](RoundIo& io) {
+      const Node v = io.v();
+      const auto own = to_digits(color[v], field.q, field.degree);
+      std::vector<std::vector<std::uint64_t>> neighbor_polys;
+      for (const auto& msg : io.incoming()) {
+        if (!msg.empty()) {
+          neighbor_polys.push_back(
+              to_digits(msg[0], field.q, field.degree));
+        }
+      }
+      bool found = false;
+      for (std::uint64_t x = 0; x < field.q && !found; ++x) {
+        const std::uint64_t own_val = eval_poly(own, x, field.q);
+        bool collision = false;
+        for (const auto& poly : neighbor_polys) {
+          if (eval_poly(poly, x, field.q) == own_val) {
+            collision = true;
+            break;
+          }
+        }
+        if (!collision) {
+          next_color[v] = x * field.q + own_val;
+          found = true;
+        }
+      }
+      ensure(found, "Linial step must find a collision-free point");
+    });
+    color = std::move(next_color);
+    palette = next_palette;
+  }
+
+  ColoringResult result;
+  result.colors.assign(n, 0);
+  for (Node v = 0; v < n; ++v) {
+    result.colors[v] = static_cast<Label>(color[v]);
+  }
+  result.palette = palette;
+  result.rounds = net.rounds() - start_rounds;
+  return result;
+}
+
+ColoringResult reduce_colors(SyncNetwork& net, std::vector<Label> colors,
+                             std::uint64_t from, std::uint64_t to) {
+  const LegalGraph& g = net.graph();
+  const std::uint32_t delta = g.max_degree();
+  require(to >= static_cast<std::uint64_t>(delta) + 1,
+          "target palette must be >= Delta+1 for greedy reduction");
+  const std::uint64_t start_rounds = net.rounds();
+
+  for (std::uint64_t c = from; c-- > to;) {
+    // One round: everyone announces their color; class-c nodes (an
+    // independent set, since the coloring is proper) recolor greedily.
+    net.round([&](RoundIo& io) { io.broadcast({static_cast<Word>(
+        colors[io.v()])}); });
+    net.round([&](RoundIo& io) {
+      const Node v = io.v();
+      if (static_cast<std::uint64_t>(colors[v]) != c) return;
+      std::vector<std::uint8_t> used(to, 0);
+      for (const auto& msg : io.incoming()) {
+        if (!msg.empty() && msg[0] < to) used[msg[0]] = 1;
+      }
+      std::uint64_t pick = 0;
+      while (used[pick]) ++pick;
+      colors[v] = static_cast<Label>(pick);
+    });
+  }
+
+  ColoringResult result;
+  result.colors = std::move(colors);
+  result.palette = to;
+  result.rounds = net.rounds() - start_rounds;
+  return result;
+}
+
+ColoringResult delta_plus_one_coloring(SyncNetwork& net) {
+  const std::uint32_t delta =
+      std::max<std::uint32_t>(1, net.graph().max_degree());
+  ColoringResult linial = linial_coloring(net);
+  ColoringResult reduced = reduce_colors(net, std::move(linial.colors),
+                                         linial.palette, delta + 1);
+  reduced.rounds += linial.rounds;
+  return reduced;
+}
+
+ColoringResult randomized_coloring(SyncNetwork& net, std::uint64_t palette,
+                                   std::uint64_t stream) {
+  const LegalGraph& g = net.graph();
+  const Node n = g.n();
+  require(palette >= static_cast<std::uint64_t>(g.max_degree()) + 1,
+          "palette must be >= Delta+1");
+  const std::uint64_t start_rounds = net.rounds();
+
+  std::vector<Label> final_color(n, kLabelBot);
+  std::vector<std::uint64_t> candidate(n, 0);
+  Node undecided = n;
+  const std::uint64_t cap =
+      64ull * (ceil_log2(std::max<Node>(2, n)) + 2);
+  std::uint64_t iteration = 0;
+
+  while (undecided > 0) {
+    require(iteration < cap, "randomized coloring failed to converge");
+
+    // Round 1: undecided nodes sample a candidate avoiding decided
+    // neighbors' colors, then exchange candidates.
+    std::vector<std::vector<std::uint8_t>> blocked(n);
+    net.round([&](RoundIo& io) {
+      const Node v = io.v();
+      if (final_color[v] != kLabelBot) {
+        io.broadcast({2, static_cast<Word>(final_color[v])});
+        return;
+      }
+      // Track decided neighbor colors seen so far.
+      auto& used = blocked[v];
+      used.assign(palette, 0);
+      for (const auto& msg : io.incoming()) {
+        if (msg.size() == 2 && msg[0] == 2 && msg[1] < palette) {
+          used[msg[1]] = 1;
+        }
+      }
+      std::vector<std::uint64_t> free_colors;
+      for (std::uint64_t c = 0; c < palette; ++c) {
+        if (!used[c]) free_colors.push_back(c);
+      }
+      ensure(!free_colors.empty(), "palette >= Delta+1 guarantees a slot");
+      candidate[v] = free_colors[net.shared().word_below(
+          stream ^ (iteration * 0x9e3779b9ull), g.id(v),
+          free_colors.size())];
+      io.broadcast({1, candidate[v]});
+    });
+
+    // Round 2: keep the candidate when no undecided neighbor picked the
+    // same one (and no decided neighbor holds it). Decided nodes keep
+    // re-announcing their color so round 1 of the next iteration sees it.
+    net.round([&](RoundIo& io) {
+      const Node v = io.v();
+      if (final_color[v] != kLabelBot) {
+        io.broadcast({2, static_cast<Word>(final_color[v])});
+        return;
+      }
+      bool clash = false;
+      for (const auto& msg : io.incoming()) {
+        if (msg.size() == 2 && msg[1] == candidate[v]) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) {
+        final_color[v] = static_cast<Label>(candidate[v]);
+        io.broadcast({2, static_cast<Word>(final_color[v])});
+      }
+    });
+
+    undecided = 0;
+    for (Node v = 0; v < n; ++v) {
+      if (final_color[v] == kLabelBot) ++undecided;
+    }
+    ++iteration;
+  }
+
+  ColoringResult result;
+  result.colors = std::move(final_color);
+  result.palette = palette;
+  result.rounds = net.rounds() - start_rounds;
+  return result;
+}
+
+DerandColoringResult derandomized_coloring(Cluster& cluster,
+                                           const LegalGraph& g,
+                                           std::uint64_t palette,
+                                           unsigned seed_bits) {
+  const Node n = g.n();
+  require(palette >= static_cast<std::uint64_t>(g.max_degree()) + 1,
+          "palette must be >= Delta+1");
+  const std::uint64_t start = cluster.rounds();
+
+  DerandColoringResult result;
+  result.palette = palette;
+  result.colors.assign(n, kLabelBot);
+
+  // Candidate color of an undecided node under hash h: chosen among the
+  // palette slots not taken by finalized neighbors.
+  auto candidates_under = [&](const PairwiseHash& h,
+                              std::vector<std::uint64_t>& out) {
+    out.assign(n, 0);
+    for (Node v = 0; v < n; ++v) {
+      if (result.colors[v] != kLabelBot) continue;
+      std::vector<std::uint8_t> used(palette, 0);
+      for (Node w : g.graph().neighbors(v)) {
+        if (result.colors[w] != kLabelBot) used[result.colors[w]] = 1;
+      }
+      std::vector<std::uint64_t> free_colors;
+      for (std::uint64_t c = 0; c < palette; ++c) {
+        if (!used[c]) free_colors.push_back(c);
+      }
+      ensure(!free_colors.empty(), "palette >= Delta+1 guarantees a slot");
+      out[v] = free_colors[h.eval(g.id(v)) % free_colors.size()];
+    }
+  };
+  auto conflicts_under = [&](const PairwiseHash& h) {
+    std::vector<std::uint64_t> cand;
+    candidates_under(h, cand);
+    std::int64_t conflicts = 0;
+    for (const Edge& e : g.graph().edges()) {
+      if (result.colors[e.u] == kLabelBot &&
+          result.colors[e.v] == kLabelBot && cand[e.u] == cand[e.v]) {
+        ++conflicts;
+      }
+    }
+    return conflicts;
+  };
+
+  Node undecided = n;
+  const std::uint64_t cap = 32ull * (ceil_log2(std::max<Node>(2, n)) + 2);
+  while (undecided > 0) {
+    if (result.iterations >= cap) break;
+    ++result.iterations;
+
+    const SeedSelection sel =
+        select_seed(&cluster, seed_bits, [&](std::uint64_t s) {
+          return static_cast<double>(
+              conflicts_under(PairwiseHash::from_seed(s, seed_bits)));
+        });
+    const PairwiseHash h = PairwiseHash::from_seed(sel.seed, seed_bits);
+    std::vector<std::uint64_t> cand;
+    candidates_under(h, cand);
+
+    // Finalize conflict-free candidates (one announcement round).
+    for (Node v = 0; v < n; ++v) {
+      if (result.colors[v] != kLabelBot) continue;
+      bool clash = false;
+      for (Node w : g.graph().neighbors(v)) {
+        if (result.colors[w] == kLabelBot && cand[w] == cand[v]) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) result.colors[v] = static_cast<Label>(cand[v]);
+    }
+    cluster.charge_rounds(2, "candidate exchange + finalize");
+
+    undecided = 0;
+    for (Node v = 0; v < n; ++v) {
+      if (result.colors[v] == kLabelBot) ++undecided;
+    }
+  }
+
+  // Deterministic safety net for any stragglers (never expected at tested
+  // scales): greedy by ID.
+  if (undecided > 0) {
+    for (Node v = 0; v < n; ++v) {
+      if (result.colors[v] != kLabelBot) continue;
+      std::vector<std::uint8_t> used(palette, 0);
+      for (Node w : g.graph().neighbors(v)) {
+        if (result.colors[w] != kLabelBot) used[result.colors[w]] = 1;
+      }
+      std::uint64_t c = 0;
+      while (used[c]) ++c;
+      result.colors[v] = static_cast<Label>(c);
+    }
+  }
+  result.rounds = cluster.rounds() - start;
+  return result;
+}
+
+EdgeColoringResult edge_coloring_local(const LegalGraph& g,
+                                       std::uint64_t palette,
+                                       const Prf& shared,
+                                       std::uint64_t stream) {
+  const LegalLineGraph line = legal_line_graph(g);
+  SyncNetwork net = SyncNetwork::local(line.graph, shared);
+  const ColoringResult vertex =
+      randomized_coloring(net, palette, stream);
+
+  EdgeColoringResult result;
+  result.edge_colors = vertex.colors;
+  result.palette = palette;
+  result.rounds = vertex.rounds + 1;  // +1 for the line-graph conversion
+  return result;
+}
+
+}  // namespace mpcstab

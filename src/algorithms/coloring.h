@@ -1,0 +1,77 @@
+// Distributed coloring algorithms: Linial's O(Delta^2)-coloring in
+// O(log* n) rounds [Lin92] (the archetypal LOCAL complexity the paper's
+// log log* separations are measured against), greedy color reduction to
+// Delta+1, and the randomized palette-sampling colorings used as the
+// Section 4.2 edge/vertex-coloring upper-bound substrates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "local/engine.h"
+#include "mpc/cluster.h"
+#include "problems/problems.h"
+
+namespace mpcstab {
+
+/// Result of a coloring computation.
+struct ColoringResult {
+  std::vector<Label> colors;
+  std::uint64_t palette = 0;  // colors are in [0, palette)
+  std::uint64_t rounds = 0;
+};
+
+/// Linial's deterministic coloring: iterated polynomial-based color
+/// reduction from the ID space down to a palette of O(Delta^2 log^2 Delta)
+/// in O(log* n) rounds.
+ColoringResult linial_coloring(SyncNetwork& net);
+
+/// Greedy simultaneous recoloring of one color class per round, reducing
+/// the palette from `from` to `to` >= Delta+1 in (from - to) rounds.
+ColoringResult reduce_colors(SyncNetwork& net, std::vector<Label> colors,
+                             std::uint64_t from, std::uint64_t to);
+
+/// Deterministic (Delta+1)-coloring: Linial + greedy reduction.
+ColoringResult delta_plus_one_coloring(SyncNetwork& net);
+
+/// Randomized coloring with the given palette (>= Delta+1): each round
+/// every undecided node samples a color not used by decided neighbors and
+/// keeps it if no undecided neighbor sampled the same. O(log n) rounds whp.
+ColoringResult randomized_coloring(SyncNetwork& net, std::uint64_t palette,
+                                   std::uint64_t stream);
+
+/// Deterministic (Delta+1)-coloring by derandomized palette sampling — the
+/// [CDP20b] recipe the paper's derandomization story builds on: each
+/// iteration, candidate colors come from a pairwise hash of the node ID;
+/// the seed minimizing the number of monochromatic conflicts is fixed by
+/// the distributed method of conditional expectations (argmin can only
+/// beat the pairwise expectation, so a constant fraction of nodes
+/// finalizes per iteration); conflict-free nodes keep their color.
+/// Component-UNSTABLE via the global seed agreements.
+struct DerandColoringResult {
+  std::vector<Label> colors;
+  std::uint64_t palette = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t rounds = 0;  // cluster rounds consumed
+};
+
+DerandColoringResult derandomized_coloring(Cluster& cluster,
+                                           const LegalGraph& g,
+                                           std::uint64_t palette,
+                                           unsigned seed_bits);
+
+/// Edge coloring with `palette` colors (>= 2*Delta - 1) via randomized
+/// coloring of the line graph. Returns labels in Graph::edges() order and
+/// the LOCAL rounds used (line-graph rounds + 1 conversion round).
+struct EdgeColoringResult {
+  std::vector<Label> edge_colors;
+  std::uint64_t palette = 0;
+  std::uint64_t rounds = 0;
+};
+
+EdgeColoringResult edge_coloring_local(const LegalGraph& g,
+                                       std::uint64_t palette,
+                                       const Prf& shared,
+                                       std::uint64_t stream);
+
+}  // namespace mpcstab

@@ -1,0 +1,140 @@
+#include "algorithms/connectivity.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/components.h"
+#include "graph/ops.h"
+#include "mpc/primitives.h"
+#include "mpc/shuffle.h"
+#include "support/check.h"
+#include "support/math.h"
+
+namespace mpcstab {
+
+ConnectivityResult hash_to_min_components(Cluster& cluster,
+                                          const LegalGraph& g,
+                                          std::uint64_t max_iterations) {
+  const Graph& topo = g.graph();
+  const Node n = topo.n();
+  ConnectivityResult result;
+  result.labels.resize(n);
+  std::iota(result.labels.begin(), result.labels.end(), 0);
+
+  for (std::uint64_t it = 0; it < max_iterations; ++it) {
+    std::vector<Node> next(n);
+    bool changed = false;
+    for (Node v = 0; v < n; ++v) {
+      Node best = result.labels[v];
+      best = std::min(best, result.labels[best]);  // shortcut (pointer jump)
+      for (Node u : topo.neighbors(v)) {
+        best = std::min(best, result.labels[u]);
+      }
+      next[v] = best;
+      changed = changed || (next[v] != result.labels[v]);
+    }
+    result.labels = std::move(next);
+    ++result.iterations;
+    // One round exchanging labels with neighbors, one for the label lookup
+    // (a hash join routing each request L(v) to the machine owning node
+    // L(v) and back — O(1) rounds in every MPC connectivity paper).
+    cluster.charge_rounds(2, "hash-to-min iteration");
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.rounds = result.iterations * 2;
+  return result;
+}
+
+namespace {
+
+/// Number of distinct final labels = number of components (when converged).
+/// Converged labelings have few distinct labels, so the real shuffle-layer
+/// dedup tree (local combiners + fan-in merge) counts them with actually-
+/// paid rounds and message volumes. A truncated, unconverged labeling can
+/// still hold Theta(n) labels — far beyond any machine's space — so there
+/// the count is a best-effort local estimate with the tree's round charge:
+/// exactly the "cannot certify" regime the conjecture describes.
+std::uint64_t distinct_labels(Cluster& cluster,
+                              const std::vector<Node>& labels,
+                              bool converged) {
+  if (converged) {
+    std::vector<std::uint64_t> keys(labels.begin(), labels.end());
+    return distinct_count(cluster, shard_keys(cluster, keys));
+  }
+  std::vector<Node> sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  const auto last = std::unique(sorted.begin(), sorted.end());
+  cluster.charge_rounds(cluster.tree_rounds(), "distinct-label estimate");
+  return static_cast<std::uint64_t>(last - sorted.begin());
+}
+
+}  // namespace
+
+CycleDecision distinguish_cycles(Cluster& cluster, const LegalGraph& g) {
+  const std::uint64_t start = cluster.rounds();
+  // 4*log2(n) + 8 iterations are ample for hash-to-min on cycle instances.
+  const std::uint64_t budget =
+      4ull * ceil_log2(std::max<Node>(2, g.n())) + 8;
+  const ConnectivityResult cc = hash_to_min_components(cluster, g, budget);
+  CycleDecision decision;
+  decision.one_cycle = distinct_labels(cluster, cc.labels, cc.converged) == 1;
+  decision.reliable = cc.converged;
+  decision.rounds = cluster.rounds() - start;
+  return decision;
+}
+
+CycleDecision distinguish_cycles_truncated(Cluster& cluster,
+                                           const LegalGraph& g,
+                                           std::uint64_t iteration_budget) {
+  const std::uint64_t start = cluster.rounds();
+  const ConnectivityResult cc =
+      hash_to_min_components(cluster, g, iteration_budget);
+  CycleDecision decision;
+  decision.one_cycle = distinct_labels(cluster, cc.labels, cc.converged) == 1;
+  decision.reliable = cc.converged;
+  decision.rounds = cluster.rounds() - start;
+  return decision;
+}
+
+StConnResult st_connectivity(Cluster& cluster, const LegalGraph& g, Node s,
+                             Node t, std::uint32_t diameter_bound) {
+  const std::uint64_t start = cluster.rounds();
+
+  // Discard nodes of degree > 2 (the problem only promises path instances);
+  // the pruning is one local filtering round.
+  std::vector<Node> keep;
+  std::vector<Node> remap(g.n(), 0xffffffffu);
+  for (Node v = 0; v < g.n(); ++v) {
+    if (g.graph().degree(v) <= 2 || v == s || v == t) {
+      remap[v] = static_cast<Node>(keep.size());
+      keep.push_back(v);
+    }
+  }
+  cluster.charge_rounds(1, "degree pruning");
+  InducedSubgraph pruned = induced_subgraph(g.graph(), keep);
+  std::vector<NodeId> ids;
+  std::vector<NodeName> names;
+  for (Node v : pruned.to_parent) {
+    ids.push_back(g.id(v));
+    names.push_back(g.name(v));
+  }
+  const LegalGraph sub = LegalGraph::make(std::move(pruned.graph),
+                                          std::move(ids), std::move(names));
+
+  // O(log D) hash-to-min iterations connect endpoints of any path of
+  // length <= D; disconnected nodes never share a label.
+  const std::uint64_t iterations =
+      2ull * ceil_log2(std::max<std::uint32_t>(2, diameter_bound) + 1) + 2;
+  const ConnectivityResult cc =
+      hash_to_min_components(cluster, sub, iterations);
+
+  StConnResult result;
+  result.yes = cc.labels[remap[s]] == cc.labels[remap[t]];
+  result.rounds = cluster.rounds() - start;
+  return result;
+}
+
+}  // namespace mpcstab

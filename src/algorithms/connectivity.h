@@ -1,0 +1,64 @@
+// Connectivity in low-space MPC: the substrate of the paper's hardness
+// side. The connectivity conjecture states that distinguishing one n-cycle
+// from two n/2-cycles requires Omega(log n) rounds; the matching upper
+// bound here is hash-to-min label propagation with path doubling, which
+// converges in O(log n) rounds on cycles and paths. D-diameter s-t
+// connectivity ([GKU19] Definition IV.1, used by Lemma 27) follows by
+// truncating at O(log D) rounds on the degree-pruned graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+
+namespace mpcstab {
+
+/// Result of a component-labeling run.
+struct ConnectivityResult {
+  /// Final label per node (labels are node indices; equal label <=> same
+  /// component once converged).
+  std::vector<Node> labels;
+  std::uint64_t rounds = 0;      // MPC rounds consumed
+  std::uint64_t iterations = 0;  // hash-to-min iterations
+  bool converged = false;        // fixed point reached within budget
+};
+
+/// Hash-to-min with shortcutting: each iteration
+///   L(v) <- min( L(v), L(L(v)), min_{u in N(v)} L(u) )
+/// costing 2 MPC rounds (neighborhood exchange + one pointer lookup).
+/// Runs until fixed point or `max_iterations`.
+ConnectivityResult hash_to_min_components(Cluster& cluster,
+                                          const LegalGraph& g,
+                                          std::uint64_t max_iterations);
+
+/// Decides "one n-cycle vs two n/2-cycles": true = one component. This is
+/// the conjecture's instance; round cost Theta(log n) via hash-to-min.
+struct CycleDecision {
+  bool one_cycle = false;
+  std::uint64_t rounds = 0;
+  bool reliable = false;  // label propagation converged
+};
+
+CycleDecision distinguish_cycles(Cluster& cluster, const LegalGraph& g);
+
+/// The same decision with a hard round budget — used to measure how
+/// truncated (o(log n)-round) attempts fail, the empirical face of the
+/// conjecture.
+CycleDecision distinguish_cycles_truncated(Cluster& cluster,
+                                           const LegalGraph& g,
+                                           std::uint64_t iteration_budget);
+
+/// D-diameter s-t connectivity ([GKU19] Definition IV.1): YES when s and t
+/// are endpoints of a path of length <= D (after discarding nodes of degree
+/// > 2); NO when disconnected; arbitrary otherwise. O(log D) rounds.
+struct StConnResult {
+  bool yes = false;
+  std::uint64_t rounds = 0;
+};
+
+StConnResult st_connectivity(Cluster& cluster, const LegalGraph& g, Node s,
+                             Node t, std::uint32_t diameter_bound);
+
+}  // namespace mpcstab

@@ -1,0 +1,154 @@
+#include "algorithms/extendable.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "derand/seed_select.h"
+#include "graph/balls.h"
+#include "graph/ops.h"
+#include "mpc/dist_graph.h"
+#include "mpc/exponentiation.h"
+#include "rng/prg.h"
+#include "rng/splitmix.h"
+#include "support/check.h"
+#include "support/math.h"
+
+namespace mpcstab {
+
+namespace {
+
+/// Greedy distance-r coloring (the Theorem 45 name-space reduction).
+std::pair<std::vector<std::uint32_t>, std::uint32_t> distance_coloring(
+    const LegalGraph& g, std::uint32_t r) {
+  std::vector<std::uint32_t> color(g.n(), 0);
+  std::uint32_t palette = 0;
+  for (Node v = 0; v < g.n(); ++v) {
+    const auto dist = bfs_distances(g.graph(), v, r);
+    std::vector<std::uint8_t> used;
+    for (Node w = 0; w < v; ++w) {
+      if (dist[w] != 0xffffffffu) {
+        if (color[w] >= used.size()) used.resize(color[w] + 1, 0);
+        used[color[w]] = 1;
+      }
+    }
+    std::uint32_t c = 0;
+    while (c < used.size() && used[c]) ++c;
+    color[v] = c;
+    palette = std::max(palette, c + 1);
+  }
+  return {std::move(color), palette};
+}
+
+/// Runs the extendable algorithm on `sub` with PRG bits keyed by the
+/// distance colors.
+ExtendableResult run_with_prg(const ExtendableAlgorithm& alg,
+                              const LegalGraph& sub,
+                              std::span<const std::uint32_t> colors,
+                              const Prg& prg, std::uint64_t seed,
+                              std::uint64_t t) {
+  SyncNetwork net = SyncNetwork::local(sub, Prf(0));
+  const BitSource bits = [&](Node v, std::uint64_t round, unsigned index) {
+    const std::uint64_t pos =
+        splitmix64(colors[v] * 0x9e3779b97f4a7c15ull + round * 0x85ebca6bull +
+                   index) %
+        prg.output_bits();
+    return prg.bit(seed, pos);
+  };
+  return alg.run(net, t, bits);
+}
+
+}  // namespace
+
+DerandExtendableResult derandomize_extendable(
+    Cluster& cluster, const LegalGraph& g, const ExtendableAlgorithm& alg,
+    unsigned prg_seed_bits) {
+  const std::uint64_t start = cluster.rounds();
+  const GraphParams params = compute_params(cluster, g);
+  const std::uint64_t t = alg.budget(params.n, params.max_degree);
+
+  DerandExtendableResult result;
+  result.local_t = t;
+  result.labels.assign(g.n(), kLabelBot);
+
+  const Prg prg(prg_seed_bits, /*output_bits=*/1ull << 20);
+
+  std::vector<Node> active(g.n());
+  std::iota(active.begin(), active.end(), 0);
+
+  // Generous cap: with the ideal radius, O(1) iterations suffice; when
+  // space forces a smaller per-iteration budget, more (cheap) iterations
+  // pick up the slack.
+  constexpr std::uint64_t kMaxIterations = 40;
+  while (!active.empty() && result.iterations < kMaxIterations) {
+    ++result.iterations;
+
+    // Induced subgraph on the still-undecided nodes (IDs/names preserved).
+    InducedSubgraph sub_topo = induced_subgraph(g.graph(), active);
+    std::vector<NodeId> ids;
+    std::vector<NodeName> names;
+    for (Node v : sub_topo.to_parent) {
+      ids.push_back(g.id(v));
+      names.push_back(g.name(v));
+    }
+    const LegalGraph sub = LegalGraph::make(std::move(sub_topo.graph),
+                                            std::move(ids), std::move(names));
+
+    // Ball collection (space-checked) + distance-2t coloring. When the
+    // ideal radius 2t does not fit in S, halve it and the per-iteration
+    // budget with it: rounds are traded for space *inside* the model.
+    std::uint32_t radius = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(2 * t, sub.n()));
+    auto max_ball_words = [&](std::uint32_t r) {
+      std::uint64_t worst = 0;
+      for (Node v = 0; v < sub.n(); ++v) {
+        worst = std::max(worst,
+                         ball_encoding_words(extract_ball(sub, v, r)));
+      }
+      return worst;
+    };
+    while (radius > 1 && max_ball_words(radius) > cluster.local_space()) {
+      radius /= 2;
+    }
+    const std::uint64_t t_iter = std::max<std::uint64_t>(1, radius / 2);
+    collect_balls(cluster, sub, radius);
+    auto [colors, palette] = distance_coloring(sub, radius);
+    result.colors_used = std::max<std::uint64_t>(result.colors_used, palette);
+    cluster.charge_rounds(
+        static_cast<std::uint64_t>(log_star(std::max<std::uint64_t>(
+            2, params.n))) + 1,
+        "distance-2t coloring");
+
+    // Fix a PRG seed minimizing the number of BOT nodes.
+    const SeedSelection sel =
+        select_seed(&cluster, prg_seed_bits, [&](std::uint64_t s) {
+          return static_cast<double>(
+              run_with_prg(alg, sub, colors, prg, s, t_iter).bot_count);
+        });
+
+    const ExtendableResult run =
+        run_with_prg(alg, sub, colors, prg, sel.seed, t_iter);
+    cluster.charge_rounds(1, "apply selected seed");
+
+    std::vector<Node> next_active;
+    for (Node i = 0; i < sub.n(); ++i) {
+      const Node parent = sub_topo.to_parent[i];
+      if (run.labels[i] == kLabelIn) {
+        result.labels[parent] = kLabelIn;
+      } else if (run.labels[i] == kLabelOut) {
+        result.labels[parent] = kLabelOut;
+      } else {
+        next_active.push_back(parent);
+      }
+    }
+    active = std::move(next_active);
+  }
+
+  // Deterministic completion of any stragglers (admissible by
+  // Definition 44(i); never expected to trigger at tested scales).
+  if (!active.empty()) alg.complete(g, result.labels);
+
+  result.mpc_rounds = cluster.rounds() - start;
+  return result;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,79 @@
+// Extendable LOCAL algorithms — Definition 44 as a type, and the
+// Theorem 45 derandomization recipe as a generic transformation.
+//
+// An extendable algorithm runs for t rounds and labels every node
+// IN/OUT/BOT such that (i) any valid completion of the BOT-induced
+// subgraph yields a valid global solution (with certainty), and (ii) few
+// nodes stay BOT in expectation. Theorem 45 turns any such algorithm into
+// a deterministic low-space MPC algorithm: collect 2t-radius balls
+// (O(log t) rounds), reduce the name space with a distance-2t coloring,
+// feed PRG bits keyed by (color, round, index), and fix a good PRG seed by
+// the distributed method of conditional expectations; iterate on the
+// BOT-remainder until done.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "algorithms/ghaffari.h"
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+#include "problems/problems.h"
+
+namespace mpcstab {
+
+/// Definition 44, as an interface.
+class ExtendableAlgorithm {
+ public:
+  virtual ~ExtendableAlgorithm() = default;
+  virtual std::string name() const = 0;
+
+  /// Runs `t` rounds on the network with the given bit source. Property
+  /// (i) of Definition 44 must hold for the returned labeling.
+  virtual ExtendableResult run(SyncNetwork& net, std::uint64_t t,
+                               const BitSource& bits) const = 0;
+
+  /// The LOCAL round budget T(n, Delta) after which BOT nodes are rare.
+  virtual std::uint64_t budget(std::uint64_t n,
+                               std::uint32_t delta) const = 0;
+
+  /// Deterministically completes any remaining BOT nodes in place
+  /// (admissible by property (i)).
+  virtual void complete(const LegalGraph& g,
+                        std::vector<Label>& labels) const = 0;
+};
+
+/// Ghaffari's MIS as the canonical extendable algorithm (Theorem 46).
+class GhaffariMisExtendable final : public ExtendableAlgorithm {
+ public:
+  std::string name() const override { return "ghaffari-mis"; }
+  ExtendableResult run(SyncNetwork& net, std::uint64_t t,
+                       const BitSource& bits) const override {
+    return ghaffari_mis(net, t, bits);
+  }
+  std::uint64_t budget(std::uint64_t n, std::uint32_t delta) const override {
+    return ghaffari_round_budget(n, delta);
+  }
+  void complete(const LegalGraph& g,
+                std::vector<Label>& labels) const override {
+    extend_greedy(g, labels);
+  }
+};
+
+/// Result of the generic Theorem 45 derandomization.
+struct DerandExtendableResult {
+  std::vector<Label> labels;
+  std::uint64_t mpc_rounds = 0;
+  std::uint64_t local_t = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t colors_used = 0;
+};
+
+/// Derandomizes any extendable algorithm into a deterministic low-space
+/// MPC algorithm (the generic Theorem 45 pipeline; deterministic_mis_mpc
+/// is this applied to GhaffariMisExtendable).
+DerandExtendableResult derandomize_extendable(
+    Cluster& cluster, const LegalGraph& g, const ExtendableAlgorithm& alg,
+    unsigned prg_seed_bits);
+
+}  // namespace mpcstab

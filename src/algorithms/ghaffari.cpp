@@ -1,0 +1,151 @@
+#include "algorithms/ghaffari.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "algorithms/extendable.h"
+#include "support/check.h"
+#include "support/math.h"
+
+namespace mpcstab {
+
+BitSource shared_bit_source(const Prf& shared, const LegalGraph& g,
+                            std::uint64_t stream) {
+  return [&g, shared, stream](Node v, std::uint64_t round, unsigned index) {
+    return shared.bit(stream ^ (round * 0x100000001b3ull),
+                      g.id(v) * 64 + index);
+  };
+}
+
+ExtendableResult ghaffari_mis(SyncNetwork& net, std::uint64_t t,
+                              const BitSource& bits) {
+  const LegalGraph& g = net.graph();
+  const Node n = g.n();
+  enum class Status : std::uint8_t { kUndecided, kIn, kOut };
+  std::vector<Status> status(n, Status::kUndecided);
+  // p_v = 2^{-k_v}; k starts at 1 (p = 1/2), clamped to [1, 62].
+  std::vector<unsigned> k(n, 1);
+
+  const std::uint64_t start_rounds = net.rounds();
+  for (Node v = 0; v < n; ++v) {
+    if (g.graph().degree(v) == 0) status[v] = Status::kIn;
+  }
+
+  std::vector<std::uint8_t> marked(n, 0);
+  for (std::uint64_t round = 0; round < t; ++round) {
+    // Round 1: undecided nodes mark themselves with probability 2^-k
+    // (k fair bits, all zero) and exchange (marked, k).
+    net.round([&](RoundIo& io) {
+      const Node v = io.v();
+      if (status[v] != Status::kUndecided) return;
+      bool mark = true;
+      for (unsigned i = 0; i < k[v] && mark; ++i) {
+        mark = !bits(v, round, i);
+      }
+      marked[v] = mark ? 1 : 0;
+      io.broadcast({marked[v], k[v]});
+    });
+
+    // Round 2: marked nodes with no marked (undecided) neighbor join the
+    // IS; simultaneously everyone records the effective degree
+    // d(v) = sum over undecided neighbors of 2^-k_u for the probability
+    // update.
+    std::vector<std::uint8_t> joined(n, 0);
+    std::vector<double> eff_degree(n, 0.0);
+    net.round([&](RoundIo& io) {
+      const Node v = io.v();
+      if (status[v] != Status::kUndecided) return;
+      bool neighbor_marked = false;
+      double d = 0.0;
+      for (const auto& msg : io.incoming()) {
+        if (msg.empty()) continue;  // decided neighbor, silent
+        if (msg[0] == 1) neighbor_marked = true;
+        d += std::pow(0.5, static_cast<double>(msg[1]));
+      }
+      eff_degree[v] = d;
+      if (marked[v] && !neighbor_marked) {
+        joined[v] = 1;
+        io.broadcast({1});
+      }
+    });
+
+    // Round 3: absorb join announcements; update probabilities.
+    for (Node v = 0; v < n; ++v) {
+      if (joined[v]) status[v] = Status::kIn;
+    }
+    net.round([&](RoundIo& io) {
+      const Node v = io.v();
+      if (status[v] != Status::kUndecided) return;
+      for (const auto& msg : io.incoming()) {
+        if (!msg.empty() && msg[0] == 1) {
+          status[v] = Status::kOut;
+          return;
+        }
+      }
+      if (eff_degree[v] >= 2.0) {
+        k[v] = std::min(62u, k[v] + 1);  // halve p
+      } else if (k[v] > 1) {
+        --k[v];  // double p, capped at 1/2
+      }
+    });
+  }
+
+  ExtendableResult result;
+  result.labels.assign(n, kLabelBot);
+  for (Node v = 0; v < n; ++v) {
+    if (status[v] == Status::kIn) {
+      result.labels[v] = kLabelIn;
+    } else if (status[v] == Status::kOut) {
+      result.labels[v] = kLabelOut;
+    } else {
+      ++result.bot_count;
+    }
+  }
+  result.rounds = net.rounds() - start_rounds;
+  return result;
+}
+
+void extend_greedy(const LegalGraph& g, std::vector<Label>& labels) {
+  require(labels.size() == g.n(), "one label per node required");
+  // Process BOT nodes in ID order; add when no neighbor is IN.
+  std::vector<Node> bots;
+  for (Node v = 0; v < g.n(); ++v) {
+    if (labels[v] == kLabelBot) bots.push_back(v);
+  }
+  std::sort(bots.begin(), bots.end(),
+            [&](Node a, Node b) { return g.id(a) < g.id(b); });
+  for (Node v : bots) {
+    bool blocked = false;
+    for (Node w : g.graph().neighbors(v)) {
+      if (labels[w] == kLabelIn) blocked = true;
+    }
+    labels[v] = blocked ? kLabelOut : kLabelIn;
+  }
+}
+
+std::uint64_t ghaffari_round_budget(std::uint64_t n, std::uint32_t delta) {
+  const std::uint64_t log_delta = ceil_log2(std::max<std::uint32_t>(2, delta) + 1);
+  const std::uint64_t loglog_n =
+      ceil_log2(static_cast<std::uint64_t>(
+                    ceil_log2(std::max<std::uint64_t>(4, n))) +
+                1);
+  return 2 * log_delta + loglog_n + 4;
+}
+
+DetMisResult deterministic_mis_mpc(Cluster& cluster, const LegalGraph& g,
+                                   unsigned prg_seed_bits) {
+  // Theorem 46 = the generic Theorem 45 pipeline (algorithms/extendable.h)
+  // applied to Ghaffari's MIS.
+  const DerandExtendableResult run = derandomize_extendable(
+      cluster, g, GhaffariMisExtendable(), prg_seed_bits);
+  DetMisResult result;
+  result.labels = run.labels;
+  result.mpc_rounds = run.mpc_rounds;
+  result.local_t = run.local_t;
+  result.iterations = run.iterations;
+  result.colors_used = run.colors_used;
+  return result;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,73 @@
+// Ghaffari's randomized MIS [Gha16] in the *extendable* form of
+// Definition 44: after t rounds every node is labeled IN / OUT / BOT, no two
+// adjacent nodes are IN (with certainty), and relabeling the BOT-induced
+// subgraph with any valid MIS extends the output to a full MIS. The expected
+// number of BOT nodes vanishes as t grows.
+//
+// The derandomized MPC wrapper (Theorems 45/46) collects 2t-radius balls by
+// graph exponentiation (O(log t) rounds), reduces the name space with a
+// distance-2t coloring, feeds the algorithm PRG bits keyed by (color, round,
+// index), and fixes a good PRG seed by the distributed method of conditional
+// expectations — yielding a deterministic, component-unstable low-space MPC
+// algorithm with round complexity O(log t) = O(log log Delta + log log log n)
+// in the paper's parameter regime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "local/engine.h"
+#include "mpc/cluster.h"
+#include "problems/problems.h"
+#include "rng/prf.h"
+
+namespace mpcstab {
+
+/// Supplies fair random bits to the algorithm: bit `index` of node v in
+/// round `round`. Ghaffari's algorithm only ever flips p = 2^-k coins,
+/// realized as "k bits all zero" — exactly the paper's account of its
+/// randomness usage (proof of Theorem 46).
+using BitSource =
+    std::function<bool(Node v, std::uint64_t round, unsigned index)>;
+
+/// Default bit source: shared randomness keyed by the node's
+/// component-unique ID (component-stable randomness).
+BitSource shared_bit_source(const Prf& shared, const LegalGraph& g,
+                            std::uint64_t stream);
+
+/// Result of an extendable MIS run.
+struct ExtendableResult {
+  std::vector<Label> labels;  // kLabelIn / kLabelOut / kLabelBot
+  std::uint64_t rounds = 0;   // communication rounds consumed
+  std::uint64_t bot_count = 0;
+};
+
+/// Runs Ghaffari's MIS for exactly `t` iterations. Guarantees: IN-nodes are
+/// independent; every OUT node has an IN neighbor; all other nodes are BOT.
+ExtendableResult ghaffari_mis(SyncNetwork& net, std::uint64_t t,
+                              const BitSource& bits);
+
+/// Extends a partial solution: greedily (by ID) adds BOT nodes to the IS.
+/// Property (i) of Definition 44 guarantees the result is a valid MIS.
+void extend_greedy(const LegalGraph& g, std::vector<Label>& labels);
+
+/// The LOCAL round budget t(n, Delta) = O(log Delta + log log n) we run
+/// Ghaffari's algorithm for (shattering regime, after which BOT is rare).
+std::uint64_t ghaffari_round_budget(std::uint64_t n, std::uint32_t delta);
+
+/// Deterministic MPC MIS via Theorem 45/46.
+struct DetMisResult {
+  std::vector<Label> labels;
+  std::uint64_t mpc_rounds = 0;   // total cluster rounds consumed
+  std::uint64_t local_t = 0;      // simulated LOCAL budget per iteration
+  std::uint64_t iterations = 0;   // extendable-algorithm repetitions
+  std::uint64_t colors_used = 0;  // distance-2t name-space reduction size
+};
+
+/// Derandomized MIS: ball collection + distance-2t coloring + PRG-seed
+/// fixing by conditional expectations, iterated until no BOT remains.
+DetMisResult deterministic_mis_mpc(Cluster& cluster, const LegalGraph& g,
+                                   unsigned prg_seed_bits);
+
+}  // namespace mpcstab

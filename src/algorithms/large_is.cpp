@@ -1,0 +1,243 @@
+#include "algorithms/large_is.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algorithms/luby.h"
+#include "derand/seed_select.h"
+#include "mpc/dist_graph.h"
+#include "mpc/primitives.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+namespace {
+
+std::uint64_t count_in(std::span<const Label> labels) {
+  std::uint64_t c = 0;
+  for (Label l : labels) c += (l == kLabelIn) ? 1 : 0;
+  return c;
+}
+
+}  // namespace
+
+LargeIsResult one_round_is(Cluster& cluster, const LegalGraph& g,
+                           const Prf& shared, std::uint64_t stream) {
+  const std::uint64_t start = cluster.rounds();
+  LargeIsResult result;
+  result.labels = luby_step(g, [&](Node v) {
+    return shared.word(stream, g.id(v));
+  });
+  // One round to exchange chi values, one to collect the verdict
+  // (Section 5: "This can be verified in O(1) rounds").
+  cluster.charge_rounds(2, "one-round Luby step");
+  result.is_size = count_in(result.labels);
+  result.rounds = cluster.rounds() - start;
+  return result;
+}
+
+LargeIsResult one_round_is_pairwise(Cluster& cluster, const LegalGraph& g,
+                                    const PairwiseHash& h) {
+  const std::uint64_t start = cluster.rounds();
+  const double delta = std::max<std::uint32_t>(1, g.max_degree());
+  const double threshold = 1.0 / (2.0 * delta);
+
+  LargeIsResult result;
+  result.labels.assign(g.n(), kLabelOut);
+  for (Node v = 0; v < g.n(); ++v) {
+    if (g.graph().degree(v) == 0) {
+      result.labels[v] = kLabelIn;
+      continue;
+    }
+    if (h.eval_unit(g.id(v)) >= threshold) continue;
+    bool all_above = true;
+    for (Node w : g.graph().neighbors(v)) {
+      if (h.eval_unit(g.id(w)) < threshold) {
+        all_above = false;
+        break;
+      }
+    }
+    if (all_above) result.labels[v] = kLabelIn;
+  }
+  cluster.charge_rounds(2, "pairwise Luby step");
+  result.is_size = count_in(result.labels);
+  result.rounds = cluster.rounds() - start;
+  return result;
+}
+
+LargeIsResult amplified_large_is(Cluster& cluster, const LegalGraph& g,
+                                 const Prf& shared,
+                                 std::uint64_t repetitions) {
+  require(repetitions >= 1, "need at least one repetition");
+  require(cluster.machines() >= repetitions,
+          "each repetition needs its own machine group (size the cluster "
+          "with machine_factor >= repetitions)");
+  const std::uint64_t start = cluster.rounds();
+
+  // All repetitions execute simultaneously on disjoint machine groups: the
+  // round cost is that of ONE Luby step, not `repetitions` of them.
+  std::vector<std::vector<Label>> candidates(repetitions);
+  std::vector<std::uint64_t> sizes(repetitions);
+  for (std::uint64_t r = 0; r < repetitions; ++r) {
+    const Prf rep = shared.derive(r);
+    candidates[r] = luby_step(g, [&](Node v) {
+      return rep.word(/*stream=*/0x15, g.id(v));
+    });
+    sizes[r] = count_in(candidates[r]);
+  }
+  cluster.charge_rounds(2, "parallel Luby steps");
+
+  // Globally agree on the best repetition — the component-UNSTABLE step:
+  // the winner depends on every component of the input, so the output on
+  // one component shifts when other components change (see
+  // core/stability_checker.h for the falsification harness).
+  std::vector<std::uint64_t> keys(cluster.machines(), ~0ull);
+  std::vector<std::uint64_t> payloads(cluster.machines(), 0);
+  for (std::uint64_t r = 0; r < repetitions; ++r) {
+    keys[r] = ~sizes[r];  // argmin over ~size == argmax over size
+    payloads[r] = r;
+  }
+  const std::uint64_t winner =
+      allreduce_argmin(cluster, std::move(keys), std::move(payloads));
+
+  LargeIsResult result;
+  result.chosen_repetition = winner;
+  result.labels = std::move(candidates[winner]);
+  result.is_size = sizes[winner];
+  result.rounds = cluster.rounds() - start;
+  return result;
+}
+
+LargeIsResult derandomized_large_is(Cluster& cluster, const LegalGraph& g,
+                                    unsigned seed_bits, double delta_exp) {
+  const std::uint64_t start = cluster.rounds();
+  const GraphParams params = compute_params(cluster, g);
+  const double n_pow = std::pow(static_cast<double>(std::max<std::uint64_t>(
+                                    2, params.n)),
+                                delta_exp);
+  const std::uint32_t delta = std::max<std::uint32_t>(1, params.max_degree);
+
+  if (static_cast<double>(delta) <= n_pow) {
+    // Low-degree regime: derandomize the pairwise Luby step directly.
+    const SeedSelection sel =
+        select_seed(&cluster, seed_bits, [&](std::uint64_t s) {
+          const PairwiseHash h = PairwiseHash::from_seed(s, seed_bits);
+          const double dd = delta;
+          const double threshold = 1.0 / (2.0 * dd);
+          std::int64_t size = 0;
+          for (Node v = 0; v < g.n(); ++v) {
+            if (g.graph().degree(v) == 0) {
+              ++size;
+              continue;
+            }
+            if (h.eval_unit(g.id(v)) >= threshold) continue;
+            bool all_above = true;
+            for (Node w : g.graph().neighbors(v)) {
+              if (h.eval_unit(g.id(w)) < threshold) {
+                all_above = false;
+                break;
+              }
+            }
+            if (all_above) ++size;
+          }
+          return -static_cast<double>(size);
+        });
+    LargeIsResult result = one_round_is_pairwise(
+        cluster, g, PairwiseHash::from_seed(sel.seed, seed_bits));
+    result.rounds = cluster.rounds() - start;
+    return result;
+  }
+
+  // High-degree regime (Theorem 53 proof sketch): derandomized
+  // bounded-independence sparsification, then the pairwise step on the
+  // sampled low-degree subgraph.
+  const double keep_p = n_pow / static_cast<double>(delta);
+  const double degree_cap = std::max(3.0, 4.0 * keep_p * delta);
+
+  auto kept_under = [&](const KWiseHash& h, std::vector<std::uint8_t>& keep) {
+    keep.assign(g.n(), 0);
+    for (Node v = 0; v < g.n(); ++v) {
+      if (h.eval_unit(g.id(v)) < keep_p) keep[v] = 1;
+    }
+  };
+  // Phase 1: maximize the number of kept nodes whose *induced* degree is
+  // below the cap (pairwise-Chebyshev guarantees a constant fraction in
+  // expectation; the exhaustive scan only does better).
+  const SeedSelection phase1 =
+      select_seed(&cluster, seed_bits, [&](std::uint64_t s) {
+        const KWiseHash h = KWiseHash::from_seed(4, s, seed_bits);
+        std::vector<std::uint8_t> keep;
+        kept_under(h, keep);
+        std::int64_t good = 0;
+        for (Node v = 0; v < g.n(); ++v) {
+          if (!keep[v]) continue;
+          std::uint32_t deg = 0;
+          for (Node w : g.graph().neighbors(v)) deg += keep[w];
+          if (deg <= degree_cap) ++good;
+        }
+        return -static_cast<double>(good);
+      });
+  const KWiseHash sampler = KWiseHash::from_seed(4, phase1.seed, seed_bits);
+  std::vector<std::uint8_t> keep;
+  kept_under(sampler, keep);
+  // Drop kept nodes whose induced degree exceeds the cap (they would spoil
+  // the low-degree guarantee of phase 2).
+  std::vector<std::uint8_t> good(g.n(), 0);
+  for (Node v = 0; v < g.n(); ++v) {
+    if (!keep[v]) continue;
+    std::uint32_t deg = 0;
+    for (Node w : g.graph().neighbors(v)) deg += keep[w];
+    if (deg <= degree_cap) good[v] = 1;
+  }
+  cluster.charge_rounds(2, "sparsified subgraph construction");
+
+  // Phase 2: pairwise Luby step restricted to the good sampled nodes.
+  auto is_size_under = [&](const PairwiseHash& h) {
+    const double threshold = 1.0 / (2.0 * std::max(1.0, degree_cap));
+    std::int64_t size = 0;
+    for (Node v = 0; v < g.n(); ++v) {
+      if (!good[v]) continue;
+      if (h.eval_unit(g.id(v)) >= threshold) continue;
+      bool all_above = true;
+      for (Node w : g.graph().neighbors(v)) {
+        if (good[w] && h.eval_unit(g.id(w)) < threshold) {
+          all_above = false;
+          break;
+        }
+      }
+      if (all_above) ++size;
+    }
+    return size;
+  };
+  const SeedSelection phase2 =
+      select_seed(&cluster, seed_bits, [&](std::uint64_t s) {
+        return -static_cast<double>(
+            is_size_under(PairwiseHash::from_seed(s, seed_bits)));
+      });
+  const PairwiseHash h2 = PairwiseHash::from_seed(phase2.seed, seed_bits);
+  const double threshold = 1.0 / (2.0 * std::max(1.0, degree_cap));
+
+  LargeIsResult result;
+  result.labels.assign(g.n(), kLabelOut);
+  for (Node v = 0; v < g.n(); ++v) {
+    if (g.graph().degree(v) == 0) {
+      result.labels[v] = kLabelIn;
+      continue;
+    }
+    if (!good[v] || h2.eval_unit(g.id(v)) >= threshold) continue;
+    bool all_above = true;
+    for (Node w : g.graph().neighbors(v)) {
+      if (good[w] && h2.eval_unit(g.id(w)) < threshold) {
+        all_above = false;
+        break;
+      }
+    }
+    if (all_above) result.labels[v] = kLabelIn;
+  }
+  cluster.charge_rounds(2, "pairwise Luby step on sample");
+  result.is_size = count_in(result.labels);
+  result.rounds = cluster.rounds() - start;
+  return result;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,67 @@
+// The large-independent-set suite of Section 5 — the paper's flagship
+// separation between component-stable and component-unstable randomized MPC
+// (Theorem 5) and its O(1)-round deterministic counterpart (Theorem 53).
+//
+//   * one_round_is:          single Luby step with full randomness;
+//                            E[|IS|] >= n/(Delta+1). Component-STABLE.
+//   * one_round_is_pairwise: Claim 52's pairwise-independent variant;
+//                            E[|IS|] >= n/(4Delta+1) under any pairwise
+//                            family. Component-STABLE.
+//   * amplified_large_is:    Theta(log n) parallel repetitions + global
+//                            agreement on the best — O(1) rounds, success
+//                            1 - 1/n, inherently component-UNSTABLE.
+//   * derandomized_large_is: Theorem 53. Seed of a pairwise family fixed by
+//                            the distributed method of conditional
+//                            expectations; Delta > n^delta first sparsified
+//                            with a bounded-independence subsample
+//                            ([CDP20a] framework). Deterministic, O(1)
+//                            rounds, component-UNSTABLE.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+#include "problems/problems.h"
+#include "rng/kwise.h"
+#include "rng/prf.h"
+
+namespace mpcstab {
+
+/// Labels + resource usage of a large-IS run.
+struct LargeIsResult {
+  std::vector<Label> labels;
+  std::uint64_t rounds = 0;     // MPC rounds charged
+  std::uint64_t is_size = 0;
+  /// Amplification only: which repetition won the global vote.
+  std::uint64_t chosen_repetition = 0;
+};
+
+/// Single Luby step with full randomness drawn from (seed, node ID);
+/// 2 MPC rounds (degree computation is folded into input redistribution).
+LargeIsResult one_round_is(Cluster& cluster, const LegalGraph& g,
+                           const Prf& shared, std::uint64_t stream);
+
+/// Claim 52: v joins iff h(id(v)) < 1/(2Delta) and every neighbor u has
+/// h(id(u)) >= 1/(2Delta), under a pairwise-independent h.
+LargeIsResult one_round_is_pairwise(Cluster& cluster, const LegalGraph& g,
+                                    const PairwiseHash& h);
+
+/// Theorem 5's upper bound: `repetitions` independent copies of
+/// one_round_is run on disjoint machine groups; the globally best result is
+/// agreed via an aggregation tree. Rounds: O(1) (2 + tree depth).
+LargeIsResult amplified_large_is(Cluster& cluster, const LegalGraph& g,
+                                 const Prf& shared,
+                                 std::uint64_t repetitions);
+
+/// Theorem 53: deterministic O(1)-round large IS.
+///   * If Delta <= n^delta: derandomize the pairwise Luby step directly.
+///   * Else: first derandomize a bounded-independence subsample keeping
+///     each node with probability ~ n^delta/Delta, then derandomize the
+///     pairwise Luby step on the (low-degree) sampled subgraph.
+/// `seed_bits` is the conditional-expectations search space per phase.
+LargeIsResult derandomized_large_is(Cluster& cluster, const LegalGraph& g,
+                                    unsigned seed_bits, double delta_exp);
+
+}  // namespace mpcstab

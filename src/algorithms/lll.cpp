@@ -1,0 +1,143 @@
+#include "algorithms/lll.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "derand/seed_select.h"
+#include "rng/kwise.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+std::uint32_t LllInstance::dependency_degree() const {
+  // For each variable, the list of events using it; two events are
+  // dependent when they share any variable.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> users;
+  for (std::uint32_t e = 0; e < events.size(); ++e) {
+    for (std::uint64_t v : events[e].vars) users[v].push_back(e);
+  }
+  std::uint32_t worst = 0;
+  std::vector<std::uint32_t> seen(events.size(), 0xffffffffu);
+  for (std::uint32_t e = 0; e < events.size(); ++e) {
+    std::uint32_t degree = 0;
+    for (std::uint64_t v : events[e].vars) {
+      for (std::uint32_t other : users[v]) {
+        if (other != e && seen[other] != e) {
+          seen[other] = e;
+          ++degree;
+        }
+      }
+    }
+    worst = std::max(worst, degree);
+  }
+  return worst;
+}
+
+std::uint64_t LllInstance::bad_count(
+    std::span<const std::uint8_t> assignment) const {
+  std::uint64_t count = 0;
+  for (const Event& event : events) {
+    if (event.bad(assignment)) ++count;
+  }
+  return count;
+}
+
+LllResult moser_tardos(const LllInstance& instance, const Prf& shared,
+                       std::uint64_t stream, std::uint64_t max_rounds) {
+  LllResult result;
+  result.assignment.assign(instance.num_vars, 0);
+  for (std::uint64_t v = 0; v < instance.num_vars; ++v) {
+    result.assignment[v] = shared.bit(stream, v) ? 1 : 0;
+  }
+
+  for (std::uint64_t round = 0; round < max_rounds; ++round) {
+    // Select a variable-disjoint set of occurring events greedily, then
+    // resample their variables with fresh randomness.
+    std::vector<std::uint8_t> var_taken(instance.num_vars, 0);
+    bool any_bad = false;
+    bool any_resampled = false;
+    for (const auto& event : instance.events) {
+      if (!event.bad(result.assignment)) continue;
+      any_bad = true;
+      bool disjoint = true;
+      for (std::uint64_t v : event.vars) {
+        if (var_taken[v]) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (!disjoint) continue;
+      for (std::uint64_t v : event.vars) {
+        var_taken[v] = 1;
+        result.assignment[v] =
+            shared.bit(stream ^ ((round + 1) * 0xd1342543de82ef95ull), v)
+                ? 1
+                : 0;
+      }
+      any_resampled = true;
+    }
+    if (!any_bad) {
+      result.success = true;
+      result.rounds = round;
+      return result;
+    }
+    ensure(any_resampled, "an occurring event is always resampleable");
+    result.rounds = round + 1;
+  }
+  result.success = instance.bad_count(result.assignment) == 0;
+  return result;
+}
+
+LllResult derandomized_lll(Cluster* cluster, const LllInstance& instance,
+                           unsigned seed_bits, unsigned k) {
+  auto assignment_under = [&](std::uint64_t seed) {
+    const KWiseHash h = KWiseHash::from_seed(k, seed, seed_bits);
+    std::vector<std::uint8_t> assignment(instance.num_vars);
+    for (std::uint64_t v = 0; v < instance.num_vars; ++v) {
+      assignment[v] = h.eval_bit(v) ? 1 : 0;
+    }
+    return assignment;
+  };
+  const SeedSelection sel =
+      select_seed(cluster, seed_bits, [&](std::uint64_t s) {
+        return static_cast<double>(instance.bad_count(assignment_under(s)));
+      });
+
+  LllResult result;
+  result.assignment = assignment_under(sel.seed);
+  result.success = instance.bad_count(result.assignment) == 0;
+  result.rounds = 0;
+  return result;
+}
+
+LllInstance sinkless_lll_instance(const LegalGraph& g) {
+  const std::vector<Edge> edges = g.graph().edges();
+  LllInstance instance;
+  instance.num_vars = edges.size();
+
+  // Per-node incident edge list with orientation sense.
+  std::vector<std::vector<std::pair<std::uint32_t, bool>>> inc(g.n());
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    inc[edges[i].u].emplace_back(i, true);
+    inc[edges[i].v].emplace_back(i, false);
+  }
+  for (Node v = 0; v < g.n(); ++v) {
+    if (g.graph().degree(v) == 0) continue;
+    LllInstance::Event event;
+    for (const auto& [e, is_u] : inc[v]) event.vars.push_back(e);
+    auto incident = inc[v];
+    event.bad = [incident](std::span<const std::uint8_t> assignment) {
+      // Bad when v has no outgoing edge: edge i outgoing from u iff
+      // assignment[i]==1, from v iff assignment[i]==0.
+      for (const auto& [e, is_u] : incident) {
+        const bool out = is_u ? assignment[e] == 1 : assignment[e] == 0;
+        if (out) return false;
+      }
+      return true;
+    };
+    instance.events.push_back(std::move(event));
+  }
+  return instance;
+}
+
+}  // namespace mpcstab

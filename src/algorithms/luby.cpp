@@ -1,0 +1,121 @@
+#include "algorithms/luby.h"
+
+#include "support/check.h"
+#include "support/math.h"
+
+namespace mpcstab {
+
+namespace {
+
+enum class Status : std::uint8_t { kUndecided, kIn, kOut };
+
+}  // namespace
+
+MisResult luby_mis(SyncNetwork& net, std::uint64_t stream) {
+  const LegalGraph& g = net.graph();
+  const Node n = g.n();
+  std::vector<Status> status(n, Status::kUndecided);
+  std::vector<std::uint64_t> chi(n, 0);
+
+  MisResult result;
+  result.labels.assign(n, kLabelOut);
+  const std::uint64_t start_rounds = net.rounds();
+
+  // Isolated nodes join immediately (no communication needed).
+  Node undecided = 0;
+  for (Node v = 0; v < n; ++v) {
+    if (g.graph().degree(v) == 0) {
+      status[v] = Status::kIn;
+    } else {
+      ++undecided;
+    }
+  }
+
+  const std::uint64_t cap = 64ull * (ceil_log2(std::max<Node>(2, n)) + 2);
+  while (undecided > 0) {
+    require(result.iterations < cap, "Luby failed to converge within cap");
+    const std::uint64_t it = result.iterations++;
+
+    // Round 1: undecided nodes draw chi from the shared seed keyed by their
+    // component-unique ID (so the step is component-stable) and exchange it.
+    net.round([&](RoundIo& io) {
+      const Node v = io.v();
+      if (status[v] != Status::kUndecided) return;
+      chi[v] = net.shared().word(stream ^ (it * 0x9e3779b9ull), g.id(v));
+      io.broadcast({chi[v], g.id(v)});
+    });
+
+    // Round 2: lexicographic local minima join the IS and announce it.
+    std::vector<std::uint8_t> joined(n, 0);
+    net.round([&](RoundIo& io) {
+      const Node v = io.v();
+      if (status[v] != Status::kUndecided) return;
+      bool min = true;
+      for (const auto& msg : io.incoming()) {
+        if (msg.empty()) continue;
+        const std::uint64_t nb_chi = msg[0];
+        const std::uint64_t nb_id = msg[1];
+        if (nb_chi < chi[v] || (nb_chi == chi[v] && nb_id < g.id(v))) {
+          min = false;
+          break;
+        }
+      }
+      if (min) {
+        joined[v] = 1;
+        io.broadcast({1});
+      }
+    });
+
+    // Round 3: joiners go IN; undecided nodes consuming an announcement
+    // go OUT. (Three communication rounds per Luby iteration.)
+    for (Node v = 0; v < n; ++v) {
+      if (joined[v]) status[v] = Status::kIn;
+    }
+    net.round([&](RoundIo& io) {
+      const Node v = io.v();
+      if (status[v] != Status::kUndecided) return;
+      for (const auto& msg : io.incoming()) {
+        if (!msg.empty() && msg[0] == 1) {
+          status[v] = Status::kOut;
+          break;
+        }
+      }
+    });
+
+    undecided = 0;
+    for (Node v = 0; v < n; ++v) {
+      if (status[v] == Status::kUndecided) ++undecided;
+    }
+  }
+
+  for (Node v = 0; v < n; ++v) {
+    result.labels[v] = status[v] == Status::kIn ? kLabelIn : kLabelOut;
+  }
+  result.rounds = net.rounds() - start_rounds;
+  return result;
+}
+
+std::vector<Label> luby_step(const LegalGraph& g,
+                             const std::function<std::uint64_t(Node)>& chi) {
+  const Node n = g.n();
+  std::vector<Label> labels(n, kLabelOut);
+  for (Node v = 0; v < n; ++v) {
+    if (g.graph().degree(v) == 0) {
+      labels[v] = kLabelIn;
+      continue;
+    }
+    const std::uint64_t own = chi(v);
+    bool min = true;
+    for (Node w : g.graph().neighbors(v)) {
+      const std::uint64_t theirs = chi(w);
+      if (theirs < own || (theirs == own && g.id(w) < g.id(v))) {
+        min = false;
+        break;
+      }
+    }
+    if (min) labels[v] = kLabelIn;
+  }
+  return labels;
+}
+
+}  // namespace mpcstab

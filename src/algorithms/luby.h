@@ -1,0 +1,36 @@
+// Luby's randomized maximal independent set algorithm [Lub86], the workhorse
+// behind the paper's Section 5: its single step yields an independent set of
+// expected size >= n/(Delta+1), and iterating yields an MIS in O(log n)
+// rounds w.h.p. Written against SyncNetwork so the same code is measured in
+// LOCAL rounds or simulated (and space-checked) in low-space MPC.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "local/engine.h"
+#include "problems/problems.h"
+
+namespace mpcstab {
+
+/// Result of an MIS computation.
+struct MisResult {
+  std::vector<Label> labels;     // kLabelIn / kLabelOut per node
+  std::uint64_t iterations = 0;  // Luby iterations executed
+  std::uint64_t rounds = 0;      // communication rounds consumed
+};
+
+/// Full Luby MIS; `stream` domain-separates this invocation's randomness
+/// within the shared seed. Runs until every node is decided (w.h.p.
+/// O(log n) iterations; hard-capped and checked).
+MisResult luby_mis(SyncNetwork& net, std::uint64_t stream);
+
+/// One Luby step as a pure function: node v joins the IS iff
+/// (chi(v), id(v)) is lexicographically smaller than every neighbor's pair.
+/// Returns IN/OUT labels; the result is always independent but generally
+/// not maximal. This is the "single step of Luby's algorithm" of Section 5.
+std::vector<Label> luby_step(const LegalGraph& g,
+                             const std::function<std::uint64_t(Node)>& chi);
+
+}  // namespace mpcstab

@@ -1,0 +1,77 @@
+#include "algorithms/matching.h"
+
+#include "algorithms/ghaffari.h"
+#include "algorithms/luby.h"
+#include "graph/ops.h"
+#include "local/engine.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+MatchingResult maximal_matching_local(const LegalGraph& g, const Prf& shared,
+                                      std::uint64_t stream) {
+  MatchingResult result;
+  if (g.graph().m() == 0) {
+    result.rounds = 1;
+    return result;
+  }
+  const LegalLineGraph line = legal_line_graph(g);
+  SyncNetwork net = SyncNetwork::local(line.graph, shared);
+  const MisResult mis = luby_mis(net, stream);
+
+  result.edge_labels = mis.labels;
+  result.rounds = mis.rounds + 1;  // +1 line-graph conversion
+  for (Label l : result.edge_labels) {
+    result.size += (l == kLabelIn) ? 1 : 0;
+  }
+  return result;
+}
+
+MatchingResult greedy_maximal_matching(const LegalGraph& g) {
+  const std::vector<Edge> edges = g.graph().edges();
+  MatchingResult result;
+  result.edge_labels.assign(edges.size(), kLabelOut);
+  std::vector<std::uint8_t> matched(g.n(), 0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!matched[edges[i].u] && !matched[edges[i].v]) {
+      result.edge_labels[i] = kLabelIn;
+      matched[edges[i].u] = matched[edges[i].v] = 1;
+      ++result.size;
+    }
+  }
+  result.rounds = 0;  // sequential baseline
+  return result;
+}
+
+DetMatchingResult deterministic_matching_mpc(Cluster& cluster,
+                                             const LegalGraph& g,
+                                             unsigned prg_seed_bits) {
+  DetMatchingResult result;
+  if (g.graph().m() == 0) {
+    cluster.charge_rounds(1, "empty matching");
+    result.mpc_rounds = 1;
+    return result;
+  }
+  const std::uint64_t start = cluster.rounds();
+  const LegalLineGraph line = legal_line_graph(g);
+  cluster.charge_rounds(1, "line-graph construction");
+  const DetMisResult mis =
+      deterministic_mis_mpc(cluster, line.graph, prg_seed_bits);
+  result.edge_labels = mis.labels;
+  for (Label l : result.edge_labels) {
+    result.size += (l == kLabelIn) ? 1 : 0;
+  }
+  result.mpc_rounds = cluster.rounds() - start;
+  return result;
+}
+
+double matching_quality(const LegalGraph& g,
+                        std::span<const Label> edge_labels) {
+  const MatchingResult greedy = greedy_maximal_matching(g);
+  if (greedy.size == 0) return 1.0;
+  std::uint64_t size = 0;
+  for (Label l : edge_labels) size += (l == kLabelIn) ? 1 : 0;
+  return static_cast<double>(size) / static_cast<double>(greedy.size);
+}
+
+}  // namespace mpcstab

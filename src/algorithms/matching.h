@@ -1,0 +1,51 @@
+// Matching algorithms via the paper's standard reduction: maximal matching
+// = MIS on the line graph (Section 2.3 / proof of Theorem 46), plus
+// sequential baselines used by benches to normalize approximation ratios.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+#include "problems/problems.h"
+#include "rng/prf.h"
+
+namespace mpcstab {
+
+/// Result of a matching computation (labels in Graph::edges() order).
+struct MatchingResult {
+  std::vector<Label> edge_labels;
+  std::uint64_t rounds = 0;
+  std::uint64_t size = 0;
+};
+
+/// Maximal matching by running Luby's MIS on the legal line graph in the
+/// LOCAL model; rounds = line-graph rounds + 1 conversion round.
+MatchingResult maximal_matching_local(const LegalGraph& g, const Prf& shared,
+                                      std::uint64_t stream);
+
+/// Sequential greedy maximal matching (baseline; also a 1/2-approximation
+/// of maximum matching, the normalizer for approximation ratios).
+MatchingResult greedy_maximal_matching(const LegalGraph& g);
+
+/// |M| / |greedy maximal matching| — the approximation score reported by
+/// benches (maximum matching <= 2 * any maximal matching).
+double matching_quality(const LegalGraph& g,
+                        std::span<const Label> edge_labels);
+
+/// Deterministic maximal matching in low-space MPC (Theorem 46's second
+/// half): the standard reduction — run the derandomized MIS of
+/// deterministic_mis_mpc on the legal line graph and map the chosen line
+/// nodes back to edges.
+struct DetMatchingResult {
+  std::vector<Label> edge_labels;
+  std::uint64_t mpc_rounds = 0;
+  std::uint64_t size = 0;
+};
+
+DetMatchingResult deterministic_matching_mpc(Cluster& cluster,
+                                             const LegalGraph& g,
+                                             unsigned prg_seed_bits);
+
+}  // namespace mpcstab

@@ -1,0 +1,76 @@
+#include "algorithms/ruling_set.h"
+
+#include "algorithms/luby.h"
+#include "graph/balls.h"
+#include "local/engine.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+namespace {
+
+/// The k-th power of a graph: u ~ v iff 1 <= dist(u,v) <= k.
+Graph graph_power(const Graph& g, std::uint32_t k) {
+  std::vector<Edge> edges;
+  for (Node v = 0; v < g.n(); ++v) {
+    const auto dist = bfs_distances(g, v, k);
+    for (Node w = v + 1; w < g.n(); ++w) {
+      if (dist[w] != 0xffffffffu && dist[w] >= 1) edges.push_back({v, w});
+    }
+  }
+  return Graph::from_edges(g.n(), edges);
+}
+
+}  // namespace
+
+RulingSetResult ruling_set(const LegalGraph& g, std::uint32_t k,
+                           const Prf& shared, std::uint64_t stream) {
+  require(k >= 1, "power parameter must be >= 1");
+
+  // Build the legal power graph (same node set, IDs and names inherited;
+  // still legal because components only merge, never split, under
+  // powering — IDs unique in the base component remain unique).
+  Graph power = graph_power(g.graph(), k);
+  const LegalGraph power_legal = LegalGraph::make(
+      std::move(power), std::vector<NodeId>(g.ids().begin(), g.ids().end()),
+      std::vector<NodeName>(g.names().begin(), g.names().end()));
+
+  SyncNetwork net = SyncNetwork::local(power_legal, shared);
+  const MisResult mis = luby_mis(net, stream);
+
+  RulingSetResult result;
+  result.labels = mis.labels;
+  // Every power-graph communication round is k base-graph rounds.
+  result.rounds = mis.rounds * k;
+  result.alpha = k + 1;
+  result.beta = k;
+  return result;
+}
+
+bool is_ruling_set(const LegalGraph& g, std::span<const Label> labels,
+                   std::uint32_t alpha, std::uint32_t beta) {
+  require(labels.size() == g.n(), "one label per node required");
+  // Pairwise distance >= alpha among members: no member within alpha-1.
+  for (Node v = 0; v < g.n(); ++v) {
+    if (labels[v] != kLabelIn) continue;
+    const auto dist = bfs_distances(g.graph(), v, alpha - 1);
+    for (Node w = 0; w < g.n(); ++w) {
+      if (w != v && labels[w] == kLabelIn && dist[w] != 0xffffffffu) {
+        return false;
+      }
+    }
+  }
+  // Domination: every node within beta of a member.
+  for (Node v = 0; v < g.n(); ++v) {
+    if (labels[v] == kLabelIn) continue;
+    const auto dist = bfs_distances(g.graph(), v, beta);
+    bool dominated = false;
+    for (Node w = 0; w < g.n() && !dominated; ++w) {
+      if (labels[w] == kLabelIn && dist[w] != 0xffffffffu) dominated = true;
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,40 @@
+// Ruling sets: the generalization of MIS the paper points to for further
+// applications of the deterministic lifting framework ("see, e.g., the
+// recent deterministic LOCAL lower bounds for ruling sets in [BBO20]",
+// Section 3.4.1).
+//
+// An (alpha, beta)-ruling set R satisfies: every two nodes of R are at
+// distance >= alpha, and every node is within distance beta of R. An MIS
+// is a (2,1)-ruling set; running an MIS on the k-th graph power yields a
+// (k+1, k)-ruling set, the classical trade-off implemented here — each
+// virtual power-graph round costs k real LOCAL rounds, which the engine
+// charges faithfully.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/legal_graph.h"
+#include "problems/problems.h"
+#include "rng/prf.h"
+
+namespace mpcstab {
+
+/// Result of a ruling-set computation.
+struct RulingSetResult {
+  std::vector<Label> labels;  // kLabelIn for ruling-set members
+  std::uint64_t rounds = 0;   // LOCAL rounds on the base graph
+  std::uint32_t alpha = 0;    // guaranteed pairwise distance
+  std::uint32_t beta = 0;     // guaranteed domination radius
+};
+
+/// Computes a (k+1, k)-ruling set via Luby's MIS on the k-th power of g.
+/// Rounds are counted in base-graph rounds (power-graph round = k rounds).
+RulingSetResult ruling_set(const LegalGraph& g, std::uint32_t k,
+                           const Prf& shared, std::uint64_t stream);
+
+/// Checks the (alpha, beta)-ruling property directly by BFS.
+bool is_ruling_set(const LegalGraph& g, std::span<const Label> labels,
+                   std::uint32_t alpha, std::uint32_t beta);
+
+}  // namespace mpcstab

@@ -1,0 +1,195 @@
+#include "algorithms/sinkless.h"
+
+#include <deque>
+
+#include "derand/seed_select.h"
+#include "rng/kwise.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+namespace {
+
+/// Per-node list of (edge index, node-is-u) pairs.
+std::vector<std::vector<std::pair<std::uint32_t, bool>>> incidence(
+    const Graph& g, const std::vector<Edge>& edges) {
+  std::vector<std::vector<std::pair<std::uint32_t, bool>>> inc(g.n());
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    inc[edges[i].u].emplace_back(i, true);
+    inc[edges[i].v].emplace_back(i, false);
+  }
+  return inc;
+}
+
+/// Is edge i outgoing from the endpoint indicated by `is_u`?
+bool outgoing(Label label, bool is_u) {
+  return is_u ? (label == kLabelIn) : (label != kLabelIn);
+}
+
+std::uint64_t cantor(std::uint64_t a, std::uint64_t b) {
+  return (a + b) * (a + b + 1) / 2 + b;
+}
+
+/// Stable per-edge key from endpoint IDs.
+std::uint64_t edge_key(const LegalGraph& g, const Edge& e) {
+  const NodeId a = std::min(g.id(e.u), g.id(e.v));
+  const NodeId b = std::max(g.id(e.u), g.id(e.v));
+  return cantor(a, b);
+}
+
+std::vector<std::uint32_t> out_degrees(
+    const Graph& g,
+    const std::vector<std::vector<std::pair<std::uint32_t, bool>>>& inc,
+    std::span<const Label> labels) {
+  std::vector<std::uint32_t> outdeg(g.n(), 0);
+  for (Node v = 0; v < g.n(); ++v) {
+    for (const auto& [e, is_u] : inc[v]) {
+      if (outgoing(labels[e], is_u)) ++outdeg[v];
+    }
+  }
+  return outdeg;
+}
+
+}  // namespace
+
+SinklessResult moser_tardos_sinkless(const LegalGraph& g, const Prf& shared,
+                                     std::uint64_t stream,
+                                     std::uint64_t max_rounds) {
+  const std::vector<Edge> edges = g.graph().edges();
+  const auto inc = incidence(g.graph(), edges);
+
+  SinklessResult result;
+  result.edge_labels.assign(edges.size(), kLabelOut);
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    result.edge_labels[i] =
+        shared.bit(stream, edge_key(g, edges[i])) ? kLabelIn : kLabelOut;
+  }
+  result.initial_sinks =
+      sinks_of_orientation(g.graph(), result.edge_labels).size();
+
+  for (std::uint64_t round = 0; round < max_rounds; ++round) {
+    const auto sinks = sinks_of_orientation(g.graph(), result.edge_labels);
+    if (sinks.empty()) {
+      result.success = true;
+      break;
+    }
+    ++result.rounds;
+    // Sinks are pairwise non-adjacent (a shared edge is outgoing for one of
+    // its endpoints), so simultaneous resampling touches disjoint variable
+    // sets — the parallel Moser-Tardos step.
+    for (Node v : sinks) {
+      for (const auto& [e, is_u] : inc[v]) {
+        (void)is_u;
+        result.edge_labels[e] =
+            shared.bit(stream ^ ((round + 1) * 0x9e3779b97f4a7c15ull),
+                       edge_key(g, edges[e]))
+                ? kLabelIn
+                : kLabelOut;
+      }
+    }
+  }
+  if (!result.success) {
+    result.success =
+        sinks_of_orientation(g.graph(), result.edge_labels).empty();
+  }
+  return result;
+}
+
+std::uint64_t repair_sinks(const LegalGraph& g,
+                           std::vector<Label>& edge_labels) {
+  require(g.graph().min_degree() >= 3,
+          "sink repair requires min degree >= 3");
+  const std::vector<Edge> edges = g.graph().edges();
+  const auto inc = incidence(g.graph(), edges);
+  auto outdeg = out_degrees(g.graph(), inc, edge_labels);
+
+  std::uint64_t steps = 0;
+  for (Node v = 0; v < g.n(); ++v) {
+    while (outdeg[v] == 0) {
+      // BFS from v along *incoming* edges to a node with outdeg >= 2.
+      // Existence argument: if every node reachable this way had outdeg
+      // <= 1, the reachable region R would satisfy
+      // sum_deg(R) = 2*internal_edges + leaving <= 2(|R|-1) + (|R|-1),
+      // contradicting min degree >= 3 (see DESIGN.md notes).
+      constexpr std::uint32_t kNoEdge = 0xffffffffu;
+      std::vector<std::uint32_t> via_edge(g.n(), kNoEdge);
+      std::vector<Node> parent(g.n(), 0);
+      std::deque<Node> queue{v};
+      std::vector<std::uint8_t> visited(g.n(), 0);
+      visited[v] = 1;
+      Node target = v;
+      bool found = false;
+      while (!queue.empty() && !found) {
+        const Node x = queue.front();
+        queue.pop_front();
+        for (const auto& [e, is_u] : inc[x]) {
+          if (outgoing(edge_labels[e], is_u)) continue;  // not incoming
+          const Node y = is_u ? edges[e].v : edges[e].u;  // source of edge
+          if (visited[y]) continue;
+          visited[y] = 1;
+          via_edge[y] = e;
+          parent[y] = x;
+          if (outdeg[y] >= 2) {
+            target = y;
+            found = true;
+            break;
+          }
+          queue.push_back(y);
+        }
+      }
+      ensure(found, "min degree >= 3 guarantees a reversible path");
+      // Reverse the path target -> ... -> v: internal nodes keep their
+      // out-degree, v gains one, target loses one (still >= 1).
+      Node cur = target;
+      while (cur != v) {
+        const std::uint32_t e = via_edge[cur];
+        edge_labels[e] =
+            (edge_labels[e] == kLabelIn) ? kLabelOut : kLabelIn;
+        cur = parent[cur];
+      }
+      --outdeg[target];
+      ++outdeg[v];
+      ++steps;
+    }
+  }
+  return steps;
+}
+
+SinklessResult derandomized_sinkless(Cluster* cluster, const LegalGraph& g,
+                                     unsigned seed_bits) {
+  require(g.graph().min_degree() >= 3,
+          "sinkless orientation requires min degree >= 3");
+  const std::vector<Edge> edges = g.graph().edges();
+
+  auto orientation_under = [&](std::uint64_t seed) {
+    const KWiseHash h = KWiseHash::from_seed(8, seed, seed_bits);
+    std::vector<Label> labels(edges.size());
+    for (std::uint32_t i = 0; i < edges.size(); ++i) {
+      labels[i] = h.eval_bit(edge_key(g, edges[i])) ? kLabelIn : kLabelOut;
+    }
+    return labels;
+  };
+
+  // Fix the seed minimizing the sink count; expectation over the family is
+  // ~ n * 2^-d, so the minimum is at most that.
+  const SeedSelection sel =
+      select_seed(cluster, seed_bits, [&](std::uint64_t s) {
+        return static_cast<double>(
+            sinks_of_orientation(g.graph(), orientation_under(s)).size());
+      });
+
+  SinklessResult result;
+  result.edge_labels = orientation_under(sel.seed);
+  result.initial_sinks = static_cast<std::uint64_t>(sel.cost);
+
+  // Deterministic repair of the few remaining sinks.
+  result.rounds = repair_sinks(g, result.edge_labels);
+  if (cluster != nullptr && result.rounds > 0) {
+    cluster->charge_rounds(result.rounds, "sink repair path reversals");
+  }
+  result.success =
+      sinks_of_orientation(g.graph(), result.edge_labels).empty();
+  return result;
+}
+
+}  // namespace mpcstab

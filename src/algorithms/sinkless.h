@@ -1,0 +1,55 @@
+// Sinkless orientation (Section 4.2.2): orient every edge so each node has
+// at least one outgoing edge.
+//
+//   * moser_tardos_sinkless: the randomized LLL route — random orientation,
+//     then rounds of local resampling at sinks (sinks are never adjacent,
+//     so simultaneous resampling is safe). Bad-event probability 2^-d per
+//     node, so convergence is fast for d >= 3.
+//   * derandomized_sinkless: the Theorem 39 shape — a k-wise-hash one-shot
+//     orientation whose seed is fixed by conditional expectations to
+//     minimize the sink count, followed by a deterministic sink-repair
+//     phase (reverse a path of incoming edges to a node with >= 2 outgoing
+//     edges; such a node always exists when min degree >= 3).
+//
+// Edge labels follow problems.h: label 1 orients edges()[i] u->v, 0 v->u.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+#include "problems/problems.h"
+#include "rng/prf.h"
+
+namespace mpcstab {
+
+/// Result of a sinkless-orientation computation.
+struct SinklessResult {
+  std::vector<Label> edge_labels;
+  std::uint64_t rounds = 0;           // resampling / repair rounds
+  std::uint64_t initial_sinks = 0;    // sinks after the one-shot orientation
+  bool success = false;
+};
+
+/// Randomized orientation + distributed Moser-Tardos resampling; requires
+/// min degree >= 1 to be meaningful, converges fast for min degree >= 3.
+SinklessResult moser_tardos_sinkless(const LegalGraph& g, const Prf& shared,
+                                     std::uint64_t stream,
+                                     std::uint64_t max_rounds);
+
+/// Deterministic sinkless orientation: conditional-expectation seed fixing
+/// over a k-wise family + deterministic path-reversal repair. Requires min
+/// degree >= 3 (the problem's own requirement). `cluster` may be null to
+/// skip round accounting.
+SinklessResult derandomized_sinkless(Cluster* cluster, const LegalGraph& g,
+                                     unsigned seed_bits);
+
+/// Repairs all sinks of the given orientation in place by path reversal;
+/// returns the number of reversal steps (each step fixes one sink).
+/// Requires min degree >= 3. Guaranteed to terminate (see the region
+/// counting argument in the implementation).
+std::uint64_t repair_sinks(const LegalGraph& g,
+                           std::vector<Label>& edge_labels);
+
+}  // namespace mpcstab

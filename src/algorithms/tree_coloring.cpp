@@ -1,0 +1,167 @@
+#include "algorithms/tree_coloring.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/check.h"
+#include "support/math.h"
+
+namespace mpcstab {
+
+ForestParents root_forest(const LegalGraph& g) {
+  const Graph& topo = g.graph();
+  require(topo.m() + g.component_count() == topo.n(),
+          "root_forest requires an acyclic graph");
+  ForestParents parents(topo.n());
+  for (Node v = 0; v < topo.n(); ++v) parents[v] = v;
+
+  // BFS per component from its smallest-ID node.
+  std::vector<std::uint8_t> visited(topo.n(), 0);
+  for (std::uint32_t c = 0; c < g.component_count(); ++c) {
+    Node root = 0;
+    bool found = false;
+    for (Node v = 0; v < topo.n(); ++v) {
+      if (g.component(v) == c && (!found || g.id(v) < g.id(root))) {
+        root = v;
+        found = true;
+      }
+    }
+    std::deque<Node> queue{root};
+    visited[root] = 1;
+    while (!queue.empty()) {
+      const Node v = queue.front();
+      queue.pop_front();
+      for (Node w : topo.neighbors(v)) {
+        if (!visited[w]) {
+          visited[w] = 1;
+          parents[w] = v;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return parents;
+}
+
+namespace {
+
+/// Cole-Vishkin step: new color from (own, parent) colors.
+std::uint64_t cv_step(std::uint64_t own, std::uint64_t parent_color) {
+  const std::uint64_t diff = own ^ parent_color;
+  ensure(diff != 0, "Cole-Vishkin requires child != parent color");
+  const unsigned i = static_cast<unsigned>(__builtin_ctzll(diff));
+  return 2ull * i + ((own >> i) & 1ull);
+}
+
+/// A root's imaginary parent color: anything different from its own.
+std::uint64_t fake_parent_color(std::uint64_t own) {
+  return own == 0 ? 1 : 0;
+}
+
+}  // namespace
+
+TreeColoringResult cole_vishkin_three_coloring(SyncNetwork& net,
+                                               const ForestParents& parents) {
+  const LegalGraph& g = net.graph();
+  const Graph& topo = g.graph();
+  const Node n = topo.n();
+  require(parents.size() == n, "one parent pointer per node");
+  for (Node v = 0; v < n; ++v) {
+    require(parents[v] == v || topo.has_edge(v, parents[v]),
+            "parent must be a neighbor");
+  }
+  const std::uint64_t start_rounds = net.rounds();
+
+  // Initial proper coloring: the component-unique IDs.
+  std::vector<std::uint64_t> color(n);
+  for (Node v = 0; v < n; ++v) color[v] = g.id(v);
+
+  TreeColoringResult result;
+
+  // Phase 1: reduce the palette to {0..5} in ~log* rounds.
+  auto max_color = [&]() {
+    std::uint64_t worst = 0;
+    for (Node v = 0; v < n; ++v) worst = std::max(worst, color[v]);
+    return worst;
+  };
+  const std::uint64_t cap =
+      2ull * log_star(std::max<std::uint64_t>(2, max_color() + 1)) + 16;
+  while (max_color() > 5) {
+    require(result.reduction_rounds < cap,
+            "Cole-Vishkin failed to converge within cap");
+    // One round: everyone announces its color; each node recolors against
+    // its parent's announcement.
+    net.round([&](RoundIo& io) {
+      io.broadcast({color[io.v()]});
+    });
+    std::vector<std::uint64_t> next(n);
+    net.round([&](RoundIo& io) {
+      const Node v = io.v();
+      std::uint64_t parent_color = fake_parent_color(color[v]);
+      if (parents[v] != v) {
+        const auto nb = topo.neighbors(v);
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          if (nb[i] == parents[v]) parent_color = io.incoming()[i][0];
+        }
+      }
+      next[v] = cv_step(color[v], parent_color);
+    });
+    color = std::move(next);
+    result.reduction_rounds += 2;
+  }
+
+  // Phase 2: remove colors 5, 4, 3 by shift-down + class recoloring.
+  for (std::uint64_t c = 5; c >= 3; --c) {
+    // Shift-down: every non-root takes its parent's color, making all of a
+    // node's children monochromatic; roots pick a fresh color in {0,1,2}.
+    std::vector<std::uint64_t> pre_shift = color;
+    net.round([&](RoundIo& io) {
+      io.broadcast({color[io.v()]});
+    });
+    net.round([&](RoundIo& io) {
+      const Node v = io.v();
+      if (parents[v] == v) {
+        color[v] = pre_shift[v] == 0 ? 1 : 0;
+        return;
+      }
+      const auto nb = topo.neighbors(v);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (nb[i] == parents[v]) color[v] = io.incoming()[i][0];
+      }
+    });
+
+    // Recolor class c: a class-c node's neighbors now use at most two
+    // colors — its parent's current one and its own pre-shift one (all its
+    // children shifted to that). Pick the smallest other color in {0,1,2}.
+    net.round([&](RoundIo& io) {
+      io.broadcast({color[io.v()]});
+    });
+    net.round([&](RoundIo& io) {
+      const Node v = io.v();
+      if (color[v] != c) return;
+      std::uint64_t parent_color = fake_parent_color(color[v]);
+      if (parents[v] != v) {
+        const auto nb = topo.neighbors(v);
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          if (nb[i] == parents[v]) parent_color = io.incoming()[i][0];
+        }
+      }
+      for (std::uint64_t candidate = 0; candidate < 3; ++candidate) {
+        if (candidate != parent_color && candidate != pre_shift[v]) {
+          color[v] = candidate;
+          break;
+        }
+      }
+    });
+  }
+
+  result.colors.assign(n, 0);
+  for (Node v = 0; v < n; ++v) {
+    ensure(color[v] <= 2, "shift-down must end inside {0,1,2}");
+    result.colors[v] = static_cast<Label>(color[v]);
+  }
+  result.total_rounds = net.rounds() - start_rounds;
+  return result;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,46 @@
+// Cole-Vishkin 3-coloring of rooted forests: THE classical O(log* n)
+// deterministic LOCAL algorithm, and the yardstick for every log*-type
+// bound the paper lifts (its conditional MPC lower bounds on forests —
+// Theorems 38/40/42 — all live on this family).
+//
+// Input: a forest with parent pointers (rooting a tree is itself an
+// O(diameter) LOCAL task, so, as is standard for Cole-Vishkin, the rooted
+// structure is part of the input; root_forest() derives one centrally for
+// convenience).
+//
+// Phase 1 (color reduction): colors start as IDs; each round every node
+// recolors to 2i+b where i is the lowest bit position at which its color
+// differs from its parent's and b its own bit there — the palette shrinks
+// K -> 2*ceil(log2 K) per round, reaching 6 colors in log* n + O(1)
+// rounds. Phase 2 (shift-down): three shift-down+recolor steps remove
+// colors 5, 4, 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/legal_graph.h"
+#include "local/engine.h"
+#include "problems/problems.h"
+
+namespace mpcstab {
+
+/// Parent pointers of a rooted forest; parent[v] == v for roots. Every
+/// non-root's parent must be a neighbor.
+using ForestParents = std::vector<Node>;
+
+/// Derives parent pointers by BFS from the smallest-ID node of each tree.
+ForestParents root_forest(const LegalGraph& g);
+
+/// Result of the Cole-Vishkin pipeline.
+struct TreeColoringResult {
+  std::vector<Label> colors;  // proper, in {0,1,2}
+  std::uint64_t reduction_rounds = 0;  // phase-1 rounds (~ log* n)
+  std::uint64_t total_rounds = 0;      // including shift-down
+};
+
+/// 3-colors the forest `g` with the given rooting; requires g acyclic.
+TreeColoringResult cole_vishkin_three_coloring(SyncNetwork& net,
+                                               const ForestParents& parents);
+
+}  // namespace mpcstab

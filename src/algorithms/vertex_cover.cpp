@@ -1,0 +1,43 @@
+#include "algorithms/vertex_cover.h"
+
+#include "algorithms/matching.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+VertexCoverResult approx_vertex_cover(const LegalGraph& g, const Prf& shared,
+                                      std::uint64_t stream) {
+  const MatchingResult matching = maximal_matching_local(g, shared, stream);
+  const std::vector<Edge> edges = g.graph().edges();
+
+  VertexCoverResult result;
+  result.labels.assign(g.n(), kLabelOut);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (matching.edge_labels[i] == kLabelIn) {
+      result.labels[edges[i].u] = kLabelIn;
+      result.labels[edges[i].v] = kLabelIn;
+    }
+  }
+  for (Label l : result.labels) result.size += (l == kLabelIn) ? 1 : 0;
+  result.rounds = matching.rounds + 1;  // +1 endpoint marking round
+  return result;
+}
+
+bool is_vertex_cover(const Graph& g, std::span<const Label> labels) {
+  require(labels.size() == g.n(), "one label per node required");
+  for (const Edge& e : g.edges()) {
+    if (labels[e.u] != kLabelIn && labels[e.v] != kLabelIn) return false;
+  }
+  return true;
+}
+
+double vertex_cover_ratio(const LegalGraph& g,
+                          std::span<const Label> labels) {
+  const MatchingResult greedy = greedy_maximal_matching(g);
+  if (greedy.size == 0) return 1.0;
+  std::uint64_t size = 0;
+  for (Label l : labels) size += (l == kLabelIn) ? 1 : 0;
+  return static_cast<double>(size) / static_cast<double>(greedy.size);
+}
+
+}  // namespace mpcstab

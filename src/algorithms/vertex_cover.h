@@ -1,0 +1,37 @@
+// Approximate minimum vertex cover — one of the Theorem 28 applications
+// ("Omega(log log n) rounds for ... a constant approximation of vertex
+// cover"). The classical 2-approximation takes both endpoints of any
+// maximal matching; the paper's replicability machinery covers it the same
+// way it covers approximate matching (Lemma 12's argument).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/legal_graph.h"
+#include "problems/problems.h"
+#include "rng/prf.h"
+
+namespace mpcstab {
+
+/// Result of a vertex-cover computation.
+struct VertexCoverResult {
+  std::vector<Label> labels;  // kLabelIn = in the cover
+  std::uint64_t rounds = 0;
+  std::uint64_t size = 0;
+};
+
+/// 2-approximate vertex cover: both endpoints of a maximal matching
+/// computed by Luby's MIS on the line graph.
+VertexCoverResult approx_vertex_cover(const LegalGraph& g, const Prf& shared,
+                                      std::uint64_t stream);
+
+/// Is the labeled set a vertex cover (every edge has a covered endpoint)?
+bool is_vertex_cover(const Graph& g, std::span<const Label> labels);
+
+/// Upper bound on the approximation ratio: |cover| / |maximal matching|
+/// (any vertex cover has size >= any matching, so this ratio bounds the
+/// factor against the optimum; 2.0 means exactly the guarantee).
+double vertex_cover_ratio(const LegalGraph& g, std::span<const Label> labels);
+
+}  // namespace mpcstab

@@ -1,0 +1,52 @@
+#include "core/amplification.h"
+
+#include "mpc/primitives.h"
+#include "support/check.h"
+#include "support/math.h"
+
+namespace mpcstab {
+
+AmplifiedResult amplify_best(Cluster& cluster, const Prf& shared,
+                             std::uint64_t repetitions,
+                             std::uint64_t per_repetition_rounds,
+                             const Repetition& run_once, const Score& score) {
+  require(repetitions >= 1, "need at least one repetition");
+  require(cluster.machines() >= repetitions,
+          "each repetition needs its own machine group");
+  const std::uint64_t start = cluster.rounds();
+
+  std::vector<std::vector<Label>> candidates(repetitions);
+  std::vector<double> scores(repetitions);
+  for (std::uint64_t r = 0; r < repetitions; ++r) {
+    candidates[r] = run_once(shared.derive(r));
+    scores[r] = score(candidates[r]);
+  }
+  cluster.charge_rounds(per_repetition_rounds, "parallel repetitions");
+
+  // Global agreement via a real argmin tree over (-score, index). Scores
+  // are mapped order-preservingly onto integers for the word-based tree.
+  std::vector<std::uint64_t> keys(cluster.machines(), ~0ull);
+  std::vector<std::uint64_t> payloads(cluster.machines(), 0);
+  for (std::uint64_t r = 0; r < repetitions; ++r) {
+    // Order-preserving map double -> uint64 (scores assumed >= 0).
+    const std::uint64_t as_int =
+        static_cast<std::uint64_t>(scores[r] * 1024.0);
+    keys[r] = ~as_int;
+    payloads[r] = r;
+  }
+  const std::uint64_t winner =
+      allreduce_argmin(cluster, std::move(keys), std::move(payloads));
+
+  AmplifiedResult result;
+  result.winner = winner;
+  result.best_score = scores[winner];
+  result.labels = std::move(candidates[winner]);
+  result.rounds = cluster.rounds() - start;
+  return result;
+}
+
+std::uint64_t amplification_repetitions(std::uint64_t n) {
+  return 4ull * ceil_log2(std::max<std::uint64_t>(2, n)) + 4;
+}
+
+}  // namespace mpcstab

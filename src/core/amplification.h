@@ -1,0 +1,49 @@
+// Success-probability amplification (Section 5 / Lemma 55): run k
+// independent repetitions of a randomized labeling procedure on disjoint
+// machine groups *in parallel*, score each, and globally agree on the best.
+// Round cost: the per-repetition cost once, plus one aggregation tree —
+// the amplification is free in rounds. The global agreement makes the
+// result inherently component-UNSTABLE: the winning repetition depends on
+// every component of the input.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mpc/cluster.h"
+#include "problems/problems.h"
+#include "rng/prf.h"
+
+namespace mpcstab {
+
+/// One repetition of the underlying randomized procedure, run with the
+/// repetition's derived randomness.
+using Repetition =
+    std::function<std::vector<Label>(const Prf& repetition_randomness)>;
+
+/// Scores a candidate labeling; higher is better.
+using Score = std::function<double(const std::vector<Label>&)>;
+
+/// Result of an amplified run.
+struct AmplifiedResult {
+  std::vector<Label> labels;
+  std::uint64_t winner = 0;
+  double best_score = 0.0;
+  std::uint64_t rounds = 0;
+};
+
+/// Runs `repetitions` copies with independent derived seeds, agrees on the
+/// argmax score through a real aggregation tree on `cluster` (requires
+/// cluster.machines() >= repetitions), and charges `per_repetition_rounds`
+/// once.
+AmplifiedResult amplify_best(Cluster& cluster, const Prf& shared,
+                             std::uint64_t repetitions,
+                             std::uint64_t per_repetition_rounds,
+                             const Repetition& run_once, const Score& score);
+
+/// The paper's standard repetition count Theta(log n) for boosting constant
+/// success probability to 1 - 1/n.
+std::uint64_t amplification_repetitions(std::uint64_t n);
+
+}  // namespace mpcstab

@@ -1,0 +1,131 @@
+#include "core/component_stable.h"
+
+#include <algorithm>
+
+#include "algorithms/luby.h"
+#include "mpc/dist_graph.h"
+#include "rng/prf.h"
+#include "rng/splitmix.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+Label stable_output_at(const ComponentStableAlgorithm& alg,
+                       const LegalGraph& component, Node v, std::uint64_t n,
+                       std::uint32_t delta, std::uint64_t seed) {
+  require(component.component_count() <= 1,
+          "stable_output_at expects a single connected component");
+  const std::vector<Label> out =
+      alg.run_on_component(component, n, delta, seed);
+  require(v < out.size(), "node out of range");
+  return out[v];
+}
+
+std::vector<Label> run_component_stable(Cluster& cluster,
+                                        const ComponentStableAlgorithm& alg,
+                                        const LegalGraph& g,
+                                        std::uint64_t seed) {
+  const GraphParams params = compute_params(cluster, g);
+  std::vector<Label> labels(g.n(), kLabelOut);
+  for (std::uint32_t c = 0; c < g.component_count(); ++c) {
+    const ComponentView view = extract_component(g, c);
+    const std::vector<Label> out = alg.run_on_component(
+        view.graph, params.n, params.max_degree, seed);
+    ensure(out.size() == view.graph.n(),
+           "component-stable algorithm must label every node");
+    for (Node i = 0; i < view.graph.n(); ++i) {
+      labels[view.to_parent[i]] = out[i];
+    }
+  }
+  // Components execute on disjoint machine groups in parallel: charge the
+  // declared cost once.
+  cluster.charge_rounds(alg.round_cost(params.n, params.max_degree),
+                        alg.name());
+  return labels;
+}
+
+std::vector<Label> StableLubyStepIs::run_on_component(
+    const LegalGraph& component, std::uint64_t n, std::uint32_t delta,
+    std::uint64_t seed) const {
+  (void)n;
+  (void)delta;
+  const Prf prf(seed);
+  return luby_step(component, [&](Node v) {
+    return prf.word(/*stream=*/0x57AB1E, component.id(v));
+  });
+}
+
+std::vector<Label> StableGreedyMis::run_on_component(
+    const LegalGraph& component, std::uint64_t n, std::uint32_t delta,
+    std::uint64_t seed) const {
+  (void)n;
+  (void)delta;
+  (void)seed;
+  std::vector<Node> order(component.n());
+  for (Node v = 0; v < component.n(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](Node a, Node b) {
+    return component.id(a) < component.id(b);
+  });
+  std::vector<Label> labels(component.n(), kLabelOut);
+  for (Node v : order) {
+    bool blocked = false;
+    for (Node w : component.graph().neighbors(v)) {
+      if (labels[w] == kLabelIn) blocked = true;
+    }
+    if (!blocked) labels[v] = kLabelIn;
+  }
+  return labels;
+}
+
+MarkerAlgorithm::MarkerAlgorithm(std::vector<NodeId> marker_ids)
+    : marker_ids_(std::move(marker_ids)) {
+  std::sort(marker_ids_.begin(), marker_ids_.end());
+}
+
+std::vector<Label> MarkerAlgorithm::run_on_component(
+    const LegalGraph& component, std::uint64_t n, std::uint32_t delta,
+    std::uint64_t seed) const {
+  (void)n;
+  (void)delta;
+  (void)seed;
+  bool found = false;
+  for (Node v = 0; v < component.n(); ++v) {
+    if (std::binary_search(marker_ids_.begin(), marker_ids_.end(),
+                           component.id(v))) {
+      found = true;
+      break;
+    }
+  }
+  return std::vector<Label>(component.n(), found ? kLabelIn : kLabelOut);
+}
+
+std::vector<Label> ParityOfIdsAlgorithm::run_on_component(
+    const LegalGraph& component, std::uint64_t n, std::uint32_t delta,
+    std::uint64_t seed) const {
+  (void)n;
+  (void)delta;
+  std::uint64_t fingerprint = 0;
+  for (Node v = 0; v < component.n(); ++v) {
+    // Commutative combine over IDs: order-independent, component-determined.
+    fingerprint ^= splitmix64(component.id(v) + 0x9e3779b97f4a7c15ull);
+  }
+  const Label bit =
+      static_cast<Label>(Prf(seed).word(/*stream=*/0x50, fingerprint) & 1u);
+  return std::vector<Label>(component.n(), bit);
+}
+
+std::vector<Label> StableConsecutivePath::run_on_component(
+    const LegalGraph& component, std::uint64_t n, std::uint32_t delta,
+    std::uint64_t seed) const {
+  (void)delta;
+  (void)seed;
+  // YES iff the component is itself a consecutive-ID path spanning the
+  // whole input (|component| == n). The n-dependency is what makes this
+  // O(1)-round algorithm possible — the paper's motivating example for
+  // allowing component-stable outputs to depend on n.
+  const bool yes = component.n() == n &&
+                   ConsecutivePathProblem::is_consecutive_path(component);
+  return std::vector<Label>(component.n(), yes ? kLabelIn : kLabelOut);
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,158 @@
+// Component-stable MPC algorithms — Definition 13, the paper's central
+// object:
+//
+//   "A randomized MPC algorithm A is component-stable if its output at any
+//    node v is entirely, deterministically, dependent on the topology and
+//    IDs (but independent of names) of v's connected component CC(v), v
+//    itself, the exact number of nodes n and maximum degree Delta in the
+//    entire input graph, and the input random seed S. That is, the output
+//    at v can be expressed as A(CC(v), v, n, Delta, S)."
+//
+// We make the definition a *type*: a component-stable algorithm is exactly
+// a function with that signature, so stability holds by construction. The
+// runner executes it over every component of a legal input inside the MPC
+// engine (components are processed in parallel, so the round cost is the
+// declared per-component cost once).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+#include "problems/problems.h"
+
+namespace mpcstab {
+
+/// A component-stable MPC algorithm per Definition 13.
+class ComponentStableAlgorithm {
+ public:
+  virtual ~ComponentStableAlgorithm() = default;
+  virtual std::string name() const = 0;
+
+  /// Outputs for all nodes of one connected component, given the global
+  /// parameters (n, Delta) of the *entire* input graph and the shared seed.
+  /// Must depend only on the component's topology and IDs — never names.
+  /// Deterministic algorithms ignore `seed`.
+  virtual std::vector<Label> run_on_component(const LegalGraph& component,
+                                              std::uint64_t n,
+                                              std::uint32_t delta,
+                                              std::uint64_t seed) const = 0;
+
+  /// Declared low-space MPC round cost on inputs with the given
+  /// parameters; the runner charges this once (components run in
+  /// parallel on disjoint machines).
+  virtual std::uint64_t round_cost(std::uint64_t n,
+                                   std::uint32_t delta) const = 0;
+
+  /// Whether the algorithm uses the random seed.
+  virtual bool randomized() const = 0;
+};
+
+/// The output A(CC(v), v, n, Delta, S) at a single node of a component.
+Label stable_output_at(const ComponentStableAlgorithm& alg,
+                       const LegalGraph& component, Node v, std::uint64_t n,
+                       std::uint32_t delta, std::uint64_t seed);
+
+/// Runs a component-stable algorithm over every component of `g` inside
+/// the cluster: computes (n, Delta) in O(1) rounds, executes per component,
+/// charges the declared round cost once.
+std::vector<Label> run_component_stable(Cluster& cluster,
+                                        const ComponentStableAlgorithm& alg,
+                                        const LegalGraph& g,
+                                        std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Concrete component-stable algorithms.
+// ---------------------------------------------------------------------------
+
+/// One Luby step with randomness keyed by (seed, ID): the component-stable
+/// large-IS attempt of Section 5 (E[|IS|] >= n/(Delta+1), but no global
+/// amplification, so only constant per-component success probability).
+class StableLubyStepIs final : public ComponentStableAlgorithm {
+ public:
+  std::string name() const override { return "stable-luby-step-is"; }
+  std::vector<Label> run_on_component(const LegalGraph& component,
+                                      std::uint64_t n, std::uint32_t delta,
+                                      std::uint64_t seed) const override;
+  std::uint64_t round_cost(std::uint64_t, std::uint32_t) const override {
+    return 2;
+  }
+  bool randomized() const override { return true; }
+};
+
+/// Deterministic greedy MIS by ID order within the component: stable,
+/// correct, but inherently slow in MPC (the greedy chain is sequential) —
+/// the kind of algorithm the lifting framework's lower bound applies to.
+class StableGreedyMis final : public ComponentStableAlgorithm {
+ public:
+  std::string name() const override { return "stable-greedy-mis"; }
+  std::vector<Label> run_on_component(const LegalGraph& component,
+                                      std::uint64_t n, std::uint32_t delta,
+                                      std::uint64_t seed) const override;
+  std::uint64_t round_cost(std::uint64_t n, std::uint32_t) const override {
+    return n;  // ID-chain greedy is sequential in the worst case
+  }
+  bool randomized() const override { return false; }
+};
+
+/// Outputs 1 at every node of a component containing a node whose ID is in
+/// the marker set, else 0. Deterministic, component-stable, and maximally
+/// *farsighted*: D-radius-identical graphs differing only in a far-away
+/// marker ID get different outputs. The canonical sensitive algorithm that
+/// drives the Lemma 27 reduction end-to-end (and the O(1)-round
+/// component-stable algorithm for the ConsecutivePathProblem-style global
+/// predicates of Section 2.1).
+class MarkerAlgorithm final : public ComponentStableAlgorithm {
+ public:
+  explicit MarkerAlgorithm(std::vector<NodeId> marker_ids);
+  std::string name() const override { return "marker-detector"; }
+  std::vector<Label> run_on_component(const LegalGraph& component,
+                                      std::uint64_t n, std::uint32_t delta,
+                                      std::uint64_t seed) const override;
+  std::uint64_t round_cost(std::uint64_t, std::uint32_t) const override {
+    return 2;  // an O(1)-round aggregation per component
+  }
+  bool randomized() const override { return false; }
+
+ private:
+  std::vector<NodeId> marker_ids_;
+};
+
+/// A *randomized* farsighted stable algorithm: outputs
+/// PRF(seed, XOR of all component IDs) & 1 at every node. Two
+/// D-radius-identical graphs differing anywhere get independent coin flips
+/// per seed, so the algorithm is (D, ~1/2, n, Delta)-sensitive — the
+/// epsilon < 1 branch of Definition 24 that forces B_st-conn to amplify
+/// over seeds as well as h-labelings.
+class ParityOfIdsAlgorithm final : public ComponentStableAlgorithm {
+ public:
+  std::string name() const override { return "parity-of-ids"; }
+  std::vector<Label> run_on_component(const LegalGraph& component,
+                                      std::uint64_t n, std::uint32_t delta,
+                                      std::uint64_t seed) const override;
+  std::uint64_t round_cost(std::uint64_t, std::uint32_t) const override {
+    return 2;  // one aggregation per component
+  }
+  bool randomized() const override { return true; }
+};
+
+/// The paper's Section 2.1 counterexample algorithm: decides in O(1) rounds
+/// whether the whole graph is one simple path with consecutive IDs, using
+/// knowledge of n — the algorithm that shows dependency on n must be
+/// handled by restricting to replicable problems.
+class StableConsecutivePath final : public ComponentStableAlgorithm {
+ public:
+  std::string name() const override { return "stable-consecutive-path"; }
+  std::vector<Label> run_on_component(const LegalGraph& component,
+                                      std::uint64_t n, std::uint32_t delta,
+                                      std::uint64_t seed) const override;
+  std::uint64_t round_cost(std::uint64_t, std::uint32_t) const override {
+    return 3;
+  }
+  bool randomized() const override { return false; }
+};
+
+}  // namespace mpcstab

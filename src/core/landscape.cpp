@@ -1,0 +1,104 @@
+#include "core/landscape.h"
+
+#include "algorithms/large_is.h"
+#include "core/amplification.h"
+#include "core/component_stable.h"
+#include "mpc/config.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+std::string class_name(MpcClass cls) {
+  switch (cls) {
+    case MpcClass::kSDet:
+      return "S-DetMPC";
+    case MpcClass::kDet:
+      return "DetMPC";
+    case MpcClass::kSRand:
+      return "S-RandMPC";
+    case MpcClass::kRand:
+      return "RandMPC";
+  }
+  return "?";
+}
+
+std::vector<WitnessRun> run_landscape(const LegalGraph& g, double c,
+                                      std::uint64_t seed) {
+  const double n = static_cast<double>(g.n());
+  const double delta = std::max<std::uint32_t>(1, g.max_degree());
+  const double mis_guarantee = n / (delta + 1.0);
+  const double rand_guarantee = c * n / (delta + 1.0);
+  const double pairwise_guarantee = n / (4.0 * delta + 1.0);
+  auto finish = [&](WitnessRun run, std::span<const Label> labels,
+                    double threshold) {
+    run.threshold = threshold;
+    run.achieved = static_cast<double>(LargeIsProblem::size(labels));
+    run.success = LargeIsProblem::independent(g, labels) &&
+                  run.achieved >= threshold;
+    return run;
+  };
+  std::vector<WitnessRun> runs;
+
+  {
+    // S-DetMPC: stable greedy MIS. An MIS always has >= n/(Delta+1) nodes,
+    // so this deterministic stable algorithm is correct — its price is the
+    // sequential ID-chain, i.e. Theta(n) declared rounds.
+    Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+    const std::uint64_t start = cluster.rounds();
+    const auto labels =
+        run_component_stable(cluster, StableGreedyMis(), g, seed);
+    WitnessRun run;
+    run.cls = MpcClass::kSDet;
+    run.witness = "greedy MIS by ID";
+    run.round_shape = "Theta(n)";
+    run.rounds = cluster.rounds() - start;
+    run.component_stable = true;
+    run.deterministic = true;
+    runs.push_back(finish(run, labels, mis_guarantee));
+  }
+  {
+    // S-RandMPC: one Luby step keyed to (seed, ID).
+    Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+    const std::uint64_t start = cluster.rounds();
+    const auto labels =
+        run_component_stable(cluster, StableLubyStepIs(), g, seed);
+    WitnessRun run;
+    run.cls = MpcClass::kSRand;
+    run.witness = "one Luby step";
+    run.round_shape = "O(1)";
+    run.rounds = cluster.rounds() - start;
+    run.component_stable = true;
+    run.deterministic = false;
+    runs.push_back(finish(run, labels, rand_guarantee));
+  }
+  {
+    // RandMPC: Theta(log n) amplified repetitions + global vote.
+    const std::uint64_t reps = amplification_repetitions(g.n());
+    Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.5, reps));
+    const LargeIsResult r = amplified_large_is(cluster, g, Prf(seed), reps);
+    WitnessRun run;
+    run.cls = MpcClass::kRand;
+    run.witness = "amplified Luby (" + std::to_string(reps) + " reps)";
+    run.round_shape = "O(1)";
+    run.rounds = r.rounds;
+    run.component_stable = false;
+    run.deterministic = false;
+    runs.push_back(finish(run, r.labels, rand_guarantee));
+  }
+  {
+    // DetMPC: derandomized pairwise step (Theorem 53).
+    Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+    const LargeIsResult r = derandomized_large_is(cluster, g, 10, 0.5);
+    WitnessRun run;
+    run.cls = MpcClass::kDet;
+    run.witness = "derandomized pairwise step";
+    run.round_shape = "O(1)";
+    run.rounds = r.rounds;
+    run.component_stable = false;
+    run.deterministic = true;
+    runs.push_back(finish(run, r.labels, pairwise_guarantee));
+  }
+  return runs;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,54 @@
+// The Section 2.5 complexity landscape made executable. The paper defines
+// four classes — S-DetMPC ⊆ DetMPC and S-RandMPC ⊆ RandMPC — and proves
+// (conditionally) that both inclusions are strict while DetMPC = RandMPC
+// (non-uniformly). For the large-IS problem, this library contains one
+// concrete witness algorithm per class; this module runs all four on the
+// same input and reports (rounds, success) so the landscape table of the
+// paper's "Complexity summary" can be regenerated as data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/legal_graph.h"
+#include "problems/problems.h"
+
+namespace mpcstab {
+
+/// The four MPC classes of Definitions 15-18.
+enum class MpcClass { kSDet, kDet, kSRand, kRand };
+
+/// The observable behaviour of one class witness on one input.
+struct WitnessRun {
+  MpcClass cls = MpcClass::kSDet;
+  std::string witness;       // algorithm name
+  std::string round_shape;   // the theoretical round complexity
+  std::uint64_t rounds = 0;  // measured MPC rounds
+  double threshold = 0.0;    // the witness's own size guarantee
+  double achieved = 0.0;     // measured IS size
+  bool success = false;      // met its own guarantee (and independence)
+  bool component_stable = false;
+  bool deterministic = false;
+};
+
+/// Runs the four canonical large-IS witnesses on `g`, judging each against
+/// ITS OWN declared guarantee (all are Omega(n/Delta) with different
+/// constants — the paper's separations are about certainty at a fixed
+/// constant, not about matching constants across algorithms):
+///   S-DetMPC : greedy MIS by ID; guarantee n/(Delta+1), always met, but
+///              Theta(n)-round cost (the sequential ID chain);
+///   S-RandMPC: one Luby step; guarantee c*n/(Delta+1) holds only with
+///              constant probability — no whp correctness in O(1) rounds;
+///   RandMPC  : amplified Luby; same guarantee c*n/(Delta+1), met whp in
+///              O(1) rounds (component-unstable);
+///   DetMPC   : derandomized pairwise step; guarantee n/(4*Delta+1),
+///              always met, O(1) rounds (component-unstable).
+/// `c` is the randomized witnesses' success coefficient (paper-style 0.9).
+std::vector<WitnessRun> run_landscape(const LegalGraph& g, double c,
+                                      std::uint64_t seed);
+
+/// Human-readable class name.
+std::string class_name(MpcClass cls);
+
+}  // namespace mpcstab

@@ -1,0 +1,357 @@
+#include "core/lifting.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/balls.h"
+#include "graph/components.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+namespace {
+
+constexpr std::uint32_t kInf = 0xffffffffu;
+
+/// Distances from the pair's center within one side of the pair.
+std::vector<std::uint32_t> center_distances(const LegalGraph& g,
+                                            Node center) {
+  return bfs_distances(g.graph(), center, g.n());
+}
+
+/// Nodes of H surviving the filtering step of Lemma 27, given h labels.
+/// survives[v]: degree <= 2, and the h values of v's neighborhood are
+/// consistent with a monotone path labeling (t's label is unconstrained).
+std::vector<std::uint8_t> surviving_nodes(
+    const LegalGraph& h_graph, Node s, Node t,
+    std::span<const std::uint32_t> h) {
+  const Graph& topo = h_graph.graph();
+  std::vector<std::uint8_t> ok(topo.n(), 0);
+  for (Node u = 0; u < topo.n(); ++u) {
+    if (topo.degree(u) > 2) continue;
+    if (u == t) {
+      ok[u] = 1;  // no requirement on h(t)
+      continue;
+    }
+    if (u == s) {
+      // s must have degree 1 (checked by caller); its neighbor must carry
+      // h(s) + 1, unless the neighbor is t.
+      const Node a = topo.neighbors(u)[0];
+      ok[u] = (a == t || h[a] == h[u] + 1) ? 1 : 0;
+      continue;
+    }
+    // Interior candidate: degree exactly 2, neighborhood a consecutive
+    // triplet {h(u)-1, h(u), h(u)+1} (a neighbor equal to t is exempt).
+    if (topo.degree(u) != 2) continue;
+    const Node a = topo.neighbors(u)[0];
+    const Node b = topo.neighbors(u)[1];
+    auto side = [&](Node nb, std::uint32_t want_low, std::uint32_t want_high,
+                    bool& has_low, bool& has_high) {
+      if (nb == t) {
+        // Exempt side; treat as satisfying the "up" direction.
+        has_high = true;
+        return;
+      }
+      if (h[nb] == want_low) has_low = true;
+      if (h[nb] == want_high) has_high = true;
+    };
+    bool has_low = false, has_high = false;
+    side(a, h[u] - 1, h[u] + 1, has_low, has_high);
+    side(b, h[u] - 1, h[u] + 1, has_low, has_high);
+    // One neighbor below, one above (t counts as the "above" side).
+    bool valid = false;
+    if (a == t || b == t) {
+      const Node other = (a == t) ? b : a;
+      valid = other != t && (h[other] + 1 == h[u]);
+      if (a == t && b == t) valid = false;
+    } else {
+      valid = (h[a] + 1 == h[u] && h[b] == h[u] + 1) ||
+              (h[b] + 1 == h[u] && h[a] == h[u] + 1);
+    }
+    ok[u] = valid ? 1 : 0;
+  }
+  return ok;
+}
+
+/// One side (G or G') of the construction: assembles the simulation graph.
+struct SideBuild {
+  Graph topo;
+  std::vector<NodeId> ids;
+  Node vs = 0;
+  bool vs_present = false;
+};
+
+SideBuild build_side(const LegalGraph& h_graph, Node s, Node t,
+                     const LegalGraph& g, Node center, std::uint32_t D,
+                     std::span<const std::uint32_t> h,
+                     std::span<const std::uint8_t> survives,
+                     std::uint64_t total_nodes) {
+  const Graph& h_topo = h_graph.graph();
+  const auto dist = center_distances(g, center);
+
+  // Copies: for each surviving H-node u, the list of assigned G-nodes.
+  // Sim node indexing: consecutive per H-node.
+  std::vector<std::vector<Node>> assigned(h_topo.n());
+  for (Node u = 0; u < h_topo.n(); ++u) {
+    if (!survives[u]) continue;
+    for (Node w = 0; w < g.n(); ++w) {
+      const bool take =
+          (u == s)   ? (dist[w] != kInf && dist[w] <= h[u])
+          : (u == t) ? (dist[w] == kInf || dist[w] > D)
+                     : (dist[w] == h[u]);
+      if (take) assigned[u].push_back(w);
+    }
+  }
+
+  std::vector<Node> base(h_topo.n(), 0);
+  Node next = 0;
+  for (Node u = 0; u < h_topo.n(); ++u) {
+    base[u] = next;
+    next += static_cast<Node>(assigned[u].size());
+  }
+  const Node core_nodes = next;
+
+  // Edges: within one H-node's copies, and across adjacent surviving
+  // H-nodes, inherit G's edges.
+  std::vector<Edge> edges;
+  auto index_of = [&](Node u, Node w) -> std::optional<Node> {
+    const auto& list = assigned[u];
+    const auto it = std::lower_bound(list.begin(), list.end(), w);
+    if (it == list.end() || *it != w) return std::nullopt;
+    return static_cast<Node>(base[u] + (it - list.begin()));
+  };
+  for (Node u = 0; u < h_topo.n(); ++u) {
+    if (!survives[u]) continue;
+    for (std::size_t i = 0; i < assigned[u].size(); ++i) {
+      const Node w = assigned[u][i];
+      const Node self = static_cast<Node>(base[u] + i);
+      for (Node x : g.graph().neighbors(w)) {
+        // Same H-node.
+        if (const auto j = index_of(u, x); j.has_value() && self < *j) {
+          edges.push_back({self, *j});
+        }
+        // Adjacent surviving H-nodes (emit once, from the smaller H-node).
+        for (Node u2 : h_topo.neighbors(u)) {
+          if (u2 < u || !survives[u2]) continue;
+          if (const auto j = index_of(u2, x); j.has_value()) {
+            edges.push_back({self, *j});
+          }
+        }
+      }
+    }
+  }
+
+  // Padding: one full copy of G (pins the maximum degree to Delta(G)),
+  // then isolated nodes up to total_nodes.
+  const Node pad_base = core_nodes;
+  for (const Edge& e : g.graph().edges()) {
+    edges.push_back({static_cast<Node>(pad_base + e.u),
+                     static_cast<Node>(pad_base + e.v)});
+  }
+  const std::uint64_t with_copy = static_cast<std::uint64_t>(core_nodes) + g.n();
+  require(with_copy <= total_nodes,
+          "total_nodes must cover the construction");
+
+  SideBuild side;
+  side.topo = Graph::from_edges(static_cast<Node>(total_nodes), edges);
+
+  // IDs: copies inherit the G-node's ID (unique within each component, see
+  // the monotone-level argument in DESIGN.md); isolated padding shares one
+  // fixed ID.
+  side.ids.assign(total_nodes, 0x1501A7EDull);
+  for (Node u = 0; u < h_topo.n(); ++u) {
+    for (std::size_t i = 0; i < assigned[u].size(); ++i) {
+      side.ids[base[u] + i] = g.id(assigned[u][i]);
+    }
+  }
+  for (Node w = 0; w < g.n(); ++w) side.ids[pad_base + w] = g.id(w);
+
+  if (survives[s]) {
+    if (const auto i = index_of(s, center); i.has_value()) {
+      side.vs = *i;
+      side.vs_present = true;
+    }
+  }
+  return side;
+}
+
+/// Is the component of `v` in `graph` exactly ID-isomorphic to `g`?
+bool component_is_exactly(const LegalGraph& graph, Node v,
+                          const LegalGraph& g, Node g_center) {
+  const std::uint32_t comp = graph.component(v);
+  std::map<NodeId, std::vector<NodeId>> got, want;
+  std::uint32_t got_nodes = 0;
+  for (Node u = 0; u < graph.n(); ++u) {
+    if (graph.component(u) != comp) continue;
+    ++got_nodes;
+    std::vector<NodeId> nb;
+    for (Node w : graph.graph().neighbors(u)) nb.push_back(graph.id(w));
+    std::sort(nb.begin(), nb.end());
+    got[graph.id(u)] = std::move(nb);
+  }
+  if (got_nodes != g.n()) return false;
+  for (Node u = 0; u < g.n(); ++u) {
+    std::vector<NodeId> nb;
+    for (Node w : g.graph().neighbors(u)) nb.push_back(g.id(w));
+    std::sort(nb.begin(), nb.end());
+    want[g.id(u)] = std::move(nb);
+  }
+  (void)g_center;
+  return got == want;
+}
+
+}  // namespace
+
+std::uint64_t simulation_padding(const LegalGraph& h_graph,
+                                 const SensitivePair& pair) {
+  const std::uint64_t g_max = std::max(pair.g.n(), pair.g_prime.n());
+  return (static_cast<std::uint64_t>(h_graph.n()) + 2) * g_max + g_max + 8;
+}
+
+std::optional<SimulationGraphs> build_simulation_graphs(
+    const LegalGraph& h_graph, Node s, Node t, const SensitivePair& pair,
+    std::span<const std::uint32_t> h_values, std::uint64_t total_nodes) {
+  require(h_values.size() == h_graph.n(), "one h value per node of H");
+  require(s != t, "s and t must differ");
+  if (h_graph.graph().degree(s) != 1 || h_graph.graph().degree(t) != 1) {
+    return std::nullopt;  // immediate NO per the construction
+  }
+
+  const auto survives = surviving_nodes(h_graph, s, t, h_values);
+
+  SideBuild side_g =
+      build_side(h_graph, s, t, pair.g, pair.center, pair.radius, h_values,
+                 survives, total_nodes);
+  SideBuild side_gp =
+      build_side(h_graph, s, t, pair.g_prime, pair.center_prime, pair.radius,
+                 h_values, survives, total_nodes);
+
+  // Names: fresh sequential names (identical scheme on both sides; stable
+  // algorithms may not depend on them anyway).
+  auto with_names = [](SideBuild& side) {
+    std::vector<NodeName> names(side.topo.n());
+    for (Node v = 0; v < side.topo.n(); ++v) names[v] = v;
+    return LegalGraph::make(std::move(side.topo), std::move(side.ids),
+                            std::move(names));
+  };
+
+  SimulationGraphs sim{with_names(side_g), with_names(side_gp), 0, false,
+                       false};
+  // v_s exists in both sides or neither (assignment of the center to s
+  // depends only on h(s) >= 0, symmetric across sides).
+  sim.vs_present = side_g.vs_present && side_gp.vs_present;
+  if (sim.vs_present) {
+    ensure(side_g.vs == side_gp.vs,
+           "v_s must sit at the same index in both simulation graphs");
+    sim.vs = side_g.vs;
+    sim.full_copy =
+        component_is_exactly(sim.g_h, sim.vs, pair.g, pair.center);
+  }
+  return sim;
+}
+
+std::optional<std::vector<std::uint32_t>> planted_h_values(
+    const LegalGraph& h_graph, Node s, Node t, std::uint32_t radius) {
+  const Graph& topo = h_graph.graph();
+  if (topo.degree(s) != 1 || topo.degree(t) != 1) return std::nullopt;
+
+  // Walk the path from s; it must reach t within radius edges using only
+  // degree-2 interior nodes.
+  std::vector<Node> path{s};
+  Node prev = s;
+  Node cur = topo.neighbors(s)[0];
+  while (cur != t) {
+    if (topo.degree(cur) != 2) return std::nullopt;
+    path.push_back(cur);
+    Node next = cur;
+    for (Node w : topo.neighbors(cur)) {
+      if (w != prev) next = w;
+    }
+    if (next == cur) return std::nullopt;
+    prev = cur;
+    cur = next;
+    if (path.size() > topo.n()) return std::nullopt;
+  }
+  path.push_back(t);
+  const std::uint64_t p = path.size();  // nodes on the path
+  if (p > static_cast<std::uint64_t>(radius) + 1) return std::nullopt;
+
+  // h(s) = D - p + 2, increasing along the path; t unconstrained (set 1).
+  std::vector<std::uint32_t> h(h_graph.n(), 1);
+  const std::uint32_t hs = radius - static_cast<std::uint32_t>(p) + 2;
+  for (std::uint64_t i = 0; i + 1 < p; ++i) {
+    h[path[i]] = hs + static_cast<std::uint32_t>(i);
+  }
+  return h;
+}
+
+BStConnResult b_st_conn(Cluster& cluster, const LegalGraph& h_graph, Node s,
+                        Node t, const SensitivePair& pair,
+                        const ComponentStableAlgorithm& alg,
+                        std::uint64_t seed, std::uint64_t simulations,
+                        bool planted_first) {
+  const std::uint64_t start = cluster.rounds();
+  const std::uint64_t total_nodes = simulation_padding(h_graph, pair);
+  const Prf prf(seed);
+
+  BStConnResult result;
+  const std::uint32_t delta =
+      std::max(pair.g.max_degree(), pair.g_prime.max_degree());
+
+  for (std::uint64_t sim_index = 0; sim_index < simulations; ++sim_index) {
+    std::vector<std::uint32_t> h(h_graph.n(), 1);
+    bool have_h = false;
+    if (sim_index == 0 && planted_first) {
+      if (const auto planted = planted_h_values(h_graph, s, t, pair.radius);
+          planted.has_value()) {
+        h = *planted;
+        have_h = true;
+      }
+    }
+    if (!have_h) {
+      const Prf sim_prf = prf.derive(sim_index);
+      for (Node v = 0; v < h_graph.n(); ++v) {
+        h[v] = 1 + static_cast<std::uint32_t>(
+                       sim_prf.word_below(/*stream=*/0x48, v, pair.radius));
+      }
+    }
+
+    const auto sims =
+        build_simulation_graphs(h_graph, s, t, pair, h, total_nodes);
+    ++result.simulations_run;
+    if (!sims.has_value()) break;  // degree precondition failed: NO
+    if (!sims->vs_present) continue;
+    if (sims->full_copy) ++result.full_copies_seen;
+
+    // Component-stable evaluation at v_s on both graphs: by Definition 13
+    // the algorithm's output is A(CC(vs), vs, total_nodes, Delta, S).
+    const ComponentView cc_g =
+        extract_component(sims->g_h, sims->g_h.component(sims->vs));
+    const ComponentView cc_gp = extract_component(
+        sims->g_h_prime, sims->g_h_prime.component(sims->vs));
+    auto local_index = [](const ComponentView& view, Node parent) {
+      const auto it =
+          std::find(view.to_parent.begin(), view.to_parent.end(), parent);
+      ensure(it != view.to_parent.end(), "v_s must be in its component");
+      return static_cast<Node>(it - view.to_parent.begin());
+    };
+    const Label out_g =
+        stable_output_at(alg, cc_g.graph, local_index(cc_g, sims->vs),
+                         total_nodes, delta, seed);
+    const Label out_gp =
+        stable_output_at(alg, cc_gp.graph, local_index(cc_gp, sims->vs),
+                         total_nodes, delta, seed);
+    if (out_g != out_gp) ++result.yes_votes;
+  }
+
+  result.yes = result.yes_votes > 0;
+  // All simulations run in parallel on disjoint machine groups: O(1)
+  // construction rounds + the algorithm's declared cost + one vote tree.
+  cluster.charge_rounds(2, "simulation-graph construction");
+  cluster.charge_rounds(alg.round_cost(total_nodes, delta), alg.name());
+  cluster.charge_rounds(cluster.tree_rounds(), "YES-vote aggregation");
+  result.rounds = cluster.rounds() - start;
+  return result;
+}
+
+}  // namespace mpcstab

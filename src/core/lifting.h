@@ -1,0 +1,85 @@
+// The lifting reduction of Lemma 27 / Theorem 14: given a component-stable
+// MPC algorithm that is (D, eps, n, Delta)-sensitive w.r.t. a pair of
+// D-radius-identical centered graphs (G, G'), build an MPC algorithm
+// B_st-conn for D-diameter s-t connectivity.
+//
+// Construction (proof of Lemma 27): every node of the candidate path H
+// draws h(v) in [1, D]; nodes inconsistent with a monotone h-labeled s-t
+// path drop out; each surviving node u is assigned the copies of G-nodes at
+// distance h(u) from the center (s: distance <= h(s); t: distance > D);
+// copies assigned to equal-or-adjacent H-nodes inherit G's edges. When s-t
+// is a path of <= D edges AND h is the single "correct" labeling, the
+// component of v_s is exactly G in the first simulation graph and exactly
+// G' in the second — and the sensitive algorithm tells them apart. In
+// every other case the two components are identical and the outputs agree.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/component_stable.h"
+#include "core/sensitivity.h"
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+#include "rng/prf.h"
+
+namespace mpcstab {
+
+/// One simulation's pair of graphs G_H and G'_H.
+struct SimulationGraphs {
+  LegalGraph g_h;
+  LegalGraph g_h_prime;
+  /// Index of the copy (s, center) in both graphs; only meaningful when
+  /// vs_present.
+  Node vs = 0;
+  bool vs_present = false;
+  /// Validation flag: CC(vs) in g_h is exactly G (ID-isomorphic).
+  bool full_copy = false;
+};
+
+/// Builds the pair of simulation graphs for input H with designated s, t,
+/// the sensitive pair (G, G') of radius D, the per-node labels
+/// h : V(H) -> [1, D], padded with one full copy of G (resp. G') plus
+/// isolated nodes so both graphs have exactly `total_nodes` nodes.
+/// Returns nullopt when s or t fails the degree-1 precondition.
+std::optional<SimulationGraphs> build_simulation_graphs(
+    const LegalGraph& h_graph, Node s, Node t, const SensitivePair& pair,
+    std::span<const std::uint32_t> h_values, std::uint64_t total_nodes);
+
+/// The single correct h-labeling for an s-t path of p <= D+1 nodes
+/// (h(s) = D - p + 2, increasing by one along the path); nullopt when s-t
+/// is not such a path. Other nodes receive label 1.
+std::optional<std::vector<std::uint32_t>> planted_h_values(
+    const LegalGraph& h_graph, Node s, Node t, std::uint32_t radius);
+
+/// Result of the B_st-conn reduction.
+struct BStConnResult {
+  bool yes = false;
+  std::uint64_t simulations_run = 0;
+  std::uint64_t yes_votes = 0;
+  std::uint64_t rounds = 0;
+  /// Number of simulations in which CC(vs) was the full copy of G.
+  std::uint64_t full_copies_seen = 0;
+};
+
+/// B_st-conn: runs `simulations` parallel simulations with independent h
+/// labelings drawn from the shared seed, each evaluating the sensitive
+/// algorithm at v_s on both simulation graphs; outputs YES iff any
+/// simulation's outputs differ. `planted_first` replaces simulation 0's h
+/// with the planted labeling (deterministic validation mode; the purely
+/// random mode measures the D^-D success probability the paper amplifies
+/// away). Rounds are charged once (simulations are parallel).
+BStConnResult b_st_conn(Cluster& cluster, const LegalGraph& h_graph, Node s,
+                        Node t, const SensitivePair& pair,
+                        const ComponentStableAlgorithm& alg,
+                        std::uint64_t seed, std::uint64_t simulations,
+                        bool planted_first);
+
+/// Conservative upper bound for the simulation-graph size (used as the
+/// shared `total_nodes` padding target so every simulation presents the
+/// same n to the algorithm).
+std::uint64_t simulation_padding(const LegalGraph& h_graph,
+                                 const SensitivePair& pair);
+
+}  // namespace mpcstab

@@ -1,0 +1,116 @@
+#include "core/local_simulation.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/balls.h"
+#include "graph/generators.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+namespace {
+
+/// The candidate family: paths of `length` nodes whose node ID at position
+/// i is either i (variant 0 tail) or i + variant * length; the same family
+/// find_sensitive_pair_on_paths searches. Candidates vary BOTH the
+/// variant assignment of the tail and the node positions, approximated
+/// here by per-variant uniform tails (one candidate per variant and per
+/// alignment of the observed ball within the path).
+std::vector<std::pair<LegalGraph, Node>> candidates_for(
+    Node length, std::uint32_t id_variants) {
+  std::vector<std::pair<LegalGraph, Node>> out;
+  for (std::uint32_t variant = 0; variant < id_variants; ++variant) {
+    std::vector<NodeId> ids(length);
+    std::vector<NodeName> names(length);
+    for (Node v = 0; v < length; ++v) {
+      ids[v] = v + static_cast<NodeId>(variant) * length;
+      names[v] = v;
+    }
+    LegalGraph g =
+        LegalGraph::make(path_graph(length), std::move(ids),
+                         std::move(names));
+    for (Node v = 0; v < length; ++v) {
+      out.emplace_back(g, v);
+    }
+  }
+  // Mixed-tail candidates: head IDs from variant 0, tail from each other
+  // variant (these are the D-radius-identical twins that fool sensitive
+  // algorithms).
+  for (std::uint32_t variant = 1; variant < id_variants; ++variant) {
+    for (Node split = 1; split + 1 < length; ++split) {
+      std::vector<NodeId> ids(length);
+      std::vector<NodeName> names(length);
+      for (Node v = 0; v < length; ++v) {
+        ids[v] = (v < split) ? v
+                             : (v + static_cast<NodeId>(variant) * length);
+        names[v] = v;
+      }
+      LegalGraph g = LegalGraph::make(path_graph(length), std::move(ids),
+                                      std::move(names));
+      for (Node v = 0; v < length; ++v) {
+        out.emplace_back(g, v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LocalVote local_simulation_vote(const ComponentStableAlgorithm& alg,
+                                const LegalGraph& h, Node v,
+                                std::uint32_t radius, Node path_length,
+                                std::uint32_t id_variants,
+                                std::uint64_t n_param, std::uint32_t delta,
+                                std::uint64_t seed) {
+  const Ball observed = extract_ball(h, v, radius);
+
+  std::map<Label, std::uint64_t> votes;
+  std::uint64_t total = 0;
+  for (const auto& [candidate, center] :
+       candidates_for(path_length, id_variants)) {
+    if (!radius_identical(h, v, candidate, center, radius)) continue;
+    ++total;
+    ++votes[stable_output_at(alg, candidate, center, n_param, delta, seed)];
+  }
+  (void)observed;
+  require(total >= 1,
+          "the true input must appear in the candidate family");
+
+  LocalVote vote;
+  vote.candidates = total;
+  for (const auto& [label, count] : votes) {
+    if (count > vote.agreeing) {
+      vote.agreeing = count;
+      vote.output = label;
+    }
+  }
+  return vote;
+}
+
+LocalSimulationReport simulate_locally(const ComponentStableAlgorithm& alg,
+                                       const LegalGraph& h,
+                                       std::uint32_t radius,
+                                       std::uint32_t id_variants,
+                                       std::uint64_t n_param,
+                                       std::uint32_t delta,
+                                       std::uint64_t seed) {
+  require(h.component_count() == 1, "h must be one path component");
+  const auto direct =
+      alg.run_on_component(h, n_param, delta, seed);
+
+  LocalSimulationReport report;
+  for (Node v = 0; v < h.n(); ++v) {
+    const LocalVote vote = local_simulation_vote(
+        alg, h, v, radius, h.n(), id_variants, n_param, delta, seed);
+    if (vote.output != direct[v]) {
+      report.matches_direct = false;
+      ++report.disagreeing_nodes;
+    }
+    if (!vote.unanimous()) ++report.non_unanimous_nodes;
+  }
+  return report;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,64 @@
+// The constructive half of Lemma 25: if a component-stable MPC algorithm
+// A_MPC is NOT sensitive, then a D-round LOCAL algorithm can simulate it —
+// each node v collects its D-radius ball B_D(v), enumerates every possible
+// input graph consistent with that ball, evaluates
+// A_MPC(G, v, N^{R+2}, Delta, S') on each, and outputs the MAJORITY
+// verdict. Non-sensitivity makes (almost) all candidate evaluations agree,
+// so the majority equals A_MPC's output on the true input; a sensitive
+// algorithm splits the vote and the simulation breaks — which is exactly
+// why Lemma 25 concludes every too-fast stable algorithm must be
+// sensitive.
+//
+// The candidate family here is the same bounded-ID path family the
+// brute-force sensitivity search sweeps (find_sensitive_pair_on_paths),
+// keeping the enumeration laptop-sized.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/component_stable.h"
+#include "graph/legal_graph.h"
+
+namespace mpcstab {
+
+/// Result of the per-node majority vote.
+struct LocalVote {
+  Label output = 0;
+  /// Candidate inputs consistent with the node's D-ball.
+  std::uint64_t candidates = 0;
+  /// Candidates voting for the winning label.
+  std::uint64_t agreeing = 0;
+  /// True when every candidate agreed (the non-sensitive ideal).
+  bool unanimous() const { return agreeing == candidates; }
+};
+
+/// A_LOCAL's output at node v of input `h` (a path with IDs drawn from the
+/// `id_variants` palette family of length `path_length`): collect the
+/// D-ball, enumerate consistent candidates, majority-vote A_MPC.
+LocalVote local_simulation_vote(const ComponentStableAlgorithm& alg,
+                                const LegalGraph& h, Node v,
+                                std::uint32_t radius, Node path_length,
+                                std::uint32_t id_variants,
+                                std::uint64_t n_param, std::uint32_t delta,
+                                std::uint64_t seed);
+
+/// Runs the vote at every node and reports whether the simulated LOCAL
+/// outputs equal A_MPC's direct outputs on h — the Lemma 25 simulation
+/// succeeding (expected for non-sensitive algorithms) or failing
+/// (expected for sensitive ones).
+struct LocalSimulationReport {
+  bool matches_direct = true;
+  std::uint64_t disagreeing_nodes = 0;
+  std::uint64_t non_unanimous_nodes = 0;
+};
+
+LocalSimulationReport simulate_locally(const ComponentStableAlgorithm& alg,
+                                       const LegalGraph& h,
+                                       std::uint32_t radius,
+                                       std::uint32_t id_variants,
+                                       std::uint64_t n_param,
+                                       std::uint32_t delta,
+                                       std::uint64_t seed);
+
+}  // namespace mpcstab

@@ -1,0 +1,123 @@
+#include "core/lower_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/math.h"
+
+namespace mpcstab {
+
+double log2d(std::uint64_t x) {
+  return std::max(1.0, std::log2(static_cast<double>(std::max<std::uint64_t>(
+                           2, x))));
+}
+
+double loglog(std::uint64_t x) { return std::max(1.0, std::log2(log2d(x))); }
+
+double logloglog(std::uint64_t x) {
+  return std::max(1.0, std::log2(loglog(x)));
+}
+
+double loglogstar(std::uint64_t x) {
+  return std::max(1.0,
+                  std::log2(std::max(2, log_star(std::max<std::uint64_t>(
+                                            2, x)))));
+}
+
+std::vector<LiftedBound> lifted_bounds() {
+  std::vector<LiftedBound> catalog;
+
+  catalog.push_back(
+      {"maximal independent set",
+       "Omega(sqrt(log n / loglog n))", "[KMW06] via [GKU19] Thm V.1",
+       /*randomized=*/true,
+       [](std::uint64_t n, std::uint32_t) { return loglog(n); },
+       "Omega(log log n)",
+       "deterministic_mis_mpc (O(log t), unstable)"});
+
+  catalog.push_back(
+      {"const-approx maximum matching (forests)",
+       "Omega(sqrt(log n / loglog n))", "[KMW06] via [GKU19] Thm V.1",
+       /*randomized=*/true,
+       [](std::uint64_t n, std::uint32_t) { return loglog(n); },
+       "Omega(log log n)",
+       "amplified_approx_matching (O(1), unstable)"});
+
+  catalog.push_back(
+      {"const-approx vertex cover",
+       "Omega(sqrt(log n / loglog n))", "[KMW06] via [GKU19] Thm V.1",
+       /*randomized=*/true,
+       [](std::uint64_t n, std::uint32_t) { return loglog(n); },
+       "Omega(log log n)",
+       "approx_vertex_cover via amplified matching (O(1), unstable)"});
+
+  catalog.push_back(
+      {"(Delta+1)-coloring",
+       "Omega(sqrt(log log n)) (conditional)", "[GKU19] Cor V.4 (weakened "
+       "per Thm 28 after [RG20])",
+       /*randomized=*/true,
+       [](std::uint64_t n, std::uint32_t) { return logloglog(n); },
+       "Omega(log log log n)",
+       "derandomized_coloring (O(1) trees/iter, unstable)"});
+
+  catalog.push_back(
+      {"sinkless orientation (d-regular, d>=4)",
+       "Omega(log_Delta log n) rand / Omega(log_Delta n) det",
+       "[BFH+16, CKP19] via Thm 38",
+       /*randomized=*/false,
+       [](std::uint64_t n, std::uint32_t delta) {
+         const double denom = std::max(1.0, std::log2(
+                                               static_cast<double>(
+                                                   std::max(2u, delta))));
+         return std::max(1.0, std::log2(std::max(2.0, log2d(n) / denom)));
+       },
+       "Omega(log log_Delta n)",
+       "derandomized_sinkless (seed fixing + repair, unstable)"});
+
+  catalog.push_back(
+      {"(2Delta-2)-edge-coloring (forests)",
+       "Omega(log_Delta n) det", "[CHL+20] via Thm 40",
+       /*randomized=*/false,
+       [](std::uint64_t n, std::uint32_t delta) {
+         const double denom = std::max(1.0, std::log2(
+                                               static_cast<double>(
+                                                   std::max(2u, delta))));
+         return std::max(1.0, std::log2(std::max(2.0, log2d(n) / denom)));
+       },
+       "Omega(log log_Delta n)",
+       "LLL route (Thm 41; this library: generic LLL substrate)"});
+
+  catalog.push_back(
+      {"Delta-coloring (forests)",
+       "Omega(log_Delta n) det", "[CKP19] via Thm 42",
+       /*randomized=*/false,
+       [](std::uint64_t n, std::uint32_t delta) {
+         const double denom = std::max(1.0, std::log2(
+                                               static_cast<double>(
+                                                   std::max(2u, delta))));
+         return std::max(1.0, std::log2(std::max(2.0, log2d(n) / denom)));
+       },
+       "Omega(log log_Delta n)", ""});
+
+  catalog.push_back(
+      {"MIS / maximal matching, deterministic",
+       "Omega(min(Delta, log n / loglog n)) det", "[BBH+19] via Thm 48",
+       /*randomized=*/false,
+       [](std::uint64_t n, std::uint32_t delta) {
+         return std::min(log2d(delta), loglog(n));
+       },
+       "Omega(min(log Delta, log log n))",
+       "deterministic_mis_mpc / deterministic_matching_mpc (unstable)"});
+
+  catalog.push_back(
+      {"independent set of size Omega(n/Delta)",
+       "Omega(log* n)", "[KKSS20] via Lemma 51 (Theorem 5)",
+       /*randomized=*/true,
+       [](std::uint64_t n, std::uint32_t) { return loglogstar(n); },
+       "Omega(log log* n)",
+       "amplified_large_is / derandomized_large_is (O(1), unstable)"});
+
+  return catalog;
+}
+
+}  // namespace mpcstab

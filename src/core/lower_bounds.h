@@ -1,0 +1,44 @@
+// The Theorem 28 / Section 3.4 catalog: every conditional lower bound the
+// revised framework lifts, as evaluable formulas, paired with this
+// library's component-UNSTABLE upper-bound algorithms. The punchline of
+// the paper is that for several of these problems the unstable measured
+// rounds sit BELOW the conditional bound for stable algorithms — evaluated
+// numerically by bench_theorem28.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mpcstab {
+
+/// One lifted conditional lower bound against component-stable low-space
+/// MPC algorithms.
+struct LiftedBound {
+  std::string problem;
+  /// The LOCAL lower bound being lifted and its source.
+  std::string local_bound;
+  std::string local_source;
+  /// Whether the bound holds for randomized or deterministic algorithms.
+  bool randomized = false;
+  /// The lifted bound Omega(f(n, Delta)) in MPC rounds, as an evaluable
+  /// function (returns the asymptotic expression's value, constants 1).
+  std::function<double(std::uint64_t n, std::uint32_t delta)> mpc_rounds;
+  /// Human-readable form of the lifted bound.
+  std::string mpc_bound;
+  /// The component-unstable upper bound in this library that escapes it
+  /// (empty when the paper gives none).
+  std::string unstable_upper;
+};
+
+/// The catalog (Theorem 28, Theorems 38/40/42/48, Lemma 51).
+std::vector<LiftedBound> lifted_bounds();
+
+/// Helper asymptotics used by the catalog (all base-2, floors, >= 1).
+double log2d(std::uint64_t x);
+double loglog(std::uint64_t x);
+double logloglog(std::uint64_t x);
+double loglogstar(std::uint64_t x);
+
+}  // namespace mpcstab

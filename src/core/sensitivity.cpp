@@ -1,0 +1,85 @@
+#include "core/sensitivity.h"
+
+#include "graph/generators.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+bool verify_radius_identical(const SensitivePair& pair) {
+  return radius_identical(pair.g, pair.center, pair.g_prime,
+                          pair.center_prime, pair.radius);
+}
+
+double measure_sensitivity(const ComponentStableAlgorithm& alg,
+                           const SensitivePair& pair, std::uint64_t n_param,
+                           std::uint32_t delta,
+                           std::span<const std::uint64_t> seeds) {
+  require(!seeds.empty(), "need at least one seed");
+  std::uint64_t different = 0;
+  for (std::uint64_t seed : seeds) {
+    const Label a =
+        stable_output_at(alg, pair.g, pair.center, n_param, delta, seed);
+    const Label b = stable_output_at(alg, pair.g_prime, pair.center_prime,
+                                     n_param, delta, seed);
+    if (a != b) ++different;
+  }
+  return static_cast<double>(different) / static_cast<double>(seeds.size());
+}
+
+namespace {
+
+LegalGraph path_with_ids(Node length, std::vector<NodeId> ids) {
+  std::vector<NodeName> names(length);
+  for (Node v = 0; v < length; ++v) names[v] = v;
+  return LegalGraph::make(path_graph(length), std::move(ids),
+                          std::move(names));
+}
+
+}  // namespace
+
+SensitivePair path_marker_pair(Node length, std::uint32_t radius,
+                               NodeId marker_id) {
+  require(length >= 2, "path must have >= 2 nodes");
+  require(radius + 1 < length,
+          "radius must not reach the differing endpoint");
+  std::vector<NodeId> ids(length);
+  for (Node v = 0; v < length; ++v) ids[v] = v;
+  LegalGraph g = path_with_ids(length, ids);
+  ids[length - 1] = marker_id;  // far endpoint differs
+  LegalGraph g_prime = path_with_ids(length, std::move(ids));
+  return SensitivePair{std::move(g), std::move(g_prime), 0, 0, radius};
+}
+
+std::optional<SensitivePair> find_sensitive_pair_on_paths(
+    const ComponentStableAlgorithm& alg, Node length, std::uint32_t radius,
+    std::uint64_t n_param, std::uint32_t delta,
+    std::span<const std::uint64_t> seeds, double min_fraction,
+    std::uint32_t id_variants) {
+  require(length >= 2 && radius + 1 < length, "invalid search geometry");
+
+  // Family: paths whose IDs agree on the first radius+1 nodes (forcing
+  // D-radius-identical centered graphs) and vary on the tail.
+  std::vector<LegalGraph> family;
+  for (std::uint32_t variant = 0; variant < id_variants; ++variant) {
+    std::vector<NodeId> ids(length);
+    for (Node v = 0; v < length; ++v) {
+      ids[v] = (v <= radius)
+                   ? v
+                   : (v + static_cast<NodeId>(variant) * length);
+    }
+    family.push_back(path_with_ids(length, std::move(ids)));
+  }
+
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    for (std::size_t j = i + 1; j < family.size(); ++j) {
+      SensitivePair pair{family[i], family[j], 0, 0, radius};
+      if (!verify_radius_identical(pair)) continue;
+      const double sensitivity =
+          measure_sensitivity(alg, pair, n_param, delta, seeds);
+      if (sensitivity >= min_fraction) return pair;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mpcstab

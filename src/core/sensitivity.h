@@ -1,0 +1,59 @@
+// Sensitivity of component-stable algorithms — Definition 24: an algorithm
+// A is (D, eps, n, Delta)-sensitive w.r.t. two D-radius-identical centered
+// graphs G, G' when Pr_S[ A(G,v,n,Delta,S) != A(G',v',n,Delta,S) ] >= eps.
+// Lemma 25 shows every too-fast component-stable algorithm for a hard
+// replicable problem must be sensitive w.r.t. *some* pair; this module
+// measures sensitivity empirically and performs the brute-force pair search
+// the reduction relies on (footnote 11).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/component_stable.h"
+#include "graph/balls.h"
+#include "graph/legal_graph.h"
+
+namespace mpcstab {
+
+/// A pair of centered graphs claimed to be D-radius-identical.
+struct SensitivePair {
+  LegalGraph g;
+  LegalGraph g_prime;
+  Node center = 0;
+  Node center_prime = 0;
+  std::uint32_t radius = 0;
+};
+
+/// Verifies the Definition 23 precondition of the pair.
+bool verify_radius_identical(const SensitivePair& pair);
+
+/// Empirical sensitivity: fraction of seeds on which the algorithm's
+/// outputs at the two centers differ, with global parameters (n, Delta)
+/// fixed to the simulation-graph values (Definition 24).
+double measure_sensitivity(const ComponentStableAlgorithm& alg,
+                           const SensitivePair& pair, std::uint64_t n_param,
+                           std::uint32_t delta,
+                           std::span<const std::uint64_t> seeds);
+
+/// Canonical hand-constructed pair: two paths of `length` nodes with
+/// identical IDs except the far endpoint, centered at the near endpoint.
+/// D-radius-identical for every D < length - 1; a marker algorithm keyed to
+/// the differing far ID is (D, 1)-sensitive w.r.t. it.
+SensitivePair path_marker_pair(Node length, std::uint32_t radius,
+                               NodeId marker_id);
+
+/// Brute-force search (the Lemma 27 footnote-11 step): over all paths of
+/// the given length with IDs drawn from a small palette permutation family,
+/// find a D-radius-identical pair on which the algorithm's outputs at the
+/// centers differ for at least `min_fraction` of the seeds. Returns nullopt
+/// when the family contains no such pair.
+std::optional<SensitivePair> find_sensitive_pair_on_paths(
+    const ComponentStableAlgorithm& alg, Node length, std::uint32_t radius,
+    std::uint64_t n_param, std::uint32_t delta,
+    std::span<const std::uint64_t> seeds, double min_fraction,
+    std::uint32_t id_variants);
+
+}  // namespace mpcstab

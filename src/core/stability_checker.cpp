@@ -1,0 +1,92 @@
+#include "core/stability_checker.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/ops.h"
+#include "rng/splitmix.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+LegalGraph embed_with_context(const LegalGraph& component,
+                              const LegalGraph& context,
+                              std::uint64_t name_salt) {
+  const Graph parts[] = {component.graph(), context.graph()};
+  Graph combined = disjoint_union(parts);
+  const Node n = combined.n();
+
+  // IDs: preserved per part (component-unique by construction of the
+  // parts; disjointness keeps them legal even when they collide globally).
+  std::vector<NodeId> ids;
+  ids.reserve(n);
+  for (Node v = 0; v < component.n(); ++v) ids.push_back(component.id(v));
+  for (Node v = 0; v < context.n(); ++v) ids.push_back(context.id(v));
+
+  // Names: a salt-keyed permutation of [0, n) — globally unique, and
+  // varying the salt probes (forbidden) name dependence.
+  std::vector<Node> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](Node a, Node b) {
+    const auto ka = splitmix64(name_salt ^ (a * 0x9e3779b97f4a7c15ull));
+    const auto kb = splitmix64(name_salt ^ (b * 0x9e3779b97f4a7c15ull));
+    return ka < kb || (ka == kb && a < b);
+  });
+  std::vector<NodeName> names(n);
+  for (Node rank = 0; rank < n; ++rank) names[order[rank]] = rank;
+
+  return LegalGraph::make(std::move(combined), std::move(ids),
+                          std::move(names));
+}
+
+StabilityReport check_stability(const MpcAlgorithm& algorithm,
+                                const LegalGraph& component,
+                                const LegalGraph& context_a,
+                                const LegalGraph& context_b,
+                                std::span<const std::uint64_t> seeds,
+                                std::uint64_t machine_factor) {
+  require(context_a.n() == context_b.n(),
+          "contexts must have equal node counts so n matches");
+  {
+    const std::uint32_t delta_a =
+        std::max(component.max_degree(), context_a.max_degree());
+    const std::uint32_t delta_b =
+        std::max(component.max_degree(), context_b.max_degree());
+    require(delta_a == delta_b,
+            "contexts must yield equal max degree so Delta matches");
+  }
+
+  const LegalGraph host_a = embed_with_context(component, context_a, 0);
+  const LegalGraph host_a_renamed =
+      embed_with_context(component, context_a, 0x5EEDu);
+  const LegalGraph host_b = embed_with_context(component, context_b, 0);
+
+  auto run = [&](const LegalGraph& host, std::uint64_t seed) {
+    Cluster cluster(MpcConfig::for_graph(host.n(), host.graph().m(), 0.5,
+                                         machine_factor));
+    std::vector<Label> labels = algorithm(cluster, host, seed);
+    ensure(labels.size() == host.n(), "algorithm must label every node");
+    return labels;
+  };
+
+  StabilityReport report;
+  for (std::uint64_t seed : seeds) {
+    const auto labels_a = run(host_a, seed);
+    const auto labels_renamed = run(host_a_renamed, seed);
+    const auto labels_b = run(host_b, seed);
+    // The component occupies indices [0, component.n()) in every embedding.
+    for (Node v = 0; v < component.n(); ++v) {
+      if (labels_a[v] != labels_renamed[v]) {
+        report.name_invariant = false;
+        ++report.name_violations;
+      }
+      if (labels_a[v] != labels_b[v]) {
+        report.context_invariant = false;
+        ++report.context_violations;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,64 @@
+// Empirical falsification of component stability for *arbitrary* MPC
+// algorithms. Definition 13 permits output dependency on (CC(v), v, n,
+// Delta, S) only, so a correct checker must hold n and Delta fixed while
+// varying everything else:
+//
+//   * name invariance:    permuting the globally-unique names must not
+//                         change any node's output;
+//   * context invariance: embedding a fixed component C next to two
+//                         different "context" graphs with equal node count
+//                         and equal max degree must not change C's outputs.
+//
+// Amplification-based algorithms (Section 5) fail context invariance —
+// the globally chosen repetition depends on the other components — which
+// is exactly the paper's argument that they are inherently unstable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+#include "problems/problems.h"
+
+namespace mpcstab {
+
+/// An arbitrary (not necessarily stable) MPC algorithm under test: runs on
+/// a fresh cluster and returns one label per node.
+using MpcAlgorithm = std::function<std::vector<Label>(
+    Cluster& cluster, const LegalGraph& g, std::uint64_t seed)>;
+
+/// Verdict of the stability checker.
+struct StabilityReport {
+  bool name_invariant = true;
+  bool context_invariant = true;
+  /// Number of (seed, node) output disagreements observed per check.
+  std::uint64_t name_violations = 0;
+  std::uint64_t context_violations = 0;
+
+  bool stable() const { return name_invariant && context_invariant; }
+};
+
+/// Runs the checks. `component` is the probe component C; `context_a` and
+/// `context_b` are alternative disjoint contexts, which must have equal
+/// node counts and equal max degrees <= that of the combined graph, so that
+/// (n, Delta) match across the two embeddings. `machine_factor` sizes the
+/// clusters (amplified algorithms need one machine group per repetition).
+StabilityReport check_stability(const MpcAlgorithm& algorithm,
+                                const LegalGraph& component,
+                                const LegalGraph& context_a,
+                                const LegalGraph& context_b,
+                                std::span<const std::uint64_t> seeds,
+                                std::uint64_t machine_factor = 1);
+
+/// Builds the disjoint union "component ⊎ context" as a legal graph:
+/// IDs are preserved (components keep their own ID spaces — legal), names
+/// are re-issued globally unique, optionally permuted by `name_salt` to
+/// probe name dependence.
+LegalGraph embed_with_context(const LegalGraph& component,
+                              const LegalGraph& context,
+                              std::uint64_t name_salt);
+
+}  // namespace mpcstab

@@ -1,0 +1,46 @@
+#include "derand/seed_search.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace mpcstab {
+
+SeedSearchResult find_universal_seed(std::span<const LegalGraph> instances,
+                                     unsigned seed_bits,
+                                     const InstanceSuccess& succeeds) {
+  require(seed_bits >= 1 && seed_bits <= 22,
+          "seed space must be enumerable (1..22 bits)");
+  require(!instances.empty(), "instance family must be non-empty");
+
+  const std::uint64_t seeds = 1ull << seed_bits;
+  SeedSearchResult result;
+  result.solved_count.assign(seeds, 0);
+  std::uint64_t successes = 0;
+
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    bool all = true;
+    for (const LegalGraph& instance : instances) {
+      if (succeeds(instance, s)) {
+        ++result.solved_count[s];
+        ++successes;
+      } else {
+        all = false;
+      }
+    }
+    if (all && !result.universal_seed.has_value()) {
+      result.universal_seed = s;
+    }
+  }
+  result.success_rate =
+      static_cast<double>(successes) /
+      (static_cast<double>(seeds) * static_cast<double>(instances.size()));
+  return result;
+}
+
+double amplified_success(double p, std::uint64_t repetitions) {
+  require(p >= 0.0 && p <= 1.0, "probability must be in [0,1]");
+  return 1.0 - std::pow(1.0 - p, static_cast<double>(repetitions));
+}
+
+}  // namespace mpcstab

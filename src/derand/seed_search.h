@@ -1,0 +1,47 @@
+// Non-uniform derandomization via universal seeds (Lemma 54 / Lemma 55 /
+// Theorem 22): a randomized algorithm succeeding with probability
+// 1 - 2^{-n^2} must have one seed that works for *every* graph in
+// G_{n,Delta} (|G_{n,Delta}| <= 2^{n^2}); hard-coding that seed gives a
+// non-uniform, non-explicit deterministic algorithm, so DetMPC = RandMPC.
+//
+// This module makes the counting argument executable at small scale: it
+// enumerates a seed space against an explicit instance family and reports
+// whether a universal seed exists, plus per-seed success statistics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/legal_graph.h"
+
+namespace mpcstab {
+
+/// Evaluates whether the algorithm under `seed` succeeds on `instance`.
+using InstanceSuccess =
+    std::function<bool(const LegalGraph& instance, std::uint64_t seed)>;
+
+/// Statistics of a universal-seed search.
+struct SeedSearchResult {
+  /// A seed succeeding on every instance, if one exists in the space.
+  std::optional<std::uint64_t> universal_seed;
+  /// Per-seed number of instances solved (indexed by seed).
+  std::vector<std::uint32_t> solved_count;
+  /// Fraction of (seed, instance) pairs that succeed — the empirical
+  /// success probability of the randomized algorithm over the family.
+  double success_rate = 0.0;
+};
+
+/// Exhaustive search for a universal seed over 2^seed_bits seeds and the
+/// given instance family.
+SeedSearchResult find_universal_seed(std::span<const LegalGraph> instances,
+                                     unsigned seed_bits,
+                                     const InstanceSuccess& succeeds);
+
+/// Amplified success probability of k independent parallel repetitions
+/// given single-shot success probability p: 1 - (1-p)^k. Helper used by the
+/// Lemma 55 bench to report the boost from n^2 repetitions.
+double amplified_success(double p, std::uint64_t repetitions);
+
+}  // namespace mpcstab

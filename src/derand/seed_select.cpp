@@ -1,0 +1,133 @@
+#include "derand/seed_select.h"
+
+#include <bit>
+#include <limits>
+
+#include "mpc/primitives.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+namespace {
+
+void charge_tree(Cluster* cluster, std::string_view what) {
+  if (cluster != nullptr) cluster->charge_rounds(cluster->tree_rounds(), what);
+}
+
+/// Order-preserving map from finite doubles to uint64 (IEEE-754 trick):
+/// a < b  <=>  key(a) < key(b).
+std::uint64_t order_key(double value) {
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  return (bits & 0x8000000000000000ull) ? ~bits
+                                        : (bits | 0x8000000000000000ull);
+}
+
+/// Selects the argmin over (cost, seed) candidates. With a cluster, the
+/// candidates are striped over machines, each machine reduces its stripe
+/// locally (the paper's "heavy local computation"), and the winners meet
+/// in a REAL argmin aggregation tree — the globally-agreed seed that makes
+/// the whole method component-unstable. Without a cluster, a plain scan.
+SeedSelection argmin_over_seeds(Cluster* cluster, std::uint64_t seeds,
+                                const SeedCost& cost,
+                                std::uint64_t seed_base = 0) {
+  SeedSelection best;
+  best.cost = std::numeric_limits<double>::infinity();
+  if (cluster == nullptr) {
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+      const double c = cost(seed_base + s);
+      if (c < best.cost) {
+        best.cost = c;
+        best.seed = seed_base + s;
+      }
+    }
+    best.evaluated = seeds;
+    return best;
+  }
+
+  const std::uint64_t machines = cluster->machines();
+  std::vector<std::uint64_t> keys(machines, ~0ull);
+  std::vector<std::uint64_t> payloads(machines, 0);
+  std::vector<double> local_costs(machines,
+                                  std::numeric_limits<double>::infinity());
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    const std::uint64_t machine = s % machines;
+    const double c = cost(seed_base + s);
+    if (c < local_costs[machine]) {
+      local_costs[machine] = c;
+      keys[machine] = order_key(c);
+      payloads[machine] = seed_base + s;
+    }
+  }
+  const std::uint64_t winner =
+      allreduce_argmin(*cluster, std::move(keys), std::move(payloads));
+  best.seed = winner;
+  best.cost = cost(winner);
+  best.evaluated = seeds;
+  return best;
+}
+
+}  // namespace
+
+SeedSelection select_seed(Cluster* cluster, unsigned seed_bits,
+                          const SeedCost& cost) {
+  require(seed_bits >= 1 && seed_bits <= 26,
+          "seed space must be enumerable (1..26 bits)");
+  return argmin_over_seeds(cluster, 1ull << seed_bits, cost);
+}
+
+SeedSelection select_seed_chunked(Cluster* cluster, unsigned seed_bits,
+                                  unsigned chunk_bits, const SeedCost& cost) {
+  require(seed_bits >= 1 && seed_bits <= 26,
+          "seed space must be enumerable (1..26 bits)");
+  require(chunk_bits >= 1 && chunk_bits <= seed_bits,
+          "chunk must be within the seed");
+
+  std::uint64_t fixed = 0;       // value of fixed low bits
+  unsigned fixed_bits = 0;
+  std::uint64_t evaluated = 0;
+
+  while (fixed_bits < seed_bits) {
+    const unsigned step = std::min(chunk_bits, seed_bits - fixed_bits);
+    const std::uint64_t chunk_values = 1ull << step;
+    const unsigned suffix_bits = seed_bits - fixed_bits - step;
+    const std::uint64_t suffixes = 1ull << suffix_bits;
+
+    double best_expectation = std::numeric_limits<double>::infinity();
+    std::uint64_t best_chunk = 0;
+    for (std::uint64_t chunk = 0; chunk < chunk_values; ++chunk) {
+      // Exact conditional expectation: average over all completions.
+      double total = 0.0;
+      for (std::uint64_t suffix = 0; suffix < suffixes; ++suffix) {
+        const std::uint64_t seed =
+            fixed | (chunk << fixed_bits) |
+            (suffix << (fixed_bits + step));
+        total += cost(seed);
+        ++evaluated;
+      }
+      const double expectation = total / static_cast<double>(suffixes);
+      if (expectation < best_expectation) {
+        best_expectation = expectation;
+        best_chunk = chunk;
+      }
+    }
+    fixed |= best_chunk << fixed_bits;
+    fixed_bits += step;
+    charge_tree(cluster, "conditional-expectation chunk fix");
+  }
+
+  SeedSelection result;
+  result.seed = fixed;
+  result.cost = cost(fixed);
+  result.evaluated = evaluated;
+  return result;
+}
+
+double mean_seed_cost(unsigned seed_bits, const SeedCost& cost) {
+  require(seed_bits >= 1 && seed_bits <= 26, "seed space must be enumerable");
+  const std::uint64_t seeds = 1ull << seed_bits;
+  double total = 0.0;
+  for (std::uint64_t s = 0; s < seeds; ++s) total += cost(s);
+  return total / static_cast<double>(seeds);
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,54 @@
+// Distributed method of conditional expectations over short seeds
+// (Sections 4.1, 4.2, 4.3 of the paper, following [CDP20a, CDP20b]).
+//
+// The paper's derandomizations all share one pattern: the randomness is
+// compressed into a Theta(log n)-bit seed (a k-wise hash family member or a
+// PRG seed), machines evaluate a local cost for each candidate seed value,
+// and the global argmin seed is fixed by aggregation — "Theta(log n) bits
+// specifying the function can be fixed in a single round, provided success
+// ... can be checked locally". Because the seed space is poly(n), the
+// conditional expectation under a fixed prefix is computed *exactly* by
+// enumerating completions, which is what the machines do.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "mpc/cluster.h"
+
+namespace mpcstab {
+
+/// Exact cost of the algorithm when run with a concrete seed. Lower is
+/// better (use negated sizes for maximization objectives).
+using SeedCost = std::function<double(std::uint64_t seed)>;
+
+/// Outcome of a seed-selection pass.
+struct SeedSelection {
+  std::uint64_t seed = 0;
+  double cost = 0.0;
+  /// Number of candidate seeds evaluated.
+  std::uint64_t evaluated = 0;
+};
+
+/// Selects argmin-cost seed over the full 2^seed_bits space in one shot:
+/// candidates are partitioned over machines, evaluated locally (the paper's
+/// "heavy local computation"), and the argmin is agreed via an aggregation
+/// tree. Charges tree-depth rounds on `cluster` (pass nullptr to run
+/// without accounting). seed_bits <= 26 keeps this laptop-sized.
+SeedSelection select_seed(Cluster* cluster, unsigned seed_bits,
+                          const SeedCost& cost);
+
+/// Method of conditional expectations fixing `chunk_bits` of the seed per
+/// step (low bits first): step j evaluates, for each candidate chunk value,
+/// the exact conditional expectation of the cost over the uniform unfixed
+/// suffix, and keeps the minimizing chunk. Charges tree-depth rounds per
+/// step. Produces a seed whose cost is <= the mean cost over the full seed
+/// space (the conditional-expectations invariant).
+SeedSelection select_seed_chunked(Cluster* cluster, unsigned seed_bits,
+                                  unsigned chunk_bits, const SeedCost& cost);
+
+/// Mean cost over the whole seed space (the benchmark the
+/// conditional-expectations invariant is checked against in tests).
+double mean_seed_cost(unsigned seed_bits, const SeedCost& cost);
+
+}  // namespace mpcstab

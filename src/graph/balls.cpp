@@ -1,0 +1,79 @@
+#include "graph/balls.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "graph/ops.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Node v,
+                                         std::uint32_t r) {
+  constexpr std::uint32_t kInf = 0xffffffffu;
+  require(v < g.n(), "center out of range");
+  std::vector<std::uint32_t> dist(g.n(), kInf);
+  dist[v] = 0;
+  std::deque<Node> queue{v};
+  while (!queue.empty()) {
+    Node u = queue.front();
+    queue.pop_front();
+    if (dist[u] >= r) continue;
+    for (Node w : g.neighbors(u)) {
+      if (dist[w] == kInf) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+Ball extract_ball(const LegalGraph& g, Node v, std::uint32_t r) {
+  const auto dist = bfs_distances(g.graph(), v, r);
+  std::vector<Node> members;
+  for (Node w = 0; w < g.n(); ++w) {
+    if (dist[w] != 0xffffffffu) members.push_back(w);
+  }
+  InducedSubgraph sub = induced_subgraph(g.graph(), members);
+  std::vector<NodeId> ids;
+  std::vector<NodeName> names;
+  Node center = 0;
+  for (Node i = 0; i < sub.to_parent.size(); ++i) {
+    ids.push_back(g.id(sub.to_parent[i]));
+    names.push_back(g.name(sub.to_parent[i]));
+    if (sub.to_parent[i] == v) center = i;
+  }
+  return Ball{LegalGraph::make(std::move(sub.graph), std::move(ids),
+                               std::move(names)),
+              center, std::move(sub.to_parent), r};
+}
+
+bool balls_identical(const Ball& a, const Ball& b) {
+  if (a.graph.n() != b.graph.n()) return false;
+  if (a.graph.id(a.center) != b.graph.id(b.center)) return false;
+  // Build ID-keyed adjacency for both; compare as sorted structures.
+  auto adjacency_by_id = [](const Ball& ball) {
+    std::map<NodeId, std::vector<NodeId>> adj;
+    for (Node v = 0; v < ball.graph.n(); ++v) {
+      std::vector<NodeId> nb;
+      for (Node w : ball.graph.graph().neighbors(v)) {
+        nb.push_back(ball.graph.id(w));
+      }
+      std::sort(nb.begin(), nb.end());
+      const bool inserted = adj.emplace(ball.graph.id(v), std::move(nb)).second;
+      ensure(inserted, "ball IDs must be unique (connected legal subgraph)");
+    }
+    return adj;
+  };
+  return adjacency_by_id(a) == adjacency_by_id(b);
+}
+
+bool radius_identical(const LegalGraph& ga, Node va, const LegalGraph& gb,
+                      Node vb, std::uint32_t radius) {
+  return balls_identical(extract_ball(ga, va, radius),
+                         extract_ball(gb, vb, radius));
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,42 @@
+// r-radius balls and D-radius identity (Definition 23): two centered graphs
+// are D-radius-identical when the topologies and node IDs (not names) of the
+// D-radius balls around their centers coincide. This is the
+// indistinguishability notion the whole lifting framework pivots on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/legal_graph.h"
+
+namespace mpcstab {
+
+/// The r-radius ball around a center node, extracted as a centered legal
+/// graph (IDs and names inherited from the parent).
+struct Ball {
+  LegalGraph graph;
+  Node center = 0;               // internal index within `graph`
+  std::vector<Node> to_parent;   // ball index -> parent index
+  std::uint32_t radius = 0;
+};
+
+/// Extracts the ball of radius r around v.
+Ball extract_ball(const LegalGraph& g, Node v, std::uint32_t r);
+
+/// Distance-limited BFS: dist[w] = d(v,w) for w within radius r,
+/// 0xffffffff outside.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Node v,
+                                         std::uint32_t r);
+
+/// True when the two centered balls are identical in the sense of
+/// Definition 23: the map matching equal IDs is a graph isomorphism that
+/// maps center to center. (IDs inside a ball are unique because balls are
+/// connected and the parent graphs are legal.)
+bool balls_identical(const Ball& a, const Ball& b);
+
+/// Convenience: extracts both balls and compares (Definition 23 applied to
+/// two graphs with chosen centers).
+bool radius_identical(const LegalGraph& ga, Node va, const LegalGraph& gb,
+                      Node vb, std::uint32_t radius);
+
+}  // namespace mpcstab

@@ -1,0 +1,38 @@
+#include "graph/components.h"
+
+#include <deque>
+
+namespace mpcstab {
+
+Components connected_components(const Graph& g) {
+  constexpr std::uint32_t kUnset = 0xffffffffu;
+  Components result;
+  result.comp.assign(g.n(), kUnset);
+  std::deque<Node> queue;
+  for (Node start = 0; start < g.n(); ++start) {
+    if (result.comp[start] != kUnset) continue;
+    const std::uint32_t label = result.count++;
+    result.comp[start] = label;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      Node v = queue.front();
+      queue.pop_front();
+      for (Node w : g.neighbors(v)) {
+        if (result.comp[w] == kUnset) {
+          result.comp[w] = label;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<Node>> component_node_lists(const Graph& g) {
+  const Components c = connected_components(g);
+  std::vector<std::vector<Node>> lists(c.count);
+  for (Node v = 0; v < g.n(); ++v) lists[c.comp[v]].push_back(v);
+  return lists;
+}
+
+}  // namespace mpcstab

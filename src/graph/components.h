@@ -1,0 +1,29 @@
+// Connected components of a Graph. Component structure is the central object
+// of the paper: component-stable outputs may depend only on the component of
+// a node (Definition 13), and IDs of legal graphs need only be unique within
+// components (Definition 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcstab {
+
+/// Component labeling of a graph.
+struct Components {
+  /// comp[v] in [0, count) for every node v; nodes in the same connected
+  /// component share a label. Labels are assigned in order of smallest
+  /// contained node index.
+  std::vector<std::uint32_t> comp;
+  std::uint32_t count = 0;
+};
+
+/// BFS component labeling; O(n + m).
+Components connected_components(const Graph& g);
+
+/// Node lists per component, each sorted ascending.
+std::vector<std::vector<Node>> component_node_lists(const Graph& g);
+
+}  // namespace mpcstab

@@ -1,0 +1,71 @@
+#include "graph/enumerate.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/components.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+namespace {
+
+Graph graph_from_mask(Node n, std::uint64_t mask) {
+  std::vector<Edge> edges;
+  std::uint32_t bit = 0;
+  for (Node u = 0; u < n; ++u) {
+    for (Node v = u + 1; v < n; ++v, ++bit) {
+      if (mask & (1ull << bit)) edges.push_back({u, v});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+std::uint64_t mask_from_graph(const Graph& g,
+                              std::span<const Node> perm) {
+  std::uint64_t mask = 0;
+  std::uint32_t bit = 0;
+  const Node n = g.n();
+  for (Node u = 0; u < n; ++u) {
+    for (Node v = u + 1; v < n; ++v, ++bit) {
+      if (g.has_edge(perm[u], perm[v])) mask |= (1ull << bit);
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+void for_each_graph(Node n, const std::function<void(const Graph&)>& fn) {
+  require(n <= 7, "enumeration limited to n <= 7");
+  const std::uint32_t pairs = n * (n - 1) / 2;
+  for (std::uint64_t mask = 0; mask < (1ull << pairs); ++mask) {
+    fn(graph_from_mask(n, mask));
+  }
+}
+
+void for_each_connected_graph(Node n,
+                              const std::function<void(const Graph&)>& fn) {
+  for_each_graph(n, [&](const Graph& g) {
+    if (connected_components(g).count == 1) fn(g);
+  });
+}
+
+std::uint64_t canonical_form(const Graph& g) {
+  const Node n = g.n();
+  require(n <= 8, "canonical_form limited to n <= 8");
+  std::vector<Node> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::uint64_t best = ~0ull;
+  do {
+    best = std::min(best, mask_from_graph(g, perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+std::uint64_t labeled_graph_count(Node n) {
+  require(n <= 11, "labeled_graph_count limited to n <= 11");
+  return 1ull << (n * (n - 1) / 2);
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,30 @@
+// Exhaustive enumeration of small graphs. The lifting framework's hard
+// instances are *found* by brute-force search over all graphs of bounded
+// size (footnote 11 of the paper: "we can run a brute-force search on each
+// machine"); this module provides that search space for testable sizes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcstab {
+
+/// Calls `fn` for every simple graph on exactly n labeled nodes
+/// (2^(n(n-1)/2) graphs); n <= 7 enforced.
+void for_each_graph(Node n, const std::function<void(const Graph&)>& fn);
+
+/// Calls `fn` for every *connected* simple graph on n labeled nodes.
+void for_each_connected_graph(Node n,
+                              const std::function<void(const Graph&)>& fn);
+
+/// Canonical form of a graph on n <= 8 nodes: the minimum adjacency bitmask
+/// over all node permutations. Equal canonical forms <=> isomorphic.
+std::uint64_t canonical_form(const Graph& g);
+
+/// Number of labeled graphs on n nodes (2^(n choose 2)); n <= 11.
+std::uint64_t labeled_graph_count(Node n);
+
+}  // namespace mpcstab

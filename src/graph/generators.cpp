@@ -1,0 +1,239 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "support/check.h"
+
+namespace mpcstab {
+
+Graph path_graph(Node n) {
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (Node v = 0; v + 1 < n; ++v) edges.push_back({v, static_cast<Node>(v + 1)});
+  return Graph::from_edges(n, edges);
+}
+
+Graph cycle_graph(Node n) {
+  require(n >= 3, "cycle needs >= 3 nodes");
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (Node v = 0; v < n; ++v) {
+    edges.push_back({v, static_cast<Node>((v + 1) % n)});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph two_cycles_graph(Node n) {
+  require(n >= 6 && n % 2 == 0, "two cycles need even n >= 6");
+  const Node half = n / 2;
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (Node v = 0; v < half; ++v) {
+    edges.push_back({v, static_cast<Node>((v + 1) % half)});
+    edges.push_back({static_cast<Node>(half + v),
+                     static_cast<Node>(half + (v + 1) % half)});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete_graph(Node n) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (Node u = 0; u < n; ++u) {
+    for (Node v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph star_graph(Node n) {
+  require(n >= 1, "star needs >= 1 node");
+  std::vector<Edge> edges;
+  for (Node v = 1; v < n; ++v) edges.push_back({0, v});
+  return Graph::from_edges(n, edges);
+}
+
+Graph grid_graph(Node rows, Node cols) {
+  std::vector<Edge> edges;
+  auto at = [cols](Node r, Node c) { return r * cols + c; };
+  for (Node r = 0; r < rows; ++r) {
+    for (Node c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({at(r, c), at(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({at(r, c), at(r + 1, c)});
+    }
+  }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph random_tree(Node n, const Prf& prf) {
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (Node v = 1; v < n; ++v) {
+    const Node parent =
+        static_cast<Node>(prf.word_below(/*stream=*/0x7472ee, v, v));
+    edges.push_back({parent, v});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_forest(Node n, Node trees, const Prf& prf) {
+  require(trees >= 1 && trees <= n, "forest needs 1 <= trees <= n");
+  // First node of each tree is a fresh root; remaining nodes attach within
+  // their tree's index range.
+  std::vector<Edge> edges;
+  const Node base_size = n / trees;
+  Node start = 0;
+  for (Node t = 0; t < trees; ++t) {
+    const Node size = (t + 1 == trees) ? (n - start) : base_size;
+    for (Node i = 1; i < size; ++i) {
+      const Node parent = static_cast<Node>(
+          start + prf.word_below(/*stream=*/0x666f72 + t, i, i));
+      edges.push_back({parent, static_cast<Node>(start + i)});
+    }
+    start += size;
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_graph(Node n, double p, const Prf& prf) {
+  require(p >= 0.0 && p <= 1.0, "probability must be in [0,1]");
+  std::vector<Edge> edges;
+  std::uint64_t counter = 0;
+  for (Node u = 0; u < n; ++u) {
+    for (Node v = u + 1; v < n; ++v) {
+      if (prf.unit(/*stream=*/0x6572, counter++) < p) edges.push_back({u, v});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_regular_graph(Node n, std::uint32_t d, const Prf& prf) {
+  require(d >= 1 && d < n, "degree must be in [1, n)");
+  require((static_cast<std::uint64_t>(n) * d) % 2 == 0,
+          "n*d must be even for a d-regular graph");
+  // Configuration model with edge-swap repair: pure rejection fails with
+  // probability ~ 1 - exp(-d^2/4), so instead of resampling the whole
+  // pairing we repair self-loops and duplicate edges by double-edge swaps
+  // (the standard MCMC move, which preserves all degrees).
+  const std::uint64_t stubs = static_cast<std::uint64_t>(n) * d;
+  std::vector<Node> deck(stubs);
+  for (std::uint64_t i = 0; i < stubs; ++i) {
+    deck[i] = static_cast<Node>(i / d);
+  }
+  std::uint64_t counter = 0;
+  for (std::uint64_t i = stubs - 1; i > 0; --i) {
+    const std::uint64_t j = prf.word_below(/*stream=*/0x7265, counter++, i + 1);
+    std::swap(deck[i], deck[j]);
+  }
+  std::vector<std::pair<Node, Node>> pairs(stubs / 2);
+  for (std::uint64_t i = 0; i < pairs.size(); ++i) {
+    pairs[i] = {deck[2 * i], deck[2 * i + 1]};
+  }
+
+  auto key = [](Node a, Node b) {
+    return (static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+           std::max(a, b);
+  };
+  auto is_bad = [&](std::uint64_t i,
+                    const std::unordered_map<std::uint64_t, std::uint32_t>&
+                        multiplicity) {
+    const auto& [a, b] = pairs[i];
+    return a == b || multiplicity.at(key(a, b)) > 1;
+  };
+
+  const std::uint64_t budget = 64 * stubs + 1024;
+  for (std::uint64_t iter = 0; iter < budget; ++iter) {
+    std::unordered_map<std::uint64_t, std::uint32_t> multiplicity;
+    multiplicity.reserve(pairs.size() * 2);
+    for (const auto& [a, b] : pairs) {
+      if (a != b) ++multiplicity[key(a, b)];
+    }
+    std::vector<std::uint64_t> bad;
+    for (std::uint64_t i = 0; i < pairs.size(); ++i) {
+      if (is_bad(i, multiplicity)) bad.push_back(i);
+    }
+    if (bad.empty()) break;
+    // Swap each bad pair with a uniformly random partner pair.
+    for (std::uint64_t i : bad) {
+      const std::uint64_t j =
+          prf.word_below(0x73776170, counter++, pairs.size());
+      if (i == j) continue;
+      std::swap(pairs[i].second, pairs[j].second);
+    }
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    if (a == b) continue;  // residual self-loop: drop (near-regular)
+    edges.push_back({a, b});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_bounded_degree_graph(Node n, std::uint32_t max_deg,
+                                  std::uint64_t target_m, const Prf& prf) {
+  std::vector<std::uint32_t> deg(n, 0);
+  std::vector<Edge> edges;
+  std::uint64_t counter = 0;
+  std::uint64_t placed = 0;
+  const std::uint64_t budget = target_m * 16 + 64;
+  for (std::uint64_t tries = 0; tries < budget && placed < target_m; ++tries) {
+    const Node u = static_cast<Node>(prf.word_below(0x626464, counter++, n));
+    const Node v = static_cast<Node>(prf.word_below(0x626464, counter++, n));
+    if (u == v || deg[u] >= max_deg || deg[v] >= max_deg) continue;
+    edges.push_back({u, v});
+    ++deg[u];
+    ++deg[v];
+    ++placed;
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph caterpillar_forest(Node spine, Node legs_per_node, Node copies) {
+  require(spine >= 1, "caterpillar needs spine >= 1");
+  const Node per_copy = spine * (1 + legs_per_node);
+  const Node n = per_copy * copies;
+  std::vector<Edge> edges;
+  for (Node c = 0; c < copies; ++c) {
+    const Node base = c * per_copy;
+    for (Node s = 0; s + 1 < spine; ++s) {
+      edges.push_back({static_cast<Node>(base + s),
+                       static_cast<Node>(base + s + 1)});
+    }
+    for (Node s = 0; s < spine; ++s) {
+      for (Node l = 0; l < legs_per_node; ++l) {
+        edges.push_back(
+            {static_cast<Node>(base + s),
+             static_cast<Node>(base + spine + s * legs_per_node + l)});
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph balanced_binary_tree(Node n) {
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (Node v = 1; v < n; ++v) {
+    edges.push_back({static_cast<Node>((v - 1) / 2), v});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph hypercube_graph(std::uint32_t dimension) {
+  require(dimension >= 1 && dimension <= 20, "dimension must be in [1,20]");
+  const Node n = static_cast<Node>(1u << dimension);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dimension / 2);
+  for (Node v = 0; v < n; ++v) {
+    for (std::uint32_t b = 0; b < dimension; ++b) {
+      const Node w = v ^ (1u << b);
+      if (v < w) edges.push_back({v, w});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,64 @@
+// Graph generators: the input families the paper's constructions and lower
+// bounds live on (cycles for the connectivity conjecture, paths for
+// D-diameter s-t connectivity, forests for the normal-family lower bounds,
+// d-regular graphs for sinkless orientation, etc.).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "rng/prf.h"
+
+namespace mpcstab {
+
+/// Simple path on n nodes: 0-1-2-...-(n-1).
+Graph path_graph(Node n);
+
+/// Single cycle on n >= 3 nodes.
+Graph cycle_graph(Node n);
+
+/// Disjoint union of two cycles of n/2 nodes each (n even, n >= 6): the
+/// "two cycles" side of the connectivity conjecture instance.
+Graph two_cycles_graph(Node n);
+
+/// Complete graph K_n.
+Graph complete_graph(Node n);
+
+/// Star with one center and n-1 leaves.
+Graph star_graph(Node n);
+
+/// 2D grid on rows x cols nodes.
+Graph grid_graph(Node rows, Node cols);
+
+/// Uniform random tree on n nodes (random attachment), seeded.
+Graph random_tree(Node n, const Prf& prf);
+
+/// Forest of `trees` random trees totalling n nodes.
+Graph random_forest(Node n, Node trees, const Prf& prf);
+
+/// Erdos-Renyi G(n, p), seeded.
+Graph random_graph(Node n, double p, const Prf& prf);
+
+/// Random d-regular graph via the configuration model with retries; requires
+/// n*d even and d < n. Falls back to near-regular (max degree d) if a
+/// perfect matching of stubs is not found after retries.
+Graph random_regular_graph(Node n, std::uint32_t d, const Prf& prf);
+
+/// Random graph with maximum degree <= max_deg and roughly target_m edges.
+Graph random_bounded_degree_graph(Node n, std::uint32_t max_deg,
+                                  std::uint64_t target_m, const Prf& prf);
+
+/// Disjoint union of `copies` caterpillar trees (used for forest workloads).
+Graph caterpillar_forest(Node spine, Node legs_per_node, Node copies);
+
+/// Balanced binary tree on n nodes (node v's parent is (v-1)/2):
+/// diameter ~ 2*log2(n), max degree 3 — the low-diameter bounded-degree
+/// workhorse for propagation benchmarks.
+Graph balanced_binary_tree(Node n);
+
+/// d-dimensional hypercube on 2^d nodes: diameter d, degree d,
+/// vertex-transitive — a symmetric stress case for symmetry-breaking
+/// algorithms.
+Graph hypercube_graph(std::uint32_t dimension);
+
+}  // namespace mpcstab

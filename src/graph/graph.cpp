@@ -1,0 +1,64 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace mpcstab {
+
+Graph::Graph(Node n) : offsets_(static_cast<std::size_t>(n) + 1, 0) {}
+
+Graph Graph::from_edges(Node n, std::span<const Edge> edges) {
+  Graph g(n);
+  std::vector<std::pair<Node, Node>> directed;
+  directed.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    require(e.u < n && e.v < n, "edge endpoint out of range");
+    require(e.u != e.v, "self-loops are not allowed in simple graphs");
+    directed.emplace_back(e.u, e.v);
+    directed.emplace_back(e.v, e.u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+
+  g.adjacency_.reserve(directed.size());
+  for (const auto& [u, v] : directed) {
+    ++g.offsets_[u + 1];
+    g.adjacency_.push_back(v);
+  }
+  for (Node v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  return g;
+}
+
+std::uint32_t Graph::max_degree() const {
+  std::uint32_t best = 0;
+  for (Node v = 0; v < n(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+std::uint32_t Graph::min_degree() const {
+  if (n() == 0) return 0;
+  std::uint32_t best = degree(0);
+  for (Node v = 1; v < n(); ++v) best = std::min(best, degree(v));
+  return best;
+}
+
+bool Graph::has_edge(Node u, Node v) const {
+  require(u < n() && v < n(), "node out of range");
+  auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(m());
+  for (Node u = 0; u < n(); ++u) {
+    for (Node v : neighbors(u)) {
+      if (u < v) out.push_back({u, v});
+    }
+  }
+  return out;
+}
+
+}  // namespace mpcstab

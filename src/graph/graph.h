@@ -1,0 +1,64 @@
+// Immutable undirected simple graph in CSR (compressed sparse row) form.
+// All higher layers — the LOCAL engine, the MPC simulator, and the
+// component-stability framework — share this one topology type.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mpcstab {
+
+/// Internal node index; nodes are 0..n-1. Distinct from the *ID* and *name*
+/// spaces of legal graphs (Definition 6), which live in LegalGraph.
+using Node = std::uint32_t;
+
+/// An undirected edge between internal indices.
+struct Edge {
+  Node u = 0;
+  Node v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Immutable undirected simple graph.
+class Graph {
+ public:
+  /// Empty graph on n isolated nodes.
+  explicit Graph(Node n = 0);
+
+  /// Builds from an edge list; rejects self-loops, deduplicates parallel
+  /// edges, and ignores edge direction.
+  static Graph from_edges(Node n, std::span<const Edge> edges);
+
+  Node n() const { return static_cast<Node>(offsets_.size() - 1); }
+
+  /// Number of undirected edges.
+  std::uint64_t m() const { return adjacency_.size() / 2; }
+
+  std::uint32_t degree(Node v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const Node> neighbors(Node v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  std::uint32_t max_degree() const;
+  std::uint32_t min_degree() const;
+
+  /// True when {u, v} is an edge (binary search; neighbors are sorted).
+  bool has_edge(Node u, Node v) const;
+
+  /// All edges with u < v, in lexicographic order.
+  std::vector<Edge> edges() const;
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  std::vector<std::uint32_t> offsets_;  // size n+1
+  std::vector<Node> adjacency_;         // sorted per node
+};
+
+}  // namespace mpcstab

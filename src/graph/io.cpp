@@ -1,0 +1,86 @@
+#include "graph/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace mpcstab {
+
+void write_graph(std::ostream& out, const LegalGraph& g) {
+  out << "graph " << g.n() << ' ' << g.graph().m() << '\n';
+  for (Node v = 0; v < g.n(); ++v) {
+    out << "node " << v << ' ' << g.id(v) << ' ' << g.name(v) << '\n';
+  }
+  for (const Edge& e : g.graph().edges()) {
+    out << "edge " << e.u << ' ' << e.v << '\n';
+  }
+}
+
+LegalGraph read_graph(std::istream& in) {
+  std::string token;
+  Node n = 0;
+  std::uint64_t m = 0;
+  bool have_header = false;
+  std::vector<NodeId> ids;
+  std::vector<NodeName> names;
+  std::vector<Edge> edges;
+  std::vector<std::uint8_t> node_seen;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    if (!(ls >> token)) continue;  // blank line
+
+    if (token == "graph") {
+      require(!have_header, "duplicate graph header");
+      require(static_cast<bool>(ls >> n >> m), "malformed graph header");
+      have_header = true;
+      ids.assign(n, 0);
+      names.assign(n, 0);
+      node_seen.assign(n, 0);
+    } else if (token == "node") {
+      require(have_header, "node line before graph header");
+      Node v = 0;
+      NodeId id = 0;
+      NodeName name = 0;
+      require(static_cast<bool>(ls >> v >> id >> name),
+              "malformed node line");
+      require(v < n, "node index out of range");
+      require(!node_seen[v], "duplicate node line");
+      node_seen[v] = 1;
+      ids[v] = id;
+      names[v] = name;
+    } else if (token == "edge") {
+      require(have_header, "edge line before graph header");
+      Edge e;
+      require(static_cast<bool>(ls >> e.u >> e.v), "malformed edge line");
+      edges.push_back(e);
+    } else {
+      require(false, "unknown token in graph file");
+    }
+  }
+  require(have_header, "missing graph header");
+  for (Node v = 0; v < n; ++v) {
+    require(node_seen[v], "missing node line");
+  }
+  require(edges.size() == m, "edge count mismatch with header");
+  return LegalGraph::make(Graph::from_edges(n, edges), std::move(ids),
+                          std::move(names));
+}
+
+std::string graph_to_string(const LegalGraph& g) {
+  std::ostringstream out;
+  write_graph(out, g);
+  return out.str();
+}
+
+LegalGraph graph_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_graph(in);
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,29 @@
+// Plain-text serialization of legal graphs: a downstream user's entry
+// point for feeding their own inputs to the simulator, and the format the
+// bench harness can dump instances in for external inspection.
+//
+// Format (whitespace/line oriented, '#' comments):
+//   graph <n> <m>
+//   node <index> <id> <name>     (n lines)
+//   edge <u> <v>                 (m lines)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/legal_graph.h"
+
+namespace mpcstab {
+
+/// Writes `g` in the text format above.
+void write_graph(std::ostream& out, const LegalGraph& g);
+
+/// Parses a graph in the text format above; throws PreconditionError on
+/// malformed input and IllegalGraphError on illegal labelings.
+LegalGraph read_graph(std::istream& in);
+
+/// Round-trip helpers over strings.
+std::string graph_to_string(const LegalGraph& g);
+LegalGraph graph_from_string(const std::string& text);
+
+}  // namespace mpcstab

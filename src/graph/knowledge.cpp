@@ -1,0 +1,111 @@
+#include "graph/knowledge.h"
+
+#include <algorithm>
+
+#include "graph/ops.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+Knowledge Knowledge::of_node(const LegalGraph& g, Node v) {
+  Knowledge k;
+  k.vertices.emplace(g.id(v), g.name(v));
+  for (Node w : g.graph().neighbors(v)) {
+    k.vertices.emplace(g.id(w), g.name(w));
+    k.edges.emplace(std::min(g.id(v), g.id(w)), std::max(g.id(v), g.id(w)));
+  }
+  return k;
+}
+
+std::vector<std::uint64_t> Knowledge::encode() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(encoded_words());
+  out.push_back(vertices.size());
+  out.push_back(edges.size());
+  for (const auto& [id, name] : vertices) {
+    out.push_back(id);
+    out.push_back(name);
+  }
+  for (const auto& [a, b] : edges) {
+    out.push_back(a);
+    out.push_back(b);
+  }
+  return out;
+}
+
+void Knowledge::merge(std::span<const std::uint64_t> payload) {
+  require(payload.size() >= 2, "malformed knowledge payload");
+  const std::uint64_t nv = payload[0];
+  const std::uint64_t ne = payload[1];
+  require(payload.size() == 2 + 2 * nv + 2 * ne,
+          "knowledge payload size mismatch");
+  std::size_t pos = 2;
+  for (std::uint64_t i = 0; i < nv; ++i) {
+    vertices.emplace(payload[pos], payload[pos + 1]);
+    pos += 2;
+  }
+  for (std::uint64_t i = 0; i < ne; ++i) {
+    edges.emplace(payload[pos], payload[pos + 1]);
+    pos += 2;
+  }
+}
+
+void Knowledge::merge(const Knowledge& other) {
+  vertices.insert(other.vertices.begin(), other.vertices.end());
+  edges.insert(other.edges.begin(), other.edges.end());
+}
+
+Ball Knowledge::to_ball(NodeId center_id, std::uint32_t radius) const {
+  // Index the known vertices; build the known graph; cut to radius.
+  std::vector<NodeId> ids;
+  ids.reserve(vertices.size());
+  for (const auto& [id, name] : vertices) ids.push_back(id);
+  std::map<NodeId, Node> index;
+  for (Node i = 0; i < ids.size(); ++i) index.emplace(ids[i], i);
+
+  std::vector<Edge> edge_list;
+  edge_list.reserve(edges.size());
+  for (const auto& [a, b] : edges) {
+    edge_list.push_back({index.at(a), index.at(b)});
+  }
+  Graph known =
+      Graph::from_edges(static_cast<Node>(ids.size()), edge_list);
+
+  const auto center_it = index.find(center_id);
+  require(center_it != index.end(), "knowledge must include the center");
+  const auto dist = bfs_distances(known, center_it->second, radius);
+  std::vector<Node> members;
+  for (Node i = 0; i < known.n(); ++i) {
+    if (dist[i] != 0xffffffffu) members.push_back(i);
+  }
+  InducedSubgraph sub = induced_subgraph(known, members);
+  std::vector<NodeId> sub_ids;
+  std::vector<NodeName> sub_names;
+  Node sub_center = 0;
+  for (Node i = 0; i < sub.to_parent.size(); ++i) {
+    const NodeId id = ids[sub.to_parent[i]];
+    sub_ids.push_back(id);
+    sub_names.push_back(vertices.at(id));
+    if (id == center_id) sub_center = i;
+  }
+  return Ball{LegalGraph::make(std::move(sub.graph), std::move(sub_ids),
+                               std::move(sub_names)),
+              sub_center,
+              {},  // no parent-index mapping across a message boundary
+              radius};
+}
+
+Knowledge Knowledge::pruned(NodeId center_id, std::uint32_t radius) const {
+  const Ball ball = to_ball(center_id, radius);
+  Knowledge k;
+  for (Node v = 0; v < ball.graph.n(); ++v) {
+    k.vertices.emplace(ball.graph.id(v), ball.graph.name(v));
+  }
+  for (const Edge& e : ball.graph.graph().edges()) {
+    k.edges.emplace(std::min(ball.graph.id(e.u), ball.graph.id(e.v)),
+                    std::max(ball.graph.id(e.u), ball.graph.id(e.v)));
+  }
+  return k;
+}
+
+}  // namespace mpcstab

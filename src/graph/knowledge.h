@@ -1,0 +1,54 @@
+// Serializable "what a node knows about the graph" state: the payload of
+// both flooding (LOCAL ball gathering) and native graph exponentiation
+// (MPC ball doubling). A Knowledge value carries the (id, name) vertices
+// and id-keyed edges learned so far and can be encoded into message words,
+// merged from payloads, and cut down to an exact r-radius Ball.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "graph/balls.h"
+#include "graph/legal_graph.h"
+
+namespace mpcstab {
+
+/// Accumulated knowledge of one node or machine about the graph.
+struct Knowledge {
+  /// id -> name for every known vertex.
+  std::map<NodeId, NodeName> vertices;
+  /// Edges as ordered id pairs (min, max).
+  std::set<std::pair<NodeId, NodeId>> edges;
+
+  /// Initial knowledge of node v in g: itself, its neighbors, its edges.
+  static Knowledge of_node(const LegalGraph& g, Node v);
+
+  /// Serializes to message words: [#vertices, #edges, (id,name)*, (a,b)*].
+  std::vector<std::uint64_t> encode() const;
+
+  /// Merges a payload produced by encode().
+  void merge(std::span<const std::uint64_t> payload);
+
+  /// Merges another knowledge value directly.
+  void merge(const Knowledge& other);
+
+  /// Words encode() will produce.
+  std::uint64_t encoded_words() const {
+    return 2 + 2 * vertices.size() + 2 * edges.size();
+  }
+
+  /// Reconstructs the exact r-radius ball around the node with ID
+  /// `center_id` from the known edges (requires the knowledge to cover at
+  /// least that ball, which r flooding rounds / log r doublings guarantee).
+  Ball to_ball(NodeId center_id, std::uint32_t radius) const;
+
+  /// Knowledge restricted to the r-radius ball around `center_id` — what a
+  /// space-conscious machine keeps after a doubling step overshoots the
+  /// target radius.
+  Knowledge pruned(NodeId center_id, std::uint32_t radius) const;
+};
+
+}  // namespace mpcstab

@@ -1,0 +1,98 @@
+#include "graph/legal_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace mpcstab {
+
+LegalGraph::LegalGraph(Graph g, std::vector<NodeId> ids,
+                       std::vector<NodeName> names, Components components)
+    : graph_(std::move(g)),
+      ids_(std::move(ids)),
+      names_(std::move(names)),
+      components_(std::move(components)) {}
+
+LegalGraph LegalGraph::with_identity(Graph g) {
+  const Node n = g.n();
+  std::vector<NodeId> ids(n);
+  std::vector<NodeName> names(n);
+  for (Node v = 0; v < n; ++v) {
+    ids[v] = v;
+    names[v] = v;
+  }
+  return make(std::move(g), std::move(ids), std::move(names));
+}
+
+LegalGraph LegalGraph::make(Graph g, std::vector<NodeId> ids,
+                            std::vector<NodeName> names) {
+  const Node n = g.n();
+  if (ids.size() != n || names.size() != n) {
+    throw IllegalGraphError("ids/names size must equal node count");
+  }
+  {
+    std::unordered_set<NodeName> seen;
+    seen.reserve(n * 2);
+    for (NodeName name : names) {
+      if (!seen.insert(name).second) {
+        throw IllegalGraphError("names must be fully unique (Definition 6)");
+      }
+    }
+  }
+  Components components = connected_components(g);
+  {
+    // IDs must be unique within each component: check (component, id) pairs.
+    std::vector<std::pair<std::uint32_t, NodeId>> pairs;
+    pairs.reserve(n);
+    for (Node v = 0; v < n; ++v) pairs.emplace_back(components.comp[v], ids[v]);
+    std::sort(pairs.begin(), pairs.end());
+    if (std::adjacent_find(pairs.begin(), pairs.end()) != pairs.end()) {
+      throw IllegalGraphError(
+          "IDs must be unique within every connected component "
+          "(Definition 6)");
+    }
+  }
+  return LegalGraph(std::move(g), std::move(ids), std::move(names),
+                    std::move(components));
+}
+
+Node LegalGraph::node_with_id(std::uint32_t comp, NodeId target) const {
+  for (Node v = 0; v < n(); ++v) {
+    if (components_.comp[v] == comp && ids_[v] == target) return v;
+  }
+  require(false, "no node with the requested ID in the component");
+  return 0;  // unreachable
+}
+
+ComponentView extract_component(const LegalGraph& g, std::uint32_t comp) {
+  require(comp < g.component_count(), "component index out of range");
+  std::vector<Node> to_parent;
+  std::vector<Node> to_child(g.n(), 0);
+  for (Node v = 0; v < g.n(); ++v) {
+    if (g.component(v) == comp) {
+      to_child[v] = static_cast<Node>(to_parent.size());
+      to_parent.push_back(v);
+    }
+  }
+  std::vector<Edge> edges;
+  for (Node v : to_parent) {
+    for (Node w : g.graph().neighbors(v)) {
+      if (v < w) edges.push_back({to_child[v], to_child[w]});
+    }
+  }
+  std::vector<NodeId> ids;
+  std::vector<NodeName> names;
+  ids.reserve(to_parent.size());
+  names.reserve(to_parent.size());
+  for (Node v : to_parent) {
+    ids.push_back(g.id(v));
+    names.push_back(g.name(v));
+  }
+  Graph sub = Graph::from_edges(static_cast<Node>(to_parent.size()), edges);
+  return ComponentView{
+      LegalGraph::make(std::move(sub), std::move(ids), std::move(names)),
+      std::move(to_parent)};
+}
+
+}  // namespace mpcstab

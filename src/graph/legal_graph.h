@@ -1,0 +1,81 @@
+// Legal graphs (Definition 6 of the paper): a topology equipped with two
+// labelings —
+//   * names: fully unique across the whole graph. Their only purpose is to
+//     let MPC machines distinguish nodes as objects; component-stable
+//     outputs must NOT depend on them.
+//   * IDs: unique only within each connected component. These are the
+//     symmetry-breaking labels that component-stable outputs MAY depend on.
+//
+// This split is the paper's resolution of the identifier-uniqueness tension
+// discussed in Section 2.1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/components.h"
+#include "graph/graph.h"
+
+namespace mpcstab {
+
+/// Component-unique identifier of a node (Definition 6).
+using NodeId = std::uint64_t;
+
+/// Globally unique machine-facing name of a node (Definition 6).
+using NodeName = std::uint64_t;
+
+/// A graph with names and IDs satisfying Definition 6. Construction
+/// validates legality and throws IllegalGraphError on violation.
+class LegalGraph {
+ public:
+  /// Legal graph whose IDs and names are both the identity labeling
+  /// 0..n-1 (always legal).
+  static LegalGraph with_identity(Graph g);
+
+  /// Fully general constructor; validates that `names` are fully unique and
+  /// `ids` are unique within every connected component.
+  static LegalGraph make(Graph g, std::vector<NodeId> ids,
+                         std::vector<NodeName> names);
+
+  const Graph& graph() const { return graph_; }
+  Node n() const { return graph_.n(); }
+  std::uint32_t max_degree() const { return graph_.max_degree(); }
+
+  NodeId id(Node v) const { return ids_[v]; }
+  NodeName name(Node v) const { return names_[v]; }
+  std::span<const NodeId> ids() const { return ids_; }
+  std::span<const NodeName> names() const { return names_; }
+
+  /// Component label of v (precomputed at construction).
+  std::uint32_t component(Node v) const { return components_.comp[v]; }
+  std::uint32_t component_count() const { return components_.count; }
+  const Components& components() const { return components_; }
+
+  /// Internal node whose ID is `id` inside component `comp`; requires it to
+  /// exist.
+  Node node_with_id(std::uint32_t comp, NodeId id) const;
+
+ private:
+  LegalGraph(Graph g, std::vector<NodeId> ids, std::vector<NodeName> names,
+             Components components);
+
+  Graph graph_;
+  std::vector<NodeId> ids_;
+  std::vector<NodeName> names_;
+  Components components_;
+};
+
+/// Extracted connected component: a legal graph of its own (IDs preserved,
+/// hence unique; names preserved, hence unique) plus the mapping back to
+/// the parent's internal indices.
+struct ComponentView {
+  LegalGraph graph;
+  /// to_parent[i] = parent internal index of the component's node i.
+  std::vector<Node> to_parent;
+};
+
+/// Extracts connected component `comp` of `g`.
+ComponentView extract_component(const LegalGraph& g, std::uint32_t comp);
+
+}  // namespace mpcstab

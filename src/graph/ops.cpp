@@ -1,0 +1,150 @@
+#include "graph/ops.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace mpcstab {
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 std::span<const Node> nodes) {
+  std::unordered_map<Node, Node> to_child;
+  to_child.reserve(nodes.size() * 2);
+  std::vector<Node> to_parent(nodes.begin(), nodes.end());
+  for (Node i = 0; i < to_parent.size(); ++i) {
+    require(to_parent[i] < g.n(), "induced node out of range");
+    const bool inserted = to_child.emplace(to_parent[i], i).second;
+    require(inserted, "induced node list must be distinct");
+  }
+  std::vector<Edge> edges;
+  for (Node i = 0; i < to_parent.size(); ++i) {
+    for (Node w : g.neighbors(to_parent[i])) {
+      auto it = to_child.find(w);
+      if (it != to_child.end() && i < it->second) {
+        edges.push_back({i, it->second});
+      }
+    }
+  }
+  return {Graph::from_edges(static_cast<Node>(to_parent.size()), edges),
+          std::move(to_parent)};
+}
+
+Graph disjoint_union(std::span<const Graph> parts) {
+  Node total = 0;
+  for (const Graph& g : parts) total += g.n();
+  std::vector<Edge> edges;
+  Node offset = 0;
+  for (const Graph& g : parts) {
+    for (const Edge& e : g.edges()) {
+      edges.push_back({static_cast<Node>(e.u + offset),
+                       static_cast<Node>(e.v + offset)});
+    }
+    offset += g.n();
+  }
+  return Graph::from_edges(total, edges);
+}
+
+Graph add_isolated(const Graph& g, Node k) {
+  const std::vector<Edge> edges = g.edges();
+  return Graph::from_edges(g.n() + k, edges);
+}
+
+LineGraph line_graph(const Graph& g) {
+  const std::vector<Edge> edge_of = g.edges();
+  // Map each undirected edge to its line-node index.
+  std::unordered_map<std::uint64_t, Node> index;
+  index.reserve(edge_of.size() * 2);
+  auto key = [](Node u, Node v) {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  };
+  for (Node i = 0; i < edge_of.size(); ++i) {
+    index.emplace(key(edge_of[i].u, edge_of[i].v), i);
+  }
+  std::vector<Edge> line_edges;
+  // Two edges are adjacent iff they share an endpoint: for each node, all
+  // pairs of incident edges.
+  for (Node v = 0; v < g.n(); ++v) {
+    auto nb = g.neighbors(v);
+    std::vector<Node> incident;
+    incident.reserve(nb.size());
+    for (Node w : nb) {
+      const Node a = std::min(v, w), b = std::max(v, w);
+      incident.push_back(index.at(key(a, b)));
+    }
+    for (std::size_t i = 0; i < incident.size(); ++i) {
+      for (std::size_t j = i + 1; j < incident.size(); ++j) {
+        line_edges.push_back({std::min(incident[i], incident[j]),
+                              std::max(incident[i], incident[j])});
+      }
+    }
+  }
+  return {Graph::from_edges(static_cast<Node>(edge_of.size()), line_edges),
+          edge_of};
+}
+
+namespace {
+
+/// Cantor pairing: injective map N x N -> N.
+std::uint64_t cantor(std::uint64_t a, std::uint64_t b) {
+  return (a + b) * (a + b + 1) / 2 + b;
+}
+
+}  // namespace
+
+LegalLineGraph legal_line_graph(const LegalGraph& g) {
+  LineGraph lg = line_graph(g.graph());
+  std::vector<NodeId> ids;
+  std::vector<NodeName> names;
+  ids.reserve(lg.edge_of.size());
+  names.reserve(lg.edge_of.size());
+  for (const Edge& e : lg.edge_of) {
+    const NodeId ia = std::min(g.id(e.u), g.id(e.v));
+    const NodeId ib = std::max(g.id(e.u), g.id(e.v));
+    ids.push_back(cantor(ia, ib));
+    const NodeName na = std::min(g.name(e.u), g.name(e.v));
+    const NodeName nb = std::max(g.name(e.u), g.name(e.v));
+    names.push_back(cantor(na, nb));
+  }
+  return {LegalGraph::make(std::move(lg.graph), std::move(ids),
+                           std::move(names)),
+          std::move(lg.edge_of)};
+}
+
+LegalGraph replicate_with_isolated(const LegalGraph& g, std::uint64_t copies,
+                                   std::uint64_t isolated) {
+  require(copies >= 1, "need at least one copy");
+  const Node base = g.n();
+  const std::uint64_t total64 = copies * base + isolated;
+  require(total64 <= 0xffffffffull, "replicated graph too large");
+  const Node total = static_cast<Node>(total64);
+
+  std::vector<Edge> edges;
+  edges.reserve(copies * g.graph().m());
+  for (std::uint64_t c = 0; c < copies; ++c) {
+    const Node offset = static_cast<Node>(c * base);
+    for (const Edge& e : g.graph().edges()) {
+      edges.push_back({static_cast<Node>(e.u + offset),
+                       static_cast<Node>(e.v + offset)});
+    }
+  }
+  std::vector<NodeId> ids(total);
+  std::vector<NodeName> names(total);
+  for (std::uint64_t c = 0; c < copies; ++c) {
+    for (Node v = 0; v < base; ++v) {
+      ids[c * base + v] = g.id(v);          // same IDs in every copy
+      names[c * base + v] = c * base + v;   // fresh unique names
+    }
+  }
+  // Isolated nodes all share one ID (their own singleton components make
+  // this legal), with fresh names.
+  const NodeId shared_id = 0x1501A7EDull;  // "ISOLATED" marker, any fixed ID
+  for (std::uint64_t i = 0; i < isolated; ++i) {
+    ids[copies * base + i] = shared_id;
+    names[copies * base + i] = copies * base + i;
+  }
+  return LegalGraph::make(Graph::from_edges(total, edges), std::move(ids),
+                          std::move(names));
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,60 @@
+// Graph operations underlying the paper's constructions: induced subgraphs
+// and disjoint unions (normal families, Definition 7), isolated-node padding
+// and graph replication (replicability, Definition 9), and line graphs (the
+// edge-labeling-to-vertex-labeling conversion of Section 2.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/legal_graph.h"
+
+namespace mpcstab {
+
+/// Subgraph induced by `nodes` plus the index mapping back to the parent.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<Node> to_parent;  // child index -> parent index
+};
+
+/// Induced subgraph on the given (distinct) nodes.
+InducedSubgraph induced_subgraph(const Graph& g, std::span<const Node> nodes);
+
+/// Disjoint union of topologies; nodes of parts[i] are offset by the total
+/// size of parts[0..i).
+Graph disjoint_union(std::span<const Graph> parts);
+
+/// `g` plus `k` extra isolated nodes appended at the end.
+Graph add_isolated(const Graph& g, Node k);
+
+/// Line graph L(g) plus, for each line-graph node, the original edge it
+/// represents. Line-node i corresponds to edge_of[i]; two line nodes are
+/// adjacent iff their edges share an endpoint.
+struct LineGraph {
+  Graph graph;
+  std::vector<Edge> edge_of;
+};
+
+LineGraph line_graph(const Graph& g);
+
+/// Line graph of a *legal* graph: IDs and names of line nodes are Cantor
+/// pairings of their endpoints' IDs/names, as the paper prescribes
+/// ("IDs and names given by Cartesian products of the IDs and names of
+/// their endpoints").
+struct LegalLineGraph {
+  LegalGraph graph;
+  std::vector<Edge> edge_of;
+};
+
+LegalLineGraph legal_line_graph(const LegalGraph& g);
+
+/// The replicability gadget Gamma_G of Definition 9: `copies` disjoint
+/// copies of g (each copy reuses g's IDs — legal, because IDs need only be
+/// component-unique) plus `isolated` extra nodes all sharing one ID.
+/// Names are fresh and globally unique.
+LegalGraph replicate_with_isolated(const LegalGraph& g, std::uint64_t copies,
+                                   std::uint64_t isolated);
+
+}  // namespace mpcstab

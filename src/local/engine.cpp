@@ -1,0 +1,139 @@
+#include "local/engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace mpcstab {
+
+SyncNetwork::SyncNetwork(Cluster* cluster, const LegalGraph& g, Prf shared)
+    : cluster_(cluster), graph_(&g), shared_(shared) {
+  const Graph& topo = g.graph();
+  const Node n = topo.n();
+  offsets_.resize(n + 1);
+  offsets_[0] = 0;
+  for (Node v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + topo.degree(v);
+  }
+  const std::uint32_t slots = offsets_[n];
+  inbox_.assign(slots, {});
+  outbox_.assign(slots, {});
+
+  // slot_of_[p] for directed-edge position p (edge u->w, p in u's CSR range)
+  // is the receiver slot at w reserved for messages from u: offsets_[w] +
+  // index of u within neighbors(w).
+  slot_of_.resize(slots);
+  for (Node u = 0; u < n; ++u) {
+    auto nb_u = topo.neighbors(u);
+    for (std::size_t i = 0; i < nb_u.size(); ++i) {
+      const Node w = nb_u[i];
+      auto nb_w = topo.neighbors(w);
+      const auto it = std::lower_bound(nb_w.begin(), nb_w.end(), u);
+      ensure(it != nb_w.end() && *it == u, "adjacency must be symmetric");
+      slot_of_[offsets_[u] + i] =
+          offsets_[w] + static_cast<std::uint32_t>(it - nb_w.begin());
+    }
+  }
+
+  if (cluster_ != nullptr) {
+    // Degree-balanced vertex partition (longest-processing-time greedy):
+    // the paper allows one O(1)-round redistribution of the input, after
+    // which outputs may not depend on the initial distribution
+    // (Section 2.1, "Initial distribution of input").
+    const std::uint64_t machines = cluster_->machines();
+    host_.resize(n);
+    std::vector<Node> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](Node a, Node b) {
+      return topo.degree(a) > topo.degree(b);
+    });
+    std::vector<std::uint64_t> load(machines, 0);
+    for (Node v : order) {
+      const auto lightest = std::min_element(load.begin(), load.end());
+      const std::uint32_t machine =
+          static_cast<std::uint32_t>(lightest - load.begin());
+      host_[v] = machine;
+      *lightest += topo.degree(v) + 1;
+    }
+    cluster_->charge_rounds(1, "input redistribution");
+  }
+}
+
+SyncNetwork SyncNetwork::local(const LegalGraph& g, Prf shared_randomness) {
+  return SyncNetwork(nullptr, g, shared_randomness);
+}
+
+SyncNetwork SyncNetwork::on_cluster(Cluster& cluster, const LegalGraph& g,
+                                    Prf shared_randomness) {
+  return SyncNetwork(&cluster, g, shared_randomness);
+}
+
+void SyncNetwork::round(const VertexProgram& fn) {
+  const Graph& topo = graph_->graph();
+  const Node n = topo.n();
+
+  for (auto& slot : outbox_) slot.clear();
+  for (Node v = 0; v < n; ++v) {
+    const std::uint32_t begin = offsets_[v];
+    const std::uint32_t end = offsets_[v + 1];
+    RoundIo io(v,
+               std::span<const std::vector<Word>>(inbox_.data() + begin,
+                                                  end - begin),
+               std::span<std::vector<Word>>(outbox_.data() + begin,
+                                            end - begin));
+    fn(io);
+  }
+
+  if (message_cap_ != 0) {
+    for (const auto& payload : outbox_) {
+      if (payload.size() > message_cap_) {
+        throw SpaceLimitError(
+            "CONGEST violation: message of " +
+            std::to_string(payload.size()) + " words exceeds cap " +
+            std::to_string(message_cap_));
+      }
+    }
+  }
+
+  if (cluster_ != nullptr) {
+    // Account cross-machine traffic of this round against S.
+    std::vector<std::uint64_t> sent(cluster_->machines(), 0);
+    std::vector<std::uint64_t> received(cluster_->machines(), 0);
+    for (Node u = 0; u < n; ++u) {
+      auto nb = topo.neighbors(u);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        const auto& payload = outbox_[offsets_[u] + i];
+        if (payload.empty()) continue;
+        const std::uint32_t a = host_[u];
+        const std::uint32_t b = host_[nb[i]];
+        if (a == b) continue;  // intra-machine, free
+        sent[a] += payload.size() + 1;
+        received[b] += payload.size() + 1;
+      }
+    }
+    for (std::uint32_t m = 0; m < cluster_->machines(); ++m) {
+      cluster_->check_local_space(sent[m], "LOCAL-round send volume");
+      cluster_->check_local_space(received[m], "LOCAL-round receive volume");
+    }
+    cluster_->charge_rounds(1, "LOCAL round simulation");
+  }
+
+  // Deliver: route each outgoing message to its receiver slot.
+  std::vector<std::vector<Word>> next(inbox_.size());
+  for (Node u = 0; u < n; ++u) {
+    const std::uint32_t begin = offsets_[u];
+    const std::uint32_t end = offsets_[u + 1];
+    for (std::uint32_t p = begin; p < end; ++p) {
+      if (!outbox_[p].empty()) next[slot_of_[p]] = std::move(outbox_[p]);
+    }
+  }
+  inbox_ = std::move(next);
+  ++rounds_;
+}
+
+void SyncNetwork::clear_messages() {
+  for (auto& slot : inbox_) slot.clear();
+}
+
+}  // namespace mpcstab

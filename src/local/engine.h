@@ -1,0 +1,115 @@
+// Synchronous message-passing engine: the LOCAL model (Section 2.4.1) and
+// its low-space MPC simulation share this one implementation.
+//
+// In LOCAL mode, rounds are free of space constraints and the engine simply
+// counts them — this is the model the paper's lower bounds live in.
+// In MPC mode, every LOCAL round is executed as one MPC round on a Cluster:
+// vertices are partitioned across machines, message volume per machine is
+// checked against S, and the cluster's round counter advances. This is the
+// standard "simulate LOCAL in MPC, one round per round" baseline the paper
+// compares everything against.
+//
+// Algorithms are written once against this interface and can be measured in
+// either model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+#include "rng/prf.h"
+
+namespace mpcstab {
+
+/// Message word.
+using Word = std::uint64_t;
+
+/// One node's view of a communication round.
+class RoundIo {
+ public:
+  RoundIo(Node v, std::span<const std::vector<Word>> incoming,
+          std::span<std::vector<Word>> outgoing)
+      : v_(v), incoming_(incoming), outgoing_(outgoing) {}
+
+  Node v() const { return v_; }
+
+  /// Messages received this round; index i aligns with neighbors(v)[i].
+  /// Empty vector = no message from that neighbor.
+  std::span<const std::vector<Word>> incoming() const { return incoming_; }
+
+  /// Sends `payload` to neighbors(v)[i] (delivered next round).
+  void send(std::size_t i, std::vector<Word> payload) {
+    outgoing_[i] = std::move(payload);
+  }
+
+  /// Sends the same payload to all neighbors.
+  void broadcast(const std::vector<Word>& payload) {
+    for (auto& slot : outgoing_) slot = payload;
+  }
+
+ private:
+  Node v_;
+  std::span<const std::vector<Word>> incoming_;
+  std::span<std::vector<Word>> outgoing_;
+};
+
+/// Per-round vertex program.
+using VertexProgram = std::function<void(RoundIo&)>;
+
+/// Synchronous network over a legal graph; LOCAL or MPC-backed.
+class SyncNetwork {
+ public:
+  /// Pure LOCAL-model engine (unbounded bandwidth, free rounds-counting).
+  static SyncNetwork local(const LegalGraph& g, Prf shared_randomness);
+
+  /// MPC-backed engine: vertices partitioned over `cluster`'s machines
+  /// (degree-balanced), one cluster round charged per LOCAL round,
+  /// per-machine message volume enforced against S.
+  static SyncNetwork on_cluster(Cluster& cluster, const LegalGraph& g,
+                                Prf shared_randomness);
+
+  const LegalGraph& graph() const { return *graph_; }
+  const Prf& shared() const { return shared_; }
+
+  /// LOCAL rounds executed so far on this network.
+  std::uint64_t rounds() const { return rounds_; }
+
+  /// True when backed by an MPC cluster.
+  bool is_mpc() const { return cluster_ != nullptr; }
+
+  /// Machine hosting vertex v (MPC mode only).
+  std::uint32_t host(Node v) const { return host_[v]; }
+
+  /// Restricts per-message payloads to `words` (the CONGEST model's
+  /// O(log n)-bit messages correspond to 1 word); 0 = unlimited (LOCAL).
+  /// Violations throw SpaceLimitError at the offending round.
+  void set_message_cap(std::uint64_t words) { message_cap_ = words; }
+  std::uint64_t message_cap() const { return message_cap_; }
+
+  /// Executes one synchronous round: runs `fn` for every vertex with last
+  /// round's incoming messages, then delivers this round's sends.
+  void round(const VertexProgram& fn);
+
+  /// Drops all in-flight messages (used between algorithm phases).
+  void clear_messages();
+
+ private:
+  SyncNetwork(Cluster* cluster, const LegalGraph& g, Prf shared);
+
+  Cluster* cluster_;          // nullptr in LOCAL mode
+  const LegalGraph* graph_;
+  Prf shared_;
+  std::uint64_t rounds_ = 0;
+
+  std::vector<std::uint32_t> offsets_;   // CSR offsets copy
+  std::vector<std::uint32_t> slot_of_;   // directed-edge -> receiver slot
+  std::vector<std::vector<Word>> inbox_;   // per receiver slot
+  std::vector<std::vector<Word>> outbox_;  // staging, per receiver slot
+  std::vector<std::uint32_t> host_;      // MPC mode: machine per vertex
+  std::uint64_t message_cap_ = 0;        // CONGEST cap; 0 = unlimited
+};
+
+}  // namespace mpcstab

@@ -1,0 +1,45 @@
+#include "local/flooding.h"
+
+#include "graph/knowledge.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+std::vector<Ball> flood_balls(SyncNetwork& net, std::uint32_t radius) {
+  const LegalGraph& g = net.graph();
+  const Node n = g.n();
+
+  // Initial knowledge: the LOCAL model's initial state — a node knows its
+  // incident edges and its neighbors' IDs.
+  std::vector<Knowledge> knowledge;
+  knowledge.reserve(n);
+  for (Node v = 0; v < n; ++v) {
+    knowledge.push_back(Knowledge::of_node(g, v));
+  }
+
+  for (std::uint32_t r = 0; r < radius; ++r) {
+    net.round([&](RoundIo& io) {
+      io.broadcast(knowledge[io.v()].encode());
+    });
+    std::vector<Knowledge> next = knowledge;
+    net.round([&](RoundIo& io) {
+      const Node v = io.v();
+      for (const auto& msg : io.incoming()) {
+        if (!msg.empty()) next[v].merge(msg);
+      }
+    });
+    knowledge = std::move(next);
+  }
+
+  // After r flooding iterations a node knows every edge incident to a
+  // node within distance r, i.e. a superset of its r-ball; cutting by BFS
+  // distance yields exactly the ball.
+  std::vector<Ball> balls;
+  balls.reserve(n);
+  for (Node v = 0; v < n; ++v) {
+    balls.push_back(knowledge[v].to_ball(g.id(v), radius));
+  }
+  return balls;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,22 @@
+// Ball gathering through actual messages: r rounds of edge-set flooding in
+// the LOCAL model. This is what "a node collects its r-radius ball" means
+// operationally — and the ground truth the graph-exponentiation shortcut
+// (mpc/exponentiation.h) is validated against: flooding pays r LOCAL
+// rounds where exponentiation pays log r MPC rounds, for the same balls.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/balls.h"
+#include "local/engine.h"
+
+namespace mpcstab {
+
+/// Gathers every node's r-radius ball by r rounds of flooding: each round,
+/// every node broadcasts all edges it has learned (as ID pairs) and merges
+/// its neighbors' knowledge. Returns per-node balls reconstructed from the
+/// gathered edges; costs exactly r LOCAL rounds on `net`.
+std::vector<Ball> flood_balls(SyncNetwork& net, std::uint32_t radius);
+
+}  // namespace mpcstab

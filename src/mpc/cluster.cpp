@@ -1,0 +1,76 @@
+#include "mpc/cluster.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "support/math.h"
+
+namespace mpcstab {
+
+Cluster::Cluster(MpcConfig config) : config_(config) {
+  require(config_.machines >= 1, "cluster needs at least one machine");
+  require(config_.local_space >= 1, "local space must be positive");
+}
+
+std::vector<std::vector<MpcMessage>> Cluster::exchange(
+    std::vector<std::vector<MpcMessage>> outboxes) {
+  require(outboxes.size() == config_.machines,
+          "outboxes must cover every machine");
+  std::vector<std::uint64_t> sent(config_.machines, 0);
+  std::vector<std::uint64_t> received(config_.machines, 0);
+  std::vector<std::vector<MpcMessage>> inboxes(config_.machines);
+
+  for (std::uint32_t src = 0; src < config_.machines; ++src) {
+    for (MpcMessage& msg : outboxes[src]) {
+      require(msg.dst < config_.machines, "message destination out of range");
+      const std::uint64_t words = msg.payload.size() + 1;  // +1 header word
+      sent[src] += words;
+      received[msg.dst] += words;
+      words_moved_ += words;
+      inboxes[msg.dst].push_back(std::move(msg));
+    }
+  }
+  // The round happens (and is counted) even when a violation aborts it —
+  // resource checks are part of the round, not a pre-flight.
+  ++rounds_;
+  round_log_.emplace_back("exchange");
+  for (std::uint32_t i = 0; i < config_.machines; ++i) {
+    if (sent[i] > config_.local_space) {
+      throw SpaceLimitError("machine " + std::to_string(i) + " sent " +
+                            std::to_string(sent[i]) + " words > S = " +
+                            std::to_string(config_.local_space));
+    }
+    if (received[i] > config_.local_space) {
+      throw SpaceLimitError("machine " + std::to_string(i) + " received " +
+                            std::to_string(received[i]) + " words > S = " +
+                            std::to_string(config_.local_space));
+    }
+  }
+  return inboxes;
+}
+
+void Cluster::charge_rounds(std::uint64_t k, std::string_view what) {
+  rounds_ += k;
+  round_log_.emplace_back(std::string(what) + " (+" + std::to_string(k) +
+                          ")");
+}
+
+void Cluster::check_local_space(std::uint64_t words,
+                                std::string_view what) const {
+  if (words > config_.local_space) {
+    throw SpaceLimitError(std::string(what) + ": " + std::to_string(words) +
+                          " words exceed local space S = " +
+                          std::to_string(config_.local_space));
+  }
+}
+
+std::uint64_t Cluster::tree_rounds() const {
+  // Fan-in S tree over M machines: depth = ceil(log M / log S).
+  if (config_.machines <= 1) return 1;
+  const double depth = std::max(
+      1.0, std::ceil(static_cast<double>(ceil_log2(config_.machines)) /
+                     std::max(1, floor_log2(config_.local_space))));
+  return static_cast<std::uint64_t>(depth);
+}
+
+}  // namespace mpcstab

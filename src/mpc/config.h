@@ -1,0 +1,49 @@
+// Configuration of the low-space MPC model (Section 1 / 2.4.2 of the paper):
+// M machines, each with S = n^phi words of local space, phi in (0,1);
+// synchronous rounds; per round each machine sends and receives at most
+// O(S) words.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/check.h"
+
+namespace mpcstab {
+
+/// Resource parameters of one simulated MPC deployment.
+struct MpcConfig {
+  /// Local-space exponent phi: S = n^phi.
+  double phi = 0.5;
+  /// Number of nodes n of the input graph (the parameter S is measured in).
+  std::uint64_t n = 0;
+  /// Local space S in words.
+  std::uint64_t local_space = 0;
+  /// Number of machines M.
+  std::uint64_t machines = 0;
+
+  /// Standard deployment for an n-node, m-edge input: S = max(8, ceil(n^phi)),
+  /// M large enough that S*M >= 12*(n+m) — the constant-factor headroom the
+  /// model's "O(S) messages per machine" hides — plus a `machine_factor`
+  /// multiplier for algorithms that use extra machine groups (e.g. success
+  /// amplification runs Theta(log n) parallel groups; Lemma 55 uses an n^2
+  /// factor).
+  static MpcConfig for_graph(std::uint64_t n, std::uint64_t m,
+                             double phi = 0.5,
+                             std::uint64_t machine_factor = 1) {
+    require(phi > 0.0 && phi < 1.0, "phi must be in (0,1)");
+    require(n >= 1, "graph must be non-empty");
+    MpcConfig cfg;
+    cfg.phi = phi;
+    cfg.n = n;
+    cfg.local_space = std::max<std::uint64_t>(
+        8, static_cast<std::uint64_t>(
+               std::ceil(std::pow(static_cast<double>(n), phi))));
+    const std::uint64_t payload = 12 * (n + m) + cfg.local_space;
+    cfg.machines =
+        ((payload + cfg.local_space - 1) / cfg.local_space) * machine_factor;
+    return cfg;
+  }
+};
+
+}  // namespace mpcstab

@@ -1,0 +1,42 @@
+#include "mpc/dist_graph.h"
+
+#include "mpc/primitives.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+GraphParams compute_params(Cluster& cluster, const LegalGraph& g) {
+  // Spread vertices round-robin over machines; each machine counts its
+  // share, then three tree reductions (batched into one tree with 3-word
+  // payloads would be 1x depth; we charge them as a single fused tree by
+  // using one reduce on packed values where possible).
+  const std::uint64_t machines = cluster.machines();
+  std::vector<std::uint64_t> nodes(machines, 0), edges(machines, 0),
+      degree(machines, 0);
+  for (Node v = 0; v < g.n(); ++v) {
+    const std::uint64_t host = v % machines;
+    nodes[host] += 1;
+    edges[host] += g.graph().degree(v);  // counts each edge twice
+    degree[host] = std::max<std::uint64_t>(degree[host],
+                                           g.graph().degree(v));
+  }
+  GraphParams params;
+  params.n = allreduce_sum(cluster, std::move(nodes));
+  params.m = allreduce_sum(cluster, std::move(edges)) / 2;
+  params.max_degree = static_cast<std::uint32_t>(
+      allreduce_max(cluster, std::move(degree)));
+  return params;
+}
+
+std::vector<std::uint64_t> per_machine_sums(
+    const Cluster& cluster, const LegalGraph& g,
+    std::span<const std::uint64_t> per_vertex) {
+  require(per_vertex.size() == g.n(), "one value per vertex required");
+  std::vector<std::uint64_t> sums(cluster.machines(), 0);
+  for (Node v = 0; v < g.n(); ++v) {
+    sums[v % cluster.machines()] += per_vertex[v];
+  }
+  return sums;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,35 @@
+// Graph-level MPC utilities: computing global parameters (n, Delta) in O(1)
+// rounds — the capability that forces component-stable algorithms to be
+// allowed dependency on n (Section 2.1: "an MPC algorithm can easily
+// determine n in O(1) rounds, by simply summing counts of the number of
+// nodes held on each machine").
+#pragma once
+
+#include <cstdint>
+
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+
+namespace mpcstab {
+
+/// Globally agreed input parameters, as every MPC algorithm may assume
+/// (Section 2.4.2: "we may assume knowledge thereof").
+struct GraphParams {
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::uint32_t max_degree = 0;
+};
+
+/// Computes (n, m, Delta) with real aggregation trees over the cluster;
+/// costs O(tree depth) = O(1) rounds.
+GraphParams compute_params(Cluster& cluster, const LegalGraph& g);
+
+/// Splits per-vertex values into per-machine partial aggregates under the
+/// same degree-balanced partition SyncNetwork uses; helper for writing
+/// machine-level reductions over vertex data.
+std::vector<std::uint64_t> per_machine_sums(const Cluster& cluster,
+                                            const LegalGraph& g,
+                                            std::span<const std::uint64_t>
+                                                per_vertex);
+
+}  // namespace mpcstab

@@ -1,0 +1,51 @@
+// Graph exponentiation: the "standard technique" every sublogarithmic MPC
+// result in the paper relies on (Lemma 37, Theorem 45: "the MPC algorithm
+// allocates a separate machine M_u to each node u that stores its 2t-radius
+// ball ... This can be done in O(log t) rounds, by the standard graph
+// exponentiation technique").
+//
+// Semantics: after k doubling steps each node knows its 2^k-radius ball.
+// Cost charged: ceil(log2(radius)) + 1 MPC rounds. Space enforced: the
+// encoding of each ball (node IDs + edges) must fit in one machine's S
+// words, otherwise SpaceLimitError — this is exactly the constraint that
+// restricts these algorithms to Delta = 2^{log^{o(1)} n}-style regimes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/balls.h"
+#include "mpc/cluster.h"
+
+namespace mpcstab {
+
+/// Words needed to ship/store one ball: header + per-node (id, name) +
+/// per-directed-edge word.
+std::uint64_t ball_encoding_words(const Ball& ball);
+
+/// Collects the r-radius ball of every node onto its own dedicated machine.
+/// Charges ceil(log2 r) + 1 rounds; throws SpaceLimitError if any ball
+/// exceeds local space.
+std::vector<Ball> collect_balls(Cluster& cluster, const LegalGraph& g,
+                                std::uint32_t radius);
+
+/// Round cost of collecting radius-r balls (without executing).
+std::uint64_t ball_collection_rounds(std::uint32_t radius);
+
+/// NATIVE graph exponentiation: the doubling steps executed through real
+/// (flow-controlled) exchanges. Vertices are sharded over machines; in
+/// each of the ceil(log2 r) steps, every machine requests the current
+/// knowledge of each vertex its own vertices know and merges the
+/// responses, doubling every vertex's known radius. Ground truth for the
+/// charged cost of collect_balls.
+struct NativeBallsResult {
+  std::vector<Ball> balls;
+  std::uint64_t doubling_steps = 0;
+  std::uint64_t rounds = 0;       // actual cluster rounds consumed
+  std::uint64_t words_moved = 0;  // actual words through the network
+};
+
+NativeBallsResult collect_balls_native(Cluster& cluster, const LegalGraph& g,
+                                       std::uint32_t radius);
+
+}  // namespace mpcstab

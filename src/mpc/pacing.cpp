@@ -1,0 +1,119 @@
+#include "mpc/pacing.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.h"
+
+namespace mpcstab {
+
+namespace {
+
+/// Internal wire format: every logical message is shipped as one or more
+/// fragments, each carrying the 4-word header
+///   [source machine, logical message id, fragment index, fragment count]
+/// followed by a chunk of the payload. Fragmentation is how a real system
+/// moves an object larger than a round's budget — the simulator pays the
+/// same rounds for it.
+struct Fragment {
+  std::uint32_t dst = 0;
+  std::vector<std::uint64_t> wire;  // header + chunk
+};
+
+}  // namespace
+
+std::vector<std::vector<MpcMessage>> paced_exchange(
+    Cluster& cluster, std::vector<std::vector<MpcMessage>> outboxes) {
+  const std::uint64_t machines = cluster.machines();
+  require(outboxes.size() == machines, "one outbox per machine required");
+  const std::uint64_t budget =
+      std::max<std::uint64_t>(8, cluster.local_space() / 2);
+  const std::uint64_t chunk_words = budget - 5;  // 4 header + 1 msg header
+
+  // Fragment every logical message.
+  std::vector<std::vector<Fragment>> fragments(machines);
+  for (std::uint32_t m = 0; m < machines; ++m) {
+    std::uint64_t next_id = 0;
+    for (const MpcMessage& msg : outboxes[m]) {
+      const std::uint64_t id = next_id++;
+      const std::uint64_t count =
+          std::max<std::uint64_t>(1, (msg.payload.size() + chunk_words - 1) /
+                                         chunk_words);
+      for (std::uint64_t f = 0; f < count; ++f) {
+        Fragment frag;
+        frag.dst = msg.dst;
+        frag.wire = {m, id, f, count};
+        const std::uint64_t begin = f * chunk_words;
+        const std::uint64_t end =
+            std::min<std::uint64_t>(msg.payload.size(),
+                                    begin + chunk_words);
+        frag.wire.insert(frag.wire.end(), msg.payload.begin() + begin,
+                         msg.payload.begin() + end);
+        fragments[m].push_back(std::move(frag));
+      }
+    }
+  }
+
+  // Ship fragments under the two-sided budget; reassemble on arrival.
+  std::vector<std::vector<MpcMessage>> received(machines);
+  // (receiver, source, id) -> partially reassembled payloads.
+  std::map<std::tuple<std::uint32_t, std::uint64_t, std::uint64_t>,
+           std::pair<std::uint64_t, std::vector<std::uint64_t>>>
+      partial;
+
+  bool more = true;
+  while (more) {
+    more = false;
+    std::vector<std::uint64_t> send_used(machines, 0);
+    std::vector<std::uint64_t> recv_used(machines, 0);
+    std::vector<std::vector<MpcMessage>> round_out(machines);
+    for (std::uint32_t m = 0; m < machines; ++m) {
+      auto& queue = fragments[m];
+      std::vector<Fragment> deferred;
+      deferred.reserve(queue.size());
+      // Strict FIFO per sender: once one fragment defers, everything
+      // behind it defers too, so fragments of a message always arrive in
+      // order and chunks concatenate correctly.
+      bool blocked = false;
+      for (Fragment& frag : queue) {
+        const std::uint64_t words = frag.wire.size() + 1;
+        if (!blocked && send_used[m] + words <= budget &&
+            recv_used[frag.dst] + words <= budget) {
+          send_used[m] += words;
+          recv_used[frag.dst] += words;
+          round_out[m].push_back(
+              MpcMessage{frag.dst, std::move(frag.wire)});
+        } else {
+          blocked = true;
+          deferred.push_back(std::move(frag));
+        }
+      }
+      queue = std::move(deferred);
+      if (!queue.empty()) more = true;
+    }
+    auto inboxes = cluster.exchange(std::move(round_out));
+    for (std::uint32_t m = 0; m < machines; ++m) {
+      for (const MpcMessage& msg : inboxes[m]) {
+        ensure(msg.payload.size() >= 4, "fragment must carry its header");
+        const std::uint64_t src = msg.payload[0];
+        const std::uint64_t id = msg.payload[1];
+        const std::uint64_t index = msg.payload[2];
+        const std::uint64_t count = msg.payload[3];
+        auto& slot = partial[{m, src, id}];
+        slot.second.insert(slot.second.end(), msg.payload.begin() + 4,
+                           msg.payload.end());
+        ensure(index + 1 <= count, "fragment index within count");
+        ++slot.first;
+        if (slot.first == count) {
+          received[m].push_back(
+              MpcMessage{m, std::move(slot.second)});
+          partial.erase({m, src, id});
+        }
+      }
+    }
+  }
+  ensure(partial.empty(), "all fragments must reassemble");
+  return received;
+}
+
+}  // namespace mpcstab

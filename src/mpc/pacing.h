@@ -1,0 +1,22 @@
+// Flow-controlled message delivery: schedules an arbitrary set of sends
+// into as many exchange rounds as needed so that every machine's send AND
+// receive volume stays within half its local space per round. Real systems
+// get this from backpressure; the simulator plans it directly. Shared by
+// the native MPC algorithms (connectivity, exponentiation).
+#pragma once
+
+#include <vector>
+
+#include "mpc/cluster.h"
+
+namespace mpcstab {
+
+/// Delivers all messages in `outboxes` (indexed by sender machine),
+/// splitting across rounds under the two-sided budget. Returns the
+/// received messages per machine. Progress is guaranteed whenever every
+/// single message fits the budget (payload + 1 <= S/2); a larger message
+/// throws SpaceLimitError.
+std::vector<std::vector<MpcMessage>> paced_exchange(
+    Cluster& cluster, std::vector<std::vector<MpcMessage>> outboxes);
+
+}  // namespace mpcstab

@@ -1,0 +1,165 @@
+#include "mpc/primitives.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace mpcstab {
+
+namespace {
+
+/// Fan-in for aggregation trees: at most S/2 children per parent so a parent
+/// can receive all child messages within its space budget (each message is
+/// payload + 1 header word).
+std::uint64_t tree_fanin(const Cluster& cluster) {
+  return std::max<std::uint64_t>(2, cluster.local_space() / 2);
+}
+
+}  // namespace
+
+std::uint64_t reduce_to_root(Cluster& cluster,
+                             std::vector<std::uint64_t> values,
+                             const Combine& combine) {
+  const std::uint64_t machines = cluster.machines();
+  require(values.size() == machines, "one value per machine required");
+  const std::uint64_t fanin = tree_fanin(cluster);
+
+  // Active machines hold partial aggregates; each level groups `fanin`
+  // consecutive actives and ships their values to the group leader.
+  std::vector<std::uint32_t> active(machines);
+  for (std::uint32_t i = 0; i < machines; ++i) active[i] = i;
+
+  while (active.size() > 1) {
+    std::vector<std::vector<MpcMessage>> outboxes(machines);
+    std::vector<std::uint32_t> next;
+    for (std::size_t g = 0; g < active.size(); g += fanin) {
+      const std::uint32_t leader = active[g];
+      next.push_back(leader);
+      for (std::size_t i = g + 1; i < std::min(active.size(), g + fanin);
+           ++i) {
+        outboxes[active[i]].push_back(
+            MpcMessage{leader, {values[active[i]]}});
+      }
+    }
+    auto inboxes = cluster.exchange(std::move(outboxes));
+    for (std::uint32_t leader : next) {
+      for (const MpcMessage& msg : inboxes[leader]) {
+        values[leader] = combine(values[leader], msg.payload.at(0));
+      }
+    }
+    active = std::move(next);
+  }
+  return values[active[0]];
+}
+
+std::vector<std::uint64_t> broadcast_from_root(Cluster& cluster,
+                                               std::uint64_t value) {
+  const std::uint64_t machines = cluster.machines();
+  const std::uint64_t fanout = tree_fanin(cluster);
+
+  std::vector<std::uint64_t> values(machines, 0);
+  values[0] = value;
+  std::vector<bool> has(machines, false);
+  has[0] = true;
+  std::uint64_t covered = 1;
+
+  while (covered < machines) {
+    std::vector<std::vector<MpcMessage>> outboxes(machines);
+    // Each holder pushes the value to the next `fanout` uncovered machines,
+    // partitioned disjointly by holder rank.
+    std::vector<std::uint32_t> holders, pending;
+    for (std::uint32_t i = 0; i < machines; ++i) {
+      (has[i] ? holders : pending).push_back(i);
+    }
+    std::size_t next_pending = 0;
+    for (std::uint32_t h : holders) {
+      for (std::uint64_t k = 0;
+           k < fanout && next_pending < pending.size(); ++k) {
+        outboxes[h].push_back(
+            MpcMessage{pending[next_pending++], {values[h]}});
+      }
+      if (next_pending >= pending.size()) break;
+    }
+    auto inboxes = cluster.exchange(std::move(outboxes));
+    for (std::uint32_t i = 0; i < machines; ++i) {
+      for (const MpcMessage& msg : inboxes[i]) {
+        values[i] = msg.payload.at(0);
+        if (!has[i]) {
+          has[i] = true;
+          ++covered;
+        }
+      }
+    }
+  }
+  return values;
+}
+
+std::uint64_t allreduce(Cluster& cluster, std::vector<std::uint64_t> values,
+                        const Combine& combine) {
+  const std::uint64_t result =
+      reduce_to_root(cluster, std::move(values), combine);
+  broadcast_from_root(cluster, result);
+  return result;
+}
+
+std::uint64_t allreduce_sum(Cluster& cluster,
+                            std::vector<std::uint64_t> values) {
+  return allreduce(cluster, std::move(values),
+                   [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+std::uint64_t allreduce_max(Cluster& cluster,
+                            std::vector<std::uint64_t> values) {
+  return allreduce(cluster, std::move(values),
+                   [](std::uint64_t a, std::uint64_t b) {
+                     return std::max(a, b);
+                   });
+}
+
+std::uint64_t allreduce_argmin(Cluster& cluster,
+                               std::vector<std::uint64_t> keys,
+                               std::vector<std::uint64_t> payloads) {
+  require(keys.size() == payloads.size() &&
+              keys.size() == cluster.machines(),
+          "one (key, payload) pair per machine required");
+  // Pack (key, payload) into a comparable pair via two reduce passes over a
+  // single combined value is lossy; instead reduce pairs encoded in two
+  // words using a custom tree identical to reduce_to_root.
+  const std::uint64_t machines = cluster.machines();
+  const std::uint64_t fanin =
+      std::max<std::uint64_t>(2, cluster.local_space() / 3);
+
+  std::vector<std::uint32_t> active(machines);
+  for (std::uint32_t i = 0; i < machines; ++i) active[i] = i;
+
+  while (active.size() > 1) {
+    std::vector<std::vector<MpcMessage>> outboxes(machines);
+    std::vector<std::uint32_t> next;
+    for (std::size_t g = 0; g < active.size(); g += fanin) {
+      const std::uint32_t leader = active[g];
+      next.push_back(leader);
+      for (std::size_t i = g + 1; i < std::min(active.size(), g + fanin);
+           ++i) {
+        outboxes[active[i]].push_back(MpcMessage{
+            leader, {keys[active[i]], payloads[active[i]]}});
+      }
+    }
+    auto inboxes = cluster.exchange(std::move(outboxes));
+    for (std::uint32_t leader : next) {
+      for (const MpcMessage& msg : inboxes[leader]) {
+        const std::uint64_t k = msg.payload.at(0);
+        const std::uint64_t p = msg.payload.at(1);
+        if (k < keys[leader] || (k == keys[leader] && p < payloads[leader])) {
+          keys[leader] = k;
+          payloads[leader] = p;
+        }
+      }
+    }
+    active = std::move(next);
+  }
+  const std::uint64_t winner = payloads[active[0]];
+  broadcast_from_root(cluster, winner);
+  return winner;
+}
+
+}  // namespace mpcstab

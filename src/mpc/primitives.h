@@ -1,0 +1,52 @@
+// Constant-round MPC communication primitives built on Cluster::exchange.
+// These are the building blocks every low-space MPC paper assumes:
+// aggregation trees with fan-in S give O(log_S M) = O(1/phi) = O(1)-round
+// allreduce and broadcast (e.g. "an MPC algorithm can easily determine n in
+// O(1) rounds, by simply summing counts of the number of nodes held on each
+// machine", Section 2.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mpc/cluster.h"
+
+namespace mpcstab {
+
+/// Associative combine on 64-bit words.
+using Combine = std::function<std::uint64_t(std::uint64_t, std::uint64_t)>;
+
+/// Reduces one value per machine to a single result at machine 0 using a
+/// fan-in-S tree, moving real messages through the cluster; returns the
+/// result. Rounds consumed: tree depth.
+std::uint64_t reduce_to_root(Cluster& cluster,
+                             std::vector<std::uint64_t> values,
+                             const Combine& combine);
+
+/// Broadcasts `value` from machine 0 to all machines via a fan-out-S tree;
+/// returns the per-machine received values (all equal). Rounds: tree depth.
+std::vector<std::uint64_t> broadcast_from_root(Cluster& cluster,
+                                               std::uint64_t value);
+
+/// reduce + broadcast: every machine learns the combined value.
+std::uint64_t allreduce(Cluster& cluster, std::vector<std::uint64_t> values,
+                        const Combine& combine);
+
+/// Sum over machines.
+std::uint64_t allreduce_sum(Cluster& cluster,
+                            std::vector<std::uint64_t> values);
+
+/// Max over machines.
+std::uint64_t allreduce_max(Cluster& cluster,
+                            std::vector<std::uint64_t> values);
+
+/// Argmin over (key, payload) pairs, one pair per machine: returns the
+/// payload attaining the smallest key (ties to smallest payload).
+/// Used for globally agreeing on a seed / repetition index — the
+/// quintessential component-UNSTABLE operation (Section 5).
+std::uint64_t allreduce_argmin(Cluster& cluster,
+                               std::vector<std::uint64_t> keys,
+                               std::vector<std::uint64_t> payloads);
+
+}  // namespace mpcstab

@@ -1,0 +1,127 @@
+#include "mpc/shuffle.h"
+
+#include <algorithm>
+
+#include "mpc/primitives.h"
+#include "rng/splitmix.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+namespace {
+
+std::uint32_t owner_of(std::uint64_t key, std::uint64_t machines) {
+  return static_cast<std::uint32_t>(splitmix64(key) % machines);
+}
+
+}  // namespace
+
+std::vector<std::vector<KeyedItem>> route_by_key(
+    Cluster& cluster, std::vector<std::vector<KeyedItem>> shards) {
+  const std::uint64_t machines = cluster.machines();
+  require(shards.size() == machines, "one shard per machine required");
+
+  // Pending sends per machine: (dst, item). Local items settle directly.
+  std::vector<std::vector<KeyedItem>> received(machines);
+  std::vector<std::vector<std::pair<std::uint32_t, KeyedItem>>> pending(
+      machines);
+  for (std::uint32_t src = 0; src < machines; ++src) {
+    for (const KeyedItem& item : shards[src]) {
+      const std::uint32_t dst = owner_of(item.key, machines);
+      if (dst == src) {
+        received[dst].push_back(item);
+      } else {
+        pending[src].emplace_back(dst, item);
+      }
+    }
+  }
+
+  // Pace the sends: each machine ships at most S/4 items per round (2
+  // payload words + 1 header each, leaving receive headroom). Receivers may
+  // still be overloaded by fan-in in adversarial key distributions; the
+  // exchange's own check will catch genuine violations.
+  const std::uint64_t per_round =
+      std::max<std::uint64_t>(1, cluster.local_space() / 4);
+  bool more = true;
+  while (more) {
+    more = false;
+    std::vector<std::vector<MpcMessage>> outboxes(machines);
+    for (std::uint32_t src = 0; src < machines; ++src) {
+      auto& queue = pending[src];
+      const std::uint64_t batch =
+          std::min<std::uint64_t>(per_round, queue.size());
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        const auto& [dst, item] = queue[queue.size() - 1 - i];
+        outboxes[src].push_back(MpcMessage{dst, {item.key, item.value}});
+      }
+      queue.resize(queue.size() - batch);
+      if (!queue.empty()) more = true;
+    }
+    auto inboxes = cluster.exchange(std::move(outboxes));
+    for (std::uint32_t m = 0; m < machines; ++m) {
+      for (const MpcMessage& msg : inboxes[m]) {
+        received[m].push_back(KeyedItem{msg.payload.at(0), msg.payload.at(1)});
+      }
+    }
+  }
+  return received;
+}
+
+std::uint64_t distinct_count(Cluster& cluster,
+                             std::vector<std::vector<KeyedItem>> shards) {
+  const std::uint64_t machines = cluster.machines();
+  require(shards.size() == machines, "one shard per machine required");
+
+  // Local dedup (the "combiner"), then a fan-in-4 merge tree with per-level
+  // dedup moving real messages. Space-safe whenever the global distinct
+  // count is small relative to S (the component-label use case); a large
+  // distinct set overflows a tree node's receive budget and the exchange
+  // throws — the honest answer under this cost model.
+  std::vector<std::vector<std::uint64_t>> sets(machines);
+  for (std::uint32_t m = 0; m < machines; ++m) {
+    auto& set = sets[m];
+    set.reserve(shards[m].size());
+    for (const KeyedItem& item : shards[m]) set.push_back(item.key);
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+  }
+
+  constexpr std::uint64_t kFanIn = 4;
+  std::vector<std::uint32_t> active(machines);
+  for (std::uint32_t i = 0; i < machines; ++i) active[i] = i;
+  while (active.size() > 1) {
+    std::vector<std::vector<MpcMessage>> outboxes(machines);
+    std::vector<std::uint32_t> next;
+    for (std::size_t g = 0; g < active.size(); g += kFanIn) {
+      const std::uint32_t leader = active[g];
+      next.push_back(leader);
+      for (std::size_t i = g + 1; i < std::min(active.size(), g + kFanIn);
+           ++i) {
+        outboxes[active[i]].push_back(
+            MpcMessage{leader, sets[active[i]]});
+      }
+    }
+    auto inboxes = cluster.exchange(std::move(outboxes));
+    for (std::uint32_t leader : next) {
+      auto& set = sets[leader];
+      for (const MpcMessage& msg : inboxes[leader]) {
+        set.insert(set.end(), msg.payload.begin(), msg.payload.end());
+      }
+      std::sort(set.begin(), set.end());
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+    }
+    active = std::move(next);
+  }
+  return sets[active[0]].size();
+}
+
+std::vector<std::vector<KeyedItem>> shard_keys(
+    const Cluster& cluster, std::span<const std::uint64_t> keys) {
+  std::vector<std::vector<KeyedItem>> shards(cluster.machines());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    shards[i % cluster.machines()].push_back(KeyedItem{keys[i], 0});
+  }
+  return shards;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,45 @@
+// Key-routed data movement: the MPC workhorse underneath "hash joins",
+// label counting and load balancing. route_by_key ships every item to the
+// machine owning its key (hash partitioning) through real exchanges,
+// splitting over multiple rounds when a machine's send volume would exceed
+// S. distinct_count builds on it to count distinct keys — the primitive
+// the connectivity decision ("how many component labels survived?") needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mpc/cluster.h"
+
+namespace mpcstab {
+
+/// A keyed item: routed to machine hash(key) % M.
+struct KeyedItem {
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+};
+
+/// Ships every item to the machine owning its key. `shards[i]` are the
+/// items initially held by machine i; the result is the per-machine
+/// received items. Items whose destination equals their source do not move
+/// (and cost nothing). Sends are paced into as many exchange rounds as the
+/// per-machine budget S requires.
+std::vector<std::vector<KeyedItem>> route_by_key(
+    Cluster& cluster, std::vector<std::vector<KeyedItem>> shards);
+
+/// Number of distinct keys across all shards, computed by local dedup (the
+/// combiner) followed by a fan-in-4 merge tree with per-level dedup, moving
+/// real messages. Space-safe when the global distinct count is well below
+/// S; larger cardinalities overflow a tree node's budget and throw
+/// SpaceLimitError (use route_by_key + local counting for high-cardinality
+/// workloads).
+std::uint64_t distinct_count(Cluster& cluster,
+                             std::vector<std::vector<KeyedItem>> shards);
+
+/// Splits a flat vector of keys over machines round-robin (helper for
+/// feeding vertex labels into the shuffle layer).
+std::vector<std::vector<KeyedItem>> shard_keys(
+    const Cluster& cluster, std::span<const std::uint64_t> keys);
+
+}  // namespace mpcstab

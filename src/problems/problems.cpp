@@ -1,0 +1,215 @@
+#include "problems/problems.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace mpcstab {
+
+bool RRadiusCheckable::valid(const LegalGraph& g,
+                             std::span<const Label> labels) const {
+  require(labels.size() == g.n(), "one label per node required");
+  for (Node v = 0; v < g.n(); ++v) {
+    const Ball ball = extract_ball(g, v, radius());
+    std::vector<Label> ball_labels(ball.graph.n());
+    for (Node i = 0; i < ball.graph.n(); ++i) {
+      ball_labels[i] = labels[ball.to_parent[i]];
+    }
+    if (!node_valid(ball, ball_labels)) return false;
+  }
+  return true;
+}
+
+bool MisProblem::node_valid(const Ball& ball,
+                            std::span<const Label> ball_labels) const {
+  const Node c = ball.center;
+  const bool in = ball_labels[c] == kLabelIn;
+  bool neighbor_in = false;
+  for (Node w : ball.graph.graph().neighbors(c)) {
+    if (ball_labels[w] == kLabelIn) neighbor_in = true;
+  }
+  if (in) return !neighbor_in;   // independence
+  return neighbor_in;            // maximality (dominated)
+}
+
+bool LargeIsProblem::independent(const LegalGraph& g,
+                                 std::span<const Label> labels) {
+  for (const Edge& e : g.graph().edges()) {
+    if (labels[e.u] == kLabelIn && labels[e.v] == kLabelIn) return false;
+  }
+  return true;
+}
+
+std::uint64_t LargeIsProblem::size(std::span<const Label> labels) {
+  std::uint64_t count = 0;
+  for (Label l : labels) count += (l == kLabelIn) ? 1 : 0;
+  return count;
+}
+
+double LargeIsProblem::threshold(const LegalGraph& g) const {
+  const double delta = std::max<std::uint32_t>(1, g.max_degree());
+  return c_ * static_cast<double>(g.n()) / delta;
+}
+
+bool LargeIsProblem::valid(const LegalGraph& g,
+                           std::span<const Label> labels) const {
+  require(labels.size() == g.n(), "one label per node required");
+  if (!independent(g, labels)) return false;
+  return static_cast<double>(size(labels)) >= threshold(g);
+}
+
+bool VertexColoringProblem::node_valid(
+    const Ball& ball, std::span<const Label> ball_labels) const {
+  const Node c = ball.center;
+  const Label color = ball_labels[c];
+  if (color < 0 || static_cast<std::uint64_t>(color) >= palette_) {
+    return false;
+  }
+  for (Node w : ball.graph.graph().neighbors(c)) {
+    if (ball_labels[w] == color) return false;
+  }
+  return true;
+}
+
+bool ConsecutivePathProblem::is_consecutive_path(const LegalGraph& g) {
+  const Node n = g.n();
+  if (n == 0) return false;
+  if (n == 1) return true;
+  if (g.component_count() != 1) return false;
+  // Exactly two degree-1 nodes, rest degree 2.
+  Node deg1 = 0;
+  for (Node v = 0; v < n; ++v) {
+    const auto d = g.graph().degree(v);
+    if (d == 1) {
+      ++deg1;
+    } else if (d != 2) {
+      return false;
+    }
+  }
+  if (deg1 != 2) return false;
+  // Walk from the endpoint with the smaller ID; IDs must increase by one.
+  Node start = 0;
+  bool found = false;
+  for (Node v = 0; v < n; ++v) {
+    if (g.graph().degree(v) == 1 &&
+        (!found || g.id(v) < g.id(start))) {
+      start = v;
+      found = true;
+    }
+  }
+  Node prev = start;
+  Node cur = g.graph().neighbors(start)[0];
+  NodeId expected = g.id(start) + 1;
+  for (Node step = 1; step < n; ++step) {
+    if (g.id(cur) != expected) return false;
+    ++expected;
+    if (step + 1 == n) break;
+    Node next = cur;
+    for (Node w : g.graph().neighbors(cur)) {
+      if (w != prev) next = w;
+    }
+    if (next == cur) return false;
+    prev = cur;
+    cur = next;
+  }
+  return true;
+}
+
+bool ConsecutivePathProblem::valid(const LegalGraph& g,
+                                   std::span<const Label> labels) const {
+  require(labels.size() == g.n(), "one label per node required");
+  const Label answer = is_consecutive_path(g) ? kLabelIn : kLabelOut;
+  return std::all_of(labels.begin(), labels.end(),
+                     [answer](Label l) { return l == answer; });
+}
+
+bool is_matching(const Graph& g, std::span<const Label> edge_labels) {
+  const auto edges = g.edges();
+  require(edge_labels.size() == edges.size(), "one label per edge required");
+  std::vector<std::uint8_t> matched(g.n(), 0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (edge_labels[i] != kLabelIn) continue;
+    if (matched[edges[i].u] || matched[edges[i].v]) return false;
+    matched[edges[i].u] = matched[edges[i].v] = 1;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const Graph& g, std::span<const Label> edge_labels) {
+  if (!is_matching(g, edge_labels)) return false;
+  const auto edges = g.edges();
+  std::vector<std::uint8_t> matched(g.n(), 0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (edge_labels[i] == kLabelIn) {
+      matched[edges[i].u] = matched[edges[i].v] = 1;
+    }
+  }
+  for (const Edge& e : edges) {
+    if (!matched[e.u] && !matched[e.v]) return false;  // augmentable
+  }
+  return true;
+}
+
+bool is_edge_coloring(const Graph& g, std::span<const Label> edge_labels,
+                      std::uint64_t palette) {
+  const auto edges = g.edges();
+  require(edge_labels.size() == edges.size(), "one label per edge required");
+  for (Label l : edge_labels) {
+    if (l < 0 || static_cast<std::uint64_t>(l) >= palette) return false;
+  }
+  // Adjacent edges (sharing an endpoint) must differ: check per node.
+  std::vector<std::vector<Label>> incident(g.n());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    incident[edges[i].u].push_back(edge_labels[i]);
+    incident[edges[i].v].push_back(edge_labels[i]);
+  }
+  for (Node v = 0; v < g.n(); ++v) {
+    auto& colors = incident[v];
+    std::sort(colors.begin(), colors.end());
+    if (std::adjacent_find(colors.begin(), colors.end()) != colors.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Node> sinks_of_orientation(const Graph& g,
+                                       std::span<const Label> edge_labels) {
+  const auto edges = g.edges();
+  require(edge_labels.size() == edges.size(), "one label per edge required");
+  std::vector<std::uint8_t> has_out(g.n(), 0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    // Label 1: u -> v (u has the out-edge); label 0: v -> u.
+    if (edge_labels[i] == kLabelIn) {
+      has_out[edges[i].u] = 1;
+    } else {
+      has_out[edges[i].v] = 1;
+    }
+  }
+  std::vector<Node> sinks;
+  for (Node v = 0; v < g.n(); ++v) {
+    if (g.degree(v) > 0 && !has_out[v]) sinks.push_back(v);
+  }
+  return sinks;
+}
+
+bool is_sinkless_orientation(const Graph& g,
+                             std::span<const Label> edge_labels) {
+  return sinks_of_orientation(g, edge_labels).empty();
+}
+
+bool is_dominating_set(const Graph& g, std::span<const Label> labels) {
+  require(labels.size() == g.n(), "one label per node required");
+  for (Node v = 0; v < g.n(); ++v) {
+    if (labels[v] == kLabelIn) continue;
+    bool dominated = false;
+    for (Node w : g.neighbors(v)) {
+      if (labels[w] == kLabelIn) dominated = true;
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+}  // namespace mpcstab

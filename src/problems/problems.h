@@ -1,0 +1,147 @@
+// Graph problems as the paper defines them (Section 2.3): each node outputs
+// a label from a finite alphabet; a problem is a collection of valid outputs
+// per (topology, IDs) pair — validity may NOT depend on names. Edge problems
+// are handled as vertex problems on line graphs, as the paper prescribes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/balls.h"
+#include "graph/legal_graph.h"
+
+namespace mpcstab {
+
+/// Node output label.
+using Label = std::int64_t;
+
+/// Special labels shared by several problems.
+inline constexpr Label kLabelOut = 0;
+inline constexpr Label kLabelIn = 1;
+/// "Undecided" label of extendable algorithms (Definition 44).
+inline constexpr Label kLabelBot = -1;
+
+/// A vertex-labeling graph problem.
+class Problem {
+ public:
+  virtual ~Problem() = default;
+  virtual std::string name() const = 0;
+
+  /// Whether `labels` is a valid output on `g`. Must not inspect names.
+  virtual bool valid(const LegalGraph& g,
+                     std::span<const Label> labels) const = 0;
+};
+
+/// An r-radius checkable problem (Definition 8): a node's output validity
+/// is determined by its r-radius ball and the labels inside it.
+class RRadiusCheckable : public Problem {
+ public:
+  virtual std::uint32_t radius() const = 0;
+
+  /// Validity of the center's output given its radius() ball and the labels
+  /// of ball nodes (aligned with the ball's internal indexing).
+  virtual bool node_valid(const Ball& ball,
+                          std::span<const Label> ball_labels) const = 0;
+
+  /// Default global validity: every node's ball check passes.
+  bool valid(const LegalGraph& g,
+             std::span<const Label> labels) const override;
+};
+
+/// Maximal independent set: label 1 = in IS; independence + maximality.
+/// 1-radius checkable (an LCL).
+class MisProblem final : public RRadiusCheckable {
+ public:
+  std::string name() const override { return "maximal-independent-set"; }
+  std::uint32_t radius() const override { return 1; }
+  bool node_valid(const Ball& ball,
+                  std::span<const Label> ball_labels) const override;
+};
+
+/// Independent set of size >= c * n / max(Delta, 1) (Section 5; an
+/// Omega(1/Delta)-approximate maximum IS). NOT locally checkable: the size
+/// constraint is global, which is exactly why it separates stable from
+/// unstable algorithms. 2-replicable (Lemma 11).
+class LargeIsProblem final : public Problem {
+ public:
+  explicit LargeIsProblem(double c) : c_(c) {}
+  std::string name() const override { return "large-independent-set"; }
+  double c() const { return c_; }
+  bool valid(const LegalGraph& g,
+             std::span<const Label> labels) const override;
+
+  /// The independence part alone (used to decompose failures in benches).
+  static bool independent(const LegalGraph& g, std::span<const Label> labels);
+  /// Number of labeled-in nodes.
+  static std::uint64_t size(std::span<const Label> labels);
+  /// The size threshold c*n/max(Delta,1) for this graph.
+  double threshold(const LegalGraph& g) const;
+
+ private:
+  double c_;
+};
+
+/// Proper vertex coloring with palette [0, palette). 1-radius checkable.
+class VertexColoringProblem final : public RRadiusCheckable {
+ public:
+  explicit VertexColoringProblem(std::uint64_t palette) : palette_(palette) {}
+  std::string name() const override { return "vertex-coloring"; }
+  std::uint64_t palette() const { return palette_; }
+  std::uint32_t radius() const override { return 1; }
+  bool node_valid(const Ball& ball,
+                  std::span<const Label> ball_labels) const override;
+
+ private:
+  std::uint64_t palette_;
+};
+
+/// The paper's Section 2.1 counterexample: every node outputs YES(1) iff
+/// the entire graph is a simple path with consecutive node IDs. Has an
+/// O(1)-round component-stable MPC algorithm (given n) yet an (n-1)-round
+/// LOCAL lower bound — and is NOT replicable, which is how the revised
+/// framework excludes it.
+class ConsecutivePathProblem final : public Problem {
+ public:
+  std::string name() const override { return "consecutive-id-path"; }
+  bool valid(const LegalGraph& g,
+             std::span<const Label> labels) const override;
+
+  /// Ground truth: is g a single path with consecutive IDs along it?
+  static bool is_consecutive_path(const LegalGraph& g);
+};
+
+// ---------------------------------------------------------------------------
+// Edge-labeled checkers (used directly on the original graph; the Problem-
+// interface form of each is "vertex problem on the line graph", Section 2.3).
+// ---------------------------------------------------------------------------
+
+/// `edge_labels[i]` corresponds to `edges[i]` (the Graph::edges() order).
+/// Matching: no two chosen edges share an endpoint.
+bool is_matching(const Graph& g, std::span<const Label> edge_labels);
+
+/// Maximal matching: matching + no augmentable edge.
+bool is_maximal_matching(const Graph& g, std::span<const Label> edge_labels);
+
+/// Proper edge coloring with palette [0, palette).
+bool is_edge_coloring(const Graph& g, std::span<const Label> edge_labels,
+                      std::uint64_t palette);
+
+/// Sinkless orientation (Section 4.2.2): edge_labels[i] = 1 orients
+/// edges[i] from u to v, 0 from v to u; valid iff every node has >= 1
+/// outgoing edge. Requires min degree >= 1 to be satisfiable per node.
+bool is_sinkless_orientation(const Graph& g,
+                             std::span<const Label> edge_labels);
+
+/// Nodes with no outgoing edge under the orientation.
+std::vector<Node> sinks_of_orientation(const Graph& g,
+                                       std::span<const Label> edge_labels);
+
+/// Dominating set: every node is in the set or adjacent to a member.
+/// (Theorem 28 lists O(1)-approximate minimum dominating set among the
+/// lifted bounds; any maximal independent set is a dominating set.)
+bool is_dominating_set(const Graph& g, std::span<const Label> labels);
+
+}  // namespace mpcstab

@@ -1,0 +1,58 @@
+#include "problems/replicability.h"
+
+#include "graph/ops.h"
+#include "support/check.h"
+#include "support/math.h"
+
+namespace mpcstab {
+
+ReplicabilityTrial replicability_trial(const Problem& problem,
+                                       const LegalGraph& g,
+                                       std::span<const Label> labeling,
+                                       Label isolated_label, unsigned R,
+                                       std::uint64_t isolated) {
+  require(g.n() >= 2, "Definition 9 applies to graphs with >= 2 nodes");
+  require(labeling.size() == g.n(), "one label per node required");
+  require(isolated < g.n(), "isolated count must be < |V(G)|");
+
+  const std::uint64_t copies = ipow(g.n(), R);
+  const LegalGraph gamma = replicate_with_isolated(g, copies, isolated);
+
+  std::vector<Label> gamma_labels(gamma.n());
+  for (std::uint64_t c = 0; c < copies; ++c) {
+    for (Node v = 0; v < g.n(); ++v) {
+      gamma_labels[c * g.n() + v] = labeling[v];
+    }
+  }
+  for (std::uint64_t i = 0; i < isolated; ++i) {
+    gamma_labels[copies * g.n() + i] = isolated_label;
+  }
+
+  ReplicabilityTrial trial;
+  trial.gamma_valid = problem.valid(gamma, gamma_labels);
+  trial.g_valid = problem.valid(g, labeling);
+  return trial;
+}
+
+bool replicable_over_binary_labelings(const Problem& problem,
+                                      const LegalGraph& g, unsigned R) {
+  require(g.n() <= 16, "exhaustive labeling search limited to n <= 16");
+  const std::uint64_t labelings = 1ull << g.n();
+  for (std::uint64_t mask = 0; mask < labelings; ++mask) {
+    std::vector<Label> labeling(g.n());
+    for (Node v = 0; v < g.n(); ++v) {
+      labeling[v] = (mask >> v) & 1u ? kLabelIn : kLabelOut;
+    }
+    for (Label ell : {kLabelOut, kLabelIn}) {
+      for (std::uint64_t isolated : {std::uint64_t{0}, std::uint64_t{1},
+                                     std::uint64_t{g.n() - 1}}) {
+        const auto trial =
+            replicability_trial(problem, g, labeling, ell, R, isolated);
+        if (!trial.consistent()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mpcstab

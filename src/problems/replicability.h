@@ -1,0 +1,42 @@
+// Replicability (Definition 9): the minimal restriction on problems that
+// makes the lifting framework sound once component-stable algorithms are
+// allowed dependency on n. A problem is R-replicable when a valid uniform
+// labeling of Gamma_G (>= |V(G)|^R disjoint copies of G plus < |V(G)|
+// same-ID isolated nodes) forces the per-copy labeling to be valid on G.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/legal_graph.h"
+#include "problems/problems.h"
+
+namespace mpcstab {
+
+/// One replicability trial on a concrete (G, L, ell) triple.
+struct ReplicabilityTrial {
+  bool gamma_valid = false;  // L' valid on Gamma_G
+  bool g_valid = false;      // L valid on G
+  /// Definition 9 requires gamma_valid => g_valid; a witnessed violation is
+  /// a counterexample to R-replicability.
+  bool consistent() const { return !gamma_valid || g_valid; }
+};
+
+/// Builds Gamma_G with exactly max(|V|^R, min_copies) copies and `isolated`
+/// (< |V|) isolated nodes, labels it with L per copy and `ell` on isolated
+/// nodes, and evaluates both sides of the implication.
+ReplicabilityTrial replicability_trial(const Problem& problem,
+                                       const LegalGraph& g,
+                                       std::span<const Label> labeling,
+                                       Label isolated_label, unsigned R,
+                                       std::uint64_t isolated);
+
+/// Exhaustively searches labelings of a small graph (alphabet {out,in},
+/// |V| * alphabet <= ~20 bits) for a violation of R-replicability.
+/// Returns true when no violation exists over all binary labelings and all
+/// isolated-node labels in {out, in}.
+bool replicable_over_binary_labelings(const Problem& problem,
+                                      const LegalGraph& g, unsigned R);
+
+}  // namespace mpcstab

@@ -1,0 +1,95 @@
+#include "rng/kwise.h"
+
+#include "rng/splitmix.h"
+#include "support/check.h"
+#include "support/math.h"
+
+namespace mpcstab {
+
+namespace {
+
+// Reduction mod the Mersenne prime 2^61-1 using its special form.
+std::uint64_t mersenne_reduce(unsigned __int128 x) {
+  std::uint64_t lo = static_cast<std::uint64_t>(x & kHashPrime);
+  std::uint64_t hi = static_cast<std::uint64_t>(x >> 61);
+  std::uint64_t r = lo + hi;
+  if (r >= kHashPrime) r -= kHashPrime;
+  return r;
+}
+
+std::uint64_t field(std::uint64_t x) {
+  return mersenne_reduce(static_cast<unsigned __int128>(x));
+}
+
+}  // namespace
+
+KWiseHash::KWiseHash(std::vector<std::uint64_t> coefficients)
+    : coeff_(std::move(coefficients)) {
+  require(!coeff_.empty(), "k-wise hash needs k >= 1 coefficients");
+  for (auto& c : coeff_) c = field(c);
+}
+
+KWiseHash KWiseHash::from_seed(unsigned k, std::uint64_t seed,
+                               unsigned seed_bits) {
+  require(k >= 1, "k must be >= 1");
+  require(seed_bits >= k && seed_bits <= 64,
+          "seed_bits must be in [k, 64]");
+  // Expand the short seed into k full-width coefficients with a fixed
+  // bijective mixer, so distinct seeds give distinct members and the map is
+  // deterministic. Conditional-expectation users enumerate all 2^seed_bits
+  // members; independence of the *full* family is inherited in distribution
+  // when seed_bits is large enough, and is never assumed by the selector.
+  std::vector<std::uint64_t> coeff(k);
+  std::uint64_t masked = seed_bits == 64 ? seed
+                                         : (seed & ((1ull << seed_bits) - 1));
+  for (unsigned i = 0; i < k; ++i) {
+    coeff[i] = field(splitmix64(masked + 0x1000003ull * (i + 1)));
+  }
+  return KWiseHash(std::move(coeff));
+}
+
+std::uint64_t KWiseHash::eval(std::uint64_t x) const {
+  // Horner evaluation of sum coeff_[i] * x^i.
+  std::uint64_t point = field(x);
+  std::uint64_t acc = 0;
+  for (auto it = coeff_.rbegin(); it != coeff_.rend(); ++it) {
+    acc = mersenne_reduce(
+        static_cast<unsigned __int128>(acc) * point + *it);
+  }
+  return acc;
+}
+
+std::uint64_t KWiseHash::eval_below(std::uint64_t x,
+                                    std::uint64_t bound) const {
+  require(bound >= 1, "bound must be >= 1");
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(eval(x)) * bound) / (kHashPrime));
+}
+
+double KWiseHash::eval_unit(std::uint64_t x) const {
+  return static_cast<double>(eval(x)) / static_cast<double>(kHashPrime);
+}
+
+bool KWiseHash::eval_bit(std::uint64_t x) const { return (eval(x) & 1u) != 0; }
+
+PairwiseHash::PairwiseHash(std::uint64_t a, std::uint64_t b)
+    : a_(field(a)), b_(field(b)) {}
+
+PairwiseHash PairwiseHash::from_seed(std::uint64_t seed, unsigned seed_bits) {
+  require(seed_bits >= 2 && seed_bits <= 64, "seed_bits must be in [2, 64]");
+  std::uint64_t masked = seed_bits == 64 ? seed
+                                         : (seed & ((1ull << seed_bits) - 1));
+  return PairwiseHash(splitmix64(masked ^ 0xa5a5a5a5a5a5a5a5ull),
+                      splitmix64(masked + 0x0123456789abcdefull));
+}
+
+std::uint64_t PairwiseHash::eval(std::uint64_t x) const {
+  return mersenne_reduce(
+      static_cast<unsigned __int128>(a_) * field(x) + b_);
+}
+
+double PairwiseHash::eval_unit(std::uint64_t x) const {
+  return static_cast<double>(eval(x)) / static_cast<double>(kHashPrime);
+}
+
+}  // namespace mpcstab

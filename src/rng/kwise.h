@@ -1,0 +1,80 @@
+// k-wise independent hash families (Section 4.1.1 of the paper).
+//
+// The family is the classical degree-(k-1) polynomial over the Mersenne
+// prime field GF(2^61 - 1): for uniformly random coefficients, the values
+// h(x_1),...,h(x_k) at any k distinct points are exactly uniform and
+// independent over the field. Reducing a field element to a smaller range
+// (a bit, or [0,1)) introduces statistical error < k / 2^61 — the "strongly
+// (eps,k)-wise independent" relaxation of Definition 30 with eps
+// astronomically below any failure probability we care about, exactly the
+// regime the paper requires ("we will choose eps = n^-c ... and can then
+// assume these outputs are fully independent").
+//
+// A family member is specified by a short seed: k field coefficients derived
+// from `seed_bits` explicit bits, so the method of conditional expectations
+// can enumerate the family (see derand/seed_select.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mpcstab {
+
+/// The Mersenne prime 2^61 - 1 used as the hash field.
+inline constexpr std::uint64_t kHashPrime = (1ull << 61) - 1;
+
+/// One member of a k-wise independent family: a degree-(k-1) polynomial
+/// over GF(2^61-1) with explicitly stored coefficients.
+class KWiseHash {
+ public:
+  /// Constructs the family member with the given coefficients (each taken
+  /// mod 2^61-1). `coefficients.size()` is the independence parameter k.
+  explicit KWiseHash(std::vector<std::uint64_t> coefficients);
+
+  /// Constructs the member indexed by `seed` in a seed space of
+  /// `seed_bits` total bits, split evenly across k coefficients. This is
+  /// the enumerable small family used by derandomization: it is a
+  /// (subsampled) subset of the full family, still k-wise "spread" enough
+  /// for the method of conditional expectations, which never relies on the
+  /// family's independence — only on exhaustively checking the cost of each
+  /// member (the paper's machines do exactly this).
+  static KWiseHash from_seed(unsigned k, std::uint64_t seed,
+                             unsigned seed_bits);
+
+  /// Independence parameter k of this member's family.
+  unsigned k() const { return static_cast<unsigned>(coeff_.size()); }
+
+  /// Field value of the polynomial at point x (mapped into the field).
+  std::uint64_t eval(std::uint64_t x) const;
+
+  /// Value reduced to [0, bound); (eps,k)-wise independent for
+  /// eps = k * bound / 2^61.
+  std::uint64_t eval_below(std::uint64_t x, std::uint64_t bound) const;
+
+  /// Value reduced to [0,1).
+  double eval_unit(std::uint64_t x) const;
+
+  /// One (eps,k)-wise independent pseudorandom bit.
+  bool eval_bit(std::uint64_t x) const;
+
+ private:
+  std::vector<std::uint64_t> coeff_;
+};
+
+/// Fast dedicated pairwise-independent (k=2) hash h(x) = a*x + b over
+/// GF(2^61-1), the family behind Claim 52's pairwise Luby step.
+class PairwiseHash {
+ public:
+  PairwiseHash(std::uint64_t a, std::uint64_t b);
+
+  static PairwiseHash from_seed(std::uint64_t seed, unsigned seed_bits);
+
+  std::uint64_t eval(std::uint64_t x) const;
+  double eval_unit(std::uint64_t x) const;
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+}  // namespace mpcstab

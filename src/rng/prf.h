@@ -1,0 +1,59 @@
+// Counter-based pseudorandom function: the library's model of *shared
+// randomness*. Each node/machine derives its random bits as
+// Prf(seed)(stream, counter), so (a) all parties with the same seed see the
+// same randomness (the paper's shared seed S), and (b) logically distinct
+// uses never collide. This mirrors how the paper's algorithms "use part of
+// the random seed assigned to the simulation".
+#pragma once
+
+#include <cstdint>
+
+#include "rng/splitmix.h"
+
+namespace mpcstab {
+
+/// Stateless keyed PRF over (stream, counter) pairs.
+class Prf {
+ public:
+  explicit constexpr Prf(std::uint64_t seed) : seed_(seed) {}
+
+  constexpr std::uint64_t seed() const { return seed_; }
+
+  /// 64 pseudorandom bits for logical stream `stream` at index `counter`.
+  constexpr std::uint64_t word(std::uint64_t stream,
+                               std::uint64_t counter) const {
+    // Two rounds of splitmix64 over a mixed tuple; passes the library's
+    // distinguisher battery (see tests/rng_test.cpp).
+    std::uint64_t x = splitmix64(seed_ ^ splitmix64(stream));
+    return splitmix64(x ^ (0x9e3779b97f4a7c15ull * counter + 0x7f4a7c15ull));
+  }
+
+  /// Uniform value in [0, bound).
+  constexpr std::uint64_t word_below(std::uint64_t stream,
+                                     std::uint64_t counter,
+                                     std::uint64_t bound) const {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(word(stream, counter)) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double unit(std::uint64_t stream, std::uint64_t counter) const {
+    return static_cast<double>(word(stream, counter) >> 11) * 0x1.0p-53;
+  }
+
+  /// One fair pseudorandom bit.
+  constexpr bool bit(std::uint64_t stream, std::uint64_t counter) const {
+    return (word(stream, counter) & 1u) != 0;
+  }
+
+  /// Derives an independent sub-PRF for a nested scope (e.g. one of the
+  /// Theta(log n) parallel repetitions of an amplified algorithm).
+  constexpr Prf derive(std::uint64_t scope) const {
+    return Prf(splitmix64(seed_ ^ (scope * 0xd1342543de82ef95ull + 1)));
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace mpcstab

@@ -1,0 +1,176 @@
+#include "rng/prg.h"
+
+#include <array>
+#include <cmath>
+
+#include "rng/prf.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+Prg::Prg(unsigned seed_bits, std::uint64_t output_bits)
+    : seed_bits_(seed_bits), output_bits_(output_bits) {
+  require(seed_bits >= 1 && seed_bits <= 32,
+          "PRG seed must be 1..32 bits (enumerable, as in the paper)");
+  require(output_bits >= 1, "PRG output must be non-empty");
+}
+
+std::uint64_t Prg::word(std::uint64_t seed, std::uint64_t i) const {
+  require(seed < seed_count(), "seed out of range");
+  // Domain-separated two-level mix; the seed is stretched through a fixed
+  // key so nearby seeds diverge immediately.
+  const Prf prf(splitmix64(seed * 0x2545f4914f6cdd1dull + 0x9e37ull));
+  return prf.word(/*stream=*/0x5052472d63686e6bull, i);
+}
+
+bool Prg::bit(std::uint64_t seed, std::uint64_t i) const {
+  require(i < output_bits_, "bit index out of range");
+  return ((word(seed, i >> 6) >> (i & 63u)) & 1u) != 0;
+}
+
+std::vector<std::uint64_t> Prg::expand(std::uint64_t seed) const {
+  const std::uint64_t words = (output_bits_ + 63) / 64;
+  std::vector<std::uint64_t> out(words);
+  for (std::uint64_t i = 0; i < words; ++i) out[i] = word(seed, i);
+  // Mask tail bits beyond output_bits_ so equality comparisons are exact.
+  const unsigned tail = static_cast<unsigned>(output_bits_ & 63u);
+  if (tail != 0) out.back() &= (1ull << tail) - 1;
+  return out;
+}
+
+namespace {
+
+// Each distinguisher maps an m-bit string to a statistic in [0,1]; its
+// "decision" is statistic > threshold. Advantage is estimated over the
+// whole (enumerable) seed space vs a uniform reference ensemble.
+struct Statistic {
+  const char* name;
+  double (*eval)(const std::vector<std::uint64_t>& bits, std::uint64_t nbits);
+};
+
+double stat_balance(const std::vector<std::uint64_t>& w, std::uint64_t n) {
+  std::uint64_t ones = 0;
+  for (std::uint64_t x : w) ones += static_cast<std::uint64_t>(__builtin_popcountll(x));
+  return static_cast<double>(ones) / static_cast<double>(n);
+}
+
+double stat_serial(const std::vector<std::uint64_t>& w, std::uint64_t n) {
+  // Fraction of adjacent equal bit pairs.
+  std::uint64_t equal = 0;
+  bool prev = (w[0] & 1u) != 0;
+  for (std::uint64_t i = 1; i < n; ++i) {
+    bool cur = ((w[i >> 6] >> (i & 63u)) & 1u) != 0;
+    equal += (cur == prev) ? 1u : 0u;
+    prev = cur;
+  }
+  return n > 1 ? static_cast<double>(equal) / static_cast<double>(n - 1) : 0.5;
+}
+
+double stat_block(const std::vector<std::uint64_t>& w, std::uint64_t n) {
+  // Max deviation of 64-bit block popcounts from 32.
+  double worst = 0;
+  const std::uint64_t blocks = n / 64;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    double dev = std::abs(__builtin_popcountll(w[b]) - 32.0) / 32.0;
+    worst = std::max(worst, dev);
+  }
+  return blocks > 0 ? worst : 0.0;
+}
+
+double stat_stride3(const std::vector<std::uint64_t>& w, std::uint64_t n) {
+  // Balance of every third bit (catches short linear structure).
+  std::uint64_t ones = 0, count = 0;
+  for (std::uint64_t i = 0; i < n; i += 3) {
+    ones += (w[i >> 6] >> (i & 63u)) & 1u;
+    ++count;
+  }
+  return count > 0 ? static_cast<double>(ones) / static_cast<double>(count)
+                   : 0.5;
+}
+
+double stat_runs(const std::vector<std::uint64_t>& w, std::uint64_t n) {
+  // Normalized number of runs (maximal constant stretches); uniform bits
+  // give ~ n/2 runs.
+  if (n < 2) return 0.5;
+  std::uint64_t runs = 1;
+  bool prev = (w[0] & 1u) != 0;
+  for (std::uint64_t i = 1; i < n; ++i) {
+    const bool cur = ((w[i >> 6] >> (i & 63u)) & 1u) != 0;
+    if (cur != prev) ++runs;
+    prev = cur;
+  }
+  return static_cast<double>(runs) / static_cast<double>(n);
+}
+
+double stat_autocorr16(const std::vector<std::uint64_t>& w, std::uint64_t n) {
+  // Agreement rate between the stream and its 16-bit shift (catches short
+  // periods); uniform gives 1/2.
+  if (n <= 16) return 0.5;
+  std::uint64_t agree = 0;
+  for (std::uint64_t i = 16; i < n; ++i) {
+    const bool a = ((w[i >> 6] >> (i & 63u)) & 1u) != 0;
+    const bool b = ((w[(i - 16) >> 6] >> ((i - 16) & 63u)) & 1u) != 0;
+    agree += (a == b) ? 1u : 0u;
+  }
+  return static_cast<double>(agree) / static_cast<double>(n - 16);
+}
+
+double stat_byte_chi(const std::vector<std::uint64_t>& w, std::uint64_t n) {
+  // Chi-square-ish statistic on byte histogram, scaled to ~[0,1].
+  const std::uint64_t bytes = n / 8;
+  if (bytes < 64) return 0.0;
+  std::array<std::uint64_t, 256> hist{};
+  for (std::uint64_t i = 0; i < bytes; ++i) {
+    hist[(w[i / 8] >> (8 * (i % 8))) & 0xffu]++;
+  }
+  const double expect = static_cast<double>(bytes) / 256.0;
+  double chi = 0;
+  for (std::uint64_t h : hist) {
+    const double d = static_cast<double>(h) - expect;
+    chi += d * d / expect;
+  }
+  return chi / 1024.0;  // ~0.25 for uniform (E[chi2_255] = 255)
+}
+
+constexpr std::array<Statistic, 7> kBattery = {{
+    {"bit-balance", stat_balance},
+    {"serial-correlation", stat_serial},
+    {"block-frequency", stat_block},
+    {"stride-3-balance", stat_stride3},
+    {"runs", stat_runs},
+    {"autocorrelation-16", stat_autocorr16},
+    {"byte-chi-square", stat_byte_chi},
+}};
+
+}  // namespace
+
+DistinguisherReport run_distinguishers(const Prg& prg,
+                                       std::uint64_t reference_seed) {
+  const std::uint64_t seeds = std::min<std::uint64_t>(prg.seed_count(), 4096);
+  const std::uint64_t n = prg.output_bits();
+  const Prf ref(reference_seed);
+
+  DistinguisherReport report;
+  for (const auto& stat : kBattery) {
+    double prg_mean = 0, ref_mean = 0;
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+      prg_mean += stat.eval(prg.expand(s), n);
+      // Uniform reference string of the same length.
+      std::vector<std::uint64_t> u((n + 63) / 64);
+      for (std::uint64_t i = 0; i < u.size(); ++i) u[i] = ref.word(s, i);
+      const unsigned tail = static_cast<unsigned>(n & 63u);
+      if (tail != 0) u.back() &= (1ull << tail) - 1;
+      ref_mean += stat.eval(u, n);
+    }
+    prg_mean /= static_cast<double>(seeds);
+    ref_mean /= static_cast<double>(seeds);
+    const double adv = std::abs(prg_mean - ref_mean);
+    if (adv > report.max_advantage) {
+      report.max_advantage = adv;
+      report.worst = stat.name;
+    }
+  }
+  return report;
+}
+
+}  // namespace mpcstab

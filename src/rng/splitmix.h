@@ -1,0 +1,43 @@
+// Deterministic seeded generators. All randomness in the library flows from
+// explicit 64-bit seeds so every experiment is reproducible bit-for-bit,
+// matching the paper's model of a single shared random seed S distributed to
+// all machines (Section 2.4.2).
+#pragma once
+
+#include <cstdint>
+
+namespace mpcstab {
+
+/// SplitMix64 mixing function: a high-quality 64-bit bijective mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Sequential PRNG built on splitmix64; cheap, seedable, never shared
+/// between logical streams (use Prf for stream separation).
+class SplitMix {
+ public:
+  explicit constexpr SplitMix(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() { return splitmix64(state_++); }
+
+  /// Uniform value in [0, bound) for bound >= 1 (Lemire reduction bias is
+  /// negligible at 64 bits; acceptable for simulation workloads).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace mpcstab

@@ -1,0 +1,20 @@
+#include "support/check.h"
+
+namespace mpcstab::detail {
+
+[[noreturn]] void fail(std::string_view kind, std::string_view what,
+                       const std::source_location& where) {
+  std::string msg;
+  msg.reserve(kind.size() + what.size() + 64);
+  msg.append(kind);
+  msg.append(" violated at ");
+  msg.append(where.file_name());
+  msg.push_back(':');
+  msg.append(std::to_string(where.line()));
+  msg.append(": ");
+  msg.append(what);
+  if (kind == "precondition") throw PreconditionError(msg);
+  throw InvariantError(msg);
+}
+
+}  // namespace mpcstab::detail

@@ -1,0 +1,68 @@
+// Runtime contract checking for the component-stability library.
+//
+// Following the C++ Core Guidelines (I.6/I.8, E.12) we express preconditions
+// and invariants as named checking functions that throw typed exceptions
+// rather than macros. Checks stay enabled in release builds: the simulator's
+// job is to *enforce* the MPC resource model, so violations are product
+// behaviour, not debugging aids.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mpcstab {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A caller violated a documented precondition of a public API.
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An internal invariant was violated: a bug in this library.
+class InvariantError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An input graph is not *legal* in the sense of Definition 6 of the paper
+/// (names not fully unique, or IDs not unique within a connected component).
+class IllegalGraphError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A simulated MPC machine exceeded its local space or per-round message
+/// budget of S = n^phi words (Section 2.4.2 of the paper).
+class SpaceLimitError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void fail(std::string_view kind, std::string_view what,
+                       const std::source_location& where);
+}  // namespace detail
+
+/// Precondition check: throws PreconditionError when `cond` is false.
+inline void require(bool cond, std::string_view what,
+                    const std::source_location where =
+                        std::source_location::current()) {
+  if (!cond) detail::fail("precondition", what, where);
+}
+
+/// Invariant check: throws InvariantError when `cond` is false.
+inline void ensure(bool cond, std::string_view what,
+                   const std::source_location where =
+                       std::source_location::current()) {
+  if (!cond) detail::fail("invariant", what, where);
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,123 @@
+#include "support/math.h"
+
+#include <bit>
+#include <limits>
+
+#include "support/check.h"
+
+namespace mpcstab {
+
+int floor_log2(std::uint64_t x) {
+  require(x >= 1, "floor_log2 requires x >= 1");
+  return 63 - std::countl_zero(x);
+}
+
+int ceil_log2(std::uint64_t x) {
+  require(x >= 1, "ceil_log2 requires x >= 1");
+  if (x == 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+int log_star(std::uint64_t x) {
+  int count = 0;
+  while (x > 1) {
+    x = static_cast<std::uint64_t>(floor_log2(x));
+    ++count;
+  }
+  return count;
+}
+
+std::uint64_t ipow(std::uint64_t base, unsigned exp) {
+  std::uint64_t result = 1;
+  while (exp > 0) {
+    if (exp & 1u) {
+      if (base != 0 &&
+          result > std::numeric_limits<std::uint64_t>::max() / base) {
+        return std::numeric_limits<std::uint64_t>::max();
+      }
+      result *= base;
+    }
+    exp >>= 1u;
+    if (exp == 0) break;
+    if (base > std::numeric_limits<std::uint32_t>::max()) {
+      // base*base would overflow; any further set bit saturates.
+      base = std::numeric_limits<std::uint64_t>::max();
+    } else {
+      base *= base;
+    }
+  }
+  return result;
+}
+
+std::uint64_t isqrt(std::uint64_t x) {
+  if (x == 0) return 0;
+  std::uint64_t r = static_cast<std::uint64_t>(__builtin_sqrtl(
+      static_cast<long double>(x)));
+  while (r > 0 && r * r > x) --r;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  require(m > 0, "powmod requires m > 0");
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1u) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1u;
+  }
+  return result;
+}
+
+namespace {
+
+// Deterministic Miller-Rabin witness set valid for all 64-bit integers.
+constexpr std::uint64_t kWitnesses[] = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+                                        31, 37};
+
+bool miller_rabin(std::uint64_t n, std::uint64_t a) {
+  if (a % n == 0) return true;
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1u) == 0) {
+    d >>= 1u;
+    ++r;
+  }
+  std::uint64_t x = powmod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 0; i < r - 1; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t x) {
+  if (x < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull}) {
+    if (x == p) return true;
+    if (x % p == 0) return false;
+  }
+  for (std::uint64_t a : kWitnesses) {
+    if (!miller_rabin(x, a)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t x) {
+  require(x <= (1ull << 62), "next_prime argument too large");
+  if (x <= 2) return 2;
+  std::uint64_t candidate = x | 1u;  // first odd >= x
+  while (!is_prime(candidate)) candidate += 2;
+  return candidate;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,41 @@
+// Small integer math helpers used throughout the library: the paper's round
+// bounds are phrased in log, loglog and log* of the input size, so we need
+// exact integer versions of those functions for round accounting and for
+// reporting measured complexity curves.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace mpcstab {
+
+/// floor(log2(x)) for x >= 1.
+int floor_log2(std::uint64_t x);
+
+/// ceil(log2(x)) for x >= 1 (returns 0 for x == 1).
+int ceil_log2(std::uint64_t x);
+
+/// The iterated logarithm log*(x): the number of times log2 must be applied
+/// to x before the result is <= 1. log_star(1) == 0, log_star(2) == 1,
+/// log_star(16) == 3, log_star(65536) == 4.
+int log_star(std::uint64_t x);
+
+/// Integer power with overflow saturation at UINT64_MAX.
+std::uint64_t ipow(std::uint64_t base, unsigned exp);
+
+/// floor(x^(1/2)).
+std::uint64_t isqrt(std::uint64_t x);
+
+/// True when x is prime (deterministic Miller-Rabin, valid for all 64-bit x).
+bool is_prime(std::uint64_t x);
+
+/// Smallest prime >= x (x <= 2^62).
+std::uint64_t next_prime(std::uint64_t x);
+
+/// (a * b) mod m without overflow for m < 2^63.
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+
+/// (base ^ exp) mod m without overflow for m < 2^63.
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m);
+
+}  // namespace mpcstab

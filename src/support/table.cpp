@@ -1,0 +1,54 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "support/check.h"
+
+namespace mpcstab {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "table must have at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "row arity must match table header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out, const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 3;
+
+  out << '\n' << title << '\n' << std::string(std::max<std::size_t>(total, title.size()), '-') << '\n';
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << std::string(width[c] - row[c].size() + 3, ' ');
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  out << std::string(std::max<std::size_t>(total, title.size()), '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  out << '\n';
+}
+
+std::string fmt(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,34 @@
+// Plain-text table rendering for the benchmark harness. Every experiment in
+// EXPERIMENTS.md is reported as one of these tables, mirroring how the
+// paper's claims would appear as evaluation tables.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mpcstab {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a title banner to `out`.
+  void print(std::ostream& out, const std::string& title) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string fmt(double value, int digits = 3);
+
+}  // namespace mpcstab

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/luby.h"
+#include "core/amplification.h"
+#include "graph/generators.h"
+#include "problems/problems.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+TEST(Amplify, PicksArgmaxScore) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(8));
+  Cluster cluster(MpcConfig::for_graph(512, 512, 0.5, 1));
+  ASSERT_GE(cluster.machines(), 8u);
+  // Repetition r produces labels [r, r, ...]; score = label value.
+  const AmplifiedResult r = amplify_best(
+      cluster, Prf(1), 8, /*per_repetition_rounds=*/2,
+      [&](const Prf& prf) {
+        // Derive a deterministic pseudo-score per repetition.
+        const Label value = static_cast<Label>(prf.word(0, 0) % 100);
+        return std::vector<Label>(g.n(), value);
+      },
+      [](const std::vector<Label>& labels) {
+        return static_cast<double>(labels[0]);
+      });
+  // Winner's score is the max over all repetitions.
+  for (std::uint64_t rep = 0; rep < 8; ++rep) {
+    const Label value = static_cast<Label>(Prf(1).derive(rep).word(0, 0) % 100);
+    EXPECT_GE(r.best_score, static_cast<double>(value));
+  }
+}
+
+TEST(Amplify, RoundCostIndependentOfRepetitionCount) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(16));
+  auto run = [&](std::uint64_t reps) {
+    Cluster cluster(MpcConfig::for_graph(4096, 4096, 0.5, 1));
+    return amplify_best(
+               cluster, Prf(2), reps, 2,
+               [&](const Prf&) { return std::vector<Label>(g.n(), 0); },
+               [](const std::vector<Label>&) { return 1.0; })
+        .rounds;
+  };
+  // 4x repetitions must not multiply rounds (only tree depth wiggles).
+  EXPECT_LE(run(32), run(8) + 4);
+}
+
+TEST(Amplify, BoostsLubySuccessProbability) {
+  // The Theorem 5 mechanism end-to-end: single Luby steps sometimes miss
+  // the c=0.9 threshold n/(Delta+1)*0.9; the amplified run never does
+  // across our seed sweep.
+  const LegalGraph g = LegalGraph::with_identity(
+      random_regular_graph(64, 4, Prf(3)));
+  const double threshold = 0.9 * 64.0 / 5.0;
+  int single_failures = 0;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const Prf prf(seed);
+    const auto labels = luby_step(g, [&](Node v) {
+      return prf.word(0, g.id(v));
+    });
+    if (static_cast<double>(LargeIsProblem::size(labels)) < threshold) {
+      ++single_failures;
+    }
+  }
+  EXPECT_GT(single_failures, 0) << "threshold too easy to show a boost";
+
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    Cluster cluster(MpcConfig::for_graph(64, 128, 0.5, 32));
+    const AmplifiedResult amp = amplify_best(
+        cluster, Prf(seed), amplification_repetitions(64), 2,
+        [&](const Prf& rep) {
+          return luby_step(g, [&](Node v) {
+            return rep.word(0, g.id(v));
+          });
+        },
+        [](const std::vector<Label>& labels) {
+          return static_cast<double>(LargeIsProblem::size(labels));
+        });
+    EXPECT_GE(amp.best_score, threshold) << "seed " << seed;
+  }
+}
+
+TEST(Amplify, RepetitionFormula) {
+  EXPECT_EQ(amplification_repetitions(2), 8u);
+  EXPECT_GE(amplification_repetitions(1u << 20), 80u);
+}
+
+TEST(Amplify, GuardsMachineBudget) {
+  Cluster cluster(MpcConfig::for_graph(64, 64, 0.5, 1));
+  EXPECT_THROW(
+      amplify_best(
+          cluster, Prf(1), cluster.machines() + 1, 1,
+          [](const Prf&) { return std::vector<Label>{}; },
+          [](const std::vector<Label>&) { return 0.0; }),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace mpcstab

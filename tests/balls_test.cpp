@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "graph/balls.h"
+#include "graph/generators.h"
+#include "graph/legal_graph.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph path_with_ids(Node n, std::vector<NodeId> ids) {
+  std::vector<NodeName> names(n);
+  for (Node v = 0; v < n; ++v) names[v] = v + 1000;
+  return LegalGraph::make(path_graph(n), std::move(ids), std::move(names));
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph p = path_graph(6);
+  const auto dist = bfs_distances(p, 0, 3);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[4], 0xffffffffu);  // beyond radius
+}
+
+TEST(Bfs, UnreachableNodes) {
+  const Graph g = two_cycles_graph(8);
+  const auto dist = bfs_distances(g, 0, 100);
+  EXPECT_EQ(dist[4], 0xffffffffu);  // other component
+}
+
+TEST(Ball, RadiusZeroIsSingleton) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(5));
+  const Ball b = extract_ball(g, 2, 0);
+  EXPECT_EQ(b.graph.n(), 1u);
+  EXPECT_EQ(b.graph.id(b.center), 2u);
+}
+
+TEST(Ball, RadiusOneOnCycle) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(6));
+  const Ball b = extract_ball(g, 0, 1);
+  EXPECT_EQ(b.graph.n(), 3u);  // 0 and its two neighbors
+  EXPECT_EQ(b.graph.graph().m(), 2u);
+}
+
+TEST(Ball, CoversComponentAtLargeRadius) {
+  const LegalGraph g = LegalGraph::with_identity(two_cycles_graph(10));
+  const Ball b = extract_ball(g, 0, 100);
+  EXPECT_EQ(b.graph.n(), 5u);  // only node 0's cycle
+}
+
+TEST(Ball, PreservesIdsAndNames) {
+  const LegalGraph g = path_with_ids(5, {10, 20, 30, 40, 50});
+  const Ball b = extract_ball(g, 2, 1);
+  EXPECT_EQ(b.graph.n(), 3u);
+  EXPECT_EQ(b.graph.id(b.center), 30u);
+  std::set<NodeId> ids(b.graph.ids().begin(), b.graph.ids().end());
+  EXPECT_EQ(ids, (std::set<NodeId>{20, 30, 40}));
+}
+
+TEST(RadiusIdentical, IdenticalPathsUpToRadius) {
+  // Definition 23 on the canonical construction: two paths differing only
+  // at the far endpoint are D-radius-identical at the near endpoint for
+  // every D smaller than the distance to the difference.
+  const LegalGraph a = path_with_ids(6, {0, 1, 2, 3, 4, 5});
+  const LegalGraph b = path_with_ids(6, {0, 1, 2, 3, 4, 99});
+  EXPECT_TRUE(radius_identical(a, 0, b, 0, 4));
+  EXPECT_FALSE(radius_identical(a, 0, b, 0, 5));
+}
+
+TEST(RadiusIdentical, CenterIdMustMatch) {
+  const LegalGraph a = path_with_ids(3, {0, 1, 2});
+  const LegalGraph b = path_with_ids(3, {7, 1, 2});
+  EXPECT_FALSE(radius_identical(a, 0, b, 0, 0));
+  // Radius-0 balls with equal center IDs ARE identical.
+  EXPECT_TRUE(radius_identical(a, 1, b, 1, 0));
+}
+
+TEST(RadiusIdentical, TopologyMattersNotJustIds) {
+  // Same ID sets, different topology within the ball.
+  const LegalGraph path = path_with_ids(3, {0, 1, 2});
+  std::vector<NodeName> names{9000, 9001, 9002};
+  const LegalGraph tri = LegalGraph::make(cycle_graph(3), {0, 1, 2}, names);
+  EXPECT_FALSE(radius_identical(path, 1, tri, 1, 1));
+}
+
+TEST(RadiusIdentical, NamesDoNotMatter) {
+  // Definition 23 compares topologies and IDs, never names.
+  const LegalGraph a = path_with_ids(4, {0, 1, 2, 3});
+  std::vector<NodeName> other_names{77, 78, 79, 80};
+  const LegalGraph b =
+      LegalGraph::make(path_graph(4), {0, 1, 2, 3}, other_names);
+  EXPECT_TRUE(radius_identical(a, 0, b, 0, 3));
+}
+
+TEST(RadiusIdentical, DifferentCentersOnSameGraph) {
+  // A cycle with rotation-invariant ID pattern: centers with equal local
+  // views are identical; the IDs break the symmetry here, so not identical.
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(8));
+  EXPECT_FALSE(radius_identical(g, 0, g, 1, 1));
+  EXPECT_TRUE(radius_identical(g, 3, g, 3, 2));
+}
+
+TEST(RadiusIdentical, MonotoneInRadius) {
+  // If balls are identical at radius r, they are identical at r' < r.
+  const LegalGraph a = path_with_ids(8, {0, 1, 2, 3, 4, 5, 6, 7});
+  const LegalGraph b = path_with_ids(8, {0, 1, 2, 3, 4, 5, 6, 70});
+  for (std::uint32_t r = 0; r <= 6; ++r) {
+    EXPECT_TRUE(radius_identical(a, 0, b, 0, r)) << "radius " << r;
+  }
+}
+
+}  // namespace
+}  // namespace mpcstab

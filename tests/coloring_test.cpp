@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/coloring.h"
+#include "graph/generators.h"
+#include "problems/problems.h"
+#include "support/math.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+bool proper(const LegalGraph& g, const std::vector<Label>& colors) {
+  for (const Edge& e : g.graph().edges()) {
+    if (colors[e.u] == colors[e.v]) return false;
+  }
+  return true;
+}
+
+TEST(Linial, ProperColoringOnCycle) {
+  const LegalGraph g = identity(cycle_graph(64));
+  SyncNetwork net = SyncNetwork::local(g, Prf(1));
+  const ColoringResult r = linial_coloring(net);
+  EXPECT_TRUE(proper(g, r.colors));
+  for (Label c : r.colors) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(static_cast<std::uint64_t>(c), r.palette);
+  }
+}
+
+TEST(Linial, PaletteIsDeltaSquaredish) {
+  const LegalGraph g = identity(random_regular_graph(256, 4, Prf(2)));
+  SyncNetwork net = SyncNetwork::local(g, Prf(1));
+  const ColoringResult r = linial_coloring(net);
+  EXPECT_TRUE(proper(g, r.colors));
+  // Final palette is q^2 for a prime q = O(Delta log Delta) at fixpoint.
+  EXPECT_LE(r.palette, 4096u);
+}
+
+TEST(Linial, RoundsGrowLikeLogStar) {
+  // log* grows by at most 1-2 over this whole range; rounds must stay tiny
+  // and essentially flat while n grows 64x.
+  std::uint64_t rounds_small = 0, rounds_large = 0;
+  {
+    const LegalGraph g = identity(cycle_graph(128));
+    SyncNetwork net = SyncNetwork::local(g, Prf(3));
+    rounds_small = linial_coloring(net).rounds;
+  }
+  {
+    const LegalGraph g = identity(cycle_graph(8192));
+    SyncNetwork net = SyncNetwork::local(g, Prf(3));
+    rounds_large = linial_coloring(net).rounds;
+  }
+  EXPECT_LE(rounds_large, rounds_small + 4);
+  EXPECT_LE(rounds_large, 20u);
+}
+
+TEST(ReduceColors, ReachesTargetPalette) {
+  const LegalGraph g = identity(cycle_graph(20));
+  SyncNetwork net = SyncNetwork::local(g, Prf(4));
+  const ColoringResult linial = linial_coloring(net);
+  const ColoringResult reduced =
+      reduce_colors(net, linial.colors, linial.palette, 3);
+  EXPECT_TRUE(proper(g, reduced.colors));
+  for (Label c : reduced.colors) EXPECT_LT(c, 3);
+}
+
+TEST(ReduceColors, RejectsTargetBelowDeltaPlusOne) {
+  const LegalGraph g = identity(star_graph(5));  // Delta 4
+  SyncNetwork net = SyncNetwork::local(g, Prf(5));
+  EXPECT_THROW(reduce_colors(net, std::vector<Label>(5, 0), 10, 3),
+               PreconditionError);
+}
+
+TEST(DeltaPlusOne, ValidOnVariousTopologies) {
+  for (const Graph& topo :
+       {cycle_graph(30), random_tree(40, Prf(6)),
+        random_regular_graph(40, 4, Prf(7)), grid_graph(5, 8)}) {
+    const LegalGraph g = identity(topo);
+    SyncNetwork net = SyncNetwork::local(g, Prf(8));
+    const ColoringResult r = delta_plus_one_coloring(net);
+    const VertexColoringProblem problem(g.max_degree() + 1);
+    EXPECT_TRUE(problem.valid(g, r.colors));
+  }
+}
+
+TEST(Randomized, DeltaPlusOnePalette) {
+  const LegalGraph g = identity(random_regular_graph(128, 5, Prf(9)));
+  SyncNetwork net = SyncNetwork::local(g, Prf(10));
+  const ColoringResult r = randomized_coloring(net, 6, 0);
+  EXPECT_TRUE(VertexColoringProblem(6).valid(g, r.colors));
+}
+
+TEST(Randomized, RoundsLogarithmic) {
+  const LegalGraph g = identity(random_regular_graph(512, 4, Prf(11)));
+  SyncNetwork net = SyncNetwork::local(g, Prf(12));
+  const ColoringResult r = randomized_coloring(net, 6, 0);
+  EXPECT_LE(r.rounds, 2ull * (ceil_log2(512) + 8) * 2);
+}
+
+TEST(Randomized, RejectsTooSmallPalette) {
+  const LegalGraph g = identity(star_graph(6));
+  SyncNetwork net = SyncNetwork::local(g, Prf(13));
+  EXPECT_THROW(randomized_coloring(net, 3, 0), PreconditionError);
+}
+
+TEST(EdgeColoring, ProperWithTwoDeltaMinusOne) {
+  const LegalGraph g = identity(random_regular_graph(64, 4, Prf(14)));
+  const std::uint64_t palette = 2 * g.max_degree() - 1;
+  const EdgeColoringResult r = edge_coloring_local(g, palette, Prf(15), 0);
+  EXPECT_TRUE(is_edge_coloring(g.graph(), r.edge_colors, palette));
+}
+
+TEST(EdgeColoring, WorksOnForests) {
+  // The Section 4.2.3 family: forests. The greedy palette bound for the
+  // line graph is 2*Delta-1 (its max degree is 2*Delta-2); going below —
+  // the (2Delta-2)-coloring of [CHL+20] — needs the LLL machinery, which
+  // is exactly why that problem carries a LOCAL lower bound.
+  const LegalGraph g = identity(caterpillar_forest(6, 2, 3));
+  const std::uint32_t delta = g.max_degree();
+  const EdgeColoringResult r =
+      edge_coloring_local(g, 2 * delta - 1, Prf(16), 1);
+  EXPECT_TRUE(is_edge_coloring(g.graph(), r.edge_colors, 2 * delta - 1));
+}
+
+
+TEST(DerandColoring, ProperDeterministicDeltaPlusOne) {
+  const LegalGraph g = identity(random_regular_graph(96, 4, Prf(20)));
+  Cluster a(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const DerandColoringResult ra = derandomized_coloring(a, g, 5, 8);
+  EXPECT_TRUE(VertexColoringProblem(5).valid(g, ra.colors));
+  Cluster b(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const DerandColoringResult rb = derandomized_coloring(b, g, 5, 8);
+  EXPECT_EQ(ra.colors, rb.colors);  // deterministic
+}
+
+TEST(DerandColoring, FewIterationsOnBoundedDegree) {
+  const LegalGraph g = identity(random_bounded_degree_graph(
+      256, 5, 500, Prf(21)));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const DerandColoringResult r =
+      derandomized_coloring(cluster, g, g.max_degree() + 1, 8);
+  EXPECT_TRUE(
+      VertexColoringProblem(g.max_degree() + 1).valid(g, r.colors));
+  // Argmin <= pairwise mean => geometric conflict decay: comfortably
+  // below the cap.
+  EXPECT_LE(r.iterations, 24u);
+}
+
+TEST(DerandColoring, WorksWithLargerPalette) {
+  const LegalGraph g = identity(random_regular_graph(64, 6, Prf(22)));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const DerandColoringResult r = derandomized_coloring(cluster, g, 10, 8);
+  EXPECT_TRUE(VertexColoringProblem(10).valid(g, r.colors));
+}
+
+TEST(DerandColoring, RejectsTooSmallPalette) {
+  const LegalGraph g = identity(star_graph(6));
+  Cluster cluster(MpcConfig::for_graph(6, 5));
+  EXPECT_THROW(derandomized_coloring(cluster, g, 3, 6), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/component_stable.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+TEST(StableRunner, LabelsEveryNodePerComponent) {
+  const LegalGraph g = identity(two_cycles_graph(12));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const StableGreedyMis alg;
+  const auto labels = run_component_stable(cluster, alg, g, 0);
+  EXPECT_EQ(labels.size(), g.n());
+  // Greedy by ID on each 6-cycle 0..5: nodes 0,2,4 in.
+  EXPECT_EQ(labels[0], kLabelIn);
+  EXPECT_EQ(labels[1], kLabelOut);
+  EXPECT_EQ(labels[6], kLabelIn);
+}
+
+TEST(StableRunner, ChargesDeclaredRoundsOnce) {
+  const LegalGraph g = identity(two_cycles_graph(16));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const MarkerAlgorithm alg({999});
+  const std::uint64_t before = cluster.rounds();
+  run_component_stable(cluster, alg, g, 0);
+  // compute_params trees + the declared 2 rounds; must not scale with the
+  // number of components.
+  EXPECT_LE(cluster.rounds() - before, 3u + 12 * cluster.tree_rounds());
+}
+
+TEST(StableOutputAt, MatchesRunnerDefinition) {
+  // The Definition 13 functional form: output at v == per-component run.
+  const LegalGraph g = identity(cycle_graph(8));
+  const StableLubyStepIs alg;
+  const auto all = alg.run_on_component(g, 8, 2, 42);
+  for (Node v = 0; v < 8; ++v) {
+    EXPECT_EQ(stable_output_at(alg, g, v, 8, 2, 42), all[v]);
+  }
+}
+
+TEST(StableOutputAt, RejectsDisconnectedInput) {
+  const LegalGraph g = identity(two_cycles_graph(8));
+  const StableLubyStepIs alg;
+  EXPECT_THROW(stable_output_at(alg, g, 0, 8, 2, 1), PreconditionError);
+}
+
+TEST(StableLubyStep, OutputIdenticalUnderRenaming) {
+  // Definition 13: no dependence on names. Same topology+IDs, different
+  // names => same outputs.
+  const Graph topo = random_graph(20, 0.2, Prf(1));
+  std::vector<NodeId> ids(20);
+  std::vector<NodeName> names_a(20), names_b(20);
+  for (Node v = 0; v < 20; ++v) {
+    ids[v] = v;
+    names_a[v] = v;
+    names_b[v] = 1000 - v;
+  }
+  const LegalGraph a = LegalGraph::make(topo, ids, names_a);
+  const LegalGraph b = LegalGraph::make(topo, ids, names_b);
+  const StableLubyStepIs alg;
+  EXPECT_EQ(alg.run_on_component(a, 20, a.max_degree(), 7),
+            alg.run_on_component(b, 20, b.max_degree(), 7));
+}
+
+TEST(StableLubyStep, OutputDependsOnSeed) {
+  const LegalGraph g = identity(cycle_graph(64));
+  const StableLubyStepIs alg;
+  const auto s1 = alg.run_on_component(g, 64, 2, 1);
+  const auto s2 = alg.run_on_component(g, 64, 2, 2);
+  EXPECT_NE(s1, s2);  // overwhelmingly likely on a 64-cycle
+}
+
+TEST(Marker, DetectsMarkerAnywhereInComponent) {
+  std::vector<NodeId> ids{5, 6, 7, 999};
+  std::vector<NodeName> names{0, 1, 2, 3};
+  const LegalGraph with = LegalGraph::make(path_graph(4), ids, names);
+  const MarkerAlgorithm alg({999});
+  const auto labels = alg.run_on_component(with, 4, 2, 0);
+  for (Label l : labels) EXPECT_EQ(l, kLabelIn);
+
+  const LegalGraph without = identity(path_graph(4));
+  const auto labels2 = alg.run_on_component(without, 4, 2, 0);
+  for (Label l : labels2) EXPECT_EQ(l, kLabelOut);
+}
+
+TEST(ConsecutivePathAlg, UsesGlobalN) {
+  // The same component answers YES when it spans the whole input and NO
+  // when n says there are other nodes — the Section 2.1 n-dependency.
+  const LegalGraph path = identity(path_graph(5));
+  const StableConsecutivePath alg;
+  const auto yes = alg.run_on_component(path, /*n=*/5, 2, 0);
+  const auto no = alg.run_on_component(path, /*n=*/6, 2, 0);
+  EXPECT_EQ(yes[0], kLabelIn);
+  EXPECT_EQ(no[0], kLabelOut);
+}
+
+TEST(ConsecutivePathAlg, SolvesTheCounterexampleProblemInO1Rounds) {
+  // End-to-end: the O(1)-round component-stable algorithm correctly solves
+  // ConsecutivePathProblem, the problem with an (n-1)-round LOCAL lower
+  // bound — the paper's proof that unrestricted lifting is impossible.
+  const ConsecutivePathProblem problem;
+  const StableConsecutivePath alg;
+  {
+    const LegalGraph g = identity(path_graph(6));
+    Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+    const auto labels = run_component_stable(cluster, alg, g, 0);
+    EXPECT_TRUE(problem.valid(g, labels));
+  }
+  {
+    const LegalGraph g = identity(two_cycles_graph(8));
+    Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+    const auto labels = run_component_stable(cluster, alg, g, 0);
+    EXPECT_TRUE(problem.valid(g, labels));
+  }
+  {
+    // A path embedded next to an isolated node: component unchanged but
+    // answer flips to NO — correctness forced by the n-dependency.
+    const LegalGraph g = identity(add_isolated(path_graph(6), 1));
+    Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+    const auto labels = run_component_stable(cluster, alg, g, 0);
+    EXPECT_TRUE(problem.valid(g, labels));
+  }
+}
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/connectivity.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "support/math.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+Cluster cluster_for(const LegalGraph& g) {
+  return Cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+}
+
+TEST(HashToMin, LabelsComponentsOfForest) {
+  const LegalGraph g = identity(random_forest(100, 5, Prf(1)));
+  Cluster cluster = cluster_for(g);
+  const ConnectivityResult r = hash_to_min_components(cluster, g, 200);
+  EXPECT_TRUE(r.converged);
+  // Equal labels exactly within components.
+  const Components truth = connected_components(g.graph());
+  for (Node u = 0; u < g.n(); ++u) {
+    for (Node v = u + 1; v < g.n(); ++v) {
+      EXPECT_EQ(truth.comp[u] == truth.comp[v], r.labels[u] == r.labels[v]);
+    }
+  }
+}
+
+TEST(HashToMin, ConvergesInLogIterationsOnCycles) {
+  // The O(log n) upper-bound shape on the conjecture's own instances.
+  for (Node n : {64u, 256u, 1024u, 4096u}) {
+    const LegalGraph g = identity(cycle_graph(n));
+    Cluster cluster = cluster_for(g);
+    const ConnectivityResult r = hash_to_min_components(cluster, g, 500);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.iterations, static_cast<std::uint64_t>(3 * ceil_log2(n)))
+        << "n = " << n;
+  }
+}
+
+TEST(DistinguishCycles, CorrectOnBothInstances) {
+  for (Node n : {64u, 256u, 1024u}) {
+    {
+      const LegalGraph one = identity(cycle_graph(n));
+      Cluster cluster = cluster_for(one);
+      const CycleDecision d = distinguish_cycles(cluster, one);
+      EXPECT_TRUE(d.one_cycle);
+      EXPECT_TRUE(d.reliable);
+    }
+    {
+      const LegalGraph two = identity(two_cycles_graph(n));
+      Cluster cluster = cluster_for(two);
+      const CycleDecision d = distinguish_cycles(cluster, two);
+      EXPECT_FALSE(d.one_cycle);
+      EXPECT_TRUE(d.reliable);
+    }
+  }
+}
+
+TEST(DistinguishCycles, RoundsGrowLogarithmically) {
+  std::uint64_t prev = 0;
+  for (Node n : {128u, 1024u, 8192u}) {
+    const LegalGraph g = identity(cycle_graph(n));
+    Cluster cluster = cluster_for(g);
+    const CycleDecision d = distinguish_cycles(cluster, g);
+    EXPECT_GT(d.rounds, prev);  // strictly growing with n
+    EXPECT_LE(d.rounds, 10ull * ceil_log2(n));
+    prev = d.rounds;
+  }
+}
+
+TEST(DistinguishCycles, TruncatedRunsAreUnreliable) {
+  // The empirical face of the conjecture: an o(log n)-iteration truncation
+  // cannot certify its answer on large cycles.
+  const LegalGraph g = identity(cycle_graph(4096));
+  Cluster cluster = cluster_for(g);
+  const CycleDecision d = distinguish_cycles_truncated(cluster, g, 3);
+  EXPECT_FALSE(d.reliable);
+}
+
+TEST(StConn, YesOnShortPath) {
+  // H is a path of 6 nodes: s=0, t=5, length 5.
+  const LegalGraph g = identity(path_graph(6));
+  Cluster cluster = cluster_for(g);
+  const StConnResult r = st_connectivity(cluster, g, 0, 5, 8);
+  EXPECT_TRUE(r.yes);
+}
+
+TEST(StConn, NoWhenDisconnected) {
+  // Two disjoint paths: s on one, t on the other.
+  const Graph parts[] = {path_graph(4), path_graph(4)};
+  const LegalGraph g = identity(disjoint_union(parts));
+  Cluster cluster = cluster_for(g);
+  const StConnResult r = st_connectivity(cluster, g, 0, 7, 8);
+  EXPECT_FALSE(r.yes);
+}
+
+TEST(StConn, RoundsLogInDiameterBound) {
+  const LegalGraph g = identity(path_graph(2000));
+  Cluster small = cluster_for(g);
+  Cluster large = cluster_for(g);
+  const StConnResult d8 = st_connectivity(small, g, 0, 5, 8);
+  const StConnResult d512 = st_connectivity(large, g, 0, 5, 512);
+  EXPECT_TRUE(d8.yes);
+  EXPECT_TRUE(d512.yes);
+  // log(512)/log(8) = 3x iterations, small absolute numbers.
+  EXPECT_LE(d512.rounds, 4 * d8.rounds + 8);
+}
+
+TEST(StConn, PrunesHighDegreeNodes) {
+  // A path 0-1-2-3 with a hub attached to 1 and 2 making them degree 3:
+  // after pruning interior high-degree nodes, s and t disconnect.
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}, {1, 4}, {2, 4}, {4, 5}};
+  const LegalGraph g = identity(Graph::from_edges(6, edges));
+  Cluster cluster = cluster_for(g);
+  // s=0, t=3; nodes 1,2 have degree 3 -> discarded -> NO is allowed and
+  // expected under the D-diameter promise semantics.
+  const StConnResult r = st_connectivity(cluster, g, 0, 3, 8);
+  EXPECT_FALSE(r.yes);
+}
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "derand/seed_select.h"
+#include "mpc/config.h"
+#include "rng/splitmix.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+TEST(SelectSeed, FindsExactArgmin) {
+  // Cost with a unique planted minimum.
+  const auto cost = [](std::uint64_t s) {
+    return static_cast<double>((s ^ 0x2Du) * 3 % 97);
+  };
+  const SeedSelection sel = select_seed(nullptr, 8, cost);
+  double best = 1e18;
+  std::uint64_t arg = 0;
+  for (std::uint64_t s = 0; s < 256; ++s) {
+    if (cost(s) < best) {
+      best = cost(s);
+      arg = s;
+    }
+  }
+  EXPECT_EQ(sel.cost, best);
+  EXPECT_EQ(sel.seed, arg);
+  EXPECT_EQ(sel.evaluated, 256u);
+}
+
+TEST(SelectSeed, MovesRealArgminMessagesOnCluster) {
+  // With a cluster the argmin runs through real exchanges: rounds advance
+  // and words move.
+  Cluster cluster(MpcConfig::for_graph(1024, 1024));
+  const std::uint64_t before_rounds = cluster.rounds();
+  const std::uint64_t before_words = cluster.words_moved();
+  const SeedSelection sel =
+      select_seed(&cluster, 6, [](std::uint64_t s) {
+        return static_cast<double>((s * 37) % 64);
+      });
+  EXPECT_GT(cluster.rounds(), before_rounds);
+  EXPECT_GT(cluster.words_moved(), before_words);
+  // Result identical to the cluster-free scan.
+  const SeedSelection plain =
+      select_seed(nullptr, 6, [](std::uint64_t s) {
+        return static_cast<double>((s * 37) % 64);
+      });
+  EXPECT_EQ(sel.seed, plain.seed);
+  EXPECT_EQ(sel.cost, plain.cost);
+}
+
+TEST(SelectSeed, RejectsHugeSeedSpace) {
+  EXPECT_THROW(select_seed(nullptr, 40, [](std::uint64_t) { return 0.0; }),
+               PreconditionError);
+  EXPECT_THROW(select_seed(nullptr, 0, [](std::uint64_t) { return 0.0; }),
+               PreconditionError);
+}
+
+TEST(CondExp, InvariantCostAtMostMean) {
+  // The defining property of the method of conditional expectations: the
+  // fixed seed's cost is <= the mean cost. Checked on pseudorandom cost
+  // landscapes of varying ruggedness.
+  for (std::uint64_t salt : {1u, 2u, 3u, 4u, 5u}) {
+    const auto cost = [salt](std::uint64_t s) {
+      return static_cast<double>(splitmix64(s ^ (salt * 0x9e37ull)) % 1000);
+    };
+    const double mean = mean_seed_cost(12, cost);
+    for (unsigned chunk : {1u, 2u, 3u, 4u, 6u, 12u}) {
+      const SeedSelection sel = select_seed_chunked(nullptr, 12, chunk, cost);
+      EXPECT_LE(sel.cost, mean + 1e-9)
+          << "salt " << salt << " chunk " << chunk;
+    }
+  }
+}
+
+TEST(CondExp, FullChunkEqualsExhaustive) {
+  const auto cost = [](std::uint64_t s) {
+    return std::fabs(static_cast<double>(s) - 100.0);
+  };
+  const SeedSelection chunked = select_seed_chunked(nullptr, 8, 8, cost);
+  const SeedSelection full = select_seed(nullptr, 8, cost);
+  EXPECT_EQ(chunked.seed, full.seed);
+  EXPECT_EQ(chunked.cost, full.cost);
+}
+
+TEST(CondExp, ChunkedChargesPerStep) {
+  Cluster cluster(MpcConfig::for_graph(4096, 4096));
+  const std::uint64_t before = cluster.rounds();
+  select_seed_chunked(&cluster, 12, 3, [](std::uint64_t) { return 1.0; });
+  // 4 chunk-fixing steps, each a tree.
+  EXPECT_EQ(cluster.rounds(), before + 4 * cluster.tree_rounds());
+}
+
+TEST(CondExp, SeparableCostIsMinimizedExactly) {
+  // Cost = sum of per-bit penalties: conditional expectations must find the
+  // true global optimum bit by bit.
+  const double penalty[12] = {3, -1, 2, -5, 1, 1, -2, 4, -3, 2, -1, 5};
+  const auto cost = [&](std::uint64_t s) {
+    double total = 0;
+    for (int b = 0; b < 12; ++b) {
+      if ((s >> b) & 1u) total += penalty[b];
+    }
+    return total;
+  };
+  const SeedSelection sel = select_seed_chunked(nullptr, 12, 1, cost);
+  double optimum = 0;
+  for (double p : penalty) {
+    if (p < 0) optimum += p;
+  }
+  EXPECT_DOUBLE_EQ(sel.cost, optimum);
+}
+
+TEST(MeanSeedCost, MatchesDirectAverage) {
+  const auto cost = [](std::uint64_t s) { return static_cast<double>(s); };
+  EXPECT_DOUBLE_EQ(mean_seed_cost(4, cost), 7.5);
+}
+
+}  // namespace
+}  // namespace mpcstab

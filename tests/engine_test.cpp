@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "local/engine.h"
+#include "mpc/config.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+TEST(SyncNetwork, LocalModeCountsRounds) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(8));
+  SyncNetwork net = SyncNetwork::local(g, Prf(1));
+  EXPECT_EQ(net.rounds(), 0u);
+  net.round([](RoundIo&) {});
+  net.round([](RoundIo&) {});
+  EXPECT_EQ(net.rounds(), 2u);
+  EXPECT_FALSE(net.is_mpc());
+}
+
+TEST(SyncNetwork, MessagesDeliveredToCorrectNeighborSlot) {
+  // On a path 0-1-2, node 0 sends "100+v" to each neighbor; node 2 sends
+  // "200+v". Node 1 must see message from 0 in the slot aligned with
+  // neighbor 0 and from 2 in the slot aligned with neighbor 2.
+  const LegalGraph g = LegalGraph::with_identity(path_graph(3));
+  SyncNetwork net = SyncNetwork::local(g, Prf(1));
+  net.round([&](RoundIo& io) {
+    io.broadcast({100 + io.v()});
+  });
+  net.round([&](RoundIo& io) {
+    if (io.v() != 1) return;
+    const auto nb = g.graph().neighbors(1);
+    ASSERT_EQ(nb.size(), 2u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      ASSERT_EQ(io.incoming()[i].size(), 1u);
+      EXPECT_EQ(io.incoming()[i][0], 100u + nb[i]);
+    }
+  });
+}
+
+TEST(SyncNetwork, SendTargetsSingleNeighbor) {
+  const LegalGraph g = LegalGraph::with_identity(path_graph(3));
+  SyncNetwork net = SyncNetwork::local(g, Prf(1));
+  net.round([&](RoundIo& io) {
+    if (io.v() == 1) {
+      // Send only to the second neighbor (node 2).
+      io.send(1, {55});
+    }
+  });
+  net.round([&](RoundIo& io) {
+    if (io.v() == 0) {
+      EXPECT_TRUE(io.incoming()[0].empty());
+    }
+    if (io.v() == 2) {
+      ASSERT_EQ(io.incoming()[0].size(), 1u);
+      EXPECT_EQ(io.incoming()[0][0], 55u);
+    }
+  });
+}
+
+TEST(SyncNetwork, MessagesExpireAfterOneRound) {
+  const LegalGraph g = LegalGraph::with_identity(path_graph(2));
+  SyncNetwork net = SyncNetwork::local(g, Prf(1));
+  net.round([&](RoundIo& io) { io.broadcast({9}); });
+  net.round([&](RoundIo& io) {
+    EXPECT_EQ(io.incoming()[0].size(), 1u);
+  });
+  net.round([&](RoundIo& io) {
+    EXPECT_TRUE(io.incoming()[0].empty());  // nothing sent last round
+  });
+}
+
+TEST(SyncNetwork, ClearMessagesDropsInFlight) {
+  const LegalGraph g = LegalGraph::with_identity(path_graph(2));
+  SyncNetwork net = SyncNetwork::local(g, Prf(1));
+  net.round([&](RoundIo& io) { io.broadcast({9}); });
+  net.clear_messages();
+  net.round([&](RoundIo& io) {
+    EXPECT_TRUE(io.incoming()[0].empty());
+  });
+}
+
+TEST(SyncNetwork, MpcModeChargesClusterRounds) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(64));
+  Cluster cluster(MpcConfig::for_graph(64, 64));
+  SyncNetwork net = SyncNetwork::on_cluster(cluster, g, Prf(1));
+  const std::uint64_t before = cluster.rounds();  // redistribution charged
+  net.round([](RoundIo& io) { io.broadcast({1}); });
+  net.round([](RoundIo& io) { io.broadcast({1}); });
+  EXPECT_EQ(cluster.rounds(), before + 2);
+  EXPECT_TRUE(net.is_mpc());
+}
+
+TEST(SyncNetwork, MpcModeEnforcesMessageVolume) {
+  // Huge per-edge payloads must blow the per-machine budget.
+  const LegalGraph g =
+      LegalGraph::with_identity(random_regular_graph(64, 4, Prf(2)));
+  Cluster cluster(MpcConfig::for_graph(64, 128, 0.4));  // S = 6 words
+  SyncNetwork net = SyncNetwork::on_cluster(cluster, g, Prf(1));
+  EXPECT_THROW(net.round([&](RoundIo& io) {
+    io.broadcast(std::vector<Word>(64, 7));  // 65-word messages
+  }),
+               SpaceLimitError);
+}
+
+TEST(SyncNetwork, HostAssignmentCoversAllMachinesReasonably) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(128));
+  Cluster cluster(MpcConfig::for_graph(128, 128));
+  SyncNetwork net = SyncNetwork::on_cluster(cluster, g, Prf(1));
+  // Degree-balanced placement: every vertex must have a valid host.
+  for (Node v = 0; v < g.n(); ++v) {
+    EXPECT_LT(net.host(v), cluster.machines());
+  }
+}
+
+TEST(SyncNetwork, SharedRandomnessVisible) {
+  const LegalGraph g = LegalGraph::with_identity(path_graph(2));
+  SyncNetwork net = SyncNetwork::local(g, Prf(42));
+  EXPECT_EQ(net.shared().word(1, 2), Prf(42).word(1, 2));
+}
+
+
+TEST(SyncNetwork, CongestCapEnforced) {
+  // The CONGEST model: O(log n)-bit messages = 1-word payloads. Oversized
+  // broadcasts must be rejected at the offending round.
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(8));
+  SyncNetwork net = SyncNetwork::local(g, Prf(1));
+  net.set_message_cap(1);
+  EXPECT_NO_THROW(net.round([](RoundIo& io) { io.broadcast({7}); }));
+  EXPECT_THROW(net.round([](RoundIo& io) { io.broadcast({7, 8}); }),
+               SpaceLimitError);
+}
+
+TEST(SyncNetwork, CongestCapZeroMeansLocal) {
+  const LegalGraph g = LegalGraph::with_identity(path_graph(2));
+  SyncNetwork net = SyncNetwork::local(g, Prf(1));
+  EXPECT_EQ(net.message_cap(), 0u);
+  EXPECT_NO_THROW(net.round([](RoundIo& io) {
+    io.broadcast(std::vector<Word>(100, 1));  // LOCAL: unbounded
+  }));
+}
+
+}  // namespace
+}  // namespace mpcstab

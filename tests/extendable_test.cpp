@@ -1,0 +1,106 @@
+// The Definition 44 interface and the generic Theorem 45 pipeline.
+#include <gtest/gtest.h>
+
+#include "algorithms/approx_matching.h"
+#include "algorithms/extendable.h"
+#include "algorithms/luby.h"
+#include "algorithms/matching.h"
+#include "graph/ops.h"
+#include "graph/generators.h"
+#include "problems/problems.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+/// A deliberately lazy extendable algorithm: decides nothing within its
+/// budget (every node BOT), so the pipeline's completion path must carry
+/// the whole load. Tests Definition 44(i)'s "any completion is valid".
+class LazyMis final : public ExtendableAlgorithm {
+ public:
+  std::string name() const override { return "lazy-mis"; }
+  ExtendableResult run(SyncNetwork& net, std::uint64_t t,
+                       const BitSource&) const override {
+    for (std::uint64_t r = 0; r < t; ++r) net.round([](RoundIo&) {});
+    ExtendableResult result;
+    result.labels.assign(net.graph().n(), kLabelBot);
+    result.bot_count = net.graph().n();
+    result.rounds = t;
+    return result;
+  }
+  std::uint64_t budget(std::uint64_t, std::uint32_t) const override {
+    return 1;
+  }
+  void complete(const LegalGraph& g,
+                std::vector<Label>& labels) const override {
+    extend_greedy(g, labels);
+  }
+};
+
+TEST(Extendable, GenericPipelineMatchesMisWrapper) {
+  const LegalGraph g = identity(random_forest(64, 4, Prf(1)));
+  Cluster a(MpcConfig::for_graph(g.n(), g.graph().m(), 0.8));
+  Cluster b(MpcConfig::for_graph(g.n(), g.graph().m(), 0.8));
+  const auto generic =
+      derandomize_extendable(a, g, GhaffariMisExtendable(), 6);
+  const auto wrapper = deterministic_mis_mpc(b, g, 6);
+  EXPECT_EQ(generic.labels, wrapper.labels);
+  EXPECT_EQ(generic.mpc_rounds, wrapper.mpc_rounds);
+}
+
+TEST(Extendable, LazyAlgorithmStillYieldsValidOutput) {
+  // Even a maximally unhelpful extendable algorithm produces a valid MIS
+  // through the deterministic completion — property (i) made executable.
+  const LegalGraph g =
+      identity(random_bounded_degree_graph(48, 4, 70, Prf(2)));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.9));
+  const auto r = derandomize_extendable(cluster, g, LazyMis(), 4);
+  EXPECT_TRUE(MisProblem().valid(g, r.labels));
+}
+
+TEST(Extendable, GhaffariBudgetIsPassedThrough) {
+  const GhaffariMisExtendable alg;
+  EXPECT_EQ(alg.budget(1 << 10, 8), ghaffari_round_budget(1 << 10, 8));
+}
+
+TEST(ApproxMatching, AmplifiedMatchingIsGoodAndCheap) {
+  const LegalGraph g = identity(random_regular_graph(96, 4, Prf(3)));
+  const std::uint64_t reps = 24;
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.5, reps));
+  const ApproxMatchingResult r =
+      amplified_approx_matching(cluster, g, Prf(4), reps);
+  EXPECT_TRUE(is_matching(g.graph(), r.edge_labels));
+  EXPECT_GE(r.quality, 0.3);  // Omega(1)-approximation at test scale
+  EXPECT_LE(r.rounds, 24u);   // O(1)
+}
+
+TEST(ApproxMatching, BeatsSingleShotOnWorstSeed) {
+  const LegalGraph g = identity(random_regular_graph(64, 6, Prf(5)));
+  double worst_single = 1.0;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const LegalLineGraph line = legal_line_graph(g);
+    const Prf prf(seed);
+    const auto labels = luby_step(line.graph, [&](Node e) {
+      return prf.word(0x6d, line.graph.id(e));
+    });
+    std::vector<Label> edge_labels = labels;
+    worst_single = std::min(worst_single, matching_quality(g, edge_labels));
+  }
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.5, 24));
+  const ApproxMatchingResult amp =
+      amplified_approx_matching(cluster, g, Prf(9), 24);
+  EXPECT_GE(amp.quality, worst_single);
+}
+
+TEST(ApproxMatching, EmptyGraph) {
+  const LegalGraph g = identity(Graph(3));
+  Cluster cluster(MpcConfig::for_graph(3, 0));
+  const auto r = amplified_approx_matching(cluster, g, Prf(1), 4);
+  EXPECT_EQ(r.size, 0u);
+  EXPECT_DOUBLE_EQ(r.quality, 1.0);
+}
+
+}  // namespace
+}  // namespace mpcstab

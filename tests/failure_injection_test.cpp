@@ -1,0 +1,150 @@
+// Failure injection: the simulator must *reject* resource violations and
+// illegal inputs loudly — silent degradation would invalidate every round
+// and space measurement the benches report.
+#include <gtest/gtest.h>
+
+#include "algorithms/large_is.h"
+#include "core/component_stable.h"
+#include "core/stability_checker.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "local/engine.h"
+#include "mpc/exponentiation.h"
+#include "mpc/primitives.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+TEST(Injection, OversizedUnicastRejected) {
+  MpcConfig cfg;
+  cfg.n = 64;
+  cfg.local_space = 8;
+  cfg.machines = 3;
+  Cluster cluster(cfg);
+  std::vector<std::vector<MpcMessage>> out(3);
+  out[1].push_back({0, std::vector<std::uint64_t>(8, 1)});  // 9 words > 8
+  EXPECT_THROW(cluster.exchange(std::move(out)), SpaceLimitError);
+  // The round was still counted (the violation happened *in* the round).
+  EXPECT_EQ(cluster.rounds(), 1u);
+}
+
+TEST(Injection, FanInOverflowAtReceiver) {
+  MpcConfig cfg;
+  cfg.n = 64;
+  cfg.local_space = 8;
+  cfg.machines = 16;
+  Cluster cluster(cfg);
+  std::vector<std::vector<MpcMessage>> out(16);
+  for (std::uint32_t m = 1; m < 16; ++m) {
+    out[m].push_back({0, {m}});  // 15 * 2 words at machine 0 > 8
+  }
+  EXPECT_THROW(cluster.exchange(std::move(out)), SpaceLimitError);
+}
+
+TEST(Injection, BallCollectionOnDenseGraphBlowsSpace) {
+  // Dense neighborhoods + tiny phi: exponentiation must refuse rather than
+  // under-report rounds.
+  const LegalGraph g =
+      LegalGraph::with_identity(complete_graph(64));
+  Cluster cluster(MpcConfig::for_graph(64, g.graph().m(), 0.3));
+  EXPECT_THROW(collect_balls(cluster, g, 1), SpaceLimitError);
+}
+
+TEST(Injection, MessageDestinationOutOfRange) {
+  MpcConfig cfg;
+  cfg.n = 16;
+  cfg.local_space = 8;
+  cfg.machines = 2;
+  Cluster cluster(cfg);
+  std::vector<std::vector<MpcMessage>> out(2);
+  out[0].push_back({5, {1}});
+  EXPECT_THROW(cluster.exchange(std::move(out)), PreconditionError);
+}
+
+TEST(Injection, WrongOutboxArity) {
+  Cluster cluster(MpcConfig::for_graph(64, 64));
+  std::vector<std::vector<MpcMessage>> out(1);  // fewer than machines
+  EXPECT_THROW(cluster.exchange(std::move(out)), PreconditionError);
+}
+
+TEST(Injection, IllegalGraphsRejectedAtConstruction) {
+  // Duplicate names.
+  std::vector<NodeId> ids{0, 1};
+  std::vector<NodeName> dup{7, 7};
+  EXPECT_THROW(LegalGraph::make(path_graph(2), ids, dup),
+               IllegalGraphError);
+}
+
+TEST(Injection, PrimitivesRejectWrongArity) {
+  Cluster cluster(MpcConfig::for_graph(256, 256));
+  std::vector<std::uint64_t> wrong(cluster.machines() + 1, 0);
+  EXPECT_THROW(allreduce_sum(cluster, wrong), PreconditionError);
+}
+
+TEST(Injection, StableRunnerDetectsUnderLabeledAlgorithm) {
+  // A broken algorithm labeling only half its component must be caught by
+  // the runner's invariant, not propagate garbage.
+  class Broken final : public ComponentStableAlgorithm {
+   public:
+    std::string name() const override { return "broken"; }
+    std::vector<Label> run_on_component(const LegalGraph& component,
+                                        std::uint64_t, std::uint32_t,
+                                        std::uint64_t) const override {
+      return std::vector<Label>(component.n() / 2, 0);
+    }
+    std::uint64_t round_cost(std::uint64_t, std::uint32_t) const override {
+      return 1;
+    }
+    bool randomized() const override { return false; }
+  };
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(8));
+  Cluster cluster(MpcConfig::for_graph(8, 8));
+  EXPECT_THROW(run_component_stable(cluster, Broken(), g, 0),
+               InvariantError);
+}
+
+TEST(Injection, CheckerRejectsUnderLabeledMpcAlgorithm) {
+  const MpcAlgorithm broken = [](Cluster&, const LegalGraph& g,
+                                 std::uint64_t) {
+    return std::vector<Label>(g.n() - 1, 0);
+  };
+  const LegalGraph comp = LegalGraph::with_identity(cycle_graph(4));
+  const LegalGraph ctx = LegalGraph::with_identity(cycle_graph(4));
+  std::vector<std::uint64_t> seeds{1};
+  EXPECT_THROW(check_stability(broken, comp, ctx, ctx, seeds),
+               InvariantError);
+}
+
+TEST(Injection, AmplifiedRunWithTooFewMachinesFailsFast) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(8));
+  Cluster cluster(MpcConfig::for_graph(8, 8, 0.5, 1));
+  EXPECT_THROW(
+      amplified_large_is(cluster, g, Prf(1), cluster.machines() + 5),
+      PreconditionError);
+}
+
+TEST(Injection, NetworkPayloadBudgetScalesWithPhi) {
+  // The same workload passes at generous phi and fails at stingy phi:
+  // resource enforcement must be parameter-sensitive, not constant.
+  const LegalGraph g = LegalGraph::with_identity(
+      random_regular_graph(128, 6, Prf(4)));
+  {
+    Cluster cluster(MpcConfig::for_graph(128, g.graph().m(), 0.9));
+    SyncNetwork net = SyncNetwork::on_cluster(cluster, g, Prf(1));
+    EXPECT_NO_THROW(net.round([](RoundIo& io) {
+      io.broadcast({1, 2, 3, 4});
+    }));
+  }
+  {
+    Cluster cluster(MpcConfig::for_graph(128, g.graph().m(), 0.35));
+    SyncNetwork net = SyncNetwork::on_cluster(cluster, g, Prf(1));
+    EXPECT_THROW(net.round([](RoundIo& io) {
+      io.broadcast(std::vector<Word>(16, 9));
+    }),
+                 SpaceLimitError);
+  }
+}
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,124 @@
+// Fuzz-style invariant checks: random chains of graph operations must
+// preserve the structural invariants every higher layer relies on —
+// degree-sum parity, legality of derived legal graphs, additivity of
+// component counts under disjoint union, and line-graph size identities.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "rng/prf.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+std::uint64_t degree_sum(const Graph& g) {
+  std::uint64_t total = 0;
+  for (Node v = 0; v < g.n(); ++v) total += g.degree(v);
+  return total;
+}
+
+Graph random_topology(const Prf& prf, std::uint64_t salt) {
+  switch (prf.word_below(salt, 0, 5)) {
+    case 0: return random_tree(8 + prf.word_below(salt, 1, 24), prf);
+    case 1: return random_graph(8 + prf.word_below(salt, 2, 24), 0.15, prf);
+    case 2: return cycle_graph(3 + prf.word_below(salt, 3, 20));
+    case 3: return grid_graph(2 + prf.word_below(salt, 4, 4),
+                              2 + prf.word_below(salt, 5, 5));
+    default:
+      return random_bounded_degree_graph(
+          10 + prf.word_below(salt, 6, 20), 4,
+          20 + prf.word_below(salt, 7, 20), prf);
+  }
+}
+
+class FuzzOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzOps, DegreeSumAlwaysTwiceEdges) {
+  const Prf prf(GetParam());
+  Graph g = random_topology(prf, 0);
+  for (int step = 0; step < 6; ++step) {
+    EXPECT_EQ(degree_sum(g), 2 * g.m());
+    switch (prf.word_below(100 + step, 0, 3)) {
+      case 0: {  // induced subgraph on a random half
+        std::vector<Node> keep;
+        for (Node v = 0; v < g.n(); ++v) {
+          if (prf.bit(200 + step, v)) keep.push_back(v);
+        }
+        if (keep.empty()) keep.push_back(0 % std::max<Node>(1, g.n()));
+        if (g.n() == 0) break;
+        g = induced_subgraph(g, keep).graph;
+        break;
+      }
+      case 1: {  // union with a fresh topology
+        const Graph other = random_topology(prf, 300 + step);
+        const Graph parts[] = {g, other};
+        const std::uint32_t before =
+            connected_components(g).count + connected_components(other).count;
+        g = disjoint_union(parts);
+        EXPECT_EQ(connected_components(g).count, before);
+        break;
+      }
+      default: {  // pad with isolated nodes
+        const Node k = static_cast<Node>(prf.word_below(400 + step, 0, 5));
+        const std::uint32_t before = connected_components(g).count;
+        g = add_isolated(g, k);
+        EXPECT_EQ(connected_components(g).count, before + k);
+        break;
+      }
+    }
+  }
+}
+
+TEST_P(FuzzOps, LineGraphIdentities) {
+  const Prf prf(GetParam());
+  const Graph g = random_topology(prf, 7);
+  const LineGraph lg = line_graph(g);
+  // |V(L)| = m; sum over nodes of C(deg,2) = |E(L)| for simple graphs.
+  EXPECT_EQ(lg.graph.n(), g.m());
+  std::uint64_t expect_edges = 0;
+  for (Node v = 0; v < g.n(); ++v) {
+    const std::uint64_t d = g.degree(v);
+    expect_edges += d * (d - 1) / 2;
+  }
+  EXPECT_EQ(lg.graph.m(), expect_edges);
+}
+
+TEST_P(FuzzOps, LegalLineGraphsStayLegal) {
+  const Prf prf(GetParam());
+  const Graph g = random_topology(prf, 13);
+  if (g.m() == 0) return;
+  const LegalGraph legal = LegalGraph::with_identity(g);
+  // legal_line_graph validates legality internally; also iterate once more
+  // (the line graph of the line graph) for small inputs.
+  const LegalLineGraph line = legal_line_graph(legal);
+  if (line.graph.graph().m() > 0 && line.graph.n() <= 64) {
+    EXPECT_NO_THROW(legal_line_graph(line.graph));
+  }
+}
+
+TEST_P(FuzzOps, ReplicationScalesComponentsExactly) {
+  const Prf prf(GetParam());
+  Graph g = random_topology(prf, 21);
+  if (g.n() < 2) g = path_graph(2);
+  if (g.n() > 20) {
+    std::vector<Node> keep(20);
+    std::iota(keep.begin(), keep.end(), 0);
+    g = induced_subgraph(g, keep).graph;
+  }
+  const LegalGraph legal = LegalGraph::with_identity(g);
+  const std::uint32_t base = connected_components(g).count;
+  const LegalGraph gamma = replicate_with_isolated(legal, 3, 1);
+  EXPECT_EQ(gamma.component_count(), 3 * base + 1);
+  EXPECT_EQ(gamma.graph().m(), 3 * g.m());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzOps,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           11, 12));
+
+}  // namespace
+}  // namespace mpcstab

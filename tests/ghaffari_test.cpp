@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/ghaffari.h"
+#include "graph/generators.h"
+#include "problems/problems.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+TEST(Ghaffari, NeverPlacesAdjacentInNodes) {
+  // The safety half of extendability (Definition 44(i)) must hold with
+  // certainty, even with adversarially few rounds.
+  const LegalGraph g = identity(random_graph(64, 0.1, Prf(1)));
+  for (std::uint64_t t : {0ull, 1ull, 2ull, 5ull}) {
+    SyncNetwork net = SyncNetwork::local(g, Prf(2));
+    const auto r = ghaffari_mis(net, t, shared_bit_source(Prf(3), g, 0));
+    for (const Edge& e : g.graph().edges()) {
+      EXPECT_FALSE(r.labels[e.u] == kLabelIn && r.labels[e.v] == kLabelIn);
+    }
+  }
+}
+
+TEST(Ghaffari, OutNodesHaveInNeighbor) {
+  const LegalGraph g = identity(random_regular_graph(64, 4, Prf(4)));
+  SyncNetwork net = SyncNetwork::local(g, Prf(5));
+  const auto r = ghaffari_mis(net, 20, shared_bit_source(Prf(6), g, 0));
+  for (Node v = 0; v < g.n(); ++v) {
+    if (r.labels[v] != kLabelOut) continue;
+    bool has_in_neighbor = false;
+    for (Node w : g.graph().neighbors(v)) {
+      if (r.labels[w] == kLabelIn) has_in_neighbor = true;
+    }
+    EXPECT_TRUE(has_in_neighbor);
+  }
+}
+
+TEST(Ghaffari, BotCountShrinksWithBudget) {
+  const LegalGraph g = identity(random_regular_graph(256, 4, Prf(7)));
+  std::uint64_t bot_small = 0, bot_large = 0;
+  {
+    SyncNetwork net = SyncNetwork::local(g, Prf(8));
+    bot_small = ghaffari_mis(net, 2, shared_bit_source(Prf(9), g, 0)).bot_count;
+  }
+  {
+    SyncNetwork net = SyncNetwork::local(g, Prf(8));
+    bot_large =
+        ghaffari_mis(net, 30, shared_bit_source(Prf(9), g, 0)).bot_count;
+  }
+  EXPECT_LE(bot_large, bot_small);
+  EXPECT_EQ(bot_large, 0u);  // 30 rounds is ample at this scale
+}
+
+TEST(Ghaffari, ExtendGreedyCompletesToValidMis) {
+  // Definition 44(i): relabeling BOT nodes with any valid completion gives
+  // a valid global MIS.
+  const LegalGraph g = identity(random_graph(128, 0.06, Prf(10)));
+  SyncNetwork net = SyncNetwork::local(g, Prf(11));
+  auto r = ghaffari_mis(net, 3, shared_bit_source(Prf(12), g, 0));
+  extend_greedy(g, r.labels);
+  EXPECT_TRUE(MisProblem().valid(g, r.labels));
+}
+
+TEST(Ghaffari, BudgetFormulaGrowsSlowly) {
+  EXPECT_LT(ghaffari_round_budget(1u << 20, 16),
+            ghaffari_round_budget(1u << 20, 1u << 15));
+  // O(log Delta + log log n): doubling n barely moves it.
+  const auto a = ghaffari_round_budget(1u << 10, 8);
+  const auto b = ghaffari_round_budget(1u << 20, 8);
+  EXPECT_LE(b, a + 8);
+}
+
+TEST(DetMis, ProducesValidMisOnForest) {
+  const LegalGraph g = identity(random_forest(96, 6, Prf(13)));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.8));
+  const DetMisResult r = deterministic_mis_mpc(cluster, g, 6);
+  EXPECT_TRUE(MisProblem().valid(g, r.labels));
+  EXPECT_GE(r.iterations, 1u);
+}
+
+TEST(DetMis, IsDeterministic) {
+  const LegalGraph g = identity(random_forest(64, 4, Prf(14)));
+  Cluster a(MpcConfig::for_graph(g.n(), g.graph().m(), 0.8));
+  Cluster b(MpcConfig::for_graph(g.n(), g.graph().m(), 0.8));
+  EXPECT_EQ(deterministic_mis_mpc(a, g, 6).labels,
+            deterministic_mis_mpc(b, g, 6).labels);
+}
+
+TEST(DetMis, BoundedDegreeGraph) {
+  const LegalGraph g =
+      identity(random_bounded_degree_graph(80, 3, 100, Prf(15)));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.8));
+  const DetMisResult r = deterministic_mis_mpc(cluster, g, 6);
+  EXPECT_TRUE(MisProblem().valid(g, r.labels));
+}
+
+TEST(BitSource, SharedSourceIsIdKeyed) {
+  // Nodes with equal IDs (in different graphs) see identical bits —
+  // component-stable randomness.
+  const LegalGraph a = identity(path_graph(4));
+  const LegalGraph b = identity(cycle_graph(4));
+  const Prf shared(99);
+  const BitSource sa = shared_bit_source(shared, a, 7);
+  const BitSource sb = shared_bit_source(shared, b, 7);
+  for (Node v = 0; v < 4; ++v) {
+    for (unsigned i = 0; i < 8; ++i) {
+      EXPECT_EQ(sa(v, 3, i), sb(v, 3, i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpcstab

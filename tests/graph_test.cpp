@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "graph/components.h"
+#include "graph/enumerate.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/ops.h"
+#include "rng/prf.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(5);
+  EXPECT_EQ(g.n(), 5u);
+  EXPECT_EQ(g.m(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_EQ(g.min_degree(), 0u);
+}
+
+TEST(Graph, FromEdgesBasics) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+  const Graph g = Graph::from_edges(4, edges);
+  EXPECT_EQ(g.n(), 4u);
+  EXPECT_EQ(g.m(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Graph, DeduplicatesParallelEdges) {
+  const std::vector<Edge> edges{{0, 1}, {1, 0}, {0, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.m(), 1u);
+}
+
+TEST(Graph, RejectsSelfLoops) {
+  const std::vector<Edge> edges{{1, 1}};
+  EXPECT_THROW(Graph::from_edges(3, edges), PreconditionError);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  const std::vector<Edge> edges{{0, 7}};
+  EXPECT_THROW(Graph::from_edges(3, edges), PreconditionError);
+}
+
+TEST(Graph, NeighborsSorted) {
+  const std::vector<Edge> edges{{2, 0}, {2, 3}, {2, 1}};
+  const Graph g = Graph::from_edges(4, edges);
+  const auto nb = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 3u);
+}
+
+TEST(Graph, EdgesRoundTrip) {
+  const std::vector<Edge> in{{0, 1}, {1, 2}, {2, 3}};
+  const Graph g = Graph::from_edges(4, in);
+  const auto out = g.edges();
+  EXPECT_EQ(out.size(), 3u);
+  const Graph g2 = Graph::from_edges(4, out);
+  EXPECT_EQ(g, g2);
+}
+
+TEST(Generators, PathProperties) {
+  const Graph p = path_graph(10);
+  EXPECT_EQ(p.n(), 10u);
+  EXPECT_EQ(p.m(), 9u);
+  EXPECT_EQ(p.max_degree(), 2u);
+  EXPECT_EQ(p.min_degree(), 1u);
+  EXPECT_EQ(connected_components(p).count, 1u);
+}
+
+TEST(Generators, CycleProperties) {
+  const Graph c = cycle_graph(12);
+  EXPECT_EQ(c.n(), 12u);
+  EXPECT_EQ(c.m(), 12u);
+  EXPECT_EQ(c.max_degree(), 2u);
+  EXPECT_EQ(c.min_degree(), 2u);
+  EXPECT_EQ(connected_components(c).count, 1u);
+}
+
+TEST(Generators, TwoCyclesProperties) {
+  const Graph c = two_cycles_graph(12);
+  EXPECT_EQ(c.n(), 12u);
+  EXPECT_EQ(c.m(), 12u);
+  EXPECT_EQ(connected_components(c).count, 2u);
+}
+
+TEST(Generators, CompleteGraph) {
+  const Graph k = complete_graph(6);
+  EXPECT_EQ(k.m(), 15u);
+  EXPECT_EQ(k.max_degree(), 5u);
+}
+
+TEST(Generators, StarGraph) {
+  const Graph s = star_graph(9);
+  EXPECT_EQ(s.m(), 8u);
+  EXPECT_EQ(s.max_degree(), 8u);
+  EXPECT_EQ(s.degree(0), 8u);
+}
+
+TEST(Generators, GridGraph) {
+  const Graph g = grid_graph(3, 4);
+  EXPECT_EQ(g.n(), 12u);
+  EXPECT_EQ(g.m(), 3u * 3 + 4u * 2);  // 17 edges
+  EXPECT_EQ(connected_components(g).count, 1u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  const Prf prf(5);
+  for (Node n : {2u, 10u, 100u, 500u}) {
+    const Graph t = random_tree(n, prf);
+    EXPECT_EQ(t.n(), n);
+    EXPECT_EQ(t.m(), n - 1u);
+    EXPECT_EQ(connected_components(t).count, 1u);
+  }
+}
+
+TEST(Generators, RandomForestHasRequestedTrees) {
+  const Prf prf(6);
+  const Graph f = random_forest(100, 7, prf);
+  EXPECT_EQ(f.n(), 100u);
+  EXPECT_EQ(connected_components(f).count, 7u);
+  EXPECT_EQ(f.m(), 100u - 7u);
+}
+
+TEST(Generators, RandomGraphDensityRoughlyP) {
+  const Prf prf(7);
+  const Graph g = random_graph(100, 0.1, prf);
+  const double expected = 0.1 * (100.0 * 99.0 / 2.0);
+  EXPECT_NEAR(static_cast<double>(g.m()), expected, 5.0 * std::sqrt(expected));
+}
+
+TEST(Generators, RandomRegularIsRegular) {
+  const Prf prf(8);
+  for (std::uint32_t d : {3u, 4u, 6u}) {
+    const Graph g = random_regular_graph(60, d, prf);
+    EXPECT_EQ(g.n(), 60u);
+    EXPECT_EQ(g.max_degree(), d);
+    // Configuration model should have succeeded at this size; if the greedy
+    // fallback fired, min degree may be d-1 — accept both but require most
+    // nodes at degree d.
+    Node at_d = 0;
+    for (Node v = 0; v < g.n(); ++v) {
+      if (g.degree(v) == d) ++at_d;
+    }
+    EXPECT_GE(at_d, 55u);
+  }
+}
+
+TEST(Generators, BoundedDegreeRespectsCap) {
+  const Prf prf(9);
+  const Graph g = random_bounded_degree_graph(200, 5, 300, prf);
+  EXPECT_LE(g.max_degree(), 5u);
+}
+
+TEST(Generators, CaterpillarForest) {
+  const Graph f = caterpillar_forest(4, 2, 3);
+  EXPECT_EQ(f.n(), 3u * 12);
+  EXPECT_EQ(connected_components(f).count, 3u);
+  EXPECT_EQ(f.m(), f.n() - 3u);  // forest with 3 trees
+}
+
+TEST(Components, LabelsPartitionCorrectly) {
+  const Graph g = two_cycles_graph(10);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 2u);
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(c.comp[e.u], c.comp[e.v]);
+  }
+  EXPECT_NE(c.comp[0], c.comp[5]);
+}
+
+TEST(Components, NodeListsSortedAndComplete) {
+  const Graph g = random_forest(50, 5, Prf(10));
+  const auto lists = component_node_lists(g);
+  EXPECT_EQ(lists.size(), 5u);
+  Node total = 0;
+  for (const auto& list : lists) {
+    EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+    total += static_cast<Node>(list.size());
+  }
+  EXPECT_EQ(total, 50u);
+}
+
+TEST(Ops, InducedSubgraphKeepsInternalEdges) {
+  const Graph g = cycle_graph(6);
+  const std::vector<Node> nodes{0, 1, 2, 4};
+  const InducedSubgraph sub = induced_subgraph(g, nodes);
+  EXPECT_EQ(sub.graph.n(), 4u);
+  EXPECT_EQ(sub.graph.m(), 2u);  // edges 0-1 and 1-2 survive; 4 is isolated
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+  EXPECT_TRUE(sub.graph.has_edge(1, 2));
+}
+
+TEST(Ops, InducedSubgraphRejectsDuplicates) {
+  const Graph g = cycle_graph(5);
+  const std::vector<Node> nodes{0, 0};
+  EXPECT_THROW(induced_subgraph(g, nodes), PreconditionError);
+}
+
+TEST(Ops, DisjointUnionCounts) {
+  const Graph parts[] = {cycle_graph(4), path_graph(3)};
+  const Graph u = disjoint_union(parts);
+  EXPECT_EQ(u.n(), 7u);
+  EXPECT_EQ(u.m(), 4u + 2u);
+  EXPECT_EQ(connected_components(u).count, 2u);
+}
+
+TEST(Ops, AddIsolatedAppendsAtEnd) {
+  const Graph g = add_isolated(cycle_graph(4), 3);
+  EXPECT_EQ(g.n(), 7u);
+  EXPECT_EQ(g.m(), 4u);
+  EXPECT_EQ(g.degree(6), 0u);
+}
+
+TEST(Ops, LineGraphOfTriangleIsTriangle) {
+  const LineGraph lg = line_graph(cycle_graph(3));
+  EXPECT_EQ(lg.graph.n(), 3u);
+  EXPECT_EQ(lg.graph.m(), 3u);
+}
+
+TEST(Ops, LineGraphOfStarIsComplete) {
+  const LineGraph lg = line_graph(star_graph(5));
+  EXPECT_EQ(lg.graph.n(), 4u);
+  EXPECT_EQ(lg.graph.m(), 6u);  // K_4
+}
+
+TEST(Ops, LineGraphOfPath) {
+  const LineGraph lg = line_graph(path_graph(5));
+  EXPECT_EQ(lg.graph.n(), 4u);
+  EXPECT_EQ(lg.graph.m(), 3u);  // a path again
+  EXPECT_EQ(lg.graph.max_degree(), 2u);
+}
+
+TEST(Enumerate, CountsAllGraphsOnThreeNodes) {
+  int count = 0;
+  for_each_graph(3, [&](const Graph& g) {
+    EXPECT_EQ(g.n(), 3u);
+    ++count;
+  });
+  EXPECT_EQ(count, 8);  // 2^3
+}
+
+TEST(Enumerate, ConnectedCountsKnown) {
+  // Number of connected labeled graphs: n=3 -> 4, n=4 -> 38.
+  int c3 = 0, c4 = 0;
+  for_each_connected_graph(3, [&](const Graph&) { ++c3; });
+  for_each_connected_graph(4, [&](const Graph&) { ++c4; });
+  EXPECT_EQ(c3, 4);
+  EXPECT_EQ(c4, 38);
+}
+
+TEST(Enumerate, CanonicalFormDetectsIsomorphism) {
+  // Path 0-1-2 vs path 1-0-2: isomorphic, different labelings.
+  const std::vector<Edge> e1{{0, 1}, {1, 2}};
+  const std::vector<Edge> e2{{1, 0}, {0, 2}};
+  const Graph a = Graph::from_edges(3, e1);
+  const Graph b = Graph::from_edges(3, e2);
+  EXPECT_EQ(canonical_form(a), canonical_form(b));
+  const Graph c = cycle_graph(3);
+  EXPECT_NE(canonical_form(a), canonical_form(c));
+}
+
+TEST(Enumerate, LabeledGraphCount) {
+  EXPECT_EQ(labeled_graph_count(4), 64u);
+  EXPECT_EQ(labeled_graph_count(5), 1024u);
+}
+
+// Property sweep: generators produce simple graphs (no self-loops by
+// construction; degree sums match 2m).
+class GeneratorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorProperty, DegreeSumEqualsTwiceEdges) {
+  const Prf prf(GetParam());
+  const Graph graphs[] = {
+      random_tree(64, prf),        random_graph(64, 0.07, prf),
+      random_regular_graph(64, 4, prf), random_forest(64, 4, prf),
+      random_bounded_degree_graph(64, 6, 100, prf)};
+  for (const Graph& g : graphs) {
+    std::uint64_t total = 0;
+    for (Node v = 0; v < g.n(); ++v) total += g.degree(v);
+    EXPECT_EQ(total, 2 * g.m());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,139 @@
+// Cross-module integration: full pipelines of the paper's arguments run
+// end-to-end inside the MPC engine.
+#include <gtest/gtest.h>
+
+#include "algorithms/connectivity.h"
+#include "algorithms/ghaffari.h"
+#include "core/amplification.h"
+#include "algorithms/large_is.h"
+#include "algorithms/luby.h"
+#include "core/component_stable.h"
+#include "core/lifting.h"
+#include "core/sensitivity.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "local/engine.h"
+#include "mpc/exponentiation.h"
+#include "problems/problems.h"
+#include "problems/replicability.h"
+#include "support/math.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+TEST(Integration, LubyInsideMpcEngineCountsRoundsAndValidates) {
+  // The full stack: LOCAL algorithm -> MPC-backed network -> round and
+  // space accounting -> validity checker.
+  const LegalGraph g = identity(random_bounded_degree_graph(256, 6, 512,
+                                                            Prf(1)));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.6));
+  SyncNetwork net = SyncNetwork::on_cluster(cluster, g, Prf(2));
+  const MisResult mis = luby_mis(net, 0);
+  EXPECT_TRUE(MisProblem().valid(g, mis.labels));
+  // MPC rounds = LOCAL rounds + 1 redistribution.
+  EXPECT_EQ(cluster.rounds(), mis.rounds + 1);
+  EXPECT_LE(mis.rounds,
+            9ull * (ceil_log2(256) + 2));  // 3 rounds/iter * O(log n) iters
+}
+
+TEST(Integration, ExponentiationPlusLocalSimulationMatchesDirectRun) {
+  // Theorem 45's core step: after collecting 2t-balls, simulating t rounds
+  // locally must reproduce the direct LOCAL execution byte for byte.
+  const LegalGraph g = identity(cycle_graph(48));
+  const std::uint64_t t = 2;
+
+  SyncNetwork direct = SyncNetwork::local(g, Prf(9));
+  const auto direct_run =
+      ghaffari_mis(direct, t, shared_bit_source(Prf(5), g, 1));
+
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.95));
+  const auto balls = collect_balls(cluster, g, 2 * t);
+  // Simulate per ball: run the algorithm on the ball subgraph and read the
+  // center's label. Bits are keyed by the *parent* node's ID, which the
+  // ball preserves — so outcomes within distance t of the center match.
+  const Prf bits_prf(5);
+  for (Node v = 0; v < g.n(); ++v) {
+    const Ball& ball = balls[v];
+    SyncNetwork ball_net = SyncNetwork::local(ball.graph, Prf(9));
+    const auto ball_run = ghaffari_mis(
+        ball_net, t, shared_bit_source(bits_prf, ball.graph, 1));
+    EXPECT_EQ(ball_run.labels[ball.center], direct_run.labels[v])
+        << "node " << v;
+  }
+}
+
+TEST(Integration, LiftingPipelineFromSensitivitySearchToBStConn) {
+  // Lemma 25 -> Lemma 27 composed: find a sensitive pair by brute force,
+  // then drive B_st-conn with it.
+  const MarkerAlgorithm alg({4 + 8});  // tail ID of variant 1
+  std::vector<std::uint64_t> seeds{1, 2, 3, 4};
+  const auto pair = find_sensitive_pair_on_paths(alg, 8, 3, 100, 2, seeds,
+                                                 0.99, 3);
+  ASSERT_TRUE(pair.has_value());
+
+  const LegalGraph h_yes = identity(path_graph(4));
+  Cluster cluster(MpcConfig::for_graph(h_yes.n(), h_yes.graph().m()));
+  const BStConnResult yes =
+      b_st_conn(cluster, h_yes, 0, 3, *pair, alg, 11, 4, true);
+  EXPECT_TRUE(yes.yes);
+
+  const Graph parts[] = {path_graph(2), path_graph(2)};
+  const LegalGraph h_no = identity(disjoint_union(parts));
+  Cluster cluster2(MpcConfig::for_graph(h_no.n(), h_no.graph().m()));
+  const BStConnResult no =
+      b_st_conn(cluster2, h_no, 0, 3, *pair, alg, 11, 64, true);
+  EXPECT_FALSE(no.yes);
+}
+
+TEST(Integration, TheoremFiveBothSidesAtTestScale) {
+  // One test telling the whole Theorem 5 story: (a) the unstable amplified
+  // algorithm meets the large-IS threshold on every seed; (b) the stable
+  // single-shot algorithm misses it on some seed; (c) the problem is
+  // 2-replicable so the conditional lower bound machinery applies to it.
+  const LegalGraph g = identity(random_regular_graph(64, 4, Prf(7)));
+  const LargeIsProblem problem(0.9);
+
+  int stable_failures = 0;
+  for (std::uint64_t seed = 0; seed < 48; ++seed) {
+    Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+    const auto labels =
+        run_component_stable(cluster, StableLubyStepIs(), g, seed);
+    if (!problem.valid(g, labels)) ++stable_failures;
+  }
+  EXPECT_GT(stable_failures, 0);
+
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const std::uint64_t reps = amplification_repetitions(g.n());
+    Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.5, reps));
+    const auto amp = amplified_large_is(cluster, g, Prf(seed), reps);
+    EXPECT_TRUE(problem.valid(g, amp.labels)) << "seed " << seed;
+    EXPECT_LE(amp.rounds, 24u);
+  }
+
+  EXPECT_TRUE(replicable_over_binary_labelings(LargeIsProblem(0.5),
+                                               identity(cycle_graph(6)), 2));
+}
+
+TEST(Integration, ConnectivityConjectureInstanceCostScaling) {
+  // The baseline every lower bound conditions on: rounds grow with log n,
+  // and the decision is correct on both instance types.
+  std::vector<std::uint64_t> rounds;
+  for (Node n : {256u, 1024u, 4096u}) {
+    const LegalGraph one = identity(cycle_graph(n));
+    Cluster c1(MpcConfig::for_graph(n, n));
+    const CycleDecision d1 = distinguish_cycles(c1, one);
+    EXPECT_TRUE(d1.one_cycle);
+
+    const LegalGraph two = identity(two_cycles_graph(n));
+    Cluster c2(MpcConfig::for_graph(n, n));
+    const CycleDecision d2 = distinguish_cycles(c2, two);
+    EXPECT_FALSE(d2.one_cycle);
+    rounds.push_back(d1.rounds);
+  }
+  EXPECT_LT(rounds[0], rounds[2]);
+}
+
+}  // namespace
+}  // namespace mpcstab

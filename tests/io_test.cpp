@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+TEST(GraphIo, RoundTripIdentity) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(8));
+  const LegalGraph back = graph_from_string(graph_to_string(g));
+  EXPECT_EQ(back.graph(), g.graph());
+  for (Node v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(back.id(v), g.id(v));
+    EXPECT_EQ(back.name(v), g.name(v));
+  }
+}
+
+TEST(GraphIo, RoundTripCustomLabels) {
+  // Component-shared IDs and arbitrary names survive the round trip.
+  const LegalGraph g =
+      LegalGraph::make(two_cycles_graph(6), {1, 2, 3, 1, 2, 3},
+                       {9, 8, 7, 6, 5, 4});
+  const LegalGraph back = graph_from_string(graph_to_string(g));
+  EXPECT_EQ(back.graph(), g.graph());
+  EXPECT_EQ(back.id(3), g.id(3));
+  EXPECT_EQ(back.name(5), g.name(5));
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "graph 3 2\n"
+      "\n"
+      "node 0 5 50  # trailing comment\n"
+      "node 1 6 60\n"
+      "node 2 7 70\n"
+      "edge 0 1\n"
+      "edge 1 2\n";
+  const LegalGraph g = graph_from_string(text);
+  EXPECT_EQ(g.n(), 3u);
+  EXPECT_EQ(g.graph().m(), 2u);
+  EXPECT_EQ(g.id(1), 6u);
+  EXPECT_EQ(g.name(2), 70u);
+}
+
+TEST(GraphIo, MalformedInputsRejected) {
+  EXPECT_THROW(graph_from_string(""), PreconditionError);
+  EXPECT_THROW(graph_from_string("node 0 1 2\n"), PreconditionError);
+  EXPECT_THROW(graph_from_string("graph 2 0\nnode 0 1 2\n"),
+               PreconditionError);  // missing node 1
+  EXPECT_THROW(graph_from_string("graph 1 1\nnode 0 1 2\n"),
+               PreconditionError);  // edge count mismatch
+  EXPECT_THROW(
+      graph_from_string("graph 2 0\nnode 0 1 2\nnode 0 1 3\nnode 1 2 4\n"),
+      PreconditionError);  // duplicate node line
+  EXPECT_THROW(graph_from_string("graph 1 0\nnode 0 1 2\nbogus\n"),
+               PreconditionError);
+}
+
+TEST(GraphIo, IllegalLabelingsRejected) {
+  // Duplicate names must be caught by LegalGraph::make via read_graph.
+  const std::string text =
+      "graph 2 1\n"
+      "node 0 1 7\n"
+      "node 1 2 7\n"
+      "edge 0 1\n";
+  EXPECT_THROW(graph_from_string(text), IllegalGraphError);
+}
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.h"
+#include "graph/generators.h"
+#include "graph/knowledge.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+TEST(Knowledge, OfNodeCoversRadiusOne) {
+  const LegalGraph g = identity(star_graph(5));
+  const Knowledge k = Knowledge::of_node(g, 0);
+  EXPECT_EQ(k.vertices.size(), 5u);
+  EXPECT_EQ(k.edges.size(), 4u);
+  const Knowledge leaf = Knowledge::of_node(g, 3);
+  EXPECT_EQ(leaf.vertices.size(), 2u);
+  EXPECT_EQ(leaf.edges.size(), 1u);
+}
+
+TEST(Knowledge, EncodeMergeRoundTrip) {
+  const LegalGraph g = identity(cycle_graph(6));
+  const Knowledge a = Knowledge::of_node(g, 0);
+  Knowledge b;
+  b.merge(a.encode());
+  EXPECT_EQ(a.vertices, b.vertices);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.encoded_words(), b.encoded_words());
+}
+
+TEST(Knowledge, MergeIsIdempotentAndCommutative) {
+  const LegalGraph g = identity(path_graph(5));
+  Knowledge ab = Knowledge::of_node(g, 1);
+  ab.merge(Knowledge::of_node(g, 3));
+  Knowledge ba = Knowledge::of_node(g, 3);
+  ba.merge(Knowledge::of_node(g, 1));
+  ba.merge(Knowledge::of_node(g, 1));  // idempotent
+  EXPECT_EQ(ab.vertices, ba.vertices);
+  EXPECT_EQ(ab.edges, ba.edges);
+}
+
+TEST(Knowledge, ToBallMatchesExtraction) {
+  const LegalGraph g = identity(cycle_graph(10));
+  // Union of everyone's radius-1 knowledge = full graph knowledge; cutting
+  // to radius 2 must equal extract_ball.
+  Knowledge all;
+  for (Node v = 0; v < g.n(); ++v) all.merge(Knowledge::of_node(g, v));
+  for (Node v = 0; v < g.n(); ++v) {
+    const Ball cut = all.to_ball(g.id(v), 2);
+    EXPECT_TRUE(balls_identical(cut, extract_ball(g, v, 2)));
+  }
+}
+
+TEST(Knowledge, PrunedShrinksToBallSize) {
+  const LegalGraph g = identity(cycle_graph(12));
+  Knowledge all;
+  for (Node v = 0; v < g.n(); ++v) all.merge(Knowledge::of_node(g, v));
+  const Knowledge pruned = all.pruned(g.id(3), 2);
+  EXPECT_EQ(pruned.vertices.size(), 5u);  // radius-2 ball on a cycle
+  EXPECT_EQ(pruned.edges.size(), 4u);
+  EXPECT_LT(pruned.encoded_words(), all.encoded_words());
+}
+
+TEST(Knowledge, MalformedPayloadRejected) {
+  Knowledge k;
+  EXPECT_THROW(k.merge(std::vector<std::uint64_t>{}), PreconditionError);
+  EXPECT_THROW(k.merge(std::vector<std::uint64_t>{2, 0, 5}),
+               PreconditionError);  // claims 2 vertices, carries half of one
+}
+
+TEST(Knowledge, ToBallRequiresCenter) {
+  const LegalGraph g = identity(path_graph(3));
+  const Knowledge k = Knowledge::of_node(g, 0);
+  EXPECT_THROW(k.to_ball(/*center_id=*/999, 1), PreconditionError);
+}
+
+TEST(LiftedBounds, CatalogIsWellFormed) {
+  const auto catalog = lifted_bounds();
+  EXPECT_GE(catalog.size(), 8u);
+  for (const auto& bound : catalog) {
+    EXPECT_FALSE(bound.problem.empty());
+    EXPECT_FALSE(bound.mpc_bound.empty());
+    // Formulas evaluate, are >= 1, and are non-decreasing in n.
+    const double small = bound.mpc_rounds(1 << 10, 4);
+    const double large = bound.mpc_rounds(1 << 20, 4);
+    EXPECT_GE(small, 1.0) << bound.problem;
+    EXPECT_LE(small, large + 1e-9) << bound.problem;
+  }
+}
+
+TEST(LiftedBounds, AsymptoticHelpers) {
+  EXPECT_DOUBLE_EQ(log2d(1 << 16), 16.0);
+  EXPECT_DOUBLE_EQ(loglog(1 << 16), 4.0);
+  EXPECT_DOUBLE_EQ(logloglog(1ull << 16), 2.0);
+  EXPECT_GE(loglogstar(1ull << 40), 1.0);
+}
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,75 @@
+// The Section 2.5 landscape as assertions: the four class witnesses behave
+// exactly as the complexity summary predicts at test scale.
+#include <gtest/gtest.h>
+
+#include "core/landscape.h"
+#include "graph/generators.h"
+
+namespace mpcstab {
+namespace {
+
+TEST(Landscape, FourWitnessesWithDeclaredTraits) {
+  const LegalGraph g = LegalGraph::with_identity(
+      random_regular_graph(128, 4, Prf(1)));
+  const auto runs = run_landscape(g, 0.9, /*seed=*/3);
+  ASSERT_EQ(runs.size(), 4u);
+
+  auto find = [&](MpcClass cls) {
+    for (const auto& run : runs) {
+      if (run.cls == cls) return run;
+    }
+    ADD_FAILURE() << "missing class";
+    return runs[0];
+  };
+
+  const WitnessRun sdet = find(MpcClass::kSDet);
+  EXPECT_TRUE(sdet.component_stable);
+  EXPECT_TRUE(sdet.deterministic);
+  EXPECT_TRUE(sdet.success);      // greedy MIS always >= n/(Delta+1)
+  EXPECT_GE(sdet.rounds, g.n());  // ...but pays Theta(n) rounds
+
+  const WitnessRun srand = find(MpcClass::kSRand);
+  EXPECT_TRUE(srand.component_stable);
+  EXPECT_FALSE(srand.deterministic);
+  EXPECT_LE(srand.rounds, 48u);  // O(1)
+
+  const WitnessRun rand = find(MpcClass::kRand);
+  EXPECT_FALSE(rand.component_stable);
+  EXPECT_TRUE(rand.success);
+  EXPECT_LE(rand.rounds, 48u);
+
+  const WitnessRun det = find(MpcClass::kDet);
+  EXPECT_FALSE(det.component_stable);
+  EXPECT_TRUE(det.deterministic);
+  EXPECT_TRUE(det.success);
+  EXPECT_LE(det.rounds, 48u);
+}
+
+TEST(Landscape, StableRandomizedMissesOnSomeSeed) {
+  // The separation's hinge: over enough seeds, S-RandMPC's one-shot
+  // witness fails the 0.9 threshold at least once while RandMPC's
+  // amplified witness never does.
+  const LegalGraph g = LegalGraph::with_identity(
+      random_regular_graph(64, 4, Prf(2)));
+  bool srand_missed = false;
+  bool rand_missed = false;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    const auto runs = run_landscape(g, 0.9, seed);
+    for (const auto& run : runs) {
+      if (run.cls == MpcClass::kSRand && !run.success) srand_missed = true;
+      if (run.cls == MpcClass::kRand && !run.success) rand_missed = true;
+    }
+  }
+  EXPECT_TRUE(srand_missed);
+  EXPECT_FALSE(rand_missed);
+}
+
+TEST(Landscape, ClassNames) {
+  EXPECT_EQ(class_name(MpcClass::kSDet), "S-DetMPC");
+  EXPECT_EQ(class_name(MpcClass::kDet), "DetMPC");
+  EXPECT_EQ(class_name(MpcClass::kSRand), "S-RandMPC");
+  EXPECT_EQ(class_name(MpcClass::kRand), "RandMPC");
+}
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,145 @@
+// Tests of the Section 5 large-IS suite: the component-unstable O(1)-round
+// amplified algorithm (Theorem 5 upper bound), the pairwise-independent step
+// (Claim 52), and its full derandomization (Theorem 53).
+#include <gtest/gtest.h>
+
+#include "algorithms/large_is.h"
+#include "graph/generators.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+Cluster cluster_for(const LegalGraph& g, std::uint64_t machine_factor = 1) {
+  return Cluster(
+      MpcConfig::for_graph(g.n(), g.graph().m(), 0.5, machine_factor));
+}
+
+TEST(OneRoundIs, IndependentAndConstantRounds) {
+  const LegalGraph g = identity(random_regular_graph(128, 4, Prf(1)));
+  Cluster cluster = cluster_for(g);
+  const LargeIsResult result = one_round_is(cluster, g, Prf(9), 0);
+  EXPECT_TRUE(LargeIsProblem::independent(g, result.labels));
+  EXPECT_EQ(result.rounds, 2u);
+  EXPECT_EQ(result.is_size, LargeIsProblem::size(result.labels));
+}
+
+TEST(OneRoundIsPairwise, Claim52SizeInExpectation) {
+  // Claim 52: E[|IS|] >= n/(4*Delta+1) under pairwise independence.
+  const LegalGraph g = identity(random_regular_graph(256, 4, Prf(2)));
+  double total = 0;
+  const int trials = 300;
+  Cluster cluster = cluster_for(g);
+  for (int t = 0; t < trials; ++t) {
+    const PairwiseHash h = PairwiseHash::from_seed(t, 16);
+    const LargeIsResult r = one_round_is_pairwise(cluster, g, h);
+    EXPECT_TRUE(LargeIsProblem::independent(g, r.labels));
+    total += static_cast<double>(r.is_size);
+  }
+  EXPECT_GE(total / trials, 256.0 / (4 * 4 + 1) * 0.6);
+}
+
+TEST(Amplified, PicksBestRepetition) {
+  const LegalGraph g = identity(random_regular_graph(128, 6, Prf(3)));
+  const std::uint64_t reps = 16;
+  Cluster cluster = cluster_for(g, reps);
+  const LargeIsResult amplified = amplified_large_is(cluster, g, Prf(4), reps);
+  EXPECT_TRUE(LargeIsProblem::independent(g, amplified.labels));
+  // The winner must be at least as large as any single fixed repetition.
+  const auto single = one_round_is(cluster, g, Prf(4).derive(0), 0x15);
+  EXPECT_GE(amplified.is_size, single.is_size * 9 / 10);
+  EXPECT_LT(amplified.chosen_repetition, reps);
+}
+
+TEST(Amplified, ConstantRoundsRegardlessOfRepetitions) {
+  const LegalGraph g = identity(random_regular_graph(128, 4, Prf(5)));
+  Cluster c8 = cluster_for(g, 8);
+  Cluster c32 = cluster_for(g, 32);
+  const auto r8 = amplified_large_is(c8, g, Prf(6), 8);
+  const auto r32 = amplified_large_is(c32, g, Prf(6), 32);
+  // Rounds: 2 (parallel steps) + aggregation trees; the tree depth depends
+  // on machine count only logarithmically — both stay small and close.
+  EXPECT_LE(r8.rounds, 20u);
+  EXPECT_LE(r32.rounds, 24u);
+}
+
+TEST(Amplified, RequiresMachineGroups) {
+  const LegalGraph g = identity(cycle_graph(16));
+  Cluster tiny = cluster_for(g, 1);
+  EXPECT_THROW(amplified_large_is(tiny, g, Prf(1), tiny.machines() + 1),
+               PreconditionError);
+}
+
+TEST(Amplified, SucceedsWhpAcrossSeeds) {
+  // Theorem 5's upper-bound claim at test scale: with Theta(log n)
+  // repetitions, the c = 1/2 threshold n/(2(Delta+1)) is met on every seed.
+  const LegalGraph g = identity(random_regular_graph(128, 4, Prf(8)));
+  const LargeIsProblem problem(0.5);
+  const std::uint64_t reps = 32;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Cluster cluster = cluster_for(g, reps);
+    const auto r = amplified_large_is(cluster, g, Prf(seed), reps);
+    EXPECT_TRUE(problem.valid(g, r.labels)) << "seed " << seed;
+  }
+}
+
+TEST(Derandomized, LowDegreeRegimeMeetsThreshold) {
+  // Theorem 53 at small Delta: deterministic, O(1) rounds, size >=
+  // n/(4Delta+1) (the conditional-expectation argmin can only beat the
+  // pairwise expectation).
+  const LegalGraph g = identity(random_regular_graph(192, 4, Prf(10)));
+  Cluster cluster = cluster_for(g);
+  const LargeIsResult r = derandomized_large_is(cluster, g, 10, 0.5);
+  EXPECT_TRUE(LargeIsProblem::independent(g, r.labels));
+  EXPECT_GE(static_cast<double>(r.is_size), 192.0 / (4 * 4 + 1));
+}
+
+TEST(Derandomized, IsDeterministic) {
+  const LegalGraph g = identity(random_regular_graph(96, 4, Prf(11)));
+  Cluster a = cluster_for(g);
+  Cluster b = cluster_for(g);
+  EXPECT_EQ(derandomized_large_is(a, g, 8, 0.5).labels,
+            derandomized_large_is(b, g, 8, 0.5).labels);
+}
+
+TEST(Derandomized, HighDegreeRegimeUsesSparsification) {
+  // Star graph: Delta = n-1 >> n^0.5 forces the sparsification path.
+  const LegalGraph g = identity(star_graph(128));
+  Cluster cluster = cluster_for(g);
+  const LargeIsResult r = derandomized_large_is(cluster, g, 10, 0.5);
+  EXPECT_TRUE(LargeIsProblem::independent(g, r.labels));
+  // Omega(n/Delta) with Delta = n-1 just means Omega(1): at least one node.
+  EXPECT_GE(r.is_size, 1u);
+}
+
+TEST(Derandomized, HighDegreeRandomGraph) {
+  const LegalGraph g = identity(random_graph(160, 0.4, Prf(12)));
+  ASSERT_GT(g.max_degree(), 12u);  // well above n^0.5 ≈ 12.6 usually
+  Cluster cluster = cluster_for(g);
+  const LargeIsResult r = derandomized_large_is(cluster, g, 10, 0.5);
+  EXPECT_TRUE(LargeIsProblem::independent(g, r.labels));
+  const double threshold =
+      0.05 * 160.0 / static_cast<double>(g.max_degree());
+  EXPECT_GE(static_cast<double>(r.is_size), threshold);
+}
+
+TEST(Derandomized, ConstantRounds) {
+  // Round usage must not grow with n (O(1)-round claim of Theorem 53).
+  std::uint64_t rounds_small = 0, rounds_large = 0;
+  {
+    const LegalGraph g = identity(random_regular_graph(64, 4, Prf(13)));
+    Cluster cluster = cluster_for(g);
+    rounds_small = derandomized_large_is(cluster, g, 8, 0.5).rounds;
+  }
+  {
+    const LegalGraph g = identity(random_regular_graph(512, 4, Prf(14)));
+    Cluster cluster = cluster_for(g);
+    rounds_large = derandomized_large_is(cluster, g, 8, 0.5).rounds;
+  }
+  EXPECT_LE(rounds_large, rounds_small + 4);  // only tree-depth wiggle
+}
+
+}  // namespace
+}  // namespace mpcstab

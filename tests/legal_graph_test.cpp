@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/legal_graph.h"
+#include "graph/ops.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+TEST(LegalGraph, IdentityLabelingAlwaysLegal) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(5));
+  for (Node v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.id(v), v);
+    EXPECT_EQ(g.name(v), v);
+  }
+  EXPECT_EQ(g.component_count(), 1u);
+}
+
+TEST(LegalGraph, RejectsDuplicateNames) {
+  // Names must be fully unique even across components (Definition 6).
+  const Graph g = two_cycles_graph(6);
+  std::vector<NodeId> ids{0, 1, 2, 0, 1, 2};
+  std::vector<NodeName> names{0, 1, 2, 0, 4, 5};  // name 0 repeats
+  EXPECT_THROW(LegalGraph::make(g, ids, names), IllegalGraphError);
+}
+
+TEST(LegalGraph, AllowsComponentSharedIds) {
+  // IDs may repeat across components — the heart of Definition 6.
+  const Graph g = two_cycles_graph(6);
+  std::vector<NodeId> ids{0, 1, 2, 0, 1, 2};
+  std::vector<NodeName> names{0, 1, 2, 3, 4, 5};
+  EXPECT_NO_THROW(LegalGraph::make(g, ids, names));
+}
+
+TEST(LegalGraph, RejectsIdCollisionWithinComponent) {
+  const Graph g = cycle_graph(4);
+  std::vector<NodeId> ids{0, 1, 1, 3};  // collision inside the cycle
+  std::vector<NodeName> names{0, 1, 2, 3};
+  EXPECT_THROW(LegalGraph::make(g, ids, names), IllegalGraphError);
+}
+
+TEST(LegalGraph, RejectsSizeMismatch) {
+  const Graph g = cycle_graph(4);
+  std::vector<NodeId> ids{0, 1, 2};  // too short
+  std::vector<NodeName> names{0, 1, 2, 3};
+  EXPECT_THROW(LegalGraph::make(g, ids, names), IllegalGraphError);
+}
+
+TEST(LegalGraph, NodeWithIdLookup) {
+  const Graph g = two_cycles_graph(6);
+  std::vector<NodeId> ids{10, 11, 12, 10, 11, 12};
+  std::vector<NodeName> names{0, 1, 2, 3, 4, 5};
+  const LegalGraph lg = LegalGraph::make(g, ids, names);
+  const Node a = lg.node_with_id(lg.component(0), 11);
+  EXPECT_EQ(lg.id(a), 11u);
+  EXPECT_EQ(lg.component(a), lg.component(0));
+  EXPECT_THROW(lg.node_with_id(lg.component(0), 999), PreconditionError);
+}
+
+TEST(LegalGraph, ExtractComponentPreservesLabels) {
+  const Graph g = two_cycles_graph(8);
+  std::vector<NodeId> ids{5, 6, 7, 8, 5, 6, 7, 8};
+  std::vector<NodeName> names{0, 1, 2, 3, 4, 5, 6, 7};
+  const LegalGraph lg = LegalGraph::make(g, ids, names);
+
+  const ComponentView view = extract_component(lg, lg.component(4));
+  EXPECT_EQ(view.graph.n(), 4u);
+  EXPECT_EQ(view.graph.graph().m(), 4u);  // a 4-cycle
+  for (Node i = 0; i < view.graph.n(); ++i) {
+    EXPECT_EQ(view.graph.id(i), lg.id(view.to_parent[i]));
+    EXPECT_EQ(view.graph.name(i), lg.name(view.to_parent[i]));
+  }
+}
+
+TEST(LegalGraph, ExtractComponentRejectsBadIndex) {
+  const LegalGraph lg = LegalGraph::with_identity(cycle_graph(4));
+  EXPECT_THROW(extract_component(lg, 7), PreconditionError);
+}
+
+TEST(LegalLineGraph, IdsAreEndpointDerived) {
+  const LegalGraph g = LegalGraph::with_identity(path_graph(4));
+  const LegalLineGraph line = legal_line_graph(g);
+  EXPECT_EQ(line.graph.n(), 3u);
+  // Every line node's ID must be the Cantor pairing of its endpoints' IDs —
+  // in particular distinct.
+  std::set<NodeId> seen(line.graph.ids().begin(), line.graph.ids().end());
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(LegalLineGraph, EdgeOfMapsBack) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(5));
+  const LegalLineGraph line = legal_line_graph(g);
+  EXPECT_EQ(line.edge_of.size(), 5u);
+  for (const Edge& e : line.edge_of) {
+    EXPECT_TRUE(g.graph().has_edge(e.u, e.v));
+  }
+}
+
+TEST(Replicate, BuildsGammaG) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(4));
+  const LegalGraph gamma = replicate_with_isolated(g, 3, 2);
+  EXPECT_EQ(gamma.n(), 3u * 4 + 2);
+  EXPECT_EQ(gamma.graph().m(), 3u * 4);
+  EXPECT_EQ(gamma.component_count(), 3u + 2);
+  // All copies share the same IDs; isolated nodes share one ID.
+  EXPECT_EQ(gamma.id(0), gamma.id(4));
+  EXPECT_EQ(gamma.id(12), gamma.id(13));
+  // Names are globally unique (validated by make()).
+}
+
+TEST(Replicate, RejectsZeroCopies) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(4));
+  EXPECT_THROW(replicate_with_isolated(g, 0, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,181 @@
+// End-to-end validation of the Lemma 27 reduction: the simulation-graph
+// construction, the planted h-labeling, and B_st-conn's YES/NO behaviour
+// when driven by a sensitive component-stable algorithm.
+#include <gtest/gtest.h>
+
+#include "core/lifting.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+Cluster cluster_for(const LegalGraph& g) {
+  return Cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+}
+
+/// An s-t path instance: path of p nodes, s = 0, t = p-1.
+struct PathInstance {
+  LegalGraph h;
+  Node s = 0;
+  Node t = 0;
+};
+
+PathInstance make_path_instance(Node p) {
+  return PathInstance{identity(path_graph(p)), 0, static_cast<Node>(p - 1)};
+}
+
+TEST(PlantedH, ExistsExactlyForShortPaths) {
+  const std::uint32_t D = 5;
+  for (Node p = 2; p <= 8; ++p) {
+    const PathInstance inst = make_path_instance(p);
+    const auto h = planted_h_values(inst.h, inst.s, inst.t, D);
+    if (p <= D + 1) {
+      ASSERT_TRUE(h.has_value()) << "p = " << p;
+      // h(s) = D - p + 2; increases by 1 along the path.
+      EXPECT_EQ((*h)[inst.s], D - p + 2);
+      EXPECT_EQ((*h)[p - 2], D);  // node before t
+    } else {
+      EXPECT_FALSE(h.has_value()) << "p = " << p;
+    }
+  }
+}
+
+TEST(PlantedH, NulloptWhenDisconnectedOrBranching) {
+  {
+    const Graph parts[] = {path_graph(3), path_graph(3)};
+    const LegalGraph h = identity(disjoint_union(parts));
+    EXPECT_FALSE(planted_h_values(h, 0, 5, 6).has_value());
+  }
+  {
+    const LegalGraph h = identity(star_graph(5));
+    EXPECT_FALSE(planted_h_values(h, 1, 2, 6).has_value());
+  }
+}
+
+TEST(Simulation, PlantedHYieldsFullCopy) {
+  // The YES case with correct h: CC(v_s) must be exactly G.
+  const SensitivePair pair = path_marker_pair(9, 4, 999);
+  const PathInstance inst = make_path_instance(5);  // p=5 <= D+1=5
+  const auto h = planted_h_values(inst.h, inst.s, inst.t, pair.radius);
+  ASSERT_TRUE(h.has_value());
+  const auto sims = build_simulation_graphs(
+      inst.h, inst.s, inst.t, pair, *h,
+      simulation_padding(inst.h, pair));
+  ASSERT_TRUE(sims.has_value());
+  ASSERT_TRUE(sims->vs_present);
+  EXPECT_TRUE(sims->full_copy);
+}
+
+TEST(Simulation, WrongHNeverConnectsDifferingParts) {
+  // In every simulation (any h), when s-t are NOT connected, CC(v_s) in
+  // G_H equals CC(v_s) in G'_H — the NO-case invariant of Lemma 27.
+  const SensitivePair pair = path_marker_pair(9, 4, 999);
+  const Graph parts[] = {path_graph(4), path_graph(4)};
+  const LegalGraph h_graph = identity(disjoint_union(parts));
+  const Node s = 0, t = 7;  // different components
+  const std::uint64_t pad = simulation_padding(h_graph, pair);
+
+  for (std::uint64_t salt = 0; salt < 16; ++salt) {
+    std::vector<std::uint32_t> h(h_graph.n());
+    const Prf prf(salt);
+    for (Node v = 0; v < h_graph.n(); ++v) {
+      h[v] = 1 + static_cast<std::uint32_t>(
+                     prf.word_below(0, v, pair.radius));
+    }
+    const auto sims = build_simulation_graphs(h_graph, s, t, pair, h, pad);
+    ASSERT_TRUE(sims.has_value());
+    if (!sims->vs_present) continue;
+    // Outputs of the sensitive marker algorithm must agree at v_s.
+    const MarkerAlgorithm alg({999});
+    const ComponentView cg =
+        extract_component(sims->g_h, sims->g_h.component(sims->vs));
+    const ComponentView cgp = extract_component(
+        sims->g_h_prime, sims->g_h_prime.component(sims->vs));
+    const auto out_g = alg.run_on_component(cg.graph, pad, 2, salt);
+    const auto out_gp = alg.run_on_component(cgp.graph, pad, 2, salt);
+    EXPECT_EQ(out_g[0], out_gp[0]) << "salt " << salt;
+    EXPECT_FALSE(sims->full_copy);
+  }
+}
+
+TEST(Simulation, DegreePreconditionGivesNullopt) {
+  const SensitivePair pair = path_marker_pair(6, 3, 999);
+  const LegalGraph h_graph = identity(star_graph(5));  // s has degree 4
+  std::vector<std::uint32_t> h(h_graph.n(), 1);
+  EXPECT_FALSE(build_simulation_graphs(h_graph, 0, 1, pair, h,
+                                       simulation_padding(h_graph, pair))
+                   .has_value());
+}
+
+TEST(Simulation, PaddingFixesSizeAndDegree) {
+  const SensitivePair pair = path_marker_pair(7, 3, 999);
+  const PathInstance inst = make_path_instance(4);
+  const auto h = planted_h_values(inst.h, inst.s, inst.t, pair.radius);
+  ASSERT_TRUE(h.has_value());
+  const std::uint64_t pad = simulation_padding(inst.h, pair);
+  const auto sims =
+      build_simulation_graphs(inst.h, inst.s, inst.t, pair, *h, pad);
+  ASSERT_TRUE(sims.has_value());
+  EXPECT_EQ(sims->g_h.n(), pad);
+  EXPECT_EQ(sims->g_h_prime.n(), pad);
+  // The extra full copy pins Delta to the pair's Delta.
+  EXPECT_EQ(sims->g_h.max_degree(), pair.g.max_degree());
+}
+
+TEST(BStConn, PlantedYesOnConnectedPath) {
+  const SensitivePair pair = path_marker_pair(9, 4, 999);
+  const MarkerAlgorithm alg({999});
+  const PathInstance inst = make_path_instance(5);
+  Cluster cluster = cluster_for(inst.h);
+  const BStConnResult r =
+      b_st_conn(cluster, inst.h, inst.s, inst.t, pair, alg,
+                /*seed=*/1, /*simulations=*/4, /*planted_first=*/true);
+  EXPECT_TRUE(r.yes);
+  EXPECT_GE(r.full_copies_seen, 1u);
+}
+
+TEST(BStConn, NoOnDisconnectedInstance) {
+  const SensitivePair pair = path_marker_pair(9, 4, 999);
+  const MarkerAlgorithm alg({999});
+  const Graph parts[] = {path_graph(4), path_graph(4)};
+  const LegalGraph h_graph = identity(disjoint_union(parts));
+  Cluster cluster = cluster_for(h_graph);
+  const BStConnResult r = b_st_conn(cluster, h_graph, 0, 7, pair, alg, 1,
+                                    /*simulations=*/64,
+                                    /*planted_first=*/true);
+  EXPECT_FALSE(r.yes);
+  EXPECT_EQ(r.yes_votes, 0u);
+}
+
+TEST(BStConn, RandomSimulationsEventuallyHitYes) {
+  // Without planting, the per-simulation success probability is ~ D^-D;
+  // with D=2 and a 2-edge path, enough simulations must find the correct
+  // h. (p=3 nodes, h(s)=D-p+2=1, middle=2: probability 1/4 per sim.)
+  const SensitivePair pair = path_marker_pair(7, 2, 999);
+  const MarkerAlgorithm alg({999});
+  const PathInstance inst = make_path_instance(3);
+  Cluster cluster = cluster_for(inst.h);
+  const BStConnResult r = b_st_conn(cluster, inst.h, inst.s, inst.t, pair,
+                                    alg, 7, /*simulations=*/256,
+                                    /*planted_first=*/false);
+  EXPECT_TRUE(r.yes);
+  EXPECT_GT(r.yes_votes, 16u);  // ~64 expected
+}
+
+TEST(BStConn, InsensitiveAlgorithmNeverSaysYes) {
+  // Lemma 27 needs sensitivity: a constant algorithm yields no signal.
+  const SensitivePair pair = path_marker_pair(7, 3, 999);
+  const MarkerAlgorithm blind({424242});
+  const PathInstance inst = make_path_instance(4);
+  Cluster cluster = cluster_for(inst.h);
+  const BStConnResult r = b_st_conn(cluster, inst.h, inst.s, inst.t, pair,
+                                    blind, 3, 64, true);
+  EXPECT_FALSE(r.yes);
+}
+
+}  // namespace
+}  // namespace mpcstab

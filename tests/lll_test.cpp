@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/lll.h"
+#include "graph/generators.h"
+#include "problems/problems.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+/// Toy LLL instance: m events, each over k consecutive variables of a ring
+/// of `vars` fair bits; event i is bad when all its bits are equal
+/// (p = 2^{1-k}, dependency degree 2(k-1)).
+LllInstance ring_instance(std::uint64_t vars, unsigned k) {
+  LllInstance instance;
+  instance.num_vars = vars;
+  for (std::uint64_t i = 0; i < vars; ++i) {
+    LllInstance::Event event;
+    for (unsigned j = 0; j < k; ++j) {
+      event.vars.push_back((i + j) % vars);
+    }
+    auto ids = event.vars;
+    event.bad = [ids](std::span<const std::uint8_t> a) {
+      for (std::size_t j = 1; j < ids.size(); ++j) {
+        if (a[ids[j]] != a[ids[0]]) return false;
+      }
+      return true;
+    };
+    instance.events.push_back(std::move(event));
+  }
+  return instance;
+}
+
+TEST(LllInstance, DependencyDegreeOfRing) {
+  const LllInstance inst = ring_instance(32, 4);
+  EXPECT_EQ(inst.dependency_degree(), 6u);  // 2*(k-1)
+}
+
+TEST(LllInstance, BadCountCountsExactly) {
+  LllInstance inst = ring_instance(8, 2);
+  std::vector<std::uint8_t> alternating{0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_EQ(inst.bad_count(alternating), 0u);
+  std::vector<std::uint8_t> all_zero(8, 0);
+  EXPECT_EQ(inst.bad_count(all_zero), 8u);
+}
+
+TEST(MoserTardos, SolvesRingUnderCriterion) {
+  // k=6: p = 2^-5, d = 10, e*p*d ≈ 0.85 < 1 — within the LLL criterion.
+  const LllInstance inst = ring_instance(256, 6);
+  const LllResult r = moser_tardos(inst, Prf(1), 0, 500);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(inst.bad_count(r.assignment), 0u);
+}
+
+TEST(MoserTardos, RoundsSmallWhenCriterionSlack) {
+  const LllInstance inst = ring_instance(512, 8);
+  const LllResult r = moser_tardos(inst, Prf(2), 0, 500);
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.rounds, 30u);
+}
+
+TEST(MoserTardos, ReportsFailureWhenBudgetZero) {
+  // With zero resampling rounds, success only if the initial assignment is
+  // already good — make it essentially impossible with k=2 on a big ring.
+  const LllInstance inst = ring_instance(512, 2);
+  const LllResult r = moser_tardos(inst, Prf(3), 0, 0);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(DerandomizedLll, FindsGoodSeedOnEasyInstance) {
+  const LllInstance inst = ring_instance(64, 8);  // p = 2^-7: very easy
+  const LllResult r = derandomized_lll(nullptr, inst, 10, 8);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(inst.bad_count(r.assignment), 0u);
+}
+
+TEST(DerandomizedLll, Deterministic) {
+  const LllInstance inst = ring_instance(48, 6);
+  const LllResult a = derandomized_lll(nullptr, inst, 8, 6);
+  const LllResult b = derandomized_lll(nullptr, inst, 8, 6);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(SinklessInstance, MatchesOrientationSemantics) {
+  const LegalGraph g = LegalGraph::with_identity(
+      random_regular_graph(40, 4, Prf(4)));
+  const LllInstance inst = sinkless_lll_instance(g);
+  EXPECT_EQ(inst.num_vars, g.graph().m());
+  EXPECT_EQ(inst.events.size(), g.n());
+
+  // A bad count of zero must coincide with a sinkless orientation.
+  const LllResult r = moser_tardos(inst, Prf(5), 0, 300);
+  ASSERT_TRUE(r.success);
+  std::vector<Label> labels(inst.num_vars);
+  for (std::uint64_t i = 0; i < inst.num_vars; ++i) {
+    labels[i] = r.assignment[i] ? kLabelIn : kLabelOut;
+  }
+  EXPECT_TRUE(is_sinkless_orientation(g.graph(), labels));
+}
+
+TEST(SinklessInstance, DependencyDegreeIsGraphDegreeDriven) {
+  const LegalGraph g =
+      LegalGraph::with_identity(random_regular_graph(30, 4, Prf(6)));
+  const LllInstance inst = sinkless_lll_instance(g);
+  EXPECT_EQ(inst.dependency_degree(), 4u);  // events of adjacent nodes
+}
+
+}  // namespace
+}  // namespace mpcstab

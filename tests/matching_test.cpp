@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/matching.h"
+#include "graph/generators.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+TEST(GreedyMatching, MaximalOnVariousGraphs) {
+  for (const Graph& topo :
+       {path_graph(9), cycle_graph(10), complete_graph(7),
+        random_graph(40, 0.1, Prf(1))}) {
+    const LegalGraph g = identity(topo);
+    const MatchingResult r = greedy_maximal_matching(g);
+    EXPECT_TRUE(is_maximal_matching(g.graph(), r.edge_labels));
+  }
+}
+
+TEST(GreedyMatching, SizeOnPath) {
+  const LegalGraph g = identity(path_graph(7));  // 6 edges; greedy picks 3
+  const MatchingResult r = greedy_maximal_matching(g);
+  EXPECT_EQ(r.size, 3u);
+}
+
+TEST(LocalMatching, MaximalViaLineGraphMis) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const LegalGraph g = identity(random_graph(36, 0.12, Prf(seed)));
+    const MatchingResult r = maximal_matching_local(g, Prf(seed + 10), 0);
+    EXPECT_TRUE(is_maximal_matching(g.graph(), r.edge_labels))
+        << "seed " << seed;
+  }
+}
+
+TEST(LocalMatching, EmptyGraph) {
+  const LegalGraph g = identity(Graph(5));
+  const MatchingResult r = maximal_matching_local(g, Prf(1), 0);
+  EXPECT_TRUE(r.edge_labels.empty());
+  EXPECT_EQ(r.size, 0u);
+}
+
+TEST(LocalMatching, QualityAtLeastHalfOfGreedy) {
+  // Any maximal matching is within 2x of any other: quality >= 0.5.
+  const LegalGraph g = identity(random_regular_graph(60, 4, Prf(4)));
+  const MatchingResult r = maximal_matching_local(g, Prf(5), 0);
+  EXPECT_GE(matching_quality(g, r.edge_labels), 0.5);
+}
+
+TEST(MatchingQuality, PerfectOnGreedyItself) {
+  const LegalGraph g = identity(cycle_graph(12));
+  const MatchingResult greedy = greedy_maximal_matching(g);
+  EXPECT_DOUBLE_EQ(matching_quality(g, greedy.edge_labels), 1.0);
+}
+
+TEST(MatchingQuality, EmptyMatchingScoresZero) {
+  const LegalGraph g = identity(cycle_graph(8));
+  const std::vector<Label> empty(8, kLabelOut);
+  EXPECT_DOUBLE_EQ(matching_quality(g, empty), 0.0);
+}
+
+}  // namespace
+}  // namespace mpcstab

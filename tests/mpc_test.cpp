@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "mpc/cluster.h"
+#include "mpc/dist_graph.h"
+#include "mpc/exponentiation.h"
+#include "mpc/primitives.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+TEST(Config, ForGraphSizesResources) {
+  const MpcConfig cfg = MpcConfig::for_graph(10000, 20000, 0.5);
+  EXPECT_EQ(cfg.local_space, 100u);  // ceil(10000^0.5)
+  EXPECT_GE(cfg.local_space * cfg.machines, 4u * 30000);
+}
+
+TEST(Config, MachineFactorMultiplies) {
+  const MpcConfig base = MpcConfig::for_graph(1000, 1000, 0.5, 1);
+  const MpcConfig big = MpcConfig::for_graph(1000, 1000, 0.5, 8);
+  EXPECT_EQ(big.machines, 8 * base.machines);
+}
+
+TEST(Config, RejectsBadPhi) {
+  EXPECT_THROW(MpcConfig::for_graph(100, 100, 0.0), PreconditionError);
+  EXPECT_THROW(MpcConfig::for_graph(100, 100, 1.0), PreconditionError);
+}
+
+TEST(Cluster, ExchangeDeliversAndCounts) {
+  MpcConfig cfg;
+  cfg.phi = 0.5;
+  cfg.n = 100;
+  cfg.local_space = 16;
+  cfg.machines = 4;
+  Cluster cluster(cfg);
+
+  std::vector<std::vector<MpcMessage>> out(4);
+  out[0].push_back({1, {42, 43}});
+  out[2].push_back({1, {7}});
+  const auto in = cluster.exchange(std::move(out));
+  EXPECT_EQ(cluster.rounds(), 1u);
+  EXPECT_EQ(in[1].size(), 2u);
+  EXPECT_TRUE(in[0].empty());
+  EXPECT_EQ(cluster.words_moved(), 3u + 2u);  // payloads + headers
+}
+
+TEST(Cluster, SendOverflowThrows) {
+  MpcConfig cfg;
+  cfg.n = 100;
+  cfg.local_space = 4;
+  cfg.machines = 2;
+  Cluster cluster(cfg);
+  std::vector<std::vector<MpcMessage>> out(2);
+  out[0].push_back({1, {1, 2, 3, 4, 5}});  // 6 words > S=4
+  EXPECT_THROW(cluster.exchange(std::move(out)), SpaceLimitError);
+}
+
+TEST(Cluster, ReceiveOverflowThrows) {
+  MpcConfig cfg;
+  cfg.n = 100;
+  cfg.local_space = 4;
+  cfg.machines = 4;
+  Cluster cluster(cfg);
+  std::vector<std::vector<MpcMessage>> out(4);
+  // Three senders, 2 words each, one receiver: 6 > 4.
+  out[0].push_back({3, {1}});
+  out[1].push_back({3, {1}});
+  out[2].push_back({3, {1}});
+  EXPECT_THROW(cluster.exchange(std::move(out)), SpaceLimitError);
+}
+
+TEST(Cluster, ChargeRoundsAccumulates) {
+  Cluster cluster(MpcConfig::for_graph(100, 100));
+  cluster.charge_rounds(3, "phase one");
+  cluster.charge_rounds(2, "phase two");
+  EXPECT_EQ(cluster.rounds(), 5u);
+  EXPECT_EQ(cluster.round_log().size(), 2u);
+}
+
+TEST(Cluster, CheckLocalSpace) {
+  Cluster cluster(MpcConfig::for_graph(100, 100));
+  EXPECT_NO_THROW(cluster.check_local_space(cluster.local_space(), "fits"));
+  EXPECT_THROW(
+      cluster.check_local_space(cluster.local_space() + 1, "too big"),
+      SpaceLimitError);
+}
+
+TEST(Primitives, ReduceSumOverMachines) {
+  Cluster cluster(MpcConfig::for_graph(4096, 4096));
+  std::vector<std::uint64_t> values(cluster.machines());
+  std::uint64_t expect = 0;
+  for (std::uint64_t i = 0; i < values.size(); ++i) {
+    values[i] = i * i;
+    expect += i * i;
+  }
+  EXPECT_EQ(allreduce_sum(cluster, values), expect);
+  EXPECT_GT(cluster.rounds(), 0u);
+}
+
+TEST(Primitives, ReduceMax) {
+  Cluster cluster(MpcConfig::for_graph(1024, 1024));
+  std::vector<std::uint64_t> values(cluster.machines(), 3);
+  values[values.size() / 2] = 77;
+  EXPECT_EQ(allreduce_max(cluster, values), 77u);
+}
+
+TEST(Primitives, BroadcastReachesEveryMachine) {
+  Cluster cluster(MpcConfig::for_graph(4096, 0));
+  const auto received = broadcast_from_root(cluster, 12345);
+  for (std::uint64_t v : received) EXPECT_EQ(v, 12345u);
+}
+
+TEST(Primitives, ArgminPicksSmallestKey) {
+  Cluster cluster(MpcConfig::for_graph(2048, 2048));
+  std::vector<std::uint64_t> keys(cluster.machines(), 100);
+  std::vector<std::uint64_t> payloads(cluster.machines(), 0);
+  for (std::uint64_t i = 0; i < keys.size(); ++i) payloads[i] = i;
+  keys[keys.size() - 2] = 5;
+  EXPECT_EQ(allreduce_argmin(cluster, keys, payloads), keys.size() - 2);
+}
+
+TEST(Primitives, ArgminTiesBreakToSmallestPayload) {
+  Cluster cluster(MpcConfig::for_graph(512, 512));
+  std::vector<std::uint64_t> keys(cluster.machines(), 9);
+  std::vector<std::uint64_t> payloads(cluster.machines());
+  for (std::uint64_t i = 0; i < payloads.size(); ++i) payloads[i] = i + 1;
+  EXPECT_EQ(allreduce_argmin(cluster, keys, payloads), 1u);
+}
+
+TEST(Primitives, RoundCostLogarithmicInMachines) {
+  // Tree depth should grow like log_S(M): tiny for poly(n) machines with
+  // n^phi space — the paper's O(1/phi) constant.
+  Cluster small(MpcConfig::for_graph(256, 256));
+  Cluster large(MpcConfig::for_graph(65536, 65536));
+  std::vector<std::uint64_t> vs(small.machines(), 1);
+  allreduce_sum(small, vs);
+  std::vector<std::uint64_t> vl(large.machines(), 1);
+  allreduce_sum(large, vl);
+  EXPECT_LE(small.rounds(), 12u);
+  EXPECT_LE(large.rounds(), 12u);
+}
+
+TEST(DistGraph, ComputeParamsMatchesGraph) {
+  const LegalGraph g = LegalGraph::with_identity(
+      random_graph(200, 0.05, Prf(3)));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const GraphParams params = compute_params(cluster, g);
+  EXPECT_EQ(params.n, g.n());
+  EXPECT_EQ(params.m, g.graph().m());
+  EXPECT_EQ(params.max_degree, g.max_degree());
+}
+
+TEST(DistGraph, PerMachineSumsPartition) {
+  const LegalGraph g = LegalGraph::with_identity(path_graph(50));
+  Cluster cluster(MpcConfig::for_graph(50, 49));
+  std::vector<std::uint64_t> ones(g.n(), 1);
+  const auto sums = per_machine_sums(cluster, g, ones);
+  std::uint64_t total = 0;
+  for (std::uint64_t s : sums) total += s;
+  EXPECT_EQ(total, 50u);
+}
+
+TEST(Exponentiation, RoundCostIsLogRadius) {
+  EXPECT_EQ(ball_collection_rounds(1), 1u);
+  EXPECT_EQ(ball_collection_rounds(2), 2u);
+  EXPECT_EQ(ball_collection_rounds(8), 4u);
+  EXPECT_EQ(ball_collection_rounds(9), 5u);
+}
+
+TEST(Exponentiation, CollectsCorrectBalls) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(64));
+  Cluster cluster(MpcConfig::for_graph(64, 64, 0.9));
+  const auto balls = collect_balls(cluster, g, 3);
+  EXPECT_EQ(balls.size(), 64u);
+  for (const Ball& b : balls) {
+    EXPECT_EQ(b.graph.n(), 7u);  // radius-3 ball on a cycle
+  }
+  EXPECT_GE(cluster.rounds(), ball_collection_rounds(3));
+}
+
+TEST(Exponentiation, ThrowsWhenBallExceedsSpace) {
+  // A star's radius-1 ball at the center is the whole graph; with tiny
+  // local space the collection must fail — the exact constraint that keeps
+  // these algorithms in the low-degree regime.
+  const LegalGraph g = LegalGraph::with_identity(star_graph(200));
+  MpcConfig cfg = MpcConfig::for_graph(200, 199, 0.3);
+  Cluster cluster(cfg);
+  EXPECT_THROW(collect_balls(cluster, g, 2), SpaceLimitError);
+}
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,105 @@
+// The cost-model ground truth: the native sharded implementation must
+// agree with the semantic one AND with plain BFS, while every word of its
+// traffic flows through the engine's accounting.
+#include <gtest/gtest.h>
+
+#include "algorithms/connectivity.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "mpc/native_connectivity.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+void expect_matches_components(const LegalGraph& g,
+                               const std::vector<Node>& labels) {
+  const Components truth = connected_components(g.graph());
+  for (Node u = 0; u < g.n(); ++u) {
+    for (Node v = u + 1; v < g.n(); ++v) {
+      EXPECT_EQ(truth.comp[u] == truth.comp[v], labels[u] == labels[v])
+          << "nodes " << u << "," << v;
+    }
+  }
+}
+
+TEST(Native, MatchesBfsOnForests) {
+  const LegalGraph g = identity(random_forest(80, 6, Prf(1)));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const NativeConnectivityResult r =
+      native_min_label_propagation(cluster, g, 500);
+  EXPECT_TRUE(r.converged);
+  expect_matches_components(g, r.labels);
+}
+
+TEST(Native, MatchesBfsOnDenseGraphs) {
+  // Denser graphs need space for each vertex's adjacency (2 + deg words):
+  // phi = 0.7 gives S = 19 >= 2 + Delta here.
+  const LegalGraph g = identity(random_graph(64, 0.1, Prf(2)));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.7));
+  const NativeConnectivityResult r =
+      native_min_label_propagation(cluster, g, 500);
+  EXPECT_TRUE(r.converged);
+  expect_matches_components(g, r.labels);
+}
+
+TEST(Native, AgreesWithSemanticHashToMin) {
+  const LegalGraph g = identity(grid_graph(6, 10));
+  Cluster c1(MpcConfig::for_graph(g.n(), g.graph().m()));
+  Cluster c2(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const NativeConnectivityResult native =
+      native_min_label_propagation(c1, g, 500);
+  const ConnectivityResult semantic = hash_to_min_components(c2, g, 500);
+  ASSERT_TRUE(native.converged);
+  ASSERT_TRUE(semantic.converged);
+  EXPECT_EQ(native.labels, semantic.labels);  // both converge to min ids
+}
+
+TEST(Native, ActuallyMovesWords) {
+  const LegalGraph g = identity(grid_graph(8, 8));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const NativeConnectivityResult r =
+      native_min_label_propagation(cluster, g, 500);
+  EXPECT_GT(r.words_moved, 0u);
+  EXPECT_GT(r.rounds, r.iterations);  // exchanges + convergence trees
+}
+
+TEST(Native, IterationsTrackDiameter) {
+  // Min-label propagation (no shortcut) needs ~eccentricity-of-min-node
+  // iterations: a path is the worst case, a balanced binary tree (same n,
+  // same max storage) converges exponentially faster.
+  const LegalGraph tree = identity(balanced_binary_tree(64));
+  Cluster c1(MpcConfig::for_graph(64, 63));
+  const auto fast = native_min_label_propagation(c1, tree, 500);
+  EXPECT_LE(fast.iterations, 14u);  // ~2*log2(n)
+
+  const LegalGraph path = identity(path_graph(64));
+  Cluster c2(MpcConfig::for_graph(64, 63));
+  const auto slow = native_min_label_propagation(c2, path, 500);
+  EXPECT_GE(slow.iterations, 60u);
+}
+
+TEST(Native, PacingHandlesTinySpace) {
+  // With S tiny (8 words; per-round budget 4), each vertex's two 3-word
+  // label pushes cannot ship in one round: the flow control must split
+  // them over rounds and still deliver everything.
+  const LegalGraph g = identity(cycle_graph(48));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.35));
+  const NativeConnectivityResult r =
+      native_min_label_propagation(cluster, g, 500);
+  EXPECT_TRUE(r.converged);
+  expect_matches_components(g, r.labels);
+}
+
+TEST(Native, IsolatedNodesKeepOwnLabel) {
+  const LegalGraph g = identity(Graph(6));
+  Cluster cluster(MpcConfig::for_graph(6, 0));
+  const auto r = native_min_label_propagation(cluster, g, 10);
+  EXPECT_TRUE(r.converged);
+  for (Node v = 0; v < 6; ++v) EXPECT_EQ(r.labels[v], v);
+}
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "problems/problems.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+TEST(Mis, AcceptsValidMis) {
+  // Path 0-1-2-3: {0,2} is an MIS; so is {1,3}.
+  const LegalGraph g = identity(path_graph(4));
+  const MisProblem mis;
+  EXPECT_TRUE(mis.valid(g, std::vector<Label>{1, 0, 1, 0}));
+  EXPECT_TRUE(mis.valid(g, std::vector<Label>{0, 1, 0, 1}));
+}
+
+TEST(Mis, RejectsDependentSet) {
+  const LegalGraph g = identity(path_graph(4));
+  const MisProblem mis;
+  EXPECT_FALSE(mis.valid(g, std::vector<Label>{1, 1, 0, 0}));
+}
+
+TEST(Mis, RejectsNonMaximal) {
+  const LegalGraph g = identity(path_graph(4));
+  const MisProblem mis;
+  EXPECT_FALSE(mis.valid(g, std::vector<Label>{1, 0, 0, 0}));  // 3 addable
+  EXPECT_FALSE(mis.valid(g, std::vector<Label>{0, 0, 0, 0}));
+}
+
+TEST(Mis, IsolatedNodesMustJoin) {
+  const LegalGraph g = identity(add_isolated(path_graph(2), 1));
+  const MisProblem mis;
+  EXPECT_TRUE(mis.valid(g, std::vector<Label>{1, 0, 1}));
+  EXPECT_FALSE(mis.valid(g, std::vector<Label>{1, 0, 0}));
+}
+
+TEST(Mis, RadiusIsOne) {
+  const MisProblem mis;
+  EXPECT_EQ(mis.radius(), 1u);
+}
+
+TEST(LargeIs, ValidWhenBigEnoughAndIndependent) {
+  // Star on 9 nodes, Delta = 8: threshold c*n/Delta = 0.5*9/8 < 2; the 8
+  // leaves form an IS of size 8 >> threshold; the center alone has size 1.
+  const LegalGraph g = identity(star_graph(9));
+  const LargeIsProblem problem(0.5);
+  std::vector<Label> leaves(9, 1);
+  leaves[0] = 0;
+  EXPECT_TRUE(problem.valid(g, leaves));
+
+  std::vector<Label> center(9, 0);
+  center[0] = 1;
+  EXPECT_TRUE(problem.valid(g, center));  // 1 >= 0.5625
+
+  std::vector<Label> empty(9, 0);
+  EXPECT_FALSE(problem.valid(g, empty));
+}
+
+TEST(LargeIs, RejectsDependence) {
+  const LegalGraph g = identity(path_graph(4));
+  const LargeIsProblem problem(0.1);
+  EXPECT_FALSE(problem.valid(g, std::vector<Label>{1, 1, 1, 1}));
+}
+
+TEST(LargeIs, ThresholdScalesWithDelta) {
+  const LegalGraph path = identity(path_graph(8));   // Delta 2
+  const LegalGraph star = identity(star_graph(8));   // Delta 7
+  const LargeIsProblem problem(1.0);
+  EXPECT_DOUBLE_EQ(problem.threshold(path), 8.0 / 2.0);
+  EXPECT_DOUBLE_EQ(problem.threshold(star), 8.0 / 7.0);
+}
+
+TEST(Coloring, AcceptsProperRejectsImproper) {
+  const LegalGraph g = identity(cycle_graph(4));
+  const VertexColoringProblem coloring(2);
+  EXPECT_TRUE(coloring.valid(g, std::vector<Label>{0, 1, 0, 1}));
+  EXPECT_FALSE(coloring.valid(g, std::vector<Label>{0, 0, 1, 1}));
+}
+
+TEST(Coloring, RejectsOutOfPalette) {
+  const LegalGraph g = identity(path_graph(2));
+  const VertexColoringProblem coloring(2);
+  EXPECT_FALSE(coloring.valid(g, std::vector<Label>{0, 5}));
+  EXPECT_FALSE(coloring.valid(g, std::vector<Label>{-3, 0}));
+}
+
+TEST(ConsecutivePath, GroundTruth) {
+  EXPECT_TRUE(ConsecutivePathProblem::is_consecutive_path(
+      identity(path_graph(5))));
+  EXPECT_FALSE(ConsecutivePathProblem::is_consecutive_path(
+      identity(cycle_graph(5))));
+  EXPECT_FALSE(ConsecutivePathProblem::is_consecutive_path(
+      identity(two_cycles_graph(6))));
+  // Path with a shuffled interior ID is not consecutive.
+  std::vector<NodeId> ids{0, 2, 1, 3};
+  std::vector<NodeName> names{0, 1, 2, 3};
+  EXPECT_FALSE(ConsecutivePathProblem::is_consecutive_path(
+      LegalGraph::make(path_graph(4), ids, names)));
+}
+
+TEST(ConsecutivePath, ValidityRequiresUnanimousCorrectAnswer) {
+  const ConsecutivePathProblem problem;
+  const LegalGraph yes = identity(path_graph(4));
+  EXPECT_TRUE(problem.valid(yes, std::vector<Label>{1, 1, 1, 1}));
+  EXPECT_FALSE(problem.valid(yes, std::vector<Label>{1, 1, 0, 1}));
+  const LegalGraph no = identity(cycle_graph(4));
+  EXPECT_TRUE(problem.valid(no, std::vector<Label>{0, 0, 0, 0}));
+  EXPECT_FALSE(problem.valid(no, std::vector<Label>{1, 1, 1, 1}));
+}
+
+TEST(Matching, Checkers) {
+  const Graph g = path_graph(4);  // edges (0,1),(1,2),(2,3)
+  EXPECT_TRUE(is_matching(g, std::vector<Label>{1, 0, 1}));
+  EXPECT_FALSE(is_matching(g, std::vector<Label>{1, 1, 0}));
+  EXPECT_TRUE(is_maximal_matching(g, std::vector<Label>{1, 0, 1}));
+  EXPECT_TRUE(is_maximal_matching(g, std::vector<Label>{0, 1, 0}));
+  EXPECT_FALSE(is_maximal_matching(g, std::vector<Label>{1, 0, 0}));
+  EXPECT_FALSE(is_maximal_matching(g, std::vector<Label>{0, 0, 0}));
+}
+
+TEST(EdgeColoring, Checkers) {
+  const Graph g = star_graph(4);  // 3 edges sharing the center
+  EXPECT_TRUE(is_edge_coloring(g, std::vector<Label>{0, 1, 2}, 3));
+  EXPECT_FALSE(is_edge_coloring(g, std::vector<Label>{0, 0, 1}, 3));
+  EXPECT_FALSE(is_edge_coloring(g, std::vector<Label>{0, 1, 3}, 3));
+  // A path's two end edges may share a color.
+  const Graph p = path_graph(4);
+  EXPECT_TRUE(is_edge_coloring(p, std::vector<Label>{0, 1, 0}, 2));
+}
+
+TEST(Sinkless, OrientationCheckers) {
+  // Triangle: edges (0,1),(0,2),(1,2). Orient cyclically: 0->1, 2->0,
+  // 1->2 (labels: 1, 0, 1) — every node has an out-edge.
+  const Graph g = cycle_graph(3);
+  const std::vector<Label> cyclic{1, 0, 1};
+  EXPECT_TRUE(is_sinkless_orientation(g, cyclic));
+  // All edges toward node 2: labels for (0,1): any; (0,2): 1 means 0->2;
+  // (1,2): 1 means 1->2. Then node 2 is a sink.
+  const std::vector<Label> sinky{1, 1, 1};
+  const auto sinks = sinks_of_orientation(g, sinky);
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sinks[0], 2u);
+  EXPECT_FALSE(is_sinkless_orientation(g, sinky));
+}
+
+TEST(Problems, LabelArityEnforced) {
+  const LegalGraph g = identity(path_graph(4));
+  const MisProblem mis;
+  EXPECT_THROW(mis.valid(g, std::vector<Label>{1, 0}), PreconditionError);
+}
+
+// Parameterized sweep: r-radius validity of MIS agrees with a direct global
+// check on random graphs (cross-validation of the RRadiusCheckable path).
+class MisCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(MisCrossCheck, BallCheckMatchesDirectCheck) {
+  const Prf prf(GetParam());
+  const LegalGraph g =
+      identity(random_graph(24, 0.15, prf));
+  const MisProblem mis;
+  // Candidate labeling: greedy MIS — must validate.
+  std::vector<Label> labels(g.n(), 0);
+  for (Node v = 0; v < g.n(); ++v) {
+    bool blocked = false;
+    for (Node w : g.graph().neighbors(v)) {
+      if (labels[w] == 1) blocked = true;
+    }
+    labels[v] = blocked ? 0 : 1;
+  }
+  EXPECT_TRUE(mis.valid(g, labels));
+  // Break it: flip one IN node to OUT — either non-maximal or still fine
+  // only if a neighbor is IN (impossible for an IS) => must turn invalid.
+  for (Node v = 0; v < g.n(); ++v) {
+    if (labels[v] == 1) {
+      labels[v] = 0;
+      EXPECT_FALSE(mis.valid(g, labels));
+      labels[v] = 1;
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MisCrossCheck,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace mpcstab

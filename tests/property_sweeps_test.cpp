@@ -1,0 +1,140 @@
+// Cross-cutting property sweeps: every algorithm x topology x seed
+// combination must produce checker-valid output; derandomized algorithms
+// must be bit-stable across runs; the semantic connectivity must agree
+// with BFS everywhere. These are the wide nets behind the targeted suites.
+#include <gtest/gtest.h>
+
+#include "algorithms/coloring.h"
+#include "algorithms/connectivity.h"
+#include "algorithms/large_is.h"
+#include "algorithms/luby.h"
+#include "algorithms/matching.h"
+#include "algorithms/vertex_cover.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "local/engine.h"
+#include "problems/problems.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+/// The topology zoo shared by the sweeps.
+Graph topology(int kind, std::uint64_t seed) {
+  switch (kind) {
+    case 0: return cycle_graph(48);
+    case 1: return path_graph(48);
+    case 2: return random_tree(48, Prf(seed));
+    case 3: return random_regular_graph(48, 4, Prf(seed));
+    case 4: return grid_graph(6, 8);
+    case 5: return hypercube_graph(5);
+    case 6: return caterpillar_forest(6, 1, 4);
+    default: return random_graph(48, 0.08, Prf(seed));
+  }
+}
+
+struct SweepCase {
+  int kind;
+  std::uint64_t seed;
+};
+
+class AlgorithmSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(AlgorithmSweep, LubyMisValid) {
+  const auto p = GetParam();
+  const LegalGraph g = identity(topology(p.kind, p.seed));
+  SyncNetwork net = SyncNetwork::local(g, Prf(p.seed + 100));
+  EXPECT_TRUE(MisProblem().valid(g, luby_mis(net, 0).labels));
+}
+
+TEST_P(AlgorithmSweep, RandomizedColoringValid) {
+  const auto p = GetParam();
+  const LegalGraph g = identity(topology(p.kind, p.seed));
+  SyncNetwork net = SyncNetwork::local(g, Prf(p.seed + 200));
+  const std::uint64_t palette = g.max_degree() + 1;
+  const ColoringResult r = randomized_coloring(net, palette, 0);
+  EXPECT_TRUE(VertexColoringProblem(palette).valid(g, r.colors));
+}
+
+TEST_P(AlgorithmSweep, MatchingMaximal) {
+  const auto p = GetParam();
+  const LegalGraph g = identity(topology(p.kind, p.seed));
+  const MatchingResult r = maximal_matching_local(g, Prf(p.seed + 300), 0);
+  EXPECT_TRUE(is_maximal_matching(g.graph(), r.edge_labels));
+}
+
+TEST_P(AlgorithmSweep, VertexCoverCovers) {
+  const auto p = GetParam();
+  const LegalGraph g = identity(topology(p.kind, p.seed));
+  const VertexCoverResult r = approx_vertex_cover(g, Prf(p.seed + 400), 0);
+  EXPECT_TRUE(is_vertex_cover(g.graph(), r.labels));
+}
+
+TEST_P(AlgorithmSweep, HashToMinMatchesBfs) {
+  const auto p = GetParam();
+  const LegalGraph g = identity(topology(p.kind, p.seed));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const ConnectivityResult r = hash_to_min_components(cluster, g, 500);
+  ASSERT_TRUE(r.converged);
+  const Components truth = connected_components(g.graph());
+  for (Node u = 0; u < g.n(); ++u) {
+    for (Node v = u + 1; v < g.n(); ++v) {
+      EXPECT_EQ(truth.comp[u] == truth.comp[v], r.labels[u] == r.labels[v]);
+    }
+  }
+}
+
+TEST_P(AlgorithmSweep, DerandomizedIsBitStable) {
+  const auto p = GetParam();
+  const LegalGraph g = identity(topology(p.kind, p.seed));
+  Cluster a(MpcConfig::for_graph(g.n(), g.graph().m()));
+  Cluster b(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const auto ra = derandomized_large_is(a, g, 8, 0.5);
+  const auto rb = derandomized_large_is(b, g, 8, 0.5);
+  EXPECT_EQ(ra.labels, rb.labels);
+  EXPECT_TRUE(LargeIsProblem::independent(g, ra.labels));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologyZoo, AlgorithmSweep,
+    ::testing::Values(SweepCase{0, 1}, SweepCase{1, 2}, SweepCase{2, 3},
+                      SweepCase{2, 4}, SweepCase{3, 5}, SweepCase{3, 6},
+                      SweepCase{4, 7}, SweepCase{5, 8}, SweepCase{6, 9},
+                      SweepCase{7, 10}, SweepCase{7, 11}));
+
+// Accounting invariants over the phi spectrum.
+class AccountingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AccountingSweep, WordsConservedAndRoundsMonotone) {
+  const double phi = GetParam();
+  const LegalGraph g = identity(cycle_graph(64));
+  Cluster cluster(MpcConfig::for_graph(64, 64, phi));
+  const std::uint64_t r0 = cluster.rounds();
+  const std::uint64_t w0 = cluster.words_moved();
+
+  std::vector<std::vector<MpcMessage>> out(cluster.machines());
+  out[0].push_back({static_cast<std::uint32_t>(cluster.machines() - 1),
+                    {1, 2}});
+  const auto in = cluster.exchange(std::move(out));
+  EXPECT_EQ(cluster.rounds(), r0 + 1);
+  EXPECT_EQ(cluster.words_moved(), w0 + 3);
+  std::uint64_t received_words = 0;
+  for (const auto& inbox : in) {
+    for (const auto& msg : inbox) received_words += msg.payload.size() + 1;
+  }
+  EXPECT_EQ(received_words, 3u);  // conservation: all sent words arrive
+}
+
+TEST_P(AccountingSweep, TreeRoundsBounded) {
+  const double phi = GetParam();
+  Cluster cluster(MpcConfig::for_graph(4096, 4096, phi));
+  EXPECT_GE(cluster.tree_rounds(), 1u);
+  EXPECT_LE(cluster.tree_rounds(), 16u);  // O(1/phi)
+}
+
+INSTANTIATE_TEST_SUITE_P(PhiSpectrum, AccountingSweep,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,129 @@
+// Tests of Definition 9 and Lemmas 10-12: r-radius-checkable problems are
+// 0-replicable, large-IS and approximate matching are 2-replicable, and the
+// Section 2.1 consecutive-path counterexample is NOT replicable — the exact
+// boundary the revised lifting framework draws.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "problems/replicability.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+TEST(Replicability, TrialEvaluatesBothSides) {
+  const LegalGraph g = identity(path_graph(4));
+  const MisProblem mis;
+  const std::vector<Label> good{1, 0, 1, 0};
+  const auto trial = replicability_trial(mis, g, good, kLabelIn, 1, 2);
+  EXPECT_TRUE(trial.g_valid);
+  EXPECT_TRUE(trial.gamma_valid);
+  EXPECT_TRUE(trial.consistent());
+}
+
+TEST(Replicability, MisIsZeroReplicable_Lemma10) {
+  // Lemma 10: every r-radius-checkable problem is 0-replicable. Verify
+  // exhaustively over all binary labelings on several small graphs.
+  const MisProblem mis;
+  for (const Graph& topo :
+       {path_graph(4), cycle_graph(5), star_graph(5),
+        two_cycles_graph(6)}) {
+    EXPECT_TRUE(replicable_over_binary_labelings(mis, identity(topo), 0));
+  }
+}
+
+TEST(Replicability, ColoringIsZeroReplicable_Lemma10) {
+  const VertexColoringProblem coloring(3);
+  // Ternary labels exceed the binary search helper; check by hand: any
+  // valid uniform labeling of Gamma restricts to a valid coloring of G
+  // because coloring is per-edge. Spot-check trials.
+  const LegalGraph g = identity(cycle_graph(4));
+  const std::vector<Label> proper{0, 1, 0, 1};
+  const std::vector<Label> improper{0, 0, 1, 1};
+  EXPECT_TRUE(
+      replicability_trial(coloring, g, proper, 0, 0, 3).consistent());
+  const auto bad = replicability_trial(coloring, g, improper, 0, 0, 3);
+  EXPECT_FALSE(bad.gamma_valid);  // improper inside every copy
+  EXPECT_TRUE(bad.consistent());
+}
+
+TEST(Replicability, LargeIsTwoReplicable_Lemma11) {
+  // Lemma 11's statement, tested exhaustively on small graphs with R=2.
+  const LargeIsProblem problem(0.5);
+  for (const Graph& topo : {path_graph(4), star_graph(5), cycle_graph(6)}) {
+    EXPECT_TRUE(
+        replicable_over_binary_labelings(problem, identity(topo), 2));
+  }
+}
+
+TEST(Replicability, LargeIsWithFewCopiesCanFail) {
+  // The R in Definition 9 matters: with R=0 (a single copy) and many
+  // isolated nodes, Gamma's threshold can be met by the isolated nodes
+  // alone while the per-copy labeling is too small for G. This is exactly
+  // why Lemma 11 needs R=2.
+  const LargeIsProblem problem(1.0);
+  const LegalGraph g = identity(cycle_graph(6));  // threshold 3 on G
+  const std::vector<Label> empty(6, 0);           // invalid on G (size 0)
+  // Gamma with 1 copy + 5 isolated (labeled IN): size 5, n=11, Delta=2,
+  // threshold 5.5 -> still invalid; labeled with ell=IN on isolated.
+  const auto trial = replicability_trial(problem, g, empty, kLabelIn, 0, 5);
+  EXPECT_FALSE(trial.g_valid);
+  // Whether gamma_valid holds depends on the arithmetic; consistency is
+  // what Definition 9 demands and what we assert the FULL R=2 version has:
+  EXPECT_TRUE(replicable_over_binary_labelings(problem, g, 2));
+}
+
+TEST(Replicability, ApproxMatchingViaLineGraph_Lemma12) {
+  // Lemma 12: Omega(1)-approximate matching = large-IS on the line graph.
+  // We test 2-replicability of the IS-size problem on line graphs.
+  const LargeIsProblem problem(0.5);
+  for (const Graph& topo : {path_graph(5), cycle_graph(6)}) {
+    const LegalLineGraph line = legal_line_graph(identity(topo));
+    EXPECT_TRUE(
+        replicable_over_binary_labelings(problem, line.graph, 2));
+  }
+}
+
+TEST(Replicability, ConsecutivePathCounterexampleIsNotReplicable) {
+  // The Section 2.1 problem: valid output depends on n globally. In
+  // Gamma_G (many copies of the path), the correct answer flips from YES
+  // to NO, so a labeling valid on Gamma (all NO) is invalid on G (should
+  // be all YES): the implication of Definition 9 fails.
+  const ConsecutivePathProblem problem;
+  const LegalGraph g = identity(path_graph(4));  // consecutive-ID path
+  const std::vector<Label> all_no(4, kLabelOut);
+  const auto trial =
+      replicability_trial(problem, g, all_no, kLabelOut, 2, 1);
+  EXPECT_TRUE(trial.gamma_valid);   // Gamma is not a single path: NO is right
+  EXPECT_FALSE(trial.g_valid);      // but G alone is a path: NO is wrong
+  EXPECT_FALSE(trial.consistent()); // replicability violated
+}
+
+TEST(Replicability, MonotoneInR) {
+  // If the implication holds at R it holds at R+1 (more copies only):
+  // verified empirically for MIS.
+  const MisProblem mis;
+  const LegalGraph g = identity(path_graph(3));
+  for (unsigned r : {0u, 1u, 2u}) {
+    EXPECT_TRUE(replicable_over_binary_labelings(mis, g, r));
+  }
+}
+
+TEST(Replicability, GuardsInvalidArguments) {
+  const MisProblem mis;
+  const LegalGraph tiny = identity(path_graph(2));
+  const std::vector<Label> labels{1, 0};
+  EXPECT_THROW(
+      replicability_trial(mis, tiny, labels, kLabelOut, 0, /*isolated=*/5),
+      PreconditionError);  // isolated must be < |V|
+  const LegalGraph single = identity(Graph(1));
+  const std::vector<Label> one{1};
+  EXPECT_THROW(replicability_trial(mis, single, one, kLabelOut, 0, 0),
+               PreconditionError);  // Definition 9 needs |V| >= 2
+}
+
+}  // namespace
+}  // namespace mpcstab

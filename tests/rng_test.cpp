@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "rng/kwise.h"
+#include "rng/prf.h"
+#include "rng/prg.h"
+#include "rng/splitmix.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+TEST(SplitMix, DeterministicAndSeedSensitive) {
+  SplitMix a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  SplitMix a2(42);
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(SplitMix, NextBelowInRange) {
+  SplitMix rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(SplitMix, UnitInHalfOpenInterval) {
+  SplitMix rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prf, SameSeedSameStreamSameWord) {
+  const Prf a(123), b(123);
+  EXPECT_EQ(a.word(5, 9), b.word(5, 9));
+}
+
+TEST(Prf, StreamsAreSeparated) {
+  const Prf prf(123);
+  EXPECT_NE(prf.word(1, 0), prf.word(2, 0));
+  EXPECT_NE(prf.word(1, 0), prf.word(1, 1));
+}
+
+TEST(Prf, DeriveGivesIndependentSubPrfs) {
+  const Prf prf(1);
+  const Prf d0 = prf.derive(0);
+  const Prf d1 = prf.derive(1);
+  EXPECT_NE(d0.word(0, 0), d1.word(0, 0));
+  // Deriving is deterministic.
+  EXPECT_EQ(prf.derive(0).word(3, 4), d0.word(3, 4));
+}
+
+TEST(Prf, BitBalance) {
+  const Prf prf(77);
+  int ones = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    ones += prf.bit(0, i) ? 1 : 0;
+  }
+  // 5-sigma band around 1/2.
+  const double p = static_cast<double>(ones) / samples;
+  EXPECT_NEAR(p, 0.5, 5.0 * 0.5 / std::sqrt(samples));
+}
+
+TEST(KWise, SeedConstructionDeterministic) {
+  const KWiseHash a = KWiseHash::from_seed(4, 99, 16);
+  const KWiseHash b = KWiseHash::from_seed(4, 99, 16);
+  EXPECT_EQ(a.eval(12345), b.eval(12345));
+  const KWiseHash c = KWiseHash::from_seed(4, 100, 16);
+  EXPECT_NE(a.eval(12345), c.eval(12345));
+}
+
+TEST(KWise, ValuesInField) {
+  const KWiseHash h = KWiseHash::from_seed(3, 5, 8);
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    EXPECT_LT(h.eval(x), kHashPrime);
+    const double u = h.eval_unit(x);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_LT(h.eval_below(x, 10), 10u);
+  }
+}
+
+TEST(KWise, DegreeOnePolynomialIsConstant) {
+  const KWiseHash h({123456789});
+  EXPECT_EQ(h.eval(0), h.eval(999));
+}
+
+TEST(KWise, ExplicitCoefficientsMatchHornerByHand) {
+  // p(x) = 3 + 5x + 7x^2 over GF(2^61-1).
+  const KWiseHash h({3, 5, 7});
+  EXPECT_EQ(h.eval(0), 3u);
+  EXPECT_EQ(h.eval(1), 15u);
+  EXPECT_EQ(h.eval(2), 3u + 10u + 28u);
+}
+
+// Pairwise independence of the full random family: empirical joint
+// distribution of (bit(x1), bit(x2)) over random members is near uniform.
+TEST(KWise, PairwiseBitIndependenceEmpirical) {
+  const int trials = 4000;
+  int counts[2][2] = {{0, 0}, {0, 0}};
+  SplitMix rng(2024);
+  for (int trial = 0; trial < trials; ++trial) {
+    const KWiseHash h({rng.next(), rng.next()});
+    counts[h.eval_bit(17) ? 1 : 0][h.eval_bit(91) ? 1 : 0]++;
+  }
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const double p = static_cast<double>(counts[a][b]) / trials;
+      EXPECT_NEAR(p, 0.25, 5.0 * std::sqrt(0.25 * 0.75 / trials));
+    }
+  }
+}
+
+// k-wise independence sanity: for degree-2 polynomials (3-wise), triples of
+// outputs at distinct points over random members behave uniformly (spot
+// check of marginals).
+TEST(KWise, ThreeWiseMarginalUniformity) {
+  const int trials = 3000;
+  const std::uint64_t bound = 8;
+  std::vector<int> histogram(bound, 0);
+  SplitMix rng(7);
+  for (int trial = 0; trial < trials; ++trial) {
+    const KWiseHash h({rng.next(), rng.next(), rng.next()});
+    histogram[h.eval_below(3, bound)]++;
+  }
+  for (std::uint64_t b = 0; b < bound; ++b) {
+    const double p = static_cast<double>(histogram[b]) / trials;
+    EXPECT_NEAR(p, 1.0 / bound, 5.0 * std::sqrt(0.125 * 0.875 / trials));
+  }
+}
+
+TEST(Pairwise, MatchesAffineForm) {
+  const PairwiseHash h(2, 3);
+  // h(x) = 2x + 3 mod (2^61-1).
+  EXPECT_EQ(h.eval(0), 3u);
+  EXPECT_EQ(h.eval(10), 23u);
+}
+
+TEST(Pairwise, SeededDeterministic) {
+  const PairwiseHash a = PairwiseHash::from_seed(5, 12);
+  const PairwiseHash b = PairwiseHash::from_seed(5, 12);
+  EXPECT_EQ(a.eval(100), b.eval(100));
+}
+
+TEST(Prg, RejectsBadParameters) {
+  EXPECT_THROW(Prg(0, 10), PreconditionError);
+  EXPECT_THROW(Prg(40, 10), PreconditionError);
+  EXPECT_THROW(Prg(8, 0), PreconditionError);
+}
+
+TEST(Prg, ExpandLengthAndDeterminism) {
+  const Prg prg(8, 130);
+  const auto a = prg.expand(3);
+  const auto b = prg.expand(3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 3u);  // ceil(130/64)
+  // Tail masked beyond 130 bits.
+  EXPECT_EQ(a[2] >> 2, 0u);
+  EXPECT_NE(prg.expand(4), a);
+}
+
+TEST(Prg, BitMatchesExpand) {
+  const Prg prg(6, 200);
+  const auto words = prg.expand(9);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(prg.bit(9, i), ((words[i >> 6] >> (i & 63)) & 1) != 0);
+  }
+}
+
+TEST(Prg, SurvivesDistinguisherBattery) {
+  // The substitution contract from DESIGN.md: the PRG must fool the cheap
+  // statistical battery standing in for the paper's all-small-circuits
+  // quantifier.
+  const Prg prg(10, 4096);
+  const DistinguisherReport report = run_distinguishers(prg, 0xFEEDu);
+  EXPECT_LT(report.max_advantage, 0.02)
+      << "distinguisher " << report.worst << " separates the PRG";
+}
+
+TEST(Prg, SeedOutOfRangeRejected) {
+  const Prg prg(4, 64);
+  EXPECT_THROW(prg.word(16, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/ruling_set.h"
+#include "graph/generators.h"
+#include "problems/problems.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+TEST(RulingSet, KOneIsAnMis) {
+  const LegalGraph g = identity(random_graph(48, 0.1, Prf(1)));
+  const RulingSetResult r = ruling_set(g, 1, Prf(2), 0);
+  EXPECT_EQ(r.alpha, 2u);
+  EXPECT_EQ(r.beta, 1u);
+  EXPECT_TRUE(MisProblem().valid(g, r.labels));
+  EXPECT_TRUE(is_ruling_set(g, r.labels, 2, 1));
+}
+
+TEST(RulingSet, PropertiesHoldForLargerK) {
+  for (std::uint32_t k : {2u, 3u, 4u}) {
+    const LegalGraph g = identity(cycle_graph(60));
+    const RulingSetResult r = ruling_set(g, k, Prf(k), 0);
+    EXPECT_EQ(r.alpha, k + 1);
+    EXPECT_EQ(r.beta, k);
+    EXPECT_TRUE(is_ruling_set(g, r.labels, k + 1, k)) << "k = " << k;
+  }
+}
+
+TEST(RulingSet, RoundsScaleWithK) {
+  const LegalGraph g = identity(cycle_graph(128));
+  const RulingSetResult r1 = ruling_set(g, 1, Prf(5), 0);
+  const RulingSetResult r3 = ruling_set(g, 3, Prf(5), 0);
+  // Power-graph rounds are multiplied by k; with fewer iterations on the
+  // denser power graph the totals are comparable but r3 pays the factor.
+  EXPECT_GT(r3.rounds, 0u);
+  EXPECT_EQ(r3.rounds % 3, 0u);
+  EXPECT_GT(r1.rounds, 0u);
+}
+
+TEST(RulingSet, LargerKGivesSparserSets) {
+  const LegalGraph g = identity(cycle_graph(120));
+  std::uint64_t prev = 121;
+  for (std::uint32_t k : {1u, 2u, 4u}) {
+    const RulingSetResult r = ruling_set(g, k, Prf(9), 0);
+    std::uint64_t size = 0;
+    for (Label l : r.labels) size += (l == kLabelIn) ? 1 : 0;
+    EXPECT_LT(size, prev) << "k = " << k;
+    prev = size;
+  }
+}
+
+TEST(RulingSet, CheckerRejectsViolations) {
+  const LegalGraph g = identity(path_graph(6));
+  // Adjacent members violate alpha=2.
+  std::vector<Label> bad{1, 1, 0, 0, 0, 1};
+  EXPECT_FALSE(is_ruling_set(g, bad, 2, 2));
+  // No member within beta=1 of node 3.
+  std::vector<Label> undominated{1, 0, 0, 0, 0, 1};
+  EXPECT_FALSE(is_ruling_set(g, undominated, 2, 1));
+  EXPECT_TRUE(is_ruling_set(g, undominated, 2, 2));
+}
+
+TEST(RulingSet, WorksOnForests) {
+  const LegalGraph g = identity(random_forest(80, 5, Prf(11)));
+  const RulingSetResult r = ruling_set(g, 2, Prf(12), 0);
+  EXPECT_TRUE(is_ruling_set(g, r.labels, 3, 2));
+}
+
+TEST(RulingSet, RejectsZeroK) {
+  const LegalGraph g = identity(path_graph(4));
+  EXPECT_THROW(ruling_set(g, 0, Prf(1), 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mpcstab

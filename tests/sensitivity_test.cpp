@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+std::vector<std::uint64_t> seeds(int k) {
+  std::vector<std::uint64_t> s(k);
+  for (int i = 0; i < k; ++i) s[i] = 100 + i;
+  return s;
+}
+
+TEST(SensitivePair, PathMarkerPairIsRadiusIdentical) {
+  const SensitivePair pair = path_marker_pair(8, 4, 999);
+  EXPECT_TRUE(verify_radius_identical(pair));
+  // And NOT identical at a radius reaching the difference.
+  SensitivePair deeper = pair;
+  deeper.radius = 7;
+  EXPECT_FALSE(verify_radius_identical(deeper));
+}
+
+TEST(SensitivePair, GeometryGuards) {
+  EXPECT_THROW(path_marker_pair(4, 3, 999), PreconditionError);
+  EXPECT_THROW(path_marker_pair(1, 0, 999), PreconditionError);
+}
+
+TEST(Sensitivity, MarkerAlgorithmIsFullySensitive) {
+  // Definition 24 with eps = 1: the marker algorithm distinguishes the
+  // pair on every seed (it is deterministic and farsighted).
+  const SensitivePair pair = path_marker_pair(8, 4, 999);
+  const MarkerAlgorithm alg({999});
+  const double eps =
+      measure_sensitivity(alg, pair, 100, 2, seeds(16));
+  EXPECT_DOUBLE_EQ(eps, 1.0);
+}
+
+TEST(Sensitivity, MarkerBlindToOtherIdsIsInsensitive) {
+  const SensitivePair pair = path_marker_pair(8, 4, 999);
+  const MarkerAlgorithm alg({123456});  // marker not present in either
+  const double eps =
+      measure_sensitivity(alg, pair, 100, 2, seeds(16));
+  EXPECT_DOUBLE_EQ(eps, 0.0);
+}
+
+TEST(Sensitivity, LubyStepSensitiveToFarIds) {
+  // The randomized one-round IS draws chi from IDs: changing far-away IDs
+  // changes far nodes' chi and can cascade; at the center (distance > 1
+  // from the difference) the output actually CANNOT change — the step is
+  // 1-local. Sensitivity at the center must be 0 for radius >= 2.
+  const SensitivePair pair = path_marker_pair(8, 4, 999);
+  const StableLubyStepIs alg;
+  const double eps = measure_sensitivity(alg, pair, 100, 2, seeds(32));
+  EXPECT_DOUBLE_EQ(eps, 0.0);
+}
+
+TEST(Sensitivity, SearchFindsPairForMarkerAlgorithm) {
+  // Brute-force pair search (footnote 11): the marker algorithm keyed to
+  // an ID that appears in some family members but not others must be
+  // caught as sensitive.
+  const MarkerAlgorithm alg({4 + 2 * 8});  // tail ID of family variant 2
+  const auto found = find_sensitive_pair_on_paths(
+      alg, /*length=*/8, /*radius=*/3, /*n_param=*/100, /*delta=*/2,
+      seeds(8), /*min_fraction=*/0.99, /*id_variants=*/4);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(verify_radius_identical(*found));
+  EXPECT_GE(measure_sensitivity(alg, *found, 100, 2, seeds(8)), 0.99);
+}
+
+TEST(Sensitivity, SearchReturnsNulloptForLocalAlgorithm) {
+  // A 1-local algorithm cannot be sensitive at radius 3 on paths.
+  const StableLubyStepIs alg;
+  const auto found = find_sensitive_pair_on_paths(
+      alg, 8, 3, 100, 2, seeds(8), 0.01, 4);
+  EXPECT_FALSE(found.has_value());
+}
+
+}  // namespace
+}  // namespace mpcstab

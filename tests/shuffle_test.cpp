@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mpc/shuffle.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+Cluster small_cluster(std::uint64_t machines, std::uint64_t space) {
+  MpcConfig cfg;
+  cfg.n = machines * space;
+  cfg.local_space = space;
+  cfg.machines = machines;
+  return Cluster(cfg);
+}
+
+TEST(Shuffle, RouteDeliversEveryItemToKeyOwner) {
+  Cluster cluster = small_cluster(8, 64);
+  std::vector<std::vector<KeyedItem>> shards(8);
+  std::uint64_t total = 0;
+  for (std::uint32_t m = 0; m < 8; ++m) {
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      shards[m].push_back(KeyedItem{m * 100 + i, m});
+      ++total;
+    }
+  }
+  const auto routed = route_by_key(cluster, shards);
+  std::uint64_t received = 0;
+  for (std::uint32_t m = 0; m < 8; ++m) {
+    received += routed[m].size();
+    // All copies of one key land on one machine: keys on machine m must
+    // not appear anywhere else.
+    for (const KeyedItem& item : routed[m]) {
+      for (std::uint32_t other = 0; other < 8; ++other) {
+        if (other == m) continue;
+        for (const KeyedItem& o : routed[other]) {
+          EXPECT_NE(item.key, o.key);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(received, total);
+  EXPECT_GT(cluster.rounds(), 0u);
+}
+
+TEST(Shuffle, PacingSplitsLargeSendsOverRounds) {
+  // 64 items from one machine with S=16 words: needs several rounds but
+  // must not throw.
+  Cluster cluster = small_cluster(16, 16);
+  std::vector<std::vector<KeyedItem>> shards(16);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    shards[0].push_back(KeyedItem{i * 7919, i});
+  }
+  const auto routed = route_by_key(cluster, shards);
+  std::uint64_t received = 0;
+  for (const auto& shard : routed) received += shard.size();
+  EXPECT_EQ(received, 64u);
+  EXPECT_GE(cluster.rounds(), 64ull * 3 / 16);
+}
+
+TEST(Shuffle, DistinctCountExact) {
+  Cluster cluster = small_cluster(8, 64);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 100; ++i) keys.push_back(i % 7);
+  EXPECT_EQ(distinct_count(cluster, shard_keys(cluster, keys)), 7u);
+}
+
+TEST(Shuffle, DistinctCountSingleKey) {
+  Cluster cluster = small_cluster(32, 32);
+  std::vector<std::uint64_t> keys(500, 42);
+  EXPECT_EQ(distinct_count(cluster, shard_keys(cluster, keys)), 1u);
+}
+
+TEST(Shuffle, DistinctCountEmpty) {
+  Cluster cluster = small_cluster(4, 16);
+  EXPECT_EQ(distinct_count(cluster, shard_keys(cluster, {})), 0u);
+}
+
+TEST(Shuffle, DistinctCountOverflowsOnHighCardinality) {
+  // Tiny space + many distinct keys: the merge tree must hit the space
+  // wall rather than silently mis-account.
+  Cluster cluster = small_cluster(16, 8);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 400; ++i) keys.push_back(i);
+  EXPECT_THROW(distinct_count(cluster, shard_keys(cluster, keys)),
+               SpaceLimitError);
+}
+
+TEST(Shuffle, ShardKeysRoundRobins) {
+  Cluster cluster = small_cluster(4, 64);
+  std::vector<std::uint64_t> keys{10, 11, 12, 13, 14};
+  const auto shards = shard_keys(cluster, keys);
+  EXPECT_EQ(shards[0].size(), 2u);
+  EXPECT_EQ(shards[1].size(), 1u);
+}
+
+TEST(Shuffle, WrongShardArityRejected) {
+  Cluster cluster = small_cluster(4, 64);
+  std::vector<std::vector<KeyedItem>> wrong(3);
+  EXPECT_THROW(route_by_key(cluster, wrong), PreconditionError);
+  EXPECT_THROW(distinct_count(cluster, std::move(wrong)),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace mpcstab

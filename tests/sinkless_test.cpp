@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/sinkless.h"
+#include "graph/generators.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+TEST(MoserTardos, SolvesRegularGraphs) {
+  for (std::uint32_t d : {4u, 5u, 8u}) {
+    const LegalGraph g = identity(random_regular_graph(120, d, Prf(d)));
+    const SinklessResult r = moser_tardos_sinkless(g, Prf(7), 0, 200);
+    EXPECT_TRUE(r.success) << "d = " << d;
+    EXPECT_TRUE(is_sinkless_orientation(g.graph(), r.edge_labels));
+  }
+}
+
+TEST(MoserTardos, FewRoundsAtHighDegree) {
+  // Sink probability 2^-d: at d=8 the one-shot orientation almost always
+  // needs only a handful of resampling rounds.
+  const LegalGraph g = identity(random_regular_graph(256, 8, Prf(3)));
+  const SinklessResult r = moser_tardos_sinkless(g, Prf(4), 0, 200);
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.rounds, 10u);
+}
+
+TEST(MoserTardos, InitialSinksNearExpectation) {
+  // E[#sinks] = n * 2^-d for d-regular graphs; check the one-shot count on
+  // d=4 (expected n/16).
+  const LegalGraph g = identity(random_regular_graph(1024, 4, Prf(5)));
+  double total = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(
+        moser_tardos_sinkless(g, Prf(100 + t), 0, 0).initial_sinks);
+  }
+  const double avg = total / trials;
+  EXPECT_NEAR(avg, 1024.0 / 16.0, 30.0);
+}
+
+TEST(RepairSinks, FixesAllSinksDeterministically) {
+  const LegalGraph g = identity(random_regular_graph(100, 4, Prf(6)));
+  // Adversarial start: orient every edge toward the larger endpoint; node
+  // n-1 sucks in everything in its neighborhood.
+  const auto edges = g.graph().edges();
+  std::vector<Label> labels(edges.size(), kLabelIn);  // u -> v, u < v
+  // Now every node whose neighbors are all larger is a sink... make sure
+  // some sinks exist, then repair.
+  const auto sinks_before = sinks_of_orientation(g.graph(), labels);
+  const std::uint64_t steps = repair_sinks(g, labels);
+  EXPECT_TRUE(is_sinkless_orientation(g.graph(), labels));
+  EXPECT_GE(steps, sinks_before.size() > 0 ? 1u : 0u);
+}
+
+TEST(RepairSinks, RequiresMinDegreeThree) {
+  const LegalGraph path = identity(path_graph(4));
+  std::vector<Label> labels(3, kLabelIn);
+  EXPECT_THROW(repair_sinks(path, labels), PreconditionError);
+}
+
+TEST(RepairSinks, NoOpWhenAlreadySinkless) {
+  const LegalGraph g = identity(complete_graph(6));
+  // Cyclic-ish orientation by index parity is messy; use MT to get a valid
+  // one, then verify repair does nothing.
+  SinklessResult r = moser_tardos_sinkless(g, Prf(8), 0, 100);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(repair_sinks(g, r.edge_labels), 0u);
+}
+
+TEST(Derandomized, ValidAndDeterministic) {
+  const LegalGraph g = identity(random_regular_graph(96, 4, Prf(9)));
+  const SinklessResult a = derandomized_sinkless(nullptr, g, 10);
+  const SinklessResult b = derandomized_sinkless(nullptr, g, 10);
+  EXPECT_TRUE(a.success);
+  EXPECT_TRUE(is_sinkless_orientation(g.graph(), a.edge_labels));
+  EXPECT_EQ(a.edge_labels, b.edge_labels);
+}
+
+TEST(Derandomized, SeedSelectionBeatsExpectation) {
+  // The argmin seed leaves at most the family-average number of sinks
+  // (n * 2^-d for the fully random family; the small family behaves
+  // similarly — we check a generous 2x bound).
+  const LegalGraph g = identity(random_regular_graph(512, 4, Prf(10)));
+  const SinklessResult r = derandomized_sinkless(nullptr, g, 12);
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.initial_sinks, 2 * 512 / 16);
+}
+
+TEST(Derandomized, ChargesClusterRounds) {
+  const LegalGraph g = identity(random_regular_graph(64, 4, Prf(11)));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const std::uint64_t before = cluster.rounds();
+  derandomized_sinkless(&cluster, g, 8);
+  EXPECT_GT(cluster.rounds(), before);
+}
+
+TEST(Derandomized, RejectsLowMinDegree) {
+  const LegalGraph g = identity(cycle_graph(8));  // min degree 2
+  EXPECT_THROW(derandomized_sinkless(nullptr, g, 8), PreconditionError);
+}
+
+TEST(Derandomized, DRegularSweep) {
+  for (std::uint32_t d : {4u, 6u}) {
+    const LegalGraph g =
+        identity(random_regular_graph(80, d, Prf(20 + d)));
+    const SinklessResult r = derandomized_sinkless(nullptr, g, 10);
+    EXPECT_TRUE(r.success) << "d = " << d;
+  }
+}
+
+}  // namespace
+}  // namespace mpcstab

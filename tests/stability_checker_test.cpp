@@ -1,0 +1,112 @@
+// The empirical counterpart of the paper's central qualitative claim:
+// amplification-based algorithms are component-UNSTABLE (their output on a
+// component shifts when unrelated components change), while per-component
+// algorithms pass both stability probes.
+#include <gtest/gtest.h>
+
+#include "algorithms/large_is.h"
+#include "algorithms/luby.h"
+#include "core/component_stable.h"
+#include "core/stability_checker.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+std::vector<std::uint64_t> seeds() { return {1, 2, 3, 4, 5, 6, 7, 8}; }
+
+TEST(Embed, PreservesComponentPrefixAndLegality) {
+  const LegalGraph comp = identity(cycle_graph(6));
+  const LegalGraph ctx = identity(cycle_graph(8));
+  const LegalGraph host = embed_with_context(comp, ctx, 0);
+  EXPECT_EQ(host.n(), 14u);
+  for (Node v = 0; v < 6; ++v) {
+    EXPECT_EQ(host.id(v), comp.id(v));
+  }
+  // Different salts permute names but not IDs or topology.
+  const LegalGraph renamed = embed_with_context(comp, ctx, 77);
+  EXPECT_EQ(renamed.graph(), host.graph());
+  EXPECT_NE(std::vector<NodeName>(renamed.names().begin(),
+                                  renamed.names().end()),
+            std::vector<NodeName>(host.names().begin(), host.names().end()));
+}
+
+TEST(Checker, RequiresMatchedContexts) {
+  const LegalGraph comp = identity(cycle_graph(4));
+  const LegalGraph a = identity(cycle_graph(6));
+  const LegalGraph wrong_n = identity(cycle_graph(8));
+  const MpcAlgorithm noop = [](Cluster&, const LegalGraph& g,
+                               std::uint64_t) {
+    return std::vector<Label>(g.n(), 0);
+  };
+  EXPECT_THROW(check_stability(noop, comp, a, wrong_n, seeds()),
+               PreconditionError);
+}
+
+TEST(Checker, StableAlgorithmPassesBothProbes) {
+  // A per-component Luby step driven by (seed, ID) is stable by
+  // construction — the checker must agree.
+  const MpcAlgorithm stable = [](Cluster& cluster, const LegalGraph& g,
+                                 std::uint64_t seed) {
+    return run_component_stable(cluster, StableLubyStepIs(), g, seed);
+  };
+  const LegalGraph comp = identity(cycle_graph(8));
+  // Contexts with equal n and Delta: an 8-cycle vs two 4-cycles.
+  const Graph parts[] = {cycle_graph(4), cycle_graph(4)};
+  const LegalGraph ctx_a = identity(cycle_graph(8));
+  const LegalGraph ctx_b = identity(disjoint_union(parts));
+  const StabilityReport report =
+      check_stability(stable, comp, ctx_a, ctx_b, seeds());
+  EXPECT_TRUE(report.stable());
+  EXPECT_EQ(report.name_violations, 0u);
+  EXPECT_EQ(report.context_violations, 0u);
+}
+
+TEST(Checker, AmplifiedAlgorithmFailsContextProbe) {
+  // Theorem 5's unstable upper bound: the winning repetition is chosen by
+  // a global vote over ALL components, so changing the context changes the
+  // winner and with it the probe component's labels.
+  const std::uint64_t reps = 12;
+  const MpcAlgorithm amplified = [reps](Cluster& cluster,
+                                        const LegalGraph& g,
+                                        std::uint64_t seed) {
+    return amplified_large_is(cluster, g, Prf(seed), reps).labels;
+  };
+  const LegalGraph comp = identity(cycle_graph(10));
+  // Contexts with equal n & Delta but different structure, steering the
+  // per-repetition IS sizes differently.
+  const Graph parts[] = {cycle_graph(5), cycle_graph(5)};
+  const LegalGraph ctx_a = identity(cycle_graph(10));
+  const LegalGraph ctx_b = identity(disjoint_union(parts));
+  const StabilityReport report =
+      check_stability(amplified, comp, ctx_a, ctx_b, seeds(), reps);
+  EXPECT_FALSE(report.context_invariant);
+  EXPECT_GT(report.context_violations, 0u);
+}
+
+TEST(Checker, NameDependentAlgorithmFailsNameProbe) {
+  // A deliberately illegal algorithm that keys decisions on names must be
+  // caught by the renaming probe.
+  const MpcAlgorithm name_leaky = [](Cluster&, const LegalGraph& g,
+                                     std::uint64_t) {
+    std::vector<Label> labels(g.n());
+    for (Node v = 0; v < g.n(); ++v) {
+      labels[v] = static_cast<Label>(g.name(v) % 2);
+    }
+    return labels;
+  };
+  const LegalGraph comp = identity(cycle_graph(6));
+  const Graph parts[] = {cycle_graph(3), cycle_graph(3)};
+  const LegalGraph ctx_a = identity(cycle_graph(6));
+  const LegalGraph ctx_b = identity(disjoint_union(parts));
+  const StabilityReport report =
+      check_stability(name_leaky, comp, ctx_a, ctx_b, seeds());
+  EXPECT_FALSE(report.name_invariant);
+}
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.h"
+#include "support/math.h"
+#include "support/table.h"
+
+namespace mpcstab {
+namespace {
+
+TEST(Check, RequireThrowsPreconditionError) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "boom"), PreconditionError);
+}
+
+TEST(Check, EnsureThrowsInvariantError) {
+  EXPECT_NO_THROW(ensure(true, "fine"));
+  EXPECT_THROW(ensure(false, "boom"), InvariantError);
+}
+
+TEST(Check, MessagesCarryLocationAndText) {
+  try {
+    require(false, "my precondition message");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("my precondition message"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, HierarchyRootsAtError) {
+  EXPECT_THROW(require(false, "x"), Error);
+  EXPECT_THROW(ensure(false, "x"), Error);
+}
+
+TEST(Math, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(1ull << 40), 40);
+  EXPECT_EQ(floor_log2((1ull << 40) + 5), 40);
+}
+
+TEST(Math, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2((1ull << 50) + 1), 51);
+}
+
+TEST(Math, LogStarKnownValues) {
+  EXPECT_EQ(log_star(1), 0);
+  EXPECT_EQ(log_star(2), 1);
+  EXPECT_EQ(log_star(4), 2);
+  EXPECT_EQ(log_star(16), 3);
+  EXPECT_EQ(log_star(65536), 4);
+  // Integer convention: each step applies floor(log2), so 65537 -> 16 ->
+  // 4 -> 2 -> 1 takes 4 steps, and 2^64-1 -> 63 -> 5 -> 2 -> 1 likewise.
+  EXPECT_EQ(log_star(65537), 4);
+  EXPECT_EQ(log_star(~0ull), 4);
+}
+
+TEST(Math, IpowBasics) {
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(3, 0), 1u);
+  EXPECT_EQ(ipow(0, 3), 0u);
+  EXPECT_EQ(ipow(10, 19), 10000000000000000000ull);
+}
+
+TEST(Math, IpowSaturates) {
+  EXPECT_EQ(ipow(2, 64), ~0ull);
+  EXPECT_EQ(ipow(10, 30), ~0ull);
+}
+
+TEST(Math, Isqrt) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(15), 3u);
+  EXPECT_EQ(isqrt(16), 4u);
+  EXPECT_EQ(isqrt(999999999999ull), 999999u);
+}
+
+TEST(Math, PrimalityKnownValues) {
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_TRUE(is_prime(61));
+  EXPECT_TRUE(is_prime((1ull << 61) - 1));  // the hash field's prime
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(561));  // Carmichael number
+  EXPECT_FALSE(is_prime(1ull << 40));
+}
+
+TEST(Math, NextPrime) {
+  EXPECT_EQ(next_prime(0), 2u);
+  EXPECT_EQ(next_prime(8), 11u);
+  EXPECT_EQ(next_prime(11), 11u);
+  EXPECT_EQ(next_prime(1000000), 1000003u);
+}
+
+TEST(Math, MulmodPowmodSmallCases) {
+  EXPECT_EQ(mulmod(7, 8, 5), 1u);
+  EXPECT_EQ(powmod(2, 10, 1000), 24u);
+  EXPECT_EQ(powmod(5, 0, 7), 1u);
+  // Fermat's little theorem sanity on the hash prime.
+  const std::uint64_t p = (1ull << 61) - 1;
+  EXPECT_EQ(powmod(1234567, p - 1, p), 1u);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"n", "rounds"});
+  t.add_row({"16", "4"});
+  t.add_row({"65536", "16"});
+  std::ostringstream out;
+  t.print(out, "test table");
+  const std::string s = out.str();
+  EXPECT_NE(s.find("test table"), std::string::npos);
+  EXPECT_NE(s.find("65536"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, FmtFormatsDigits) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(2.0, 3), "2.000");
+}
+
+}  // namespace
+}  // namespace mpcstab

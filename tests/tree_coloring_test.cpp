@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/tree_coloring.h"
+#include "graph/generators.h"
+#include "support/check.h"
+#include "support/math.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+bool proper(const LegalGraph& g, const std::vector<Label>& colors) {
+  for (const Edge& e : g.graph().edges()) {
+    if (colors[e.u] == colors[e.v]) return false;
+  }
+  for (Label c : colors) {
+    if (c < 0 || c > 2) return false;
+  }
+  return true;
+}
+
+TEST(RootForest, ParentsAreNeighborsAndRootsExist) {
+  const LegalGraph g = identity(random_forest(60, 4, Prf(1)));
+  const ForestParents parents = root_forest(g);
+  int roots = 0;
+  for (Node v = 0; v < g.n(); ++v) {
+    if (parents[v] == v) {
+      ++roots;
+    } else {
+      EXPECT_TRUE(g.graph().has_edge(v, parents[v]));
+      EXPECT_EQ(g.component(v), g.component(parents[v]));
+    }
+  }
+  EXPECT_EQ(roots, 4);
+}
+
+TEST(RootForest, RejectsCycles) {
+  const LegalGraph g = identity(cycle_graph(6));
+  EXPECT_THROW(root_forest(g), PreconditionError);
+}
+
+TEST(ColeVishkin, ThreeColorsPaths) {
+  const LegalGraph g = identity(path_graph(100));
+  SyncNetwork net = SyncNetwork::local(g, Prf(1));
+  const auto r = cole_vishkin_three_coloring(net, root_forest(g));
+  EXPECT_TRUE(proper(g, r.colors));
+}
+
+TEST(ColeVishkin, ThreeColorsRandomForests) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    const LegalGraph g = identity(random_forest(200, 8, Prf(seed)));
+    SyncNetwork net = SyncNetwork::local(g, Prf(seed));
+    const auto r = cole_vishkin_three_coloring(net, root_forest(g));
+    EXPECT_TRUE(proper(g, r.colors)) << "seed " << seed;
+  }
+}
+
+TEST(ColeVishkin, HandlesIsolatedNodesAndStars) {
+  const LegalGraph g = identity(star_graph(50));
+  SyncNetwork net = SyncNetwork::local(g, Prf(5));
+  const auto r = cole_vishkin_three_coloring(net, root_forest(g));
+  EXPECT_TRUE(proper(g, r.colors));
+
+  const LegalGraph iso = identity(Graph(7));
+  SyncNetwork net2 = SyncNetwork::local(iso, Prf(6));
+  ForestParents self(7);
+  for (Node v = 0; v < 7; ++v) self[v] = v;
+  const auto r2 = cole_vishkin_three_coloring(net2, self);
+  for (Label c : r2.colors) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 2);
+  }
+}
+
+TEST(ColeVishkin, ReductionRoundsTrackLogStar) {
+  // log*(n) is 3-4 over this whole range: reduction rounds must stay flat
+  // and tiny while n grows 256x.
+  std::uint64_t small = 0, large = 0;
+  {
+    const LegalGraph g = identity(path_graph(64));
+    SyncNetwork net = SyncNetwork::local(g, Prf(7));
+    small = cole_vishkin_three_coloring(net, root_forest(g))
+                .reduction_rounds;
+  }
+  {
+    const LegalGraph g = identity(path_graph(16384));
+    SyncNetwork net = SyncNetwork::local(g, Prf(7));
+    large = cole_vishkin_three_coloring(net, root_forest(g))
+                .reduction_rounds;
+  }
+  EXPECT_LE(large, small + 4);
+  EXPECT_LE(large, 20u);
+}
+
+TEST(ColeVishkin, RejectsBogusParents) {
+  const LegalGraph g = identity(path_graph(4));
+  SyncNetwork net = SyncNetwork::local(g, Prf(8));
+  ForestParents wrong{3, 0, 1, 2};  // 3 is not a neighbor of 0
+  EXPECT_THROW(cole_vishkin_three_coloring(net, wrong), PreconditionError);
+}
+
+TEST(ColeVishkin, CaterpillarForests) {
+  const LegalGraph g = identity(caterpillar_forest(10, 3, 4));
+  SyncNetwork net = SyncNetwork::local(g, Prf(9));
+  const auto r = cole_vishkin_three_coloring(net, root_forest(g));
+  EXPECT_TRUE(proper(g, r.colors));
+  EXPECT_GT(r.total_rounds, r.reduction_rounds);
+}
+
+}  // namespace
+}  // namespace mpcstab

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/matching.h"
+#include "algorithms/vertex_cover.h"
+#include "graph/generators.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+TEST(VertexCover, CoversEveryEdge) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const LegalGraph g = identity(random_graph(48, 0.1, Prf(seed)));
+    const VertexCoverResult r = approx_vertex_cover(g, Prf(seed + 5), 0);
+    EXPECT_TRUE(is_vertex_cover(g.graph(), r.labels)) << "seed " << seed;
+  }
+}
+
+TEST(VertexCover, RatioAtMostTwo) {
+  // |cover| = 2*|matching| and any matching lower-bounds the optimum, so
+  // cover_size / greedy_matching <= 2 * (our matching / greedy) <= ~2.
+  const LegalGraph g = identity(random_regular_graph(64, 4, Prf(4)));
+  const VertexCoverResult r = approx_vertex_cover(g, Prf(5), 0);
+  EXPECT_LE(vertex_cover_ratio(g, r.labels), 2.0 * 2.0 + 1e-9);
+  EXPECT_TRUE(is_vertex_cover(g.graph(), r.labels));
+}
+
+TEST(VertexCover, SizeIsTwiceMatching) {
+  const LegalGraph g = identity(cycle_graph(20));
+  const VertexCoverResult r = approx_vertex_cover(g, Prf(6), 0);
+  EXPECT_EQ(r.size % 2, 0u);
+  EXPECT_GE(r.size, 2u);
+}
+
+TEST(VertexCover, EmptyGraphNeedsNothing) {
+  const LegalGraph g = identity(Graph(5));
+  const VertexCoverResult r = approx_vertex_cover(g, Prf(7), 0);
+  EXPECT_EQ(r.size, 0u);
+  EXPECT_TRUE(is_vertex_cover(g.graph(), r.labels));
+}
+
+TEST(VertexCover, CheckerRejectsUncoveredEdge) {
+  const Graph g = path_graph(3);
+  EXPECT_FALSE(is_vertex_cover(g, std::vector<Label>{1, 0, 0}));
+  EXPECT_TRUE(is_vertex_cover(g, std::vector<Label>{0, 1, 0}));
+}
+
+TEST(VertexCover, StarNeedsOnlyCenterButApproxTakesPairs) {
+  const LegalGraph g = identity(star_graph(9));
+  const VertexCoverResult r = approx_vertex_cover(g, Prf(8), 0);
+  EXPECT_TRUE(is_vertex_cover(g.graph(), r.labels));
+  // Maximal matching on a star has exactly one edge -> cover of size 2
+  // (optimum is 1: the 2-approximation boundary case).
+  EXPECT_EQ(r.size, 2u);
+}
+
+TEST(DetMatching, DeterministicMaximalMatchingMpc) {
+  // Line graphs multiply degrees, so the space model needs low-degree
+  // inputs at this scale: a path's line graph is again a path.
+  const LegalGraph g = identity(path_graph(40));
+  Cluster a(MpcConfig::for_graph(g.n(), g.graph().m(), 0.9));
+  const DetMatchingResult ra = deterministic_matching_mpc(a, g, 6);
+  EXPECT_TRUE(is_maximal_matching(g.graph(), ra.edge_labels));
+  Cluster b(MpcConfig::for_graph(g.n(), g.graph().m(), 0.9));
+  const DetMatchingResult rb = deterministic_matching_mpc(b, g, 6);
+  EXPECT_EQ(ra.edge_labels, rb.edge_labels);  // deterministic
+}
+
+TEST(DetMatching, EmptyGraph) {
+  const LegalGraph g = identity(Graph(4));
+  Cluster cluster(MpcConfig::for_graph(4, 0));
+  const DetMatchingResult r = deterministic_matching_mpc(cluster, g, 6);
+  EXPECT_TRUE(r.edge_labels.empty());
+  EXPECT_EQ(r.size, 0u);
+}
+
+TEST(DetMatching, CycleGraph) {
+  const LegalGraph g = identity(cycle_graph(24));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.9));
+  const DetMatchingResult r = deterministic_matching_mpc(cluster, g, 6);
+  EXPECT_TRUE(is_maximal_matching(g.graph(), r.edge_labels));
+  EXPECT_GE(r.size, 24u / 3);
+}
+
+}  // namespace
+}  // namespace mpcstab
