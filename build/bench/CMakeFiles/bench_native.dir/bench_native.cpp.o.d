@@ -189,4 +189,5 @@ bench/CMakeFiles/bench_native.dir/bench_native.cpp.o: \
  /root/repo/src/support/table.h /root/repo/src/graph/generators.h \
  /root/repo/src/rng/prf.h /root/repo/src/rng/splitmix.h \
  /root/repo/src/mpc/exponentiation.h /root/repo/src/graph/balls.h \
- /root/repo/src/mpc/native_connectivity.h /root/repo/src/support/math.h
+ /root/repo/src/mpc/metrics.h /root/repo/src/mpc/native_connectivity.h \
+ /root/repo/src/support/math.h

@@ -45,6 +45,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/mpc/cluster.cpp" "src/CMakeFiles/mpcstab.dir/mpc/cluster.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/cluster.cpp.o.d"
   "/root/repo/src/mpc/dist_graph.cpp" "src/CMakeFiles/mpcstab.dir/mpc/dist_graph.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/dist_graph.cpp.o.d"
   "/root/repo/src/mpc/exponentiation.cpp" "src/CMakeFiles/mpcstab.dir/mpc/exponentiation.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/exponentiation.cpp.o.d"
+  "/root/repo/src/mpc/metrics.cpp" "src/CMakeFiles/mpcstab.dir/mpc/metrics.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/metrics.cpp.o.d"
   "/root/repo/src/mpc/native_connectivity.cpp" "src/CMakeFiles/mpcstab.dir/mpc/native_connectivity.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/native_connectivity.cpp.o.d"
   "/root/repo/src/mpc/pacing.cpp" "src/CMakeFiles/mpcstab.dir/mpc/pacing.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/pacing.cpp.o.d"
   "/root/repo/src/mpc/primitives.cpp" "src/CMakeFiles/mpcstab.dir/mpc/primitives.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/primitives.cpp.o.d"
@@ -56,6 +57,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/check.cpp" "src/CMakeFiles/mpcstab.dir/support/check.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/support/check.cpp.o.d"
   "/root/repo/src/support/math.cpp" "src/CMakeFiles/mpcstab.dir/support/math.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/support/math.cpp.o.d"
   "/root/repo/src/support/table.cpp" "src/CMakeFiles/mpcstab.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/support/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/mpcstab.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/support/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -235,5 +235,8 @@ src/CMakeFiles/mpcstab.dir/core/amplification.cpp.o: \
  /usr/include/c++/12/cstddef /root/repo/src/graph/balls.h \
  /root/repo/src/graph/legal_graph.h /root/repo/src/graph/components.h \
  /root/repo/src/graph/graph.h /root/repo/src/rng/prf.h \
- /root/repo/src/rng/splitmix.h /root/repo/src/mpc/primitives.h \
- /root/repo/src/support/math.h
+ /root/repo/src/rng/splitmix.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/mpc/primitives.h /root/repo/src/support/math.h

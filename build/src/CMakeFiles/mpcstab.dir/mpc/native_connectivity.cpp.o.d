@@ -173,4 +173,5 @@ src/CMakeFiles/mpcstab.dir/mpc/native_connectivity.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/rng/splitmix.h
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/rng/splitmix.h \
+ /root/repo/src/support/thread_pool.h

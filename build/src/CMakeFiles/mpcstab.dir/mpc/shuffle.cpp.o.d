@@ -159,7 +159,8 @@ src/CMakeFiles/mpcstab.dir/mpc/shuffle.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/mpc/pacing.h \
  /root/repo/src/mpc/primitives.h /usr/include/c++/12/functional \
  /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
@@ -170,4 +171,5 @@ src/CMakeFiles/mpcstab.dir/mpc/shuffle.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/rng/splitmix.h
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/rng/splitmix.h \
+ /root/repo/src/support/thread_pool.h

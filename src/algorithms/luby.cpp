@@ -1,5 +1,7 @@
 #include "algorithms/luby.h"
 
+#include <algorithm>
+
 #include "support/check.h"
 #include "support/math.h"
 

@@ -1,5 +1,6 @@
 #include "algorithms/sinkless.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "derand/seed_select.h"

@@ -1,5 +1,7 @@
 #include "core/amplification.h"
 
+#include <algorithm>
+
 #include "mpc/primitives.h"
 #include "support/check.h"
 #include "support/math.h"

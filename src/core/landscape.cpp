@@ -1,5 +1,8 @@
 #include "core/landscape.h"
 
+#include <algorithm>
+#include <string>
+
 #include "algorithms/large_is.h"
 #include "core/amplification.h"
 #include "core/component_stable.h"

@@ -1,5 +1,6 @@
 #include "derand/seed_select.h"
 
+#include <algorithm>
 #include <bit>
 #include <limits>
 

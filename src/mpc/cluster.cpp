@@ -1,9 +1,12 @@
 #include "mpc/cluster.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "support/check.h"
 #include "support/math.h"
+#include "support/thread_pool.h"
 
 namespace mpcstab {
 
@@ -16,25 +19,55 @@ std::vector<std::vector<MpcMessage>> Cluster::exchange(
     std::vector<std::vector<MpcMessage>> outboxes) {
   require(outboxes.size() == config_.machines,
           "outboxes must cover every machine");
-  std::vector<std::uint64_t> sent(config_.machines, 0);
-  std::vector<std::uint64_t> received(config_.machines, 0);
-  std::vector<std::vector<MpcMessage>> inboxes(config_.machines);
+  const std::size_t machines = config_.machines;
+  std::vector<std::uint64_t> sent(machines, 0);
+  std::vector<std::uint64_t> received(machines, 0);
+  std::vector<std::vector<MpcMessage>> inboxes(machines);
 
-  for (std::uint32_t src = 0; src < config_.machines; ++src) {
+  // Per-sender validation and send accounting is embarrassingly parallel:
+  // machine src only touches sent[src] and its own outbox. Destination
+  // range errors surface deterministically (lowest sender chunk first).
+  parallel_for(machines, [&](std::size_t src) {
+    std::uint64_t words = 0;
+    for (const MpcMessage& msg : outboxes[src]) {
+      require(msg.dst < config_.machines,
+              "message destination out of range");
+      words += msg.payload.size() + 1;  // +1 header word
+    }
+    sent[src] = words;
+  });
+
+  // Merge outboxes into inboxes in fixed machine order — the serial
+  // reference order — so delivery order is bit-identical no matter how many
+  // workers validated above.
+  for (std::size_t src = 0; src < machines; ++src) {
     for (MpcMessage& msg : outboxes[src]) {
-      require(msg.dst < config_.machines, "message destination out of range");
-      const std::uint64_t words = msg.payload.size() + 1;  // +1 header word
-      sent[src] += words;
-      received[msg.dst] += words;
-      words_moved_ += words;
+      received[msg.dst] += msg.payload.size() + 1;
       inboxes[msg.dst].push_back(std::move(msg));
     }
   }
+
+  std::uint64_t round_words = 0;
+  RoundLoad load;
+  for (std::size_t i = 0; i < machines; ++i) {
+    round_words += sent[i];
+    load.max_send = std::max(load.max_send, sent[i]);
+    load.max_recv = std::max(load.max_recv, received[i]);
+  }
+  words_moved_ += round_words;
+
   // The round happens (and is counted) even when a violation aborts it —
   // resource checks are part of the round, not a pre-flight.
   ++rounds_;
   round_log_.emplace_back("exchange");
-  for (std::uint32_t i = 0; i < config_.machines; ++i) {
+  load.round = rounds_;
+  load.words = round_words;
+  load.mean_send = static_cast<double>(round_words) /
+                   static_cast<double>(machines);
+  load.mean_recv = load.mean_send;  // every sent word is received
+  round_loads_.push_back(load);
+
+  for (std::size_t i = 0; i < machines; ++i) {
     if (sent[i] > config_.local_space) {
       throw SpaceLimitError("machine " + std::to_string(i) + " sent " +
                             std::to_string(sent[i]) + " words > S = " +
@@ -65,12 +98,29 @@ void Cluster::check_local_space(std::uint64_t words,
 }
 
 std::uint64_t Cluster::tree_rounds() const {
-  // Fan-in S tree over M machines: depth = ceil(log M / log S).
-  if (config_.machines <= 1) return 1;
+  // Fan-in S tree over M machines: depth = ceil(log M / log S). A single
+  // machine holds everything locally — zero communication rounds.
+  if (config_.machines <= 1) return 0;
   const double depth = std::max(
       1.0, std::ceil(static_cast<double>(ceil_log2(config_.machines)) /
                      std::max(1, floor_log2(config_.local_space))));
   return static_cast<std::uint64_t>(depth);
+}
+
+std::uint64_t Cluster::max_receive_load() const {
+  std::uint64_t max_recv = 0;
+  for (const RoundLoad& load : round_loads_) {
+    max_recv = std::max(max_recv, load.max_recv);
+  }
+  return max_recv;
+}
+
+double Cluster::peak_skew() const {
+  double peak = 0.0;
+  for (const RoundLoad& load : round_loads_) {
+    peak = std::max(peak, load.skew());
+  }
+  return peak;
 }
 
 }  // namespace mpcstab

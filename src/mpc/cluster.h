@@ -10,6 +10,10 @@
 // implementations (sorting, aggregation trees) either move real words
 // through `exchange` or charge their documented round cost explicitly via
 // `charge_rounds`, keeping the accounting honest in both styles.
+//
+// Every exchange also records a per-round load profile (max/mean send and
+// receive volume, words moved, skew), so benches can report how close each
+// algorithm runs to the S-word wall, not just how many rounds it takes.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +29,23 @@ namespace mpcstab {
 struct MpcMessage {
   std::uint32_t dst = 0;
   std::vector<std::uint64_t> payload;
+};
+
+/// Load profile of one communication round (a real `exchange`; analytic
+/// `charge_rounds` charges move no words and record no load).
+struct RoundLoad {
+  std::uint64_t round = 0;     ///< 1-based round index at which this fired.
+  std::uint64_t words = 0;     ///< Total words moved this round.
+  std::uint64_t max_send = 0;  ///< Largest per-machine send volume.
+  std::uint64_t max_recv = 0;  ///< Largest per-machine receive volume.
+  double mean_send = 0.0;      ///< Mean send volume over all M machines.
+  double mean_recv = 0.0;      ///< Mean receive volume over all M machines.
+
+  /// Receive-side skew: max over mean receive volume (1.0 = perfectly
+  /// balanced; 0.0 for an empty round).
+  double skew() const {
+    return mean_recv > 0.0 ? static_cast<double>(max_recv) / mean_recv : 0.0;
+  }
 };
 
 /// Synchronous-round MPC cluster with space and round accounting.
@@ -45,7 +66,9 @@ class Cluster {
   /// Performs one communication round: `outboxes[i]` are the messages sent
   /// by machine i. Validates that each machine sends <= S words and
   /// receives <= S words, then returns the per-machine inboxes. Counts one
-  /// round.
+  /// round. Per-machine validation runs on the worker pool; inboxes are
+  /// merged in fixed machine order, so the result is identical to serial
+  /// execution.
   std::vector<std::vector<MpcMessage>> exchange(
       std::vector<std::vector<MpcMessage>> outboxes);
 
@@ -58,18 +81,29 @@ class Cluster {
   void check_local_space(std::uint64_t words, std::string_view what) const;
 
   /// Round-cost of a fan-in-S aggregation/broadcast tree over M machines:
-  /// ceil(log_S(M)), at least 1. This is the O(1/phi) = O(1) factor the
-  /// paper treats as constant.
+  /// ceil(log_S(M)) for M >= 2. A single machine aggregates locally and
+  /// costs 0 rounds — no communication happens.
   std::uint64_t tree_rounds() const;
 
   /// Human-readable log of round charges (for diagnostics and tests).
   const std::vector<std::string>& round_log() const { return round_log_; }
+
+  /// Per-exchange load profile, one entry per real communication round.
+  const std::vector<RoundLoad>& round_loads() const { return round_loads_; }
+
+  /// Largest per-machine receive volume seen in any single round (<= S for
+  /// every run that did not throw).
+  std::uint64_t max_receive_load() const;
+
+  /// Largest receive-side skew (max/mean) seen in any single round.
+  double peak_skew() const;
 
  private:
   MpcConfig config_;
   std::uint64_t rounds_ = 0;
   std::uint64_t words_moved_ = 0;
   std::vector<std::string> round_log_;
+  std::vector<RoundLoad> round_loads_;
 };
 
 }  // namespace mpcstab

@@ -1,5 +1,7 @@
 #include "mpc/dist_graph.h"
 
+#include <algorithm>
+
 #include "mpc/primitives.h"
 #include "support/check.h"
 

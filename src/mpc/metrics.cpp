@@ -1,0 +1,37 @@
+#include "mpc/metrics.h"
+
+#include <string>
+#include <vector>
+
+namespace mpcstab {
+
+Table load_profile_table(const Cluster& cluster, std::size_t max_rows) {
+  Table table({"round", "words", "max send", "mean send", "max recv",
+               "mean recv", "skew"});
+  const std::vector<RoundLoad>& loads = cluster.round_loads();
+  // Even sampling keeps long runs printable: stride so that at most
+  // max_rows rows appear, always including the final round.
+  const std::size_t stride =
+      (max_rows == 0 || loads.size() <= max_rows)
+          ? 1
+          : (loads.size() + max_rows - 1) / max_rows;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (i % stride != 0 && i + 1 != loads.size()) continue;
+    const RoundLoad& load = loads[i];
+    table.add_row({std::to_string(load.round), std::to_string(load.words),
+                   std::to_string(load.max_send), fmt(load.mean_send, 1),
+                   std::to_string(load.max_recv), fmt(load.mean_recv, 1),
+                   fmt(load.skew(), 2)});
+  }
+  return table;
+}
+
+std::string load_summary(const Cluster& cluster) {
+  return "max recv " + std::to_string(cluster.max_receive_load()) + "/S=" +
+         std::to_string(cluster.local_space()) + ", peak skew " +
+         fmt(cluster.peak_skew(), 2) + ", rounds " +
+         std::to_string(cluster.rounds()) + " (" +
+         std::to_string(cluster.round_loads().size()) + " exchanges)";
+}
+
+}  // namespace mpcstab

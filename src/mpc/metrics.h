@@ -1,0 +1,25 @@
+// Rendering of the Cluster's per-round load metrics as benchmark tables:
+// how close each algorithm runs to the S-word receive wall, how skewed the
+// traffic is, and where the rounds went. Benches print these alongside
+// round counts so the paper's O(.)-round claims come with an honest load
+// profile.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "mpc/cluster.h"
+#include "support/table.h"
+
+namespace mpcstab {
+
+/// Per-round load profile: one row per communication round (capped at
+/// `max_rows` evenly sampled rows when the run is long; 0 = all rounds).
+/// Columns: round, words, max/mean send, max/mean recv, skew.
+Table load_profile_table(const Cluster& cluster, std::size_t max_rows = 0);
+
+/// One-line load summary for appending to result tables: peak per-round
+/// receive volume (vs S), peak skew, and total analytic round charges.
+std::string load_summary(const Cluster& cluster);
+
+}  // namespace mpcstab

@@ -1,11 +1,13 @@
 #include "mpc/native_connectivity.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "mpc/pacing.h"
 #include "mpc/primitives.h"
 #include "rng/splitmix.h"
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace mpcstab {
 
@@ -54,9 +56,12 @@ NativeConnectivityResult native_min_label_propagation(
   for (std::uint64_t it = 0; it < max_iterations; ++it) {
     // Each owned vertex pushes its label to every neighbor's owner.
     // Payload: (destination vertex, label). Same-machine pushes are free.
+    // Machine m's work only writes outboxes[m] and next[u] for vertices u
+    // it owns (owner[u] == m), so the per-machine loops run on the worker
+    // pool and stay bit-identical to serial execution.
     std::vector<std::vector<MpcMessage>> outboxes(machines);
     std::vector<Node> next = result.labels;
-    for (std::uint32_t m = 0; m < machines; ++m) {
+    parallel_for(machines, [&](std::size_t m) {
       for (Node v : owned[m]) {
         for (Node u : topo.neighbors(v)) {
           if (owner[u] == m) {
@@ -67,24 +72,24 @@ NativeConnectivityResult native_min_label_propagation(
           }
         }
       }
-    }
+    });
     const auto received = paced_exchange(cluster, std::move(outboxes));
-    for (std::uint32_t m = 0; m < machines; ++m) {
+    parallel_for(machines, [&](std::size_t m) {
       for (const MpcMessage& msg : received[m]) {
         const Node u = static_cast<Node>(msg.payload.at(0));
         const Node label = static_cast<Node>(msg.payload.at(1));
         ensure(owner[u] == m, "label push must land at the vertex owner");
         next[u] = std::min(next[u], label);
       }
-    }
+    });
 
     // Convergence: a real OR-tree over per-machine change flags.
     std::vector<std::uint64_t> changed(machines, 0);
-    for (std::uint32_t m = 0; m < machines; ++m) {
+    parallel_for(machines, [&](std::size_t m) {
       for (Node v : owned[m]) {
         if (next[v] != result.labels[v]) changed[m] = 1;
       }
-    }
+    });
     result.labels = std::move(next);
     ++result.iterations;
     if (allreduce_max(cluster, std::move(changed)) == 0) {

@@ -1,9 +1,13 @@
 #include "mpc/pacing.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <map>
+#include <tuple>
+#include <utility>
 
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace mpcstab {
 
@@ -22,17 +26,21 @@ struct Fragment {
 
 }  // namespace
 
+std::uint64_t paced_round_budget(const Cluster& cluster) {
+  return std::max<std::uint64_t>(8, cluster.local_space() / 2);
+}
+
 std::vector<std::vector<MpcMessage>> paced_exchange(
     Cluster& cluster, std::vector<std::vector<MpcMessage>> outboxes) {
   const std::uint64_t machines = cluster.machines();
   require(outboxes.size() == machines, "one outbox per machine required");
-  const std::uint64_t budget =
-      std::max<std::uint64_t>(8, cluster.local_space() / 2);
+  const std::uint64_t budget = paced_round_budget(cluster);
   const std::uint64_t chunk_words = budget - 5;  // 4 header + 1 msg header
 
-  // Fragment every logical message.
+  // Fragment every logical message. Per-sender work is independent, so it
+  // runs on the worker pool; fragments[m] is owned by iteration m.
   std::vector<std::vector<Fragment>> fragments(machines);
-  for (std::uint32_t m = 0; m < machines; ++m) {
+  parallel_for(machines, [&](std::size_t m) {
     std::uint64_t next_id = 0;
     for (const MpcMessage& msg : outboxes[m]) {
       const std::uint64_t id = next_id++;
@@ -52,67 +60,83 @@ std::vector<std::vector<MpcMessage>> paced_exchange(
         fragments[m].push_back(std::move(frag));
       }
     }
-  }
+  });
 
-  // Ship fragments under the two-sided budget; reassemble on arrival.
+  // Ship fragments under the receiver-credit budget; reassemble on arrival.
   std::vector<std::vector<MpcMessage>> received(machines);
-  // (receiver, source, id) -> partially reassembled payloads.
-  std::map<std::tuple<std::uint32_t, std::uint64_t, std::uint64_t>,
-           std::pair<std::uint64_t, std::vector<std::uint64_t>>>
-      partial;
+  // Per receiving machine: (source, id) -> (fragments seen, payload so
+  // far). Sharding by receiver keeps reassembly embarrassingly parallel.
+  std::vector<std::map<std::pair<std::uint64_t, std::uint64_t>,
+                       std::pair<std::uint64_t, std::vector<std::uint64_t>>>>
+      partial(machines);
+  // FIFO head index per sender (satellite fix: no back-to-front draining).
+  std::vector<std::size_t> head(machines, 0);
 
+  const std::uint64_t handshake = cluster.tree_rounds();
   bool more = true;
+  bool need_handshake = false;
+  bool handshake_charged = false;
   while (more) {
     more = false;
+    if (need_handshake && !handshake_charged && handshake > 0) {
+      // A destination was oversubscribed: senders aggregate per-destination
+      // demand up a fan-in-S tree and learn their slots in the static
+      // fixed-machine-order schedule — one tree pass, charged honestly,
+      // once per transfer (all demand is known at call start, so the
+      // schedule needs no re-coordination). Purely sender-paced deferrals
+      // need no coordination at all — each sender knows its own queue.
+      cluster.charge_rounds(handshake, "receiver-credit handshake");
+      handshake_charged = true;
+    }
+    need_handshake = false;
     std::vector<std::uint64_t> send_used(machines, 0);
-    std::vector<std::uint64_t> recv_used(machines, 0);
+    std::vector<std::uint64_t> recv_credit(machines, budget);
     std::vector<std::vector<MpcMessage>> round_out(machines);
     for (std::uint32_t m = 0; m < machines; ++m) {
       auto& queue = fragments[m];
-      std::vector<Fragment> deferred;
-      deferred.reserve(queue.size());
-      // Strict FIFO per sender: once one fragment defers, everything
-      // behind it defers too, so fragments of a message always arrive in
-      // order and chunks concatenate correctly.
-      bool blocked = false;
-      for (Fragment& frag : queue) {
+      // Strict FIFO per sender: once the head fragment defers (sender
+      // budget or destination credit exhausted), everything behind it
+      // defers too, so fragments of a message always arrive in order and
+      // chunks concatenate correctly.
+      while (head[m] < queue.size()) {
+        Fragment& frag = queue[head[m]];
         const std::uint64_t words = frag.wire.size() + 1;
-        if (!blocked && send_used[m] + words <= budget &&
-            recv_used[frag.dst] + words <= budget) {
-          send_used[m] += words;
-          recv_used[frag.dst] += words;
-          round_out[m].push_back(
-              MpcMessage{frag.dst, std::move(frag.wire)});
-        } else {
-          blocked = true;
-          deferred.push_back(std::move(frag));
+        if (send_used[m] + words > budget) break;
+        if (recv_credit[frag.dst] < words) {
+          need_handshake = true;
+          break;
         }
+        send_used[m] += words;
+        recv_credit[frag.dst] -= words;
+        round_out[m].push_back(MpcMessage{frag.dst, std::move(frag.wire)});
+        ++head[m];
       }
-      queue = std::move(deferred);
-      if (!queue.empty()) more = true;
+      if (head[m] < queue.size()) more = true;
     }
     auto inboxes = cluster.exchange(std::move(round_out));
-    for (std::uint32_t m = 0; m < machines; ++m) {
+    parallel_for(machines, [&](std::size_t m) {
       for (const MpcMessage& msg : inboxes[m]) {
         ensure(msg.payload.size() >= 4, "fragment must carry its header");
         const std::uint64_t src = msg.payload[0];
         const std::uint64_t id = msg.payload[1];
         const std::uint64_t index = msg.payload[2];
         const std::uint64_t count = msg.payload[3];
-        auto& slot = partial[{m, src, id}];
+        auto& slot = partial[m][{src, id}];
         slot.second.insert(slot.second.end(), msg.payload.begin() + 4,
                            msg.payload.end());
         ensure(index + 1 <= count, "fragment index within count");
         ++slot.first;
         if (slot.first == count) {
-          received[m].push_back(
-              MpcMessage{m, std::move(slot.second)});
-          partial.erase({m, src, id});
+          received[m].push_back(MpcMessage{static_cast<std::uint32_t>(m),
+                                           std::move(slot.second)});
+          partial[m].erase({src, id});
         }
       }
-    }
+    });
   }
-  ensure(partial.empty(), "all fragments must reassemble");
+  for (const auto& shard : partial) {
+    ensure(shard.empty(), "all fragments must reassemble");
+  }
   return received;
 }
 

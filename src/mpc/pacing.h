@@ -1,21 +1,38 @@
 // Flow-controlled message delivery: schedules an arbitrary set of sends
 // into as many exchange rounds as needed so that every machine's send AND
-// receive volume stays within half its local space per round. Real systems
-// get this from backpressure; the simulator plans it directly. Shared by
-// the native MPC algorithms (connectivity, exponentiation).
+// receive volume stays within half its local space per round.
+//
+// Receiver-credit model: each round every destination grants a fresh
+// credit of B = max(8, S/2) words; senders consume credits in fixed
+// machine order, deferring whatever no longer fits to later rounds. When a
+// destination's credit runs out (fan-in skew), the simulator charges the
+// coordination honestly: the transfer pays one O(tree_rounds)
+// "receiver-credit handshake" — the fan-in-S tree pass through which
+// senders aggregate per-destination demand and learn their slots in the
+// static fixed-machine-order schedule (all of the transfer's demand is
+// known at call start, so one pass suffices; sender-side deferrals need no
+// coordination at all — a sender knows its own queue). Adversarial skew
+// therefore degrades into extra (paid) rounds instead of aborting with
+// SpaceLimitError.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "mpc/cluster.h"
 
 namespace mpcstab {
 
+/// Per-round word budget the flow-control layer enforces on each machine's
+/// send volume and grants each destination as receive credit: half the
+/// local space (at least 8 words).
+std::uint64_t paced_round_budget(const Cluster& cluster);
+
 /// Delivers all messages in `outboxes` (indexed by sender machine),
-/// splitting across rounds under the two-sided budget. Returns the
-/// received messages per machine. Progress is guaranteed whenever every
-/// single message fits the budget (payload + 1 <= S/2); a larger message
-/// throws SpaceLimitError.
+/// splitting across rounds under the two-sided credit budget. Returns the
+/// received messages per machine. Progress is guaranteed: fragmentation
+/// caps every wire piece at the send budget, and a fresh round's credits
+/// always admit the first pending fragment.
 std::vector<std::vector<MpcMessage>> paced_exchange(
     Cluster& cluster, std::vector<std::vector<MpcMessage>> outboxes);
 

@@ -1,8 +1,10 @@
 #include "mpc/primitives.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace mpcstab {
 
@@ -42,11 +44,14 @@ std::uint64_t reduce_to_root(Cluster& cluster,
       }
     }
     auto inboxes = cluster.exchange(std::move(outboxes));
-    for (std::uint32_t leader : next) {
+    // Leaders fold their inboxes independently (disjoint values slots);
+    // within one leader the fold keeps the serial inbox order.
+    parallel_for(next.size(), [&](std::size_t li) {
+      const std::uint32_t leader = next[li];
       for (const MpcMessage& msg : inboxes[leader]) {
         values[leader] = combine(values[leader], msg.payload.at(0));
       }
-    }
+    });
     active = std::move(next);
   }
   return values[active[0]];
@@ -59,8 +64,10 @@ std::vector<std::uint64_t> broadcast_from_root(Cluster& cluster,
 
   std::vector<std::uint64_t> values(machines, 0);
   values[0] = value;
-  std::vector<bool> has(machines, false);
-  has[0] = true;
+  // uint8_t, not vector<bool>: machines update their flags from worker
+  // threads, and vector<bool> packs bits (adjacent writes would race).
+  std::vector<std::uint8_t> has(machines, 0);
+  has[0] = 1;
   std::uint64_t covered = 1;
 
   while (covered < machines) {
@@ -81,15 +88,17 @@ std::vector<std::uint64_t> broadcast_from_root(Cluster& cluster,
       if (next_pending >= pending.size()) break;
     }
     auto inboxes = cluster.exchange(std::move(outboxes));
-    for (std::uint32_t i = 0; i < machines; ++i) {
+    std::vector<std::uint8_t> newly(machines, 0);
+    parallel_for(machines, [&](std::size_t i) {
       for (const MpcMessage& msg : inboxes[i]) {
         values[i] = msg.payload.at(0);
         if (!has[i]) {
-          has[i] = true;
-          ++covered;
+          has[i] = 1;
+          newly[i] = 1;
         }
       }
-    }
+    });
+    for (std::uint32_t i = 0; i < machines; ++i) covered += newly[i];
   }
   return values;
 }
@@ -145,7 +154,8 @@ std::uint64_t allreduce_argmin(Cluster& cluster,
       }
     }
     auto inboxes = cluster.exchange(std::move(outboxes));
-    for (std::uint32_t leader : next) {
+    parallel_for(next.size(), [&](std::size_t li) {
+      const std::uint32_t leader = next[li];
       for (const MpcMessage& msg : inboxes[leader]) {
         const std::uint64_t k = msg.payload.at(0);
         const std::uint64_t p = msg.payload.at(1);
@@ -154,7 +164,7 @@ std::uint64_t allreduce_argmin(Cluster& cluster,
           payloads[leader] = p;
         }
       }
-    }
+    });
     active = std::move(next);
   }
   const std::uint64_t winner = payloads[active[0]];

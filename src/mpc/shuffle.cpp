@@ -1,10 +1,14 @@
 #include "mpc/shuffle.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <utility>
 
+#include "mpc/pacing.h"
 #include "mpc/primitives.h"
 #include "rng/splitmix.h"
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace mpcstab {
 
@@ -14,18 +18,39 @@ std::uint32_t owner_of(std::uint64_t key, std::uint64_t machines) {
   return static_cast<std::uint32_t>(splitmix64(key) % machines);
 }
 
+/// Wire size of one routed item: key, value, sequence tag + 1 header word.
+/// The tag (source machine in the high bits, FIFO position in the low bits)
+/// lets receivers restore the canonical delivery order — source order, then
+/// source position — no matter how many rounds the pacing spread the
+/// transfer over.
+constexpr std::uint64_t kItemWords = 4;
+
+std::uint64_t sequence_tag(std::uint32_t src, std::size_t position) {
+  return (static_cast<std::uint64_t>(src) << 32) |
+         static_cast<std::uint64_t>(position);
+}
+
 }  // namespace
 
 std::vector<std::vector<KeyedItem>> route_by_key(
-    Cluster& cluster, std::vector<std::vector<KeyedItem>> shards) {
+    Cluster& cluster, std::vector<std::vector<KeyedItem>> shards,
+    std::uint64_t budget_words) {
   const std::uint64_t machines = cluster.machines();
   require(shards.size() == machines, "one shard per machine required");
+  const std::uint64_t budget =
+      budget_words == 0
+          ? paced_round_budget(cluster)
+          : std::max<std::uint64_t>(
+                kItemWords,
+                std::min(budget_words, paced_round_budget(cluster)));
 
-  // Pending sends per machine: (dst, item). Local items settle directly.
+  // Pending sends per machine: (dst, item), drained FIFO via a head index
+  // so the routed order never depends on the per-round budget. Local items
+  // settle directly. Per-source partitioning is independent work.
   std::vector<std::vector<KeyedItem>> received(machines);
   std::vector<std::vector<std::pair<std::uint32_t, KeyedItem>>> pending(
       machines);
-  for (std::uint32_t src = 0; src < machines; ++src) {
+  parallel_for(machines, [&](std::size_t src) {
     for (const KeyedItem& item : shards[src]) {
       const std::uint32_t dst = owner_of(item.key, machines);
       if (dst == src) {
@@ -34,36 +59,69 @@ std::vector<std::vector<KeyedItem>> route_by_key(
         pending[src].emplace_back(dst, item);
       }
     }
-  }
+  });
 
-  // Pace the sends: each machine ships at most S/4 items per round (2
-  // payload words + 1 header each, leaving receive headroom). Receivers may
-  // still be overloaded by fan-in in adversarial key distributions; the
-  // exchange's own check will catch genuine violations.
-  const std::uint64_t per_round =
-      std::max<std::uint64_t>(1, cluster.local_space() / 4);
+  // Credit-paced shipping: every round each sender may ship up to `budget`
+  // words and each destination grants the paced budget as receive credit.
+  // Credits reset each round; senders consume them in fixed machine order.
+  // The first round cut short by receiver oversubscription triggers one
+  // charged handshake (senders aggregate per-destination demand through a
+  // fan-in-S tree and learn their slots in the static schedule); further
+  // waves follow that schedule with no extra coordination.
+  const std::uint64_t handshake = cluster.tree_rounds();
+  std::vector<std::size_t> head(machines, 0);
+  // Remote arrivals buffered as (sequence tag, item) until all rounds are
+  // done; sorting by tag restores the canonical source-order delivery.
+  std::vector<std::vector<std::pair<std::uint64_t, KeyedItem>>> remote(
+      machines);
   bool more = true;
+  bool need_handshake = false;
+  bool handshake_charged = false;
   while (more) {
     more = false;
+    if (need_handshake && !handshake_charged && handshake > 0) {
+      cluster.charge_rounds(handshake, "receiver-credit handshake");
+      handshake_charged = true;
+    }
+    need_handshake = false;
+    std::vector<std::uint64_t> send_used(machines, 0);
+    std::vector<std::uint64_t> recv_credit(machines,
+                                           paced_round_budget(cluster));
     std::vector<std::vector<MpcMessage>> outboxes(machines);
     for (std::uint32_t src = 0; src < machines; ++src) {
       auto& queue = pending[src];
-      const std::uint64_t batch =
-          std::min<std::uint64_t>(per_round, queue.size());
-      for (std::uint64_t i = 0; i < batch; ++i) {
-        const auto& [dst, item] = queue[queue.size() - 1 - i];
-        outboxes[src].push_back(MpcMessage{dst, {item.key, item.value}});
+      while (head[src] < queue.size()) {
+        const auto& [dst, item] = queue[head[src]];
+        if (send_used[src] + kItemWords > budget) break;
+        if (recv_credit[dst] < kItemWords) {
+          need_handshake = true;
+          break;
+        }
+        send_used[src] += kItemWords;
+        recv_credit[dst] -= kItemWords;
+        outboxes[src].push_back(MpcMessage{
+            dst, {item.key, item.value, sequence_tag(src, head[src])}});
+        ++head[src];
       }
-      queue.resize(queue.size() - batch);
-      if (!queue.empty()) more = true;
+      if (head[src] < queue.size()) more = true;
     }
     auto inboxes = cluster.exchange(std::move(outboxes));
-    for (std::uint32_t m = 0; m < machines; ++m) {
+    parallel_for(machines, [&](std::size_t m) {
       for (const MpcMessage& msg : inboxes[m]) {
-        received[m].push_back(KeyedItem{msg.payload.at(0), msg.payload.at(1)});
+        remote[m].emplace_back(
+            msg.payload.at(2),
+            KeyedItem{msg.payload.at(0), msg.payload.at(1)});
       }
-    }
+    });
   }
+  parallel_for(machines, [&](std::size_t m) {
+    // Tags are unique (source, position) pairs, so this sort is a total
+    // order: delivery is locals first, then sources in machine order, each
+    // source's items in FIFO position order — independent of the budget.
+    std::sort(remote[m].begin(), remote[m].end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [tag, item] : remote[m]) received[m].push_back(item);
+  });
   return received;
 }
 
@@ -73,20 +131,26 @@ std::uint64_t distinct_count(Cluster& cluster,
   require(shards.size() == machines, "one shard per machine required");
 
   // Local dedup (the "combiner"), then a fan-in-4 merge tree with per-level
-  // dedup moving real messages. Space-safe whenever the global distinct
-  // count is small relative to S (the component-label use case); a large
-  // distinct set overflows a tree node's receive budget and the exchange
-  // throws — the honest answer under this cost model.
+  // dedup moving real, credit-paced messages. The transport never overflows
+  // a round (sets ship as <= S/4-word chunks; empty sets ship nothing), but
+  // each machine must still *store* its dedup set: the storage audit throws
+  // for cardinalities beyond S — the honest answer under this cost model
+  // (use route_by_key + local counting for high-cardinality workloads).
   std::vector<std::vector<std::uint64_t>> sets(machines);
-  for (std::uint32_t m = 0; m < machines; ++m) {
+  parallel_for(machines, [&](std::size_t m) {
     auto& set = sets[m];
     set.reserve(shards[m].size());
     for (const KeyedItem& item : shards[m]) set.push_back(item.key);
     std::sort(set.begin(), set.end());
     set.erase(std::unique(set.begin(), set.end()), set.end());
+  });
+  for (std::uint32_t m = 0; m < machines; ++m) {
+    cluster.check_local_space(sets[m].size(), "distinct-count combiner set");
   }
 
   constexpr std::uint64_t kFanIn = 4;
+  const std::uint64_t chunk =
+      std::max<std::uint64_t>(1, cluster.local_space() / 4);
   std::vector<std::uint32_t> active(machines);
   for (std::uint32_t i = 0; i < machines; ++i) active[i] = i;
   while (active.size() > 1) {
@@ -97,18 +161,79 @@ std::uint64_t distinct_count(Cluster& cluster,
       next.push_back(leader);
       for (std::size_t i = g + 1; i < std::min(active.size(), g + kFanIn);
            ++i) {
-        outboxes[active[i]].push_back(
-            MpcMessage{leader, sets[active[i]]});
+        const auto& set = sets[active[i]];
+        // Chunked sends: an unpaced whole-set message could exceed S, and
+        // empty sets have nothing to contribute.
+        for (std::size_t begin = 0; begin < set.size(); begin += chunk) {
+          const std::size_t end = std::min(set.size(), begin + chunk);
+          outboxes[active[i]].push_back(MpcMessage{
+              leader, std::vector<std::uint64_t>(set.begin() + begin,
+                                                 set.begin() + end)});
+        }
+        sets[active[i]].clear();
       }
     }
-    auto inboxes = cluster.exchange(std::move(outboxes));
-    for (std::uint32_t leader : next) {
+    // Ship the chunks under receiver credits. Unlike paced_exchange, no
+    // fragment headers or ordering are needed — chunks of a deduped set
+    // union commutatively — so each chunk travels as-is and a level's
+    // typical small sets fit one exchange round. Credits equal the full
+    // receive capacity S; senders stay within S words per round too, and a
+    // receiver-caused deferral charges one handshake for the level.
+    std::vector<std::vector<MpcMessage>> inboxes(machines);
+    {
+      const std::uint64_t cap = cluster.local_space();
+      const std::uint64_t handshake = cluster.tree_rounds();
+      std::vector<std::size_t> head(machines, 0);
+      bool more = true;
+      bool need_handshake = false;
+      bool handshake_charged = false;
+      while (more) {
+        more = false;
+        if (need_handshake && !handshake_charged && handshake > 0) {
+          cluster.charge_rounds(handshake, "receiver-credit handshake");
+          handshake_charged = true;
+        }
+        need_handshake = false;
+        std::vector<std::uint64_t> send_used(machines, 0);
+        std::vector<std::uint64_t> recv_credit(machines, cap);
+        std::vector<std::vector<MpcMessage>> round_out(machines);
+        for (std::uint32_t m = 0; m < machines; ++m) {
+          auto& queue = outboxes[m];
+          while (head[m] < queue.size()) {
+            MpcMessage& msg = queue[head[m]];
+            const std::uint64_t words = msg.payload.size() + 1;
+            if (send_used[m] + words > cap) break;
+            if (recv_credit[msg.dst] < words) {
+              need_handshake = true;
+              break;
+            }
+            send_used[m] += words;
+            recv_credit[msg.dst] -= words;
+            round_out[m].push_back(std::move(msg));
+            ++head[m];
+          }
+          if (head[m] < queue.size()) more = true;
+        }
+        auto round_in = cluster.exchange(std::move(round_out));
+        for (std::uint32_t m = 0; m < machines; ++m) {
+          for (MpcMessage& msg : round_in[m]) {
+            inboxes[m].push_back(std::move(msg));
+          }
+        }
+      }
+    }
+    parallel_for(next.size(), [&](std::size_t li) {
+      const std::uint32_t leader = next[li];
       auto& set = sets[leader];
       for (const MpcMessage& msg : inboxes[leader]) {
         set.insert(set.end(), msg.payload.begin(), msg.payload.end());
       }
       std::sort(set.begin(), set.end());
       set.erase(std::unique(set.begin(), set.end()), set.end());
+    });
+    for (std::uint32_t leader : next) {
+      cluster.check_local_space(sets[leader].size(),
+                                "distinct-count merge set");
     }
     active = std::move(next);
   }

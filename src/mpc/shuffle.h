@@ -1,9 +1,12 @@
 // Key-routed data movement: the MPC workhorse underneath "hash joins",
 // label counting and load balancing. route_by_key ships every item to the
-// machine owning its key (hash partitioning) through real exchanges,
-// splitting over multiple rounds when a machine's send volume would exceed
-// S. distinct_count builds on it to count distinct keys — the primitive
-// the connectivity decision ("how many component labels survived?") needs.
+// machine owning its key (hash partitioning) through real exchanges under
+// receiver-credit flow control: both each sender's and each receiver's
+// per-round volume stay within the paced budget, so adversarial key skew
+// (many senders funnelling into one owner) degrades into extra paid rounds
+// instead of a SpaceLimitError. distinct_count builds on the same transport
+// to count distinct keys — the primitive the connectivity decision ("how
+// many component labels survived?") needs.
 #pragma once
 
 #include <cstdint>
@@ -24,16 +27,26 @@ struct KeyedItem {
 /// items initially held by machine i; the result is the per-machine
 /// received items. Items whose destination equals their source do not move
 /// (and cost nothing). Sends are paced into as many exchange rounds as the
-/// per-machine budget S requires.
+/// two-sided (send AND receive) credit budget requires; pending items drain
+/// FIFO and carry (source, position) sequence tags, so the delivery order
+/// per destination is locals first, then source order, and is stable across
+/// budget choices. A transfer that oversubscribes some receiver pays one
+/// O(tree_rounds) credit handshake charge (see mpc/pacing.h for the cost
+/// model).
+///
+/// `budget_words` overrides the per-round per-machine send budget (0 = the
+/// default paced budget of S/2); it is clamped to S/2 so the override can
+/// only tighten pacing, never break the space guarantee.
 std::vector<std::vector<KeyedItem>> route_by_key(
-    Cluster& cluster, std::vector<std::vector<KeyedItem>> shards);
+    Cluster& cluster, std::vector<std::vector<KeyedItem>> shards,
+    std::uint64_t budget_words = 0);
 
 /// Number of distinct keys across all shards, computed by local dedup (the
 /// combiner) followed by a fan-in-4 merge tree with per-level dedup, moving
-/// real messages. Space-safe when the global distinct count is well below
-/// S; larger cardinalities overflow a tree node's budget and throw
-/// SpaceLimitError (use route_by_key + local counting for high-cardinality
-/// workloads).
+/// real (chunked, credit-paced) messages; empty sets send nothing. Each
+/// machine's dedup set must itself fit in local space — a storage audit
+/// throws SpaceLimitError for high-cardinality inputs (use route_by_key +
+/// local counting there), while the transport never overflows a round.
 std::uint64_t distinct_count(Cluster& cluster,
                              std::vector<std::vector<KeyedItem>> shards);
 

@@ -1,5 +1,6 @@
 #include "rng/prg.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 

@@ -1,5 +1,7 @@
 #include "support/check.h"
 
+#include <string>
+
 namespace mpcstab::detail {
 
 [[noreturn]] void fail(std::string_view kind, std::string_view what,

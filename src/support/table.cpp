@@ -18,6 +18,8 @@ void Table::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
+void Table::set_footer(std::string footer) { footer_ = std::move(footer); }
+
 void Table::print(std::ostream& out, const std::string& title) const {
   std::vector<std::size_t> width(header_.size());
   for (std::size_t c = 0; c < header_.size(); ++c) {
@@ -42,6 +44,11 @@ void Table::print(std::ostream& out, const std::string& title) const {
   emit_row(header_);
   out << std::string(std::max<std::size_t>(total, title.size()), '-') << '\n';
   for (const auto& row : rows_) emit_row(row);
+  if (!footer_.empty()) {
+    out << std::string(std::max<std::size_t>(total, title.size()), '-')
+        << '\n'
+        << footer_ << '\n';
+  }
   out << '\n';
 }
 

@@ -18,6 +18,10 @@ class Table {
   /// Appends one row; must have the same arity as the header.
   void add_row(std::vector<std::string> cells);
 
+  /// Sets a footer line rendered under the rows (e.g. a load summary from
+  /// the MPC metrics layer); empty = no footer.
+  void set_footer(std::string footer);
+
   /// Renders the table with a title banner to `out`.
   void print(std::ostream& out, const std::string& title) const;
 
@@ -26,6 +30,7 @@ class Table {
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
+  std::string footer_;
 };
 
 /// Formats a double with `digits` digits after the decimal point.

@@ -1,0 +1,156 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpcstab {
+
+namespace {
+
+/// Persistent pool: workers sleep on a condition variable between
+/// parallel_for calls. One job at a time (parallel_for is a full barrier),
+/// which keeps the synchronisation dead simple and the dispatch overhead
+/// low enough for the simulator's many small rounds.
+class Pool {
+ public:
+  explicit Pool(unsigned threads) : threads_(threads) {
+    for (unsigned t = 0; t + 1 < threads_; ++t) {
+      workers_.emplace_back([this, t] { worker_loop(t + 1); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  unsigned threads() const { return threads_; }
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    const unsigned used =
+        static_cast<unsigned>(std::min<std::size_t>(threads_, n));
+    if (used <= 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_n_ = n;
+      job_fn_ = &fn;
+      job_chunks_ = used;
+      chunks_left_ = used;
+      errors_.assign(used, nullptr);
+      ++generation_;
+    }
+    wake_.notify_all();
+    run_chunk(0);  // the calling thread is worker 0
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_.wait(lock, [this] { return chunks_left_ == 0; });
+      job_fn_ = nullptr;
+      for (std::exception_ptr& e : errors_) {
+        if (e) std::rethrow_exception(e);
+      }
+    }
+  }
+
+ private:
+  void worker_loop(unsigned id) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      bool participate = false;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        // Participation is decided under the same lock that advances the
+        // generation: a slow waker must not join a later job's chunk count.
+        seen = generation_;
+        participate = id < job_chunks_;
+      }
+      if (participate) run_chunk(id);
+    }
+  }
+
+  void run_chunk(unsigned chunk) {
+    // Contiguous static partition: chunk c owns [c*n/k, (c+1)*n/k).
+    const std::size_t n = job_n_;
+    const unsigned k = job_chunks_;
+    const std::size_t begin = n * chunk / k;
+    const std::size_t end = n * (chunk + 1) / k;
+    std::exception_ptr error;
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*job_fn_)(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    errors_[chunk] = error;
+    if (--chunks_left_ == 0) done_.notify_all();
+  }
+
+  const unsigned threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  std::size_t job_n_ = 0;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  unsigned job_chunks_ = 0;
+  unsigned chunks_left_ = 0;
+  std::vector<std::exception_ptr> errors_;
+};
+
+unsigned resolve_default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  // Cap: the simulator's loops are short; beyond 8 workers the dispatch
+  // latency dominates on typical exchanges.
+  return std::max(1u, std::min(hw == 0 ? 1u : hw, 8u));
+}
+
+std::mutex pool_mutex;
+Pool* pool_instance = nullptr;
+unsigned requested_threads = 0;  // 0 = hardware default
+
+Pool& pool() {
+  std::lock_guard<std::mutex> lock(pool_mutex);
+  if (pool_instance == nullptr) {
+    const unsigned t =
+        requested_threads == 0 ? resolve_default_threads() : requested_threads;
+    pool_instance = new Pool(t);
+  }
+  return *pool_instance;
+}
+
+}  // namespace
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  pool().run(n, fn);
+}
+
+unsigned global_threads() { return pool().threads(); }
+
+void set_global_threads(unsigned threads) {
+  Pool* old = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex);
+    requested_threads = threads;
+    old = pool_instance;
+    pool_instance = nullptr;
+  }
+  delete old;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,33 @@
+// A small persistent worker pool for the simulator's host-side parallelism.
+// The MPC *model* stays synchronous and deterministic; the pool only speeds
+// up the simulation of independent per-machine work (outbox construction,
+// validation, inbox application). Every parallel loop in the library writes
+// to disjoint slots and merges in fixed machine order, so results are
+// bit-identical to serial execution — `set_global_threads(1)` forces the
+// serial path for A/B tests.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mpcstab {
+
+/// Runs `fn(i)` for every i in [0, n), partitioned into contiguous chunks
+/// across the global worker pool. Blocks until all iterations finish. If
+/// any iteration throws, the exception from the lowest-indexed chunk is
+/// rethrown (deterministically) after all workers stop.
+///
+/// `fn` must only write to state owned by iteration i (or otherwise
+/// disjoint per-iteration slots); the caller merges in fixed order.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Number of worker threads the global pool uses (>= 1). Resolved once from
+/// std::thread::hardware_concurrency() unless overridden.
+unsigned global_threads();
+
+/// Overrides the global pool size; 1 disables parallelism (pure serial
+/// execution on the calling thread), 0 restores the hardware default.
+/// Recreates the pool; not safe to call concurrently with parallel_for.
+void set_global_threads(unsigned threads);
+
+}  // namespace mpcstab

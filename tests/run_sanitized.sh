@@ -1,0 +1,20 @@
+#!/bin/sh
+# Build the whole tree under ASan+UBSan and run the test suite. This is the
+# configuration CI uses to race/UB-check the threaded round engine (the
+# worker pool behind Cluster::exchange and the paced shuffle). Equivalent to
+# `cmake --preset asan-ubsan && cmake --build --preset asan-ubsan &&
+# ctest --preset asan-ubsan` for CMake versions without preset support.
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-asan"
+jobs="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+cmake -B "$build" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMPCSTAB_SANITIZE=address-undefined
+cmake --build "$build" -j "$jobs"
+
+ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  ctest --test-dir "$build" --output-on-failure -j "$jobs"
