@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coloring_speedup.dir/bench_coloring_speedup.cpp.o"
+  "CMakeFiles/bench_coloring_speedup.dir/bench_coloring_speedup.cpp.o.d"
+  "bench_coloring_speedup"
+  "bench_coloring_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coloring_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_derand_is.dir/bench_derand_is.cpp.o"
+  "CMakeFiles/bench_derand_is.dir/bench_derand_is.cpp.o.d"
+  "bench_derand_is"
+  "bench_derand_is.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_derand_is.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

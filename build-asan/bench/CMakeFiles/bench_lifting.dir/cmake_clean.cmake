@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lifting.dir/bench_lifting.cpp.o"
+  "CMakeFiles/bench_lifting.dir/bench_lifting.cpp.o.d"
+  "bench_lifting"
+  "bench_lifting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lifting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

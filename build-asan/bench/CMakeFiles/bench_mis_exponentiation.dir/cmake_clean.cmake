@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mis_exponentiation.dir/bench_mis_exponentiation.cpp.o"
+  "CMakeFiles/bench_mis_exponentiation.dir/bench_mis_exponentiation.cpp.o.d"
+  "bench_mis_exponentiation"
+  "bench_mis_exponentiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mis_exponentiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

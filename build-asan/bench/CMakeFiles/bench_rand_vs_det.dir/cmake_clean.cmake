@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rand_vs_det.dir/bench_rand_vs_det.cpp.o"
+  "CMakeFiles/bench_rand_vs_det.dir/bench_rand_vs_det.cpp.o.d"
+  "bench_rand_vs_det"
+  "bench_rand_vs_det.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rand_vs_det.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replicability.dir/bench_replicability.cpp.o"
+  "CMakeFiles/bench_replicability.dir/bench_replicability.cpp.o.d"
+  "bench_replicability"
+  "bench_replicability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replicability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seed_search.dir/bench_seed_search.cpp.o"
+  "CMakeFiles/bench_seed_search.dir/bench_seed_search.cpp.o.d"
+  "bench_seed_search"
+  "bench_seed_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seed_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

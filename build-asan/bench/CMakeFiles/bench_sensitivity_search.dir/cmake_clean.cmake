@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_search.dir/bench_sensitivity_search.cpp.o"
+  "CMakeFiles/bench_sensitivity_search.dir/bench_sensitivity_search.cpp.o.d"
+  "bench_sensitivity_search"
+  "bench_sensitivity_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_separation_randomized.dir/bench_separation_randomized.cpp.o"
+  "CMakeFiles/bench_separation_randomized.dir/bench_separation_randomized.cpp.o.d"
+  "bench_separation_randomized"
+  "bench_separation_randomized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_separation_randomized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

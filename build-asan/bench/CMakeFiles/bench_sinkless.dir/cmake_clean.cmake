@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sinkless.dir/bench_sinkless.cpp.o"
+  "CMakeFiles/bench_sinkless.dir/bench_sinkless.cpp.o.d"
+  "bench_sinkless"
+  "bench_sinkless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sinkless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

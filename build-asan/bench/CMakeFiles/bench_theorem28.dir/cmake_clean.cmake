@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem28.dir/bench_theorem28.cpp.o"
+  "CMakeFiles/bench_theorem28.dir/bench_theorem28.cpp.o.d"
+  "bench_theorem28"
+  "bench_theorem28.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem28.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_input.dir/custom_input.cpp.o"
+  "CMakeFiles/example_custom_input.dir/custom_input.cpp.o.d"
+  "example_custom_input"
+  "example_custom_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

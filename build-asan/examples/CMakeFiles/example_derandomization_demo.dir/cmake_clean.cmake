@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_derandomization_demo.dir/derandomization_demo.cpp.o"
+  "CMakeFiles/example_derandomization_demo.dir/derandomization_demo.cpp.o.d"
+  "example_derandomization_demo"
+  "example_derandomization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_derandomization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

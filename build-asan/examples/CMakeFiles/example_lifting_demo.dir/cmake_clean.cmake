@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lifting_demo.dir/lifting_demo.cpp.o"
+  "CMakeFiles/example_lifting_demo.dir/lifting_demo.cpp.o.d"
+  "example_lifting_demo"
+  "example_lifting_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lifting_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_separation_demo.dir/separation_demo.cpp.o"
+  "CMakeFiles/example_separation_demo.dir/separation_demo.cpp.o.d"
+  "example_separation_demo"
+  "example_separation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_separation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/approx_matching.cpp" "src/CMakeFiles/mpcstab.dir/algorithms/approx_matching.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/algorithms/approx_matching.cpp.o.d"
+  "/root/repo/src/algorithms/coloring.cpp" "src/CMakeFiles/mpcstab.dir/algorithms/coloring.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/algorithms/coloring.cpp.o.d"
+  "/root/repo/src/algorithms/connectivity.cpp" "src/CMakeFiles/mpcstab.dir/algorithms/connectivity.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/algorithms/connectivity.cpp.o.d"
+  "/root/repo/src/algorithms/extendable.cpp" "src/CMakeFiles/mpcstab.dir/algorithms/extendable.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/algorithms/extendable.cpp.o.d"
+  "/root/repo/src/algorithms/ghaffari.cpp" "src/CMakeFiles/mpcstab.dir/algorithms/ghaffari.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/algorithms/ghaffari.cpp.o.d"
+  "/root/repo/src/algorithms/large_is.cpp" "src/CMakeFiles/mpcstab.dir/algorithms/large_is.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/algorithms/large_is.cpp.o.d"
+  "/root/repo/src/algorithms/lll.cpp" "src/CMakeFiles/mpcstab.dir/algorithms/lll.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/algorithms/lll.cpp.o.d"
+  "/root/repo/src/algorithms/luby.cpp" "src/CMakeFiles/mpcstab.dir/algorithms/luby.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/algorithms/luby.cpp.o.d"
+  "/root/repo/src/algorithms/matching.cpp" "src/CMakeFiles/mpcstab.dir/algorithms/matching.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/algorithms/matching.cpp.o.d"
+  "/root/repo/src/algorithms/ruling_set.cpp" "src/CMakeFiles/mpcstab.dir/algorithms/ruling_set.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/algorithms/ruling_set.cpp.o.d"
+  "/root/repo/src/algorithms/sinkless.cpp" "src/CMakeFiles/mpcstab.dir/algorithms/sinkless.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/algorithms/sinkless.cpp.o.d"
+  "/root/repo/src/algorithms/tree_coloring.cpp" "src/CMakeFiles/mpcstab.dir/algorithms/tree_coloring.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/algorithms/tree_coloring.cpp.o.d"
+  "/root/repo/src/algorithms/vertex_cover.cpp" "src/CMakeFiles/mpcstab.dir/algorithms/vertex_cover.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/algorithms/vertex_cover.cpp.o.d"
+  "/root/repo/src/core/amplification.cpp" "src/CMakeFiles/mpcstab.dir/core/amplification.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/core/amplification.cpp.o.d"
+  "/root/repo/src/core/component_stable.cpp" "src/CMakeFiles/mpcstab.dir/core/component_stable.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/core/component_stable.cpp.o.d"
+  "/root/repo/src/core/landscape.cpp" "src/CMakeFiles/mpcstab.dir/core/landscape.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/core/landscape.cpp.o.d"
+  "/root/repo/src/core/lifting.cpp" "src/CMakeFiles/mpcstab.dir/core/lifting.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/core/lifting.cpp.o.d"
+  "/root/repo/src/core/local_simulation.cpp" "src/CMakeFiles/mpcstab.dir/core/local_simulation.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/core/local_simulation.cpp.o.d"
+  "/root/repo/src/core/lower_bounds.cpp" "src/CMakeFiles/mpcstab.dir/core/lower_bounds.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/core/lower_bounds.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/CMakeFiles/mpcstab.dir/core/sensitivity.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/core/sensitivity.cpp.o.d"
+  "/root/repo/src/core/stability_checker.cpp" "src/CMakeFiles/mpcstab.dir/core/stability_checker.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/core/stability_checker.cpp.o.d"
+  "/root/repo/src/derand/seed_search.cpp" "src/CMakeFiles/mpcstab.dir/derand/seed_search.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/derand/seed_search.cpp.o.d"
+  "/root/repo/src/derand/seed_select.cpp" "src/CMakeFiles/mpcstab.dir/derand/seed_select.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/derand/seed_select.cpp.o.d"
+  "/root/repo/src/graph/balls.cpp" "src/CMakeFiles/mpcstab.dir/graph/balls.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/graph/balls.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/mpcstab.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/enumerate.cpp" "src/CMakeFiles/mpcstab.dir/graph/enumerate.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/graph/enumerate.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/mpcstab.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/mpcstab.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/mpcstab.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/knowledge.cpp" "src/CMakeFiles/mpcstab.dir/graph/knowledge.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/graph/knowledge.cpp.o.d"
+  "/root/repo/src/graph/legal_graph.cpp" "src/CMakeFiles/mpcstab.dir/graph/legal_graph.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/graph/legal_graph.cpp.o.d"
+  "/root/repo/src/graph/ops.cpp" "src/CMakeFiles/mpcstab.dir/graph/ops.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/graph/ops.cpp.o.d"
+  "/root/repo/src/local/engine.cpp" "src/CMakeFiles/mpcstab.dir/local/engine.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/local/engine.cpp.o.d"
+  "/root/repo/src/local/flooding.cpp" "src/CMakeFiles/mpcstab.dir/local/flooding.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/local/flooding.cpp.o.d"
+  "/root/repo/src/mpc/cluster.cpp" "src/CMakeFiles/mpcstab.dir/mpc/cluster.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/cluster.cpp.o.d"
+  "/root/repo/src/mpc/dist_graph.cpp" "src/CMakeFiles/mpcstab.dir/mpc/dist_graph.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/dist_graph.cpp.o.d"
+  "/root/repo/src/mpc/exponentiation.cpp" "src/CMakeFiles/mpcstab.dir/mpc/exponentiation.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/exponentiation.cpp.o.d"
+  "/root/repo/src/mpc/metrics.cpp" "src/CMakeFiles/mpcstab.dir/mpc/metrics.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/metrics.cpp.o.d"
+  "/root/repo/src/mpc/native_connectivity.cpp" "src/CMakeFiles/mpcstab.dir/mpc/native_connectivity.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/native_connectivity.cpp.o.d"
+  "/root/repo/src/mpc/pacing.cpp" "src/CMakeFiles/mpcstab.dir/mpc/pacing.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/pacing.cpp.o.d"
+  "/root/repo/src/mpc/primitives.cpp" "src/CMakeFiles/mpcstab.dir/mpc/primitives.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/primitives.cpp.o.d"
+  "/root/repo/src/mpc/shuffle.cpp" "src/CMakeFiles/mpcstab.dir/mpc/shuffle.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/mpc/shuffle.cpp.o.d"
+  "/root/repo/src/problems/problems.cpp" "src/CMakeFiles/mpcstab.dir/problems/problems.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/problems/problems.cpp.o.d"
+  "/root/repo/src/problems/replicability.cpp" "src/CMakeFiles/mpcstab.dir/problems/replicability.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/problems/replicability.cpp.o.d"
+  "/root/repo/src/rng/kwise.cpp" "src/CMakeFiles/mpcstab.dir/rng/kwise.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/rng/kwise.cpp.o.d"
+  "/root/repo/src/rng/prg.cpp" "src/CMakeFiles/mpcstab.dir/rng/prg.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/rng/prg.cpp.o.d"
+  "/root/repo/src/support/check.cpp" "src/CMakeFiles/mpcstab.dir/support/check.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/support/check.cpp.o.d"
+  "/root/repo/src/support/math.cpp" "src/CMakeFiles/mpcstab.dir/support/math.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/support/math.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/mpcstab.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/support/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/mpcstab.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/mpcstab.dir/support/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

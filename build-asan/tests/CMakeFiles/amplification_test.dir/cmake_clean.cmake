@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amplification_test.dir/amplification_test.cpp.o"
+  "CMakeFiles/amplification_test.dir/amplification_test.cpp.o.d"
+  "amplification_test"
+  "amplification_test.pdb"
+  "amplification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amplification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balls_test.dir/balls_test.cpp.o"
+  "CMakeFiles/balls_test.dir/balls_test.cpp.o.d"
+  "balls_test"
+  "balls_test.pdb"
+  "balls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/component_stable_test.dir/component_stable_test.cpp.o"
+  "CMakeFiles/component_stable_test.dir/component_stable_test.cpp.o.d"
+  "component_stable_test"
+  "component_stable_test.pdb"
+  "component_stable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/component_stable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derand_test.dir/derand_test.cpp.o"
+  "CMakeFiles/derand_test.dir/derand_test.cpp.o.d"
+  "derand_test"
+  "derand_test.pdb"
+  "derand_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

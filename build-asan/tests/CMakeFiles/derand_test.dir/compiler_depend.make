@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for derand_test.
+# This may be replaced when dependencies are built.

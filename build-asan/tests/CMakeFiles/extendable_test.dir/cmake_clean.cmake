@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extendable_test.dir/extendable_test.cpp.o"
+  "CMakeFiles/extendable_test.dir/extendable_test.cpp.o.d"
+  "extendable_test"
+  "extendable_test.pdb"
+  "extendable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extendable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

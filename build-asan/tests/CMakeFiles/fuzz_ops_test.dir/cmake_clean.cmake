@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_ops_test.dir/fuzz_ops_test.cpp.o"
+  "CMakeFiles/fuzz_ops_test.dir/fuzz_ops_test.cpp.o.d"
+  "fuzz_ops_test"
+  "fuzz_ops_test.pdb"
+  "fuzz_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghaffari_test.dir/ghaffari_test.cpp.o"
+  "CMakeFiles/ghaffari_test.dir/ghaffari_test.cpp.o.d"
+  "ghaffari_test"
+  "ghaffari_test.pdb"
+  "ghaffari_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghaffari_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

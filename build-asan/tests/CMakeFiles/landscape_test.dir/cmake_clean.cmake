@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landscape_test.dir/landscape_test.cpp.o"
+  "CMakeFiles/landscape_test.dir/landscape_test.cpp.o.d"
+  "landscape_test"
+  "landscape_test.pdb"
+  "landscape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landscape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_is_test.dir/large_is_test.cpp.o"
+  "CMakeFiles/large_is_test.dir/large_is_test.cpp.o.d"
+  "large_is_test"
+  "large_is_test.pdb"
+  "large_is_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_is_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legal_graph_test.dir/legal_graph_test.cpp.o"
+  "CMakeFiles/legal_graph_test.dir/legal_graph_test.cpp.o.d"
+  "legal_graph_test"
+  "legal_graph_test.pdb"
+  "legal_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legal_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifting_property_test.dir/lifting_property_test.cpp.o"
+  "CMakeFiles/lifting_property_test.dir/lifting_property_test.cpp.o.d"
+  "lifting_property_test"
+  "lifting_property_test.pdb"
+  "lifting_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifting_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

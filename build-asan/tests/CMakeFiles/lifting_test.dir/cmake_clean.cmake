@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifting_test.dir/lifting_test.cpp.o"
+  "CMakeFiles/lifting_test.dir/lifting_test.cpp.o.d"
+  "lifting_test"
+  "lifting_test.pdb"
+  "lifting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_test.dir/lll_test.cpp.o"
+  "CMakeFiles/lll_test.dir/lll_test.cpp.o.d"
+  "lll_test"
+  "lll_test.pdb"
+  "lll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

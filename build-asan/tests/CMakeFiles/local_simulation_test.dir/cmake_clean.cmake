@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_simulation_test.dir/local_simulation_test.cpp.o"
+  "CMakeFiles/local_simulation_test.dir/local_simulation_test.cpp.o.d"
+  "local_simulation_test"
+  "local_simulation_test.pdb"
+  "local_simulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

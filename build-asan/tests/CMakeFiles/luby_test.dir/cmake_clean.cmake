@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/luby_test.dir/luby_test.cpp.o"
+  "CMakeFiles/luby_test.dir/luby_test.cpp.o.d"
+  "luby_test"
+  "luby_test.pdb"
+  "luby_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/luby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

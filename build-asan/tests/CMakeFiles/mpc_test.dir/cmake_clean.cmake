@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_test.dir/mpc_test.cpp.o"
+  "CMakeFiles/mpc_test.dir/mpc_test.cpp.o.d"
+  "mpc_test"
+  "mpc_test.pdb"
+  "mpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

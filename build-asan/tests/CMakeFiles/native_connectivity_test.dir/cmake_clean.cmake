@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_connectivity_test.dir/native_connectivity_test.cpp.o"
+  "CMakeFiles/native_connectivity_test.dir/native_connectivity_test.cpp.o.d"
+  "native_connectivity_test"
+  "native_connectivity_test.pdb"
+  "native_connectivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_connectivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

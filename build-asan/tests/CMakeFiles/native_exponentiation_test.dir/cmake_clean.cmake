@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_exponentiation_test.dir/native_exponentiation_test.cpp.o"
+  "CMakeFiles/native_exponentiation_test.dir/native_exponentiation_test.cpp.o.d"
+  "native_exponentiation_test"
+  "native_exponentiation_test.pdb"
+  "native_exponentiation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_exponentiation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacing_test.dir/pacing_test.cpp.o"
+  "CMakeFiles/pacing_test.dir/pacing_test.cpp.o.d"
+  "pacing_test"
+  "pacing_test.pdb"
+  "pacing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_sensitivity_test.dir/randomized_sensitivity_test.cpp.o"
+  "CMakeFiles/randomized_sensitivity_test.dir/randomized_sensitivity_test.cpp.o.d"
+  "randomized_sensitivity_test"
+  "randomized_sensitivity_test.pdb"
+  "randomized_sensitivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_sensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicability_test.dir/replicability_test.cpp.o"
+  "CMakeFiles/replicability_test.dir/replicability_test.cpp.o.d"
+  "replicability_test"
+  "replicability_test.pdb"
+  "replicability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/round_engine_test.dir/round_engine_test.cpp.o"
+  "CMakeFiles/round_engine_test.dir/round_engine_test.cpp.o.d"
+  "round_engine_test"
+  "round_engine_test.pdb"
+  "round_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/round_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

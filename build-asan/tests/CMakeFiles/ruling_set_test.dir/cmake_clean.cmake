@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruling_set_test.dir/ruling_set_test.cpp.o"
+  "CMakeFiles/ruling_set_test.dir/ruling_set_test.cpp.o.d"
+  "ruling_set_test"
+  "ruling_set_test.pdb"
+  "ruling_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruling_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_search_test.dir/seed_search_test.cpp.o"
+  "CMakeFiles/seed_search_test.dir/seed_search_test.cpp.o.d"
+  "seed_search_test"
+  "seed_search_test.pdb"
+  "seed_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

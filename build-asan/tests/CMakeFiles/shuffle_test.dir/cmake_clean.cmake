@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffle_test.dir/shuffle_test.cpp.o"
+  "CMakeFiles/shuffle_test.dir/shuffle_test.cpp.o.d"
+  "shuffle_test"
+  "shuffle_test.pdb"
+  "shuffle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

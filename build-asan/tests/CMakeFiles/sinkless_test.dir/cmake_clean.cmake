@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinkless_test.dir/sinkless_test.cpp.o"
+  "CMakeFiles/sinkless_test.dir/sinkless_test.cpp.o.d"
+  "sinkless_test"
+  "sinkless_test.pdb"
+  "sinkless_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinkless_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

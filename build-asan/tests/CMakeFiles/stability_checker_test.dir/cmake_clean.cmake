@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_checker_test.dir/stability_checker_test.cpp.o"
+  "CMakeFiles/stability_checker_test.dir/stability_checker_test.cpp.o.d"
+  "stability_checker_test"
+  "stability_checker_test.pdb"
+  "stability_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

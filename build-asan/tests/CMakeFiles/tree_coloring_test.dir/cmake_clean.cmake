@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_coloring_test.dir/tree_coloring_test.cpp.o"
+  "CMakeFiles/tree_coloring_test.dir/tree_coloring_test.cpp.o.d"
+  "tree_coloring_test"
+  "tree_coloring_test.pdb"
+  "tree_coloring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_coloring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

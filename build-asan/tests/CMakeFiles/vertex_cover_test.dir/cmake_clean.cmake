@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_cover_test.dir/vertex_cover_test.cpp.o"
+  "CMakeFiles/vertex_cover_test.dir/vertex_cover_test.cpp.o.d"
+  "vertex_cover_test"
+  "vertex_cover_test.pdb"
+  "vertex_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
