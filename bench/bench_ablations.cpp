@@ -19,7 +19,8 @@
 using namespace mpcstab;
 using namespace mpcstab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Session session("bench_ablations", argc, argv);
   banner("E13: ablations", "design-choice sweeps behind the headline runs");
 
   const LegalGraph g = identity(random_regular_graph(256, 4, Prf(1)));
@@ -32,9 +33,13 @@ int main() {
     int ok = 0;
     const int seeds = 64;
     for (int s = 0; s < seeds; ++s) {
-      Cluster cluster = cluster_for(g, 0.5, reps);
+      Cluster cluster =
+          s == 0 ? session.cluster(g, 0.5, reps) : cluster_for(g, 0.5, reps);
       const LargeIsResult r = amplified_large_is(cluster, g, Prf(s), reps);
       ok += static_cast<double>(r.is_size) >= threshold;
+      if (s == 0) {
+        session.record("amplified reps=" + std::to_string(reps), cluster);
+      }
     }
     reps_table.add_row({std::to_string(reps),
                         fmt(static_cast<double>(ok) / seeds, 3),
@@ -119,5 +124,5 @@ int main() {
                     "(d) independence ablation: pairwise already meets "
                     "Claim 52's bound; more independence only helps "
                     "constants");
-  return 0;
+  return session.finish();
 }

@@ -19,7 +19,8 @@
 using namespace mpcstab;
 using namespace mpcstab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Session session("bench_coloring_speedup", argc, argv);
   banner("E10: LOCAL vs MPC round compression",
          "T-round LOCAL -> O(log T)-round MPC (exponentiation); "
          "log* n vs log n curves");
@@ -118,8 +119,9 @@ int main() {
             "deterministic"});
   for (Node n : {128u, 512u}) {
     const LegalGraph g = identity(random_regular_graph(n, 4, Prf(n + 7)));
-    Cluster a(MpcConfig::for_graph(g.n(), g.graph().m()));
+    Cluster a = session.cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
     const DerandColoringResult ra = derandomized_coloring(a, g, 5, 8);
+    session.record("derand-coloring n=" + std::to_string(n), a);
     Cluster b(MpcConfig::for_graph(g.n(), g.graph().m()));
     const DerandColoringResult rb = derandomized_coloring(b, g, 5, 8);
     dc.add_row({std::to_string(n), "4", std::to_string(ra.iterations),
@@ -130,5 +132,5 @@ int main() {
   dc.print(std::cout,
            "derandomized (Delta+1)-coloring via conditional expectations "
            "(component-unstable; rounds flat in n)");
-  return 0;
+  return session.finish();
 }

@@ -1,14 +1,20 @@
 // Shared helpers for the experiment harness. Every bench binary prints one
 // or more tables (the paper has no numbered tables/figures; each table here
 // regenerates the quantitative shape of one theorem, per DESIGN.md's
-// experiment index E1..E11).
+// experiment index E1..E11) and, through Session, gains a machine-readable
+// `--json <path>` mode emitting the "mpcstab-bench-v1" schema (config,
+// round/word totals, per-round load profile, span tree, registry metrics)
+// for perf-trajectory tracking.
 #pragma once
 
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "graph/legal_graph.h"
 #include "mpc/cluster.h"
+#include "obs/export.h"
 #include "support/table.h"
 
 namespace mpcstab::bench {
@@ -26,5 +32,122 @@ inline Cluster cluster_for(const LegalGraph& g, double phi = 0.5,
 inline void banner(const std::string& experiment, const std::string& claim) {
   std::cout << "\n=== " << experiment << " ===\n" << claim << "\n";
 }
+
+/// Per-binary bench session: parses harness flags out of argv (consuming
+/// them, so google-benchmark binaries can pass the rest on), hands out
+/// traced clusters, collects one RunRecord per recorded run, and writes the
+/// JSON report on finish().
+///
+/// Flags:
+///   --json <path> | --json=<path>   write the mpcstab-bench-v1 report
+///   --trace                         print each recorded run's span tree
+///                                   and the top metrics to stdout
+///
+/// Usage:
+///   int main(int argc, char** argv) {
+///     Session session("bench_foo", argc, argv);
+///     Cluster cluster = session.cluster(g);          // tracing enabled
+///     run_experiment(cluster);
+///     session.record("instance label", cluster);
+///     return session.finish();
+///   }
+class Session {
+ public:
+  Session(std::string name, int& argc, char** argv) {
+    report_.bench = std::move(name);
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        json_path_ = std::string(arg.substr(7));
+      } else if (arg == "--trace") {
+        print_trace_ = true;
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+  }
+
+  /// Cluster sized like cluster_for(), with tracing enabled so recorded
+  /// runs carry a span tree.
+  Cluster cluster(const LegalGraph& g, double phi = 0.5,
+                  std::uint64_t machine_factor = 1) {
+    Cluster c = cluster_for(g, phi, machine_factor);
+    c.enable_tracing();
+    return c;
+  }
+
+  /// Same, from an explicit config.
+  Cluster cluster(const MpcConfig& config) {
+    Cluster c(config);
+    c.enable_tracing();
+    return c;
+  }
+
+  /// Records one finished run under `label` (one entry in the JSON `runs`
+  /// array). Call after the cluster's last exchange, with all spans closed.
+  void record(std::string label, const Cluster& c) {
+    obs::RunRecord run = obs::capture_run(std::move(label), c);
+    if (print_trace_ && run.traced) {
+      obs::span_tree_table(run.spans)
+          .print(std::cout, "trace: " + run.label);
+    }
+    report_.runs.push_back(std::move(run));
+  }
+
+  /// Adds a free-form key/value to the report's `info` object.
+  void note(std::string key, std::string value) {
+    report_.info.emplace_back(std::move(key), std::move(value));
+  }
+
+  const std::string& json_path() const { return json_path_; }
+  bool tracing_to_stdout() const { return print_trace_; }
+
+  /// Writes the JSON report when `--json` was given; prints the top
+  /// metrics when `--trace` was given. Returns the process exit code.
+  int finish() {
+    if (report_.runs.empty() && !json_path_.empty()) {
+      // Benches that never touch a cluster still emit a complete report:
+      // a tiny traced engine probe supplies config, load profile and span
+      // tree (labelled as such, so trajectory tooling can tell it apart).
+      MpcConfig cfg;
+      cfg.n = 32;
+      cfg.local_space = 32;
+      cfg.machines = 4;
+      Cluster probe(cfg);
+      probe.enable_tracing();
+      {
+        obs::Span span = probe.span("engine-probe");
+        for (int r = 0; r < 2; ++r) {
+          std::vector<std::vector<MpcMessage>> out(cfg.machines);
+          out[0].push_back(MpcMessage{1, {1, 2, 3}});
+          probe.exchange(std::move(out));
+        }
+      }
+      record("engine-probe", probe);
+    }
+    if (print_trace_) {
+      obs::metrics_table(obs::Registry::global(), 12)
+          .print(std::cout, "engine metrics (top 12)");
+    }
+    if (!json_path_.empty()) {
+      if (!obs::write_bench_json(json_path_, report_)) {
+        std::cerr << "error: cannot write " << json_path_ << "\n";
+        return 1;
+      }
+      std::cout << "[bench] wrote " << json_path_ << " ("
+                << report_.runs.size() << " runs)\n";
+    }
+    return 0;
+  }
+
+ private:
+  obs::BenchReport report_;
+  std::string json_path_;
+  bool print_trace_ = false;
+};
 
 }  // namespace mpcstab::bench

@@ -13,7 +13,8 @@
 using namespace mpcstab;
 using namespace mpcstab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Session session("bench_connectivity", argc, argv);
   banner("E4: connectivity conjecture instance",
          "rounds to distinguish 1 n-cycle from 2 n/2-cycles grow ~ log n; "
          "truncated runs are unreliable");
@@ -24,13 +25,16 @@ int main() {
     for (int two : {0, 1}) {
       const LegalGraph g =
           identity(two ? two_cycles_graph(n) : cycle_graph(n));
-      Cluster cluster = cluster_for(g);
+      Cluster cluster = session.cluster(g);
       const CycleDecision d = distinguish_cycles(cluster, g);
       const bool correct = d.one_cycle == (two == 0);
       table.add_row({std::to_string(n), two ? "two-cycles" : "one-cycle",
                      std::to_string(d.rounds / 2), std::to_string(d.rounds),
                      d.one_cycle ? "ONE" : "TWO", correct ? "yes" : "NO",
                      std::to_string(ceil_log2(n))});
+      session.record((two ? "two-cycles n=" : "one-cycle n=") +
+                         std::to_string(n),
+                     cluster);
     }
   }
   table.print(std::cout, "hash-to-min on conjecture instances");
@@ -39,11 +43,12 @@ int main() {
   const Node n = 16384;
   const LegalGraph g = identity(cycle_graph(n));
   for (std::uint64_t budget : {2ull, 4ull, 8ull, 16ull, 32ull, 64ull}) {
-    Cluster cluster = cluster_for(g);
+    Cluster cluster = session.cluster(g);
     const CycleDecision d = distinguish_cycles_truncated(cluster, g, budget);
     trunc.add_row({std::to_string(n), std::to_string(budget),
                    d.reliable ? "yes" : "NO",
                    d.reliable ? "converged" : "cannot certify answer"});
+    session.record("truncated budget=" + std::to_string(budget), cluster);
   }
   trunc.print(std::cout,
               "truncated (o(log n)-round) attempts on a 16384-cycle");
@@ -51,11 +56,12 @@ int main() {
   Table st({"path nodes", "D bound", "rounds", "yes", "log2(D)"});
   for (std::uint32_t D : {4u, 16u, 64u, 256u}) {
     const LegalGraph path = identity(path_graph(512));
-    Cluster cluster = cluster_for(path);
+    Cluster cluster = session.cluster(path);
     const StConnResult r = st_connectivity(cluster, path, 0, 3, D);
     st.add_row({"512", std::to_string(D), std::to_string(r.rounds),
                 r.yes ? "yes" : "no", std::to_string(ceil_log2(D))});
+    session.record("st-conn D=" + std::to_string(D), cluster);
   }
   st.print(std::cout, "D-diameter s-t connectivity: rounds ~ log D");
-  return 0;
+  return session.finish();
 }

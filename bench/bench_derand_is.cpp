@@ -11,7 +11,8 @@
 using namespace mpcstab;
 using namespace mpcstab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Session session("bench_derand_is", argc, argv);
   banner("E2: Theorem 53 — deterministic O(1)-round Omega(n/Delta) IS",
          "pairwise Luby step + distributed conditional expectations "
          "(seed space 2^10)");
@@ -33,8 +34,11 @@ int main() {
 
   for (auto& c : cases) {
     const std::uint32_t delta = std::max<std::uint32_t>(1, c.g.max_degree());
-    Cluster cluster = cluster_for(c.g);
+    Cluster cluster = session.cluster(c.g);
     const LargeIsResult a = derandomized_large_is(cluster, c.g, 10, 0.5);
+    session.record(std::string("large-is ") + c.regime + " n=" +
+                       std::to_string(c.g.n()),
+                   cluster);
     Cluster cluster2 = cluster_for(c.g);
     const LargeIsResult b = derandomized_large_is(cluster2, c.g, 10, 0.5);
 
@@ -64,8 +68,9 @@ int main() {
           one_round_is_pairwise(cluster, g, PairwiseHash::from_seed(s, 16))
               .is_size);
     }
-    Cluster cluster2 = cluster_for(g);
+    Cluster cluster2 = session.cluster(g);
     const LargeIsResult det = derandomized_large_is(cluster2, g, 10, 0.5);
+    session.record("claim52 Delta=" + std::to_string(d), cluster2);
     claim.add_row({std::to_string(n), std::to_string(d), fmt(total / 200, 1),
                    fmt(n / (4.0 * d + 1.0), 1),
                    std::to_string(det.is_size)});
@@ -73,5 +78,5 @@ int main() {
   claim.print(std::cout,
               "Claim 52: E[|IS|] >= n/(4Delta+1) under pairwise "
               "independence; the fixed seed can only do better");
-  return 0;
+  return session.finish();
 }

@@ -14,7 +14,8 @@
 using namespace mpcstab;
 using namespace mpcstab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Session session("bench_landscape", argc, argv);
   banner("E12: the MPC complexity landscape (Section 2.5)",
          "large-IS witnesses, each judged against its own guarantee");
 
@@ -59,5 +60,5 @@ int main() {
          "  DetMPC    =             RandMPC     [Theorem 22, non-uniform]\n"
          "The rows above exhibit the witnesses: only the unstable classes "
          "combine O(1) rounds with certain success.\n";
-  return 0;
+  return session.finish();
 }

@@ -14,7 +14,8 @@
 using namespace mpcstab;
 using namespace mpcstab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Session session("bench_lifting", argc, argv);
   banner("E3: Lemma 27 — lifting sensitivity to st-connectivity",
          "marker algorithm + path sensitive pairs, planted and random h");
 
@@ -26,10 +27,13 @@ int main() {
 
     for (Node p = 2; p <= D + 2; ++p) {
       const LegalGraph h = identity(path_graph(p));
-      Cluster cluster = cluster_for(h);
+      Cluster cluster = session.cluster(h);
       const BStConnResult r = b_st_conn(cluster, h, 0, p - 1, pair, alg,
                                         /*seed=*/7, /*sims=*/8,
                                         /*planted_first=*/true);
+      session.record("planted D=" + std::to_string(D) +
+                         " p=" + std::to_string(p),
+                     cluster);
       const bool expected_yes = p <= D + 1;
       table.add_row({std::to_string(D), "path", std::to_string(p), "8",
                      std::to_string(r.yes_votes),
@@ -40,9 +44,10 @@ int main() {
     {
       const Graph parts[] = {path_graph(3), path_graph(3)};
       const LegalGraph h = identity(disjoint_union(parts));
-      Cluster cluster = cluster_for(h);
+      Cluster cluster = session.cluster(h);
       const BStConnResult r =
           b_st_conn(cluster, h, 0, 5, pair, alg, 7, 64, true);
+      session.record("disconnected D=" + std::to_string(D), cluster);
       table.add_row({std::to_string(D), "disconnected", "-", "64",
                      std::to_string(r.yes_votes),
                      std::to_string(r.full_copies_seen),
@@ -59,9 +64,10 @@ int main() {
     const MarkerAlgorithm alg({999});
     const LegalGraph h = identity(path_graph(D + 1));  // exactly D edges
     const std::uint64_t sims = (D == 2) ? 512 : 4096;
-    Cluster cluster = cluster_for(h);
+    Cluster cluster = session.cluster(h);
     const BStConnResult r =
         b_st_conn(cluster, h, 0, D, pair, alg, 11, sims, false);
+    session.record("random-h D=" + std::to_string(D), cluster);
     const double reference =
         1.0 / std::pow(static_cast<double>(D), static_cast<double>(D));
     random_mode.add_row(
@@ -74,5 +80,5 @@ int main() {
                     "random-h mode: per-simulation success ~ D^-D, "
                     "amplified away by parallel simulations (paper, proof "
                     "of Lemma 27)");
-  return 0;
+  return session.finish();
 }

@@ -14,7 +14,8 @@
 using namespace mpcstab;
 using namespace mpcstab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Session session("bench_mis_exponentiation", argc, argv);
   banner("E5: Theorem 46 — deterministic MPC MIS via exponentiation",
          "LOCAL budget t vs MPC rounds (log t per iteration); validity "
          "checked on every output");
@@ -34,8 +35,10 @@ int main() {
   cases.push_back({"caterpillar", identity(caterpillar_forest(8, 2, 4))});
 
   for (auto& c : cases) {
-    Cluster cluster = cluster_for(c.g, 0.8);
+    Cluster cluster = session.cluster(c.g, 0.8);
     const DetMisResult r = deterministic_mis_mpc(cluster, c.g, 6);
+    session.record(std::string(c.name) + " n=" + std::to_string(c.g.n()),
+                   cluster);
     const bool valid = MisProblem().valid(c.g, r.labels);
     table.add_row({c.name, std::to_string(c.g.n()),
                    std::to_string(c.g.max_degree()),
@@ -75,5 +78,5 @@ int main() {
   local_ref.print(std::cout,
                   "Ghaffari MIS in LOCAL: budget t = O(log Delta + "
                   "loglog n) leaves (near-)zero BOT");
-  return 0;
+  return session.finish();
 }

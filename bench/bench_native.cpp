@@ -15,7 +15,8 @@
 using namespace mpcstab;
 using namespace mpcstab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Session session("bench_native", argc, argv);
   banner("E15: native vs semantic MPC connectivity",
          "same semantics; native pays for every word, semantic charges the "
          "documented O(1)/iteration");
@@ -38,10 +39,12 @@ int main() {
 
   std::string last_load;
   for (auto& c : cases) {
-    Cluster c1(MpcConfig::for_graph(c.g.n(), c.g.graph().m(), 0.6));
+    Cluster c1 =
+        session.cluster(MpcConfig::for_graph(c.g.n(), c.g.graph().m(), 0.6));
     const NativeConnectivityResult native =
         native_min_label_propagation(c1, c.g, 2000);
     last_load = c.name + ": " + load_summary(c1);
+    session.record("native " + c.name, c1);
     Cluster c2(MpcConfig::for_graph(c.g.n(), c.g.graph().m(), 0.6));
     const ConnectivityResult semantic =
         hash_to_min_components(c2, c.g, 2000);
@@ -78,8 +81,10 @@ int main() {
               "charged rounds (collect_balls)"});
   const LegalGraph cyc = identity(cycle_graph(256));
   for (std::uint32_t radius : {2u, 4u, 8u}) {
-    Cluster c1(MpcConfig::for_graph(cyc.n(), cyc.graph().m(), 0.8, 4));
+    Cluster c1 = session.cluster(
+        MpcConfig::for_graph(cyc.n(), cyc.graph().m(), 0.8, 4));
     const NativeBallsResult nb = collect_balls_native(c1, cyc, radius);
+    session.record("balls-native r=" + std::to_string(radius), c1);
     expo.add_row({std::to_string(radius),
                   std::to_string(nb.doubling_steps),
                   std::to_string(nb.rounds),
@@ -95,8 +100,10 @@ int main() {
   // traffic sits relative to the S-word receive wall, round by round.
   {
     const LegalGraph g = identity(hypercube_graph(8));
-    Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.5));
+    Cluster cluster =
+        session.cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.5));
     native_min_label_propagation(cluster, g, 2000);
+    session.record("native hypercube d=8", cluster);
     Table profile = load_profile_table(cluster, 12);
     profile.set_footer(load_summary(cluster));
     profile.print(std::cout,
@@ -104,5 +111,5 @@ int main() {
                   "(12 sampled rounds): receive volume stays under S while "
                   "credits pace the skewed early waves");
   }
-  return 0;
+  return session.finish();
 }

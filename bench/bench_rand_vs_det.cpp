@@ -22,7 +22,8 @@
 using namespace mpcstab;
 using namespace mpcstab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Session session("bench_rand_vs_det", argc, argv);
   banner("E14: randomized vs deterministic, stable vs unstable",
          "per-problem cost comparison across the paper's axes");
 
@@ -32,24 +33,27 @@ int main() {
   {
     const LegalGraph g = identity(random_regular_graph(512, 4, Prf(1)));
     {
-      Cluster cluster = cluster_for(g, 0.5, 64);
+      Cluster cluster = session.cluster(g, 0.5, 64);
       const auto r = amplified_large_is(cluster, g, Prf(2), 44);
+      session.record("large-is amplified", cluster);
       table.add_row({"large-IS", "amplified Luby", "rand, unstable",
                      std::to_string(r.rounds),
                      LargeIsProblem::independent(g, r.labels) ? "yes" : "NO"});
     }
     {
-      Cluster cluster = cluster_for(g);
+      Cluster cluster = session.cluster(g);
       const auto r = derandomized_large_is(cluster, g, 10, 0.5);
+      session.record("large-is derandomized", cluster);
       table.add_row({"large-IS", "derandomized pairwise", "det, unstable",
                      std::to_string(r.rounds),
                      LargeIsProblem::independent(g, r.labels) ? "yes" : "NO"});
     }
     {
-      Cluster cluster = cluster_for(g);
+      Cluster cluster = session.cluster(g);
       const std::uint64_t start = cluster.rounds();
       const auto labels =
           run_component_stable(cluster, StableGreedyMis(), g, 0);
+      session.record("large-is stable-greedy", cluster);
       table.add_row({"large-IS", "greedy MIS by ID", "det, STABLE",
                      std::to_string(cluster.rounds() - start),
                      MisProblem().valid(g, labels) ? "yes" : "NO"});
@@ -67,8 +71,9 @@ int main() {
                      MisProblem().valid(g, r.labels) ? "yes" : "NO"});
     }
     {
-      Cluster cluster = cluster_for(g, 0.8);
+      Cluster cluster = session.cluster(g, 0.8);
       const DetMisResult r = deterministic_mis_mpc(cluster, g, 6);
+      session.record("mis det-exponentiation", cluster);
       table.add_row({"MIS", "ball-collection + PRG seed", "det, unstable",
                      std::to_string(r.mpc_rounds),
                      MisProblem().valid(g, r.labels) ? "yes" : "NO"});
@@ -86,8 +91,9 @@ int main() {
                                                                    : "NO"});
     }
     {
-      Cluster cluster = cluster_for(g, 0.9);
+      Cluster cluster = session.cluster(g, 0.9);
       const DetMatchingResult r = deterministic_matching_mpc(cluster, g, 6);
+      session.record("matching det-line-graph", cluster);
       table.add_row({"maximal matching", "det MIS on line graph",
                      "det, unstable", std::to_string(r.mpc_rounds),
                      is_maximal_matching(g.graph(), r.edge_labels) ? "yes"
@@ -105,9 +111,10 @@ int main() {
                      r.success ? "yes" : "NO"});
     }
     {
-      Cluster cluster = cluster_for(g);
+      Cluster cluster = session.cluster(g);
       const std::uint64_t start = cluster.rounds();
       const SinklessResult r = derandomized_sinkless(&cluster, g, 10);
+      session.record("sinkless derandomized", cluster);
       table.add_row({"sinkless orientation", "seed fixing + repair",
                      "det, unstable",
                      std::to_string(cluster.rounds() - start),
@@ -132,5 +139,5 @@ int main() {
               "cross-problem costs ('stable-ish' = per-component local "
               "rules that would be component-stable as Definition 13 "
               "functions of (CC, v, n, Delta, seed))");
-  return 0;
+  return session.finish();
 }

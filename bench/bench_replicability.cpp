@@ -12,7 +12,8 @@
 using namespace mpcstab;
 using namespace mpcstab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Session session("bench_replicability", argc, argv);
   banner("E7: replicability (Definition 9)",
          "exhaustive labeling check: gamma-valid => G-valid must hold");
 
@@ -73,5 +74,5 @@ int main() {
                    std::to_string(copies * 5 + 4)});
   }
   gamma.print(std::cout, "replication gadget sizes");
-  return 0;
+  return session.finish();
 }

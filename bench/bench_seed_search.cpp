@@ -29,7 +29,8 @@ std::vector<LegalGraph> family_of(Node n, std::size_t members) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Session session("bench_seed_search", argc, argv);
   banner("E9: Lemma 54/55 — universal seeds exist after amplification",
          "exhaustive seed search over an explicit instance family");
 
@@ -91,5 +92,5 @@ int main() {
   closed.print(std::cout,
                "repetitions needed vs |G_{n,Delta}| <= 2^{n^2} (paper uses "
                "n^2 repetitions of a 1-1/n algorithm)");
-  return 0;
+  return session.finish();
 }

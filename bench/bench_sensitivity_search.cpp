@@ -11,7 +11,8 @@
 using namespace mpcstab;
 using namespace mpcstab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Session session("bench_sensitivity_search", argc, argv);
   banner("E8: Lemma 25 — sensitivity of component-stable algorithms",
          "brute-force D-radius-identical pair search over ID-varied paths");
 
@@ -54,5 +55,5 @@ int main() {
                    fmt(measure_sensitivity(alg, pair, 200, 2, seeds), 2)});
   }
   pairs.print(std::cout, "canonical path pair across radii");
-  return 0;
+  return session.finish();
 }

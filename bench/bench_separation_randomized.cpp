@@ -18,7 +18,8 @@
 using namespace mpcstab;
 using namespace mpcstab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Session session("bench_separation_randomized", argc, argv);
   banner("E1: Theorem 5 — instability helps randomized MPC",
          "stable single-shot vs unstable amplified large-IS "
          "(threshold 0.9 * n/(Delta+1), 64 seeds each)");
@@ -47,8 +48,14 @@ int main() {
       double amp_total = 0;
       std::uint64_t amp_rounds = 0;
       for (int s = 0; s < seeds / 4; ++s) {
-        Cluster cluster = cluster_for(g, 0.5, reps);
+        Cluster cluster = s == 0 ? session.cluster(g, 0.5, reps)
+                                 : cluster_for(g, 0.5, reps);
         const LargeIsResult r = amplified_large_is(cluster, g, Prf(s), reps);
+        if (s == 0) {
+          session.record("amplified n=" + std::to_string(n) +
+                             " d=" + std::to_string(d),
+                         cluster);
+        }
         amp_total += static_cast<double>(r.is_size);
         amp_ok += static_cast<double>(r.is_size) >= threshold;
         amp_rounds = r.rounds;
@@ -101,5 +108,5 @@ int main() {
   stab.print(std::cout,
              "component-stability probes (amplification is inherently "
              "unstable, Section 5)");
-  return 0;
+  return session.finish();
 }

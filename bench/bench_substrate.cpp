@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "algorithms/luby.h"
 #include "graph/balls.h"
 #include "graph/generators.h"
@@ -176,4 +178,33 @@ BENCHMARK(BM_FloodBalls)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the Session strips the harness's
+// own --json/--trace flags out of argv before google-benchmark parses it,
+// and records one traced representative workload (the skewed credit-paced
+// shuffle) so the JSON report carries a real span tree and load profile.
+int main(int argc, char** argv) {
+  mpcstab::bench::Session session("bench_substrate", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  {
+    const std::uint64_t machines = 16;
+    MpcConfig cfg;
+    cfg.n = machines * 64;
+    cfg.local_space = 64;
+    cfg.machines = machines;
+    Cluster cluster = session.cluster(cfg);
+    std::vector<std::vector<KeyedItem>> shards(machines);
+    std::uint64_t key = 1, value = 0;
+    for (std::uint32_t m = 0; m < machines; ++m) {
+      for (int i = 0; i < 8; ++i) {
+        shards[m].push_back(
+            KeyedItem{i % 4 == 0 ? key++ : 0, value++});
+      }
+    }
+    route_by_key(cluster, std::move(shards));
+    session.record("route-by-key skewed m=16", cluster);
+  }
+  return session.finish();
+}

@@ -18,7 +18,8 @@
 using namespace mpcstab;
 using namespace mpcstab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Session session("bench_theorem28", argc, argv);
   banner("E16: the lifted-bound catalog (Theorem 28, Thms 38/40/42/48, "
          "Lemma 51)",
          "conditional lower bounds for STABLE algorithms vs measured "
@@ -44,25 +45,28 @@ int main() {
     // large-IS: bound log log* n, measured amplified rounds.
     {
       const std::uint64_t reps = amplification_repetitions(g.n());
-      Cluster cluster = cluster_for(g, 0.5, reps);
+      Cluster cluster = session.cluster(g, 0.5, reps);
       const auto r = amplified_large_is(cluster, g, Prf(1), reps);
+      session.record("large-is n=" + std::to_string(n), cluster);
       faceoff.add_row({std::to_string(n), "large-IS",
                        fmt(loglogstar(n), 2), std::to_string(r.rounds),
                        "yes (O(1))"});
     }
     // approx matching: bound log log n.
     {
-      Cluster cluster = cluster_for(g, 0.5, 24);
+      Cluster cluster = session.cluster(g, 0.5, 24);
       const auto r = amplified_approx_matching(cluster, g, Prf(2), 24);
+      session.record("approx-matching n=" + std::to_string(n), cluster);
       faceoff.add_row({std::to_string(n), "approx matching",
                        fmt(loglog(n), 2), std::to_string(r.rounds),
                        "yes (O(1))"});
     }
     // sinkless orientation: bound log log_Delta n.
     {
-      Cluster cluster = cluster_for(g);
+      Cluster cluster = session.cluster(g);
       const std::uint64_t start = cluster.rounds();
       derandomized_sinkless(&cluster, g, 10);
+      session.record("sinkless n=" + std::to_string(n), cluster);
       faceoff.add_row(
           {std::to_string(n), "sinkless orientation",
            fmt(std::log2(std::max(2.0, log2d(n) / 2.0)), 2),
@@ -71,8 +75,9 @@ int main() {
     }
     // (Delta+1)-coloring: bound log log log n.
     {
-      Cluster cluster = cluster_for(g);
+      Cluster cluster = session.cluster(g);
       const auto r = derandomized_coloring(cluster, g, 5, 8);
+      session.record("coloring n=" + std::to_string(n), cluster);
       faceoff.add_row({std::to_string(n), "(Delta+1)-coloring",
                        fmt(logloglog(n), 2), std::to_string(r.rounds),
                        "flat in n (trees/iteration)"});
@@ -83,5 +88,5 @@ int main() {
       "stable conditional bound (value of the Omega-expression) vs "
       "measured unstable rounds; graphs capped at n=2048 for runtime, "
       "bound evaluated at the nominal n");
-  return 0;
+  return session.finish();
 }

@@ -4,6 +4,7 @@
 
 #include "derand/seed_select.h"
 #include "graph/ops.h"
+#include "obs/trace.h"
 #include "rng/kwise.h"
 #include "support/check.h"
 #include "support/math.h"
@@ -255,6 +256,7 @@ DerandColoringResult derandomized_coloring(Cluster& cluster,
   const Node n = g.n();
   require(palette >= static_cast<std::uint64_t>(g.max_degree()) + 1,
           "palette must be >= Delta+1");
+  obs::Span phase = cluster.span("derand-coloring");
   const std::uint64_t start = cluster.rounds();
 
   DerandColoringResult result;
@@ -298,6 +300,7 @@ DerandColoringResult derandomized_coloring(Cluster& cluster,
   while (undecided > 0) {
     if (result.iterations >= cap) break;
     ++result.iterations;
+    obs::Span iteration = cluster.span("palette-iteration");
 
     const SeedSelection sel =
         select_seed(&cluster, seed_bits, [&](std::uint64_t s) {

@@ -7,6 +7,7 @@
 #include "graph/ops.h"
 #include "mpc/primitives.h"
 #include "mpc/shuffle.h"
+#include "obs/trace.h"
 #include "support/check.h"
 #include "support/math.h"
 
@@ -15,6 +16,7 @@ namespace mpcstab {
 ConnectivityResult hash_to_min_components(Cluster& cluster,
                                           const LegalGraph& g,
                                           std::uint64_t max_iterations) {
+  obs::Span phase = cluster.span("hash-to-min");
   const Graph& topo = g.graph();
   const Node n = topo.n();
   ConnectivityResult result;
@@ -60,6 +62,7 @@ namespace {
 std::uint64_t distinct_labels(Cluster& cluster,
                               const std::vector<Node>& labels,
                               bool converged) {
+  obs::Span phase = cluster.span("distinct-labels");
   if (converged) {
     std::vector<std::uint64_t> keys(labels.begin(), labels.end());
     return distinct_count(cluster, shard_keys(cluster, keys));
@@ -74,6 +77,7 @@ std::uint64_t distinct_labels(Cluster& cluster,
 }  // namespace
 
 CycleDecision distinguish_cycles(Cluster& cluster, const LegalGraph& g) {
+  obs::Span phase = cluster.span("connectivity");
   const std::uint64_t start = cluster.rounds();
   // 4*log2(n) + 8 iterations are ample for hash-to-min on cycle instances.
   const std::uint64_t budget =
@@ -89,6 +93,7 @@ CycleDecision distinguish_cycles(Cluster& cluster, const LegalGraph& g) {
 CycleDecision distinguish_cycles_truncated(Cluster& cluster,
                                            const LegalGraph& g,
                                            std::uint64_t iteration_budget) {
+  obs::Span phase = cluster.span("connectivity");
   const std::uint64_t start = cluster.rounds();
   const ConnectivityResult cc =
       hash_to_min_components(cluster, g, iteration_budget);
@@ -101,6 +106,7 @@ CycleDecision distinguish_cycles_truncated(Cluster& cluster,
 
 StConnResult st_connectivity(Cluster& cluster, const LegalGraph& g, Node s,
                              Node t, std::uint32_t diameter_bound) {
+  obs::Span phase = cluster.span("st-connectivity");
   const std::uint64_t start = cluster.rounds();
 
   // Discard nodes of degree > 2 (the problem only promises path instances);

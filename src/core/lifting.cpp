@@ -5,6 +5,7 @@
 
 #include "graph/balls.h"
 #include "graph/components.h"
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace mpcstab {
@@ -290,6 +291,7 @@ BStConnResult b_st_conn(Cluster& cluster, const LegalGraph& h_graph, Node s,
                         const ComponentStableAlgorithm& alg,
                         std::uint64_t seed, std::uint64_t simulations,
                         bool planted_first) {
+  obs::Span phase = cluster.span("b-st-conn");
   const std::uint64_t start = cluster.rounds();
   const std::uint64_t total_nodes = simulation_padding(h_graph, pair);
   const Prf prf(seed);
@@ -298,6 +300,7 @@ BStConnResult b_st_conn(Cluster& cluster, const LegalGraph& h_graph, Node s,
   const std::uint32_t delta =
       std::max(pair.g.max_degree(), pair.g_prime.max_degree());
 
+  obs::Span simulate = cluster.span("simulations");
   for (std::uint64_t sim_index = 0; sim_index < simulations; ++sim_index) {
     std::vector<std::uint32_t> h(h_graph.n(), 1);
     bool have_h = false;
@@ -344,9 +347,11 @@ BStConnResult b_st_conn(Cluster& cluster, const LegalGraph& h_graph, Node s,
     if (out_g != out_gp) ++result.yes_votes;
   }
 
+  simulate.close();
   result.yes = result.yes_votes > 0;
   // All simulations run in parallel on disjoint machine groups: O(1)
   // construction rounds + the algorithm's declared cost + one vote tree.
+  obs::Span charge = cluster.span("round-accounting");
   cluster.charge_rounds(2, "simulation-graph construction");
   cluster.charge_rounds(alg.round_cost(total_nodes, delta), alg.name());
   cluster.charge_rounds(cluster.tree_rounds(), "YES-vote aggregation");

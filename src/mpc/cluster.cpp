@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "obs/registry.h"
 #include "support/check.h"
 #include "support/math.h"
 #include "support/thread_pool.h"
@@ -67,6 +68,21 @@ std::vector<std::vector<MpcMessage>> Cluster::exchange(
   load.mean_recv = load.mean_send;  // every sent word is received
   round_loads_.push_back(load);
 
+  if (tracer_ != nullptr) {
+    tracer_->on_exchange(round_words, load.max_recv, load.skew());
+  }
+  {
+    static obs::Counter& exchanges =
+        obs::Registry::global().counter("cluster.exchanges");
+    static obs::Counter& words_total =
+        obs::Registry::global().counter("cluster.words");
+    static obs::Gauge& peak_recv =
+        obs::Registry::global().gauge("cluster.peak_recv");
+    exchanges.add(1);
+    words_total.add(round_words);
+    peak_recv.update_max(load.max_recv);
+  }
+
   for (std::size_t i = 0; i < machines; ++i) {
     if (sent[i] > config_.local_space) {
       throw SpaceLimitError("machine " + std::to_string(i) + " sent " +
@@ -86,6 +102,10 @@ void Cluster::charge_rounds(std::uint64_t k, std::string_view what) {
   rounds_ += k;
   round_log_.emplace_back(std::string(what) + " (+" + std::to_string(k) +
                           ")");
+  if (tracer_ != nullptr) tracer_->on_charge(k, what);
+  static obs::Counter& charged =
+      obs::Registry::global().counter("cluster.charged_rounds");
+  charged.add(k);
 }
 
 void Cluster::check_local_space(std::uint64_t words,
@@ -113,6 +133,11 @@ std::uint64_t Cluster::max_receive_load() const {
     max_recv = std::max(max_recv, load.max_recv);
   }
   return max_recv;
+}
+
+obs::Tracer& Cluster::enable_tracing() {
+  if (tracer_ == nullptr) tracer_ = std::make_unique<obs::Tracer>();
+  return *tracer_;
 }
 
 double Cluster::peak_skew() const {

@@ -17,11 +17,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "mpc/config.h"
+#include "obs/trace.h"
 
 namespace mpcstab {
 
@@ -98,12 +100,29 @@ class Cluster {
   /// Largest receive-side skew (max/mean) seen in any single round.
   double peak_skew() const;
 
+  /// Enables structured tracing: allocates the cluster's tracer (idempotent)
+  /// and returns it. `exchange`/`charge_rounds` record events into it from
+  /// then on; algorithms open phase spans via `span()`. Disabled clusters
+  /// pay one null check per round — nothing more.
+  obs::Tracer& enable_tracing();
+
+  /// The active tracer, or nullptr when tracing is disabled (the default).
+  obs::Tracer* trace() const { return tracer_.get(); }
+
+  /// Opens a phase span on the tracer; inert when tracing is disabled, so
+  /// call sites need no branches:
+  ///   obs::Span phase = cluster.span("hash-to-min");
+  obs::Span span(std::string_view name) {
+    return obs::Span(tracer_.get(), name);
+  }
+
  private:
   MpcConfig config_;
   std::uint64_t rounds_ = 0;
   std::uint64_t words_moved_ = 0;
   std::vector<std::string> round_log_;
   std::vector<RoundLoad> round_loads_;
+  std::unique_ptr<obs::Tracer> tracer_;  // null = tracing disabled
 };
 
 }  // namespace mpcstab

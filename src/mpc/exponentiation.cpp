@@ -7,6 +7,7 @@
 
 #include "graph/knowledge.h"
 #include "mpc/pacing.h"
+#include "obs/trace.h"
 #include "rng/splitmix.h"
 #include "support/check.h"
 #include "support/math.h"
@@ -24,6 +25,7 @@ std::uint64_t ball_collection_rounds(std::uint32_t radius) {
 
 std::vector<Ball> collect_balls(Cluster& cluster, const LegalGraph& g,
                                 std::uint32_t radius) {
+  obs::Span phase = cluster.span("exponentiation");
   std::vector<Ball> balls;
   balls.reserve(g.n());
   for (Node v = 0; v < g.n(); ++v) {
@@ -38,6 +40,7 @@ std::vector<Ball> collect_balls(Cluster& cluster, const LegalGraph& g,
 
 NativeBallsResult collect_balls_native(Cluster& cluster, const LegalGraph& g,
                                        std::uint32_t radius) {
+  obs::Span phase = cluster.span("exponentiation-native");
   const Graph& topo = g.graph();
   const Node n = topo.n();
   const std::uint64_t machines = cluster.machines();

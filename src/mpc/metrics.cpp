@@ -5,18 +5,32 @@
 
 namespace mpcstab {
 
+std::vector<std::size_t> sampled_round_indices(std::size_t size,
+                                               std::size_t max_rows) {
+  std::vector<std::size_t> picks;
+  if (size == 0) return picks;
+  if (max_rows == 0 || size <= max_rows) {
+    picks.resize(size);
+    for (std::size_t i = 0; i < size; ++i) picks[i] = i;
+    return picks;
+  }
+  if (max_rows == 1) return {size - 1};
+  // Exactly max_rows rows: endpoints pinned, interior evenly interpolated.
+  // j -> round(j * (size-1) / (max_rows-1)) is strictly increasing for
+  // size > max_rows, so no dedup is needed.
+  picks.reserve(max_rows);
+  for (std::size_t j = 0; j < max_rows; ++j) {
+    picks.push_back((j * (size - 1) + (max_rows - 1) / 2) / (max_rows - 1));
+  }
+  return picks;
+}
+
 Table load_profile_table(const Cluster& cluster, std::size_t max_rows) {
   Table table({"round", "words", "max send", "mean send", "max recv",
                "mean recv", "skew"});
   const std::vector<RoundLoad>& loads = cluster.round_loads();
-  // Even sampling keeps long runs printable: stride so that at most
-  // max_rows rows appear, always including the final round.
-  const std::size_t stride =
-      (max_rows == 0 || loads.size() <= max_rows)
-          ? 1
-          : (loads.size() + max_rows - 1) / max_rows;
-  for (std::size_t i = 0; i < loads.size(); ++i) {
-    if (i % stride != 0 && i + 1 != loads.size()) continue;
+  for (const std::size_t i :
+       sampled_round_indices(loads.size(), max_rows)) {
     const RoundLoad& load = loads[i];
     table.add_row({std::to_string(load.round), std::to_string(load.words),
                    std::to_string(load.max_send), fmt(load.mean_send, 1),

@@ -7,14 +7,25 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "mpc/cluster.h"
 #include "support/table.h"
 
 namespace mpcstab {
 
-/// Per-round load profile: one row per communication round (capped at
-/// `max_rows` evenly sampled rows when the run is long; 0 = all rounds).
+/// Indices sampled by load_profile_table. Sampling rule: with `max_rows`
+/// = 0 or `size` <= `max_rows`, every index [0, size) appears. Otherwise
+/// exactly `max_rows` indices appear: the first (0) and last (size-1)
+/// always, plus max_rows-2 interior indices at evenly spaced (rounded)
+/// positions. `max_rows` = 1 degenerates to the last index only (the most
+/// recent round is the informative one). Indices are strictly increasing.
+std::vector<std::size_t> sampled_round_indices(std::size_t size,
+                                               std::size_t max_rows);
+
+/// Per-round load profile: one row per communication round, downsampled by
+/// `sampled_round_indices(rounds, max_rows)` when the run is long (the
+/// first and last rounds always appear; 0 = all rounds).
 /// Columns: round, words, max/mean send, max/mean recv, skew.
 Table load_profile_table(const Cluster& cluster, std::size_t max_rows = 0);
 

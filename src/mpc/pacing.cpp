@@ -6,6 +6,8 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
 
@@ -34,6 +36,13 @@ std::vector<std::vector<MpcMessage>> paced_exchange(
     Cluster& cluster, std::vector<std::vector<MpcMessage>> outboxes) {
   const std::uint64_t machines = cluster.machines();
   require(outboxes.size() == machines, "one outbox per machine required");
+  obs::Span phase = cluster.span("paced-exchange");
+  static obs::Counter& paced_rounds =
+      obs::Registry::global().counter("pacing.paced_rounds");
+  static obs::Counter& fragment_count =
+      obs::Registry::global().counter("pacing.fragments");
+  static obs::Counter& handshakes =
+      obs::Registry::global().counter("pacing.handshakes");
   const std::uint64_t budget = paced_round_budget(cluster);
   const std::uint64_t chunk_words = budget - 5;  // 4 header + 1 msg header
 
@@ -61,6 +70,7 @@ std::vector<std::vector<MpcMessage>> paced_exchange(
       }
     }
   });
+  for (const auto& queue : fragments) fragment_count.add(queue.size());
 
   // Ship fragments under the receiver-credit budget; reassemble on arrival.
   std::vector<std::vector<MpcMessage>> received(machines);
@@ -86,9 +96,11 @@ std::vector<std::vector<MpcMessage>> paced_exchange(
       // schedule needs no re-coordination). Purely sender-paced deferrals
       // need no coordination at all — each sender knows its own queue.
       cluster.charge_rounds(handshake, "receiver-credit handshake");
+      handshakes.add(1);
       handshake_charged = true;
     }
     need_handshake = false;
+    paced_rounds.add(1);
     std::vector<std::uint64_t> send_used(machines, 0);
     std::vector<std::uint64_t> recv_credit(machines, budget);
     std::vector<std::vector<MpcMessage>> round_out(machines);

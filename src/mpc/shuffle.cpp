@@ -6,6 +6,8 @@
 
 #include "mpc/pacing.h"
 #include "mpc/primitives.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "rng/splitmix.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
@@ -37,6 +39,13 @@ std::vector<std::vector<KeyedItem>> route_by_key(
     std::uint64_t budget_words) {
   const std::uint64_t machines = cluster.machines();
   require(shards.size() == machines, "one shard per machine required");
+  obs::Span phase = cluster.span("route-by-key");
+  static obs::Counter& routed_items =
+      obs::Registry::global().counter("shuffle.routed_items");
+  static obs::Counter& paced_rounds =
+      obs::Registry::global().counter("shuffle.paced_rounds");
+  static obs::Counter& handshakes =
+      obs::Registry::global().counter("shuffle.handshakes");
   const std::uint64_t budget =
       budget_words == 0
           ? paced_round_budget(cluster)
@@ -60,6 +69,7 @@ std::vector<std::vector<KeyedItem>> route_by_key(
       }
     }
   });
+  for (const auto& queue : pending) routed_items.add(queue.size());
 
   // Credit-paced shipping: every round each sender may ship up to `budget`
   // words and each destination grants the paced budget as receive credit.
@@ -81,9 +91,11 @@ std::vector<std::vector<KeyedItem>> route_by_key(
     more = false;
     if (need_handshake && !handshake_charged && handshake > 0) {
       cluster.charge_rounds(handshake, "receiver-credit handshake");
+      handshakes.add(1);
       handshake_charged = true;
     }
     need_handshake = false;
+    paced_rounds.add(1);
     std::vector<std::uint64_t> send_used(machines, 0);
     std::vector<std::uint64_t> recv_credit(machines,
                                            paced_round_budget(cluster));
@@ -129,6 +141,9 @@ std::uint64_t distinct_count(Cluster& cluster,
                              std::vector<std::vector<KeyedItem>> shards) {
   const std::uint64_t machines = cluster.machines();
   require(shards.size() == machines, "one shard per machine required");
+  obs::Span phase = cluster.span("distinct-count");
+  static obs::Counter& merge_levels =
+      obs::Registry::global().counter("shuffle.merge_levels");
 
   // Local dedup (the "combiner"), then a fan-in-4 merge tree with per-level
   // dedup moving real, credit-paced messages. The transport never overflows
@@ -154,6 +169,7 @@ std::uint64_t distinct_count(Cluster& cluster,
   std::vector<std::uint32_t> active(machines);
   for (std::uint32_t i = 0; i < machines; ++i) active[i] = i;
   while (active.size() > 1) {
+    merge_levels.add(1);
     std::vector<std::vector<MpcMessage>> outboxes(machines);
     std::vector<std::uint32_t> next;
     for (std::size_t g = 0; g < active.size(); g += kFanIn) {

@@ -1,0 +1,469 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace mpcstab::obs {
+
+namespace {
+
+/// Shortest double representation that round-trips (JSON numbers).
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Prefer the shorter %g form when it round-trips exactly.
+  char shorter[32];
+  std::snprintf(shorter, sizeof(shorter), "%g", value);
+  double back = 0.0;
+  if (std::sscanf(shorter, "%lf", &back) == 1 && back == value) {
+    return shorter;
+  }
+  return buf;
+}
+
+void write_span_json(std::ostream& out, const SpanNode& node) {
+  out << "{\"name\":\"" << json_escape(node.name) << "\""
+      << ",\"rounds\":" << node.rounds << ",\"words\":" << node.words
+      << ",\"wall_ns\":" << node.wall_ns
+      << ",\"exchanges\":" << node.exchanges
+      << ",\"charges\":" << node.charges << ",\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out << ",";
+    write_span_json(out, node.children[i]);
+  }
+  out << "]}";
+}
+
+void write_load_json(std::ostream& out, const RoundLoad& load) {
+  out << "{\"round\":" << load.round << ",\"words\":" << load.words
+      << ",\"max_send\":" << load.max_send << ",\"mean_send\":"
+      << json_number(load.mean_send) << ",\"max_recv\":" << load.max_recv
+      << ",\"mean_recv\":" << json_number(load.mean_recv)
+      << ",\"skew\":" << json_number(load.skew()) << "}";
+}
+
+void write_run_json(std::ostream& out, const RunRecord& run) {
+  out << "{\"label\":\"" << json_escape(run.label) << "\",\"config\":{"
+      << "\"phi\":" << json_number(run.config.phi)
+      << ",\"n\":" << run.config.n
+      << ",\"local_space\":" << run.config.local_space
+      << ",\"machines\":" << run.config.machines << "},\"totals\":{"
+      << "\"rounds\":" << run.rounds << ",\"words\":" << run.words
+      << ",\"exchanges\":" << run.loads.size()
+      << ",\"max_recv\":" << run.max_recv
+      << ",\"peak_skew\":" << json_number(run.peak_skew)
+      << "},\"load_profile\":[";
+  for (std::size_t i = 0; i < run.loads.size(); ++i) {
+    if (i > 0) out << ",";
+    write_load_json(out, run.loads[i]);
+  }
+  out << "],\"span_tree\":";
+  write_span_json(out, run.spans);
+  out << "}";
+}
+
+const char* sample_type_name(MetricSample::Type type) {
+  switch (type) {
+    case MetricSample::Type::kCounter:
+      return "counter";
+    case MetricSample::Type::kGauge:
+      return "gauge";
+    case MetricSample::Type::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+const char* event_kind_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kSpanBegin:
+      return "span_begin";
+    case TraceEvent::Kind::kSpanEnd:
+      return "span_end";
+    case TraceEvent::Kind::kExchange:
+      return "exchange";
+    case TraceEvent::Kind::kCharge:
+      return "charge";
+  }
+  return "exchange";
+}
+
+std::string human_ns(std::uint64_t ns) {
+  if (ns >= 1000000000ull) return fmt(static_cast<double>(ns) / 1e9, 2) + "s";
+  if (ns >= 1000000ull) return fmt(static_cast<double>(ns) / 1e6, 2) + "ms";
+  if (ns >= 1000ull) return fmt(static_cast<double>(ns) / 1e3, 1) + "us";
+  return std::to_string(ns) + "ns";
+}
+
+void add_span_rows(Table& table, const SpanNode& node, std::uint64_t total,
+                   std::size_t depth) {
+  const std::string indent(2 * depth, ' ');
+  const double share =
+      total > 0 ? 100.0 * static_cast<double>(node.rounds) /
+                      static_cast<double>(total)
+                : 0.0;
+  table.add_row({indent + node.name, std::to_string(node.rounds),
+                 std::to_string(node.words), std::to_string(node.exchanges),
+                 std::to_string(node.charges), human_ns(node.wall_ns),
+                 fmt(share, 1) + "%"});
+  for (const SpanNode& child : node.children) {
+    add_span_rows(table, child, total, depth + 1);
+  }
+}
+
+}  // namespace
+
+RunRecord capture_run(std::string label, const Cluster& cluster) {
+  RunRecord run;
+  run.label = std::move(label);
+  run.config = cluster.config();
+  run.rounds = cluster.rounds();
+  run.words = cluster.words_moved();
+  run.max_recv = cluster.max_receive_load();
+  run.peak_skew = cluster.peak_skew();
+  run.loads = cluster.round_loads();
+  if (const Tracer* tracer = cluster.trace(); tracer != nullptr) {
+    run.spans = tracer->tree();
+    run.traced = true;
+  } else {
+    run.spans.name = "run";
+    run.spans.rounds = run.rounds;
+    run.spans.words = run.words;
+  }
+  return run;
+}
+
+void write_bench_json(std::ostream& out, const BenchReport& report,
+                      const Registry& registry) {
+  out << "{\"schema\":\"mpcstab-bench-v1\",\"bench\":\""
+      << json_escape(report.bench) << "\",\"info\":{";
+  for (std::size_t i = 0; i < report.info.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << json_escape(report.info[i].first) << "\":\""
+        << json_escape(report.info[i].second) << "\"";
+  }
+  out << "},\"runs\":[";
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    if (i > 0) out << ",";
+    write_run_json(out, report.runs[i]);
+  }
+  out << "],\"metrics\":[";
+  const std::vector<MetricSample> samples = registry.snapshot();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) out << ",";
+    const MetricSample& s = samples[i];
+    out << "{\"name\":\"" << json_escape(s.name) << "\",\"type\":\""
+        << sample_type_name(s.type) << "\",\"value\":" << s.value
+        << ",\"max\":" << s.max << ",\"sum\":" << s.sum << "}";
+  }
+  out << "]}\n";
+}
+
+bool write_bench_json(const std::string& path, const BenchReport& report,
+                      const Registry& registry) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_bench_json(out, report, registry);
+  return static_cast<bool>(out);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+EventSink ndjson_sink(std::ostream& out) {
+  return [&out](const TraceEvent& event) {
+    out << "{\"event\":\"" << event_kind_name(event.kind) << "\",\"name\":\""
+        << json_escape(event.name) << "\",\"depth\":" << event.depth
+        << ",\"rounds\":" << event.rounds << ",\"words\":" << event.words
+        << ",\"max_recv\":" << event.max_recv
+        << ",\"skew\":" << json_number(event.skew) << "}\n";
+  };
+}
+
+Table span_tree_table(const SpanNode& root) {
+  Table table({"phase", "rounds", "words", "exchanges", "charges", "wall",
+               "share"});
+  add_span_rows(table, root, root.rounds, 0);
+  return table;
+}
+
+Table metrics_table(const Registry& registry, std::size_t top_n) {
+  std::vector<MetricSample> samples = registry.snapshot();
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const MetricSample& a, const MetricSample& b) {
+                     return a.value > b.value;
+                   });
+  if (top_n != 0 && samples.size() > top_n) samples.resize(top_n);
+  Table table({"metric", "type", "value", "max", "mean"});
+  for (const MetricSample& s : samples) {
+    const bool hist = s.type == MetricSample::Type::kHistogram;
+    const double mean =
+        hist && s.value > 0
+            ? static_cast<double>(s.sum) / static_cast<double>(s.value)
+            : 0.0;
+    table.add_row({s.name, sample_type_name(s.type), std::to_string(s.value),
+                   std::to_string(s.max), hist ? fmt(mean, 1) : "-"});
+  }
+  return table;
+}
+
+// --- minimal JSON reader ---------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    skip_ws();
+    JsonValue value;
+    if (!parse_value(value)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool eat_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return eat_word("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return eat_word("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return eat_word("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (eat(',')) continue;
+      return eat('}');
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (eat(',')) continue;
+      return eat(']');
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          if (code > 0x7f) return false;  // schema never emits these
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::num(std::string_view key) const {
+  const JsonValue* value = find(key);
+  return value != nullptr && value->kind == Kind::kNumber ? value->number
+                                                          : 0.0;
+}
+
+std::string_view JsonValue::str(std::string_view key) const {
+  const JsonValue* value = find(key);
+  return value != nullptr && value->kind == Kind::kString
+             ? std::string_view(value->string)
+             : std::string_view();
+}
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+  return JsonParser(text).parse();
+}
+
+}  // namespace mpcstab::obs

@@ -1,0 +1,130 @@
+// Exporters for the observability layer: a machine-readable bench report
+// (JSON, schema "mpcstab-bench-v1"), an NDJSON trace-event sink, and text
+// renderers (span tree, top metrics) through support/table.h.
+//
+// Layering: obs/trace.h and obs/registry.h sit *below* mpc/ (the Cluster
+// includes them); this header sits *above* mpc/ — it captures finished runs
+// from a Cluster and serializes them. Nothing in mpc/ includes it.
+//
+// JSON schema (stable; documented in DESIGN.md "Observability"):
+// {
+//   "schema": "mpcstab-bench-v1",
+//   "bench": "<binary name>",
+//   "info": {"<key>": "<value>", ...},            // free-form notes
+//   "runs": [{
+//     "label": "<instance label>",
+//     "config": {"phi","n","local_space","machines"},
+//     "totals": {"rounds","words","exchanges","max_recv","peak_skew"},
+//     "load_profile": [{"round","words","max_send","mean_send",
+//                       "max_recv","mean_recv","skew"}, ...],
+//     "span_tree": {"name","rounds","words","wall_ns","exchanges",
+//                   "charges","children":[...]}   // root name "run"
+//   }, ...],
+//   "metrics": [{"name","type","value","max","sum"}, ...]
+// }
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mpc/cluster.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "support/table.h"
+
+namespace mpcstab::obs {
+
+/// One finished (instance, cluster) execution, ready to serialize.
+struct RunRecord {
+  std::string label;
+  MpcConfig config;
+  std::uint64_t rounds = 0;
+  std::uint64_t words = 0;
+  std::uint64_t max_recv = 0;
+  double peak_skew = 0.0;
+  std::vector<RoundLoad> loads;
+  SpanNode spans;       ///< Root "run" span; empty tree when not traced.
+  bool traced = false;  ///< Whether the cluster had tracing enabled.
+};
+
+/// Captures everything the report needs from a finished cluster: config,
+/// totals, per-round load profile, and (when tracing was enabled) the span
+/// tree. All open spans must be closed first.
+RunRecord capture_run(std::string label, const Cluster& cluster);
+
+/// One bench binary's machine-readable output.
+struct BenchReport {
+  std::string bench;
+  std::vector<std::pair<std::string, std::string>> info;
+  std::vector<RunRecord> runs;
+};
+
+/// Serializes the report plus a registry snapshot as one JSON document.
+void write_bench_json(std::ostream& out, const BenchReport& report,
+                      const Registry& registry = Registry::global());
+
+/// File variant; returns false (and writes nothing else) when the file
+/// cannot be opened.
+bool write_bench_json(const std::string& path, const BenchReport& report,
+                      const Registry& registry = Registry::global());
+
+/// Escapes `s` for embedding in a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// EventSink writing one JSON object per line (NDJSON) to `out`; the caller
+/// keeps the stream alive for the sink's lifetime. Line schema:
+/// {"event":"span_begin|span_end|exchange|charge","name","depth","rounds",
+///  "words","max_recv","skew"}.
+EventSink ndjson_sink(std::ostream& out);
+
+/// Renders a span tree as an indented table: phase, rounds, words,
+/// exchanges, charges, wall-clock, and each span's share of the root's
+/// rounds.
+Table span_tree_table(const SpanNode& root);
+
+/// Registry snapshot as a table, largest values first; `top_n` caps the row
+/// count (0 = all).
+Table metrics_table(const Registry& registry = Registry::global(),
+                    std::size_t top_n = 0);
+
+// --- minimal JSON reader (for schema round-trip tests and tooling) --------
+
+/// Parsed JSON value. Numbers are doubles (the schema's integers are all
+/// below 2^53, so the round-trip is exact).
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// Convenience: find(key)->number with a 0.0 default.
+  double num(std::string_view key) const;
+  /// Convenience: find(key)->string with an empty default.
+  std::string_view str(std::string_view key) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed); nullopt on any
+/// syntax error. Handles the full JSON grammar minus \uXXXX escapes beyond
+/// the ASCII range (sufficient for the schema, which never emits them).
+std::optional<JsonValue> parse_json(std::string_view text);
+
+}  // namespace mpcstab::obs

@@ -1,0 +1,88 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace mpcstab::obs {
+
+void Histogram::observe(std::uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  const std::size_t bucket =
+      value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_.try_emplace(std::string(name)).first->second;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> samples;
+  samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.type = MetricSample::Type::kCounter;
+    s.value = counter.value();
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.type = MetricSample::Type::kGauge;
+    s.value = gauge.value();
+    s.max = gauge.max();
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.type = MetricSample::Type::kHistogram;
+    s.value = hist.count();
+    s.max = hist.max();
+    s.sum = hist.sum();
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter.reset();
+  for (auto& [name, gauge] : gauges_) gauge.reset();
+  for (auto& [name, hist] : histograms_) hist.reset();
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // intentionally leaked:
+  // instruments cache references into it, and worker threads may still
+  // increment during static destruction otherwise.
+  return *instance;
+}
+
+}  // namespace mpcstab::obs

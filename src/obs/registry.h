@@ -1,0 +1,143 @@
+// Process-wide metrics registry: named counters, gauges and histograms with
+// lock-free increments, safe to bump from inside the worker pool.
+//
+// The registry complements the per-cluster Tracer (obs/trace.h): the tracer
+// answers "where did *this run's* rounds go", the registry answers "how hard
+// did the engine work across the whole process" (paced rounds, handshake
+// charges, pool dispatches, wait times). Instruments cache the returned
+// reference once (name lookup takes a mutex; increments are relaxed
+// atomics), e.g.:
+//
+//   static obs::Counter& paced = obs::Registry::global().counter(
+//       "shuffle.paced_rounds");
+//   paced.add(waves);
+//
+// Naming convention (see DESIGN.md "Observability"): lowercase dotted paths
+// `subsystem.metric` — `cluster.exchanges`, `shuffle.paced_rounds`,
+// `pool.task_wait_ns`, `cluster.peak_recv`.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpcstab::obs {
+
+/// Monotone counter. add() is wait-free; value() is a relaxed read.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Gauge: last-set value plus a running maximum (for peaks like
+/// `cluster.peak_recv`).
+class Gauge {
+ public:
+  void set(std::uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    update_max(value);
+  }
+  void update_max(std::uint64_t value) {
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Histogram over power-of-two buckets: observe(v) lands in bucket
+/// floor(log2(v)) (v=0 in bucket 0). Tracks count, sum and max; all
+/// operations are relaxed atomics, so concurrent observers never block.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(std::uint64_t value);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_.at(i).load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// One metric's state at snapshot time.
+struct MetricSample {
+  enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };
+  std::string name;
+  Type type = Type::kCounter;
+  std::uint64_t value = 0;  ///< counter total / gauge value / histogram count
+  std::uint64_t max = 0;    ///< gauge/histogram maximum (0 for counters)
+  std::uint64_t sum = 0;    ///< histogram only
+};
+
+/// Thread-safe name -> instrument registry. Returned references stay valid
+/// for the registry's lifetime (node-based storage); instruments of
+/// different types live in separate namespaces, so `x` may name both a
+/// counter and a gauge (don't — the convention is one type per name).
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// All metrics, sorted by (type, name). Concurrent increments during the
+  /// snapshot are admissible torn reads (each metric is itself atomic).
+  std::vector<MetricSample> snapshot() const;
+
+  /// Zeroes every registered metric (names stay registered). Bench sessions
+  /// and tests use this to scope measurements.
+  void reset_values();
+
+  /// The process-wide registry all engine instrumentation writes to.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace mpcstab::obs

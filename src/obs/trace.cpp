@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+#include "support/check.h"
+
+namespace mpcstab::obs {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+std::uint64_t SpanNode::child_rounds() const {
+  std::uint64_t total = 0;
+  for (const SpanNode& child : children) total += child.rounds;
+  return total;
+}
+
+std::uint64_t SpanNode::child_words() const {
+  std::uint64_t total = 0;
+  for (const SpanNode& child : children) total += child.words;
+  return total;
+}
+
+Tracer::Tracer() : started_(std::chrono::steady_clock::now()) {
+  root_.name = "run";
+}
+
+SpanNode& Tracer::current() {
+  return stack_.empty() ? root_ : stack_.back().node;
+}
+
+void Tracer::emit(const TraceEvent& event) {
+  if (sink_) sink_(event);
+}
+
+void Tracer::on_exchange(std::uint64_t words, std::uint64_t max_recv,
+                         double skew) {
+  rounds_ += 1;
+  words_ += words;
+  SpanNode& span = current();
+  ++span.exchanges;
+  if (sink_) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kExchange;
+    event.depth = stack_.size();
+    event.rounds = rounds_;
+    event.words = words;
+    event.max_recv = max_recv;
+    event.skew = skew;
+    emit(event);
+  }
+}
+
+void Tracer::on_charge(std::uint64_t k, std::string_view what) {
+  rounds_ += k;
+  SpanNode& span = current();
+  ++span.charges;
+  if (sink_) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kCharge;
+    event.name = what;
+    event.depth = stack_.size();
+    event.rounds = rounds_;
+    event.words = k;  // number of rounds charged rides in the words field
+    emit(event);
+  }
+}
+
+void Tracer::begin(std::string_view name) {
+  Open open;
+  open.node.name = std::string(name);
+  open.rounds0 = rounds_;
+  open.words0 = words_;
+  open.start = std::chrono::steady_clock::now();
+  if (sink_) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kSpanBegin;
+    event.name = name;
+    event.depth = stack_.size();
+    event.rounds = rounds_;
+    emit(event);
+  }
+  stack_.push_back(std::move(open));
+}
+
+void Tracer::end() {
+  ensure(!stack_.empty(), "Span end without a matching begin");
+  Open open = std::move(stack_.back());
+  stack_.pop_back();
+  open.node.rounds = rounds_ - open.rounds0;
+  open.node.words = words_ - open.words0;
+  open.node.wall_ns = elapsed_ns(open.start);
+  if (sink_) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kSpanEnd;
+    event.name = open.node.name;
+    event.depth = stack_.size();
+    event.rounds = rounds_;
+    event.words = open.node.words;
+    emit(event);
+  }
+  SpanNode& parent = current();
+  // Event counts are cumulative ("inside the span"), like rounds/words:
+  // a closing child folds its counts into the parent.
+  parent.exchanges += open.node.exchanges;
+  parent.charges += open.node.charges;
+  parent.children.push_back(std::move(open.node));
+}
+
+SpanNode Tracer::tree() const {
+  ensure(stack_.empty(), "span tree requested with spans still open");
+  SpanNode root = root_;
+  root.rounds = rounds_;
+  root.words = words_;
+  root.wall_ns = elapsed_ns(started_);
+  return root;
+}
+
+void Tracer::reset() {
+  ensure(stack_.empty(), "tracer reset with spans still open");
+  rounds_ = 0;
+  words_ = 0;
+  root_ = SpanNode{};
+  root_.name = "run";
+  started_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace mpcstab::obs

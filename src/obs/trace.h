@@ -1,0 +1,171 @@
+// Structured tracing for the MPC simulator: nested phase spans with
+// per-span round/word/wall-clock deltas.
+//
+// The paper states every bound in rounds and space, but a run's round count
+// alone cannot say *where* the rounds went. A Tracer attributes them: the
+// engine (Cluster) pushes its round/word progress into the tracer, and
+// RAII Spans snapshot that progress at open and close, yielding a tree like
+//
+//   connectivity            rounds=54 words=1.2e5
+//     hash-to-min           rounds=48 words=1.1e5
+//     distinct-labels       rounds=6  words=9.0e3
+//
+// Design constraints:
+//  * Zero cost when disabled. A Cluster without a tracer pays one null
+//    check per exchange/charge; a Span constructed with a null tracer is
+//    inert. No allocation, no clock reads.
+//  * No pointers into the engine. The Cluster pushes deltas (push model),
+//    so moving the Cluster never dangles the tracer, and a tracer outlives
+//    any cluster that fed it.
+//  * Single-threaded by contract: spans and engine events happen on the
+//    orchestration thread (the worker pool below `exchange` never touches
+//    the tracer). Cross-thread metrics belong in obs::Registry instead.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpcstab::obs {
+
+/// One closed span of the phase tree, with resource deltas measured between
+/// its open and close.
+struct SpanNode {
+  std::string name;
+  std::uint64_t rounds = 0;     ///< MPC rounds consumed inside the span.
+  std::uint64_t words = 0;      ///< Words moved through exchange inside.
+  std::uint64_t wall_ns = 0;    ///< Wall-clock time (host-side) inside.
+  std::uint64_t exchanges = 0;  ///< Real exchange rounds inside.
+  std::uint64_t charges = 0;    ///< Analytic charge_rounds events inside.
+  std::vector<SpanNode> children;
+
+  /// Sum of a field over direct children (for reconciliation checks).
+  std::uint64_t child_rounds() const;
+  std::uint64_t child_words() const;
+};
+
+/// One engine or span event, streamed to the sink when one is attached
+/// (see obs::ndjson_sink in obs/export.h).
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kSpanBegin,
+    kSpanEnd,
+    kExchange,
+    kCharge,
+  };
+  Kind kind = Kind::kExchange;
+  std::string_view name;      ///< Span name or charge label; "" for exchanges.
+  std::uint64_t depth = 0;    ///< Span stack depth at the event.
+  std::uint64_t rounds = 0;   ///< Cumulative rounds after the event.
+  std::uint64_t words = 0;    ///< Exchange: words this round. Span end: delta.
+  std::uint64_t max_recv = 0; ///< Exchange only: peak per-machine receive.
+  double skew = 0.0;          ///< Exchange only: max/mean receive skew.
+};
+
+using EventSink = std::function<void(const TraceEvent&)>;
+
+/// Collects a tree of phase spans fed by engine progress events. One tracer
+/// per traced Cluster (the cluster owns it; see Cluster::enable_tracing).
+class Tracer {
+ public:
+  Tracer();
+
+  // --- engine-facing (called by Cluster) -----------------------------------
+
+  /// One real exchange round moving `words` words completed.
+  void on_exchange(std::uint64_t words, std::uint64_t max_recv, double skew);
+
+  /// `k` analytic rounds charged under label `what`.
+  void on_charge(std::uint64_t k, std::string_view what);
+
+  // --- span-facing (use the RAII Span below, not these directly) -----------
+
+  void begin(std::string_view name);
+  void end();
+
+  /// Number of currently open spans (excluding the implicit root).
+  std::size_t depth() const { return stack_.size(); }
+
+  /// Cumulative rounds/words pushed since construction (or reset()): equals
+  /// the owning cluster's rounds()/words_moved() deltas.
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t words() const { return words_; }
+
+  /// Finalized copy of the span tree. The root (named "run") carries the
+  /// cumulative totals; children are the closed top-level spans. All spans
+  /// must be closed (throws InvariantError otherwise).
+  SpanNode tree() const;
+
+  /// Streams every event to `sink` as it happens (empty = off).
+  void set_sink(EventSink sink) { sink_ = std::move(sink); }
+
+  /// Drops all recorded spans and totals; open spans must be closed first.
+  void reset();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  struct Open {
+    SpanNode node;
+    std::uint64_t rounds0 = 0;
+    std::uint64_t words0 = 0;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  SpanNode& current();
+  void emit(const TraceEvent& event);
+
+  std::uint64_t rounds_ = 0;
+  std::uint64_t words_ = 0;
+  SpanNode root_;
+  std::vector<Open> stack_;
+  std::chrono::steady_clock::time_point started_;
+  EventSink sink_;
+};
+
+/// RAII phase span: opens on construction, closes on destruction (or an
+/// early close()). Inert when constructed with a null tracer, so call
+/// sites need no "is tracing on?" branches:
+///
+///   obs::Span span(cluster.trace(), "hash-to-min");
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer* tracer, std::string_view name) : tracer_(tracer) {
+    if (tracer_ != nullptr) tracer_->begin(name);
+  }
+  Span(Span&& other) noexcept : tracer_(other.tracer_) {
+    other.tracer_ = nullptr;
+  }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      close();
+      tracer_ = other.tracer_;
+      other.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  ~Span() { close(); }
+
+  /// Ends the span before scope exit; idempotent.
+  void close() {
+    if (tracer_ != nullptr) {
+      tracer_->end();
+      tracer_ = nullptr;
+    }
+  }
+
+  bool armed() const { return tracer_ != nullptr; }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace mpcstab::obs

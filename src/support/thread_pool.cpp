@@ -1,12 +1,15 @@
 #include "support/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/registry.h"
 
 namespace mpcstab {
 
@@ -37,12 +40,22 @@ class Pool {
 
   void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
     if (n == 0) return;
+    // Dispatch counters are process metrics, not per-job state: one relaxed
+    // atomic add per parallel_for is noise next to the cv round-trip.
+    static obs::Counter& jobs = obs::Registry::global().counter("pool.jobs");
+    static obs::Counter& serial_jobs =
+        obs::Registry::global().counter("pool.serial_jobs");
+    static obs::Histogram& wait_ns =
+        obs::Registry::global().histogram("pool.task_wait_ns");
     const unsigned used =
         static_cast<unsigned>(std::min<std::size_t>(threads_, n));
     if (used <= 1) {
+      serial_jobs.add(1);
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
+    jobs.add(1);
+    const auto dispatched = std::chrono::steady_clock::now();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       job_n_ = n;
@@ -62,6 +75,12 @@ class Pool {
         if (e) std::rethrow_exception(e);
       }
     }
+    // Wall time of the whole dispatch+barrier as seen by the caller: the
+    // time its own chunk plus the slowest co-worker took.
+    wait_ns.observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - dispatched)
+            .count()));
   }
 
  private:

@@ -1,0 +1,99 @@
+// Pins the load-profile sampling rule (mpc/metrics.h): first and last
+// round always present, exact row counts, monotone indices — plus the
+// load_summary surface other tests and benches print.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mpc/cluster.h"
+#include "mpc/metrics.h"
+
+namespace mpcstab {
+namespace {
+
+Cluster make_cluster(std::uint64_t machines, std::uint64_t space) {
+  MpcConfig cfg;
+  cfg.n = machines * space;
+  cfg.local_space = space;
+  cfg.machines = machines;
+  return Cluster(cfg);
+}
+
+void run_exchanges(Cluster& cluster, std::size_t rounds) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<std::vector<MpcMessage>> out(cluster.machines());
+    out[0].push_back({1, {1, 2, 3}});
+    cluster.exchange(std::move(out));
+  }
+}
+
+TEST(SampledRoundIndices, SmallRunsAreNeverSampled) {
+  const std::vector<std::size_t> all{0, 1, 2, 3, 4};
+  EXPECT_EQ(sampled_round_indices(5, 0), all);  // 0 = unlimited.
+  EXPECT_EQ(sampled_round_indices(5, 5), all);
+  EXPECT_EQ(sampled_round_indices(5, 9), all);
+  EXPECT_TRUE(sampled_round_indices(0, 3).empty());
+}
+
+TEST(SampledRoundIndices, EndpointsAreAlwaysIncluded) {
+  for (std::size_t size : {10u, 100u, 1000u, 12345u}) {
+    for (std::size_t max_rows : {2u, 3u, 7u, 12u}) {
+      const auto idx = sampled_round_indices(size, max_rows);
+      ASSERT_FALSE(idx.empty());
+      EXPECT_EQ(idx.front(), 0u) << size << "/" << max_rows;
+      EXPECT_EQ(idx.back(), size - 1) << size << "/" << max_rows;
+    }
+  }
+}
+
+TEST(SampledRoundIndices, ExactRowCountAndStrictlyIncreasing) {
+  for (std::size_t size : {10u, 100u, 997u}) {
+    for (std::size_t max_rows : {2u, 3u, 5u, 9u}) {
+      const auto idx = sampled_round_indices(size, max_rows);
+      EXPECT_EQ(idx.size(), max_rows) << size << "/" << max_rows;
+      for (std::size_t i = 1; i < idx.size(); ++i) {
+        EXPECT_LT(idx[i - 1], idx[i]) << size << "/" << max_rows;
+      }
+    }
+  }
+}
+
+TEST(SampledRoundIndices, SingleRowKeepsTheLastRound) {
+  // With one row the final round wins: it carries the run's end state.
+  EXPECT_EQ(sampled_round_indices(10, 1), (std::vector<std::size_t>{9}));
+  EXPECT_EQ(sampled_round_indices(2, 1), (std::vector<std::size_t>{1}));
+}
+
+TEST(SampledRoundIndices, InteriorIsEvenlySpread) {
+  const auto idx = sampled_round_indices(101, 5);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{0, 25, 50, 75, 100}));
+}
+
+TEST(LoadProfileTable, SamplingKeepsFirstAndLastRound) {
+  Cluster cluster = make_cluster(2, 16);
+  run_exchanges(cluster, 10);
+  // Unsampled: one row per round.
+  EXPECT_EQ(load_profile_table(cluster).rows(), 10u);
+  // Sampled: exactly max_rows rows; round column pins the endpoints.
+  const Table sampled = load_profile_table(cluster, 4);
+  EXPECT_EQ(sampled.rows(), 4u);
+  std::ostringstream out;
+  sampled.print(out, "profile");
+  // Cells are left-aligned, so a data line starts with its round number.
+  EXPECT_NE(out.str().find("\n1 "), std::string::npos);   // First round.
+  EXPECT_NE(out.str().find("\n10 "), std::string::npos);  // Last round.
+}
+
+TEST(LoadSummary, SurfaceStaysStable) {
+  Cluster cluster = make_cluster(2, 16);
+  run_exchanges(cluster, 6);
+  const std::string summary = load_summary(cluster);
+  EXPECT_NE(summary.find("rounds 6"), std::string::npos);
+  EXPECT_NE(summary.find("max recv"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpcstab

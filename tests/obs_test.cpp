@@ -1,0 +1,374 @@
+// The observability layer: span trees reconciling with engine totals,
+// registry instruments under the worker pool, and the JSON/NDJSON
+// exporters round-tripping through the bundled parser.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/connectivity.h"
+#include "graph/generators.h"
+#include "mpc/cluster.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "support/check.h"
+#include "support/thread_pool.h"
+
+namespace mpcstab {
+namespace {
+
+Cluster make_cluster(std::uint64_t machines, std::uint64_t space) {
+  MpcConfig cfg;
+  cfg.n = machines * space;
+  cfg.local_space = space;
+  cfg.machines = machines;
+  return Cluster(cfg);
+}
+
+void one_exchange(Cluster& cluster, std::size_t words = 3) {
+  std::vector<std::vector<MpcMessage>> out(cluster.machines());
+  out[0].push_back({1, std::vector<std::uint64_t>(words, 7)});
+  cluster.exchange(std::move(out));
+}
+
+// --- Tracer / Span ---------------------------------------------------------
+
+TEST(Trace, NestedSpansBalanceAndAttributeDeltas) {
+  obs::Tracer tracer;
+  {
+    obs::Span outer(&tracer, "outer");
+    tracer.on_exchange(10, 5, 1.0);
+    {
+      obs::Span inner(&tracer, "inner");
+      tracer.on_exchange(20, 8, 2.0);
+      tracer.on_charge(3, "trees");
+    }
+    tracer.on_charge(1, "handshake");
+  }
+  EXPECT_EQ(tracer.depth(), 0u);
+  const obs::SpanNode root = tracer.tree();
+  EXPECT_EQ(root.name, "run");
+  EXPECT_EQ(root.rounds, 6u);  // 2 exchanges + 3 + 1 charged.
+  EXPECT_EQ(root.words, 30u);
+  ASSERT_EQ(root.children.size(), 1u);
+  const obs::SpanNode& outer = root.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.rounds, 6u);
+  EXPECT_EQ(outer.words, 30u);
+  EXPECT_EQ(outer.exchanges, 2u);
+  EXPECT_EQ(outer.charges, 2u);
+  ASSERT_EQ(outer.children.size(), 1u);
+  const obs::SpanNode& inner = outer.children[0];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.rounds, 4u);  // 1 exchange + 3 charged.
+  EXPECT_EQ(inner.words, 20u);
+  EXPECT_EQ(inner.charges, 1u);
+  // Reconciliation helpers.
+  EXPECT_EQ(outer.child_rounds(), inner.rounds);
+  EXPECT_EQ(outer.child_words(), inner.words);
+}
+
+TEST(Trace, SiblingSpansSplitTheParentDeltas) {
+  obs::Tracer tracer;
+  {
+    obs::Span a(&tracer, "a");
+    tracer.on_exchange(5, 5, 1.0);
+  }
+  {
+    obs::Span b(&tracer, "b");
+    tracer.on_exchange(7, 7, 1.0);
+    tracer.on_exchange(1, 1, 1.0);
+  }
+  const obs::SpanNode root = tracer.tree();
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].rounds, 1u);
+  EXPECT_EQ(root.children[0].words, 5u);
+  EXPECT_EQ(root.children[1].rounds, 2u);
+  EXPECT_EQ(root.children[1].words, 8u);
+  EXPECT_EQ(root.child_rounds(), root.rounds);
+  EXPECT_EQ(root.child_words(), root.words);
+}
+
+TEST(Trace, NullTracerSpanIsInert) {
+  obs::Span span(nullptr, "phase");
+  EXPECT_FALSE(span.armed());
+  span.close();  // Harmless.
+}
+
+TEST(Trace, SpanMoveTransfersOwnershipOfTheClose) {
+  obs::Tracer tracer;
+  {
+    obs::Span a(&tracer, "phase");
+    obs::Span b = std::move(a);
+    EXPECT_FALSE(a.armed());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(b.armed());
+    EXPECT_EQ(tracer.depth(), 1u);
+  }
+  EXPECT_EQ(tracer.depth(), 0u);
+  EXPECT_EQ(tracer.tree().children.size(), 1u);
+}
+
+TEST(Trace, TreeWithOpenSpansThrows) {
+  obs::Tracer tracer;
+  obs::Span span(&tracer, "open");
+  EXPECT_THROW(tracer.tree(), InvariantError);
+  span.close();
+  EXPECT_NO_THROW(tracer.tree());
+}
+
+// --- Cluster integration ---------------------------------------------------
+
+TEST(Trace, TracedClusterReconcilesWithEngineTotals) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(64));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+  cluster.enable_tracing();
+  const CycleDecision d = distinguish_cycles(cluster, g);
+  EXPECT_TRUE(d.one_cycle);
+
+  // The acceptance criterion: the span tree's totals reconcile with the
+  // engine's own accounting, and children never exceed their parent.
+  const obs::SpanNode root = cluster.trace()->tree();
+  EXPECT_EQ(root.rounds, cluster.rounds());
+  EXPECT_EQ(root.words, cluster.words_moved());
+  EXPECT_GT(root.rounds, 0u);
+  EXPECT_FALSE(root.children.empty());
+  std::vector<const obs::SpanNode*> stack{&root};
+  while (!stack.empty()) {
+    const obs::SpanNode* node = stack.back();
+    stack.pop_back();
+    EXPECT_LE(node->child_rounds(), node->rounds) << node->name;
+    EXPECT_LE(node->child_words(), node->words) << node->name;
+    for (const obs::SpanNode& c : node->children) stack.push_back(&c);
+  }
+}
+
+TEST(Trace, EnableTracingIsIdempotentAndUntracedClustersStayNull) {
+  Cluster cluster = make_cluster(2, 16);
+  EXPECT_EQ(cluster.trace(), nullptr);
+  obs::Tracer& a = cluster.enable_tracing();
+  obs::Tracer& b = cluster.enable_tracing();
+  EXPECT_EQ(&a, &b);
+  one_exchange(cluster);
+  EXPECT_EQ(a.rounds(), cluster.rounds());
+  EXPECT_EQ(a.words(), cluster.words_moved());
+}
+
+TEST(Trace, ClusterSpanHandleIsInertWithoutTracing) {
+  Cluster cluster = make_cluster(2, 16);
+  {
+    obs::Span span = cluster.span("phase");
+    EXPECT_FALSE(span.armed());
+    one_exchange(cluster);
+  }
+  EXPECT_EQ(cluster.rounds(), 1u);
+}
+
+TEST(Trace, MovedClusterKeepsFeedingItsTracer) {
+  Cluster cluster = make_cluster(2, 16);
+  cluster.enable_tracing();
+  one_exchange(cluster);
+  Cluster moved = std::move(cluster);
+  one_exchange(moved);
+  ASSERT_NE(moved.trace(), nullptr);
+  EXPECT_EQ(moved.trace()->rounds(), 2u);
+}
+
+TEST(Trace, NdjsonSinkEmitsOneParsableObjectPerLine) {
+  std::ostringstream out;
+  obs::Tracer tracer;
+  tracer.set_sink(obs::ndjson_sink(out));
+  {
+    obs::Span span(&tracer, "phase");
+    tracer.on_exchange(4, 2, 1.0);
+    tracer.on_charge(2, "trees");
+  }
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> events;
+  while (std::getline(lines, line)) {
+    const auto parsed = obs::parse_json(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    events.emplace_back(parsed->str("event"));
+  }
+  const std::vector<std::string> expected{"span_begin", "exchange", "charge",
+                                          "span_end"};
+  EXPECT_EQ(events, expected);
+}
+
+// --- Registry --------------------------------------------------------------
+
+TEST(Registry, CounterConcurrentAddsUnderThePoolAreExact) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("test.concurrent");
+  constexpr std::size_t kIters = 10000;
+  parallel_for(kIters, [&](std::size_t i) { counter.add(i % 3 + 1); });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < kIters; ++i) expected += i % 3 + 1;
+  EXPECT_EQ(counter.value(), expected);
+}
+
+TEST(Registry, GaugeTracksLastValueAndMaxUnderThePool) {
+  obs::Registry registry;
+  obs::Gauge& gauge = registry.gauge("test.gauge");
+  parallel_for(1000, [&](std::size_t i) { gauge.update_max(i); });
+  EXPECT_EQ(gauge.max(), 999u);
+  gauge.set(5);
+  EXPECT_EQ(gauge.value(), 5u);
+  EXPECT_EQ(gauge.max(), 999u);
+}
+
+TEST(Registry, HistogramBucketsByPowerOfTwo) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("test.hist");
+  h.observe(0);
+  h.observe(1);
+  h.observe(7);
+  h.observe(8);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 16u);
+  EXPECT_EQ(h.max(), 8u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_EQ(h.bucket(0), 2u);  // 0 and 1.
+  EXPECT_EQ(h.bucket(2), 1u);  // 4..7.
+  EXPECT_EQ(h.bucket(3), 1u);  // 8..15.
+}
+
+TEST(Registry, SameNameReturnsSameInstrumentAndReferencesStayStable) {
+  obs::Registry registry;
+  obs::Counter& a = registry.counter("stable.name");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(&a, &registry.counter("stable.name"));
+}
+
+TEST(Registry, SnapshotAndResetValues) {
+  obs::Registry registry;
+  registry.counter("a.count").add(3);
+  registry.gauge("b.gauge").set(9);
+  registry.histogram("c.hist").observe(2);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  std::set<std::string> names;
+  for (const auto& s : snap) names.insert(s.name);
+  EXPECT_EQ(names, (std::set<std::string>{"a.count", "b.gauge", "c.hist"}));
+  registry.reset_values();
+  for (const auto& s : registry.snapshot()) {
+    EXPECT_EQ(s.value, 0u) << s.name;
+  }
+}
+
+TEST(Registry, EngineInstrumentsAccumulateInTheGlobalRegistry) {
+  obs::Counter& exchanges = obs::Registry::global().counter(
+      "cluster.exchanges");
+  const std::uint64_t before = exchanges.value();
+  Cluster cluster = make_cluster(2, 16);
+  one_exchange(cluster);
+  one_exchange(cluster);
+  EXPECT_EQ(exchanges.value(), before + 2);
+}
+
+// --- JSON export -----------------------------------------------------------
+
+TEST(Export, JsonEscape) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("x\ny\t"), "x\\ny\\t");
+}
+
+TEST(Export, ParseJsonHandlesTheGrammar) {
+  const auto v = obs::parse_json(
+      R"({"s":"aAb","n":-2.5e2,"b":true,"z":null,"a":[1,2],"o":{}})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->str("s"), "aAb");
+  EXPECT_DOUBLE_EQ(v->num("n"), -250.0);
+  EXPECT_TRUE(v->find("b")->boolean);
+  EXPECT_EQ(v->find("z")->kind, obs::JsonValue::Kind::kNull);
+  EXPECT_EQ(v->find("a")->array.size(), 2u);
+  EXPECT_FALSE(obs::parse_json("{oops}").has_value());
+  EXPECT_FALSE(obs::parse_json("[1,2] trailing").has_value());
+}
+
+TEST(Export, BenchReportRoundTripsThroughTheParser) {
+  const LegalGraph g = LegalGraph::with_identity(cycle_graph(32));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+  cluster.enable_tracing();
+  distinguish_cycles(cluster, g);
+
+  obs::BenchReport report;
+  report.bench = "obs_test";
+  report.info.emplace_back("note", "round-trip");
+  report.runs.push_back(obs::capture_run("cycle-32", cluster));
+
+  std::ostringstream out;
+  obs::write_bench_json(out, report);
+  const auto doc = obs::parse_json(out.str());
+  ASSERT_TRUE(doc.has_value());
+
+  // Schema envelope.
+  EXPECT_EQ(doc->str("schema"), "mpcstab-bench-v1");
+  EXPECT_EQ(doc->str("bench"), "obs_test");
+  EXPECT_EQ(doc->find("info")->str("note"), "round-trip");
+  ASSERT_NE(doc->find("metrics"), nullptr);
+
+  // Run payload reconciles with the cluster.
+  const auto* runs = doc->find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->array.size(), 1u);
+  const obs::JsonValue& run = runs->array[0];
+  EXPECT_EQ(run.str("label"), "cycle-32");
+  const auto* config = run.find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_DOUBLE_EQ(config->num("n"), 32.0);
+  EXPECT_DOUBLE_EQ(config->num("machines"),
+                   static_cast<double>(cluster.machines()));
+  const auto* totals = run.find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_DOUBLE_EQ(totals->num("rounds"),
+                   static_cast<double>(cluster.rounds()));
+  EXPECT_DOUBLE_EQ(totals->num("words"),
+                   static_cast<double>(cluster.words_moved()));
+  const auto* profile = run.find("load_profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->array.size(), cluster.round_loads().size());
+  const auto* tree = run.find("span_tree");
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->str("name"), "run");
+  EXPECT_DOUBLE_EQ(tree->num("rounds"),
+                   static_cast<double>(cluster.rounds()));
+  EXPECT_FALSE(tree->find("children")->array.empty());
+}
+
+TEST(Export, CaptureRunOnUntracedClusterSynthesizesARoot) {
+  Cluster cluster = make_cluster(2, 16);
+  one_exchange(cluster);
+  const obs::RunRecord run = obs::capture_run("untraced", cluster);
+  EXPECT_FALSE(run.traced);
+  EXPECT_EQ(run.spans.name, "run");
+  EXPECT_EQ(run.spans.rounds, cluster.rounds());
+  EXPECT_EQ(run.spans.words, cluster.words_moved());
+  EXPECT_TRUE(run.spans.children.empty());
+}
+
+TEST(Export, TablesRenderWithoutThrowing) {
+  obs::Registry registry;
+  registry.counter("t.count").add(4);
+  registry.histogram("t.hist").observe(100);
+  std::ostringstream sink;
+  obs::metrics_table(registry).print(sink, "metrics");
+  obs::Tracer tracer;
+  {
+    obs::Span span(&tracer, "phase");
+    tracer.on_exchange(4, 2, 1.0);
+  }
+  obs::span_tree_table(tracer.tree()).print(sink, "spans");
+  EXPECT_NE(sink.str().find("phase"), std::string::npos);
+  EXPECT_NE(sink.str().find("t.count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpcstab
