@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
+#include <utility>
 
 #include "graph/components.h"
 #include "graph/ops.h"
+#include "mpc/batching.h"
 #include "mpc/primitives.h"
 #include "mpc/shuffle.h"
 #include "obs/trace.h"
 #include "support/check.h"
 #include "support/math.h"
+#include "support/thread_pool.h"
 
 namespace mpcstab {
 
@@ -23,28 +27,40 @@ ConnectivityResult hash_to_min_components(Cluster& cluster,
   result.labels.resize(n);
   std::iota(result.labels.begin(), result.labels.end(), 0);
 
+  // The per-iteration analytic cost is 2 rounds: one exchanging labels with
+  // neighbors, one for the label lookup (a hash join routing each request
+  // L(v) to the machine owning node L(v) and back — O(1) rounds in every
+  // MPC connectivity paper). The update itself is a pure function of the
+  // previous iteration's label array, so each sweep runs on the worker pool
+  // (disjoint writes to next[v]) and, when batching is on, the whole run's
+  // charges coalesce into one charge_rounds call with the identical total.
+  std::vector<Node> next(n);
   for (std::uint64_t it = 0; it < max_iterations; ++it) {
-    std::vector<Node> next(n);
-    bool changed = false;
-    for (Node v = 0; v < n; ++v) {
-      Node best = result.labels[v];
-      best = std::min(best, result.labels[best]);  // shortcut (pointer jump)
-      for (Node u : topo.neighbors(v)) {
-        best = std::min(best, result.labels[u]);
+    const std::vector<Node>& labels = result.labels;
+    parallel_for(n, [&](std::size_t v) {
+      Node best = labels[v];
+      best = std::min(best, labels[best]);  // shortcut (pointer jump)
+      for (Node u : topo.neighbors(static_cast<Node>(v))) {
+        best = std::min(best, labels[u]);
       }
       next[v] = best;
-      changed = changed || (next[v] != result.labels[v]);
-    }
-    result.labels = std::move(next);
+    });
+    const bool changed = next != result.labels;
+    std::swap(result.labels, next);
     ++result.iterations;
-    // One round exchanging labels with neighbors, one for the label lookup
-    // (a hash join routing each request L(v) to the machine owning node
-    // L(v) and back — O(1) rounds in every MPC connectivity paper).
-    cluster.charge_rounds(2, "hash-to-min iteration");
+    if (!exchange_batching_enabled()) {
+      cluster.charge_rounds(2, "hash-to-min iteration");
+    }
     if (!changed) {
       result.converged = true;
       break;
     }
+  }
+  if (exchange_batching_enabled() && result.iterations > 0) {
+    cluster.charge_rounds(2 * result.iterations,
+                          "hash-to-min x" +
+                              std::to_string(result.iterations) +
+                              " (batched)");
   }
   result.rounds = result.iterations * 2;
   return result;

@@ -5,8 +5,11 @@
 
 #include "graph/balls.h"
 #include "graph/components.h"
+#include "mpc/batching.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace mpcstab {
 
@@ -301,7 +304,23 @@ BStConnResult b_st_conn(Cluster& cluster, const LegalGraph& h_graph, Node s,
       std::max(pair.g.max_degree(), pair.g_prime.max_degree());
 
   obs::Span simulate = cluster.span("simulations");
-  for (std::uint64_t sim_index = 0; sim_index < simulations; ++sim_index) {
+  // The degree precondition of Lemma 27's construction depends only on H, s
+  // and t — not on the sampled h values — so it is hoisted out of the loop:
+  // serially it would fail on the first simulation (run count 1, NO).
+  const bool degree_ok = simulations == 0 ||
+                         (h_graph.graph().degree(s) == 1 &&
+                          h_graph.graph().degree(t) == 1);
+  if (simulations > 0) require(s != t, "s and t must differ");
+
+  // Each simulation is a pure function of (sim_index, inputs): the PRF is
+  // stateless, graph construction and stable_output_at touch no shared
+  // state, and the cluster is only charged after the loop. Per-simulation
+  // verdicts land in disjoint slots and reduce in fixed index order, so the
+  // pooled run is bit-identical to the serial reference
+  // (`set_exchange_batching(false)` forces the latter).
+  std::vector<std::uint8_t> full_copy(simulations, 0);
+  std::vector<std::uint8_t> yes_vote(simulations, 0);
+  auto run_one = [&](std::size_t sim_index) {
     std::vector<std::uint32_t> h(h_graph.n(), 1);
     bool have_h = false;
     if (sim_index == 0 && planted_first) {
@@ -321,10 +340,9 @@ BStConnResult b_st_conn(Cluster& cluster, const LegalGraph& h_graph, Node s,
 
     const auto sims =
         build_simulation_graphs(h_graph, s, t, pair, h, total_nodes);
-    ++result.simulations_run;
-    if (!sims.has_value()) break;  // degree precondition failed: NO
-    if (!sims->vs_present) continue;
-    if (sims->full_copy) ++result.full_copies_seen;
+    ensure(sims.has_value(), "degree precondition checked before the loop");
+    if (!sims->vs_present) return;
+    if (sims->full_copy) full_copy[sim_index] = 1;
 
     // Component-stable evaluation at v_s on both graphs: by Definition 13
     // the algorithm's output is A(CC(vs), vs, total_nodes, Delta, S).
@@ -344,7 +362,24 @@ BStConnResult b_st_conn(Cluster& cluster, const LegalGraph& h_graph, Node s,
     const Label out_gp =
         stable_output_at(alg, cc_gp.graph, local_index(cc_gp, sims->vs),
                          total_nodes, delta, seed);
-    if (out_g != out_gp) ++result.yes_votes;
+    if (out_g != out_gp) yes_vote[sim_index] = 1;
+  };
+
+  if (!degree_ok) {
+    result.simulations_run = 1;  // the first simulation reports the NO
+  } else if (exchange_batching_enabled()) {
+    static obs::Counter& parallel_sims =
+        obs::Registry::global().counter("batching.parallel_simulations");
+    parallel_sims.add(simulations);
+    parallel_for(simulations, run_one);
+    result.simulations_run = simulations;
+  } else {
+    for (std::uint64_t i = 0; i < simulations; ++i) run_one(i);
+    result.simulations_run = simulations;
+  }
+  for (std::uint64_t i = 0; i < simulations; ++i) {
+    result.full_copies_seen += full_copy[i];
+    result.yes_votes += yes_vote[i];
   }
 
   simulate.close();

@@ -1,0 +1,102 @@
+#include "mpc/batching.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/registry.h"
+
+namespace mpcstab {
+
+namespace {
+
+/// On unless MPCSTAB_NO_BATCH is set in the environment (the unbatched
+/// reference engine, for wall-clock A/B runs and debugging).
+bool initial_batching() {
+  const char* raw = std::getenv("MPCSTAB_NO_BATCH");
+  return raw == nullptr || *raw == '\0';
+}
+
+std::atomic<bool> batching_enabled{initial_batching()};
+
+}  // namespace
+
+bool exchange_batching_enabled() {
+  return batching_enabled.load(std::memory_order_relaxed);
+}
+
+void set_exchange_batching(bool enabled) {
+  batching_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::size_t ExchangeBatcher::add_round(
+    std::vector<std::vector<MpcMessage>> outboxes) {
+  Op op;
+  op.outboxes = std::move(outboxes);
+  ops_.push_back(std::move(op));
+  return round_count_++;
+}
+
+void ExchangeBatcher::add_charge(std::uint64_t k, std::string what) {
+  Op op;
+  op.is_charge = true;
+  op.charge = k;
+  op.what = std::move(what);
+  ops_.push_back(std::move(op));
+}
+
+std::vector<std::vector<std::vector<MpcMessage>>> ExchangeBatcher::flush() {
+  static obs::Counter& flushes =
+      obs::Registry::global().counter("batching.flushes");
+  static obs::Counter& logical_rounds =
+      obs::Registry::global().counter("batching.logical_rounds");
+  static obs::Counter& engine_calls =
+      obs::Registry::global().counter("batching.engine_calls");
+  static obs::Counter& saved_dispatches =
+      obs::Registry::global().counter("batching.saved_dispatches");
+
+  const bool fuse = exchange_batching_enabled();
+  std::vector<std::vector<std::vector<MpcMessage>>> inboxes;
+  inboxes.reserve(round_count_);
+  std::size_t calls = 0;
+
+  // Replay the queue in order; maximal runs of consecutive rounds fuse into
+  // one exchange_batch call (charges are sequence points between runs).
+  std::size_t i = 0;
+  while (i < ops_.size()) {
+    if (ops_[i].is_charge) {
+      cluster_.charge_rounds(ops_[i].charge, ops_[i].what);
+      ++i;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < ops_.size() && !ops_[end].is_charge) ++end;
+    if (fuse) {
+      std::vector<std::vector<std::vector<MpcMessage>>> waves;
+      waves.reserve(end - i);
+      for (std::size_t w = i; w < end; ++w) {
+        waves.push_back(std::move(ops_[w].outboxes));
+      }
+      ++calls;
+      auto batch = cluster_.exchange_batch(std::move(waves));
+      for (auto& wave : batch) inboxes.push_back(std::move(wave));
+    } else {
+      for (std::size_t w = i; w < end; ++w) {
+        ++calls;
+        inboxes.push_back(cluster_.exchange(std::move(ops_[w].outboxes)));
+      }
+    }
+    i = end;
+  }
+
+  flushes.add(1);
+  logical_rounds.add(round_count_);
+  engine_calls.add(calls);
+  if (round_count_ > calls) saved_dispatches.add(round_count_ - calls);
+
+  ops_.clear();
+  round_count_ = 0;
+  return inboxes;
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,83 @@
+// Host-side exchange batching: fuses a *precomputed* sequence of logical
+// communication rounds into one batched engine call.
+//
+// Key observation (the PR-2 traces made it visible): inside one transfer —
+// a route_by_key call, a paced_exchange, one distinct_count merge level —
+// the receiver-credit schedule is a deterministic function of the pending
+// queues, never of delivered data. The simulator therefore does not have to
+// execute the waves one `Cluster::exchange` call at a time: it can queue
+// every wave (with its interleaved handshake charges) and ship them through
+// `Cluster::exchange_batch`, which replays the *identical* paper-model
+// accounting — same rounds, same words, same round log, same per-round load
+// profile, same canonical FIFO/sequence-tag delivery order — while paying
+// the host-side dispatch cost (thread-pool barriers, per-call allocations)
+// once per batch instead of once per wave. Only wall-clock and the number
+// of physical engine calls drop; `tests/batching_test.cpp` pins the
+// bit-identity.
+//
+// The batcher is deliberately dumb: callers queue logical rounds and
+// analytic charges in execution order and call flush(). Anything whose wave
+// contents depend on previously delivered data (e.g. consecutive
+// iterations of native label propagation) must flush between dependencies.
+//
+// `set_exchange_batching(false)` routes every queued round through the
+// plain one-call-per-round engine path — the reference the A/B tests (and
+// sceptical readers) compare against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mpc/cluster.h"
+
+namespace mpcstab {
+
+/// Whether flush() fuses queued rounds into batched engine calls (default;
+/// start with MPCSTAB_NO_BATCH set to come up disabled) or replays them
+/// through one `Cluster::exchange` per round. Process-wide; reads are
+/// relaxed-atomic, so toggling mid-transfer is a test-only move.
+bool exchange_batching_enabled();
+void set_exchange_batching(bool enabled);
+
+/// Queues logical communication rounds (plus interleaved analytic charges)
+/// and executes them in order on flush. See the file comment for the
+/// contract: queued rounds must not depend on each other's deliveries.
+class ExchangeBatcher {
+ public:
+  explicit ExchangeBatcher(Cluster& cluster) : cluster_(cluster) {}
+
+  /// Queues one logical communication round; returns its index among the
+  /// queued rounds (the index into flush()'s result).
+  std::size_t add_round(std::vector<std::vector<MpcMessage>> outboxes);
+
+  /// Queues an analytic `charge_rounds(k, what)` at the current position in
+  /// the sequence (e.g. a receiver-credit handshake between waves).
+  void add_charge(std::uint64_t k, std::string what);
+
+  /// Logical rounds queued since construction / the last flush.
+  std::size_t rounds_queued() const { return round_count_; }
+
+  /// Executes the queued sequence in order and clears the queue. Returns
+  /// the per-round inboxes, indexed as add_round order. Accounting is
+  /// bit-identical to issuing the same sequence unbatched.
+  std::vector<std::vector<std::vector<MpcMessage>>> flush();
+
+  ExchangeBatcher(const ExchangeBatcher&) = delete;
+  ExchangeBatcher& operator=(const ExchangeBatcher&) = delete;
+
+ private:
+  struct Op {
+    bool is_charge = false;
+    std::vector<std::vector<MpcMessage>> outboxes;  // when !is_charge
+    std::uint64_t charge = 0;                       // when is_charge
+    std::string what;
+  };
+
+  Cluster& cluster_;
+  std::vector<Op> ops_;
+  std::size_t round_count_ = 0;
+};
+
+}  // namespace mpcstab

@@ -48,6 +48,75 @@ std::vector<std::vector<MpcMessage>> Cluster::exchange(
     }
   }
 
+  account_round(sent, received);
+  return inboxes;
+}
+
+std::vector<std::vector<std::vector<MpcMessage>>> Cluster::exchange_batch(
+    std::vector<std::vector<std::vector<MpcMessage>>> waves) {
+  const std::size_t machines = config_.machines;
+  const std::size_t count = waves.size();
+  if (count == 0) return {};
+  for (const auto& wave : waves) {
+    require(wave.size() == machines, "outboxes must cover every machine");
+  }
+
+  // Flattened per-(wave, sender) validation and send accounting — one pool
+  // dispatch for the whole batch. Destination-range violations are recorded
+  // (not thrown) so the in-order replay below can surface them at exactly
+  // the wave a sequential execution would have.
+  std::vector<std::uint64_t> sent(count * machines, 0);
+  std::vector<std::uint8_t> bad_dst(count * machines, 0);
+  parallel_for(count * machines, [&](std::size_t idx) {
+    const auto& outbox = waves[idx / machines][idx % machines];
+    std::uint64_t words = 0;
+    for (const MpcMessage& msg : outbox) {
+      if (msg.dst >= config_.machines) bad_dst[idx] = 1;
+      words += msg.payload.size() + 1;
+    }
+    sent[idx] = words;
+  });
+  std::vector<std::uint8_t> wave_bad(count, 0);
+  for (std::size_t w = 0; w < count; ++w) {
+    for (std::size_t m = 0; m < machines && !wave_bad[w]; ++m) {
+      wave_bad[w] = bad_dst[w * machines + m];
+    }
+  }
+
+  // Per-wave merge into inboxes, each wave in fixed machine order (the
+  // serial reference order). Waves are independent, so they merge on the
+  // pool; a wave with an invalid destination is skipped — sequentially it
+  // would have aborted before delivering anything.
+  std::vector<std::vector<std::vector<MpcMessage>>> inboxes(count);
+  std::vector<std::vector<std::uint64_t>> received(count);
+  parallel_for(count, [&](std::size_t w) {
+    if (wave_bad[w]) return;
+    inboxes[w].resize(machines);
+    received[w].assign(machines, 0);
+    for (std::size_t src = 0; src < machines; ++src) {
+      for (MpcMessage& msg : waves[w][src]) {
+        received[w][msg.dst] += msg.payload.size() + 1;
+        inboxes[w][msg.dst].push_back(std::move(msg));
+      }
+    }
+  });
+
+  // In-order accounting replay: wave w is accounted (and its space limits
+  // enforced) exactly as the w-th sequential exchange call would have been,
+  // with waves 0..w-1 fully accounted when wave w throws.
+  for (std::size_t w = 0; w < count; ++w) {
+    require(!wave_bad[w], "message destination out of range");
+    const std::vector<std::uint64_t> wave_sent(
+        sent.begin() + static_cast<std::ptrdiff_t>(w * machines),
+        sent.begin() + static_cast<std::ptrdiff_t>((w + 1) * machines));
+    account_round(wave_sent, received[w]);
+  }
+  return inboxes;
+}
+
+void Cluster::account_round(const std::vector<std::uint64_t>& sent,
+                            const std::vector<std::uint64_t>& received) {
+  const std::size_t machines = config_.machines;
   std::uint64_t round_words = 0;
   RoundLoad load;
   for (std::size_t i = 0; i < machines; ++i) {
@@ -95,7 +164,6 @@ std::vector<std::vector<MpcMessage>> Cluster::exchange(
                             std::to_string(config_.local_space));
     }
   }
-  return inboxes;
 }
 
 void Cluster::charge_rounds(std::uint64_t k, std::string_view what) {

@@ -74,6 +74,19 @@ class Cluster {
   std::vector<std::vector<MpcMessage>> exchange(
       std::vector<std::vector<MpcMessage>> outboxes);
 
+  /// Performs `waves.size()` communication rounds in one host-side pass:
+  /// wave w is exactly the round `exchange(waves[w])` would have run, and
+  /// the result is the per-wave inboxes in wave order. The paper-model
+  /// accounting is bit-identical to calling `exchange` sequentially —
+  /// every wave counts one round, records its own load profile and space
+  /// violations surface at the same wave with earlier waves fully
+  /// accounted — only the host-side cost (pool dispatches, allocations) is
+  /// paid per batch instead of per round. Wave contents must therefore not
+  /// depend on earlier waves' deliveries; see mpc/batching.h for the
+  /// scheduling layer that guarantees this.
+  std::vector<std::vector<std::vector<MpcMessage>>> exchange_batch(
+      std::vector<std::vector<std::vector<MpcMessage>>> waves);
+
   /// Charges `k` rounds for a primitive whose data movement is modeled
   /// analytically (cost model documented at the call site). `what` labels
   /// the charge in the round log.
@@ -117,6 +130,13 @@ class Cluster {
   }
 
  private:
+  /// Accounts one completed round (words, load profile, tracer, metrics)
+  /// from the per-machine send/receive volumes, then enforces the S-word
+  /// limits. Shared by exchange and exchange_batch so their accounting can
+  /// never diverge.
+  void account_round(const std::vector<std::uint64_t>& sent,
+                     const std::vector<std::uint64_t>& received);
+
   MpcConfig config_;
   std::uint64_t rounds_ = 0;
   std::uint64_t words_moved_ = 0;

@@ -6,6 +6,7 @@
 #include <tuple>
 #include <utility>
 
+#include "mpc/batching.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "support/check.h"
@@ -82,7 +83,11 @@ std::vector<std::vector<MpcMessage>> paced_exchange(
   // FIFO head index per sender (satellite fix: no back-to-front draining).
   std::vector<std::size_t> head(machines, 0);
 
+  // The wave schedule below reads only the fragment queues and credit
+  // counters — never a delivery — so every wave (and the handshake charge)
+  // queues into the batcher and ships through one batched engine call.
   const std::uint64_t handshake = cluster.tree_rounds();
+  ExchangeBatcher batcher(cluster);
   bool more = true;
   bool need_handshake = false;
   bool handshake_charged = false;
@@ -95,7 +100,7 @@ std::vector<std::vector<MpcMessage>> paced_exchange(
       // once per transfer (all demand is known at call start, so the
       // schedule needs no re-coordination). Purely sender-paced deferrals
       // need no coordination at all — each sender knows its own queue.
-      cluster.charge_rounds(handshake, "receiver-credit handshake");
+      batcher.add_charge(handshake, "receiver-credit handshake");
       handshakes.add(1);
       handshake_charged = true;
     }
@@ -125,9 +130,15 @@ std::vector<std::vector<MpcMessage>> paced_exchange(
       }
       if (head[m] < queue.size()) more = true;
     }
-    auto inboxes = cluster.exchange(std::move(round_out));
-    parallel_for(machines, [&](std::size_t m) {
-      for (const MpcMessage& msg : inboxes[m]) {
+    batcher.add_round(std::move(round_out));
+  }
+  // Reassemble: machine m walks its inbox of every wave in wave order —
+  // exactly the order the unbatched loop fed the partial maps — so the
+  // fragment concatenation and the completed-message order are identical.
+  const auto waves = batcher.flush();
+  parallel_for(machines, [&](std::size_t m) {
+    for (const auto& wave : waves) {
+      for (const MpcMessage& msg : wave[m]) {
         ensure(msg.payload.size() >= 4, "fragment must carry its header");
         const std::uint64_t src = msg.payload[0];
         const std::uint64_t id = msg.payload[1];
@@ -144,8 +155,8 @@ std::vector<std::vector<MpcMessage>> paced_exchange(
           partial[m].erase({src, id});
         }
       }
-    });
-  }
+    }
+  });
   for (const auto& shard : partial) {
     ensure(shard.empty(), "all fragments must reassemble");
   }

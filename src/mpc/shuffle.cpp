@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <string>
 #include <utility>
 
+#include "mpc/batching.h"
 #include "mpc/pacing.h"
 #include "mpc/primitives.h"
 #include "obs/registry.h"
@@ -78,19 +80,21 @@ std::vector<std::vector<KeyedItem>> route_by_key(
   // charged handshake (senders aggregate per-destination demand through a
   // fan-in-S tree and learn their slots in the static schedule); further
   // waves follow that schedule with no extra coordination.
+  //
+  // The whole wave schedule is a deterministic function of the pending
+  // queues — no wave depends on delivered data — so the waves queue into an
+  // ExchangeBatcher and ship through one batched engine call (identical
+  // accounting, one host-side pass; see mpc/batching.h).
   const std::uint64_t handshake = cluster.tree_rounds();
+  ExchangeBatcher batcher(cluster);
   std::vector<std::size_t> head(machines, 0);
-  // Remote arrivals buffered as (sequence tag, item) until all rounds are
-  // done; sorting by tag restores the canonical source-order delivery.
-  std::vector<std::vector<std::pair<std::uint64_t, KeyedItem>>> remote(
-      machines);
   bool more = true;
   bool need_handshake = false;
   bool handshake_charged = false;
   while (more) {
     more = false;
     if (need_handshake && !handshake_charged && handshake > 0) {
-      cluster.charge_rounds(handshake, "receiver-credit handshake");
+      batcher.add_charge(handshake, "receiver-credit handshake");
       handshakes.add(1);
       handshake_charged = true;
     }
@@ -117,22 +121,26 @@ std::vector<std::vector<KeyedItem>> route_by_key(
       }
       if (head[src] < queue.size()) more = true;
     }
-    auto inboxes = cluster.exchange(std::move(outboxes));
-    parallel_for(machines, [&](std::size_t m) {
-      for (const MpcMessage& msg : inboxes[m]) {
-        remote[m].emplace_back(
-            msg.payload.at(2),
-            KeyedItem{msg.payload.at(0), msg.payload.at(1)});
-      }
-    });
+    batcher.add_round(std::move(outboxes));
   }
+  const auto waves = batcher.flush();
+  // Remote arrivals buffered as (sequence tag, item); sorting by tag
+  // restores the canonical source-order delivery no matter how the pacing
+  // (or the batch) spread the transfer over waves.
   parallel_for(machines, [&](std::size_t m) {
+    std::vector<std::pair<std::uint64_t, KeyedItem>> remote;
+    for (const auto& wave : waves) {
+      for (const MpcMessage& msg : wave[m]) {
+        remote.emplace_back(msg.payload.at(2),
+                            KeyedItem{msg.payload.at(0), msg.payload.at(1)});
+      }
+    }
     // Tags are unique (source, position) pairs, so this sort is a total
     // order: delivery is locals first, then sources in machine order, each
     // source's items in FIFO position order — independent of the budget.
-    std::sort(remote[m].begin(), remote[m].end(),
+    std::sort(remote.begin(), remote.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (auto& [tag, item] : remote[m]) received[m].push_back(item);
+    for (auto& [tag, item] : remote) received[m].push_back(item);
   });
   return received;
 }
@@ -194,11 +202,15 @@ std::uint64_t distinct_count(Cluster& cluster,
     // union commutatively — so each chunk travels as-is and a level's
     // typical small sets fit one exchange round. Credits equal the full
     // receive capacity S; senders stay within S words per round too, and a
-    // receiver-caused deferral charges one handshake for the level.
+    // receiver-caused deferral charges one handshake for the level. The
+    // level's wave schedule depends only on the queued chunks, so all waves
+    // of one level batch into a single engine call (levels themselves stay
+    // sequential — the next level's sets depend on this one's merges).
     std::vector<std::vector<MpcMessage>> inboxes(machines);
     {
       const std::uint64_t cap = cluster.local_space();
       const std::uint64_t handshake = cluster.tree_rounds();
+      ExchangeBatcher batcher(cluster);
       std::vector<std::size_t> head(machines, 0);
       bool more = true;
       bool need_handshake = false;
@@ -206,7 +218,7 @@ std::uint64_t distinct_count(Cluster& cluster,
       while (more) {
         more = false;
         if (need_handshake && !handshake_charged && handshake > 0) {
-          cluster.charge_rounds(handshake, "receiver-credit handshake");
+          batcher.add_charge(handshake, "receiver-credit handshake");
           handshake_charged = true;
         }
         need_handshake = false;
@@ -230,9 +242,11 @@ std::uint64_t distinct_count(Cluster& cluster,
           }
           if (head[m] < queue.size()) more = true;
         }
-        auto round_in = cluster.exchange(std::move(round_out));
+        batcher.add_round(std::move(round_out));
+      }
+      for (auto& wave : batcher.flush()) {
         for (std::uint32_t m = 0; m < machines; ++m) {
-          for (MpcMessage& msg : round_in[m]) {
+          for (MpcMessage& msg : wave[m]) {
             inboxes[m].push_back(std::move(msg));
           }
         }

@@ -1,9 +1,11 @@
 #include "support/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -14,6 +16,65 @@
 namespace mpcstab {
 
 namespace {
+
+/// True while the current thread is executing a parallel_for chunk: nested
+/// parallel_for calls must run serially (the pool holds one job at a time).
+thread_local bool inside_parallel_region = false;
+
+struct RegionGuard {
+  RegionGuard() { inside_parallel_region = true; }
+  ~RegionGuard() { inside_parallel_region = false; }
+};
+
+/// Grain when no pooled job has been measured yet (machine-independent
+/// floor; the histogram refines it as soon as dispatch costs are known).
+constexpr std::size_t kDefaultGrain = 16;
+
+/// Explicit set_parallel_grain override; 0 = resolve from env/histogram.
+std::atomic<std::size_t> requested_grain{0};
+
+std::size_t env_grain() {
+  static const std::size_t parsed = [] {
+    const char* raw = std::getenv("MPCSTAB_POOL_GRAIN");
+    if (raw == nullptr || *raw == '\0') return std::size_t{0};
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(raw, &end, 10);
+    return (end != nullptr && *end == '\0') ? static_cast<std::size_t>(value)
+                                            : std::size_t{0};
+  }();
+  return parsed;
+}
+
+/// Calibrates the grain from the dispatch-cost histogram: the lowest
+/// non-empty power-of-two bucket of `pool.task_wait_ns` is the tightest
+/// observed bound on the pure dispatch+barrier overhead (the smallest jobs
+/// are overhead-dominated). Demanding at least that many nanoseconds of
+/// ~100ns-scale iterations keeps the pool out of loops it can only slow
+/// down. Clamped to [8, 4096]; kDefaultGrain until enough samples exist.
+std::size_t calibrated_grain(const obs::Histogram& wait_ns) {
+  if (wait_ns.count() < 16) return kDefaultGrain;
+  std::size_t floor_bucket = obs::Histogram::kBuckets;
+  for (std::size_t b = 0; b < obs::Histogram::kBuckets; ++b) {
+    if (wait_ns.bucket(b) > 0) {
+      floor_bucket = b;
+      break;
+    }
+  }
+  if (floor_bucket >= obs::Histogram::kBuckets) return kDefaultGrain;
+  const std::uint64_t dispatch_ns = 1ull << floor_bucket;
+  constexpr std::uint64_t kPerItemNs = 100;
+  return static_cast<std::size_t>(
+      std::clamp<std::uint64_t>(dispatch_ns / kPerItemNs, 8, 4096));
+}
+
+std::size_t resolve_grain(const obs::Histogram& wait_ns) {
+  if (const std::size_t forced = requested_grain.load(std::memory_order_relaxed);
+      forced != 0) {
+    return forced;
+  }
+  if (const std::size_t env = env_grain(); env != 0) return env;
+  return calibrated_grain(wait_ns);
+}
 
 /// Persistent pool: workers sleep on a condition variable between
 /// parallel_for calls. One job at a time (parallel_for is a full barrier),
@@ -45,8 +106,19 @@ class Pool {
     static obs::Counter& jobs = obs::Registry::global().counter("pool.jobs");
     static obs::Counter& serial_jobs =
         obs::Registry::global().counter("pool.serial_jobs");
+    static obs::Counter& serial_fallback =
+        obs::Registry::global().counter("pool.serial_fallback");
     static obs::Histogram& wait_ns =
         obs::Registry::global().histogram("pool.task_wait_ns");
+    // Nested region (the pool holds one job at a time) or a loop too small
+    // to amortize the dispatch+barrier cost: run serially on this thread.
+    // Same iteration order, same results — only the dispatch is skipped.
+    if (inside_parallel_region ||
+        (threads_ > 1 && n < resolve_grain(wait_ns))) {
+      serial_fallback.add(1);
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
     const unsigned used =
         static_cast<unsigned>(std::min<std::size_t>(threads_, n));
     if (used <= 1) {
@@ -109,6 +181,7 @@ class Pool {
     const std::size_t end = n * (chunk + 1) / k;
     std::exception_ptr error;
     try {
+      const RegionGuard nested_guard;  // nested parallel_for runs serially
       for (std::size_t i = begin; i < end; ++i) (*job_fn_)(i);
     } catch (...) {
       error = std::current_exception();
@@ -133,6 +206,16 @@ class Pool {
 };
 
 unsigned resolve_default_threads() {
+  // MPCSTAB_THREADS pins the pool size (CI reproducibility, wall-clock
+  // A/B runs); otherwise the hardware decides.
+  if (const char* raw = std::getenv("MPCSTAB_THREADS");
+      raw != nullptr && *raw != '\0') {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(raw, &end, 10);
+    if (end != nullptr && *end == '\0' && value > 0 && value <= 256) {
+      return static_cast<unsigned>(value);
+    }
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   // Cap: the simulator's loops are short; beyond 8 workers the dispatch
   // latency dominates on typical exchanges.
@@ -160,6 +243,14 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
 }
 
 unsigned global_threads() { return pool().threads(); }
+
+std::size_t parallel_grain() {
+  return resolve_grain(obs::Registry::global().histogram("pool.task_wait_ns"));
+}
+
+void set_parallel_grain(std::size_t grain) {
+  requested_grain.store(grain, std::memory_order_relaxed);
+}
 
 void set_global_threads(unsigned threads) {
   Pool* old = nullptr;

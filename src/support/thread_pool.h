@@ -17,17 +17,38 @@ namespace mpcstab {
 /// any iteration throws, the exception from the lowest-indexed chunk is
 /// rethrown (deterministically) after all workers stop.
 ///
+/// Loops below the minimum-work grain threshold (see parallel_grain) run
+/// serially on the calling thread — the pool's dispatch+barrier cost
+/// (measured by the `pool.task_wait_ns` histogram) dwarfs the work of a
+/// handful of iterations. Nested calls (fn itself calling parallel_for)
+/// also run serially instead of corrupting the single-job pool. Both
+/// fallbacks are recorded in `pool.serial_fallback`; results are identical
+/// either way.
+///
 /// `fn` must only write to state owned by iteration i (or otherwise
 /// disjoint per-iteration slots); the caller merges in fixed order.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
 /// Number of worker threads the global pool uses (>= 1). Resolved once from
-/// std::thread::hardware_concurrency() unless overridden.
+/// the MPCSTAB_THREADS environment variable if set, else
+/// std::thread::hardware_concurrency(), unless overridden.
 unsigned global_threads();
 
 /// Overrides the global pool size; 1 disables parallelism (pure serial
 /// execution on the calling thread), 0 restores the hardware default.
 /// Recreates the pool; not safe to call concurrently with parallel_for.
 void set_global_threads(unsigned threads);
+
+/// The minimum-work grain threshold: parallel_for loops with fewer than
+/// this many iterations run serially. Resolution order: set_parallel_grain
+/// override, then the MPCSTAB_POOL_GRAIN environment variable, then a
+/// default calibrated from the `pool.task_wait_ns` histogram (the smallest
+/// observed dispatch+barrier wall time bounds the pure dispatch overhead;
+/// the threshold amortizes it over ~100ns-scale iterations). Before any
+/// pooled job has been measured the calibrated default is 16.
+std::size_t parallel_grain();
+
+/// Overrides the grain threshold (0 restores env/calibrated resolution).
+void set_parallel_grain(std::size_t grain);
 
 }  // namespace mpcstab

@@ -1,0 +1,397 @@
+// Exchange batching must be a pure host-side optimisation: every batched
+// path (route_by_key, distinct_count, paced_exchange, native propagation,
+// hash-to-min, b_st_conn simulations) produces bit-identical outputs and
+// identical paper-model accounting to the unbatched reference, on skewed
+// and adversarial inputs. Plus: exchange_batch error ordering, and the
+// parallel_for minimum-work grain threshold.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algorithms/connectivity.h"
+#include "core/lifting.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "mpc/batching.h"
+#include "mpc/cluster.h"
+#include "mpc/native_connectivity.h"
+#include "mpc/pacing.h"
+#include "mpc/shuffle.h"
+#include "obs/registry.h"
+#include "rng/splitmix.h"
+#include "support/check.h"
+#include "support/thread_pool.h"
+
+namespace mpcstab {
+namespace {
+
+LegalGraph identity(const Graph& g) { return LegalGraph::with_identity(g); }
+
+Cluster make_cluster(std::uint64_t machines, std::uint64_t space) {
+  MpcConfig cfg;
+  cfg.n = machines * space;
+  cfg.local_space = space;
+  cfg.machines = machines;
+  return Cluster(cfg);
+}
+
+/// Keys whose hash-owner is `target` among `machines` machines.
+std::vector<std::uint64_t> keys_owned_by(std::uint32_t target,
+                                         std::uint64_t machines,
+                                         std::size_t count) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 1; keys.size() < count; ++k) {
+    if (splitmix64(k) % machines == target) keys.push_back(k);
+  }
+  return keys;
+}
+
+/// Restores batching to the default (enabled) when a test exits.
+struct BatchingGuard {
+  ~BatchingGuard() { set_exchange_batching(true); }
+};
+
+/// Full paper-model accounting fingerprint of a cluster run.
+struct Accounting {
+  std::uint64_t rounds = 0;
+  std::uint64_t words = 0;
+  std::vector<std::string> log;
+  std::vector<std::uint64_t> load_words;
+  std::vector<std::uint64_t> load_max_send;
+  std::vector<std::uint64_t> load_max_recv;
+};
+
+Accounting fingerprint(const Cluster& cluster) {
+  Accounting a;
+  a.rounds = cluster.rounds();
+  a.words = cluster.words_moved();
+  a.log = cluster.round_log();
+  for (const RoundLoad& load : cluster.round_loads()) {
+    a.load_words.push_back(load.words);
+    a.load_max_send.push_back(load.max_send);
+    a.load_max_recv.push_back(load.max_recv);
+  }
+  return a;
+}
+
+void expect_same_accounting(const Accounting& ref, const Accounting& got) {
+  EXPECT_EQ(ref.rounds, got.rounds);
+  EXPECT_EQ(ref.words, got.words);
+  EXPECT_EQ(ref.log, got.log);
+  EXPECT_EQ(ref.load_words, got.load_words);
+  EXPECT_EQ(ref.load_max_send, got.load_max_send);
+  EXPECT_EQ(ref.load_max_recv, got.load_max_recv);
+}
+
+// --- Bit-identity of every batched transfer path ---------------------------
+
+/// Adversarially skewed shards: 80% of items funnel into machine 0, the
+/// rest spread out — many waves plus a charged handshake.
+std::vector<std::vector<KeyedItem>> skewed_shards(std::uint64_t machines) {
+  const auto hot = keys_owned_by(0, machines, 120);
+  const auto cold = keys_owned_by(3, machines, 30);
+  std::vector<std::vector<KeyedItem>> shards(machines);
+  for (std::size_t i = 0; i < hot.size(); ++i) {
+    shards[1 + (i % (machines - 1))].push_back(KeyedItem{hot[i], i});
+  }
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    shards[1 + (i % (machines - 1))].push_back(KeyedItem{cold[i], 1000 + i});
+  }
+  return shards;
+}
+
+TEST(BatchedBitIdentity, RouteByKeyOnSkewedInput) {
+  const BatchingGuard guard;
+  const std::uint64_t machines = 16;
+  std::vector<std::vector<KeyedItem>> routed[2];
+  Accounting acct[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    set_exchange_batching(pass == 1);
+    Cluster cluster = make_cluster(machines, 32);
+    routed[pass] = route_by_key(cluster, skewed_shards(machines));
+    acct[pass] = fingerprint(cluster);
+  }
+  expect_same_accounting(acct[0], acct[1]);
+  ASSERT_EQ(routed[0].size(), routed[1].size());
+  for (std::size_t m = 0; m < machines; ++m) {
+    ASSERT_EQ(routed[0][m].size(), routed[1][m].size()) << "machine " << m;
+    for (std::size_t i = 0; i < routed[0][m].size(); ++i) {
+      EXPECT_EQ(routed[0][m][i].key, routed[1][m][i].key);
+      EXPECT_EQ(routed[0][m][i].value, routed[1][m][i].value);
+    }
+  }
+  // The skew actually exercised pacing: multiple real rounds happened.
+  EXPECT_GT(acct[0].load_words.size(), 1u);
+}
+
+TEST(BatchedBitIdentity, DistinctCountMergeTree) {
+  const BatchingGuard guard;
+  const std::uint64_t machines = 16;
+  std::uint64_t counts[2];
+  Accounting acct[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    set_exchange_batching(pass == 1);
+    Cluster cluster = make_cluster(machines, 32);
+    // One machine holds a set as large as S (chunked, multi-wave sends).
+    std::vector<std::vector<KeyedItem>> shards(machines);
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      shards[3].push_back(KeyedItem{7000 + i, 0});
+      shards[9].push_back(KeyedItem{7000 + (i % 11), 0});
+    }
+    counts[pass] = distinct_count(cluster, std::move(shards));
+    acct[pass] = fingerprint(cluster);
+  }
+  EXPECT_EQ(counts[0], 32u);
+  EXPECT_EQ(counts[0], counts[1]);
+  expect_same_accounting(acct[0], acct[1]);
+}
+
+TEST(BatchedBitIdentity, PacedExchangeFanIn) {
+  const BatchingGuard guard;
+  std::vector<std::vector<MpcMessage>> received[2];
+  Accounting acct[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    set_exchange_batching(pass == 1);
+    Cluster cluster = make_cluster(16, 16);
+    std::vector<std::vector<MpcMessage>> out(16);
+    for (std::uint32_t m = 1; m < 16; ++m) {
+      // Multi-fragment logical messages funnelled into one receiver.
+      out[m].push_back({0, std::vector<std::uint64_t>(13, m)});
+    }
+    received[pass] = paced_exchange(cluster, std::move(out));
+    acct[pass] = fingerprint(cluster);
+  }
+  expect_same_accounting(acct[0], acct[1]);
+  ASSERT_EQ(received[0].size(), received[1].size());
+  for (std::size_t m = 0; m < received[0].size(); ++m) {
+    ASSERT_EQ(received[0][m].size(), received[1][m].size());
+    for (std::size_t i = 0; i < received[0][m].size(); ++i) {
+      EXPECT_EQ(received[0][m][i].payload, received[1][m][i].payload);
+    }
+  }
+  EXPECT_EQ(received[0][0].size(), 15u);
+}
+
+TEST(BatchedBitIdentity, NativeLabelPropagation) {
+  const BatchingGuard guard;
+  const LegalGraph g = identity(random_graph(96, 0.06, Prf(11)));
+  std::vector<Node> labels[2];
+  Accounting acct[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    set_exchange_batching(pass == 1);
+    Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m(), 0.7));
+    const auto native = native_min_label_propagation(cluster, g, 500);
+    labels[pass] = native.labels;
+    acct[pass] = fingerprint(cluster);
+  }
+  expect_same_accounting(acct[0], acct[1]);
+  EXPECT_EQ(labels[0], labels[1]);
+}
+
+TEST(BatchedBitIdentity, HashToMinTotalsAndLabels) {
+  const BatchingGuard guard;
+  const LegalGraph g = identity(random_graph(128, 0.04, Prf(5)));
+  ConnectivityResult cc[2];
+  std::uint64_t rounds[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    set_exchange_batching(pass == 1);
+    Cluster cluster = make_cluster(16, 64);
+    cc[pass] = hash_to_min_components(cluster, g, 64);
+    rounds[pass] = cluster.rounds();
+  }
+  // The batched path coalesces the per-iteration charges into one entry, so
+  // the log text differs by design — but the labels, iteration count and
+  // charged round totals must match exactly.
+  EXPECT_EQ(cc[0].labels, cc[1].labels);
+  EXPECT_EQ(cc[0].iterations, cc[1].iterations);
+  EXPECT_EQ(cc[0].converged, cc[1].converged);
+  EXPECT_EQ(cc[0].rounds, cc[1].rounds);
+  EXPECT_EQ(rounds[0], rounds[1]);
+  EXPECT_GT(rounds[0], 0u);
+}
+
+TEST(BatchedBitIdentity, BStConnSimulations) {
+  const BatchingGuard guard;
+  const SensitivePair pair = path_marker_pair(9, 4, 999);
+  const MarkerAlgorithm alg({999});
+  const LegalGraph h = identity(path_graph(5));
+  BStConnResult r[2];
+  std::uint64_t rounds[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    set_exchange_batching(pass == 1);
+    Cluster cluster(MpcConfig::for_graph(h.n(), h.graph().m()));
+    r[pass] = b_st_conn(cluster, h, 0, 4, pair, alg, /*seed=*/1,
+                        /*simulations=*/24, /*planted_first=*/true);
+    rounds[pass] = cluster.rounds();
+  }
+  EXPECT_EQ(r[0].yes, r[1].yes);
+  EXPECT_EQ(r[0].yes_votes, r[1].yes_votes);
+  EXPECT_EQ(r[0].full_copies_seen, r[1].full_copies_seen);
+  EXPECT_EQ(r[0].simulations_run, r[1].simulations_run);
+  EXPECT_EQ(r[0].rounds, r[1].rounds);
+  EXPECT_EQ(rounds[0], rounds[1]);
+  EXPECT_TRUE(r[0].yes);
+}
+
+TEST(BatchedBitIdentity, BStConnDegreePreconditionStillShortCircuits) {
+  const BatchingGuard guard;
+  const SensitivePair pair = path_marker_pair(6, 3, 999);
+  const MarkerAlgorithm alg({999});
+  const LegalGraph h = identity(star_graph(5));  // s has degree 4
+  for (int pass = 0; pass < 2; ++pass) {
+    set_exchange_batching(pass == 1);
+    Cluster cluster(MpcConfig::for_graph(h.n(), h.graph().m()));
+    const BStConnResult r =
+        b_st_conn(cluster, h, 0, 1, pair, alg, 1, /*simulations=*/8,
+                  /*planted_first=*/false);
+    EXPECT_FALSE(r.yes);
+    EXPECT_EQ(r.simulations_run, 1u);  // immediate NO, as in the serial path
+  }
+}
+
+// --- exchange_batch error ordering -----------------------------------------
+
+TEST(ExchangeBatch, CountsEveryWaveAndDeliversInWaveOrder) {
+  Cluster cluster = make_cluster(4, 16);
+  std::vector<std::vector<std::vector<MpcMessage>>> waves(3);
+  for (auto& wave : waves) wave.resize(4);
+  waves[0][0].push_back({1, {10}});
+  waves[1][2].push_back({1, {20, 21}});
+  waves[2][0].push_back({3, {30}});
+  const auto inboxes = cluster.exchange_batch(std::move(waves));
+  ASSERT_EQ(inboxes.size(), 3u);
+  EXPECT_EQ(cluster.rounds(), 3u);
+  ASSERT_EQ(cluster.round_loads().size(), 3u);
+  EXPECT_EQ(cluster.round_loads()[0].words, 2u);
+  EXPECT_EQ(cluster.round_loads()[1].words, 3u);
+  EXPECT_EQ(inboxes[0][1].size(), 1u);
+  EXPECT_EQ(inboxes[0][1][0].payload, (std::vector<std::uint64_t>{10}));
+  EXPECT_EQ(inboxes[1][1][0].payload, (std::vector<std::uint64_t>{20, 21}));
+  EXPECT_EQ(inboxes[2][3][0].payload, (std::vector<std::uint64_t>{30}));
+}
+
+TEST(ExchangeBatch, SpaceViolationSurfacesAtItsWave) {
+  // Wave 0 is fine; wave 1 oversubscribes the receiver. Sequentially the
+  // second exchange call counts its round and then throws — the batch must
+  // do exactly the same: 2 rounds accounted, SpaceLimitError raised.
+  Cluster cluster = make_cluster(4, 8);
+  std::vector<std::vector<std::vector<MpcMessage>>> waves(3);
+  for (auto& wave : waves) wave.resize(4);
+  waves[0][0].push_back({1, {1, 2}});
+  waves[1][0].push_back({1, std::vector<std::uint64_t>(4, 7)});
+  waves[1][2].push_back({1, std::vector<std::uint64_t>(4, 8)});  // recv 10 > 8
+  waves[2][0].push_back({1, {9}});
+  EXPECT_THROW(cluster.exchange_batch(std::move(waves)), SpaceLimitError);
+  EXPECT_EQ(cluster.rounds(), 2u);
+  EXPECT_EQ(cluster.round_loads().size(), 2u);
+}
+
+TEST(ExchangeBatch, BadDestinationSurfacesBeforeItsWaveIsAccounted) {
+  // Sequentially a bad destination aborts the exchange before any
+  // accounting; mid-batch, the earlier waves must still be fully counted.
+  Cluster cluster = make_cluster(4, 16);
+  std::vector<std::vector<std::vector<MpcMessage>>> waves(2);
+  for (auto& wave : waves) wave.resize(4);
+  waves[0][0].push_back({1, {1}});
+  waves[1][3].push_back({99, {2}});
+  EXPECT_THROW(cluster.exchange_batch(std::move(waves)), PreconditionError);
+  EXPECT_EQ(cluster.rounds(), 1u);
+}
+
+TEST(ExchangeBatch, EmptyBatchIsANoOp) {
+  Cluster cluster = make_cluster(4, 16);
+  EXPECT_TRUE(cluster.exchange_batch({}).empty());
+  EXPECT_EQ(cluster.rounds(), 0u);
+}
+
+// --- parallel_for grain threshold ------------------------------------------
+
+TEST(GrainThreshold, SmallLoopsFallBackToSerial) {
+  set_global_threads(4);
+  set_parallel_grain(1000);
+  EXPECT_EQ(parallel_grain(), 1000u);
+  obs::Counter& fallback =
+      obs::Registry::global().counter("pool.serial_fallback");
+  obs::Counter& jobs = obs::Registry::global().counter("pool.jobs");
+  const std::uint64_t fallback_before = fallback.value();
+  const std::uint64_t jobs_before = jobs.value();
+  std::vector<std::uint64_t> out(10, 0);
+  parallel_for(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  EXPECT_EQ(fallback.value(), fallback_before + 1);
+  EXPECT_EQ(jobs.value(), jobs_before);  // never dispatched to the pool
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  set_parallel_grain(0);
+  set_global_threads(0);
+}
+
+TEST(GrainThreshold, LargeLoopsStillUseThePool) {
+  set_global_threads(4);
+  set_parallel_grain(8);
+  obs::Counter& jobs = obs::Registry::global().counter("pool.jobs");
+  const std::uint64_t jobs_before = jobs.value();
+  std::vector<std::uint64_t> out(4096, 0);
+  parallel_for(out.size(), [&](std::size_t i) { out[i] = i + 1; });
+  EXPECT_EQ(jobs.value(), jobs_before + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i + 1);
+  set_parallel_grain(0);
+  set_global_threads(0);
+}
+
+TEST(GrainThreshold, NestedParallelForRunsSeriallyAndCorrectly) {
+  set_global_threads(4);
+  set_parallel_grain(1);  // force the outer loop onto the pool
+  obs::Counter& fallback =
+      obs::Registry::global().counter("pool.serial_fallback");
+  const std::uint64_t fallback_before = fallback.value();
+  std::vector<std::uint64_t> sums(64, 0);
+  parallel_for(sums.size(), [&](std::size_t i) {
+    std::vector<std::uint64_t> inner(100, 0);
+    parallel_for(inner.size(), [&](std::size_t j) { inner[j] = i + j; });
+    for (std::uint64_t v : inner) sums[i] += v;
+  });
+  // Every nested call fell back (one per outer iteration).
+  EXPECT_EQ(fallback.value(), fallback_before + sums.size());
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    EXPECT_EQ(sums[i], 100 * i + 4950);
+  }
+  set_parallel_grain(0);
+  set_global_threads(0);
+}
+
+TEST(GrainThreshold, ResolutionOrderAndRestore) {
+  set_parallel_grain(42);
+  EXPECT_EQ(parallel_grain(), 42u);
+  set_parallel_grain(0);
+  // Env/calibrated fallback: some positive threshold, never zero.
+  EXPECT_GT(parallel_grain(), 0u);
+}
+
+// --- Batcher bookkeeping ----------------------------------------------------
+
+TEST(Batcher, FusesConsecutiveRoundsAroundCharges) {
+  Cluster cluster = make_cluster(4, 16);
+  ExchangeBatcher batcher(cluster);
+  auto empty_round = [] {
+    return std::vector<std::vector<MpcMessage>>(4);
+  };
+  EXPECT_EQ(batcher.add_round(empty_round()), 0u);
+  EXPECT_EQ(batcher.add_round(empty_round()), 1u);
+  batcher.add_charge(3, "mid-batch handshake");
+  EXPECT_EQ(batcher.add_round(empty_round()), 2u);
+  EXPECT_EQ(batcher.rounds_queued(), 3u);
+  const auto inboxes = batcher.flush();
+  EXPECT_EQ(inboxes.size(), 3u);
+  EXPECT_EQ(batcher.rounds_queued(), 0u);
+  // 3 exchange rounds + 3 charged rounds, with the charge in sequence
+  // position between the second and third exchange.
+  EXPECT_EQ(cluster.rounds(), 6u);
+  ASSERT_EQ(cluster.round_log().size(), 4u);
+  EXPECT_EQ(cluster.round_log()[0], "exchange");
+  EXPECT_EQ(cluster.round_log()[1], "exchange");
+  EXPECT_EQ(cluster.round_log()[2], "mid-batch handshake (+3)");
+  EXPECT_EQ(cluster.round_log()[3], "exchange");
+}
+
+}  // namespace
+}  // namespace mpcstab

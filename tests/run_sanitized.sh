@@ -10,7 +10,11 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="$repo/build-asan"
 jobs="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
-cmake -B "$build" -S "$repo" \
+# --fresh drops any stale cache in build-asan (e.g. from an earlier
+# non-sanitized configure of the same directory) so the sanitizer flags are
+# guaranteed to apply; the directory matches the asan-ubsan preset's
+# binaryDir, so preset users and this script share one build tree.
+cmake --fresh -B "$build" -S "$repo" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMPCSTAB_SANITIZE=address-undefined
 cmake --build "$build" -j "$jobs"

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Compare two mpcstab-bench-v1 reports for paper-model regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json
+
+Compares the *model-determined* content of the two reports — run labels,
+cluster configurations, round/word/exchange totals and the span tree
+(name, rounds, words, exchanges, charges, structure) — and ignores
+everything host-dependent: wall_ns, the per-round load_profile floats and
+the process metrics section. Totals and span trees are deterministic
+functions of the algorithms under the paper's cost model, so any drift
+means the model behaviour changed and the checked-in baseline must be
+consciously refreshed (see EXPERIMENTS.md).
+
+Config drift is reported distinctly: machine/space parameters derive from
+n and phi through libm (pow/ceil), so a config mismatch usually means a
+platform difference or a deliberate MpcConfig change, not an algorithmic
+regression.
+
+Exit codes: 0 = match, 1 = mismatch, 2 = usage or I/O error.
+
+Stdlib only — runs on any CI python3 with no installs.
+"""
+
+import json
+import sys
+
+SPAN_FIELDS = ("rounds", "words", "exchanges", "charges")
+TOTAL_FIELDS = ("rounds", "words", "exchanges", "max_recv")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_diff: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def diff_span(base, cur, path, problems):
+    name = base.get("name", "?")
+    here = f"{path}/{name}"
+    if base.get("name") != cur.get("name"):
+        problems.append(
+            f"{here}: span renamed {base.get('name')!r} -> {cur.get('name')!r}"
+        )
+        return  # children are not comparable once the names diverge
+    for field in SPAN_FIELDS:
+        if base.get(field) != cur.get(field):
+            problems.append(
+                f"{here}: {field} {base.get(field)} -> {cur.get(field)}"
+            )
+    bkids = base.get("children", [])
+    ckids = cur.get("children", [])
+    if len(bkids) != len(ckids):
+        bnames = [k.get("name") for k in bkids]
+        cnames = [k.get("name") for k in ckids]
+        problems.append(f"{here}: children {bnames} -> {cnames}")
+        return
+    for bk, ck in zip(bkids, ckids):
+        diff_span(bk, ck, here, problems)
+
+
+def diff_run(index, base, cur, problems, config_drift):
+    label = base.get("label", f"run {index}")
+    where = f'runs[{index}] "{label}"'
+    if base.get("label") != cur.get("label"):
+        problems.append(
+            f"runs[{index}]: label {base.get('label')!r} -> {cur.get('label')!r}"
+        )
+        return
+    if base.get("config") != cur.get("config"):
+        config_drift.append(
+            f"{where}: config {base.get('config')} -> {cur.get('config')}"
+        )
+    btot = base.get("totals", {})
+    ctot = cur.get("totals", {})
+    for field in TOTAL_FIELDS:
+        if btot.get(field) != ctot.get(field):
+            problems.append(
+                f"{where}: totals.{field} {btot.get(field)} -> {ctot.get(field)}"
+            )
+    bspan = base.get("span_tree")
+    cspan = cur.get("span_tree")
+    if (bspan is None) != (cspan is None):
+        problems.append(
+            f"{where}: span tree "
+            f"{'present' if bspan else 'absent'} -> "
+            f"{'present' if cspan else 'absent'}"
+        )
+    elif bspan is not None:
+        diff_span(bspan, cspan, where, problems)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    base = load(argv[1])
+    cur = load(argv[2])
+
+    problems = []
+    config_drift = []
+
+    for report, which in ((base, "baseline"), (cur, "current")):
+        schema = report.get("schema")
+        if schema != "mpcstab-bench-v1":
+            print(
+                f"bench_diff: {which} has schema {schema!r}, "
+                "expected 'mpcstab-bench-v1'",
+                file=sys.stderr,
+            )
+            return 2
+
+    if base.get("bench") != cur.get("bench"):
+        problems.append(
+            f"bench name {base.get('bench')!r} -> {cur.get('bench')!r}"
+        )
+
+    bruns = base.get("runs", [])
+    cruns = cur.get("runs", [])
+    if len(bruns) != len(cruns):
+        problems.append(f"run count {len(bruns)} -> {len(cruns)}")
+    for i, (br, cr) in enumerate(zip(bruns, cruns)):
+        diff_run(i, br, cr, problems, config_drift)
+
+    name = cur.get("bench", argv[2])
+    if config_drift:
+        print(f"bench_diff: {name}: cluster config drift "
+              "(platform/libm or deliberate MpcConfig change?):")
+        for line in config_drift:
+            print(f"  {line}")
+    if problems:
+        print(f"bench_diff: {name}: paper-model totals changed "
+              f"({len(problems)} difference(s)):")
+        for line in problems:
+            print(f"  {line}")
+        print(
+            "bench_diff: if this change is intentional, refresh the baseline "
+            "(see EXPERIMENTS.md: 'Refreshing bench baselines')."
+        )
+        return 1
+    if config_drift:
+        # Config drift without total/span drift: warn loudly but fail too —
+        # the baseline no longer describes the configuration being measured.
+        print("bench_diff: configs differ; refresh the baseline.")
+        return 1
+    print(f"bench_diff: {name}: OK ({len(cruns)} runs match baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
