@@ -14,6 +14,7 @@
 
 #include "graph/legal_graph.h"
 #include "mpc/cluster.h"
+#include "obs/cli.h"
 #include "obs/export.h"
 #include "support/table.h"
 
@@ -55,20 +56,11 @@ class Session {
  public:
   Session(std::string name, int& argc, char** argv) {
     report_.bench = std::move(name);
-    int kept = 1;
-    for (int i = 1; i < argc; ++i) {
-      const std::string_view arg = argv[i];
-      if (arg == "--json" && i + 1 < argc) {
-        json_path_ = argv[++i];
-      } else if (arg.rfind("--json=", 0) == 0) {
-        json_path_ = std::string(arg.substr(7));
-      } else if (arg == "--trace") {
-        print_trace_ = true;
-      } else {
-        argv[kept++] = argv[i];
-      }
-    }
-    argc = kept;
+    // Flag consumption is shared with the service tools (obs/cli.h): it
+    // compacts argv in place so google-benchmark can parse the remainder.
+    const obs::HarnessFlags flags = obs::consume_harness_flags(argc, argv);
+    json_path_ = flags.json_path;
+    print_trace_ = flags.trace;
   }
 
   /// Cluster sized like cluster_for(), with tracing enabled so recorded

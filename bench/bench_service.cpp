@@ -1,0 +1,110 @@
+// ES — the service layer (src/service/) measured two ways. The gated part
+// exercises the daemon's executor on canonical request lines: each op's
+// wire request is parsed, its graph built and its deployment resolved
+// exactly as mpcstabd would, then run through execute_on on a traced
+// cluster. The resulting round/word totals and span trees are deterministic
+// functions of the paper's cost model, so bench_diff.py gates them like any
+// other bench. Protocol wall-clock costs (parse, frame) are host-dependent
+// and go into the report's `info` section, which the gate ignores.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.h"
+#include "service/executor.h"
+#include "service/protocol.h"
+
+using namespace mpcstab;
+using namespace mpcstab::bench;
+
+namespace {
+
+// Canonical request lines, one per gated run. Literal wire frames (not
+// built structs) so the bench also pins the request grammar: a parser
+// regression shows up as a failed run before any totals are compared.
+constexpr const char* kRequests[] = {
+    R"({"id":1,"op":"connectivity","graph":{"type":"cycle","n":512},"seed":7})",
+    R"({"id":2,"op":"connectivity","graph":{"type":"two_cycles","n":512},"seed":7})",
+    R"({"id":3,"op":"coloring","graph":{"type":"cycle","n":256},"seed":5})",
+    R"({"id":4,"op":"mis","graph":{"type":"path","n":256},"seed":3})",
+    R"({"id":5,"op":"lifting","graph":{"type":"path","n":64},"radius":3,"simulations":4,"seed":2})",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Session session("bench_service", argc, argv);
+  banner("ES: service executor on canonical wire requests",
+         "each op's request line parses, admits and runs to the same "
+         "rounds/words as a direct engine invocation");
+
+  Table table({"id", "op", "ok", "rounds", "words", "answer"});
+  for (const char* line : kRequests) {
+    const service::ParsedRequest parsed = service::parse_request(line);
+    if (!parsed.request.has_value()) {
+      std::cerr << "bench_service: parse failed: " << parsed.error << "\n";
+      return 1;
+    }
+    const service::Request& req = *parsed.request;
+    const Graph graph = service::build_graph(req.graph);
+    const LegalGraph g = LegalGraph::with_identity(graph);
+    Cluster cluster =
+        session.cluster(service::resolve_config(req, g.n(), graph.m()));
+    service::ExecOptions opts;  // no sink, no deadline: pure engine cost
+    const service::ExecResult r = service::execute_on(cluster, g, req, opts);
+    table.add_row({std::to_string(req.id), req.op, r.ok ? "yes" : "NO",
+                   std::to_string(r.rounds), std::to_string(r.words),
+                   r.ok ? r.answer_json : r.error_kind});
+    if (!r.ok) {
+      std::cerr << "bench_service: request " << req.id << " failed: "
+                << r.error_kind << ": " << r.error_message << "\n";
+      return 1;
+    }
+    session.record(req.op + " id=" + std::to_string(req.id), cluster);
+  }
+  table.print(std::cout, "service executor runs (gated by bench_diff)");
+
+  // Host-dependent protocol throughput: parse + response framing per line.
+  // Reported as info notes only — wall time is not part of the gate.
+  {
+    constexpr int kIters = 20000;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t parsed_ok = 0;
+    for (int i = 0; i < kIters; ++i) {
+      for (const char* line : kRequests) {
+        parsed_ok += service::parse_request(line).request.has_value();
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    std::size_t framed_bytes = 0;
+    for (int i = 0; i < kIters; ++i) {
+      service::JsonObject obj;
+      obj.field("id", std::uint64_t(i))
+          .field("event", "result")
+          .field("ok", true)
+          .field("rounds", std::uint64_t(16))
+          .raw("answer", R"({"components":1})");
+      framed_bytes += std::move(obj).str().size();
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    const auto ns = [](auto a, auto b) {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+          .count();
+    };
+    const std::uint64_t lines =
+        std::uint64_t(kIters) * std::size(kRequests);
+    session.note("protocol.parse_lines", std::to_string(lines));
+    session.note("protocol.parse_ns_per_line",
+                 std::to_string(ns(t0, t1) / static_cast<long long>(lines)));
+    session.note("protocol.frame_ns_per_line",
+                 std::to_string(ns(t1, t2) / kIters));
+    session.note("protocol.frame_bytes", std::to_string(framed_bytes));
+    Table proto({"stage", "lines", "ns/line"});
+    proto.add_row({"parse_request", std::to_string(lines),
+                   std::to_string(ns(t0, t1) /
+                                  static_cast<long long>(lines))});
+    proto.add_row({"frame result", std::to_string(kIters),
+                   std::to_string(ns(t1, t2) / kIters)});
+    proto.print(std::cout, "protocol overhead (info only, not gated)");
+  }
+  return session.finish();
+}

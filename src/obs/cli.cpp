@@ -1,0 +1,26 @@
+#include "obs/cli.h"
+
+#include <string_view>
+
+namespace mpcstab::obs {
+
+HarnessFlags consume_harness_flags(int& argc, char** argv) {
+  HarnessFlags flags;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      flags.json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      flags.json_path = std::string(arg.substr(7));
+    } else if (arg == "--trace") {
+      flags.trace = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return flags;
+}
+
+}  // namespace mpcstab::obs

@@ -1,0 +1,26 @@
+// Shared command-line handling for the observability harness flags.
+//
+// `--json <path>` / `--json=<path>` and `--trace` are understood by every
+// bench binary (through bench::Session) *and* by the service tools
+// (tools/mpcstabd), which must not link google-benchmark. The flag
+// consumption therefore lives here, below bench/: it compacts argv in
+// place, removing the flags it understood, so whatever wrapper parses the
+// remainder (google-benchmark, the daemon's own flag loop) never sees them.
+#pragma once
+
+#include <string>
+
+namespace mpcstab::obs {
+
+/// The harness flags shared by benches and service tools.
+struct HarnessFlags {
+  std::string json_path;  ///< `--json <path>`: write a mpcstab-bench-v1 report.
+  bool trace = false;     ///< `--trace`: render span trees / top metrics.
+};
+
+/// Consumes `--json`/`--json=`/`--trace` from argv, compacting the array in
+/// place (argv[0] is preserved; argc is updated to the kept count). Unknown
+/// arguments are kept in order for the caller's own parser.
+HarnessFlags consume_harness_flags(int& argc, char** argv);
+
+}  // namespace mpcstab::obs

@@ -212,13 +212,29 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+std::string trace_event_json(const TraceEvent& event) {
+  std::string out;
+  out.reserve(128);
+  out += "\"event\":\"";
+  out += event_kind_name(event.kind);
+  out += "\",\"name\":\"";
+  out += json_escape(event.name);
+  out += "\",\"depth\":";
+  out += std::to_string(event.depth);
+  out += ",\"rounds\":";
+  out += std::to_string(event.rounds);
+  out += ",\"words\":";
+  out += std::to_string(event.words);
+  out += ",\"max_recv\":";
+  out += std::to_string(event.max_recv);
+  out += ",\"skew\":";
+  out += json_number(event.skew);
+  return out;
+}
+
 EventSink ndjson_sink(std::ostream& out) {
   return [&out](const TraceEvent& event) {
-    out << "{\"event\":\"" << event_kind_name(event.kind) << "\",\"name\":\""
-        << json_escape(event.name) << "\",\"depth\":" << event.depth
-        << ",\"rounds\":" << event.rounds << ",\"words\":" << event.words
-        << ",\"max_recv\":" << event.max_recv
-        << ",\"skew\":" << json_number(event.skew) << "}\n";
+    out << "{" << trace_event_json(event) << "}\n";
   };
 }
 

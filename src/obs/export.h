@@ -78,6 +78,12 @@ bool write_bench_json(const std::string& path, const BenchReport& report,
 /// Escapes `s` for embedding in a JSON string literal (no quotes added).
 std::string json_escape(std::string_view s);
 
+/// The body of one NDJSON trace-event line — the `"event":...,"name":...,
+/// "depth":...,"rounds":...,"words":...,"max_recv":...,"skew":...` member
+/// list without the enclosing braces, so callers (the service's per-request
+/// streams, the plain sink below) can splice in their own framing fields.
+std::string trace_event_json(const TraceEvent& event);
+
 /// EventSink writing one JSON object per line (NDJSON) to `out`; the caller
 /// keeps the stream alive for the sink's lifetime. Line schema:
 /// {"event":"span_begin|span_end|exchange|charge","name","depth","rounds",

@@ -1,0 +1,302 @@
+#include "service/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "algorithms/coloring.h"
+#include "algorithms/connectivity.h"
+#include "algorithms/luby.h"
+#include "core/component_stable.h"
+#include "core/lifting.h"
+#include "core/sensitivity.h"
+#include "local/engine.h"
+#include "obs/registry.h"
+#include "rng/prf.h"
+#include "support/check.h"
+
+namespace mpcstab::service {
+
+namespace {
+
+/// Thrown (privately) by the deadline-checking sink; converted to the
+/// structured "DeadlineExceeded" error before leaving the executor.
+struct DeadlineExpired {};
+
+/// The engine lock: at most one request drives the worker pool at a time
+/// (see executor.h). timed so deadline'd requests can give up while queued.
+std::timed_mutex& engine_mutex() {
+  static std::timed_mutex mutex;
+  return mutex;
+}
+
+bool deadline_set(std::chrono::steady_clock::time_point deadline) {
+  return deadline != std::chrono::steady_clock::time_point{};
+}
+
+/// hash-to-min on cycles/paths converges in O(log n); this budget leaves
+/// generous headroom while keeping runaway requests bounded.
+std::uint64_t iteration_budget(std::uint64_t n) {
+  std::uint64_t bits = 1;
+  while ((1ull << bits) < n && bits < 63) ++bits;
+  return 2 * bits + 8;
+}
+
+std::string registry_metrics_json() {
+  std::string out = "[";
+  bool first = true;
+  for (const obs::MetricSample& s : obs::Registry::global().snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    const char* type = s.type == obs::MetricSample::Type::kCounter ? "counter"
+                       : s.type == obs::MetricSample::Type::kGauge
+                           ? "gauge"
+                           : "histogram";
+    out += std::move(JsonObject()
+                         .field("name", s.name)
+                         .field("type", type)
+                         .field("value", s.value)
+                         .field("max", s.max)
+                         .field("sum", s.sum))
+               .str();
+  }
+  out += ']';
+  return out;
+}
+
+std::string run_connectivity(Cluster& cluster, const LegalGraph& g,
+                             const Request& req) {
+  ConnectivityResult result;
+  for (std::uint32_t r = 0; r < req.repeat; ++r) {
+    result = hash_to_min_components(cluster, g, iteration_budget(g.n()));
+  }
+  const std::set<Node> distinct(result.labels.begin(), result.labels.end());
+  return std::move(JsonObject()
+                       .field("components",
+                              static_cast<std::uint64_t>(distinct.size()))
+                       .field("converged", result.converged)
+                       .field("iterations", result.iterations))
+      .str();
+}
+
+std::string run_coloring(Cluster& cluster, const LegalGraph& g,
+                         const Request& req) {
+  const std::uint64_t palette =
+      req.palette != 0 ? req.palette
+                       : static_cast<std::uint64_t>(g.max_degree()) + 1;
+  require(palette > g.max_degree(), "palette must exceed the max degree");
+  DerandColoringResult result;
+  for (std::uint32_t r = 0; r < req.repeat; ++r) {
+    result = derandomized_coloring(cluster, g, palette, /*seed_bits=*/8);
+  }
+  bool proper = true;
+  for (const Edge& e : g.graph().edges()) {
+    proper = proper && result.colors[e.u] != result.colors[e.v];
+  }
+  return std::move(JsonObject()
+                       .field("palette", result.palette)
+                       .field("iterations", result.iterations)
+                       .field("proper", proper))
+      .str();
+}
+
+std::string run_mis(Cluster& cluster, const LegalGraph& g,
+                    const Request& req) {
+  MisResult result;
+  for (std::uint32_t r = 0; r < req.repeat; ++r) {
+    SyncNetwork net = SyncNetwork::on_cluster(cluster, g, Prf(req.seed));
+    result = luby_mis(net, /*stream=*/r);
+  }
+  std::uint64_t in_set = 0;
+  bool independent = true;
+  for (Node v = 0; v < g.n(); ++v) {
+    if (result.labels[v] != kLabelIn) continue;
+    ++in_set;
+    for (const Node u : g.graph().neighbors(v)) {
+      independent = independent && result.labels[u] != kLabelIn;
+    }
+  }
+  return std::move(JsonObject()
+                       .field("in_set", in_set)
+                       .field("iterations", result.iterations)
+                       .field("independent", independent))
+      .str();
+}
+
+std::string run_lifting(Cluster& cluster, const LegalGraph& g,
+                        const Request& req) {
+  constexpr NodeId kMarkerId = 999;
+  const SensitivePair pair =
+      path_marker_pair(2 * req.radius + 1, req.radius, kMarkerId);
+  const MarkerAlgorithm alg({kMarkerId});
+  const Node t = req.t_set ? req.t : static_cast<Node>(g.n() - 1);
+  BStConnResult result;
+  for (std::uint32_t r = 0; r < req.repeat; ++r) {
+    result = b_st_conn(cluster, g, req.s, t, pair, alg, req.seed,
+                       req.simulations, /*planted_first=*/true);
+  }
+  return std::move(JsonObject()
+                       .field("yes", result.yes)
+                       .field("yes_votes", result.yes_votes)
+                       .field("simulations", result.simulations_run)
+                       .field("full_copies", result.full_copies_seen))
+      .str();
+}
+
+std::string run_sensitivity(const Request& req) {
+  constexpr NodeId kMarkerId = 999;
+  const SensitivePair pair =
+      path_marker_pair(2 * req.radius + 1, req.radius, kMarkerId);
+  const MarkerAlgorithm alg({kMarkerId});
+  std::vector<std::uint64_t> seeds(req.seeds);
+  for (std::uint64_t i = 0; i < req.seeds; ++i) seeds[i] = req.seed + i;
+  double sensitivity = 0.0;
+  for (std::uint32_t r = 0; r < req.repeat; ++r) {
+    sensitivity = measure_sensitivity(alg, pair, /*n_param=*/200,
+                                      /*delta=*/2, seeds);
+  }
+  return std::move(JsonObject()
+                       .field("sensitivity", sensitivity)
+                       .field("radius", static_cast<std::uint64_t>(req.radius))
+                       .field("seeds", req.seeds))
+      .str();
+}
+
+}  // namespace
+
+ExecResult execute_on(Cluster& cluster, const LegalGraph& g,
+                      const Request& req, const ExecOptions& opts) {
+  ExecResult out;
+  out.answer_json = "{}";
+  obs::Tracer& tracer = cluster.enable_tracing();
+  const std::uint64_t rounds0 = cluster.rounds();
+  const std::uint64_t words0 = cluster.words_moved();
+  // Deadline checks piggyback on trace events: every exchange and charge
+  // passes through here on the orchestration thread. Span-end events are
+  // exempt — they fire from Span destructors, which must not throw.
+  tracer.set_sink([&opts](const obs::TraceEvent& event) {
+    if (opts.sink) opts.sink(event);
+    if (event.kind != obs::TraceEvent::Kind::kSpanEnd &&
+        deadline_set(opts.deadline) &&
+        std::chrono::steady_clock::now() > opts.deadline) {
+      throw DeadlineExpired{};
+    }
+  });
+  try {
+    if (deadline_set(opts.deadline) &&
+        std::chrono::steady_clock::now() > opts.deadline) {
+      throw DeadlineExpired{};
+    }
+    {
+      obs::Span phase = cluster.span(req.op);
+      if (req.op == "ping") {
+        out.answer_json = std::move(JsonObject().field("pong", true)).str();
+      } else if (req.op == "statusz") {
+        out.answer_json =
+            std::move(JsonObject().raw("metrics", registry_metrics_json()))
+                .str();
+      } else if (req.op == "connectivity") {
+        out.answer_json = run_connectivity(cluster, g, req);
+      } else if (req.op == "coloring") {
+        out.answer_json = run_coloring(cluster, g, req);
+      } else if (req.op == "mis") {
+        out.answer_json = run_mis(cluster, g, req);
+      } else if (req.op == "lifting") {
+        out.answer_json = run_lifting(cluster, g, req);
+      } else if (req.op == "sensitivity") {
+        out.answer_json = run_sensitivity(req);
+      } else {
+        require(false, "unknown op \"" + req.op + "\"");
+      }
+    }
+    out.ok = true;
+  } catch (const DeadlineExpired&) {
+    out.error_kind = "DeadlineExceeded";
+    out.error_message = "request deadline expired after " +
+                        std::to_string(req.deadline_ms) + "ms";
+  } catch (const SpaceLimitError& e) {
+    out.error_kind = "SpaceLimitError";
+    out.error_message = e.what();
+  } catch (const PreconditionError& e) {
+    out.error_kind = "BadRequest";
+    out.error_message = e.what();
+  } catch (const Error& e) {
+    out.error_kind = "Error";
+    out.error_message = e.what();
+  } catch (const std::exception& e) {
+    out.error_kind = "InternalError";
+    out.error_message = e.what();
+  }
+  tracer.set_sink({});
+  out.rounds = cluster.rounds() - rounds0;
+  out.words = cluster.words_moved() - words0;
+  if (opts.capture_record && out.ok) {
+    // An aborted run can leave spans open, so records are success-only.
+    out.record = obs::capture_run(req.op, cluster);
+  }
+  return out;
+}
+
+ExecResult execute(const Request& req, const ExecOptions& opts,
+                   const AdmissionLimits& limits) {
+  ExecResult out;
+  out.answer_json = "{}";
+  // Graph-free ops skip the engine entirely (and the engine lock): statusz
+  // must answer even while a long request holds the engine.
+  if (req.op == "ping" || req.op == "statusz" || req.op == "sensitivity") {
+    MpcConfig cfg;
+    cfg.n = 2;
+    cfg.local_space = 8;
+    cfg.machines = 1;
+    Cluster scratch(cfg);
+    const LegalGraph empty = LegalGraph::with_identity(Graph(1));
+    return execute_on(scratch, empty, req, opts);
+  }
+  Graph topology;
+  try {
+    topology = build_graph(req.graph);
+  } catch (const Error& e) {
+    out.error_kind = "BadRequest";
+    out.error_message = e.what();
+    return out;
+  }
+  if (topology.n() > limits.max_nodes) {
+    out.error_kind = "AdmissionDenied";
+    out.error_message = "graph has " + std::to_string(topology.n()) +
+                        " nodes; limit is " + std::to_string(limits.max_nodes);
+    return out;
+  }
+  MpcConfig config;
+  try {
+    config = resolve_config(req, topology.n(), topology.m());
+  } catch (const Error& e) {
+    out.error_kind = "BadRequest";
+    out.error_message = e.what();
+    return out;
+  }
+  if (config.machines > limits.max_machines) {
+    out.error_kind = "AdmissionDenied";
+    out.error_message =
+        "deployment needs " + std::to_string(config.machines) +
+        " machines; limit is " + std::to_string(limits.max_machines);
+    return out;
+  }
+  std::unique_lock<std::timed_mutex> engine(engine_mutex(), std::defer_lock);
+  if (deadline_set(opts.deadline)) {
+    if (!engine.try_lock_until(opts.deadline)) {
+      out.error_kind = "DeadlineExceeded";
+      out.error_message = "deadline expired while queued for the engine";
+      return out;
+    }
+  } else {
+    engine.lock();
+  }
+  const LegalGraph g = LegalGraph::with_identity(std::move(topology));
+  Cluster cluster(config);
+  return execute_on(cluster, g, req, opts);
+}
+
+}  // namespace mpcstab::service

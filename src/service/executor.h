@@ -1,0 +1,75 @@
+// Request execution for the mpcstabd service: one parsed Request in, one
+// structured result out, with trace events streamed through a caller sink.
+//
+// Concurrency contract: the worker pool behind Cluster::exchange is a
+// single-job fork-join pool (support/thread_pool.h) — two threads calling
+// parallel_for concurrently would corrupt its one-job state. The service
+// therefore serializes *engine* execution behind a process-wide engine
+// lock: sessions parse, admit and stream concurrently, but at most one
+// request drives the Cluster at a time (its internal parallelism still
+// comes from the pool). `execute` takes the lock; `execute_on` does not
+// (single-threaded callers — benches, tests — that own the cluster).
+//
+// Deadlines are enforced cooperatively through the tracer's event sink:
+// every exchange/charge checks the deadline, so a deadline expiry surfaces
+// between rounds as a structured "DeadlineExceeded" error, never mid-round.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "service/protocol.h"
+
+namespace mpcstab::service {
+
+/// Admission limits a deployment enforces before any engine work starts.
+struct AdmissionLimits {
+  std::uint64_t max_nodes = 1u << 20;     ///< largest admissible graph
+  std::uint64_t max_machines = 1u << 22;  ///< largest admissible deployment
+};
+
+/// Execution hooks and limits for one request.
+struct ExecOptions {
+  /// Receives every trace event of the run (span begin/end, exchange,
+  /// charge) on the orchestration thread; empty = no streaming.
+  std::function<void(const obs::TraceEvent&)> sink;
+  /// Absolute deadline; time_point{} (the epoch) = none.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Capture a RunRecord of the cluster on success (daemon --json reports).
+  bool capture_record = false;
+};
+
+/// Structured outcome of one request.
+struct ExecResult {
+  bool ok = false;
+  std::string error_kind;     ///< "SpaceLimitError", "DeadlineExceeded",
+                              ///< "AdmissionDenied", "BadRequest", ...
+  std::string error_message;
+  std::string answer_json;    ///< op-specific JSON object ("{}" when !ok)
+  std::uint64_t rounds = 0;   ///< cluster rounds consumed by this request
+  std::uint64_t words = 0;    ///< words moved by this request
+  std::optional<obs::RunRecord> record;  ///< when capture_record && ok
+};
+
+/// Runs the op on a caller-provided cluster (tracing is enabled by this
+/// call). No engine lock, no admission control — the caller is
+/// single-threaded and already sized the deployment. The graph must match
+/// the request (benches pass the one they built).
+ExecResult execute_on(Cluster& cluster, const LegalGraph& g,
+                      const Request& req, const ExecOptions& opts);
+
+/// Full service path: builds the graph, applies admission control, resolves
+/// the deployment, takes the engine lock (respecting the deadline while
+/// waiting) and runs the op on a fresh traced cluster. Never throws for
+/// request-induced failures — they come back as structured errors.
+ExecResult execute(const Request& req, const ExecOptions& opts,
+                   const AdmissionLimits& limits);
+
+}  // namespace mpcstab::service

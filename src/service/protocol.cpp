@@ -1,0 +1,263 @@
+#include "service/protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "graph/generators.h"
+#include "obs/export.h"
+#include "rng/prf.h"
+#include "support/check.h"
+
+namespace mpcstab::service {
+
+namespace {
+
+/// Finite-double JSON literal (JSON has no inf/nan).
+std::string number_literal(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  char shorter[32];
+  std::snprintf(shorter, sizeof(shorter), "%g", value);
+  double back = 0.0;
+  if (std::sscanf(shorter, "%lf", &back) == 1 && back == value) {
+    return shorter;
+  }
+  return buf;
+}
+
+/// Reads an unsigned integer member; `fallback` when absent. The schema's
+/// integers all fit in 2^53, where the double round-trip is exact.
+std::uint64_t uint_or(const obs::JsonValue& obj, std::string_view key,
+                      std::uint64_t fallback) {
+  const obs::JsonValue* member = obj.find(key);
+  if (member == nullptr || member->kind != obs::JsonValue::Kind::kNumber) {
+    return fallback;
+  }
+  const double v = member->number;
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+double double_or(const obs::JsonValue& obj, std::string_view key,
+                 double fallback) {
+  const obs::JsonValue* member = obj.find(key);
+  if (member == nullptr || member->kind != obs::JsonValue::Kind::kNumber) {
+    return fallback;
+  }
+  return member->number;
+}
+
+bool bool_or(const obs::JsonValue& obj, std::string_view key, bool fallback) {
+  const obs::JsonValue* member = obj.find(key);
+  if (member == nullptr || member->kind != obs::JsonValue::Kind::kBool) {
+    return fallback;
+  }
+  return member->boolean;
+}
+
+bool parse_graph_spec(const obs::JsonValue& obj, GraphSpec& spec,
+                      std::string& error) {
+  spec.type = obj.str("type");
+  if (spec.type.empty()) {
+    error = "graph.type missing";
+    return false;
+  }
+  spec.n = static_cast<Node>(uint_or(obj, "n", 0));
+  spec.rows = static_cast<Node>(uint_or(obj, "rows", 0));
+  spec.cols = static_cast<Node>(uint_or(obj, "cols", 0));
+  spec.degree = static_cast<std::uint32_t>(uint_or(obj, "degree", 0));
+  spec.p = double_or(obj, "p", 0.0);
+  spec.seed = uint_or(obj, "seed", 1);
+  if (const obs::JsonValue* edges = obj.find("edges"); edges != nullptr) {
+    if (edges->kind != obs::JsonValue::Kind::kArray) {
+      error = "graph.edges must be an array of [u,v] pairs";
+      return false;
+    }
+    spec.edges.reserve(edges->array.size());
+    for (const obs::JsonValue& e : edges->array) {
+      if (e.kind != obs::JsonValue::Kind::kArray || e.array.size() != 2 ||
+          e.array[0].kind != obs::JsonValue::Kind::kNumber ||
+          e.array[1].kind != obs::JsonValue::Kind::kNumber) {
+        error = "graph.edges entries must be [u,v] number pairs";
+        return false;
+      }
+      spec.edges.push_back(Edge{static_cast<Node>(e.array[0].number),
+                                static_cast<Node>(e.array[1].number)});
+    }
+  }
+  return true;
+}
+
+constexpr std::string_view kKnownOps[] = {
+    "connectivity", "coloring", "mis", "lifting", "sensitivity",
+    "ping",         "statusz",
+};
+
+bool known_op(std::string_view op) {
+  for (const std::string_view candidate : kKnownOps) {
+    if (op == candidate) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ParsedRequest parse_request(std::string_view line) {
+  ParsedRequest out;
+  const std::optional<obs::JsonValue> doc = obs::parse_json(line);
+  if (!doc.has_value() || doc->kind != obs::JsonValue::Kind::kObject) {
+    out.error = "request is not a JSON object";
+    return out;
+  }
+  Request req;
+  req.op = doc->str("op");
+  if (req.op.empty()) {
+    out.error = "missing \"op\"";
+    return out;
+  }
+  if (!known_op(req.op)) {
+    out.error = "unknown op \"" + req.op + "\"";
+    return out;
+  }
+  req.id = uint_or(*doc, "id", 0);
+  req.phi = double_or(*doc, "phi", 0.5);
+  req.seed = uint_or(*doc, "seed", 1);
+  req.repeat = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, uint_or(*doc, "repeat", 1)));
+  req.deadline_ms = uint_or(*doc, "deadline_ms", 0);
+  req.trace = bool_or(*doc, "trace", false);
+  req.local_space = uint_or(*doc, "local_space", 0);
+  req.machines = uint_or(*doc, "machines", 0);
+  req.palette = uint_or(*doc, "palette", 0);
+  req.radius =
+      static_cast<std::uint32_t>(std::max<std::uint64_t>(
+          1, uint_or(*doc, "radius", 3)));
+  req.simulations = std::max<std::uint64_t>(1, uint_or(*doc, "simulations", 8));
+  req.seeds = std::max<std::uint64_t>(1, uint_or(*doc, "seeds", 16));
+  req.s = static_cast<Node>(uint_or(*doc, "s", 0));
+  if (const obs::JsonValue* t = doc->find("t");
+      t != nullptr && t->kind == obs::JsonValue::Kind::kNumber) {
+    req.t = static_cast<Node>(t->number);
+    req.t_set = true;
+  }
+  const bool needs_graph =
+      req.op != "ping" && req.op != "statusz" && req.op != "sensitivity";
+  if (const obs::JsonValue* graph = doc->find("graph"); graph != nullptr) {
+    if (graph->kind != obs::JsonValue::Kind::kObject) {
+      out.error = "\"graph\" must be an object";
+      return out;
+    }
+    std::string error;
+    if (!parse_graph_spec(*graph, req.graph, error)) {
+      out.error = std::move(error);
+      return out;
+    }
+  } else if (needs_graph) {
+    out.error = "op \"" + req.op + "\" requires a \"graph\"";
+    return out;
+  }
+  if (req.phi <= 0.0 || req.phi >= 1.0) {
+    out.error = "phi must be in (0,1)";
+    return out;
+  }
+  out.request = std::move(req);
+  return out;
+}
+
+Graph build_graph(const GraphSpec& spec) {
+  const Prf prf(spec.seed);
+  if (spec.type == "cycle") return cycle_graph(spec.n);
+  if (spec.type == "two_cycles") return two_cycles_graph(spec.n);
+  if (spec.type == "path") return path_graph(spec.n);
+  if (spec.type == "star") return star_graph(spec.n);
+  if (spec.type == "complete") return complete_graph(spec.n);
+  if (spec.type == "grid") return grid_graph(spec.rows, spec.cols);
+  if (spec.type == "tree") return random_tree(spec.n, prf);
+  if (spec.type == "random") return random_graph(spec.n, spec.p, prf);
+  if (spec.type == "regular") {
+    return random_regular_graph(spec.n, spec.degree, prf);
+  }
+  if (spec.type == "edges") return Graph::from_edges(spec.n, spec.edges);
+  require(false, "unknown graph type \"" + spec.type + "\"");
+  return Graph(0);  // unreachable
+}
+
+MpcConfig resolve_config(const Request& req, std::uint64_t n,
+                         std::uint64_t m) {
+  if (req.local_space == 0 && req.machines == 0) {
+    return MpcConfig::for_graph(n, m, req.phi);
+  }
+  MpcConfig base = MpcConfig::for_graph(n, m, req.phi);
+  if (req.local_space != 0) base.local_space = req.local_space;
+  if (req.machines != 0) base.machines = req.machines;
+  return base;
+}
+
+void JsonObject::comma() {
+  if (!first_) out_ += ',';
+  first_ = false;
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::string_view value) {
+  comma();
+  out_ += '"';
+  out_ += obs::json_escape(key);
+  out_ += "\":\"";
+  out_ += obs::json_escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::uint64_t value) {
+  comma();
+  out_ += '"';
+  out_ += obs::json_escape(key);
+  out_ += "\":";
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::int64_t value) {
+  comma();
+  out_ += '"';
+  out_ += obs::json_escape(key);
+  out_ += "\":";
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, double value) {
+  comma();
+  out_ += '"';
+  out_ += obs::json_escape(key);
+  out_ += "\":";
+  out_ += number_literal(value);
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, bool value) {
+  comma();
+  out_ += '"';
+  out_ += obs::json_escape(key);
+  out_ += "\":";
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::raw(std::string_view key, std::string_view json) {
+  comma();
+  out_ += '"';
+  out_ += obs::json_escape(key);
+  out_ += "\":";
+  out_ += json;
+  return *this;
+}
+
+std::string JsonObject::str() && {
+  out_ += '}';
+  return std::move(out_);
+}
+
+}  // namespace mpcstab::service

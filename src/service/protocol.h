@@ -1,0 +1,115 @@
+// Wire protocol of the mpcstabd query service: newline-delimited JSON in
+// both directions.
+//
+// Requests (one JSON object per line):
+//   {"id":1,"op":"connectivity","graph":{"type":"cycle","n":512},
+//    "seed":7,"phi":0.5,"trace":true,"deadline_ms":2000,"repeat":1}
+//
+// Ops: "connectivity", "coloring", "mis", "lifting", "sensitivity",
+// "ping", "statusz". Graph types: "cycle", "two_cycles", "path", "star",
+// "complete", "grid", "tree", "random", "regular", "edges" (explicit edge
+// list). Optional "local_space"/"machines" override the derived MpcConfig
+// (admission-control and fault-injection testing). Op parameters:
+// "palette" (coloring), "radius"/"simulations"/"s"/"t" (lifting),
+// "radius"/"seeds" (sensitivity).
+//
+// Responses are NDJSON events, each echoing the request "id":
+//   {"id":1,"event":"trace","seq":3,"trace":{...}}     (when "trace":true)
+//   {"id":1,"event":"result","ok":true,"op":...,"rounds":...,"words":...,
+//    "answer":{...}}
+//   {"id":1,"event":"error","kind":"SpaceLimitError","message":"..."}
+// plus connection-level lines {"event":"hello",...} and {"event":"bye",...}.
+//
+// This header is self-contained parsing/serialization — no sockets, no
+// threads — so tests can round-trip frames without a live server.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mpc/config.h"
+
+namespace mpcstab::service {
+
+/// Input-graph description carried by a request.
+struct GraphSpec {
+  std::string type;  ///< generator name; see header comment
+  Node n = 0;
+  Node rows = 0, cols = 0;       ///< grid
+  std::uint32_t degree = 0;      ///< regular
+  double p = 0.0;                ///< random: edge probability
+  std::uint64_t seed = 1;        ///< generator randomness
+  std::vector<Edge> edges;       ///< type == "edges"
+};
+
+/// One parsed request line.
+struct Request {
+  std::uint64_t id = 0;          ///< echoed in every response event
+  std::string op;
+  GraphSpec graph;
+  double phi = 0.5;
+  std::uint64_t seed = 1;        ///< shared-randomness seed for the run
+  std::uint32_t repeat = 1;      ///< run the op this many times (throughput)
+  std::uint64_t deadline_ms = 0; ///< 0 = no deadline
+  bool trace = false;            ///< stream trace events back to the client
+  std::uint64_t local_space = 0; ///< 0 = derive from (n, phi)
+  std::uint64_t machines = 0;    ///< 0 = derive from (n, m, phi)
+  // Op parameters.
+  std::uint64_t palette = 0;     ///< coloring; 0 = Delta+1
+  std::uint32_t radius = 3;      ///< lifting/sensitivity D
+  std::uint64_t simulations = 8; ///< lifting parallel simulations
+  std::uint64_t seeds = 16;      ///< sensitivity: number of seeds sampled
+  Node s = 0;
+  Node t = 0;
+  bool t_set = false;            ///< request carried an explicit "t"
+};
+
+/// parse_request outcome: exactly one of `request` / `error` is set.
+struct ParsedRequest {
+  std::optional<Request> request;
+  std::string error;  ///< human-readable parse/validation failure
+};
+
+/// Parses one request line. Unknown fields are ignored (forward
+/// compatibility); a malformed document or a missing/unknown "op" yields an
+/// error. Does not validate graph parameters — build_graph does.
+ParsedRequest parse_request(std::string_view line);
+
+/// Materializes the request's graph. Throws PreconditionError on an unknown
+/// type or parameters the generators reject (n too small, bad degree, ...).
+Graph build_graph(const GraphSpec& spec);
+
+/// The cluster deployment a request resolves to: explicit overrides when
+/// given, else MpcConfig::for_graph(n, m, phi).
+MpcConfig resolve_config(const Request& req, std::uint64_t n, std::uint64_t m);
+
+/// Minimal incremental JSON object writer for response lines (the service
+/// composes responses from heterogeneous parts; the bench-report writer in
+/// obs/export.cpp is stream-oriented and schema-fixed).
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view key, std::string_view value);
+  JsonObject& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonObject& field(std::string_view key, std::uint64_t value);
+  JsonObject& field(std::string_view key, std::int64_t value);
+  JsonObject& field(std::string_view key, double value);
+  JsonObject& field(std::string_view key, bool value);
+  /// Splices `json` (a complete JSON value or member list) verbatim.
+  JsonObject& raw(std::string_view key, std::string_view json);
+
+  /// Closes the object; the writer must not be reused afterwards.
+  std::string str() &&;
+
+ private:
+  void comma();
+  std::string out_ = "{";
+  bool first_ = true;
+};
+
+}  // namespace mpcstab::service

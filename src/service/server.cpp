@@ -1,0 +1,424 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <utility>
+
+#include "obs/registry.h"
+
+namespace mpcstab::service {
+
+namespace {
+
+constexpr int kPollMs = 100;  ///< drain-flag check cadence for blocked I/O
+
+/// Writes `line` + '\n' fully; MSG_NOSIGNAL so a vanished client surfaces
+/// as an error return, not SIGPIPE.
+bool write_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int open_unix_listener(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    *error = "unix socket path too long: " + path;
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    *error = "bind/listen " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int open_tcp_listener(std::uint16_t port, std::uint16_t* bound,
+                      std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    *error = "bind/listen 127.0.0.1:" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+    *bound = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  report_.bench = "mpcstabd";
+}
+
+Server::~Server() {
+  begin_drain();
+  wait();
+}
+
+bool Server::start(std::string* error) {
+  std::string local_error;
+  if (error == nullptr) error = &local_error;
+  if (opts_.unix_path.empty() && !opts_.listen_tcp) {
+    *error = "no listener configured (need a unix path or TCP)";
+    return false;
+  }
+  if (!opts_.unix_path.empty()) {
+    unix_fd_ = open_unix_listener(opts_.unix_path, error);
+    if (unix_fd_ < 0) return false;
+  }
+  if (opts_.listen_tcp) {
+    tcp_fd_ = open_tcp_listener(opts_.tcp_port, &tcp_port_, error);
+    if (tcp_fd_ < 0) {
+      if (unix_fd_ >= 0) ::close(unix_fd_);
+      unix_fd_ = -1;
+      return false;
+    }
+  }
+  if (!opts_.trace_path.empty()) {
+    capture_.open(opts_.trace_path, std::ios::out | std::ios::trunc);
+    if (!capture_) {
+      *error = "cannot open trace file " + opts_.trace_path;
+      if (unix_fd_ >= 0) ::close(unix_fd_);
+      if (tcp_fd_ >= 0) ::close(tcp_fd_);
+      unix_fd_ = tcp_fd_ = -1;
+      return false;
+    }
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::begin_drain() { draining_.store(true, std::memory_order_relaxed); }
+
+void Server::wait() {
+  std::lock_guard<std::mutex> guard(wait_mutex_);
+  if (waited_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Sessions can spawn only from the accept thread, so after the join the
+  // vector is final.
+  for (std::thread& session : sessions_) {
+    if (session.joinable()) session.join();
+  }
+  if (capture_.is_open()) capture_.close();
+  if (!opts_.json_path.empty()) {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    if (!obs::write_bench_json(opts_.json_path, report_)) {
+      std::cerr << "mpcstabd: cannot write " << opts_.json_path << "\n";
+    }
+  }
+  if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
+  waited_ = true;
+}
+
+void Server::capture_line(const std::string& line) {
+  if (!capture_.is_open()) return;
+  std::lock_guard<std::mutex> lock(capture_mutex_);
+  capture_ << line << '\n';
+  // Line-buffered on purpose: the capture must be complete even if the
+  // process is killed right after a request finishes.
+  capture_.flush();
+}
+
+void Server::accept_loop() {
+  static obs::Counter& connections =
+      obs::Registry::global().counter("service.connections");
+  while (!draining()) {
+    pollfd fds[2];
+    nfds_t nfds = 0;
+    if (unix_fd_ >= 0) fds[nfds++] = pollfd{unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[nfds++] = pollfd{tcp_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, nfds, kPollMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the drain flag
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int client = ::accept(fds[i].fd, nullptr, nullptr);
+      if (client < 0) continue;
+      connections.add(1);
+      const std::uint64_t conn_id =
+          next_conn_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      sessions_.emplace_back(
+          [this, client, conn_id] { session_loop(client, conn_id); });
+    }
+  }
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  unix_fd_ = tcp_fd_ = -1;
+}
+
+void Server::handle_line(int fd, std::uint64_t conn_id, std::uint64_t* failed,
+                         const std::string& line) {
+  static obs::Counter& requests =
+      obs::Registry::global().counter("service.requests");
+  static obs::Counter& errors =
+      obs::Registry::global().counter("service.errors");
+  static obs::Counter& trace_events =
+      obs::Registry::global().counter("service.trace_events");
+  static obs::Gauge& inflight =
+      obs::Registry::global().gauge("service.inflight");
+
+  if (line.empty()) return;
+  requests.add(1);
+  ParsedRequest parsed = parse_request(line);
+  if (!parsed.request.has_value()) {
+    errors.add(1);
+    if (!write_line(fd, std::move(JsonObject()
+                                      .field("id", std::uint64_t{0})
+                                      .field("event", "error")
+                                      .field("kind", "BadRequest")
+                                      .field("message", parsed.error))
+                            .str())) {
+      *failed = 1;
+    }
+    return;
+  }
+  const Request& req = *parsed.request;
+  capture_line(std::move(JsonObject()
+                             .field("capture", "request")
+                             .field("conn", conn_id)
+                             .field("id", req.id)
+                             .field("op", req.op))
+                   .str());
+  inflight.set(inflight_.fetch_add(1, std::memory_order_relaxed) + 1);
+
+  std::uint64_t seq = 0;
+  ExecOptions opts;
+  if (req.deadline_ms != 0) {
+    opts.deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(req.deadline_ms);
+  }
+  opts.capture_record = !opts_.json_path.empty() || opts_.print_trace;
+  opts.sink = [&](const obs::TraceEvent& event) {
+    ++seq;
+    trace_events.add(1);
+    const std::string body = obs::trace_event_json(event);
+    if (req.trace && *failed == 0) {
+      std::string response = std::move(JsonObject()
+                                           .field("id", req.id)
+                                           .field("event", "trace")
+                                           .field("seq", seq)
+                                           .raw("trace", "{" + body + "}"))
+                                 .str();
+      if (!write_line(fd, response)) *failed = 1;
+    }
+    if (capture_.is_open()) {
+      std::string captured;
+      captured.reserve(body.size() + 64);
+      captured += "{\"capture\":\"event\",\"conn\":";
+      captured += std::to_string(conn_id);
+      captured += ",\"id\":";
+      captured += std::to_string(req.id);
+      captured += ",\"seq\":";
+      captured += std::to_string(seq);
+      captured += ',';
+      captured += body;
+      captured += '}';
+      capture_line(captured);
+    }
+  };
+
+  ExecResult result = execute(req, opts, opts_.limits);
+  inflight.set(inflight_.fetch_sub(1, std::memory_order_relaxed) - 1);
+
+  std::string response;
+  if (result.ok) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+    response = std::move(JsonObject()
+                             .field("id", req.id)
+                             .field("event", "result")
+                             .field("ok", true)
+                             .field("op", req.op)
+                             .field("rounds", result.rounds)
+                             .field("words", result.words)
+                             .raw("answer", result.answer_json))
+                   .str();
+  } else {
+    errors.add(1);
+    response = std::move(JsonObject()
+                             .field("id", req.id)
+                             .field("event", "error")
+                             .field("kind", result.error_kind)
+                             .field("message", result.error_message)
+                             .field("op", req.op))
+                   .str();
+  }
+  if (*failed == 0 && !write_line(fd, response)) *failed = 1;
+  capture_line(std::move(JsonObject()
+                             .field("capture", "done")
+                             .field("conn", conn_id)
+                             .field("id", req.id)
+                             .field("ok", result.ok)
+                             .field("kind", result.error_kind)
+                             .field("rounds", result.rounds)
+                             .field("words", result.words))
+                   .str());
+  if (result.record.has_value()) {
+    if (opts_.print_trace && result.record->traced) {
+      obs::span_tree_table(result.record->spans)
+          .print(std::cout, "trace: conn=" + std::to_string(conn_id) +
+                                " id=" + std::to_string(req.id) + " " +
+                                req.op);
+    }
+    if (!opts_.json_path.empty()) {
+      std::lock_guard<std::mutex> lock(report_mutex_);
+      result.record->label =
+          req.op + " id=" + std::to_string(req.id);
+      report_.runs.push_back(std::move(*result.record));
+    }
+  }
+}
+
+void Server::session_loop(int fd, std::uint64_t conn_id) {
+  static obs::Counter& oversized =
+      obs::Registry::global().counter("service.oversized");
+  write_line(fd, std::move(JsonObject()
+                               .field("event", "hello")
+                               .field("service", "mpcstabd")
+                               .field("max_request_bytes",
+                                      static_cast<std::uint64_t>(
+                                          opts_.max_line_bytes))
+                               .field("conn", conn_id))
+                     .str());
+  std::string buffer;
+  std::uint64_t failed = 0;
+  bool discarding = false;  // inside an oversized line, already reported
+  bool eof = false;
+  const auto reject_oversized = [&] {
+    oversized.add(1);
+    if (!write_line(
+            fd, std::move(JsonObject()
+                              .field("id", std::uint64_t{0})
+                              .field("event", "error")
+                              .field("kind", "Oversized")
+                              .field("message",
+                                     "request exceeds max_request_bytes=" +
+                                         std::to_string(
+                                             opts_.max_line_bytes)))
+                    .str())) {
+      failed = 1;
+    }
+  };
+  while (failed == 0 && !eof) {
+    // Drain every complete line currently buffered.
+    std::size_t newline;
+    while (failed == 0 && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (discarding) {
+        discarding = false;  // tail of a line already rejected as oversized
+        continue;
+      }
+      if (line.size() > opts_.max_line_bytes) {
+        // A complete line over the cap (it can arrive whole when the cap is
+        // smaller than the read chunking).
+        reject_oversized();
+        continue;
+      }
+      handle_line(fd, conn_id, &failed, line);
+      if (draining()) break;
+    }
+    if (draining() || failed != 0) break;
+    // Request-size admission: reject a line the moment it exceeds the cap,
+    // without buffering it further. The connection stays usable.
+    if (!discarding && buffer.size() > opts_.max_line_bytes) {
+      reject_oversized();
+      if (failed != 0) break;
+      discarding = true;
+      buffer.clear();
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;  // timeout/EINTR: re-check drain
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      failed = 1;
+    } else if (n == 0) {
+      eof = true;
+      // A well-formed client ends every request with '\n'; accept a final
+      // unterminated line anyway.
+      if (!buffer.empty() && buffer.back() != '\n') buffer += '\n';
+      std::size_t pos;
+      while (failed == 0 && !draining() &&
+             (pos = buffer.find('\n')) != std::string::npos) {
+        std::string line = buffer.substr(0, pos);
+        buffer.erase(0, pos + 1);
+        if (discarding) {
+          discarding = false;
+          continue;
+        }
+        handle_line(fd, conn_id, &failed, line);
+      }
+    } else {
+      if (discarding) {
+        // Keep only what follows the oversized line's newline, if present.
+        const char* begin = chunk;
+        const char* end = chunk + n;
+        const char* nl = std::find(begin, end, '\n');
+        if (nl != end) {
+          buffer.assign(nl + 1, end);
+          discarding = false;
+        }
+      } else {
+        buffer.append(chunk, static_cast<std::size_t>(n));
+      }
+    }
+  }
+  if (failed == 0) {
+    write_line(fd, std::move(JsonObject()
+                                 .field("event", "bye")
+                                 .field("draining", draining()))
+                       .str());
+  }
+  ::close(fd);
+}
+
+}  // namespace mpcstab::service

@@ -1,0 +1,107 @@
+// The mpcstabd server: accepts newline-delimited JSON requests over a
+// Unix-domain and/or loopback TCP socket, executes them through
+// service::execute (engine-serialized; see executor.h) and streams
+// per-request NDJSON responses — and, when requested, live trace events —
+// back to each client.
+//
+// Threading model: one accept thread plus one thread per connection.
+// Session threads do all their own I/O and parsing concurrently; only the
+// engine phase of each request is serialized (executor engine lock). A
+// shared capture file (ServerOptions::trace_path) receives every request's
+// trace events as NDJSON, interleaved across connections but sequenced per
+// request (`seq` is per-request monotone), which is what CI uploads as the
+// service-smoke artifact.
+//
+// Shutdown: begin_drain() stops accepting, lets in-flight requests finish
+// (their results are still delivered), sends each client a {"event":"bye"}
+// line and closes. wait() blocks until every thread is joined and the
+// capture/report files are flushed — the SIGTERM path in tools/mpcstabd is
+// exactly begin_drain() + wait().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "service/executor.h"
+
+namespace mpcstab::service {
+
+struct ServerOptions {
+  std::string unix_path;          ///< "" = no Unix-domain listener
+  bool listen_tcp = false;        ///< listen on 127.0.0.1
+  std::uint16_t tcp_port = 0;     ///< 0 = ephemeral (read back via tcp_port())
+  std::string trace_path;         ///< server-side NDJSON capture ("" = off)
+  std::size_t max_line_bytes = 1 << 20;  ///< request-size admission limit
+  AdmissionLimits limits;
+  std::string json_path;          ///< mpcstab-bench-v1 report at shutdown
+  bool print_trace = false;       ///< print each request's span tree
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Opens the listeners and starts the accept thread. False (with *error
+  /// set) when no listener could be opened.
+  bool start(std::string* error);
+
+  /// Actual TCP port (after an ephemeral bind); 0 when TCP is off.
+  std::uint16_t tcp_port() const { return tcp_port_; }
+
+  /// Stops accepting; in-flight requests run to completion. Idempotent and
+  /// async-signal-unsafe (call from a normal thread, not a handler).
+  void begin_drain();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Joins the accept and session threads, writes the shutdown report and
+  /// closes the capture file. Returns once fully drained. Idempotent.
+  void wait();
+
+  std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void session_loop(int fd, std::uint64_t conn_id);
+  void handle_line(int fd, std::uint64_t conn_id, std::uint64_t* failed,
+                   const std::string& line);
+  void capture_line(const std::string& line);
+
+  ServerOptions opts_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  std::uint16_t tcp_port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> next_conn_{0};
+  std::atomic<std::uint64_t> inflight_{0};
+
+  std::thread accept_thread_;
+  std::mutex sessions_mutex_;
+  std::vector<std::thread> sessions_;
+
+  std::mutex capture_mutex_;
+  std::ofstream capture_;
+
+  std::mutex report_mutex_;
+  obs::BenchReport report_;
+
+  bool waited_ = false;
+  std::mutex wait_mutex_;
+};
+
+}  // namespace mpcstab::service

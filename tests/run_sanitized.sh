@@ -19,6 +19,18 @@ cmake --fresh -B "$build" -S "$repo" \
   -DMPCSTAB_SANITIZE=address-undefined
 cmake --build "$build" -j "$jobs"
 
-ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1" \
+# detect_leaks=1 is explicit (it is the Linux default) because the service
+# daemon's shutdown path is a deliberate leak check: Server::wait() must
+# join every session thread and close the capture/report files, so any
+# LeakSanitizer report from the smoke run below fails this script.
+ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1:detect_leaks=1" \
 UBSAN_OPTIONS="print_stacktrace=1" \
   ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+# End-to-end daemon smoke under ASan+LSan: start mpcstabd, drive it with
+# mpcstab-client (happy path, oversized request, space limit, SIGTERM
+# drain). LSan makes the daemon exit non-zero on any shutdown leak, which
+# service_smoke.sh turns into a failure.
+ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  "$repo/tools/service_smoke.sh" "$build"

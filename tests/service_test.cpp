@@ -1,0 +1,442 @@
+// Service layer (src/service/): protocol framing round-trips, executor
+// semantics (answers, structured errors, deadlines) and the live server
+// over a Unix-domain socket — oversized-request admission, concurrent
+// clients with per-request-ordered trace streams, and drain-vs-inflight
+// shutdown. The server tests drive real sockets so the sanitizer job also
+// leak-checks the daemon's thread/file teardown.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "service/executor.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "support/check.h"
+
+namespace mpcstab::service {
+namespace {
+
+// ---------------------------------------------------------------- protocol
+
+TEST(Protocol, ParsesFullConnectivityRequest) {
+  const ParsedRequest p = parse_request(
+      R"({"id":7,"op":"connectivity","graph":{"type":"cycle","n":512},)"
+      R"("seed":9,"phi":0.25,"repeat":3,"deadline_ms":1500,"trace":true})");
+  ASSERT_TRUE(p.request.has_value()) << p.error;
+  EXPECT_EQ(p.request->id, 7u);
+  EXPECT_EQ(p.request->op, "connectivity");
+  EXPECT_EQ(p.request->graph.type, "cycle");
+  EXPECT_EQ(p.request->graph.n, 512u);
+  EXPECT_EQ(p.request->seed, 9u);
+  EXPECT_DOUBLE_EQ(p.request->phi, 0.25);
+  EXPECT_EQ(p.request->repeat, 3u);
+  EXPECT_EQ(p.request->deadline_ms, 1500u);
+  EXPECT_TRUE(p.request->trace);
+}
+
+TEST(Protocol, UnknownFieldsAreIgnored) {
+  const ParsedRequest p = parse_request(
+      R"({"id":1,"op":"ping","future_extension":{"a":[1,2]},"x":null})");
+  ASSERT_TRUE(p.request.has_value()) << p.error;
+  EXPECT_EQ(p.request->op, "ping");
+}
+
+TEST(Protocol, RejectsMalformedAndInvalid) {
+  EXPECT_FALSE(parse_request("not json").request.has_value());
+  EXPECT_FALSE(parse_request(R"({"id":1})").request.has_value());
+  EXPECT_FALSE(
+      parse_request(R"({"op":"connectivity"})").request.has_value())
+      << "graph ops require a graph";
+  EXPECT_FALSE(parse_request(R"({"op":"connectivity",)"
+                             R"("graph":{"type":"cycle","n":8},"phi":1.5})")
+                   .request.has_value())
+      << "phi outside (0,1)";
+}
+
+TEST(Protocol, JsonObjectRoundTripsThroughParser) {
+  std::string line = std::move(JsonObject()
+                                   .field("id", std::uint64_t(42))
+                                   .field("event", "result")
+                                   .field("ok", true)
+                                   .field("skew", 1.5)
+                                   .raw("answer", R"({"components":2})"))
+                         .str();
+  const auto doc = obs::parse_json(line);
+  ASSERT_TRUE(doc.has_value()) << line;
+  EXPECT_EQ(doc->num("id"), 42.0);
+  EXPECT_EQ(doc->str("event"), "result");
+  const obs::JsonValue* ok = doc->find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->boolean);
+  const obs::JsonValue* answer = doc->find("answer");
+  ASSERT_NE(answer, nullptr);
+  EXPECT_EQ(answer->num("components"), 2.0);
+}
+
+TEST(Protocol, JsonObjectEscapesStrings) {
+  std::string line =
+      std::move(JsonObject().field("msg", "a \"b\"\nc\\d")).str();
+  const auto doc = obs::parse_json(line);
+  ASSERT_TRUE(doc.has_value()) << line;
+  EXPECT_EQ(doc->str("msg"), "a \"b\"\nc\\d");
+}
+
+TEST(Protocol, BuildGraphRejectsUnknownType) {
+  GraphSpec spec;
+  spec.type = "moebius";
+  spec.n = 8;
+  EXPECT_THROW(build_graph(spec), PreconditionError);
+}
+
+TEST(Protocol, ResolveConfigHonoursOverrides) {
+  Request req;
+  req.local_space = 64;
+  req.machines = 9;
+  const MpcConfig cfg = resolve_config(req, 256, 256);
+  EXPECT_EQ(cfg.local_space, 64u);
+  EXPECT_EQ(cfg.machines, 9u);
+  Request derived;
+  const MpcConfig d = resolve_config(derived, 256, 256);
+  const MpcConfig expected = MpcConfig::for_graph(256, 256, derived.phi, 1);
+  EXPECT_EQ(d.n, expected.n);
+  EXPECT_EQ(d.local_space, expected.local_space);
+  EXPECT_EQ(d.machines, expected.machines);
+}
+
+// ---------------------------------------------------------------- executor
+
+Request graph_request(const std::string& op, const std::string& type,
+                      Node n) {
+  Request req;
+  req.op = op;
+  req.graph.type = type;
+  req.graph.n = n;
+  return req;
+}
+
+TEST(Executor, ConnectivityCountsComponents) {
+  const AdmissionLimits limits;
+  for (const auto& [type, components] :
+       {std::pair<std::string, double>{"cycle", 1.0}, {"two_cycles", 2.0}}) {
+    const ExecResult r =
+        execute(graph_request("connectivity", type, 64), {}, limits);
+    ASSERT_TRUE(r.ok) << r.error_kind << ": " << r.error_message;
+    EXPECT_GT(r.rounds, 0u);
+    const auto answer = obs::parse_json(r.answer_json);
+    ASSERT_TRUE(answer.has_value()) << r.answer_json;
+    EXPECT_EQ(answer->num("components"), components) << type;
+  }
+}
+
+TEST(Executor, SpaceLimitSurfacesAsStructuredError) {
+  // A star forces the hub's neighbourhood through one machine; with
+  // local_space=8 the local-engine path must throw SpaceLimitError, which
+  // the executor converts to a structured error rather than crashing.
+  Request req = graph_request("mis", "star", 64);
+  req.local_space = 8;
+  req.machines = 4;
+  const ExecResult r = execute(req, {}, AdmissionLimits{});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, "SpaceLimitError");
+  EXPECT_FALSE(r.error_message.empty());
+}
+
+TEST(Executor, DeadlineExpiryIsStructured) {
+  Request req = graph_request("connectivity", "cycle", 256);
+  req.deadline_ms = 1;
+  req.repeat = 50;
+  ExecOptions opts;
+  opts.deadline = std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1);  // already expired
+  const ExecResult r = execute(req, opts, AdmissionLimits{});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, "DeadlineExceeded");
+}
+
+TEST(Executor, AdmissionDeniesOversizedGraphs) {
+  AdmissionLimits limits;
+  limits.max_nodes = 100;
+  const ExecResult r =
+      execute(graph_request("connectivity", "cycle", 101), {}, limits);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, "AdmissionDenied");
+}
+
+TEST(Executor, UnknownGraphTypeIsBadRequest) {
+  const ExecResult r =
+      execute(graph_request("connectivity", "moebius", 8), {},
+              AdmissionLimits{});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, "BadRequest");
+}
+
+TEST(Executor, SinkStreamsPerRequestOrderedEvents) {
+  Request req = graph_request("connectivity", "cycle", 64);
+  const Graph graph = build_graph(req.graph);
+  const LegalGraph g = LegalGraph::with_identity(graph);
+  Cluster cluster(resolve_config(req, g.n(), graph.m()));
+  ExecOptions opts;
+  std::vector<std::string> names;
+  opts.sink = [&](const obs::TraceEvent& event) {
+    names.emplace_back(event.name);
+  };
+  const ExecResult r = execute_on(cluster, g, req, opts);
+  ASSERT_TRUE(r.ok) << r.error_kind;
+  ASSERT_FALSE(names.empty());
+  // The op wrapper span is the first event the sink sees.
+  EXPECT_EQ(names.front(), "connectivity");
+}
+
+// ------------------------------------------------------------------ server
+
+// Short socket paths: sockaddr_un caps sun_path at ~108 bytes, and gtest
+// runs from deep build dirs — anchor in /tmp with the pid for parallelism.
+std::string socket_path(const char* tag) {
+  std::ostringstream out;
+  out << "/tmp/mpcstab_" << ::getpid() << "_" << tag << ".sock";
+  return out.str();
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::vector<std::string> read_lines_until_eof(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  std::vector<std::string> lines;
+  std::istringstream stream(buffer);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Connects, sends all requests, half-closes, and returns every response
+/// line — the same framing mpcstab-client uses.
+std::vector<std::string> roundtrip(const std::string& path,
+                                   const std::vector<std::string>& requests) {
+  const int fd = connect_unix(path);
+  EXPECT_GE(fd, 0) << "cannot connect to " << path;
+  if (fd < 0) return {};
+  for (const std::string& request : requests) {
+    send_all(fd, request + "\n");
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::vector<std::string> lines = read_lines_until_eof(fd);
+  ::close(fd);
+  return lines;
+}
+
+const obs::JsonValue* find_event(const std::vector<obs::JsonValue>& docs,
+                                 std::string_view event) {
+  for (const obs::JsonValue& doc : docs) {
+    if (doc.str("event") == event) return &doc;
+  }
+  return nullptr;
+}
+
+std::vector<obs::JsonValue> parse_lines(
+    const std::vector<std::string>& lines) {
+  std::vector<obs::JsonValue> docs;
+  for (const std::string& line : lines) {
+    auto doc = obs::parse_json(line);
+    EXPECT_TRUE(doc.has_value()) << "unparseable response line: " << line;
+    if (doc.has_value()) docs.push_back(std::move(*doc));
+  }
+  return docs;
+}
+
+TEST(Server, AnswersFramedRequestsAndSaysHelloBye) {
+  const std::string path = socket_path("hello");
+  ServerOptions opts;
+  opts.unix_path = path;
+  Server server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const auto docs = parse_lines(
+      roundtrip(path, {R"({"id":5,"op":"connectivity",)"
+                       R"("graph":{"type":"two_cycles","n":64}})"}));
+  ASSERT_NE(find_event(docs, "hello"), nullptr);
+  const obs::JsonValue* result = find_event(docs, "result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->num("id"), 5.0);
+  const obs::JsonValue* answer = result->find("answer");
+  ASSERT_NE(answer, nullptr);
+  EXPECT_EQ(answer->num("components"), 2.0);
+  ASSERT_NE(find_event(docs, "bye"), nullptr);
+
+  server.begin_drain();
+  server.wait();
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(Server, OversizedLineIsRejectedWithoutKillingConnection) {
+  const std::string path = socket_path("oversized");
+  ServerOptions opts;
+  opts.unix_path = path;
+  opts.max_line_bytes = 512;
+  Server server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  std::string big = R"({"id":1,"op":"ping","pad":")";
+  big.append(2048, 'x');
+  big += "\"}";
+  const auto docs =
+      parse_lines(roundtrip(path, {big, R"({"id":2,"op":"ping"})"}));
+  const obs::JsonValue* err = find_event(docs, "error");
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->str("kind"), "Oversized");
+  const obs::JsonValue* result = find_event(docs, "result");
+  ASSERT_NE(result, nullptr) << "connection unusable after oversized line";
+  EXPECT_EQ(result->num("id"), 2.0);
+
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(Server, ConcurrentClientsGetOrderedTraceStreams) {
+  const std::string capture = "/tmp/mpcstab_" +
+                              std::to_string(::getpid()) + "_capture.ndjson";
+  const std::string path = socket_path("concurrent");
+  ServerOptions opts;
+  opts.unix_path = path;
+  opts.trace_path = capture;
+  Server server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  constexpr int kClients = 3;
+  std::vector<std::vector<std::string>> replies(kClients);
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        std::string req = R"({"id":)" + std::to_string(100 + c) +
+                          R"(,"op":"connectivity","trace":true,)"
+                          R"("graph":{"type":"cycle","n":128}})";
+        replies[c] = roundtrip(path, {req});
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+
+  for (int c = 0; c < kClients; ++c) {
+    const auto docs = parse_lines(replies[c]);
+    const obs::JsonValue* result = find_event(docs, "result");
+    ASSERT_NE(result, nullptr) << "client " << c;
+    EXPECT_EQ(result->num("id"), 100.0 + c);
+    // Trace events echo the request id and carry a per-request monotone seq.
+    double last_seq = -1.0;
+    std::size_t traces = 0;
+    for (const obs::JsonValue& doc : docs) {
+      if (doc.str("event") != "trace") continue;
+      ++traces;
+      EXPECT_EQ(doc.num("id"), 100.0 + c);
+      const double seq = doc.num("seq");
+      EXPECT_GT(seq, last_seq) << "seq not monotone for client " << c;
+      last_seq = seq;
+    }
+    EXPECT_GT(traces, 0u) << "client " << c << " got no trace stream";
+  }
+
+  server.begin_drain();
+  server.wait();
+  EXPECT_EQ(server.requests_served(), static_cast<std::uint64_t>(kClients));
+
+  // The shared capture file interleaves connections but stays per-request
+  // ordered; every request's events must be present.
+  std::ifstream in(capture);
+  ASSERT_TRUE(in.good());
+  std::map<double, double> last_seq_by_id;
+  std::string line;
+  std::size_t events = 0;
+  while (std::getline(in, line)) {
+    const auto doc = obs::parse_json(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    if (doc->str("capture") != "event") continue;
+    ++events;
+    const double id = doc->num("id");
+    const double seq = doc->num("seq");
+    auto [it, fresh] = last_seq_by_id.try_emplace(id, -1.0);
+    EXPECT_GT(seq, it->second) << "capture seq regressed for id " << id;
+    it->second = seq;
+  }
+  EXPECT_GT(events, 0u);
+  EXPECT_EQ(last_seq_by_id.size(), static_cast<std::size_t>(kClients));
+  std::remove(capture.c_str());
+}
+
+TEST(Server, DrainFinishesInflightThenRefusesNewConnections) {
+  const std::string path = socket_path("drain");
+  ServerOptions opts;
+  opts.unix_path = path;
+  Server server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // A repeat-heavy request that outlives the drain trigger below.
+  std::vector<std::string> reply;
+  std::thread client([&] {
+    reply = roundtrip(path, {R"({"id":9,"op":"connectivity","repeat":20,)"
+                             R"("graph":{"type":"cycle","n":1024}})"});
+  });
+  // Let the request reach the engine, then drain mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.begin_drain();
+  client.join();
+  server.wait();
+
+  const auto docs = parse_lines(reply);
+  const obs::JsonValue* result = find_event(docs, "result");
+  ASSERT_NE(result, nullptr)
+      << "in-flight request lost its result across drain";
+  EXPECT_EQ(result->num("id"), 9.0);
+  const obs::JsonValue* bye = find_event(docs, "bye");
+  ASSERT_NE(bye, nullptr);
+
+  // Fully drained: the Unix socket is unlinked, so connects fail outright.
+  EXPECT_LT(connect_unix(path), 0);
+}
+
+}  // namespace
+}  // namespace mpcstab::service

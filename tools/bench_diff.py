@@ -3,6 +3,7 @@
 
 Usage:
     bench_diff.py BASELINE.json CURRENT.json
+    bench_diff.py --refresh BASELINE.json CURRENT.json
 
 Compares the *model-determined* content of the two reports — run labels,
 cluster configurations, round/word/exchange totals and the span tree
@@ -18,7 +19,12 @@ n and phi through libm (pow/ceil), so a config mismatch usually means a
 platform difference or a deliberate MpcConfig change, not an algorithmic
 regression.
 
-Exit codes: 0 = match, 1 = mismatch, 2 = usage or I/O error.
+With --refresh, CURRENT is validated (schema, per-run shape) and written
+over BASELINE in the compact encoding the checked-in baselines use, so
+`git diff` of a refreshed baseline shows only real model changes.
+
+Exit codes: 0 = match (or refresh written), 1 = mismatch,
+2 = usage or I/O error.
 
 Stdlib only — runs on any CI python3 with no installs.
 """
@@ -94,7 +100,64 @@ def diff_run(index, base, cur, problems, config_drift):
         diff_span(bspan, cspan, where, problems)
 
 
+def validate(report, which):
+    """Shape checks a report must pass before gating or refreshing."""
+    schema = report.get("schema")
+    if schema != "mpcstab-bench-v1":
+        print(
+            f"bench_diff: {which} has schema {schema!r}, "
+            "expected 'mpcstab-bench-v1'",
+            file=sys.stderr,
+        )
+        return False
+    if not isinstance(report.get("bench"), str):
+        print(f"bench_diff: {which} has no 'bench' name", file=sys.stderr)
+        return False
+    runs = report.get("runs")
+    if not isinstance(runs, list) or not runs:
+        print(f"bench_diff: {which} has no runs", file=sys.stderr)
+        return False
+    for i, run in enumerate(runs):
+        if not isinstance(run.get("label"), str):
+            print(f"bench_diff: {which} runs[{i}] has no label",
+                  file=sys.stderr)
+            return False
+        totals = run.get("totals", {})
+        for field in TOTAL_FIELDS:
+            if not isinstance(totals.get(field), int):
+                print(
+                    f"bench_diff: {which} runs[{i}] totals.{field} missing "
+                    "or non-integer",
+                    file=sys.stderr,
+                )
+                return False
+    return True
+
+
+def refresh(baseline_path, current_path):
+    cur = load(current_path)
+    if not validate(cur, "current"):
+        return 2
+    try:
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            # Compact encoding: the same byte format write_bench_json emits,
+            # so refreshed baselines diff cleanly against checked-in ones.
+            json.dump(cur, fh, separators=(",", ":"))
+            fh.write("\n")
+    except OSError as err:
+        print(f"bench_diff: cannot write {baseline_path}: {err}",
+              file=sys.stderr)
+        return 2
+    print(
+        f"bench_diff: refreshed {baseline_path} from {current_path} "
+        f"({len(cur.get('runs', []))} runs)"
+    )
+    return 0
+
+
 def main(argv):
+    if len(argv) == 4 and argv[1] == "--refresh":
+        return refresh(argv[2], argv[3])
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -1,0 +1,281 @@
+// mpcstabd — the long-running query service over the component-stability
+// MPC engine, plus its scripted client.
+//
+//   mpcstabd serve --socket /tmp/mpcstabd.sock [--port 0] \
+//       [--trace-file trace.ndjson] [--max-request-bytes N] [--max-nodes N] \
+//       [--max-machines N] [--json report.json] [--trace]
+//   mpcstabd client (--socket PATH | --connect HOST:PORT) [--timeout SEC] \
+//       REQUEST_JSON... | -
+//
+// The binary is also installed as `mpcstab-client`, which defaults to the
+// client subcommand. Serve drains gracefully on SIGTERM/SIGINT: in-flight
+// requests finish and deliver their results before the process exits 0.
+// Client exit codes: 0 = all requests answered ok, 2 = a structured error
+// event was received, 1 = connection or usage failure.
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/cli.h"
+#include "obs/export.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace mpcstab;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int) { g_signal = 1; }
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  mpcstabd serve --socket PATH [--port N] [--trace-file PATH]\n"
+         "                 [--max-request-bytes N] [--max-nodes N]\n"
+         "                 [--max-machines N] [--json PATH] [--trace]\n"
+         "  mpcstabd client (--socket PATH | --connect HOST:PORT)\n"
+         "                 [--timeout SEC] REQUEST_JSON... | -\n";
+  return 1;
+}
+
+int run_serve(int argc, char** argv) {
+  const obs::HarnessFlags harness = obs::consume_harness_flags(argc, argv);
+  service::ServerOptions opts;
+  opts.json_path = harness.json_path;
+  opts.print_trace = harness.trace;
+  bool tcp = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "mpcstabd: " << flag << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      opts.unix_path = next("--socket");
+    } else if (arg == "--port") {
+      tcp = true;
+      opts.tcp_port = static_cast<std::uint16_t>(
+          std::strtoul(next("--port"), nullptr, 10));
+    } else if (arg == "--trace-file") {
+      opts.trace_path = next("--trace-file");
+    } else if (arg == "--max-request-bytes") {
+      opts.max_line_bytes = std::strtoull(
+          next("--max-request-bytes"), nullptr, 10);
+    } else if (arg == "--max-nodes") {
+      opts.limits.max_nodes =
+          std::strtoull(next("--max-nodes"), nullptr, 10);
+    } else if (arg == "--max-machines") {
+      opts.limits.max_machines =
+          std::strtoull(next("--max-machines"), nullptr, 10);
+    } else {
+      std::cerr << "mpcstabd: unknown serve flag " << arg << "\n";
+      return usage();
+    }
+  }
+  opts.listen_tcp = tcp;
+  service::Server server(std::move(opts));
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "mpcstabd: " << error << "\n";
+    return 1;
+  }
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::cout << "mpcstabd: listening";
+  if (!harness.json_path.empty()) std::cout << " json=" << harness.json_path;
+  if (tcp) std::cout << " tcp=127.0.0.1:" << server.tcp_port();
+  std::cout << "\n" << std::flush;
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "mpcstabd: draining\n" << std::flush;
+  server.begin_drain();
+  server.wait();
+  std::cout << "mpcstabd: drained after " << server.requests_served()
+            << " request(s)\n";
+  return 0;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) return -1;
+  const std::string host = spec.substr(0, colon);
+  const std::string port = spec.substr(colon + 1);
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &result) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  return fd;
+}
+
+int run_client(int argc, char** argv) {
+  std::string unix_path;
+  std::string tcp_spec;
+  long timeout_sec = 120;
+  std::vector<std::string> requests;
+  bool from_stdin = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "mpcstab-client: " << flag << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      unix_path = next("--socket");
+    } else if (arg == "--connect") {
+      tcp_spec = next("--connect");
+    } else if (arg == "--timeout") {
+      timeout_sec = std::strtol(next("--timeout"), nullptr, 10);
+    } else if (arg == "-" || arg == "--stdin") {
+      from_stdin = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "mpcstab-client: unknown flag " << arg << "\n";
+      return usage();
+    } else {
+      requests.emplace_back(arg);
+    }
+  }
+  if (from_stdin) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) requests.push_back(line);
+    }
+  }
+  if ((unix_path.empty() == tcp_spec.empty()) || requests.empty()) {
+    return usage();
+  }
+  const int fd =
+      unix_path.empty() ? connect_tcp(tcp_spec) : connect_unix(unix_path);
+  if (fd < 0) {
+    std::cerr << "mpcstab-client: cannot connect\n";
+    return 1;
+  }
+  for (const std::string& request : requests) {
+    std::string framed = request;
+    framed += '\n';
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        std::cerr << "mpcstab-client: send failed\n";
+        ::close(fd);
+        return 1;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+  // Half-close: the server finishes the buffered requests, answers, then
+  // closes — EOF is the client's end-of-response marker.
+  ::shutdown(fd, SHUT_WR);
+
+  bool saw_error_event = false;
+  std::string buffer;
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(timeout_sec);
+  for (;;) {
+    if (std::chrono::steady_clock::now() > give_up) {
+      std::cerr << "mpcstab-client: timed out after " << timeout_sec
+                << "s\n";
+      ::close(fd);
+      return 1;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;
+    char chunk[8192];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "mpcstab-client: read failed\n";
+      ::close(fd);
+      return 1;
+    }
+    if (n == 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (line.empty()) continue;
+      std::cout << line << "\n";
+      if (const auto doc = obs::parse_json(line);
+          doc.has_value() && doc->str("event") == "error") {
+        saw_error_event = true;
+      }
+    }
+  }
+  std::cout << std::flush;
+  ::close(fd);
+  return saw_error_event ? 2 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string_view invoked = argc > 0 ? argv[0] : "";
+  if (const std::size_t slash = invoked.rfind('/');
+      slash != std::string_view::npos) {
+    invoked = invoked.substr(slash + 1);
+  }
+  // `mpcstab-client` is this binary under its client name.
+  if (invoked == "mpcstab-client") return run_client(argc, argv);
+  if (argc < 2) return usage();
+  const std::string_view command = argv[1];
+  // Shift the subcommand out so run_* see flags at argv[1].
+  for (int i = 1; i + 1 < argc; ++i) argv[i] = argv[i + 1];
+  --argc;
+  if (command == "serve") return run_serve(argc, argv);
+  if (command == "client") return run_client(argc, argv);
+  std::cerr << "mpcstabd: unknown command " << command << "\n";
+  return usage();
+}

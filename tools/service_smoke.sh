@@ -1,0 +1,93 @@
+#!/bin/sh
+# End-to-end smoke test of the mpcstabd service: happy path, request-size
+# admission, space-limit surfacing and graceful SIGTERM drain, driven
+# through mpcstab-client exactly as a deployment would. CI runs this twice:
+# once against the regular build (service-smoke job) and once against
+# build-asan with LeakSanitizer enabled (sanitizers job), so a daemon that
+# leaks threads or file handles on shutdown fails the gate.
+#
+# Usage: service_smoke.sh BUILD_DIR [ARTIFACT_DIR]
+#   BUILD_DIR     cmake build tree containing tools/mpcstabd
+#   ARTIFACT_DIR  where to leave daemon.log/trace.ndjson (default: a tmpdir)
+set -eu
+
+build="${1:?usage: service_smoke.sh BUILD_DIR [ARTIFACT_DIR]}"
+daemon="$build/tools/mpcstabd"
+client="$build/tools/mpcstab-client"
+[ -x "$daemon" ] || { echo "service_smoke: $daemon not built" >&2; exit 2; }
+[ -x "$client" ] || { echo "service_smoke: $client not built" >&2; exit 2; }
+
+work="${2:-$(mktemp -d)}"
+mkdir -p "$work"
+# Keep the socket path short (sockaddr_un caps sun_path ~108 bytes) and
+# independent of ARTIFACT_DIR, which CI may nest deeply.
+sock="/tmp/mpcstab_smoke_$$.sock"
+trace="$work/trace.ndjson"
+dlog="$work/daemon.log"
+
+fail() {
+  echo "service_smoke: FAIL: $*" >&2
+  echo "--- daemon log ---" >&2
+  cat "$dlog" >&2 || true
+  [ -n "${dpid:-}" ] && kill -KILL "$dpid" 2>/dev/null || true
+  exit 1
+}
+
+"$daemon" serve --socket "$sock" --trace-file "$trace" \
+  --max-request-bytes 4096 > "$dlog" 2>&1 &
+dpid=$!
+# Wait for the listener (the daemon prints "listening" once sockets are up).
+i=0
+until grep -q "mpcstabd: listening" "$dlog" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && fail "daemon never started listening"
+  kill -0 "$dpid" 2>/dev/null || fail "daemon exited during startup"
+  sleep 0.1
+done
+
+echo "service_smoke: 1/4 happy path"
+out="$work/happy.out"
+"$client" --socket "$sock" \
+  '{"id":1,"op":"connectivity","graph":{"type":"cycle","n":64}}' \
+  > "$out" || fail "happy-path client exited $?"
+grep -q '"components":1' "$out" || fail "wrong connectivity answer: $(cat "$out")"
+
+echo "service_smoke: 2/4 oversized request is refused, not crashed"
+out="$work/oversized.out"
+awk 'BEGIN { pad = sprintf("%8000s", ""); gsub(/ /, "x", pad);
+             printf "{\"id\":2,\"op\":\"ping\",\"pad\":\"%s\"}\n", pad }' \
+  > "$work/oversized.json"
+rc=0
+"$client" --socket "$sock" - < "$work/oversized.json" > "$out" || rc=$?
+[ "$rc" -eq 2 ] || fail "oversized request: client exited $rc, want 2"
+grep -q '"kind":"Oversized"' "$out" || fail "no Oversized error: $(cat "$out")"
+
+echo "service_smoke: 3/4 space limit surfaces as a structured error"
+out="$work/space.out"
+rc=0
+"$client" --socket "$sock" \
+  '{"id":3,"op":"mis","graph":{"type":"star","n":64},"local_space":8,"machines":4}' \
+  > "$out" || rc=$?
+[ "$rc" -eq 2 ] || fail "space-limit request: client exited $rc, want 2"
+grep -q '"kind":"SpaceLimitError"' "$out" \
+  || fail "no SpaceLimitError: $(cat "$out")"
+kill -0 "$dpid" 2>/dev/null || fail "daemon died on space-limit request"
+
+echo "service_smoke: 4/4 SIGTERM drains the in-flight request"
+out="$work/drain.out"
+"$client" --socket "$sock" \
+  '{"id":4,"op":"connectivity","graph":{"type":"cycle","n":4096},"repeat":60}' \
+  > "$out" &
+cpid=$!
+sleep 0.4
+kill -TERM "$dpid"
+crc=0; wait "$cpid" || crc=$?
+drc=0; wait "$dpid" || drc=$?
+[ "$crc" -eq 0 ] || fail "drained client exited $crc, want 0"
+[ "$drc" -eq 0 ] || fail "daemon exited $drc after SIGTERM, want 0"
+grep -q '"event":"result"' "$out" \
+  || fail "in-flight request lost its result across drain: $(cat "$out")"
+grep -q "mpcstabd: drained" "$dlog" || fail "daemon never reported draining"
+
+[ -s "$trace" ] || fail "trace capture $trace is empty"
+echo "service_smoke: OK ($(wc -l < "$trace") trace lines in $trace)"

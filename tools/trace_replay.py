@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Replay a captured mpcstabd NDJSON trace into per-request summaries.
+
+Usage:
+    trace_replay.py TRACE.ndjson [--request ID]
+
+Reads the server-side capture that `mpcstabd serve --trace-file` writes
+(one JSON object per line, interleaved across connections but `seq`-ordered
+per request) and reconstructs each request's story: op, outcome,
+round/word totals, event count and the top-level span names in execution
+order. With --request ID it instead replays that request's full event
+stream as an indented span tree, one line per event — the offline
+equivalent of watching a `"trace":true` client stream live.
+
+The capture interleaving invariant is checked while reading: within one
+(conn, id) the `seq` numbers must be strictly increasing, so a corrupted
+or hand-edited capture fails loudly instead of summarizing garbage.
+
+Exit codes: 0 = ok, 1 = invariant violation, 2 = usage/I/O error.
+Stdlib only — runs on any CI python3 with no installs.
+"""
+
+import json
+import sys
+
+
+def load_events(path):
+    """Groups capture lines by (conn, id); returns {key: state} in file
+    order, enforcing per-request seq monotonicity."""
+    requests = {}
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError as err:
+        print(f"trace_replay: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    with fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as err:
+                print(f"trace_replay: {path}:{lineno}: {err}",
+                      file=sys.stderr)
+                sys.exit(2)
+            kind = doc.get("capture")
+            key = (doc.get("conn"), doc.get("id"))
+            state = requests.setdefault(
+                key, {"op": "?", "events": [], "last_seq": 0, "done": None})
+            if kind == "request":
+                state["op"] = doc.get("op", "?")
+            elif kind == "event":
+                seq = doc.get("seq", 0)
+                if seq <= state["last_seq"]:
+                    print(
+                        f"trace_replay: {path}:{lineno}: seq {seq} not "
+                        f"increasing for conn={key[0]} id={key[1]} "
+                        f"(last {state['last_seq']})",
+                        file=sys.stderr,
+                    )
+                    sys.exit(1)
+                state["last_seq"] = seq
+                state["events"].append(doc)
+            elif kind == "done":
+                state["done"] = doc
+    return requests
+
+
+def summarize(requests):
+    header = f"{'conn':>4} {'id':>6} {'op':<14} {'outcome':<18} " \
+             f"{'rounds':>7} {'words':>8} {'events':>7}  top-level spans"
+    print(header)
+    print("-" * len(header))
+    for (conn, rid), state in requests.items():
+        done = state["done"] or {}
+        outcome = "ok" if done.get("ok") else done.get("kind") or "?"
+        spans = [e["name"] for e in state["events"]
+                 if e.get("event") == "span_begin" and e.get("depth") == 0]
+        print(f"{conn:>4} {rid:>6} {state['op']:<14} {outcome:<18} "
+              f"{done.get('rounds', 0):>7} {done.get('words', 0):>8} "
+              f"{len(state['events']):>7}  {', '.join(spans) or '-'}")
+
+
+def replay_one(requests, rid):
+    matches = {k: v for k, v in requests.items() if str(k[1]) == str(rid)}
+    if not matches:
+        print(f"trace_replay: no request with id {rid}", file=sys.stderr)
+        return 2
+    for (conn, _), state in matches.items():
+        print(f"request id={rid} conn={conn} op={state['op']}")
+        for event in state["events"]:
+            indent = "  " * (event.get("depth", 0) + 1)
+            kind = event.get("event", "?")
+            detail = f"rounds={event.get('rounds')} words={event.get('words')}"
+            if event.get("max_recv"):
+                detail += f" max_recv={event.get('max_recv')}"
+            print(f"{indent}{kind:<11} {event.get('name', '')}  {detail}")
+        done = state["done"]
+        if done is not None:
+            outcome = "ok" if done.get("ok") else done.get("kind")
+            print(f"  -> {outcome}: rounds={done.get('rounds')} "
+                  f"words={done.get('words')}")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2:
+        summarize(load_events(argv[1]))
+        return 0
+    if len(argv) == 4 and argv[2] == "--request":
+        return replay_one(load_events(argv[1]), argv[3])
+    print(__doc__.strip(), file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
