@@ -8,10 +8,13 @@
 // and go into the report's `info` section, which the gate ignores.
 #include <chrono>
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "service/executor.h"
 #include "service/protocol.h"
+#include "support/thread_pool.h"
 
 using namespace mpcstab;
 using namespace mpcstab::bench;
@@ -105,6 +108,80 @@ int main(int argc, char** argv) {
     proto.add_row({"frame result", std::to_string(kIters),
                    std::to_string(ns(t1, t2) / kIters)});
     proto.print(std::cout, "protocol overhead (info only, not gated)");
+  }
+
+  // Concurrent-clients throughput: the same request mix through the full
+  // service::execute path (admission gate + job-scoped pools), serially
+  // and then from 4 threads at once. Wall clock is host-dependent and
+  // stays info-only — but per-request rounds/words must be bit-identical
+  // between the two, which is the tentpole invariant of concurrent engine
+  // execution and a hard failure here.
+  {
+    constexpr unsigned kClients = 4;
+    std::vector<service::Request> reqs;
+    for (const char* line : kRequests) {
+      reqs.push_back(*service::parse_request(line).request);
+    }
+    const service::AdmissionLimits limits;
+    const auto run_all = [&](std::vector<service::ExecResult>& out) {
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        out[i] = service::execute(reqs[i], {}, limits);
+      }
+    };
+    std::vector<service::ExecResult> serial(reqs.size());
+    const auto s0 = std::chrono::steady_clock::now();
+    run_all(serial);
+    const auto s1 = std::chrono::steady_clock::now();
+
+    service::set_max_concurrent_engines(kClients);
+    std::vector<std::vector<service::ExecResult>> parallel(
+        kClients, std::vector<service::ExecResult>(reqs.size()));
+    const auto c0 = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> clients;
+      for (unsigned c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] { run_all(parallel[c]); });
+      }
+      for (std::thread& t : clients) t.join();
+    }
+    const auto c1 = std::chrono::steady_clock::now();
+    service::set_max_concurrent_engines(0);
+
+    for (unsigned c = 0; c < kClients; ++c) {
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const service::ExecResult& got = parallel[c][i];
+        const service::ExecResult& want = serial[i];
+        if (!got.ok || got.rounds != want.rounds || got.words != want.words ||
+            got.answer_json != want.answer_json) {
+          std::cerr << "bench_service: concurrent client " << c
+                    << " request " << reqs[i].id
+                    << " diverged from the serial baseline\n";
+          return 1;
+        }
+      }
+    }
+
+    const auto ms = [](auto a, auto b) {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(b - a)
+          .count();
+    };
+    const long long serial_ms = ms(s0, s1);
+    const long long concurrent_ms = ms(c0, c1);
+    session.note("service.concurrent_clients", std::to_string(kClients));
+    session.note("service.serial_batch_ms", std::to_string(serial_ms));
+    session.note("service.concurrent_batch_ms",
+                 std::to_string(concurrent_ms));
+    session.note("service.max_engines_default",
+                 std::to_string(service::max_concurrent_engines()));
+    Table conc({"mode", "clients", "requests", "wall_ms"});
+    conc.add_row({"serial", "1", std::to_string(reqs.size()),
+                  std::to_string(serial_ms)});
+    conc.add_row({"concurrent", std::to_string(kClients),
+                  std::to_string(kClients * reqs.size()),
+                  std::to_string(concurrent_ms)});
+    conc.print(std::cout,
+               "concurrent clients, bit-identical accounting "
+               "(info only, not gated)");
   }
   return session.finish();
 }

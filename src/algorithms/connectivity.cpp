@@ -10,6 +10,7 @@
 #include "mpc/batching.h"
 #include "mpc/primitives.h"
 #include "mpc/shuffle.h"
+#include "support/thread_pool.h"
 #include "obs/trace.h"
 #include "support/check.h"
 #include "support/math.h"
@@ -35,6 +36,8 @@ ConnectivityResult hash_to_min_components(Cluster& cluster,
   // (disjoint writes to next[v]) and, when batching is on, the whole run's
   // charges coalesce into one charge_rounds call with the identical total.
   std::vector<Node> next(n);
+  // Sweeps belong to this cluster's job pool (no-op when unset).
+  const PoolScope pool_scope(cluster.pool());
   for (std::uint64_t it = 0; it < max_iterations; ++it) {
     const std::vector<Node>& labels = result.labels;
     parallel_for(n, [&](std::size_t v) {

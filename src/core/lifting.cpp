@@ -371,6 +371,9 @@ BStConnResult b_st_conn(Cluster& cluster, const LegalGraph& h_graph, Node s,
     static obs::Counter& parallel_sims =
         obs::Registry::global().counter("batching.parallel_simulations");
     parallel_sims.add(simulations);
+    // Simulations belong to this cluster's job: dispatch them on its pool
+    // so concurrent lifting requests never contend for one fork-join state.
+    const PoolScope scope(cluster.pool());
     parallel_for(simulations, run_one);
     result.simulations_run = simulations;
   } else {

@@ -20,6 +20,8 @@ std::vector<std::vector<MpcMessage>> Cluster::exchange(
     std::vector<std::vector<MpcMessage>> outboxes) {
   require(outboxes.size() == config_.machines,
           "outboxes must cover every machine");
+  // Route this cluster's loops to its job pool (no-op when unset).
+  const PoolScope scope(pool_.get());
   const std::size_t machines = config_.machines;
   std::vector<std::uint64_t> sent(machines, 0);
   std::vector<std::uint64_t> received(machines, 0);
@@ -54,6 +56,7 @@ std::vector<std::vector<MpcMessage>> Cluster::exchange(
 
 std::vector<std::vector<std::vector<MpcMessage>>> Cluster::exchange_batch(
     std::vector<std::vector<std::vector<MpcMessage>>> waves) {
+  const PoolScope scope(pool_.get());
   const std::size_t machines = config_.machines;
   const std::size_t count = waves.size();
   if (count == 0) return {};

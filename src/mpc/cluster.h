@@ -24,6 +24,7 @@
 
 #include "mpc/config.h"
 #include "obs/trace.h"
+#include "support/thread_pool.h"
 
 namespace mpcstab {
 
@@ -129,6 +130,16 @@ class Cluster {
     return obs::Span(tracer_.get(), name);
   }
 
+  /// Binds a job-scoped worker pool: the cluster's own parallel loops
+  /// (exchange validation/merge, batched waves) dispatch to it, and
+  /// algorithms can scope their per-cluster loops onto it via `pool()`.
+  /// Unset (the default), loops resolve the calling thread's PoolScope or
+  /// the shared default pool — single-job callers need no handle.
+  void set_pool(PoolHandle pool) { pool_ = std::move(pool); }
+
+  /// The bound job pool, or nullptr when none was set.
+  Pool* pool() const { return pool_.get(); }
+
  private:
   /// Accounts one completed round (words, load profile, tracer, metrics)
   /// from the per-machine send/receive volumes, then enforces the S-word
@@ -138,6 +149,7 @@ class Cluster {
                      const std::vector<std::uint64_t>& received);
 
   MpcConfig config_;
+  PoolHandle pool_;  ///< null = resolve via PoolScope / default pool
   std::uint64_t rounds_ = 0;
   std::uint64_t words_moved_ = 0;
   std::vector<std::string> round_log_;

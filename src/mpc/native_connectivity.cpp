@@ -50,6 +50,7 @@ NativeConnectivityResult native_min_label_propagation(
   NativeConnectivityResult result;
   result.labels.resize(n);
   for (Node v = 0; v < n; ++v) result.labels[v] = v;
+  const PoolScope pool_scope(cluster.pool());
   const std::uint64_t start_rounds = cluster.rounds();
   const std::uint64_t start_words = cluster.words_moved();
 

@@ -38,6 +38,8 @@ std::vector<std::vector<MpcMessage>> paced_exchange(
   const std::uint64_t machines = cluster.machines();
   require(outboxes.size() == machines, "one outbox per machine required");
   obs::Span phase = cluster.span("paced-exchange");
+  // The transfer's host-side loops run on the cluster's job pool.
+  const PoolScope pool_scope(cluster.pool());
   static obs::Counter& paced_rounds =
       obs::Registry::global().counter("pacing.paced_rounds");
   static obs::Counter& fragment_count =

@@ -25,6 +25,7 @@ std::uint64_t reduce_to_root(Cluster& cluster,
   const std::uint64_t machines = cluster.machines();
   require(values.size() == machines, "one value per machine required");
   const std::uint64_t fanin = tree_fanin(cluster);
+  const PoolScope pool_scope(cluster.pool());
 
   // Active machines hold partial aggregates; each level groups `fanin`
   // consecutive actives and ships their values to the group leader.
@@ -61,6 +62,7 @@ std::vector<std::uint64_t> broadcast_from_root(Cluster& cluster,
                                                std::uint64_t value) {
   const std::uint64_t machines = cluster.machines();
   const std::uint64_t fanout = tree_fanin(cluster);
+  const PoolScope pool_scope(cluster.pool());
 
   std::vector<std::uint64_t> values(machines, 0);
   values[0] = value;
@@ -134,6 +136,7 @@ std::uint64_t allreduce_argmin(Cluster& cluster,
   // Pack (key, payload) into a comparable pair via two reduce passes over a
   // single combined value is lossy; instead reduce pairs encoded in two
   // words using a custom tree identical to reduce_to_root.
+  const PoolScope pool_scope(cluster.pool());
   const std::uint64_t machines = cluster.machines();
   const std::uint64_t fanin =
       std::max<std::uint64_t>(2, cluster.local_space() / 3);

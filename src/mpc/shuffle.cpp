@@ -42,6 +42,7 @@ std::vector<std::vector<KeyedItem>> route_by_key(
   const std::uint64_t machines = cluster.machines();
   require(shards.size() == machines, "one shard per machine required");
   obs::Span phase = cluster.span("route-by-key");
+  const PoolScope pool_scope(cluster.pool());
   static obs::Counter& routed_items =
       obs::Registry::global().counter("shuffle.routed_items");
   static obs::Counter& paced_rounds =
@@ -150,6 +151,7 @@ std::uint64_t distinct_count(Cluster& cluster,
   const std::uint64_t machines = cluster.machines();
   require(shards.size() == machines, "one shard per machine required");
   obs::Span phase = cluster.span("distinct-count");
+  const PoolScope pool_scope(cluster.pool());
   static obs::Counter& merge_levels =
       obs::Registry::global().counter("shuffle.merge_levels");
 

@@ -269,6 +269,14 @@ Table metrics_table(const Registry& registry, std::size_t top_n) {
 
 namespace {
 
+/// Recursion cap for nested containers. The parser descends once per
+/// `{`/`[` level, so an adversarial "[[[[…" line of a few hundred KB
+/// (well under the service's request-size limit) would otherwise chew
+/// through the whole session-thread stack. Real mpcstab documents nest a
+/// handful of levels; 64 is far beyond any legitimate request and costs
+/// ~64 modest frames worst case.
+constexpr int kMaxJsonDepth = 64;
+
 class JsonParser {
  public:
   explicit JsonParser(std::string_view text) : text_(text) {}
@@ -334,6 +342,8 @@ class JsonParser {
 
   bool parse_object(JsonValue& out) {
     out.kind = JsonValue::Kind::kObject;
+    if (++depth_ > kMaxJsonDepth) return false;
+    const DepthGuard guard(depth_);
     if (!eat('{')) return false;
     skip_ws();
     if (eat('}')) return true;
@@ -355,6 +365,8 @@ class JsonParser {
 
   bool parse_array(JsonValue& out) {
     out.kind = JsonValue::Kind::kArray;
+    if (++depth_ > kMaxJsonDepth) return false;
+    const DepthGuard guard(depth_);
     if (!eat('[')) return false;
     skip_ws();
     if (eat(']')) return true;
@@ -407,23 +419,21 @@ class JsonParser {
           out += '\t';
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return false;
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return false;
-            }
+          if (!parse_hex4(code)) return false;
+          // Surrogate pair: a high surrogate must be followed by an
+          // escaped low surrogate; together they name one supplementary
+          // code point. Unpaired surrogates are malformed.
+          if (code >= 0xd800 && code <= 0xdbff) {
+            if (!eat('\\') || !eat('u')) return false;
+            unsigned low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xdc00 || low > 0xdfff) return false;
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            return false;  // lone low surrogate
           }
-          if (code > 0x7f) return false;  // schema never emits these
-          out += static_cast<char>(code);
+          append_utf8(out, code);
           break;
         }
         default:
@@ -431,6 +441,43 @@ class JsonParser {
       }
     }
     return false;  // unterminated
+  }
+
+  bool parse_hex4(unsigned& code) {
+    if (pos_ + 4 > text_.size()) return false;
+    code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code <= 0x7f) {
+      out += static_cast<char>(code);
+    } else if (code <= 0x7ff) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code <= 0xffff) {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
   }
 
   bool parse_number(JsonValue& out) {
@@ -451,8 +498,17 @@ class JsonParser {
     return true;
   }
 
+  /// Balances the ++depth_ at parse_object/parse_array entry on every
+  /// exit path (success, malformed input, depth overflow).
+  struct DepthGuard {
+    explicit DepthGuard(int& depth) : depth(depth) {}
+    ~DepthGuard() { --depth; }
+    int& depth;
+  };
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

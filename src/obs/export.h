@@ -129,8 +129,11 @@ struct JsonValue {
 };
 
 /// Parses one JSON document (trailing whitespace allowed); nullopt on any
-/// syntax error. Handles the full JSON grammar minus \uXXXX escapes beyond
-/// the ASCII range (sufficient for the schema, which never emits them).
+/// syntax error. Handles the full JSON grammar: \uXXXX escapes decode to
+/// UTF-8 (surrogate pairs included; lone surrogates are rejected), and
+/// container nesting is capped at 64 levels so adversarial "[[[[…" input
+/// fails cleanly instead of overflowing the caller's stack — essential for
+/// the service, which feeds untrusted socket bytes straight through here.
 std::optional<JsonValue> parse_json(std::string_view text);
 
 }  // namespace mpcstab::obs

@@ -1,7 +1,10 @@
 #include "service/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <set>
 #include <utility>
@@ -17,6 +20,7 @@
 #include "obs/registry.h"
 #include "rng/prf.h"
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace mpcstab::service {
 
@@ -26,16 +30,91 @@ namespace {
 /// structured "DeadlineExceeded" error before leaving the executor.
 struct DeadlineExpired {};
 
-/// The engine lock: at most one request drives the worker pool at a time
-/// (see executor.h). timed so deadline'd requests can give up while queued.
-std::timed_mutex& engine_mutex() {
-  static std::timed_mutex mutex;
-  return mutex;
-}
-
 bool deadline_set(std::chrono::steady_clock::time_point deadline) {
   return deadline != std::chrono::steady_clock::time_point{};
 }
+
+/// Explicit set_max_concurrent_engines override; 0 = env/default.
+std::atomic<unsigned> requested_engine_limit{0};
+
+unsigned env_engine_limit() {
+  static const unsigned parsed = [] {
+    const char* raw = std::getenv("MPCSTAB_MAX_ENGINES");
+    if (raw == nullptr || *raw == '\0') return 0u;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(raw, &end, 10);
+    if (end == nullptr || *end != '\0' || value == 0 || value > 256) return 0u;
+    return static_cast<unsigned>(value);
+  }();
+  return parsed;
+}
+
+/// The admission gate: a counting semaphore bounding concurrent engine
+/// jobs. Replaces the old process-wide engine lock — N admitted requests
+/// run simultaneously, each on its own job-scoped pool. The limit is
+/// re-read per admission so set_max_concurrent_engines takes effect
+/// without draining; a queued request with a deadline gives up when it
+/// expires before a slot frees.
+class EngineGate {
+ public:
+  bool enter(std::chrono::steady_clock::time_point deadline) {
+    static obs::Histogram& queue_wait =
+        obs::Registry::global().histogram("engine.queue_wait_ns");
+    static obs::Gauge& concurrency =
+        obs::Registry::global().gauge("engine.concurrency");
+    static obs::Counter& admitted =
+        obs::Registry::global().counter("engine.admitted");
+    static obs::Counter& timeouts =
+        obs::Registry::global().counter("engine.queue_timeouts");
+    const auto queued = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto admissible = [this] {
+      return active_ < max_concurrent_engines();
+    };
+    if (deadline_set(deadline)) {
+      if (!slot_free_.wait_until(lock, deadline, admissible)) {
+        timeouts.add(1);
+        return false;
+      }
+    } else {
+      slot_free_.wait(lock, admissible);
+    }
+    ++active_;
+    concurrency.set(active_);
+    admitted.add(1);
+    queue_wait.observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - queued)
+            .count()));
+    return true;
+  }
+
+  void exit() {
+    static obs::Gauge& concurrency =
+        obs::Registry::global().gauge("engine.concurrency");
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (active_ > 0) --active_;
+      concurrency.set(active_);
+    }
+    slot_free_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable slot_free_;
+  unsigned active_ = 0;
+};
+
+EngineGate& engine_gate() {
+  static EngineGate gate;
+  return gate;
+}
+
+/// RAII gate slot so every exit path (including throws) releases it.
+struct GateSlot {
+  ~GateSlot() { engine_gate().exit(); }
+};
 
 /// hash-to-min on cycles/paths converges in O(log n); this budget leaves
 /// generous headroom while keeping runaway requests bounded.
@@ -167,6 +246,20 @@ std::string run_sensitivity(const Request& req) {
 
 }  // namespace
 
+unsigned max_concurrent_engines() {
+  const unsigned requested =
+      requested_engine_limit.load(std::memory_order_relaxed);
+  if (requested != 0) return requested;
+  if (const unsigned from_env = env_engine_limit(); from_env != 0) {
+    return from_env;
+  }
+  return std::min(4u, global_threads());
+}
+
+void set_max_concurrent_engines(unsigned limit) {
+  requested_engine_limit.store(limit, std::memory_order_relaxed);
+}
+
 ExecResult execute_on(Cluster& cluster, const LegalGraph& g,
                       const Request& req, const ExecOptions& opts) {
   ExecResult out;
@@ -244,8 +337,8 @@ ExecResult execute(const Request& req, const ExecOptions& opts,
                    const AdmissionLimits& limits) {
   ExecResult out;
   out.answer_json = "{}";
-  // Graph-free ops skip the engine entirely (and the engine lock): statusz
-  // must answer even while a long request holds the engine.
+  // Graph-free ops skip the engine entirely (and the admission gate):
+  // statusz must answer even while long requests hold every engine slot.
   if (req.op == "ping" || req.op == "statusz" || req.op == "sensitivity") {
     MpcConfig cfg;
     cfg.n = 2;
@@ -284,18 +377,21 @@ ExecResult execute(const Request& req, const ExecOptions& opts,
         " machines; limit is " + std::to_string(limits.max_machines);
     return out;
   }
-  std::unique_lock<std::timed_mutex> engine(engine_mutex(), std::defer_lock);
-  if (deadline_set(opts.deadline)) {
-    if (!engine.try_lock_until(opts.deadline)) {
-      out.error_kind = "DeadlineExceeded";
-      out.error_message = "deadline expired while queued for the engine";
-      return out;
-    }
-  } else {
-    engine.lock();
+  if (!engine_gate().enter(opts.deadline)) {
+    out.error_kind = "DeadlineExceeded";
+    out.error_message = "deadline expired while queued for the engine";
+    return out;
   }
+  const GateSlot slot;
+  // Each admitted request drives its own job-scoped pool: a fair share of
+  // the process thread budget, bound to the cluster so every engine phase
+  // (exchanges, batching, lifting simulations) resolves it — never the
+  // shared default pool another request might be using.
+  const PoolHandle pool = acquire_job_pool();
+  const PoolScope scope(pool.get());
   const LegalGraph g = LegalGraph::with_identity(std::move(topology));
   Cluster cluster(config);
+  cluster.set_pool(pool);
   return execute_on(cluster, g, req, opts);
 }
 

@@ -1,14 +1,17 @@
 // Request execution for the mpcstabd service: one parsed Request in, one
 // structured result out, with trace events streamed through a caller sink.
 //
-// Concurrency contract: the worker pool behind Cluster::exchange is a
-// single-job fork-join pool (support/thread_pool.h) — two threads calling
-// parallel_for concurrently would corrupt its one-job state. The service
-// therefore serializes *engine* execution behind a process-wide engine
-// lock: sessions parse, admit and stream concurrently, but at most one
-// request drives the Cluster at a time (its internal parallelism still
-// comes from the pool). `execute` takes the lock; `execute_on` does not
-// (single-threaded callers — benches, tests — that own the cluster).
+// Concurrency contract: engine runs execute *concurrently*. Each admitted
+// request owns its seed, graph, cluster, tracer and a job-scoped worker
+// pool (support/thread_pool.h) carved out of the process thread budget, so
+// per-request accounting is bit-identical to a serial run. A counting
+// admission gate bounds how many engine jobs run at once
+// (`max_concurrent_engines`, default min(4, global_threads()), overridable
+// via MPCSTAB_MAX_ENGINES or set_max_concurrent_engines); requests beyond
+// the limit queue at the gate, and a queued request with a deadline gives
+// up with "DeadlineExceeded" when it expires before admission. `execute`
+// passes the gate and acquires the job pool; `execute_on` does neither
+// (callers — benches, tests — that own the cluster and its threading).
 //
 // Deadlines are enforced cooperatively through the tracer's event sink:
 // every exchange/charge checks the deadline, so a deadline expiry surfaces
@@ -58,17 +61,28 @@ struct ExecResult {
   std::optional<obs::RunRecord> record;  ///< when capture_record && ok
 };
 
+/// How many engine jobs may run concurrently. Resolution order:
+/// set_max_concurrent_engines override, then the MPCSTAB_MAX_ENGINES
+/// environment variable, then min(4, global_threads()).
+unsigned max_concurrent_engines();
+
+/// Overrides the concurrent-engine limit (0 restores env/default
+/// resolution). Takes effect for requests admitted after the call; jobs
+/// already past the gate finish under the limit they were admitted with.
+void set_max_concurrent_engines(unsigned limit);
+
 /// Runs the op on a caller-provided cluster (tracing is enabled by this
-/// call). No engine lock, no admission control — the caller is
-/// single-threaded and already sized the deployment. The graph must match
-/// the request (benches pass the one they built).
+/// call). No admission gate, no job pool — the caller owns the cluster's
+/// threading and already sized the deployment. The graph must match the
+/// request (benches pass the one they built).
 ExecResult execute_on(Cluster& cluster, const LegalGraph& g,
                       const Request& req, const ExecOptions& opts);
 
 /// Full service path: builds the graph, applies admission control, resolves
-/// the deployment, takes the engine lock (respecting the deadline while
-/// waiting) and runs the op on a fresh traced cluster. Never throws for
-/// request-induced failures — they come back as structured errors.
+/// the deployment, passes the concurrency gate (respecting the deadline
+/// while queued), acquires a job-scoped worker pool and runs the op on a
+/// fresh traced cluster. Never throws for request-induced failures — they
+/// come back as structured errors.
 ExecResult execute(const Request& req, const ExecOptions& opts,
                    const AdmissionLimits& limits);
 

@@ -1,16 +1,18 @@
 // The mpcstabd server: accepts newline-delimited JSON requests over a
 // Unix-domain and/or loopback TCP socket, executes them through
-// service::execute (engine-serialized; see executor.h) and streams
-// per-request NDJSON responses — and, when requested, live trace events —
-// back to each client.
+// service::execute (concurrent engine runs behind a counting admission
+// gate; see executor.h) and streams per-request NDJSON responses — and,
+// when requested, live trace events — back to each client.
 //
 // Threading model: one accept thread plus one thread per connection.
-// Session threads do all their own I/O and parsing concurrently; only the
-// engine phase of each request is serialized (executor engine lock). A
-// shared capture file (ServerOptions::trace_path) receives every request's
-// trace events as NDJSON, interleaved across connections but sequenced per
-// request (`seq` is per-request monotone), which is what CI uploads as the
-// service-smoke artifact.
+// Session threads do all their own I/O and parsing concurrently, and up to
+// max_concurrent_engines() requests drive the engine simultaneously, each
+// on its own job-scoped worker pool (requests beyond the limit queue at
+// the executor's admission gate). A shared capture file
+// (ServerOptions::trace_path) receives every request's trace events as
+// NDJSON, interleaved across connections but sequenced per request (`seq`
+// is per-request monotone), which is what CI uploads as the service-smoke
+// artifact.
 //
 // Shutdown: begin_drain() stops accepting, lets in-flight requests finish
 // (their results are still delivered), sends each client a {"event":"bye"}

@@ -9,16 +9,19 @@
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/registry.h"
+#include "support/check.h"
 
 namespace mpcstab {
 
 namespace {
 
 /// True while the current thread is executing a parallel_for chunk: nested
-/// parallel_for calls must run serially (the pool holds one job at a time).
+/// parallel_for calls must run serially (a fork-join pool cannot re-enter
+/// its own barrier).
 thread_local bool inside_parallel_region = false;
 
 struct RegionGuard {
@@ -26,12 +29,22 @@ struct RegionGuard {
   ~RegionGuard() { inside_parallel_region = false; }
 };
 
+/// The calling thread's current pool (bound by PoolScope); nullptr = use
+/// the shared default pool.
+thread_local Pool* current_pool = nullptr;
+
 /// Grain when no pooled job has been measured yet (machine-independent
 /// floor; the histogram refines it as soon as dispatch costs are known).
 constexpr std::size_t kDefaultGrain = 16;
 
 /// Explicit set_parallel_grain override; 0 = resolve from env/histogram.
 std::atomic<std::size_t> requested_grain{0};
+
+/// Jobs (pooled or serial-fallback) currently inside Pool::run across all
+/// pools, plus outstanding job-pool handles. Nonzero blocks
+/// set_global_threads — resizing under live jobs would tear down workers
+/// mid-barrier.
+std::atomic<unsigned> runs_in_flight{0};
 
 std::size_t env_grain() {
   static const std::size_t parsed = [] {
@@ -76,19 +89,21 @@ std::size_t resolve_grain(const obs::Histogram& wait_ns) {
   return calibrated_grain(wait_ns);
 }
 
-/// Persistent pool: workers sleep on a condition variable between
-/// parallel_for calls. One job at a time (parallel_for is a full barrier),
-/// which keeps the synchronisation dead simple and the dispatch overhead
-/// low enough for the simulator's many small rounds.
-class Pool {
- public:
-  explicit Pool(unsigned threads) : threads_(threads) {
+}  // namespace
+
+/// Persistent fork-join state: workers sleep on a condition variable
+/// between run() calls. One job at a time per pool (run is a full
+/// barrier, and concurrent callers serialize on run_mutex_), which keeps
+/// the synchronisation dead simple and the dispatch overhead low enough
+/// for the simulator's many small rounds.
+struct Pool::Impl {
+  explicit Impl(unsigned threads) : threads_(std::max(1u, threads)) {
     for (unsigned t = 0; t + 1 < threads_; ++t) {
       workers_.emplace_back([this, t] { worker_loop(t + 1); });
     }
   }
 
-  ~Pool() {
+  ~Impl() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       stop_ = true;
@@ -96,8 +111,6 @@ class Pool {
     wake_.notify_all();
     for (std::thread& w : workers_) w.join();
   }
-
-  unsigned threads() const { return threads_; }
 
   void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
     if (n == 0) return;
@@ -110,15 +123,23 @@ class Pool {
         obs::Registry::global().counter("pool.serial_fallback");
     static obs::Histogram& wait_ns =
         obs::Registry::global().histogram("pool.task_wait_ns");
-    // Nested region (the pool holds one job at a time) or a loop too small
-    // to amortize the dispatch+barrier cost: run serially on this thread.
-    // Same iteration order, same results — only the dispatch is skipped.
+    // Nested region (a fork-join barrier cannot re-enter itself) or a loop
+    // too small to amortize the dispatch+barrier cost: run serially on this
+    // thread. Same iteration order, same results — only the dispatch is
+    // skipped.
     if (inside_parallel_region ||
         (threads_ > 1 && n < resolve_grain(wait_ns))) {
       serial_fallback.add(1);
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
+    runs_in_flight.fetch_add(1, std::memory_order_relaxed);
+    const auto in_flight_release = [](std::atomic<unsigned>* c) {
+      c->fetch_sub(1, std::memory_order_relaxed);
+    };
+    const std::unique_ptr<std::atomic<unsigned>,
+                          decltype(in_flight_release)>
+        in_flight(&runs_in_flight, in_flight_release);
     const unsigned used =
         static_cast<unsigned>(std::min<std::size_t>(threads_, n));
     if (used <= 1) {
@@ -126,6 +147,10 @@ class Pool {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
+    // One job at a time per pool: a second orchestration thread landing on
+    // the same pool (e.g. scope-less callers sharing the default pool)
+    // queues here instead of corrupting the job state below.
+    std::lock_guard<std::mutex> job_guard(run_mutex_);
     jobs.add(1);
     const auto dispatched = std::chrono::steady_clock::now();
     {
@@ -155,7 +180,6 @@ class Pool {
             .count()));
   }
 
- private:
   void worker_loop(unsigned id) {
     std::uint64_t seen = 0;
     for (;;) {
@@ -193,6 +217,7 @@ class Pool {
 
   const unsigned threads_;
   std::vector<std::thread> workers_;
+  std::mutex run_mutex_;  ///< serializes whole jobs on this pool
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
@@ -205,9 +230,21 @@ class Pool {
   std::vector<std::exception_ptr> errors_;
 };
 
+Pool::Pool(unsigned threads) : impl_(std::make_unique<Impl>(threads)) {}
+
+Pool::~Pool() = default;
+
+unsigned Pool::threads() const { return impl_->threads_; }
+
+void Pool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  impl_->run(n, fn);
+}
+
+namespace {
+
 unsigned resolve_default_threads() {
-  // MPCSTAB_THREADS pins the pool size (CI reproducibility, wall-clock
-  // A/B runs); otherwise the hardware decides.
+  // MPCSTAB_THREADS pins the budget (CI reproducibility, wall-clock A/B
+  // runs); otherwise the hardware decides.
   if (const char* raw = std::getenv("MPCSTAB_THREADS");
       raw != nullptr && *raw != '\0') {
     char* end = nullptr;
@@ -222,27 +259,121 @@ unsigned resolve_default_threads() {
   return std::max(1u, std::min(hw == 0 ? 1u : hw, 8u));
 }
 
-std::mutex pool_mutex;
-Pool* pool_instance = nullptr;
-unsigned requested_threads = 0;  // 0 = hardware default
+/// Budget bookkeeping: the default pool, the job counter and the idle-pool
+/// cache all live behind one mutex — every operation here is per *job*
+/// (request), not per dispatch.
+struct Budget {
+  std::mutex mutex;
+  unsigned requested = 0;  ///< 0 = hardware default
+  Pool* default_pool = nullptr;
+  unsigned jobs = 0;  ///< outstanding job-pool handles
+  std::vector<std::unique_ptr<Pool>> cache;  ///< parked idle job pools
+};
 
-Pool& pool() {
-  std::lock_guard<std::mutex> lock(pool_mutex);
-  if (pool_instance == nullptr) {
-    const unsigned t =
-        requested_threads == 0 ? resolve_default_threads() : requested_threads;
-    pool_instance = new Pool(t);
+Budget& budget() {
+  static Budget instance;
+  return instance;
+}
+
+/// Caps how many idle pools the daemon parks between requests; beyond it
+/// excess pools (and their threads) are torn down on release.
+constexpr std::size_t kMaxCachedPools = 8;
+
+unsigned resolved_budget_locked(Budget& b) {
+  return b.requested == 0 ? resolve_default_threads() : b.requested;
+}
+
+Pool& default_pool() {
+  Budget& b = budget();
+  std::lock_guard<std::mutex> lock(b.mutex);
+  if (b.default_pool == nullptr) {
+    b.default_pool = new Pool(resolved_budget_locked(b));
   }
-  return *pool_instance;
+  return *b.default_pool;
 }
 
 }  // namespace
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
-  pool().run(n, fn);
+PoolHandle acquire_job_pool() {
+  static obs::Counter& acquired =
+      obs::Registry::global().counter("pool.jobs_acquired");
+  static obs::Gauge& active = obs::Registry::global().gauge("pool.active_jobs");
+  static obs::Histogram& widths =
+      obs::Registry::global().histogram("pool.job_threads");
+  Budget& b = budget();
+  std::unique_ptr<Pool> pool;
+  unsigned share = 1;
+  {
+    std::lock_guard<std::mutex> lock(b.mutex);
+    ++b.jobs;
+    // Partition the budget across the jobs active right now. Earlier jobs
+    // keep the (wider) share they were granted; the narrower share of a
+    // late arrival bounds the transient oversubscription, and idle workers
+    // cost only a sleeping thread.
+    share = std::max(1u, resolved_budget_locked(b) / b.jobs);
+    for (auto it = b.cache.begin(); it != b.cache.end(); ++it) {
+      if ((*it)->threads() == share) {
+        pool = std::move(*it);
+        b.cache.erase(it);
+        break;
+      }
+    }
+    active.set(b.jobs);
+  }
+  runs_in_flight.fetch_add(1, std::memory_order_relaxed);
+  if (pool == nullptr) pool = std::make_unique<Pool>(share);
+  acquired.add(1);
+  widths.observe(share);
+  return PoolHandle(pool.release(), [](Pool* released) {
+    Budget& owner = budget();
+    std::unique_ptr<Pool> retire;  // deleted (joining workers) outside lock
+    {
+      std::lock_guard<std::mutex> lock(owner.mutex);
+      if (owner.jobs > 0) --owner.jobs;
+      if (owner.cache.size() < kMaxCachedPools) {
+        owner.cache.emplace_back(released);
+      } else {
+        retire.reset(released);
+      }
+      static obs::Gauge& active_gauge =
+          obs::Registry::global().gauge("pool.active_jobs");
+      active_gauge.set(owner.jobs);
+    }
+    runs_in_flight.fetch_sub(1, std::memory_order_relaxed);
+  });
 }
 
-unsigned global_threads() { return pool().threads(); }
+unsigned active_jobs() {
+  Budget& b = budget();
+  std::lock_guard<std::mutex> lock(b.mutex);
+  return b.jobs;
+}
+
+PoolScope::PoolScope(Pool* pool) {
+  if (pool == nullptr) return;
+  previous_ = current_pool;
+  current_pool = pool;
+  bound_ = true;
+}
+
+PoolScope::~PoolScope() {
+  if (bound_) current_pool = previous_;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  Pool* pool = current_pool;
+  if (pool != nullptr) {
+    pool->run(n, fn);
+  } else {
+    default_pool().run(n, fn);
+  }
+}
+
+unsigned global_threads() {
+  Budget& b = budget();
+  std::lock_guard<std::mutex> lock(b.mutex);
+  return resolved_budget_locked(b);
+}
 
 std::size_t parallel_grain() {
   return resolve_grain(obs::Registry::global().histogram("pool.task_wait_ns"));
@@ -253,14 +384,21 @@ void set_parallel_grain(std::size_t grain) {
 }
 
 void set_global_threads(unsigned threads) {
+  Budget& b = budget();
   Pool* old = nullptr;
+  std::vector<std::unique_ptr<Pool>> drained;
   {
-    std::lock_guard<std::mutex> lock(pool_mutex);
-    requested_threads = threads;
-    old = pool_instance;
-    pool_instance = nullptr;
+    std::lock_guard<std::mutex> lock(b.mutex);
+    require(b.jobs == 0 && runs_in_flight.load(std::memory_order_relaxed) == 0,
+            "cannot resize the worker-thread budget while engine jobs are "
+            "active — drain the service first");
+    b.requested = threads;
+    old = b.default_pool;
+    b.default_pool = nullptr;
+    drained.swap(b.cache);  // cached pools carry the old width
   }
   delete old;
+  drained.clear();
 }
 
 }  // namespace mpcstab

@@ -1,42 +1,119 @@
-// A small persistent worker pool for the simulator's host-side parallelism.
-// The MPC *model* stays synchronous and deterministic; the pool only speeds
+// Worker pools for the simulator's host-side parallelism.
+// The MPC *model* stays synchronous and deterministic; pools only speed
 // up the simulation of independent per-machine work (outbox construction,
 // validation, inbox application). Every parallel loop in the library writes
 // to disjoint slots and merges in fixed machine order, so results are
 // bit-identical to serial execution — `set_global_threads(1)` forces the
 // serial path for A/B tests.
+//
+// Concurrency model: the process owns a fixed *thread budget*
+// (`global_threads()`). Independent jobs — one engine request each in the
+// mpcstabd service — acquire their own `Pool` via `acquire_job_pool()`,
+// which partitions the budget across the jobs active at acquisition time,
+// and bind it to their orchestration thread with a `PoolScope`.
+// `parallel_for` is a thin wrapper that resolves the calling thread's
+// current pool (falling back to a shared default pool for scope-less
+// callers: benches, tests, single-job tools), so N engine runs execute
+// concurrently without sharing any fork-join state.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 
 namespace mpcstab {
 
-/// Runs `fn(i)` for every i in [0, n), partitioned into contiguous chunks
-/// across the global worker pool. Blocks until all iterations finish. If
-/// any iteration throws, the exception from the lowest-indexed chunk is
-/// rethrown (deterministically) after all workers stop.
-///
-/// Loops below the minimum-work grain threshold (see parallel_grain) run
-/// serially on the calling thread — the pool's dispatch+barrier cost
-/// (measured by the `pool.task_wait_ns` histogram) dwarfs the work of a
-/// handful of iterations. Nested calls (fn itself calling parallel_for)
-/// also run serially instead of corrupting the single-job pool. Both
-/// fallbacks are recorded in `pool.serial_fallback`; results are identical
-/// either way.
-///
-/// `fn` must only write to state owned by iteration i (or otherwise
-/// disjoint per-iteration slots); the caller merges in fixed order.
+/// A persistent fork-join worker pool. `run` is a full barrier: it blocks
+/// until all iterations finish. A pool serializes its own jobs internally
+/// (concurrent `run` calls on one pool queue behind a mutex rather than
+/// corrupting each other), but the intended use is one orchestration thread
+/// per pool — concurrency comes from *multiple pools*, each owning a slice
+/// of the process thread budget.
+class Pool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread is worker 0).
+  explicit Pool(unsigned threads);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  unsigned threads() const;
+
+  /// Runs `fn(i)` for every i in [0, n), partitioned into contiguous chunks
+  /// across this pool's workers. Blocks until all iterations finish. If any
+  /// iteration throws, the exception from the lowest-indexed chunk is
+  /// rethrown (deterministically) after all workers stop.
+  ///
+  /// Loops below the minimum-work grain threshold (see parallel_grain) run
+  /// serially on the calling thread — the pool's dispatch+barrier cost
+  /// (measured by the `pool.task_wait_ns` histogram) dwarfs the work of a
+  /// handful of iterations. Nested calls (fn itself calling parallel_for or
+  /// Pool::run) also run serially. Both fallbacks are recorded in
+  /// `pool.serial_fallback`; results are identical either way.
+  ///
+  /// `fn` must only write to state owned by iteration i (or otherwise
+  /// disjoint per-iteration slots); the caller merges in fixed order.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Shared ownership of a job-scoped pool. Dropping the last reference
+/// releases the job's budget slot (the pool itself is parked in a small
+/// cache so long-running daemons reuse threads across requests).
+using PoolHandle = std::shared_ptr<Pool>;
+
+/// Acquires a pool for one engine job. The process thread budget
+/// (`global_threads()`) is partitioned across active jobs at acquisition
+/// time: a job admitted while `a` jobs are already active receives
+/// max(1, budget / (a + 1)) threads. Jobs already running keep their width
+/// — the transient oversubscription is bounded and idle workers sleep on a
+/// condition variable. Pools are recycled through an internal cache keyed
+/// by width, so the daemon's steady state spawns no threads per request.
+/// Observability: `pool.jobs_acquired`, `pool.active_jobs` (gauge),
+/// `pool.job_threads` (histogram of granted widths).
+PoolHandle acquire_job_pool();
+
+/// Number of job pools currently outstanding (acquired, not yet released).
+unsigned active_jobs();
+
+/// Binds `pool` as the calling thread's current pool for the scope's
+/// lifetime: every `parallel_for` on this thread dispatches to it. Scopes
+/// nest (the previous binding is restored); a null pool leaves the current
+/// binding untouched, so call sites need no branches.
+class PoolScope {
+ public:
+  explicit PoolScope(Pool* pool);
+  ~PoolScope();
+
+  PoolScope(const PoolScope&) = delete;
+  PoolScope& operator=(const PoolScope&) = delete;
+
+ private:
+  Pool* previous_ = nullptr;
+  bool bound_ = false;
+};
+
+/// Runs `fn(i)` for every i in [0, n) on the calling thread's current pool
+/// (see PoolScope) or, when no scope is bound, on the shared default pool.
+/// Semantics are exactly Pool::run.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
-/// Number of worker threads the global pool uses (>= 1). Resolved once from
-/// the MPCSTAB_THREADS environment variable if set, else
+/// The process thread budget (>= 1): the width of the default pool and the
+/// quantity acquire_job_pool partitions. Resolved once from the
+/// MPCSTAB_THREADS environment variable if set, else
 /// std::thread::hardware_concurrency(), unless overridden.
 unsigned global_threads();
 
-/// Overrides the global pool size; 1 disables parallelism (pure serial
+/// Overrides the thread budget; 1 disables parallelism (pure serial
 /// execution on the calling thread), 0 restores the hardware default.
-/// Recreates the pool; not safe to call concurrently with parallel_for.
+/// Drops the default pool and the job-pool cache so the new width applies
+/// to every subsequent job. Fails loudly (PreconditionError) while any job
+/// pool is outstanding or a parallel_for is in flight — a live daemon must
+/// drain before resizing.
 void set_global_threads(unsigned threads);
 
 /// The minimum-work grain threshold: parallel_for loops with fewer than
@@ -49,6 +126,8 @@ void set_global_threads(unsigned threads);
 std::size_t parallel_grain();
 
 /// Overrides the grain threshold (0 restores env/calibrated resolution).
+/// Safe to call concurrently with parallel_for: the override is a single
+/// atomic, re-read by every dispatch.
 void set_parallel_grain(std::size_t grain);
 
 }  // namespace mpcstab

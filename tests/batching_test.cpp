@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "algorithms/connectivity.h"
@@ -365,6 +366,101 @@ TEST(GrainThreshold, ResolutionOrderAndRestore) {
   set_parallel_grain(0);
   // Env/calibrated fallback: some positive threshold, never zero.
   EXPECT_GT(parallel_grain(), 0u);
+}
+
+// --- job-scoped pools -------------------------------------------------------
+
+TEST(JobPools, BudgetPartitionsAcrossActiveJobs) {
+  set_global_threads(4);
+  EXPECT_EQ(active_jobs(), 0u);
+  {
+    // The first job gets the whole budget; a second concurrent job gets
+    // the budget divided by the jobs active at its acquisition.
+    const PoolHandle first = acquire_job_pool();
+    EXPECT_EQ(first->threads(), 4u);
+    EXPECT_EQ(active_jobs(), 1u);
+    const PoolHandle second = acquire_job_pool();
+    EXPECT_EQ(second->threads(), 2u);
+    EXPECT_EQ(active_jobs(), 2u);
+    const PoolHandle third = acquire_job_pool();
+    EXPECT_EQ(third->threads(), 1u);
+    EXPECT_EQ(active_jobs(), 3u);
+  }
+  EXPECT_EQ(active_jobs(), 0u);
+  set_global_threads(0);
+}
+
+TEST(JobPools, PoolScopeRoutesParallelForBitIdentically) {
+  set_global_threads(4);
+  set_parallel_grain(1);
+  std::vector<std::uint64_t> serial(4096, 0);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    serial[i] = splitmix64(i);
+  }
+  {
+    const PoolHandle pool = acquire_job_pool();
+    const PoolScope scope(pool.get());
+    std::vector<std::uint64_t> pooled(serial.size(), 0);
+    parallel_for(pooled.size(),
+                 [&](std::size_t i) { pooled[i] = splitmix64(i); });
+    EXPECT_EQ(pooled, serial);
+    // Nested calls inside a job pool still fall back to serial, same as
+    // on the default pool.
+    std::vector<std::uint64_t> sums(32, 0);
+    parallel_for(sums.size(), [&](std::size_t i) {
+      std::vector<std::uint64_t> inner(64, 0);
+      parallel_for(inner.size(), [&](std::size_t j) { inner[j] = i + j; });
+      for (std::uint64_t v : inner) sums[i] += v;
+    });
+    for (std::size_t i = 0; i < sums.size(); ++i) {
+      EXPECT_EQ(sums[i], 64 * i + 2016);
+    }
+  }
+  set_parallel_grain(0);
+  set_global_threads(0);
+}
+
+TEST(JobPools, NullScopeIsANoOpAndDefaultPoolStillServes) {
+  const PoolScope scope(nullptr);  // e.g. Cluster without a bound pool
+  std::vector<std::uint64_t> out(2048, 0);
+  parallel_for(out.size(), [&](std::size_t i) { out[i] = i * 3; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 3);
+}
+
+TEST(JobPools, ResizingTheBudgetWhileAJobIsActiveThrows) {
+  set_global_threads(4);
+  {
+    const PoolHandle held = acquire_job_pool();
+    EXPECT_THROW(set_global_threads(2), PreconditionError);
+    EXPECT_EQ(global_threads(), 4u) << "failed resize must not change the budget";
+  }
+  // Released: resizing works again.
+  set_global_threads(2);
+  EXPECT_EQ(global_threads(), 2u);
+  set_global_threads(0);
+}
+
+TEST(JobPools, ClusterBoundPoolDrivesItsExchanges) {
+  // Two clusters on two job pools produce the same accounting as two
+  // clusters with no pool at all — the pool handle changes host threading
+  // only, never the model's numbers.
+  const Graph g = cycle_graph(96);
+  const auto run = [&](bool scoped) {
+    Cluster cluster = make_cluster(8, 64);
+    PoolHandle pool;
+    if (scoped) {
+      pool = acquire_job_pool();
+      cluster.set_pool(pool);
+    }
+    const ConnectivityResult r =
+        hash_to_min_components(cluster, identity(g), 64);
+    return std::tuple(r.labels, cluster.rounds(), cluster.words_moved());
+  };
+  const auto baseline = run(false);
+  const auto pooled = run(true);
+  EXPECT_EQ(std::get<0>(baseline), std::get<0>(pooled));
+  EXPECT_EQ(std::get<1>(baseline), std::get<1>(pooled));
+  EXPECT_EQ(std::get<2>(baseline), std::get<2>(pooled));
 }
 
 // --- Batcher bookkeeping ----------------------------------------------------

@@ -293,6 +293,58 @@ TEST(Export, ParseJsonHandlesTheGrammar) {
   EXPECT_FALSE(obs::parse_json("[1,2] trailing").has_value());
 }
 
+TEST(Export, ParseJsonDecodesUnicodeEscapesToUtf8) {
+  // ASCII, two-byte, three-byte (BMP) and four-byte (surrogate pair)
+  // code points, in both hex cases.
+  const auto v = obs::parse_json(
+      "{\"a\":\"\\u0041\",\"e\":\"\\u00e9\",\"euro\":\"\\u20AC\","
+      "\"clef\":\"\\uD834\\uDD1E\"}");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->str("a"), "A");
+  EXPECT_EQ(v->str("e"), "\xc3\xa9");          // U+00E9 é
+  EXPECT_EQ(v->str("euro"), "\xe2\x82\xac");   // U+20AC €
+  EXPECT_EQ(v->str("clef"), "\xf0\x9d\x84\x9e");  // U+1D11E 𝄞
+  // Lone or mispaired surrogates are malformed, not silently passed.
+  EXPECT_FALSE(obs::parse_json(R"({"x":"\ud834"})").has_value());
+  EXPECT_FALSE(obs::parse_json(R"({"x":"\udd1e"})").has_value());
+  EXPECT_FALSE(obs::parse_json(R"({"x":"\ud834A"})").has_value());
+}
+
+TEST(Export, ParseJsonCapsNestingDepth) {
+  const auto nested = [](std::size_t depth) {
+    std::string doc(depth, '[');
+    doc.append(depth, ']');
+    return doc;
+  };
+  EXPECT_TRUE(obs::parse_json(nested(64)).has_value());
+  EXPECT_FALSE(obs::parse_json(nested(65)).has_value());
+  // The attack shape: a deep unterminated prefix, as cheap to send as it
+  // is to type. Must return nullopt, not overflow the stack.
+  EXPECT_FALSE(obs::parse_json(std::string(200000, '[')).has_value());
+  EXPECT_FALSE(obs::parse_json(nested(200000)).has_value());
+  // Depth counts nesting, not sibling containers.
+  EXPECT_TRUE(obs::parse_json(
+                  R"({"a":[1,2],"b":[3,4],"c":{"d":[5]},"e":[[6]]})")
+                  .has_value());
+}
+
+TEST(Export, TraceEventJsonUnicodeRoundTripsThroughTheParser) {
+  // json_escape emits control characters as \uXXXX; the parser must decode
+  // exactly what the trace emitter produces.
+  obs::TraceEvent event;
+  event.kind = obs::TraceEvent::Kind::kSpanBegin;
+  event.name = "phase\x01with\tcontrol\x1f";
+  const std::string line = "{" + obs::trace_event_json(event) + "}";
+  const auto doc = obs::parse_json(line);
+  ASSERT_TRUE(doc.has_value()) << line;
+  EXPECT_EQ(doc->str("name"), event.name);
+  // And raw UTF-8 passes through the escape/parse cycle byte-identical.
+  event.name = "caf\xc3\xa9 \xe2\x82\xac \xf0\x9d\x84\x9e";
+  const auto doc2 = obs::parse_json("{" + obs::trace_event_json(event) + "}");
+  ASSERT_TRUE(doc2.has_value());
+  EXPECT_EQ(doc2->str("name"), event.name);
+}
+
 TEST(Export, BenchReportRoundTripsThroughTheParser) {
   const LegalGraph g = LegalGraph::with_identity(cycle_graph(32));
   Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));

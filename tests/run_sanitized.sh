@@ -1,23 +1,62 @@
 #!/bin/sh
-# Build the whole tree under ASan+UBSan and run the test suite. This is the
-# configuration CI uses to race/UB-check the threaded round engine (the
-# worker pool behind Cluster::exchange and the paced shuffle). Equivalent to
-# `cmake --preset asan-ubsan && cmake --build --preset asan-ubsan &&
-# ctest --preset asan-ubsan` for CMake versions without preset support.
+# Build the tree under a sanitizer and run the test suite.
+#
+#   tests/run_sanitized.sh [asan|tsan]
+#
+# asan (the default) builds everything under ASan+UBSan — the configuration
+# CI uses to race/UB-check the threaded round engine (the worker pools
+# behind Cluster::exchange and the paced shuffle) — then runs the full
+# ctest suite and the end-to-end daemon smoke.
+#
+# tsan builds under ThreadSanitizer and runs the concurrency-heavy suites
+# (round engine, batching/job pools, service) — the configuration CI uses
+# to race-check concurrent engine execution: job-scoped pools, the
+# executor's admission gate and the daemon's thread-per-connection front
+# door. Equivalent to `cmake --preset <p> && cmake --build --preset <p> &&
+# ctest --preset <p>` for CMake versions without preset support.
 set -eu
 
+mode="${1:-asan}"
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="$repo/build-asan"
 jobs="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
-# --fresh drops any stale cache in build-asan (e.g. from an earlier
-# non-sanitized configure of the same directory) so the sanitizer flags are
-# guaranteed to apply; the directory matches the asan-ubsan preset's
-# binaryDir, so preset users and this script share one build tree.
+case "$mode" in
+  asan)
+    build="$repo/build-asan"
+    sanitize="address-undefined"
+    ;;
+  tsan)
+    build="$repo/build-tsan"
+    sanitize="thread"
+    ;;
+  *)
+    echo "usage: tests/run_sanitized.sh [asan|tsan]" >&2
+    exit 2
+    ;;
+esac
+
+# --fresh drops any stale cache (e.g. from an earlier differently-sanitized
+# configure of the same directory) so the sanitizer flags are guaranteed to
+# apply; the directories match the presets' binaryDir, so preset users and
+# this script share one build tree per mode.
 cmake --fresh -B "$build" -S "$repo" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DMPCSTAB_SANITIZE=address-undefined
+  -DMPCSTAB_SANITIZE="$sanitize"
 cmake --build "$build" -j "$jobs"
+
+if [ "$mode" = "tsan" ]; then
+  # The concurrency surface: the fork-join pools and nested-serial guard
+  # (round_engine_test via the engine paths, batching_test's JobPools and
+  # GrainThreshold suites), and the service's admission gate + concurrent
+  # clients over live sockets (service_test). halt_on_error turns the
+  # first race into a test failure instead of a warning.
+  for t in round_engine_test batching_test service_test; do
+    echo "== tsan: $t"
+    TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      "$build/tests/$t"
+  done
+  exit 0
+fi
 
 # detect_leaks=1 is explicit (it is the Linux default) because the service
 # daemon's shutdown path is a deliberate leak check: Server::wait() must
@@ -28,9 +67,10 @@ UBSAN_OPTIONS="print_stacktrace=1" \
   ctest --test-dir "$build" --output-on-failure -j "$jobs"
 
 # End-to-end daemon smoke under ASan+LSan: start mpcstabd, drive it with
-# mpcstab-client (happy path, oversized request, space limit, SIGTERM
-# drain). LSan makes the daemon exit non-zero on any shutdown leak, which
-# service_smoke.sh turns into a failure.
+# mpcstab-client (happy path, deep-nesting bad request, oversized request,
+# space limit, concurrent clients, SIGTERM drain). LSan makes the daemon
+# exit non-zero on any shutdown leak, which service_smoke.sh turns into a
+# failure.
 ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1:detect_leaks=1" \
 UBSAN_OPTIONS="print_stacktrace=1" \
   "$repo/tools/service_smoke.sh" "$build"

@@ -8,10 +8,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -24,6 +27,7 @@
 #include "service/protocol.h"
 #include "service/server.h"
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace mpcstab::service {
 namespace {
@@ -199,6 +203,116 @@ TEST(Executor, SinkStreamsPerRequestOrderedEvents) {
   EXPECT_EQ(names.front(), "connectivity");
 }
 
+// Restores the configured engine-concurrency limit when a test returns or
+// fails partway (a leaked override would change later tests' admission).
+struct EngineLimitOverride {
+  explicit EngineLimitOverride(unsigned limit) {
+    set_max_concurrent_engines(limit);
+  }
+  ~EngineLimitOverride() { set_max_concurrent_engines(0); }
+};
+
+TEST(Executor, ConcurrentRequestsAreBitIdenticalToSerialRuns) {
+  // Four distinct requests (different ops, sizes and seeds), each with a
+  // serial baseline taken one-at-a-time, then all four fired from four
+  // threads with the gate wide open. Every request owns its seed, graph,
+  // cluster and job-scoped pool, so per-request rounds/words/answers must
+  // be bit-identical to the serial baselines no matter how the host
+  // interleaves the jobs.
+  std::vector<Request> requests;
+  requests.push_back(graph_request("connectivity", "cycle", 128));
+  requests.push_back(graph_request("connectivity", "two_cycles", 96));
+  requests.push_back(graph_request("coloring", "cycle", 64));
+  Request mis = graph_request("mis", "cycle", 64);
+  mis.seed = 7;
+  requests.push_back(mis);
+
+  const AdmissionLimits limits;
+  std::vector<ExecResult> serial;
+  for (const Request& req : requests) {
+    serial.push_back(execute(req, {}, limits));
+    ASSERT_TRUE(serial.back().ok)
+        << serial.back().error_kind << ": " << serial.back().error_message;
+  }
+
+  const EngineLimitOverride wide(4);
+  std::vector<ExecResult> concurrent(requests.size());
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      threads.emplace_back([&, i] {
+        concurrent[i] = execute(requests[i], {}, limits);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(concurrent[i].ok)
+        << concurrent[i].error_kind << ": " << concurrent[i].error_message;
+    EXPECT_EQ(concurrent[i].rounds, serial[i].rounds) << "request " << i;
+    EXPECT_EQ(concurrent[i].words, serial[i].words) << "request " << i;
+    EXPECT_EQ(concurrent[i].answer_json, serial[i].answer_json)
+        << "request " << i;
+  }
+}
+
+TEST(Executor, DeadlineWhileQueuedAtTheGateIsStructured) {
+  // One slot, held by a request parked inside its own trace sink; a second
+  // request with a short deadline must give up *at the gate* with the
+  // queued-specific message, not run after the deadline or hang. Parking
+  // in the sink (which fires after gate admission, on the engine path)
+  // makes the slot occupancy deterministic — no sleep races.
+  const EngineLimitOverride one(1);
+  std::mutex m;
+  std::condition_variable cv;
+  bool slot_taken = false;
+  bool release_holder = false;
+  Request slow = graph_request("connectivity", "cycle", 128);
+  ExecOptions hold;
+  hold.sink = [&](const obs::TraceEvent&) {
+    std::unique_lock<std::mutex> lock(m);
+    if (!slot_taken) {
+      slot_taken = true;
+      cv.notify_all();
+    }
+    cv.wait(lock, [&] { return release_holder; });
+  };
+  std::thread holder([&] {
+    const ExecResult r = execute(slow, hold, AdmissionLimits{});
+    EXPECT_TRUE(r.ok) << r.error_kind << ": " << r.error_message;
+  });
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return slot_taken; });
+  }
+
+  Request queued = graph_request("connectivity", "cycle", 64);
+  ExecOptions opts;
+  opts.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(30);
+  const ExecResult r = execute(queued, opts, AdmissionLimits{});
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release_holder = true;
+  }
+  cv.notify_all();
+  holder.join();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, "DeadlineExceeded");
+  EXPECT_EQ(r.error_message, "deadline expired while queued for the engine");
+}
+
+TEST(Executor, MaxConcurrentEnginesResolutionOrder) {
+  const unsigned fallback = max_concurrent_engines();
+  EXPECT_GE(fallback, 1u);
+  EXPECT_LE(fallback, std::max(4u, global_threads()));
+  {
+    const EngineLimitOverride two(2);
+    EXPECT_EQ(max_concurrent_engines(), 2u);
+  }
+  EXPECT_EQ(max_concurrent_engines(), fallback);
+}
+
 // ------------------------------------------------------------------ server
 
 // Short socket paths: sockaddr_un caps sun_path at ~108 bytes, and gtest
@@ -329,6 +443,33 @@ TEST(Server, OversizedLineIsRejectedWithoutKillingConnection) {
   const obs::JsonValue* result = find_event(docs, "result");
   ASSERT_NE(result, nullptr) << "connection unusable after oversized line";
   EXPECT_EQ(result->num("id"), 2.0);
+
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(Server, DeeplyNestedJsonIsBadRequestNotACrash) {
+  // Regression: a "[[[[…" line used to recurse once per bracket in
+  // obs::parse_json and could blow the session thread's stack, taking the
+  // daemon down. The parser now caps nesting, so the request fails as a
+  // structured BadRequest and the connection keeps serving.
+  const std::string path = socket_path("nested");
+  ServerOptions opts;
+  opts.unix_path = path;
+  Server server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  std::string bomb(200000, '[');
+  bomb.append(200000, ']');
+  const auto docs =
+      parse_lines(roundtrip(path, {bomb, R"({"id":3,"op":"ping"})"}));
+  const obs::JsonValue* err = find_event(docs, "error");
+  ASSERT_NE(err, nullptr) << "deep nesting produced no structured error";
+  EXPECT_EQ(err->str("kind"), "BadRequest");
+  const obs::JsonValue* result = find_event(docs, "result");
+  ASSERT_NE(result, nullptr) << "connection unusable after nesting bomb";
+  EXPECT_EQ(result->num("id"), 3.0);
 
   server.begin_drain();
   server.wait();

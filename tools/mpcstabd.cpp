@@ -3,7 +3,7 @@
 //
 //   mpcstabd serve --socket /tmp/mpcstabd.sock [--port 0] \
 //       [--trace-file trace.ndjson] [--max-request-bytes N] [--max-nodes N] \
-//       [--max-machines N] [--json report.json] [--trace]
+//       [--max-machines N] [--max-engines N] [--json report.json] [--trace]
 //   mpcstabd client (--socket PATH | --connect HOST:PORT) [--timeout SEC] \
 //       REQUEST_JSON... | -
 //
@@ -48,7 +48,8 @@ int usage() {
       << "usage:\n"
          "  mpcstabd serve --socket PATH [--port N] [--trace-file PATH]\n"
          "                 [--max-request-bytes N] [--max-nodes N]\n"
-         "                 [--max-machines N] [--json PATH] [--trace]\n"
+         "                 [--max-machines N] [--max-engines N]\n"
+         "                 [--json PATH] [--trace]\n"
          "  mpcstabd client (--socket PATH | --connect HOST:PORT)\n"
          "                 [--timeout SEC] REQUEST_JSON... | -\n";
   return 1;
@@ -86,6 +87,9 @@ int run_serve(int argc, char** argv) {
     } else if (arg == "--max-machines") {
       opts.limits.max_machines =
           std::strtoull(next("--max-machines"), nullptr, 10);
+    } else if (arg == "--max-engines") {
+      service::set_max_concurrent_engines(static_cast<unsigned>(
+          std::strtoul(next("--max-engines"), nullptr, 10)));
     } else {
       std::cerr << "mpcstabd: unknown serve flag " << arg << "\n";
       return usage();

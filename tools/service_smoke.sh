@@ -1,6 +1,7 @@
 #!/bin/sh
-# End-to-end smoke test of the mpcstabd service: happy path, request-size
-# admission, space-limit surfacing and graceful SIGTERM drain, driven
+# End-to-end smoke test of the mpcstabd service: happy path, deep-nesting
+# request bomb, request-size admission, space-limit surfacing, concurrent
+# clients with bit-identical accounting, and graceful SIGTERM drain, driven
 # through mpcstab-client exactly as a deployment would. CI runs this twice:
 # once against the regular build (service-smoke job) and once against
 # build-asan with LeakSanitizer enabled (sanitizers job), so a daemon that
@@ -45,14 +46,29 @@ until grep -q "mpcstabd: listening" "$dlog" 2>/dev/null; do
   sleep 0.1
 done
 
-echo "service_smoke: 1/4 happy path"
+echo "service_smoke: 1/6 happy path"
 out="$work/happy.out"
 "$client" --socket "$sock" \
   '{"id":1,"op":"connectivity","graph":{"type":"cycle","n":64}}' \
   > "$out" || fail "happy-path client exited $?"
 grep -q '"components":1' "$out" || fail "wrong connectivity answer: $(cat "$out")"
 
-echo "service_smoke: 2/4 oversized request is refused, not crashed"
+echo "service_smoke: 2/6 deeply nested JSON is BadRequest, not a crash"
+# A "[[[[..." bomb used to recurse once per bracket in the request parser
+# and could overflow the session thread's stack. It must come back as a
+# structured BadRequest with the daemon still alive and serving.
+out="$work/nested.out"
+awk 'BEGIN { o = sprintf("%1500s", ""); gsub(/ /, "[", o);
+             c = o; gsub(/\[/, "]", c); printf "%s%s\n", o, c }' \
+  > "$work/nested.json"
+rc=0
+"$client" --socket "$sock" - < "$work/nested.json" > "$out" || rc=$?
+[ "$rc" -eq 2 ] || fail "nesting bomb: client exited $rc, want 2"
+grep -q '"kind":"BadRequest"' "$out" \
+  || fail "no BadRequest for nesting bomb: $(cat "$out")"
+kill -0 "$dpid" 2>/dev/null || fail "daemon died on the nesting bomb"
+
+echo "service_smoke: 3/6 oversized request is refused, not crashed"
 out="$work/oversized.out"
 awk 'BEGIN { pad = sprintf("%8000s", ""); gsub(/ /, "x", pad);
              printf "{\"id\":2,\"op\":\"ping\",\"pad\":\"%s\"}\n", pad }' \
@@ -62,7 +78,7 @@ rc=0
 [ "$rc" -eq 2 ] || fail "oversized request: client exited $rc, want 2"
 grep -q '"kind":"Oversized"' "$out" || fail "no Oversized error: $(cat "$out")"
 
-echo "service_smoke: 3/4 space limit surfaces as a structured error"
+echo "service_smoke: 4/6 space limit surfaces as a structured error"
 out="$work/space.out"
 rc=0
 "$client" --socket "$sock" \
@@ -73,7 +89,37 @@ grep -q '"kind":"SpaceLimitError"' "$out" \
   || fail "no SpaceLimitError: $(cat "$out")"
 kill -0 "$dpid" 2>/dev/null || fail "daemon died on space-limit request"
 
-echo "service_smoke: 4/4 SIGTERM drains the in-flight request"
+echo "service_smoke: 5/6 concurrent clients get bit-identical accounting"
+# Four clients fire the same request at once; every response must report
+# the same rounds/words as a serial reference run of the same request —
+# the invariant of concurrent engine execution on job-scoped pools.
+req='{"id":5,"op":"connectivity","graph":{"type":"two_cycles","n":256}}'
+ref="$work/conc_ref.out"
+"$client" --socket "$sock" "$req" > "$ref" \
+  || fail "concurrent reference client exited $?"
+ref_line=$(grep '"event":"result"' "$ref" | head -1)
+ref_rounds=$(printf '%s\n' "$ref_line" | sed 's/.*"rounds":\([0-9]*\).*/\1/')
+ref_words=$(printf '%s\n' "$ref_line" | sed 's/.*"words":\([0-9]*\).*/\1/')
+[ -n "$ref_rounds" ] && [ -n "$ref_words" ] \
+  || fail "reference run has no rounds/words: $ref_line"
+cpids=""
+for c in 1 2 3 4; do
+  "$client" --socket "$sock" "$req" > "$work/conc_$c.out" &
+  cpids="$cpids $!"
+done
+for p in $cpids; do
+  wait "$p" || fail "concurrent client (pid $p) failed"
+done
+for c in 1 2 3 4; do
+  grep -q "\"rounds\":$ref_rounds" "$work/conc_$c.out" \
+    || fail "client $c rounds diverged from serial reference $ref_rounds: \
+$(cat "$work/conc_$c.out")"
+  grep -q "\"words\":$ref_words" "$work/conc_$c.out" \
+    || fail "client $c words diverged from serial reference $ref_words: \
+$(cat "$work/conc_$c.out")"
+done
+
+echo "service_smoke: 6/6 SIGTERM drains the in-flight request"
 out="$work/drain.out"
 "$client" --socket "$sock" \
   '{"id":4,"op":"connectivity","graph":{"type":"cycle","n":4096},"repeat":60}' \
