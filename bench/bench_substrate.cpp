@@ -17,6 +17,7 @@
 #include "mpc/primitives.h"
 #include "mpc/shuffle.h"
 #include "local/flooding.h"
+#include "obs/registry.h"
 #include "rng/kwise.h"
 #include "rng/prg.h"
 
@@ -205,6 +206,20 @@ int main(int argc, char** argv) {
     }
     route_by_key(cluster, std::move(shards));
     session.record("route-by-key skewed m=16", cluster);
+  }
+  // Allocator-pressure counters from the arena exchange path, info-only:
+  // the perf gate ignores the `info` object, so these report wall-clock
+  // context (arena hit rate, legacy fallback traffic) without pinning
+  // host-dependent numbers into the baseline.
+  {
+    auto& reg = mpcstab::obs::Registry::global();
+    session.note("cluster.arena_bytes",
+                 std::to_string(reg.gauge("cluster.arena_bytes").max()));
+    session.note("cluster.arena_reuses",
+                 std::to_string(reg.counter("cluster.arena_reuses").value()));
+    session.note(
+        "cluster.arena_fallback_msgs",
+        std::to_string(reg.counter("cluster.arena_fallback_msgs").value()));
   }
   return session.finish();
 }

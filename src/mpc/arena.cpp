@@ -1,0 +1,61 @@
+#include "mpc/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "obs/registry.h"
+
+namespace mpcstab {
+
+namespace {
+
+std::atomic<bool> g_arena_enabled{[] {
+  const char* env = std::getenv("MPCSTAB_NO_ARENA");
+  return env == nullptr || env[0] == '\0' || env[0] == '0';
+}()};
+
+}  // namespace
+
+bool arena_exchange_enabled() {
+  return g_arena_enabled.load(std::memory_order_relaxed);
+}
+
+void set_arena_exchange(bool enabled) {
+  g_arena_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void ArenaLease::release() {
+  if (block_ != nullptr && pool_ != nullptr) {
+    pool_->put_back(std::move(block_));
+  }
+  block_.reset();
+  pool_.reset();
+}
+
+ArenaLease ArenaPool::acquire() {
+  std::unique_ptr<ArenaBlock> block;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      block = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (block != nullptr) {
+    obs::Registry::global().counter("cluster.arena_reuses").add(1);
+    block->reset();
+  } else {
+    obs::Registry::global().counter("cluster.arena_allocs").add(1);
+    block = std::make_unique<ArenaBlock>();
+  }
+  return ArenaLease(shared_from_this(), std::move(block));
+}
+
+void ArenaPool::put_back(std::unique_ptr<ArenaBlock> block) {
+  obs::Registry::global().gauge("cluster.arena_bytes").update_max(
+      block->capacity_bytes());
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(block));
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,208 @@
+// Flat per-job arenas for the exchange data path — the buffer-ownership
+// contract the engine's routing (and, later, the multi-process transport)
+// is built on.
+//
+// One communication wave delivers into ONE contiguous buffer: the router
+// counts per-destination words (pass 1), lays the buffer out radix-style by
+// destination, then scatters every payload into its slot (pass 2). A
+// receiver gets `MpcDelivery` records whose payloads are `std::span` views
+// into that buffer — no per-message allocation, no per-message copy on the
+// receive side.
+//
+// Ownership and lifetime rules:
+//   * The buffer behind a wave is an `ArenaBlock`, leased from the
+//     cluster's `ArenaPool` and owned by the `WaveInboxes` the engine
+//     returns. Every payload span is valid exactly as long as that
+//     `WaveInboxes` (or the `BatchInboxes` vector holding it) is alive —
+//     including across later waves of the same batch, and after the
+//     Cluster itself is gone (the lease keeps the pool alive).
+//   * Moving a `WaveInboxes`/`BatchInboxes` never invalidates spans (the
+//     heap blocks do not move). Copying is disabled.
+//   * When a `WaveInboxes` dies, its block returns to the pool and is
+//     reused by a later wave — `cluster.arena_reuses` counts these, and
+//     `cluster.arena_bytes` tracks the high-water block footprint.
+//
+// `MPCSTAB_NO_ARENA` (mirroring `MPCSTAB_NO_BATCH`) routes delivery
+// through the legacy per-message storage path instead: every payload keeps
+// its own heap vector (`cluster.arena_fallback_msgs` counts them). The
+// paper-model accounting and the delivered bytes are bit-identical either
+// way — the toggle exists so benches can A/B the allocator pressure and so
+// sceptical readers can diff the two engines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace mpcstab {
+
+/// Whether the engine routes waves through flat arenas (default; start with
+/// MPCSTAB_NO_ARENA set to come up disabled) or through legacy per-message
+/// payload storage. Process-wide; reads are relaxed-atomic, so toggling
+/// mid-transfer is a test-only move.
+bool arena_exchange_enabled();
+void set_arena_exchange(bool enabled);
+
+/// One delivered message: the destination machine plus a view of the
+/// payload words. The view aliases the owning wave's arena block (or its
+/// legacy per-message storage) — see the lifetime rules in the file
+/// comment.
+struct MpcDelivery {
+  std::uint32_t dst = 0;
+  std::span<const std::uint64_t> payload;
+};
+
+/// Backing storage of one delivered wave. `words` is the contiguous
+/// payload buffer (arena path); `legacy` holds per-message vectors instead
+/// when the arena is disabled. `deliveries` are the per-machine inboxes,
+/// grouped by destination via `offsets` (machines + 1 entries).
+struct ArenaBlock {
+  std::vector<std::uint64_t> words;
+  std::vector<MpcDelivery> deliveries;
+  std::vector<std::size_t> offsets;
+  std::vector<std::vector<std::uint64_t>> legacy;
+
+  /// Clears contents, keeping capacity — the point of pooling.
+  void reset() {
+    words.clear();
+    deliveries.clear();
+    offsets.clear();
+    legacy.clear();
+  }
+
+  /// Resident footprint of the block's buffers (for cluster.arena_bytes).
+  std::uint64_t capacity_bytes() const {
+    return words.capacity() * sizeof(std::uint64_t) +
+           deliveries.capacity() * sizeof(MpcDelivery) +
+           offsets.capacity() * sizeof(std::size_t) +
+           legacy.capacity() * sizeof(std::vector<std::uint64_t>);
+  }
+};
+
+class ArenaPool;
+
+/// Move-only ownership of one ArenaBlock. Returns the block to its pool on
+/// destruction; holds the pool alive, so leases may outlive the Cluster
+/// that created them.
+class ArenaLease {
+ public:
+  ArenaLease() = default;
+  ArenaLease(std::shared_ptr<ArenaPool> pool,
+             std::unique_ptr<ArenaBlock> block)
+      : pool_(std::move(pool)), block_(std::move(block)) {}
+  ArenaLease(ArenaLease&&) = default;
+  ArenaLease& operator=(ArenaLease&& other) noexcept {
+    if (this != &other) {
+      release();
+      pool_ = std::move(other.pool_);
+      block_ = std::move(other.block_);
+    }
+    return *this;
+  }
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+  ~ArenaLease() { release(); }
+
+  ArenaBlock* block() const { return block_.get(); }
+  explicit operator bool() const { return block_ != nullptr; }
+
+ private:
+  void release();
+
+  std::shared_ptr<ArenaPool> pool_;
+  std::unique_ptr<ArenaBlock> block_;
+};
+
+/// A free list of ArenaBlocks shared by one Cluster's waves ("per-job":
+/// clusters are per-request objects and jobs do not share them). Acquire
+/// is thread-safe — batched waves route on the worker pool.
+class ArenaPool : public std::enable_shared_from_this<ArenaPool> {
+ public:
+  /// Leases a block (reusing a returned one when available — counted as
+  /// cluster.arena_reuses — or allocating a fresh one).
+  ArenaLease acquire();
+
+ private:
+  friend class ArenaLease;
+  void put_back(std::unique_ptr<ArenaBlock> block);
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<ArenaBlock>> free_;
+};
+
+/// Per-machine inboxes of one communication wave, backed by one leased
+/// arena block. `inboxes[m]` is machine m's inbox: deliveries in the
+/// canonical serial order (senders in machine order, each sender's
+/// messages FIFO). Move-only; spans stay valid for the object's lifetime.
+class WaveInboxes {
+ public:
+  WaveInboxes() = default;
+  WaveInboxes(WaveInboxes&&) = default;
+  WaveInboxes& operator=(WaveInboxes&&) = default;
+  WaveInboxes(const WaveInboxes&) = delete;
+  WaveInboxes& operator=(const WaveInboxes&) = delete;
+
+  /// Machines covered (0 for a default-constructed instance).
+  std::size_t machines() const {
+    const ArenaBlock* b = lease_.block();
+    return b == nullptr || b->offsets.empty() ? 0 : b->offsets.size() - 1;
+  }
+
+  /// Machine m's inbox.
+  std::span<const MpcDelivery> operator[](std::size_t machine) const {
+    const ArenaBlock* b = lease_.block();
+    if (b == nullptr || machine + 1 >= b->offsets.size()) return {};
+    return std::span<const MpcDelivery>(
+        b->deliveries.data() + b->offsets[machine],
+        b->offsets[machine + 1] - b->offsets[machine]);
+  }
+
+  /// Total deliveries across all machines.
+  std::size_t total_messages() const {
+    const ArenaBlock* b = lease_.block();
+    return b == nullptr ? 0 : b->deliveries.size();
+  }
+
+  /// Iteration over per-machine inboxes (machine 0 first), so range-for
+  /// code written against the old vector-of-vectors API keeps working.
+  class const_iterator {
+   public:
+    const_iterator(const WaveInboxes* wave, std::size_t machine)
+        : wave_(wave), machine_(machine) {}
+    std::span<const MpcDelivery> operator*() const {
+      return (*wave_)[machine_];
+    }
+    const_iterator& operator++() {
+      ++machine_;
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const {
+      return machine_ == other.machine_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return machine_ != other.machine_;
+    }
+
+   private:
+    const WaveInboxes* wave_;
+    std::size_t machine_;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, machines()); }
+
+ private:
+  friend class Cluster;
+  explicit WaveInboxes(ArenaLease lease) : lease_(std::move(lease)) {}
+
+  ArenaLease lease_;
+};
+
+/// Per-wave inboxes of one batched engine call, in wave order. Each wave
+/// owns its own arena block, so views into *any* wave stay valid as long
+/// as the vector lives — receivers may hold inbox views across waves.
+using BatchInboxes = std::vector<WaveInboxes>;
+
+}  // namespace mpcstab

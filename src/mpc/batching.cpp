@@ -45,7 +45,7 @@ void ExchangeBatcher::add_charge(std::uint64_t k, std::string what) {
   ops_.push_back(std::move(op));
 }
 
-std::vector<std::vector<std::vector<MpcMessage>>> ExchangeBatcher::flush() {
+BatchInboxes ExchangeBatcher::flush() {
   static obs::Counter& flushes =
       obs::Registry::global().counter("batching.flushes");
   static obs::Counter& logical_rounds =
@@ -56,7 +56,7 @@ std::vector<std::vector<std::vector<MpcMessage>>> ExchangeBatcher::flush() {
       obs::Registry::global().counter("batching.saved_dispatches");
 
   const bool fuse = exchange_batching_enabled();
-  std::vector<std::vector<std::vector<MpcMessage>>> inboxes;
+  BatchInboxes inboxes;
   inboxes.reserve(round_count_);
   std::size_t calls = 0;
 

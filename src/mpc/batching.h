@@ -60,9 +60,11 @@ class ExchangeBatcher {
   std::size_t rounds_queued() const { return round_count_; }
 
   /// Executes the queued sequence in order and clears the queue. Returns
-  /// the per-round inboxes, indexed as add_round order. Accounting is
-  /// bit-identical to issuing the same sequence unbatched.
-  std::vector<std::vector<std::vector<MpcMessage>>> flush();
+  /// the per-round inboxes, indexed as add_round order; each round's views
+  /// stay valid while the returned vector lives (per-wave arena blocks —
+  /// see mpc/arena.h), so receivers may read inboxes across waves.
+  /// Accounting is bit-identical to issuing the same sequence unbatched.
+  BatchInboxes flush();
 
   ExchangeBatcher(const ExchangeBatcher&) = delete;
   ExchangeBatcher& operator=(const ExchangeBatcher&) = delete;

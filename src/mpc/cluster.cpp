@@ -16,16 +16,13 @@ Cluster::Cluster(MpcConfig config) : config_(config) {
   require(config_.local_space >= 1, "local space must be positive");
 }
 
-std::vector<std::vector<MpcMessage>> Cluster::exchange(
-    std::vector<std::vector<MpcMessage>> outboxes) {
+WaveInboxes Cluster::exchange(std::vector<std::vector<MpcMessage>> outboxes) {
   require(outboxes.size() == config_.machines,
           "outboxes must cover every machine");
   // Route this cluster's loops to its job pool (no-op when unset).
   const PoolScope scope(pool_.get());
   const std::size_t machines = config_.machines;
   std::vector<std::uint64_t> sent(machines, 0);
-  std::vector<std::uint64_t> received(machines, 0);
-  std::vector<std::vector<MpcMessage>> inboxes(machines);
 
   // Per-sender validation and send accounting is embarrassingly parallel:
   // machine src only touches sent[src] and its own outbox. Destination
@@ -40,21 +37,87 @@ std::vector<std::vector<MpcMessage>> Cluster::exchange(
     sent[src] = words;
   });
 
-  // Merge outboxes into inboxes in fixed machine order — the serial
-  // reference order — so delivery order is bit-identical no matter how many
-  // workers validated above.
-  for (std::size_t src = 0; src < machines; ++src) {
-    for (MpcMessage& msg : outboxes[src]) {
-      received[msg.dst] += msg.payload.size() + 1;
-      inboxes[msg.dst].push_back(std::move(msg));
-    }
-  }
-
+  std::vector<std::uint64_t> received;
+  WaveInboxes inboxes = route_wave(outboxes, received);
   account_round(sent, received);
   return inboxes;
 }
 
-std::vector<std::vector<std::vector<MpcMessage>>> Cluster::exchange_batch(
+WaveInboxes Cluster::route_wave(std::vector<std::vector<MpcMessage>>& outboxes,
+                                std::vector<std::uint64_t>& received) {
+  const std::size_t machines = config_.machines;
+  received.assign(machines, 0);
+
+  // Pass 1: per-destination message and word counts.
+  std::vector<std::size_t> msg_count(machines, 0);
+  std::size_t total_msgs = 0;
+  std::size_t total_payload_words = 0;
+  for (const auto& outbox : outboxes) {
+    for (const MpcMessage& msg : outbox) {
+      received[msg.dst] += msg.payload.size() + 1;  // +1 header word
+      msg_count[msg.dst] += 1;
+      total_payload_words += msg.payload.size();
+      ++total_msgs;
+    }
+  }
+
+  ArenaLease lease = arena_->acquire();
+  ArenaBlock& block = *lease.block();
+
+  // Radix layout: inbox m's deliveries occupy [offsets[m], offsets[m+1]).
+  block.offsets.resize(machines + 1);
+  block.offsets[0] = 0;
+  for (std::size_t m = 0; m < machines; ++m) {
+    block.offsets[m + 1] = block.offsets[m] + msg_count[m];
+  }
+  block.deliveries.resize(total_msgs);
+  std::vector<std::size_t> msg_cursor(block.offsets.begin(),
+                                      block.offsets.end() - 1);
+
+  // Pass 2: scatter in fixed machine order (senders ascending, FIFO per
+  // sender) — the serial reference delivery order.
+  if (arena_exchange_enabled()) {
+    // All payload words land in one contiguous buffer, grouped by
+    // destination. Sizing happens before any span is taken, so the buffer
+    // never reallocates under a view.
+    block.words.resize(total_payload_words);
+    std::vector<std::size_t> word_cursor(machines, 0);
+    for (std::size_t m = 0, acc = 0; m < machines; ++m) {
+      word_cursor[m] = acc;
+      acc += received[m] - msg_count[m];  // payload words bound for m
+    }
+    for (const auto& outbox : outboxes) {
+      for (const MpcMessage& msg : outbox) {
+        std::uint64_t* slot = block.words.data() + word_cursor[msg.dst];
+        std::copy(msg.payload.begin(), msg.payload.end(), slot);
+        block.deliveries[msg_cursor[msg.dst]++] = MpcDelivery{
+            msg.dst,
+            std::span<const std::uint64_t>(slot, msg.payload.size())};
+        word_cursor[msg.dst] += msg.payload.size();
+      }
+    }
+  } else {
+    // Legacy A/B path (MPCSTAB_NO_ARENA): every payload keeps its own heap
+    // vector, moved into the block so lifetimes still follow the arena
+    // contract. Inner buffers never move, so spans into them are stable.
+    block.legacy.reserve(total_msgs);
+    for (auto& outbox : outboxes) {
+      for (MpcMessage& msg : outbox) {
+        block.legacy.push_back(std::move(msg.payload));
+        const auto& stored = block.legacy.back();
+        block.deliveries[msg_cursor[msg.dst]++] = MpcDelivery{
+            msg.dst,
+            std::span<const std::uint64_t>(stored.data(), stored.size())};
+      }
+    }
+    static obs::Counter& fallback =
+        obs::Registry::global().counter("cluster.arena_fallback_msgs");
+    fallback.add(total_msgs);
+  }
+  return WaveInboxes(std::move(lease));
+}
+
+BatchInboxes Cluster::exchange_batch(
     std::vector<std::vector<std::vector<MpcMessage>>> waves) {
   const PoolScope scope(pool_.get());
   const std::size_t machines = config_.machines;
@@ -86,22 +149,17 @@ std::vector<std::vector<std::vector<MpcMessage>>> Cluster::exchange_batch(
     }
   }
 
-  // Per-wave merge into inboxes, each wave in fixed machine order (the
-  // serial reference order). Waves are independent, so they merge on the
-  // pool; a wave with an invalid destination is skipped — sequentially it
-  // would have aborted before delivering anything.
-  std::vector<std::vector<std::vector<MpcMessage>>> inboxes(count);
+  // Per-wave routing into per-wave arena blocks, each wave in fixed
+  // machine order (the serial reference order). Waves are independent, so
+  // they route on the pool (ArenaPool::acquire is mutex-guarded and the
+  // routed content is per-wave deterministic); a wave with an invalid
+  // destination is skipped — sequentially it would have aborted before
+  // delivering anything.
+  BatchInboxes inboxes(count);
   std::vector<std::vector<std::uint64_t>> received(count);
   parallel_for(count, [&](std::size_t w) {
     if (wave_bad[w]) return;
-    inboxes[w].resize(machines);
-    received[w].assign(machines, 0);
-    for (std::size_t src = 0; src < machines; ++src) {
-      for (MpcMessage& msg : waves[w][src]) {
-        received[w][msg.dst] += msg.payload.size() + 1;
-        inboxes[w][msg.dst].push_back(std::move(msg));
-      }
-    }
+    inboxes[w] = route_wave(waves[w], received[w]);
   });
 
   // In-order accounting replay: wave w is accounted (and its space limits
@@ -127,6 +185,11 @@ void Cluster::account_round(const std::vector<std::uint64_t>& sent,
     load.max_send = std::max(load.max_send, sent[i]);
     load.max_recv = std::max(load.max_recv, received[i]);
   }
+  // A zero-word round means no machine sent anything (every message pays a
+  // header word): every sender knows its own queue is empty, so no
+  // coordination round happens and nothing is counted or logged. Callers
+  // should avoid enqueueing all-empty waves in the first place.
+  if (round_words == 0) return;
   words_moved_ += round_words;
 
   // The round happens (and is counted) even when a violation aborts it —

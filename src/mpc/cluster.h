@@ -22,13 +22,17 @@
 #include <string_view>
 #include <vector>
 
+#include "mpc/arena.h"
 #include "mpc/config.h"
 #include "obs/trace.h"
 #include "support/thread_pool.h"
 
 namespace mpcstab {
 
-/// One machine-to-machine message.
+/// One machine-to-machine message on the *send* side: senders own their
+/// payload vectors while building outboxes. Delivery hands receivers
+/// `MpcDelivery` span views into a per-wave arena (mpc/arena.h) instead of
+/// these vectors — the engine moves the words, not the allocations.
 struct MpcMessage {
   std::uint32_t dst = 0;
   std::vector<std::uint64_t> payload;
@@ -68,24 +72,31 @@ class Cluster {
 
   /// Performs one communication round: `outboxes[i]` are the messages sent
   /// by machine i. Validates that each machine sends <= S words and
-  /// receives <= S words, then returns the per-machine inboxes. Counts one
-  /// round. Per-machine validation runs on the worker pool; inboxes are
-  /// merged in fixed machine order, so the result is identical to serial
-  /// execution.
-  std::vector<std::vector<MpcMessage>> exchange(
-      std::vector<std::vector<MpcMessage>> outboxes);
+  /// receives <= S words, then returns the per-machine inboxes as span
+  /// views into one contiguous per-wave arena buffer (see mpc/arena.h for
+  /// the ownership/lifetime contract — views live as long as the returned
+  /// WaveInboxes). Counts one round — unless every outbox is empty: an
+  /// all-empty wave moves zero words, and since every sender knows its own
+  /// queue is empty no coordination round is needed, so it is not counted
+  /// (callers should simply not enqueue such waves; see the wave loops in
+  /// shuffle/pacing). Per-machine validation runs on the worker pool;
+  /// delivery order is fixed machine order (senders ascending, each
+  /// sender's messages FIFO), identical to serial execution.
+  WaveInboxes exchange(std::vector<std::vector<MpcMessage>> outboxes);
 
   /// Performs `waves.size()` communication rounds in one host-side pass:
   /// wave w is exactly the round `exchange(waves[w])` would have run, and
   /// the result is the per-wave inboxes in wave order. The paper-model
   /// accounting is bit-identical to calling `exchange` sequentially —
-  /// every wave counts one round, records its own load profile and space
-  /// violations surface at the same wave with earlier waves fully
-  /// accounted — only the host-side cost (pool dispatches, allocations) is
-  /// paid per batch instead of per round. Wave contents must therefore not
-  /// depend on earlier waves' deliveries; see mpc/batching.h for the
-  /// scheduling layer that guarantees this.
-  std::vector<std::vector<std::vector<MpcMessage>>> exchange_batch(
+  /// every non-empty wave counts one round, records its own load profile
+  /// and space violations surface at the same wave with earlier waves
+  /// fully accounted — only the host-side cost (pool dispatches,
+  /// allocations) is paid per batch instead of per round. Each wave routes
+  /// into its own arena block, so views into any wave stay valid while the
+  /// returned vector lives — receivers may hold inbox views across waves.
+  /// Wave contents must not depend on earlier waves' deliveries; see
+  /// mpc/batching.h for the scheduling layer that guarantees this.
+  BatchInboxes exchange_batch(
       std::vector<std::vector<std::vector<MpcMessage>>> waves);
 
   /// Charges `k` rounds for a primitive whose data movement is modeled
@@ -144,11 +155,24 @@ class Cluster {
   /// Accounts one completed round (words, load profile, tracer, metrics)
   /// from the per-machine send/receive volumes, then enforces the S-word
   /// limits. Shared by exchange and exchange_batch so their accounting can
-  /// never diverge.
+  /// never diverge. A zero-word round (possible only when no message was
+  /// sent at all — every message carries a header word) is a no-op: it is
+  /// not counted, logged or profiled.
   void account_round(const std::vector<std::uint64_t>& sent,
                      const std::vector<std::uint64_t>& received);
 
+  /// Routes one validated wave into a leased arena block: counts
+  /// per-destination messages and words (pass 1), lays out the contiguous
+  /// buffer radix-style by destination, scatters every payload (pass 2).
+  /// Fills `received` with per-machine receive volumes as a side effect.
+  /// With the arena disabled (MPCSTAB_NO_ARENA) payloads are moved into
+  /// per-message legacy storage instead; delivery order and accounting are
+  /// identical either way.
+  WaveInboxes route_wave(std::vector<std::vector<MpcMessage>>& outboxes,
+                         std::vector<std::uint64_t>& received);
+
   MpcConfig config_;
+  std::shared_ptr<ArenaPool> arena_ = std::make_shared<ArenaPool>();
   PoolHandle pool_;  ///< null = resolve via PoolScope / default pool
   std::uint64_t rounds_ = 0;
   std::uint64_t words_moved_ = 0;

@@ -107,10 +107,10 @@ std::vector<std::vector<MpcMessage>> paced_exchange(
       handshake_charged = true;
     }
     need_handshake = false;
-    paced_rounds.add(1);
     std::vector<std::uint64_t> send_used(machines, 0);
     std::vector<std::uint64_t> recv_credit(machines, budget);
     std::vector<std::vector<MpcMessage>> round_out(machines);
+    bool shipped = false;
     for (std::uint32_t m = 0; m < machines; ++m) {
       auto& queue = fragments[m];
       // Strict FIFO per sender: once the head fragment defers (sender
@@ -129,10 +129,18 @@ std::vector<std::vector<MpcMessage>> paced_exchange(
         recv_credit[frag.dst] -= words;
         round_out[m].push_back(MpcMessage{frag.dst, std::move(frag.wire)});
         ++head[m];
+        shipped = true;
       }
       if (head[m] < queue.size()) more = true;
     }
-    batcher.add_round(std::move(round_out));
+    // An all-empty wave (no fragments pending) needs no coordination
+    // round: skip it, and count only shipped waves as paced rounds. A
+    // fresh round's credits always admit the head fragment, so a non-empty
+    // queue always ships and the loop terminates.
+    if (shipped) {
+      paced_rounds.add(1);
+      batcher.add_round(std::move(round_out));
+    }
   }
   // Reassemble: machine m walks its inbox of every wave in wave order —
   // exactly the order the unbatched loop fed the partial maps — so the
@@ -140,7 +148,7 @@ std::vector<std::vector<MpcMessage>> paced_exchange(
   const auto waves = batcher.flush();
   parallel_for(machines, [&](std::size_t m) {
     for (const auto& wave : waves) {
-      for (const MpcMessage& msg : wave[m]) {
+      for (const MpcDelivery& msg : wave[m]) {
         ensure(msg.payload.size() >= 4, "fragment must carry its header");
         const std::uint64_t src = msg.payload[0];
         const std::uint64_t id = msg.payload[1];

@@ -30,9 +30,13 @@ std::uint64_t paced_round_budget(const Cluster& cluster);
 
 /// Delivers all messages in `outboxes` (indexed by sender machine),
 /// splitting across rounds under the two-sided credit budget. Returns the
-/// received messages per machine. Progress is guaranteed: fragmentation
+/// received messages per machine, in owned storage (reassembly
+/// concatenates fragment views into fresh payload vectors, so the result
+/// does not alias any arena block). Progress is guaranteed: fragmentation
 /// caps every wire piece at the send budget, and a fresh round's credits
-/// always admit the first pending fragment.
+/// always admit the first pending fragment. A transfer with nothing to
+/// send moves no words and charges zero rounds — every sender knows its
+/// own queue is empty, so no coordination round happens.
 std::vector<std::vector<MpcMessage>> paced_exchange(
     Cluster& cluster, std::vector<std::vector<MpcMessage>> outboxes);
 

@@ -49,8 +49,8 @@ std::uint64_t reduce_to_root(Cluster& cluster,
     // within one leader the fold keeps the serial inbox order.
     parallel_for(next.size(), [&](std::size_t li) {
       const std::uint32_t leader = next[li];
-      for (const MpcMessage& msg : inboxes[leader]) {
-        values[leader] = combine(values[leader], msg.payload.at(0));
+      for (const MpcDelivery& msg : inboxes[leader]) {
+        values[leader] = combine(values[leader], msg.payload[0]);
       }
     });
     active = std::move(next);
@@ -92,8 +92,8 @@ std::vector<std::uint64_t> broadcast_from_root(Cluster& cluster,
     auto inboxes = cluster.exchange(std::move(outboxes));
     std::vector<std::uint8_t> newly(machines, 0);
     parallel_for(machines, [&](std::size_t i) {
-      for (const MpcMessage& msg : inboxes[i]) {
-        values[i] = msg.payload.at(0);
+      for (const MpcDelivery& msg : inboxes[i]) {
+        values[i] = msg.payload[0];
         if (!has[i]) {
           has[i] = 1;
           newly[i] = 1;
@@ -159,9 +159,9 @@ std::uint64_t allreduce_argmin(Cluster& cluster,
     auto inboxes = cluster.exchange(std::move(outboxes));
     parallel_for(next.size(), [&](std::size_t li) {
       const std::uint32_t leader = next[li];
-      for (const MpcMessage& msg : inboxes[leader]) {
-        const std::uint64_t k = msg.payload.at(0);
-        const std::uint64_t p = msg.payload.at(1);
+      for (const MpcDelivery& msg : inboxes[leader]) {
+        const std::uint64_t k = msg.payload[0];
+        const std::uint64_t p = msg.payload[1];
         if (k < keys[leader] || (k == keys[leader] && p < payloads[leader])) {
           keys[leader] = k;
           payloads[leader] = p;

@@ -22,13 +22,11 @@ std::uint32_t owner_of(std::uint64_t key, std::uint64_t machines) {
   return static_cast<std::uint32_t>(splitmix64(key) % machines);
 }
 
-/// Wire size of one routed item: key, value, sequence tag + 1 header word.
-/// The tag (source machine in the high bits, FIFO position in the low bits)
-/// lets receivers restore the canonical delivery order — source order, then
-/// source position — no matter how many rounds the pacing spread the
-/// transfer over.
-constexpr std::uint64_t kItemWords = 4;
-
+/// The sequence tag (source machine in the high bits, FIFO position in the
+/// low bits) lets receivers restore the canonical delivery order — source
+/// order, then source position — no matter how many rounds the pacing
+/// spread the transfer over. Wire size per item is kRouteItemWords
+/// (shuffle.h): key, value, tag + 1 header word.
 std::uint64_t sequence_tag(std::uint32_t src, std::size_t position) {
   return (static_cast<std::uint64_t>(src) << 32) |
          static_cast<std::uint64_t>(position);
@@ -49,12 +47,14 @@ std::vector<std::vector<KeyedItem>> route_by_key(
       obs::Registry::global().counter("shuffle.paced_rounds");
   static obs::Counter& handshakes =
       obs::Registry::global().counter("shuffle.handshakes");
+  // A positive override below one item's wire size could never ship
+  // anything — reject it instead of silently raising it (see shuffle.h).
+  require(budget_words == 0 || budget_words >= kRouteItemWords,
+          "route_by_key budget_words must be 0 or >= kRouteItemWords");
   const std::uint64_t budget =
       budget_words == 0
           ? paced_round_budget(cluster)
-          : std::max<std::uint64_t>(
-                kItemWords,
-                std::min(budget_words, paced_round_budget(cluster)));
+          : std::min(budget_words, paced_round_budget(cluster));
 
   // Pending sends per machine: (dst, item), drained FIFO via a head index
   // so the routed order never depends on the per-round budget. Local items
@@ -100,29 +100,38 @@ std::vector<std::vector<KeyedItem>> route_by_key(
       handshake_charged = true;
     }
     need_handshake = false;
-    paced_rounds.add(1);
     std::vector<std::uint64_t> send_used(machines, 0);
     std::vector<std::uint64_t> recv_credit(machines,
                                            paced_round_budget(cluster));
     std::vector<std::vector<MpcMessage>> outboxes(machines);
+    bool shipped = false;
     for (std::uint32_t src = 0; src < machines; ++src) {
       auto& queue = pending[src];
       while (head[src] < queue.size()) {
         const auto& [dst, item] = queue[head[src]];
-        if (send_used[src] + kItemWords > budget) break;
-        if (recv_credit[dst] < kItemWords) {
+        if (send_used[src] + kRouteItemWords > budget) break;
+        if (recv_credit[dst] < kRouteItemWords) {
           need_handshake = true;
           break;
         }
-        send_used[src] += kItemWords;
-        recv_credit[dst] -= kItemWords;
+        send_used[src] += kRouteItemWords;
+        recv_credit[dst] -= kRouteItemWords;
         outboxes[src].push_back(MpcMessage{
             dst, {item.key, item.value, sequence_tag(src, head[src])}});
         ++head[src];
+        shipped = true;
       }
       if (head[src] < queue.size()) more = true;
     }
-    batcher.add_round(std::move(outboxes));
+    // An all-empty wave (nothing pending) moves no words and needs no
+    // coordination round: skip it instead of enqueueing a phantom round.
+    // Only shipped waves count as paced rounds. (A fresh round always
+    // admits the head item — budget and credits are >= kRouteItemWords —
+    // so a non-empty queue always ships and the loop terminates.)
+    if (shipped) {
+      paced_rounds.add(1);
+      batcher.add_round(std::move(outboxes));
+    }
   }
   const auto waves = batcher.flush();
   // Remote arrivals buffered as (sequence tag, item); sorting by tag
@@ -131,9 +140,9 @@ std::vector<std::vector<KeyedItem>> route_by_key(
   parallel_for(machines, [&](std::size_t m) {
     std::vector<std::pair<std::uint64_t, KeyedItem>> remote;
     for (const auto& wave : waves) {
-      for (const MpcMessage& msg : wave[m]) {
-        remote.emplace_back(msg.payload.at(2),
-                            KeyedItem{msg.payload.at(0), msg.payload.at(1)});
+      for (const MpcDelivery& msg : wave[m]) {
+        remote.emplace_back(msg.payload[2],
+                            KeyedItem{msg.payload[0], msg.payload[1]});
       }
     }
     // Tags are unique (source, position) pairs, so this sort is a total
@@ -208,7 +217,7 @@ std::uint64_t distinct_count(Cluster& cluster,
     // level's wave schedule depends only on the queued chunks, so all waves
     // of one level batch into a single engine call (levels themselves stay
     // sequential — the next level's sets depend on this one's merges).
-    std::vector<std::vector<MpcMessage>> inboxes(machines);
+    BatchInboxes waves;
     {
       const std::uint64_t cap = cluster.local_space();
       const std::uint64_t handshake = cluster.tree_rounds();
@@ -227,6 +236,7 @@ std::uint64_t distinct_count(Cluster& cluster,
         std::vector<std::uint64_t> send_used(machines, 0);
         std::vector<std::uint64_t> recv_credit(machines, cap);
         std::vector<std::vector<MpcMessage>> round_out(machines);
+        bool shipped = false;
         for (std::uint32_t m = 0; m < machines; ++m) {
           auto& queue = outboxes[m];
           while (head[m] < queue.size()) {
@@ -241,24 +251,26 @@ std::uint64_t distinct_count(Cluster& cluster,
             recv_credit[msg.dst] -= words;
             round_out[m].push_back(std::move(msg));
             ++head[m];
+            shipped = true;
           }
           if (head[m] < queue.size()) more = true;
         }
-        batcher.add_round(std::move(round_out));
+        // A level where no machine has chunks to ship (all sets empty or
+        // single-machine groups) moves no words — skip the phantom round.
+        if (shipped) batcher.add_round(std::move(round_out));
       }
-      for (auto& wave : batcher.flush()) {
-        for (std::uint32_t m = 0; m < machines; ++m) {
-          for (MpcMessage& msg : wave[m]) {
-            inboxes[m].push_back(std::move(msg));
-          }
-        }
-      }
+      waves = batcher.flush();
     }
+    // Leaders read their inbox views straight out of the batched waves:
+    // each wave owns its arena block inside `waves`, so views held across
+    // waves stay valid for the whole merge (the mpc/arena.h contract).
     parallel_for(next.size(), [&](std::size_t li) {
       const std::uint32_t leader = next[li];
       auto& set = sets[leader];
-      for (const MpcMessage& msg : inboxes[leader]) {
-        set.insert(set.end(), msg.payload.begin(), msg.payload.end());
+      for (const auto& wave : waves) {
+        for (const MpcDelivery& msg : wave[leader]) {
+          set.insert(set.end(), msg.payload.begin(), msg.payload.end());
+        }
       }
       std::sort(set.begin(), set.end());
       set.erase(std::unique(set.begin(), set.end()), set.end());

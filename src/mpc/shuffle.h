@@ -23,6 +23,11 @@ struct KeyedItem {
   std::uint64_t value = 0;
 };
 
+/// Wire size of one routed item: key, value, sequence tag + 1 header word.
+/// This is the smallest unit route_by_key can ship, so it is also the
+/// smallest admissible per-round budget override.
+inline constexpr std::uint64_t kRouteItemWords = 4;
+
 /// Ships every item to the machine owning its key. `shards[i]` are the
 /// items initially held by machine i; the result is the per-machine
 /// received items. Items whose destination equals their source do not move
@@ -36,7 +41,14 @@ struct KeyedItem {
 ///
 /// `budget_words` overrides the per-round per-machine send budget (0 = the
 /// default paced budget of S/2); it is clamped to S/2 so the override can
-/// only tighten pacing, never break the space guarantee.
+/// only tighten pacing, never break the space guarantee. Contract: a
+/// positive override must be >= `kRouteItemWords` — a smaller budget could
+/// never ship a single item, so it is rejected with `PreconditionError`
+/// rather than silently raised (receive credits always use the full paced
+/// budget; only send pacing is overridable).
+///
+/// An all-local shard set (every item already on its owner) moves no words
+/// and charges zero rounds.
 std::vector<std::vector<KeyedItem>> route_by_key(
     Cluster& cluster, std::vector<std::vector<KeyedItem>> shards,
     std::uint64_t budget_words = 0);

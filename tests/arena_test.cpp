@@ -1,0 +1,393 @@
+// The zero-copy arena exchange must be a pure host-side optimisation:
+// identical paper-model accounting and identical delivered bytes whether
+// waves route through flat arenas or the legacy per-message storage
+// (MPCSTAB_NO_ARENA), in every combination with exchange batching. Plus
+// the empty-wave accounting contract (all-local transfers are free), the
+// route_by_key budget precondition, and the span-ownership/lifetime rules
+// of mpc/arena.h — the lifetime tests are written to fail loudly under
+// ASan if a view ever dangles.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algorithms/connectivity.h"
+#include "graph/generators.h"
+#include "mpc/arena.h"
+#include "mpc/batching.h"
+#include "mpc/cluster.h"
+#include "mpc/pacing.h"
+#include "mpc/shuffle.h"
+#include "obs/registry.h"
+#include "rng/splitmix.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+Cluster make_cluster(std::uint64_t machines, std::uint64_t space) {
+  MpcConfig cfg;
+  cfg.n = machines * space;
+  cfg.local_space = space;
+  cfg.machines = machines;
+  return Cluster(cfg);
+}
+
+/// Keys whose hash-owner is `target` among `machines` machines.
+std::vector<std::uint64_t> keys_owned_by(std::uint32_t target,
+                                         std::uint64_t machines,
+                                         std::size_t count) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 1; keys.size() < count; ++k) {
+    if (splitmix64(k) % machines == target) keys.push_back(k);
+  }
+  return keys;
+}
+
+/// Restores both engine toggles to their defaults when a test exits.
+struct ToggleGuard {
+  ~ToggleGuard() {
+    set_arena_exchange(true);
+    set_exchange_batching(true);
+  }
+};
+
+std::vector<std::uint64_t> to_vec(std::span<const std::uint64_t> payload) {
+  return std::vector<std::uint64_t>(payload.begin(), payload.end());
+}
+
+/// Full paper-model accounting fingerprint of a cluster run.
+struct Accounting {
+  std::uint64_t rounds = 0;
+  std::uint64_t words = 0;
+  std::vector<std::string> log;
+  std::vector<std::uint64_t> load_words;
+  std::vector<std::uint64_t> load_max_send;
+  std::vector<std::uint64_t> load_max_recv;
+};
+
+Accounting fingerprint(const Cluster& cluster) {
+  Accounting a;
+  a.rounds = cluster.rounds();
+  a.words = cluster.words_moved();
+  a.log = cluster.round_log();
+  for (const RoundLoad& load : cluster.round_loads()) {
+    a.load_words.push_back(load.words);
+    a.load_max_send.push_back(load.max_send);
+    a.load_max_recv.push_back(load.max_recv);
+  }
+  return a;
+}
+
+void expect_same_accounting(const Accounting& ref, const Accounting& got) {
+  EXPECT_EQ(ref.rounds, got.rounds);
+  EXPECT_EQ(ref.words, got.words);
+  EXPECT_EQ(ref.log, got.log);
+  EXPECT_EQ(ref.load_words, got.load_words);
+  EXPECT_EQ(ref.load_max_send, got.load_max_send);
+  EXPECT_EQ(ref.load_max_recv, got.load_max_recv);
+}
+
+// --- Empty-wave accounting contract ----------------------------------------
+
+TEST(EmptyWaveAccounting, AllLocalRouteByKeyChargesNoRounds) {
+  // Every key already sits on its hash owner: nothing moves, and since
+  // each sender knows its own queue is empty, no coordination round
+  // happens — the transfer is free under the paper's cost model.
+  const std::uint64_t machines = 8;
+  Cluster cluster = make_cluster(machines, 64);
+  std::vector<std::vector<KeyedItem>> shards(machines);
+  for (std::uint32_t m = 0; m < machines; ++m) {
+    for (std::uint64_t key : keys_owned_by(m, machines, 5)) {
+      shards[m].push_back(KeyedItem{key, key * 3});
+    }
+  }
+  const auto routed = route_by_key(cluster, std::move(shards));
+  EXPECT_EQ(cluster.rounds(), 0u);
+  EXPECT_EQ(cluster.words_moved(), 0u);
+  EXPECT_TRUE(cluster.round_log().empty());
+  EXPECT_TRUE(cluster.round_loads().empty());
+  for (std::uint32_t m = 0; m < machines; ++m) {
+    EXPECT_EQ(routed[m].size(), 5u) << "machine " << m;
+  }
+}
+
+TEST(EmptyWaveAccounting, EmptyPacedExchangeChargesNoRounds) {
+  Cluster cluster = make_cluster(6, 32);
+  const auto in =
+      paced_exchange(cluster, std::vector<std::vector<MpcMessage>>(6));
+  for (const auto& inbox : in) EXPECT_TRUE(inbox.empty());
+  EXPECT_EQ(cluster.rounds(), 0u);
+  EXPECT_EQ(cluster.words_moved(), 0u);
+}
+
+TEST(EmptyWaveAccounting, DirectEmptyExchangeIsFree) {
+  // Even a direct engine call with all-empty outboxes counts nothing: a
+  // zero-word round implies zero messages (each message pays a header
+  // word), so there is nothing to coordinate.
+  Cluster cluster = make_cluster(4, 16);
+  const WaveInboxes in =
+      cluster.exchange(std::vector<std::vector<MpcMessage>>(4));
+  EXPECT_EQ(in.machines(), 4u);
+  EXPECT_EQ(in.total_messages(), 0u);
+  for (const auto inbox : in) EXPECT_TRUE(inbox.empty());
+  EXPECT_EQ(cluster.rounds(), 0u);
+  EXPECT_TRUE(cluster.round_loads().empty());
+}
+
+// --- route_by_key budget contract ------------------------------------------
+
+TEST(RouteByKeyBudget, SubItemBudgetIsRejectedNotClamped) {
+  const std::uint64_t machines = 4;
+  const auto make_shards = [&] {
+    std::vector<std::vector<KeyedItem>> shards(machines);
+    for (std::uint64_t key : keys_owned_by(0, machines, 3)) {
+      shards[1].push_back(KeyedItem{key, key});
+    }
+    return shards;
+  };
+  for (std::uint64_t bad : {1u, 2u, 3u}) {
+    Cluster cluster = make_cluster(machines, 64);
+    EXPECT_THROW(route_by_key(cluster, make_shards(), bad),
+                 PreconditionError)
+        << "budget " << bad;
+  }
+  // 0 (default budget) and exactly kRouteItemWords are both admissible.
+  Cluster cluster = make_cluster(machines, 64);
+  const auto by_default = route_by_key(cluster, make_shards(), 0);
+  Cluster tight = make_cluster(machines, 64);
+  const auto by_min = route_by_key(tight, make_shards(), kRouteItemWords);
+  ASSERT_EQ(by_default[0].size(), 3u);
+  ASSERT_EQ(by_min[0].size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(by_default[0][i].key, by_min[0][i].key);
+    EXPECT_EQ(by_default[0][i].value, by_min[0][i].value);
+  }
+  // One item per round under the minimal budget: pacing got tighter, but
+  // delivery (asserted above) stayed canonical.
+  EXPECT_GT(tight.rounds(), cluster.rounds());
+}
+
+// --- Arena-vs-legacy bit-identity ------------------------------------------
+
+/// Adversarially skewed shards: most items funnel into machine 0 (many
+/// waves plus a charged handshake), the rest spread out.
+std::vector<std::vector<KeyedItem>> skewed_shards(std::uint64_t machines) {
+  const auto hot = keys_owned_by(0, machines, 120);
+  const auto cold = keys_owned_by(3, machines, 30);
+  std::vector<std::vector<KeyedItem>> shards(machines);
+  for (std::size_t i = 0; i < hot.size(); ++i) {
+    shards[1 + (i % (machines - 1))].push_back(KeyedItem{hot[i], i});
+  }
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    shards[1 + (i % (machines - 1))].push_back(KeyedItem{cold[i], 1000 + i});
+  }
+  return shards;
+}
+
+TEST(ArenaBitIdentity, RouteByKeyOnSkewedInput) {
+  const ToggleGuard guard;
+  Accounting ref_acct;
+  std::vector<std::vector<KeyedItem>> ref;
+  bool have_ref = false;
+  for (const bool arena : {true, false}) {
+    for (const bool batched : {true, false}) {
+      set_arena_exchange(arena);
+      set_exchange_batching(batched);
+      Cluster cluster = make_cluster(16, 32);
+      const auto routed = route_by_key(cluster, skewed_shards(16));
+      const Accounting acct = fingerprint(cluster);
+      if (!have_ref) {
+        have_ref = true;
+        ref_acct = acct;
+        ref = routed;
+        continue;
+      }
+      expect_same_accounting(ref_acct, acct);
+      ASSERT_EQ(ref.size(), routed.size());
+      for (std::size_t m = 0; m < routed.size(); ++m) {
+        ASSERT_EQ(ref[m].size(), routed[m].size())
+            << "machine " << m << " arena=" << arena
+            << " batched=" << batched;
+        for (std::size_t i = 0; i < routed[m].size(); ++i) {
+          EXPECT_EQ(ref[m][i].key, routed[m][i].key);
+          EXPECT_EQ(ref[m][i].value, routed[m][i].value);
+        }
+      }
+    }
+  }
+  // The skew actually exercised pacing: multiple real rounds happened.
+  EXPECT_GT(ref_acct.load_words.size(), 1u);
+}
+
+TEST(ArenaBitIdentity, DistinctCountAndPacedExchange) {
+  const ToggleGuard guard;
+  Accounting ref_acct;
+  std::uint64_t ref_count = 0;
+  std::vector<std::vector<std::uint64_t>> ref_payloads;
+  bool have_ref = false;
+  for (const bool arena : {true, false}) {
+    for (const bool batched : {true, false}) {
+      set_arena_exchange(arena);
+      set_exchange_batching(batched);
+      Cluster cluster = make_cluster(16, 32);
+      std::vector<std::vector<KeyedItem>> shards(16);
+      for (std::uint64_t i = 0; i < 32; ++i) {
+        shards[3].push_back(KeyedItem{7000 + i, 0});
+        shards[9].push_back(KeyedItem{7000 + (i % 11), 0});
+      }
+      const std::uint64_t count = distinct_count(cluster, std::move(shards));
+      // Multi-fragment fan-in on the same cluster: covers reassembly too.
+      std::vector<std::vector<MpcMessage>> out(16);
+      for (std::uint32_t m = 1; m < 16; ++m) {
+        out[m].push_back({0, std::vector<std::uint64_t>(13, m)});
+      }
+      const auto received = paced_exchange(cluster, std::move(out));
+      std::vector<std::vector<std::uint64_t>> payloads;
+      for (const MpcMessage& msg : received[0]) {
+        payloads.push_back(msg.payload);
+      }
+      const Accounting acct = fingerprint(cluster);
+      if (!have_ref) {
+        have_ref = true;
+        ref_acct = acct;
+        ref_count = count;
+        ref_payloads = payloads;
+        continue;
+      }
+      expect_same_accounting(ref_acct, acct);
+      EXPECT_EQ(ref_count, count);
+      EXPECT_EQ(ref_payloads, payloads)
+          << "arena=" << arena << " batched=" << batched;
+    }
+  }
+  EXPECT_EQ(ref_count, 32u);
+}
+
+TEST(ArenaBitIdentity, HashToMinOnGeneratorGraphs) {
+  const ToggleGuard guard;
+  const Graph graphs[] = {random_graph(96, 0.06, Prf(11)), cycle_graph(64),
+                          star_graph(40)};
+  for (const Graph& g : graphs) {
+    const LegalGraph lg = LegalGraph::with_identity(g);
+    Accounting ref_acct;
+    std::vector<Node> ref_labels;
+    bool have_ref = false;
+    for (const bool arena : {true, false}) {
+      for (const bool batched : {true, false}) {
+        set_arena_exchange(arena);
+        set_exchange_batching(batched);
+        Cluster cluster = make_cluster(16, 64);
+        const ConnectivityResult cc =
+            hash_to_min_components(cluster, lg, 64);
+        const Accounting acct = fingerprint(cluster);
+        if (!have_ref) {
+          have_ref = true;
+          ref_acct = acct;
+          ref_labels = cc.labels;
+          continue;
+        }
+        EXPECT_EQ(ref_acct.rounds, acct.rounds);
+        EXPECT_EQ(ref_acct.words, acct.words);
+        EXPECT_EQ(ref_labels, cc.labels)
+            << "n=" << g.n() << " arena=" << arena << " batched=" << batched;
+      }
+    }
+  }
+}
+
+// --- Span ownership / lifetime ---------------------------------------------
+
+TEST(ArenaLifetime, ViewsSurviveAcrossWavesMovesAndClusterDeath) {
+  // The mpc/arena.h contract: a delivered payload view lives exactly as
+  // long as the WaveInboxes (or BatchInboxes) owning its wave — across
+  // later waves, across moves of the owner, and past the Cluster itself.
+  // Under ASan any violation here is a hard failure.
+  std::span<const std::uint64_t> first_wave_view;
+  BatchInboxes waves;
+  {
+    auto cluster = std::make_unique<Cluster>(make_cluster(4, 16).config());
+    std::vector<std::vector<std::vector<MpcMessage>>> batch(
+        3, std::vector<std::vector<MpcMessage>>(4));
+    batch[0][0].push_back({1, {10, 11}});
+    batch[1][2].push_back({1, {20}});
+    batch[2][3].push_back({0, {30, 31, 32}});
+    waves = cluster->exchange_batch(std::move(batch));
+    ASSERT_EQ(waves.size(), 3u);
+    first_wave_view = waves[0][1][0].payload;
+    // A receiver that drained wave 2 can still read its wave-0 view.
+    EXPECT_EQ(to_vec(waves[2][0][0].payload),
+              (std::vector<std::uint64_t>{30, 31, 32}));
+  }  // the Cluster dies; the leased blocks (and the pool) live on
+  EXPECT_EQ(to_vec(first_wave_view), (std::vector<std::uint64_t>{10, 11}));
+  const BatchInboxes moved = std::move(waves);
+  EXPECT_EQ(to_vec(first_wave_view), (std::vector<std::uint64_t>{10, 11}));
+  EXPECT_EQ(to_vec(moved[1][1][0].payload),
+            (std::vector<std::uint64_t>{20}));
+}
+
+TEST(ArenaLifetime, LegacyPathHonoursTheSameContract) {
+  const ToggleGuard guard;
+  set_arena_exchange(false);
+  std::span<const std::uint64_t> view;
+  WaveInboxes held;
+  {
+    Cluster cluster = make_cluster(4, 16);
+    std::vector<std::vector<MpcMessage>> out(4);
+    out[2].push_back({3, {5, 6, 7}});
+    held = cluster.exchange(std::move(out));
+    view = held[3][0].payload;
+  }
+  EXPECT_EQ(to_vec(view), (std::vector<std::uint64_t>{5, 6, 7}));
+}
+
+TEST(ArenaLifetime, DeliveryOrderMatchesSerialReference) {
+  // Senders ascending, FIFO per sender — the radix scatter must reproduce
+  // the old serial merge order exactly.
+  Cluster cluster = make_cluster(4, 64);
+  std::vector<std::vector<MpcMessage>> out(4);
+  out[3].push_back({0, {33}});
+  out[1].push_back({0, {11}});
+  out[1].push_back({0, {12}});
+  out[2].push_back({0, {22}});
+  const WaveInboxes in = cluster.exchange(std::move(out));
+  ASSERT_EQ(in[0].size(), 4u);
+  EXPECT_EQ(in[0][0].payload[0], 11u);
+  EXPECT_EQ(in[0][1].payload[0], 12u);
+  EXPECT_EQ(in[0][2].payload[0], 22u);
+  EXPECT_EQ(in[0][3].payload[0], 33u);
+  EXPECT_EQ(in[0][0].dst, 0u);
+}
+
+// --- Allocator-pressure metrics --------------------------------------------
+
+TEST(ArenaMetrics, BlocksAreReusedAndFallbackIsCounted) {
+  const ToggleGuard guard;
+  set_arena_exchange(true);
+  obs::Counter& reuses =
+      obs::Registry::global().counter("cluster.arena_reuses");
+  obs::Counter& fallback =
+      obs::Registry::global().counter("cluster.arena_fallback_msgs");
+  Cluster cluster = make_cluster(4, 16);
+  const auto one_round = [&cluster] {
+    std::vector<std::vector<MpcMessage>> out(4);
+    out[0].push_back({1, {1, 2}});
+    return cluster.exchange(std::move(out));
+  };
+  const std::uint64_t reuses_before = reuses.value();
+  one_round();  // block leased and returned
+  one_round();  // must reuse the returned block
+  EXPECT_GT(reuses.value(), reuses_before);
+
+  const std::uint64_t fallback_before = fallback.value();
+  set_arena_exchange(false);
+  const WaveInboxes in = one_round();
+  EXPECT_EQ(fallback.value(), fallback_before + 1);
+  EXPECT_EQ(to_vec(in[1][0].payload), (std::vector<std::uint64_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace mpcstab

@@ -6,6 +6,7 @@
 // parallel_for minimum-work grain threshold.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -52,6 +53,11 @@ std::vector<std::uint64_t> keys_owned_by(std::uint32_t target,
 struct BatchingGuard {
   ~BatchingGuard() { set_exchange_batching(true); }
 };
+
+/// Owned copy of a delivered payload view (gtest-comparable).
+std::vector<std::uint64_t> to_vec(std::span<const std::uint64_t> payload) {
+  return std::vector<std::uint64_t>(payload.begin(), payload.end());
+}
 
 /// Full paper-model accounting fingerprint of a cluster run.
 struct Accounting {
@@ -267,9 +273,12 @@ TEST(ExchangeBatch, CountsEveryWaveAndDeliversInWaveOrder) {
   EXPECT_EQ(cluster.round_loads()[0].words, 2u);
   EXPECT_EQ(cluster.round_loads()[1].words, 3u);
   EXPECT_EQ(inboxes[0][1].size(), 1u);
-  EXPECT_EQ(inboxes[0][1][0].payload, (std::vector<std::uint64_t>{10}));
-  EXPECT_EQ(inboxes[1][1][0].payload, (std::vector<std::uint64_t>{20, 21}));
-  EXPECT_EQ(inboxes[2][3][0].payload, (std::vector<std::uint64_t>{30}));
+  EXPECT_EQ(to_vec(inboxes[0][1][0].payload),
+            (std::vector<std::uint64_t>{10}));
+  EXPECT_EQ(to_vec(inboxes[1][1][0].payload),
+            (std::vector<std::uint64_t>{20, 21}));
+  EXPECT_EQ(to_vec(inboxes[2][3][0].payload),
+            (std::vector<std::uint64_t>{30}));
 }
 
 TEST(ExchangeBatch, SpaceViolationSurfacesAtItsWave) {
@@ -468,13 +477,17 @@ TEST(JobPools, ClusterBoundPoolDrivesItsExchanges) {
 TEST(Batcher, FusesConsecutiveRoundsAroundCharges) {
   Cluster cluster = make_cluster(4, 16);
   ExchangeBatcher batcher(cluster);
-  auto empty_round = [] {
-    return std::vector<std::vector<MpcMessage>>(4);
+  // A minimal non-empty round (empty rounds are free and uncounted — see
+  // the test below).
+  auto tiny_round = [] {
+    std::vector<std::vector<MpcMessage>> out(4);
+    out[0].push_back({1, {7}});
+    return out;
   };
-  EXPECT_EQ(batcher.add_round(empty_round()), 0u);
-  EXPECT_EQ(batcher.add_round(empty_round()), 1u);
+  EXPECT_EQ(batcher.add_round(tiny_round()), 0u);
+  EXPECT_EQ(batcher.add_round(tiny_round()), 1u);
   batcher.add_charge(3, "mid-batch handshake");
-  EXPECT_EQ(batcher.add_round(empty_round()), 2u);
+  EXPECT_EQ(batcher.add_round(tiny_round()), 2u);
   EXPECT_EQ(batcher.rounds_queued(), 3u);
   const auto inboxes = batcher.flush();
   EXPECT_EQ(inboxes.size(), 3u);
@@ -487,6 +500,27 @@ TEST(Batcher, FusesConsecutiveRoundsAroundCharges) {
   EXPECT_EQ(cluster.round_log()[1], "exchange");
   EXPECT_EQ(cluster.round_log()[2], "mid-batch handshake (+3)");
   EXPECT_EQ(cluster.round_log()[3], "exchange");
+}
+
+TEST(Batcher, QueuedEmptyRoundsAreFreeButKeepTheirIndex) {
+  // An all-empty wave moves no words, so it charges no round and leaves no
+  // log entry — but flush() still returns an (empty) inbox set at its
+  // add_round index, so callers' index bookkeeping cannot slip.
+  Cluster cluster = make_cluster(4, 16);
+  ExchangeBatcher batcher(cluster);
+  EXPECT_EQ(batcher.add_round(std::vector<std::vector<MpcMessage>>(4)), 0u);
+  std::vector<std::vector<MpcMessage>> real(4);
+  real[2].push_back({0, {42}});
+  EXPECT_EQ(batcher.add_round(std::move(real)), 1u);
+  const auto inboxes = batcher.flush();
+  ASSERT_EQ(inboxes.size(), 2u);
+  EXPECT_EQ(inboxes[0].total_messages(), 0u);
+  ASSERT_EQ(inboxes[1][0].size(), 1u);
+  EXPECT_EQ(to_vec(inboxes[1][0][0].payload),
+            (std::vector<std::uint64_t>{42}));
+  EXPECT_EQ(cluster.rounds(), 1u);
+  EXPECT_EQ(cluster.round_log().size(), 1u);
+  EXPECT_EQ(cluster.round_loads().size(), 1u);
 }
 
 }  // namespace

@@ -98,9 +98,12 @@ TEST(Pacing, NoMessagesNoRounds) {
   Cluster cluster = tiny(4, 16);
   std::vector<std::vector<MpcMessage>> out(4);
   const auto in = paced_exchange(cluster, std::move(out));
-  // One empty exchange happens (the scheduler's single pass).
+  // Nothing to send: every sender knows its queue is empty, so no
+  // coordination round happens at all — an empty transfer is free.
   for (const auto& inbox : in) EXPECT_TRUE(inbox.empty());
-  EXPECT_LE(cluster.rounds(), 1u);
+  EXPECT_EQ(cluster.rounds(), 0u);
+  EXPECT_EQ(cluster.words_moved(), 0u);
+  EXPECT_TRUE(cluster.round_log().empty());
 }
 
 TEST(Pacing, WrongArityRejected) {

@@ -203,8 +203,10 @@ TEST(DistinctCount, EmptyShardsSendNothing) {
   EXPECT_EQ(distinct_count(cluster, std::move(shards)), 1u);
   // Only empty sets would have moved besides machine 0's single key — and
   // empty sets ship nothing, so the whole run moves no words at all (the
-  // key already sits at the tree root, machine 0).
+  // key already sits at the tree root, machine 0) and the all-empty merge
+  // waves charge no rounds either.
   EXPECT_EQ(cluster.words_moved(), 0u);
+  EXPECT_EQ(cluster.rounds(), 0u);
 }
 
 TEST(DistinctCount, StorageAuditStillThrowsOnHighCardinality) {
