@@ -16,7 +16,9 @@
 #include "mpc/cluster.h"
 #include "obs/cli.h"
 #include "obs/export.h"
+#include "support/check.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace mpcstab::bench {
 
@@ -93,6 +95,19 @@ class Session {
   /// Adds a free-form key/value to the report's `info` object.
   void note(std::string key, std::string value) {
     report_.info.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Zeroes the global registry so the next measurement section starts
+  /// from clean counters. Refuses while engine jobs are in flight
+  /// (mirroring set_global_threads): a concurrent job's increments would
+  /// land half-before, half-after the reset, so every delta computed
+  /// across it — including the per-request attribution A/B checks — would
+  /// be nonsense.
+  void reset_metrics() {
+    require(active_jobs() == 0,
+            "cannot reset bench metrics while engine jobs are active — "
+            "drain the executor first");
+    obs::Registry::global().reset_values();
   }
 
   const std::string& json_path() const { return json_path_; }

@@ -122,6 +122,16 @@ int main(int argc, char** argv) {
     for (const char* line : kRequests) {
       reqs.push_back(*service::parse_request(line).request);
     }
+    // The canonical mix runs at default deployments, where these graphs fit
+    // a single machine and ship zero cross-machine words — which would make
+    // the attribution cross-check below vacuously 0 == 0. Add one request
+    // pinned to a multi-machine deployment so the concurrent batch really
+    // exercises per-job exchange attribution. Concurrent-section only: the
+    // gated per-request table above stays on kRequests, so the checked-in
+    // baseline is untouched.
+    reqs.push_back(*service::parse_request(
+                        R"({"id":6,"op":"coloring","graph":{"type":"cycle","n":512},"machines":8,"seed":5})")
+                        .request);
     const service::AdmissionLimits limits;
     const auto run_all = [&](std::vector<service::ExecResult>& out) {
       for (std::size_t i = 0; i < reqs.size(); ++i) {
@@ -132,6 +142,15 @@ int main(int argc, char** argv) {
     const auto s0 = std::chrono::steady_clock::now();
     run_all(serial);
     const auto s1 = std::chrono::steady_clock::now();
+
+    // Clean slate for the attribution cross-check below: after the reset,
+    // the process-wide cluster.exchanges delta across the concurrent batch
+    // must equal the sum of the 20 per-request overlay deltas. (Also the
+    // live exercise of Session::reset_metrics' active-jobs guard.)
+    session.reset_metrics();
+    obs::Counter& global_exchanges =
+        obs::Registry::global().counter("cluster.exchanges");
+    const std::uint64_t exchanges_before = global_exchanges.value();
 
     service::set_max_concurrent_engines(kClients);
     std::vector<std::vector<service::ExecResult>> parallel(
@@ -147,19 +166,55 @@ int main(int argc, char** argv) {
     const auto c1 = std::chrono::steady_clock::now();
     service::set_max_concurrent_engines(0);
 
+    const std::uint64_t exchanges_delta =
+        global_exchanges.value() - exchanges_before;
+
+    // Per-request metric deltas are part of the bit-identity contract: the
+    // overlay snapshot JSON must match the serial baseline byte for byte,
+    // and the per-request cluster.exchanges deltas must sum to the global
+    // counter's movement (nothing double-counted, nothing unattributed).
+    std::uint64_t attributed_exchanges = 0;
     for (unsigned c = 0; c < kClients; ++c) {
       for (std::size_t i = 0; i < reqs.size(); ++i) {
         const service::ExecResult& got = parallel[c][i];
         const service::ExecResult& want = serial[i];
         if (!got.ok || got.rounds != want.rounds || got.words != want.words ||
-            got.answer_json != want.answer_json) {
+            got.answer_json != want.answer_json ||
+            got.metrics_json != want.metrics_json) {
           std::cerr << "bench_service: concurrent client " << c
                     << " request " << reqs[i].id
                     << " diverged from the serial baseline\n";
           return 1;
         }
+        const auto doc = obs::parse_json(got.metrics_json);
+        if (!doc.has_value()) {
+          std::cerr << "bench_service: request " << reqs[i].id
+                    << " metrics payload is not valid JSON\n";
+          return 1;
+        }
+        for (const obs::JsonValue& entry : doc->array) {
+          if (entry.str("name") == "cluster.exchanges") {
+            attributed_exchanges +=
+                static_cast<std::uint64_t>(entry.num("value"));
+          }
+        }
       }
     }
+    if (attributed_exchanges != exchanges_delta) {
+      std::cerr << "bench_service: per-job cluster.exchanges deltas sum to "
+                << attributed_exchanges << " but the process counter moved "
+                << exchanges_delta << "\n";
+      return 1;
+    }
+    if (attributed_exchanges == 0) {
+      // Guard against the check decaying into 0 == 0: the pinned
+      // multi-machine request above must ship real exchange rounds.
+      std::cerr << "bench_service: concurrent mix shipped no exchanges — "
+                   "the attribution cross-check is vacuous\n";
+      return 1;
+    }
+    session.note("service.attributed_exchanges",
+                 std::to_string(attributed_exchanges));
 
     const auto ms = [](auto a, auto b) {
       return std::chrono::duration_cast<std::chrono::milliseconds>(b - a)

@@ -368,8 +368,7 @@ BStConnResult b_st_conn(Cluster& cluster, const LegalGraph& h_graph, Node s,
   if (!degree_ok) {
     result.simulations_run = 1;  // the first simulation reports the NO
   } else if (exchange_batching_enabled()) {
-    static obs::Counter& parallel_sims =
-        obs::Registry::global().counter("batching.parallel_simulations");
+    static obs::ScopedCounter parallel_sims{"batching.parallel_simulations"};
     parallel_sims.add(simulations);
     // Simulations belong to this cluster's job: dispatch them on its pool
     // so concurrent lifting requests never contend for one fork-join state.

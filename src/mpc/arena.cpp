@@ -41,17 +41,27 @@ ArenaLease ArenaPool::acquire() {
       free_.pop_back();
     }
   }
+  // Job-scoped: each request routes through its own Cluster's ArenaPool, so
+  // the reuse/alloc split depends only on that request's wave sequence (the
+  // free list drains min(free, waves) per batch regardless of which worker
+  // gets which block) — deterministic per request, attributable per job.
+  static obs::ScopedCounter reuses{"cluster.arena_reuses"};
+  static obs::ScopedCounter allocs{"cluster.arena_allocs"};
   if (block != nullptr) {
-    obs::Registry::global().counter("cluster.arena_reuses").add(1);
+    reuses.add(1);
     block->reset();
   } else {
-    obs::Registry::global().counter("cluster.arena_allocs").add(1);
+    allocs.add(1);
     block = std::make_unique<ArenaBlock>();
   }
   return ArenaLease(shared_from_this(), std::move(block));
 }
 
 void ArenaPool::put_back(std::unique_ptr<ArenaBlock> block) {
+  // Process-only on purpose: a block's capacity is the high-water mark of
+  // every wave it has EVER carried, which depends on which worker drew it —
+  // attributing it to a job would break serial-vs-concurrent bit-identity
+  // of per-request metrics.
   obs::Registry::global().gauge("cluster.arena_bytes").update_max(
       block->capacity_bytes());
   std::lock_guard<std::mutex> lock(mutex_);

@@ -46,14 +46,10 @@ void ExchangeBatcher::add_charge(std::uint64_t k, std::string what) {
 }
 
 BatchInboxes ExchangeBatcher::flush() {
-  static obs::Counter& flushes =
-      obs::Registry::global().counter("batching.flushes");
-  static obs::Counter& logical_rounds =
-      obs::Registry::global().counter("batching.logical_rounds");
-  static obs::Counter& engine_calls =
-      obs::Registry::global().counter("batching.engine_calls");
-  static obs::Counter& saved_dispatches =
-      obs::Registry::global().counter("batching.saved_dispatches");
+  static obs::ScopedCounter flushes{"batching.flushes"};
+  static obs::ScopedCounter logical_rounds{"batching.logical_rounds"};
+  static obs::ScopedCounter engine_calls{"batching.engine_calls"};
+  static obs::ScopedCounter saved_dispatches{"batching.saved_dispatches"};
 
   const bool fuse = exchange_batching_enabled();
   BatchInboxes inboxes;

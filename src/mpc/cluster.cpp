@@ -110,8 +110,9 @@ WaveInboxes Cluster::route_wave(std::vector<std::vector<MpcMessage>>& outboxes,
             std::span<const std::uint64_t>(stored.data(), stored.size())};
       }
     }
-    static obs::Counter& fallback =
-        obs::Registry::global().counter("cluster.arena_fallback_msgs");
+    // Scope-resolved: route_wave runs on pool workers under exchange_batch's
+    // parallel_for, and the overlay binding propagates through the dispatch.
+    static obs::ScopedCounter fallback{"cluster.arena_fallback_msgs"};
     fallback.add(total_msgs);
   }
   return WaveInboxes(std::move(lease));
@@ -207,12 +208,11 @@ void Cluster::account_round(const std::vector<std::uint64_t>& sent,
     tracer_->on_exchange(round_words, load.max_recv, load.skew());
   }
   {
-    static obs::Counter& exchanges =
-        obs::Registry::global().counter("cluster.exchanges");
-    static obs::Counter& words_total =
-        obs::Registry::global().counter("cluster.words");
-    static obs::Gauge& peak_recv =
-        obs::Registry::global().gauge("cluster.peak_recv");
+    // Scope-resolved handles attribute the round to the current request's
+    // overlay registry (when one is bound) as well as the process totals.
+    static obs::ScopedCounter exchanges{"cluster.exchanges"};
+    static obs::ScopedCounter words_total{"cluster.words"};
+    static obs::ScopedGauge peak_recv{"cluster.peak_recv"};
     exchanges.add(1);
     words_total.add(round_words);
     peak_recv.update_max(load.max_recv);
@@ -237,8 +237,7 @@ void Cluster::charge_rounds(std::uint64_t k, std::string_view what) {
   round_log_.emplace_back(std::string(what) + " (+" + std::to_string(k) +
                           ")");
   if (tracer_ != nullptr) tracer_->on_charge(k, what);
-  static obs::Counter& charged =
-      obs::Registry::global().counter("cluster.charged_rounds");
+  static obs::ScopedCounter charged{"cluster.charged_rounds"};
   charged.add(k);
 }
 

@@ -40,12 +40,9 @@ std::vector<std::vector<MpcMessage>> paced_exchange(
   obs::Span phase = cluster.span("paced-exchange");
   // The transfer's host-side loops run on the cluster's job pool.
   const PoolScope pool_scope(cluster.pool());
-  static obs::Counter& paced_rounds =
-      obs::Registry::global().counter("pacing.paced_rounds");
-  static obs::Counter& fragment_count =
-      obs::Registry::global().counter("pacing.fragments");
-  static obs::Counter& handshakes =
-      obs::Registry::global().counter("pacing.handshakes");
+  static obs::ScopedCounter paced_rounds{"pacing.paced_rounds"};
+  static obs::ScopedCounter fragment_count{"pacing.fragments"};
+  static obs::ScopedCounter handshakes{"pacing.handshakes"};
   const std::uint64_t budget = paced_round_budget(cluster);
   const std::uint64_t chunk_words = budget - 5;  // 4 header + 1 msg header
 

@@ -41,12 +41,9 @@ std::vector<std::vector<KeyedItem>> route_by_key(
   require(shards.size() == machines, "one shard per machine required");
   obs::Span phase = cluster.span("route-by-key");
   const PoolScope pool_scope(cluster.pool());
-  static obs::Counter& routed_items =
-      obs::Registry::global().counter("shuffle.routed_items");
-  static obs::Counter& paced_rounds =
-      obs::Registry::global().counter("shuffle.paced_rounds");
-  static obs::Counter& handshakes =
-      obs::Registry::global().counter("shuffle.handshakes");
+  static obs::ScopedCounter routed_items{"shuffle.routed_items"};
+  static obs::ScopedCounter paced_rounds{"shuffle.paced_rounds"};
+  static obs::ScopedCounter handshakes{"shuffle.handshakes"};
   // A positive override below one item's wire size could never ship
   // anything — reject it instead of silently raising it (see shuffle.h).
   require(budget_words == 0 || budget_words >= kRouteItemWords,
@@ -161,8 +158,7 @@ std::uint64_t distinct_count(Cluster& cluster,
   require(shards.size() == machines, "one shard per machine required");
   obs::Span phase = cluster.span("distinct-count");
   const PoolScope pool_scope(cluster.pool());
-  static obs::Counter& merge_levels =
-      obs::Registry::global().counter("shuffle.merge_levels");
+  static obs::ScopedCounter merge_levels{"shuffle.merge_levels"};
 
   // Local dedup (the "combiner"), then a fan-in-4 merge tree with per-level
   // dedup moving real, credit-paced messages. The transport never overflows

@@ -158,16 +158,8 @@ void write_bench_json(std::ostream& out, const BenchReport& report,
     if (i > 0) out << ",";
     write_run_json(out, report.runs[i]);
   }
-  out << "],\"metrics\":[";
-  const std::vector<MetricSample> samples = registry.snapshot();
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    if (i > 0) out << ",";
-    const MetricSample& s = samples[i];
-    out << "{\"name\":\"" << json_escape(s.name) << "\",\"type\":\""
-        << sample_type_name(s.type) << "\",\"value\":" << s.value
-        << ",\"max\":" << s.max << ",\"sum\":" << s.sum << "}";
-  }
-  out << "]}\n";
+  out << "],\"metrics\":" << metrics_json_array(registry.snapshot())
+      << "}\n";
 }
 
 bool write_bench_json(const std::string& path, const BenchReport& report,
@@ -207,6 +199,111 @@ std::string json_escape(std::string_view s) {
         } else {
           out += c;
         }
+    }
+  }
+  return out;
+}
+
+std::string metric_sample_json(const MetricSample& sample) {
+  std::string out;
+  out.reserve(96);
+  out += "{\"name\":\"";
+  out += json_escape(sample.name);
+  out += "\",\"type\":\"";
+  out += sample_type_name(sample.type);
+  out += "\",\"value\":";
+  out += std::to_string(sample.value);
+  out += ",\"max\":";
+  out += std::to_string(sample.max);
+  out += ",\"sum\":";
+  out += std::to_string(sample.sum);
+  if (sample.type == MetricSample::Type::kHistogram) {
+    out += ",\"p50\":";
+    out += std::to_string(sample.p50);
+    out += ",\"p95\":";
+    out += std::to_string(sample.p95);
+    out += ",\"p99\":";
+    out += std::to_string(sample.p99);
+  }
+  out += "}";
+  return out;
+}
+
+std::string metrics_json_array(const std::vector<MetricSample>& samples) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) out += ",";
+    out += metric_sample_json(samples[i]);
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+
+/// `subsystem.metric` -> `mpcstab_subsystem_metric`; any character outside
+/// the Prometheus name alphabet [a-zA-Z0-9_:] becomes '_'.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "mpcstab_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_prometheus_family(std::string& out, const std::string& name,
+                              const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += " ";
+  out += type;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string prometheus_text(const Registry& registry) {
+  const std::vector<MetricSample> samples = registry.snapshot();
+  std::string out;
+  out.reserve(64 * samples.size() + 64);
+  for (const MetricSample& s : samples) {
+    const std::string name = prometheus_name(s.name);
+    switch (s.type) {
+      case MetricSample::Type::kCounter: {
+        const std::string family = name + "_total";
+        append_prometheus_family(out, family, "counter");
+        out += family + " " + std::to_string(s.value) + "\n";
+        break;
+      }
+      case MetricSample::Type::kGauge: {
+        append_prometheus_family(out, name, "gauge");
+        out += name + " " + std::to_string(s.value) + "\n";
+        const std::string peak = name + "_max";
+        append_prometheus_family(out, peak, "gauge");
+        out += peak + " " + std::to_string(s.max) + "\n";
+        break;
+      }
+      case MetricSample::Type::kHistogram: {
+        append_prometheus_family(out, name, "histogram");
+        // Cumulative pow2 buckets; the +Inf edge and _count both report the
+        // bucket total so the family stays internally consistent even when
+        // the snapshot tore against a concurrent observe.
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          cumulative += s.buckets[i];
+          out += name + "_bucket{le=\"" +
+                 std::to_string(Histogram::bucket_upper_bound(i)) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+               "\n";
+        out += name + "_sum " + std::to_string(s.sum) + "\n";
+        out += name + "_count " + std::to_string(cumulative) + "\n";
+        break;
+      }
     }
   }
   return out;

@@ -22,6 +22,10 @@
 //   }, ...],
 //   "metrics": [{"name","type","value","max","sum"}, ...]
 // }
+//
+// Histogram entries in "metrics" additionally carry "p50","p95","p99"
+// (pow2-bucket quantile estimates; tools/bench_diff.py ignores the metrics
+// section, so the extra fields never gate).
 #pragma once
 
 #include <cstdint>
@@ -77,6 +81,25 @@ bool write_bench_json(const std::string& path, const BenchReport& report,
 
 /// Escapes `s` for embedding in a JSON string literal (no quotes added).
 std::string json_escape(std::string_view s);
+
+/// One metric sample as a JSON object: {"name","type","value","max","sum"},
+/// plus "p50"/"p95"/"p99" for histograms. Shared by the bench report, the
+/// service's statusz/result payloads and tests, so every exporter agrees on
+/// the schema.
+std::string metric_sample_json(const MetricSample& sample);
+
+/// A snapshot as a JSON array of metric_sample_json objects, in snapshot
+/// order (type, then name) — deterministic for a deterministic snapshot.
+std::string metrics_json_array(const std::vector<MetricSample>& samples);
+
+/// Renders a registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4): names are prefixed `mpcstab_` with dots mapped to
+/// underscores; counters gain the `_total` suffix; gauges export the value
+/// plus a companion `<name>_max` gauge; histograms export cumulative
+/// pow2 `_bucket{le="..."}` series with `+Inf`, `_sum` and `_count` (the
+/// count is derived from the bucket sum so the exposition is internally
+/// consistent under concurrent observes).
+std::string prometheus_text(const Registry& registry = Registry::global());
 
 /// The body of one NDJSON trace-event line — the `"event":...,"name":...,
 /// "depth":...,"rounds":...,"words":...,"max_recv":...,"skew":...` member

@@ -2,8 +2,16 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace mpcstab::obs {
+
+namespace {
+
+/// The overlay bound to this thread by the innermost live RegistryScope.
+thread_local Registry* bound_overlay = nullptr;
+
+}  // namespace
 
 void Histogram::observe(std::uint64_t value) {
   count_.fetch_add(1, std::memory_order_relaxed);
@@ -18,6 +26,42 @@ void Histogram::observe(std::uint64_t value) {
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
+std::uint64_t Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Walk a bucket snapshot rather than live atomics so the rank and the
+  // cumulative walk agree with each other even under concurrent observes.
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = bucket(i);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  // Nearest rank: the smallest r in [1, total] with r >= q * total.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (cumulative + counts[i] < rank) {
+      cumulative += counts[i];
+      continue;
+    }
+    // Interpolate linearly between the bucket's bounds by the rank's
+    // position inside it, then clamp to the observed maximum so a
+    // single-tail bucket never reports beyond any real observation.
+    const double lo = static_cast<double>(bucket_lower_bound(i));
+    const double hi = static_cast<double>(bucket_upper_bound(i));
+    const double inside = static_cast<double>(rank - cumulative - 1) /
+                          static_cast<double>(counts[i]);
+    const auto estimate =
+        static_cast<std::uint64_t>(std::llround(lo + (hi - lo) * inside));
+    return std::min(estimate, max());
+  }
+  return max();
+}
+
 void Histogram::reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
@@ -27,16 +71,25 @@ void Histogram::reset() {
 
 Counter& Registry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    return it->second;
+  }
   return counters_.try_emplace(std::string(name)).first->second;
 }
 
 Gauge& Registry::gauge(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = gauges_.find(name); it != gauges_.end()) {
+    return it->second;
+  }
   return gauges_.try_emplace(std::string(name)).first->second;
 }
 
 Histogram& Registry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = histograms_.find(name); it != histograms_.end()) {
+    return it->second;
+  }
   return histograms_.try_emplace(std::string(name)).first->second;
 }
 
@@ -55,8 +108,9 @@ std::vector<MetricSample> Registry::snapshot() const {
     MetricSample s;
     s.name = name;
     s.type = MetricSample::Type::kGauge;
-    s.value = gauge.value();
-    s.max = gauge.max();
+    const Gauge::Sample pair = gauge.sample();
+    s.value = pair.value;
+    s.max = pair.max;
     samples.push_back(std::move(s));
   }
   for (const auto& [name, hist] : histograms_) {
@@ -66,6 +120,21 @@ std::vector<MetricSample> Registry::snapshot() const {
     s.value = hist.count();
     s.max = hist.max();
     s.sum = hist.sum();
+    s.p50 = hist.quantile(0.50);
+    s.p95 = hist.quantile(0.95);
+    s.p99 = hist.quantile(0.99);
+    std::size_t highest = 0;
+    bool any = false;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (hist.bucket(i) != 0) {
+        highest = i;
+        any = true;
+      }
+    }
+    if (any) {
+      s.buckets.resize(highest + 1);
+      for (std::size_t i = 0; i <= highest; ++i) s.buckets[i] = hist.bucket(i);
+    }
     samples.push_back(std::move(s));
   }
   return samples;
@@ -84,5 +153,18 @@ Registry& Registry::global() {
   // increment during static destruction otherwise.
   return *instance;
 }
+
+RegistryScope::RegistryScope(Registry* overlay) {
+  if (overlay == nullptr) return;  // no-op binding: keep the enclosing one
+  previous_ = bound_overlay;
+  bound_overlay = overlay;
+  bound_ = true;
+}
+
+RegistryScope::~RegistryScope() {
+  if (bound_) bound_overlay = previous_;
+}
+
+Registry* RegistryScope::current() { return bound_overlay; }
 
 }  // namespace mpcstab::obs

@@ -1,22 +1,39 @@
-// Process-wide metrics registry: named counters, gauges and histograms with
+// Two-level metrics registry: named counters, gauges and histograms with
 // lock-free increments, safe to bump from inside the worker pool.
 //
 // The registry complements the per-cluster Tracer (obs/trace.h): the tracer
 // answers "where did *this run's* rounds go", the registry answers "how hard
 // did the engine work across the whole process" (paced rounds, handshake
-// charges, pool dispatches, wait times). Instruments cache the returned
-// reference once (name lookup takes a mutex; increments are relaxed
-// atomics), e.g.:
+// charges, pool dispatches, wait times).
 //
-//   static obs::Counter& paced = obs::Registry::global().counter(
-//       "shuffle.paced_rounds");
-//   paced.add(waves);
+// Attribution happens through two layers:
+//
+//   * The **global registry** (`Registry::global()`) accumulates
+//     process-lifetime totals. Process-only instruments (pool dispatch
+//     stats, engine gate waits, arena capacity peaks) cache the returned
+//     reference once and write directly:
+//
+//       static obs::Counter& jobs = obs::Registry::global().counter(
+//           "pool.jobs");
+//       jobs.add(1);
+//
+//   * A **job overlay** is any plain `Registry` bound to the current thread
+//     via `RegistryScope`. Engine instruments that should be attributable
+//     per request use the `Scoped*` handles below: every write lands in the
+//     global registry (cached reference, relaxed atomic) and, when an
+//     overlay is bound, in the overlay too (name lookup per write — the
+//     overlay holds a handful of instruments, and overlay writes happen on
+//     engine control paths, not per-item inner loops). The bound overlay
+//     propagates through `parallel_for` dispatch into pool workers (see
+//     support/thread_pool.cpp), so increments from inside a job's worker
+//     chunks attribute to that job.
 //
 // Naming convention (see DESIGN.md "Observability"): lowercase dotted paths
 // `subsystem.metric` — `cluster.exchanges`, `shuffle.paced_rounds`,
 // `pool.task_wait_ns`, `cluster.peak_recv`.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -45,8 +62,22 @@ class Counter {
 
 /// Gauge: last-set value plus a running maximum (for peaks like
 /// `cluster.peak_recv`).
+///
+/// `set()` stores the value and then raises the maximum as two independent
+/// relaxed atomics, so a reader interleaving between them can observe the
+/// new value with the old max. That torn pair is admissible for the
+/// individual accessors (each is exact for *some* recent instant), but an
+/// exported (value, max) pair must satisfy `max >= value` — use `sample()`,
+/// which clamps the pair back onto the invariant, for any snapshot that
+/// leaves the process.
 class Gauge {
  public:
+  /// Coherent (value, max) pair with `max >= value` guaranteed.
+  struct Sample {
+    std::uint64_t value = 0;
+    std::uint64_t max = 0;
+  };
+
   void set(std::uint64_t value) {
     value_.store(value, std::memory_order_relaxed);
     update_max(value);
@@ -62,6 +93,18 @@ class Gauge {
     return value_.load(std::memory_order_relaxed);
   }
   std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Reads value then max and clamps `max` up to `value`: if the reader
+  /// lands inside a concurrent `set()` (value stored, max not yet raised),
+  /// the clamp substitutes the value that `update_max` is about to publish,
+  /// so the exported pair never violates `max >= value`.
+  Sample sample() const {
+    Sample s;
+    s.value = value();
+    s.max = std::max(max(), s.value);
+    return s;
+  }
+
   void reset() {
     value_.store(0, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);
@@ -93,6 +136,24 @@ class Histogram {
   std::uint64_t bucket(std::size_t i) const {
     return buckets_.at(i).load(std::memory_order_relaxed);
   }
+
+  /// Nearest-rank quantile estimate from the pow2 buckets, linearly
+  /// interpolated inside the landing bucket (bucket 0 spans {0, 1}, bucket
+  /// b spans [2^b, 2^{b+1} - 1]) and clamped to the observed maximum.
+  /// q is clamped to [0, 1]; returns 0 when the histogram is empty.
+  /// Concurrent observes during the walk are admissible torn reads.
+  std::uint64_t quantile(double q) const;
+
+  /// Smallest and largest value a bucket can hold (exposition writers need
+  /// the upper bound for cumulative `le=` edges).
+  static std::uint64_t bucket_lower_bound(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << i;
+  }
+  static std::uint64_t bucket_upper_bound(std::size_t i) {
+    return i >= kBuckets - 1 ? ~std::uint64_t{0}
+                             : (std::uint64_t{1} << (i + 1)) - 1;
+  }
+
   void reset();
 
  private:
@@ -110,6 +171,12 @@ struct MetricSample {
   std::uint64_t value = 0;  ///< counter total / gauge value / histogram count
   std::uint64_t max = 0;    ///< gauge/histogram maximum (0 for counters)
   std::uint64_t sum = 0;    ///< histogram only
+  std::uint64_t p50 = 0;    ///< histogram only: quantile estimates
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  /// Histogram only: per-bucket counts, trimmed after the highest non-empty
+  /// bucket (empty for counters/gauges and for empty histograms).
+  std::vector<std::uint64_t> buckets;
 };
 
 /// Thread-safe name -> instrument registry. Returned references stay valid
@@ -123,11 +190,15 @@ class Registry {
   Histogram& histogram(std::string_view name);
 
   /// All metrics, sorted by (type, name). Concurrent increments during the
-  /// snapshot are admissible torn reads (each metric is itself atomic).
+  /// snapshot are admissible torn reads (each metric is itself atomic),
+  /// except that gauge pairs always satisfy `max >= value` (Gauge::sample).
   std::vector<MetricSample> snapshot() const;
 
   /// Zeroes every registered metric (names stay registered). Bench sessions
-  /// and tests use this to scope measurements.
+  /// and tests use this to scope measurements — never call it while engine
+  /// jobs are in flight (bench::Session::reset_metrics enforces this): a
+  /// concurrent job's increments land half-before, half-after the reset and
+  /// every delta computed across it is nonsense.
   void reset_values();
 
   /// The process-wide registry all engine instrumentation writes to.
@@ -138,6 +209,100 @@ class Registry {
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Binds an overlay Registry to the current thread for the scope's
+/// lifetime; `Scoped*` instrument writes land in it in addition to the
+/// global registry. Scopes nest (inner overlay shadows outer; the outer
+/// binding is restored on destruction) and a null overlay is a no-op
+/// binding that leaves the current overlay in place — pool workers use
+/// `RegistryScope(dispatching job's overlay)` to inherit attribution, so
+/// "dispatcher had no overlay" must not clobber an enclosing binding.
+///
+/// The overlay must outlive the scope (executor jobs keep it on the
+/// `execute_on` stack frame and unbind before it is destroyed).
+class RegistryScope {
+ public:
+  explicit RegistryScope(Registry* overlay);
+  ~RegistryScope();
+  RegistryScope(const RegistryScope&) = delete;
+  RegistryScope& operator=(const RegistryScope&) = delete;
+
+  /// The overlay bound to the calling thread, or nullptr outside any scope.
+  static Registry* current();
+
+ private:
+  Registry* previous_ = nullptr;
+  bool bound_ = false;
+};
+
+/// Scope-resolving counter handle: `add()` always hits the cached global
+/// instrument (relaxed atomic, wait-free) and, when the calling thread has
+/// a RegistryScope overlay bound, also resolves `name` in the overlay and
+/// adds there. Declare once per call site:
+///
+///   static obs::ScopedCounter exchanges{"cluster.exchanges"};
+///   exchanges.add(1);
+///
+/// Safe to call from pool workers — the overlay binding propagates through
+/// parallel_for dispatch.
+class ScopedCounter {
+ public:
+  explicit ScopedCounter(std::string_view name)
+      : name_(name), global_(Registry::global().counter(name)) {}
+
+  void add(std::uint64_t delta = 1) {
+    global_.add(delta);
+    if (Registry* overlay = RegistryScope::current()) {
+      overlay->counter(name_).add(delta);
+    }
+  }
+
+ private:
+  std::string name_;
+  Counter& global_;
+};
+
+/// Scope-resolving gauge handle (see ScopedCounter).
+class ScopedGauge {
+ public:
+  explicit ScopedGauge(std::string_view name)
+      : name_(name), global_(Registry::global().gauge(name)) {}
+
+  void set(std::uint64_t value) {
+    global_.set(value);
+    if (Registry* overlay = RegistryScope::current()) {
+      overlay->gauge(name_).set(value);
+    }
+  }
+  void update_max(std::uint64_t value) {
+    global_.update_max(value);
+    if (Registry* overlay = RegistryScope::current()) {
+      overlay->gauge(name_).update_max(value);
+    }
+  }
+
+ private:
+  std::string name_;
+  Gauge& global_;
+};
+
+/// Scope-resolving histogram handle (see ScopedCounter).
+class ScopedHistogram {
+ public:
+  explicit ScopedHistogram(std::string_view name)
+      : name_(name), global_(Registry::global().histogram(name)) {}
+
+  void observe(std::uint64_t value) {
+    global_.observe(value);
+    if (Registry* overlay = RegistryScope::current()) {
+      overlay->histogram(name_).observe(value);
+    }
+  }
+
+ private:
+  std::string name_;
+  Histogram& global_;
 };
 
 }  // namespace mpcstab::obs

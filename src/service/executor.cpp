@@ -124,27 +124,54 @@ std::uint64_t iteration_budget(std::uint64_t n) {
   return 2 * bits + 8;
 }
 
-std::string registry_metrics_json() {
-  std::string out = "[";
-  bool first = true;
-  for (const obs::MetricSample& s : obs::Registry::global().snapshot()) {
-    if (!first) out += ',';
-    first = false;
-    const char* type = s.type == obs::MetricSample::Type::kCounter ? "counter"
-                       : s.type == obs::MetricSample::Type::kGauge
-                           ? "gauge"
-                           : "histogram";
-    out += std::move(JsonObject()
-                         .field("name", s.name)
-                         .field("type", type)
-                         .field("value", s.value)
-                         .field("max", s.max)
-                         .field("sum", s.sum))
-               .str();
-  }
-  out += ']';
-  return out;
+/// Live in-flight-job directory backing the statusz "jobs" rows. Entries
+/// point at overlay registries living on execute_on stack frames; the
+/// registration RAII below removes an entry (under the mutex) before its
+/// overlay is destroyed, and statusz_json snapshots overlays while holding
+/// the mutex, so a snapshot can never race an overlay's destruction.
+struct JobEntry {
+  std::uint64_t id = 0;   ///< admission serial (monotone, process-wide)
+  std::string op;
+  const obs::Registry* overlay = nullptr;
+};
+
+struct JobDirectory {
+  std::mutex mutex;
+  std::vector<JobEntry> jobs;  ///< admission order
+  std::uint64_t next_id = 1;
+};
+
+JobDirectory& job_directory() {
+  static JobDirectory directory;
+  return directory;
 }
+
+/// Registers one in-flight request for the statusz job listing. Disabled
+/// for the introspection ops themselves (ping, statusz) — they are not
+/// engine work and would only clutter the listing.
+class JobRegistration {
+ public:
+  JobRegistration(const std::string& op, const obs::Registry* overlay,
+                  bool enabled) {
+    if (!enabled) return;
+    JobDirectory& dir = job_directory();
+    const std::lock_guard<std::mutex> lock(dir.mutex);
+    id_ = dir.next_id++;
+    dir.jobs.push_back(JobEntry{id_, op, overlay});
+  }
+  ~JobRegistration() {
+    if (id_ == 0) return;
+    JobDirectory& dir = job_directory();
+    const std::lock_guard<std::mutex> lock(dir.mutex);
+    std::erase_if(dir.jobs,
+                  [this](const JobEntry& e) { return e.id == id_; });
+  }
+  JobRegistration(const JobRegistration&) = delete;
+  JobRegistration& operator=(const JobRegistration&) = delete;
+
+ private:
+  std::uint64_t id_ = 0;
+};
 
 std::string run_connectivity(Cluster& cluster, const LegalGraph& g,
                              const Request& req) {
@@ -260,6 +287,33 @@ void set_max_concurrent_engines(unsigned limit) {
   requested_engine_limit.store(limit, std::memory_order_relaxed);
 }
 
+std::string statusz_json() {
+  std::string jobs = "[";
+  {
+    JobDirectory& dir = job_directory();
+    const std::lock_guard<std::mutex> lock(dir.mutex);
+    bool first = true;
+    for (const JobEntry& entry : dir.jobs) {
+      if (!first) jobs += ',';
+      first = false;
+      jobs += std::move(
+                  JsonObject()
+                      .field("job", entry.id)
+                      .field("op", entry.op)
+                      .raw("metrics",
+                           obs::metrics_json_array(entry.overlay->snapshot())))
+                  .str();
+    }
+  }
+  jobs += ']';
+  return std::move(
+             JsonObject()
+                 .raw("metrics", obs::metrics_json_array(
+                                     obs::Registry::global().snapshot()))
+                 .raw("jobs", jobs))
+      .str();
+}
+
 ExecResult execute_on(Cluster& cluster, const LegalGraph& g,
                       const Request& req, const ExecOptions& opts) {
   ExecResult out;
@@ -267,6 +321,16 @@ ExecResult execute_on(Cluster& cluster, const LegalGraph& g,
   obs::Tracer& tracer = cluster.enable_tracing();
   const std::uint64_t rounds0 = cluster.rounds();
   const std::uint64_t words0 = cluster.words_moved();
+  // Per-request attribution: every Scoped* instrument write during this
+  // request (orchestration thread and pool workers alike) lands in this
+  // overlay as well as in the global registry. Declaration order matters —
+  // the scope unbinds and the directory entry is removed before the overlay
+  // is destroyed.
+  obs::Registry job_metrics;
+  const JobRegistration registration(
+      req.op, &job_metrics,
+      /*enabled=*/req.op != "ping" && req.op != "statusz");
+  const obs::RegistryScope attribution(&job_metrics);
   // Deadline checks piggyback on trace events: every exchange and charge
   // passes through here on the orchestration thread. Span-end events are
   // exempt — they fire from Span destructors, which must not throw.
@@ -288,9 +352,7 @@ ExecResult execute_on(Cluster& cluster, const LegalGraph& g,
       if (req.op == "ping") {
         out.answer_json = std::move(JsonObject().field("pong", true)).str();
       } else if (req.op == "statusz") {
-        out.answer_json =
-            std::move(JsonObject().raw("metrics", registry_metrics_json()))
-                .str();
+        out.answer_json = statusz_json();
       } else if (req.op == "connectivity") {
         out.answer_json = run_connectivity(cluster, g, req);
       } else if (req.op == "coloring") {
@@ -326,6 +388,9 @@ ExecResult execute_on(Cluster& cluster, const LegalGraph& g,
   tracer.set_sink({});
   out.rounds = cluster.rounds() - rounds0;
   out.words = cluster.words_moved() - words0;
+  // Serialized even for failed runs (partial deltas are still honest
+  // attribution); result events only forward it for successes.
+  out.metrics_json = obs::metrics_json_array(job_metrics.snapshot());
   if (opts.capture_record && out.ok) {
     // An aborted run can leave spans open, so records are success-only.
     out.record = obs::capture_run(req.op, cluster);
@@ -392,7 +457,18 @@ ExecResult execute(const Request& req, const ExecOptions& opts,
   const LegalGraph g = LegalGraph::with_identity(std::move(topology));
   Cluster cluster(config);
   cluster.set_pool(pool);
-  return execute_on(cluster, g, req, opts);
+  // Engine wall time stays process-only (observed after the request's
+  // overlay is gone): wall-clock in per-request metrics would break the
+  // serial-vs-concurrent bit-identity contract.
+  static obs::Histogram& run_ns =
+      obs::Registry::global().histogram("engine.run_ns");
+  const auto engine_started = std::chrono::steady_clock::now();
+  ExecResult result = execute_on(cluster, g, req, opts);
+  run_ns.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - engine_started)
+          .count()));
+  return result;
 }
 
 }  // namespace mpcstab::service

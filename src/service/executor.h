@@ -58,6 +58,13 @@ struct ExecResult {
   std::string answer_json;    ///< op-specific JSON object ("{}" when !ok)
   std::uint64_t rounds = 0;   ///< cluster rounds consumed by this request
   std::uint64_t words = 0;    ///< words moved by this request
+  /// JSON array of this request's own metric deltas (the job overlay
+  /// registry's snapshot, obs::metrics_json_array schema). Deterministic
+  /// for a deterministic request: every overlaid instrument is
+  /// schedule-independent, so the string is bit-identical whether the
+  /// request ran serially or beside three others. "[]" until execute_on
+  /// runs (e.g. admission failures).
+  std::string metrics_json = "[]";
   std::optional<obs::RunRecord> record;  ///< when capture_record && ok
 };
 
@@ -70,6 +77,15 @@ unsigned max_concurrent_engines();
 /// resolution). Takes effect for requests admitted after the call; jobs
 /// already past the gate finish under the limit they were admitted with.
 void set_max_concurrent_engines(unsigned limit);
+
+/// Live process status as one JSON object:
+///   {"metrics": [...global registry snapshot...],
+///    "jobs": [{"job": <admission serial>, "op": "...",
+///              "metrics": [...that job's live overlay...]}, ...]}
+/// The "jobs" rows cover every engine request currently inside execute_on
+/// (admission order); their counters are live reads of in-flight overlays.
+/// Served as the statusz op's answer and by the daemon's /statusz endpoint.
+std::string statusz_json();
 
 /// Runs the op on a caller-provided cluster (tracing is enabled by this
 /// call). No admission gate, no job pool — the caller owns the cluster's

@@ -91,6 +91,92 @@ int open_tcp_listener(std::uint16_t port, std::uint16_t* bound,
   return fd;
 }
 
+/// Writes `data` fully; MSG_NOSIGNAL so a vanished scraper surfaces as an
+/// error return, not SIGPIPE.
+bool write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One metrics-plane HTTP exchange: read the request head (bounded, with a
+/// short overall patience so a stalled scraper cannot wedge the plane),
+/// answer GET /metrics | /statusz, close. HTTP/1.0-style: Connection:
+/// close on every response, no keep-alive — scrapes are one-shot.
+void serve_metrics_connection(int client) {
+  std::string head;
+  constexpr std::size_t kMaxHead = 8192;
+  for (int spins = 0; spins < 20; ++spins) {  // <= ~2s of patience
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos || head.size() >= kMaxHead) {
+      break;
+    }
+    pollfd pfd{client, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    char chunk[1024];
+    const ssize_t n = ::read(client, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    head.append(chunk, static_cast<std::size_t>(n));
+  }
+  // Request line: METHOD SP PATH SP VERSION. Query strings are ignored.
+  std::string method;
+  std::string path;
+  {
+    const std::size_t eol = head.find_first_of("\r\n");
+    const std::string line =
+        eol == std::string::npos ? head : head.substr(0, eol);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 != std::string::npos) {
+      method = line.substr(0, sp1);
+      path = sp2 == std::string::npos ? line.substr(sp1 + 1)
+                                      : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+    if (const std::size_t q = path.find('?'); q != std::string::npos) {
+      path.resize(q);
+    }
+  }
+  const char* status = "200 OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status = "405 Method Not Allowed";
+    body = "only GET is served here\n";
+  } else if (path == "/metrics") {
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = obs::prometheus_text();
+  } else if (path == "/statusz") {
+    content_type = "application/json";
+    body = statusz_json();
+    body += '\n';
+  } else {
+    status = "404 Not Found";
+    body = "try /metrics or /statusz\n";
+  }
+  std::string response = "HTTP/1.1 ";
+  response += status;
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: ";
+  response += std::to_string(body.size());
+  response += "\r\nConnection: close\r\n\r\n";
+  response += body;
+  write_all(client, response);
+  ::close(client);
+}
+
 }  // namespace
 
 Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
@@ -121,17 +207,31 @@ bool Server::start(std::string* error) {
       return false;
     }
   }
-  if (!opts_.trace_path.empty()) {
-    capture_.open(opts_.trace_path, std::ios::out | std::ios::trunc);
-    if (!capture_) {
-      *error = "cannot open trace file " + opts_.trace_path;
+  if (opts_.metrics_http) {
+    metrics_fd_ = open_tcp_listener(opts_.metrics_http_port, &metrics_port_,
+                                    error);
+    if (metrics_fd_ < 0) {
       if (unix_fd_ >= 0) ::close(unix_fd_);
       if (tcp_fd_ >= 0) ::close(tcp_fd_);
       unix_fd_ = tcp_fd_ = -1;
       return false;
     }
   }
+  if (!opts_.trace_path.empty()) {
+    capture_.open(opts_.trace_path, std::ios::out | std::ios::trunc);
+    if (!capture_) {
+      *error = "cannot open trace file " + opts_.trace_path;
+      if (unix_fd_ >= 0) ::close(unix_fd_);
+      if (tcp_fd_ >= 0) ::close(tcp_fd_);
+      if (metrics_fd_ >= 0) ::close(metrics_fd_);
+      unix_fd_ = tcp_fd_ = metrics_fd_ = -1;
+      return false;
+    }
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
+  if (metrics_fd_ >= 0) {
+    metrics_thread_ = std::thread([this] { metrics_loop(); });
+  }
   return true;
 }
 
@@ -141,6 +241,7 @@ void Server::wait() {
   std::lock_guard<std::mutex> guard(wait_mutex_);
   if (waited_) return;
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
   // Sessions can spawn only from the accept thread, so after the join the
   // vector is final.
   for (std::thread& session : sessions_) {
@@ -191,6 +292,24 @@ void Server::accept_loop() {
   if (unix_fd_ >= 0) ::close(unix_fd_);
   if (tcp_fd_ >= 0) ::close(tcp_fd_);
   unix_fd_ = tcp_fd_ = -1;
+}
+
+void Server::metrics_loop() {
+  static obs::Counter& scrapes =
+      obs::Registry::global().counter("service.metric_scrapes");
+  // One scrape at a time: the exposition is cheap to render and scrapers
+  // arrive at human cadence; sequential handling keeps the plane trivial.
+  while (!draining()) {
+    pollfd pfd{metrics_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the drain flag
+    const int client = ::accept(metrics_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    scrapes.add(1);
+    serve_metrics_connection(client);
+  }
+  ::close(metrics_fd_);
+  metrics_fd_ = -1;
 }
 
 void Server::handle_line(int fd, std::uint64_t conn_id, std::uint64_t* failed,
@@ -264,12 +383,19 @@ void Server::handle_line(int fd, std::uint64_t conn_id, std::uint64_t* failed,
     }
   };
 
+  const auto started = std::chrono::steady_clock::now();
   ExecResult result = execute(req, opts, opts_.limits);
+  const std::uint64_t wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
   inflight.set(inflight_.fetch_sub(1, std::memory_order_relaxed) - 1);
 
   std::string response;
   if (result.ok) {
     served_.fetch_add(1, std::memory_order_relaxed);
+    // The metrics array is the request's own deltas (job overlay) — wall
+    // time deliberately stays out of it so the payload is deterministic.
     response = std::move(JsonObject()
                              .field("id", req.id)
                              .field("event", "result")
@@ -277,6 +403,7 @@ void Server::handle_line(int fd, std::uint64_t conn_id, std::uint64_t* failed,
                              .field("op", req.op)
                              .field("rounds", result.rounds)
                              .field("words", result.words)
+                             .raw("metrics", result.metrics_json)
                              .raw("answer", result.answer_json))
                    .str();
   } else {
@@ -290,14 +417,18 @@ void Server::handle_line(int fd, std::uint64_t conn_id, std::uint64_t* failed,
                    .str();
   }
   if (*failed == 0 && !write_line(fd, response)) *failed = 1;
+  // wall_ns lives only in the server-side capture (trace_replay's
+  // --percentiles input), never in client-visible result events.
   capture_line(std::move(JsonObject()
                              .field("capture", "done")
                              .field("conn", conn_id)
                              .field("id", req.id)
+                             .field("op", req.op)
                              .field("ok", result.ok)
                              .field("kind", result.error_kind)
                              .field("rounds", result.rounds)
-                             .field("words", result.words))
+                             .field("words", result.words)
+                             .field("wall_ns", wall_ns))
                    .str());
   if (result.record.has_value()) {
     if (opts_.print_trace && result.record->traced) {

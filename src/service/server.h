@@ -43,6 +43,12 @@ struct ServerOptions {
   AdmissionLimits limits;
   std::string json_path;          ///< mpcstab-bench-v1 report at shutdown
   bool print_trace = false;       ///< print each request's span tree
+  /// Serve a minimal HTTP GET plane on 127.0.0.1: /metrics (Prometheus
+  /// text exposition of the global registry) and /statusz (the
+  /// statusz_json document, per-in-flight-job rows included). This is the
+  /// scrape plane only — engine requests stay on the NDJSON sockets.
+  bool metrics_http = false;
+  std::uint16_t metrics_http_port = 0;  ///< 0 = ephemeral (metrics_port())
 };
 
 class Server {
@@ -59,6 +65,9 @@ class Server {
 
   /// Actual TCP port (after an ephemeral bind); 0 when TCP is off.
   std::uint16_t tcp_port() const { return tcp_port_; }
+
+  /// Actual metrics HTTP port; 0 when the metrics plane is off.
+  std::uint16_t metrics_port() const { return metrics_port_; }
 
   /// Stops accepting; in-flight requests run to completion. Idempotent and
   /// async-signal-unsafe (call from a normal thread, not a handler).
@@ -78,6 +87,7 @@ class Server {
 
  private:
   void accept_loop();
+  void metrics_loop();
   void session_loop(int fd, std::uint64_t conn_id);
   void handle_line(int fd, std::uint64_t conn_id, std::uint64_t* failed,
                    const std::string& line);
@@ -86,13 +96,16 @@ class Server {
   ServerOptions opts_;
   int unix_fd_ = -1;
   int tcp_fd_ = -1;
+  int metrics_fd_ = -1;
   std::uint16_t tcp_port_ = 0;
+  std::uint16_t metrics_port_ = 0;
   std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> next_conn_{0};
   std::atomic<std::uint64_t> inflight_{0};
 
   std::thread accept_thread_;
+  std::thread metrics_thread_;
   std::mutex sessions_mutex_;
   std::vector<std::thread> sessions_;
 

@@ -157,6 +157,11 @@ struct Pool::Impl {
       std::lock_guard<std::mutex> lock(mutex_);
       job_n_ = n;
       job_fn_ = &fn;
+      // Workers inherit the dispatcher's metrics attribution: the job-bound
+      // overlay registry (if any) rides the job state so Scoped* instrument
+      // writes from inside chunks land in the same request overlay as the
+      // orchestration thread's.
+      job_overlay_ = obs::RegistryScope::current();
       job_chunks_ = used;
       chunks_left_ = used;
       errors_.assign(used, nullptr);
@@ -206,6 +211,9 @@ struct Pool::Impl {
     std::exception_ptr error;
     try {
       const RegionGuard nested_guard;  // nested parallel_for runs serially
+      // Re-binding the dispatcher's own overlay on chunk 0 (the calling
+      // thread) is a harmless nested scope; a null overlay is a no-op.
+      const obs::RegistryScope attribution(job_overlay_);
       for (std::size_t i = begin; i < end; ++i) (*job_fn_)(i);
     } catch (...) {
       error = std::current_exception();
@@ -225,6 +233,7 @@ struct Pool::Impl {
   std::uint64_t generation_ = 0;
   std::size_t job_n_ = 0;
   const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  obs::Registry* job_overlay_ = nullptr;  ///< dispatcher's RegistryScope
   unsigned job_chunks_ = 0;
   unsigned chunks_left_ = 0;
   std::vector<std::exception_ptr> errors_;

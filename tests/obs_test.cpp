@@ -3,10 +3,12 @@
 // exporters round-tripping through the bundled parser.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algorithms/connectivity.h"
@@ -272,6 +274,109 @@ TEST(Registry, EngineInstrumentsAccumulateInTheGlobalRegistry) {
   EXPECT_EQ(exchanges.value(), before + 2);
 }
 
+TEST(Registry, ScopedWritesLandInBothTheOverlayAndTheGlobal) {
+  obs::ScopedCounter counter("test.scoped.both");
+  obs::Counter& global = obs::Registry::global().counter("test.scoped.both");
+  const std::uint64_t before = global.value();
+
+  counter.add(1);  // no scope bound: global only
+  obs::Registry outer_overlay;
+  {
+    const obs::RegistryScope outer(&outer_overlay);
+    counter.add(2);
+    obs::Registry inner_overlay;
+    {
+      const obs::RegistryScope inner(&inner_overlay);
+      counter.add(4);  // shadows the outer overlay
+    }
+    counter.add(8);  // outer binding restored
+    {
+      const obs::RegistryScope noop(nullptr);  // keeps the enclosing binding
+      counter.add(16);
+    }
+    EXPECT_EQ(inner_overlay.counter("test.scoped.both").value(), 4u);
+  }
+  counter.add(32);  // unbound again
+
+  EXPECT_EQ(global.value(), before + 63);
+  EXPECT_EQ(outer_overlay.counter("test.scoped.both").value(), 26u);
+  EXPECT_EQ(obs::RegistryScope::current(), nullptr);
+}
+
+TEST(Registry, OverlayBindingPropagatesIntoPoolWorkers) {
+  // The dispatcher's overlay must follow parallel_for into worker chunks:
+  // this is what makes engine instruments attributable per request even
+  // when the work fans out across the job's pool.
+  obs::ScopedCounter counter("test.scoped.pool");
+  obs::Counter& global = obs::Registry::global().counter("test.scoped.pool");
+  const std::uint64_t before = global.value();
+  constexpr std::size_t kIters = 4096;
+  obs::Registry overlay;
+  {
+    const obs::RegistryScope scope(&overlay);
+    parallel_for(kIters, [&](std::size_t) { counter.add(1); });
+  }
+  EXPECT_EQ(overlay.counter("test.scoped.pool").value(), kIters);
+  EXPECT_EQ(global.value(), before + kIters);
+}
+
+TEST(Registry, GaugeSampleNeverViolatesTheMaxInvariant) {
+  // set() writes value and max as two relaxed atomics; sample() must paper
+  // over the torn window so exported pairs always satisfy max >= value.
+  obs::Gauge gauge;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t v = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      gauge.set(++v);
+    }
+  });
+  for (int i = 0; i < 20000; ++i) {
+    const obs::Gauge::Sample s = gauge.sample();
+    ASSERT_GE(s.max, s.value);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  gauge.set(3);
+  const obs::Gauge::Sample s = gauge.sample();
+  EXPECT_EQ(s.value, 3u);
+  EXPECT_GE(s.max, 3u);
+}
+
+TEST(Registry, HistogramQuantilesFromPow2Buckets) {
+  obs::Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u) << "empty histogram";
+  for (std::uint64_t v = 1; v <= 16; ++v) h.observe(v);
+  // Rank 8 of 16 lands at the start of the [8, 15] bucket.
+  EXPECT_EQ(h.quantile(0.50), 8u);
+  // Ranks 16 land in the [16, 31] bucket; the clamp to max() keeps the
+  // estimate at the real observed tail.
+  EXPECT_EQ(h.quantile(0.95), 16u);
+  EXPECT_EQ(h.quantile(1.0), 16u);
+
+  obs::Histogram repeated;
+  for (int i = 0; i < 3; ++i) repeated.observe(5);
+  // Interpolation inside [4, 7] overshoots the single observed value; the
+  // clamp to max() pulls every quantile back onto it.
+  EXPECT_EQ(repeated.quantile(0.99), 5u);
+}
+
+TEST(Registry, SnapshotCarriesHistogramQuantilesAndTrimmedBuckets) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("test.hist.snap");
+  for (std::uint64_t v = 1; v <= 16; ++v) h.observe(v);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  const obs::MetricSample& s = snap[0];
+  EXPECT_EQ(s.p50, 8u);
+  EXPECT_EQ(s.p95, 16u);
+  EXPECT_EQ(s.p99, 16u);
+  // Values 1..16 top out in bucket 4 ([16, 31]); the vector is trimmed
+  // right after the highest non-empty bucket.
+  const std::vector<std::uint64_t> expected{1, 2, 4, 8, 1};
+  EXPECT_EQ(s.buckets, expected);
+}
+
 // --- JSON export -----------------------------------------------------------
 
 TEST(Export, JsonEscape) {
@@ -404,6 +509,68 @@ TEST(Export, CaptureRunOnUntracedClusterSynthesizesARoot) {
   EXPECT_EQ(run.spans.rounds, cluster.rounds());
   EXPECT_EQ(run.spans.words, cluster.words_moved());
   EXPECT_TRUE(run.spans.children.empty());
+}
+
+TEST(Export, MetricsJsonArrayRoundTripsThroughTheParser) {
+  obs::Registry registry;
+  registry.counter("a.count").add(3);
+  registry.gauge("b.gauge").set(9);
+  for (std::uint64_t v = 1; v <= 16; ++v) {
+    registry.histogram("c.hist").observe(v);
+  }
+  const std::string json = obs::metrics_json_array(registry.snapshot());
+  const auto doc = obs::parse_json(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  ASSERT_EQ(doc->array.size(), 3u);
+  EXPECT_EQ(doc->array[0].str("name"), "a.count");
+  EXPECT_EQ(doc->array[0].str("type"), "counter");
+  EXPECT_DOUBLE_EQ(doc->array[0].num("value"), 3.0);
+  EXPECT_EQ(doc->array[1].str("type"), "gauge");
+  EXPECT_DOUBLE_EQ(doc->array[1].num("value"), 9.0);
+  EXPECT_DOUBLE_EQ(doc->array[1].num("max"), 9.0);
+  EXPECT_EQ(doc->array[2].str("type"), "histogram");
+  EXPECT_DOUBLE_EQ(doc->array[2].num("value"), 16.0);
+  EXPECT_DOUBLE_EQ(doc->array[2].num("sum"), 136.0);
+  EXPECT_DOUBLE_EQ(doc->array[2].num("p50"), 8.0);
+  EXPECT_DOUBLE_EQ(doc->array[2].num("p95"), 16.0);
+  EXPECT_DOUBLE_EQ(doc->array[2].num("p99"), 16.0);
+}
+
+TEST(Export, PrometheusTextExposesEveryInstrumentFamily) {
+  obs::Registry registry;
+  registry.counter("svc.req").add(7);
+  registry.gauge("pool.depth").set(3);
+  obs::Histogram& h = registry.histogram("wait.ns");
+  h.observe(1);
+  h.observe(5);
+  h.observe(5);
+  const std::string text = obs::prometheus_text(registry);
+
+  // Dotted names sanitize to the Prometheus alphabet under the common
+  // prefix; counters gain the _total convention.
+  EXPECT_NE(text.find("# TYPE mpcstab_svc_req_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mpcstab_svc_req_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mpcstab_pool_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mpcstab_pool_depth 3\n"), std::string::npos);
+  EXPECT_NE(text.find("mpcstab_pool_depth_max 3\n"), std::string::npos);
+
+  // Histogram: cumulative pow2 buckets — 1 lands in [0,1] (le="1"),
+  // both 5s in [4,7] (le="7") — with +Inf matching _count.
+  EXPECT_NE(text.find("# TYPE mpcstab_wait_ns histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mpcstab_wait_ns_bucket{le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mpcstab_wait_ns_bucket{le=\"7\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mpcstab_wait_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mpcstab_wait_ns_sum 11\n"), std::string::npos);
+  EXPECT_NE(text.find("mpcstab_wait_ns_count 3\n"), std::string::npos);
 }
 
 TEST(Export, TablesRenderWithoutThrowing) {

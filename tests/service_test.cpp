@@ -253,6 +253,73 @@ TEST(Executor, ConcurrentRequestsAreBitIdenticalToSerialRuns) {
     EXPECT_EQ(concurrent[i].words, serial[i].words) << "request " << i;
     EXPECT_EQ(concurrent[i].answer_json, serial[i].answer_json)
         << "request " << i;
+    // The per-request telemetry overlay is part of the determinism
+    // contract: job-scoped metrics depend only on the request, never on
+    // how the host scheduled the four jobs, so the serialized snapshot
+    // must match byte for byte.
+    EXPECT_EQ(concurrent[i].metrics_json, serial[i].metrics_json)
+        << "request " << i;
+  }
+}
+
+TEST(Executor, StatuszReportsParkedJobsWithLiveOverlays) {
+  // Two engine slots, both held by connectivity requests parked inside
+  // their trace sinks; a statusz request issued while they are parked must
+  // list both jobs with their op and a per-job metrics array. statusz
+  // itself bypasses the gate (and is not registered as a job), so it
+  // cannot deadlock against the parked holders.
+  const EngineLimitOverride two(2);
+  constexpr int kHolders = 2;
+  std::mutex m;
+  std::condition_variable cv;
+  int parked = 0;
+  bool release = false;
+  ExecOptions hold;
+  hold.sink = [&](const obs::TraceEvent&) {
+    std::unique_lock<std::mutex> lock(m);
+    ++parked;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  std::vector<std::thread> holders;
+  for (int h = 0; h < kHolders; ++h) {
+    holders.emplace_back([&] {
+      const ExecResult r = execute(
+          graph_request("connectivity", "cycle", 128), hold,
+          AdmissionLimits{});
+      EXPECT_TRUE(r.ok) << r.error_kind << ": " << r.error_message;
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return parked >= kHolders; });
+  }
+
+  Request status;
+  status.op = "statusz";
+  const ExecResult r = execute(status, {}, AdmissionLimits{});
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : holders) t.join();
+
+  ASSERT_TRUE(r.ok) << r.error_kind << ": " << r.error_message;
+  const auto doc = obs::parse_json(r.answer_json);
+  ASSERT_TRUE(doc.has_value()) << r.answer_json;
+  const obs::JsonValue* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr) << "statusz lost its global metrics array";
+  const obs::JsonValue* jobs = doc->find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_EQ(jobs->array.size(), static_cast<std::size_t>(kHolders))
+      << r.answer_json;
+  for (const obs::JsonValue& job : jobs->array) {
+    EXPECT_EQ(job.str("op"), "connectivity");
+    EXPECT_GT(job.num("job"), 0.0);
+    const obs::JsonValue* overlay = job.find("metrics");
+    ASSERT_NE(overlay, nullptr) << "job row without a live overlay";
   }
 }
 

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format (0.0.4) exposition file.
+
+Usage:
+    check_prometheus.py METRICS.prom [--require FAMILY]...
+
+Checks the scrape that CI pulls from mpcstabd's --metrics-port plane:
+
+  * every non-comment line parses as `name{labels} value`,
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, values parse as floats
+    (+Inf/-Inf/NaN allowed as values, not as bucket counts),
+  * every sample belongs to a family declared by a preceding `# TYPE` line
+    (a histogram family owns its _bucket/_sum/_count samples; a counter
+    family declared as `x` owns `x` even when the sample is `x_total` —
+    our writer declares the full `x_total` name, so exact match applies),
+  * no family is TYPE-declared twice,
+  * histogram buckets are cumulative (non-decreasing in file order), end
+    with an le="+Inf" bucket, and +Inf equals the family's _count.
+
+With --require FAMILY the named family must have at least one sample —
+CI uses this to prove the scrape actually hit a live daemon mid-run.
+
+Exit codes: 0 = valid, 1 = format violation, 2 = usage/I/O error.
+Stdlib only — runs on any CI python3 with no installs.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name, optional {labels}, whitespace, value (labels: no brace nesting).
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})?\s+(\S+)$")
+LABEL_RE = re.compile(r'^(\w[\w\d_]*)="((?:[^"\\]|\\.)*)"$')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(raw):
+    if raw in ("+Inf", "-Inf", "Inf", "NaN"):
+        return float(raw.replace("Inf", "inf").replace("NaN", "nan"))
+    return float(raw)
+
+
+def parse_labels(raw, complain):
+    """`{a="b",c="d"}` -> dict; None on malformed labels."""
+    labels = {}
+    body = raw[1:-1].strip()
+    if not body:
+        return labels
+    for part in body.split(","):
+        m = LABEL_RE.match(part.strip())
+        if m is None:
+            complain(f"malformed label {part!r}")
+            return None
+        labels[m.group(1)] = m.group(2)
+    return labels
+
+
+def family_of(name, types):
+    """The TYPE family owning a sample name (histogram suffixes strip)."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def check(path, required):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as err:
+        print(f"check_prometheus: cannot read {path}: {err}",
+              file=sys.stderr)
+        return 2
+
+    errors = 0
+
+    def complain(lineno, message):
+        nonlocal errors
+        errors += 1
+        print(f"check_prometheus: {path}:{lineno}: {message}",
+              file=sys.stderr)
+
+    types = {}             # family -> declared type
+    seen = set()           # families with at least one sample
+    buckets = {}           # family -> [(le, cumulative)]
+    counts = {}            # family -> _count value
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            fields = line.split()
+            if len(fields) >= 2 and fields[1] == "TYPE":
+                if len(fields) != 4:
+                    complain(lineno, f"malformed TYPE line: {line!r}")
+                    continue
+                family, kind = fields[2], fields[3]
+                if not NAME_RE.match(family):
+                    complain(lineno, f"bad family name {family!r}")
+                if kind not in VALID_TYPES:
+                    complain(lineno, f"unknown metric type {kind!r}")
+                if family in types:
+                    complain(lineno, f"duplicate TYPE for {family}")
+                types[family] = kind
+            continue  # HELP and other comments are free-form
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            complain(lineno, f"unparseable sample line: {line!r}")
+            continue
+        name, raw_labels, raw_value = m.groups()
+        try:
+            value = parse_value(raw_value)
+        except ValueError:
+            complain(lineno, f"non-numeric value {raw_value!r}")
+            continue
+        labels = {}
+        if raw_labels:
+            labels = parse_labels(
+                raw_labels, lambda msg: complain(lineno, msg))
+            if labels is None:
+                continue
+
+        family = family_of(name, types)
+        if family is None:
+            complain(lineno, f"sample {name} has no preceding # TYPE")
+            continue
+        seen.add(family)
+
+        if types[family] == "histogram":
+            if name == family + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    complain(lineno, f"{name} bucket without an le label")
+                    continue
+                history = buckets.setdefault(family, [])
+                if history and value < history[-1][1]:
+                    complain(
+                        lineno,
+                        f"{family} buckets not cumulative: "
+                        f'le="{le}" {value} < {history[-1][1]}')
+                history.append((le, value))
+            elif name == family + "_count":
+                counts[family] = value
+
+    for family, history in buckets.items():
+        if not history or history[-1][0] != "+Inf":
+            complain(len(lines), f"{family} buckets do not end with +Inf")
+            continue
+        inf = history[-1][1]
+        if family in counts and counts[family] != inf:
+            complain(
+                len(lines),
+                f"{family}_count {counts[family]} != +Inf bucket {inf}")
+
+    for family in required:
+        if family not in seen:
+            complain(len(lines), f"required family {family} has no samples")
+
+    if errors:
+        return 1
+    print(f"check_prometheus: OK ({len(seen)} families, "
+          f"{sum(1 for l in lines if l and not l.startswith('#'))} samples)")
+    return 0
+
+
+def main(argv):
+    args = argv[1:]
+    required = []
+    paths = []
+    while args:
+        arg = args.pop(0)
+        if arg == "--require":
+            if not args:
+                print("check_prometheus: --require needs a value",
+                      file=sys.stderr)
+                return 2
+            required.append(args.pop(0))
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return check(paths[0], required)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

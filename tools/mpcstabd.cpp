@@ -46,10 +46,10 @@ void on_signal(int) { g_signal = 1; }
 int usage() {
   std::cerr
       << "usage:\n"
-         "  mpcstabd serve --socket PATH [--port N] [--trace-file PATH]\n"
-         "                 [--max-request-bytes N] [--max-nodes N]\n"
-         "                 [--max-machines N] [--max-engines N]\n"
-         "                 [--json PATH] [--trace]\n"
+         "  mpcstabd serve --socket PATH [--port N] [--metrics-port N]\n"
+         "                 [--trace-file PATH] [--max-request-bytes N]\n"
+         "                 [--max-nodes N] [--max-machines N]\n"
+         "                 [--max-engines N] [--json PATH] [--trace]\n"
          "  mpcstabd client (--socket PATH | --connect HOST:PORT)\n"
          "                 [--timeout SEC] REQUEST_JSON... | -\n";
   return 1;
@@ -76,6 +76,12 @@ int run_serve(int argc, char** argv) {
       tcp = true;
       opts.tcp_port = static_cast<std::uint16_t>(
           std::strtoul(next("--port"), nullptr, 10));
+    } else if (arg == "--metrics-port") {
+      // 0 binds an ephemeral port; the bound port is printed on the
+      // "listening" line (metrics=...) so scrapers can discover it.
+      opts.metrics_http = true;
+      opts.metrics_http_port = static_cast<std::uint16_t>(
+          std::strtoul(next("--metrics-port"), nullptr, 10));
     } else if (arg == "--trace-file") {
       opts.trace_path = next("--trace-file");
     } else if (arg == "--max-request-bytes") {
@@ -107,6 +113,9 @@ int run_serve(int argc, char** argv) {
   std::cout << "mpcstabd: listening";
   if (!harness.json_path.empty()) std::cout << " json=" << harness.json_path;
   if (tcp) std::cout << " tcp=127.0.0.1:" << server.tcp_port();
+  if (server.metrics_port() != 0) {
+    std::cout << " metrics=127.0.0.1:" << server.metrics_port();
+  }
   std::cout << "\n" << std::flush;
   while (g_signal == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));

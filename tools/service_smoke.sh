@@ -35,7 +35,7 @@ fail() {
 }
 
 "$daemon" serve --socket "$sock" --trace-file "$trace" \
-  --max-request-bytes 4096 > "$dlog" 2>&1 &
+  --metrics-port 0 --max-request-bytes 4096 > "$dlog" 2>&1 &
 dpid=$!
 # Wait for the listener (the daemon prints "listening" once sockets are up).
 i=0
@@ -46,14 +46,14 @@ until grep -q "mpcstabd: listening" "$dlog" 2>/dev/null; do
   sleep 0.1
 done
 
-echo "service_smoke: 1/6 happy path"
+echo "service_smoke: 1/7 happy path"
 out="$work/happy.out"
 "$client" --socket "$sock" \
   '{"id":1,"op":"connectivity","graph":{"type":"cycle","n":64}}' \
   > "$out" || fail "happy-path client exited $?"
 grep -q '"components":1' "$out" || fail "wrong connectivity answer: $(cat "$out")"
 
-echo "service_smoke: 2/6 deeply nested JSON is BadRequest, not a crash"
+echo "service_smoke: 2/7 deeply nested JSON is BadRequest, not a crash"
 # A "[[[[..." bomb used to recurse once per bracket in the request parser
 # and could overflow the session thread's stack. It must come back as a
 # structured BadRequest with the daemon still alive and serving.
@@ -68,7 +68,7 @@ grep -q '"kind":"BadRequest"' "$out" \
   || fail "no BadRequest for nesting bomb: $(cat "$out")"
 kill -0 "$dpid" 2>/dev/null || fail "daemon died on the nesting bomb"
 
-echo "service_smoke: 3/6 oversized request is refused, not crashed"
+echo "service_smoke: 3/7 oversized request is refused, not crashed"
 out="$work/oversized.out"
 awk 'BEGIN { pad = sprintf("%8000s", ""); gsub(/ /, "x", pad);
              printf "{\"id\":2,\"op\":\"ping\",\"pad\":\"%s\"}\n", pad }' \
@@ -78,7 +78,7 @@ rc=0
 [ "$rc" -eq 2 ] || fail "oversized request: client exited $rc, want 2"
 grep -q '"kind":"Oversized"' "$out" || fail "no Oversized error: $(cat "$out")"
 
-echo "service_smoke: 4/6 space limit surfaces as a structured error"
+echo "service_smoke: 4/7 space limit surfaces as a structured error"
 out="$work/space.out"
 rc=0
 "$client" --socket "$sock" \
@@ -89,19 +89,30 @@ grep -q '"kind":"SpaceLimitError"' "$out" \
   || fail "no SpaceLimitError: $(cat "$out")"
 kill -0 "$dpid" 2>/dev/null || fail "daemon died on space-limit request"
 
-echo "service_smoke: 5/6 concurrent clients get bit-identical accounting"
+echo "service_smoke: 5/7 concurrent clients get bit-identical accounting"
 # Four clients fire the same request at once; every response must report
-# the same rounds/words as a serial reference run of the same request —
-# the invariant of concurrent engine execution on job-scoped pools.
-req='{"id":5,"op":"connectivity","graph":{"type":"two_cycles","n":256}}'
+# the same rounds/words — and the same per-request metrics deltas — as a
+# serial reference run of the same request: the invariant of concurrent
+# engine execution on job-scoped pools with overlay attribution. The
+# request pins an 8-machine deployment so the run ships real cross-machine
+# words (at the default deployment this graph fits one machine and the
+# exchange counters would never move — see step 6's required families).
+req='{"id":5,"op":"coloring","graph":{"type":"cycle","n":512},"machines":8}'
 ref="$work/conc_ref.out"
 "$client" --socket "$sock" "$req" > "$ref" \
   || fail "concurrent reference client exited $?"
 ref_line=$(grep '"event":"result"' "$ref" | head -1)
 ref_rounds=$(printf '%s\n' "$ref_line" | sed 's/.*"rounds":\([0-9]*\).*/\1/')
 ref_words=$(printf '%s\n' "$ref_line" | sed 's/.*"words":\([0-9]*\).*/\1/')
+ref_metrics=$(printf '%s\n' "$ref_line" |
+  sed 's/.*"metrics":\(\[[^]]*\]\).*/\1/')
 [ -n "$ref_rounds" ] && [ -n "$ref_words" ] \
   || fail "reference run has no rounds/words: $ref_line"
+[ "$ref_words" -gt 0 ] || fail "reference run shipped no words: $ref_line"
+case $ref_metrics in
+  \[*cluster.exchanges*\]) ;;
+  *) fail "reference metrics carry no cluster.exchanges: $ref_line" ;;
+esac
 cpids=""
 for c in 1 2 3 4; do
   "$client" --socket "$sock" "$req" > "$work/conc_$c.out" &
@@ -117,9 +128,40 @@ $(cat "$work/conc_$c.out")"
   grep -q "\"words\":$ref_words" "$work/conc_$c.out" \
     || fail "client $c words diverged from serial reference $ref_words: \
 $(cat "$work/conc_$c.out")"
+  # Per-request metrics deltas are part of the bit-identity contract:
+  # byte-for-byte equal to the serial reference, concurrency or not.
+  grep -F -q "\"metrics\":$ref_metrics" "$work/conc_$c.out" \
+    || fail "client $c metrics diverged from serial reference: \
+$(cat "$work/conc_$c.out")"
 done
 
-echo "service_smoke: 6/6 SIGTERM drains the in-flight request"
+echo "service_smoke: 6/7 live /metrics scrape passes the format checker"
+# The daemon bound an ephemeral metrics port (--metrics-port 0) and printed
+# it on the listening line; scrape it mid-run — after real requests, before
+# drain — so the exposition reflects a working engine, then validate the
+# Prometheus text format and prove the request counter moved.
+mport=$(sed -n 's/.*metrics=127\.0\.0\.1:\([0-9]*\).*/\1/p' "$dlog" | head -1)
+[ -n "$mport" ] || fail "daemon never announced a metrics port: $(cat "$dlog")"
+metrics="$work/metrics.prom"
+python3 - "$mport" "$metrics" <<'EOF' || fail "metrics scrape failed"
+import sys, urllib.request
+with urllib.request.urlopen(
+        f"http://127.0.0.1:{sys.argv[1]}/metrics", timeout=10) as resp:
+    body = resp.read()
+    assert resp.status == 200, resp.status
+    ctype = resp.headers.get("Content-Type", "")
+    assert ctype.startswith("text/plain"), ctype
+open(sys.argv[2], "wb").write(body)
+EOF
+tools_dir=$(dirname "$0")
+python3 "$tools_dir/check_prometheus.py" "$metrics" \
+  --require mpcstab_service_requests_total \
+  --require mpcstab_cluster_exchanges_total \
+  || fail "/metrics exposition failed validation"
+grep -q '^mpcstab_service_requests_total [1-9]' "$metrics" \
+  || fail "request counter never moved: $(grep requests_total "$metrics")"
+
+echo "service_smoke: 7/7 SIGTERM drains the in-flight request"
 out="$work/drain.out"
 "$client" --socket "$sock" \
   '{"id":4,"op":"connectivity","graph":{"type":"cycle","n":4096},"repeat":60}' \

@@ -2,7 +2,7 @@
 """Replay a captured mpcstabd NDJSON trace into per-request summaries.
 
 Usage:
-    trace_replay.py TRACE.ndjson [--request ID]
+    trace_replay.py TRACE.ndjson [--request ID | --percentiles]
 
 Reads the server-side capture that `mpcstabd serve --trace-file` writes
 (one JSON object per line, interleaved across connections but `seq`-ordered
@@ -10,7 +10,11 @@ per request) and reconstructs each request's story: op, outcome,
 round/word totals, event count and the top-level span names in execution
 order. With --request ID it instead replays that request's full event
 stream as an indented span tree, one line per event — the offline
-equivalent of watching a `"trace":true` client stream live.
+equivalent of watching a `"trace":true` client stream live. With
+--percentiles it aggregates the `wall_ns` stamps on "done" capture lines
+into per-op p50/p95/p99 latency quantiles (nearest rank over the exact
+values — the offline, exact counterpart of the pow2-bucket estimates the
+daemon's /metrics plane exports live).
 
 The capture interleaving invariant is checked while reading: within one
 (conn, id) the `seq` numbers must be strictly increasing, so a corrupted
@@ -21,6 +25,7 @@ Stdlib only — runs on any CI python3 with no installs.
 """
 
 import json
+import math
 import sys
 
 
@@ -104,10 +109,45 @@ def replay_one(requests, rid):
     return 0
 
 
+def nearest_rank(sorted_values, q):
+    """The smallest value whose rank covers quantile q (values pre-sorted)."""
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def percentiles(requests):
+    """Per-op wall_ns latency quantiles from the "done" capture lines."""
+    by_op = {}
+    for state in requests.values():
+        done = state["done"]
+        if done is None or "wall_ns" not in done:
+            continue
+        op = done.get("op", state["op"])
+        by_op.setdefault(op, []).append(int(done["wall_ns"]))
+    if not by_op:
+        print("trace_replay: no done lines with wall_ns in this capture "
+              "(older daemons did not stamp them)", file=sys.stderr)
+        return 1
+    header = f"{'op':<14} {'n':>5} {'p50_ns':>12} {'p95_ns':>12} " \
+             f"{'p99_ns':>12} {'max_ns':>12}"
+    print(header)
+    print("-" * len(header))
+    for op in sorted(by_op):
+        values = sorted(by_op[op])
+        print(f"{op:<14} {len(values):>5} "
+              f"{nearest_rank(values, 0.50):>12} "
+              f"{nearest_rank(values, 0.95):>12} "
+              f"{nearest_rank(values, 0.99):>12} "
+              f"{values[-1]:>12}")
+    return 0
+
+
 def main(argv):
     if len(argv) == 2:
         summarize(load_events(argv[1]))
         return 0
+    if len(argv) == 3 and argv[2] == "--percentiles":
+        return percentiles(load_events(argv[1]))
     if len(argv) == 4 and argv[2] == "--request":
         return replay_one(load_events(argv[1]), argv[3])
     print(__doc__.strip(), file=sys.stderr)
