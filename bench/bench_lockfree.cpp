@@ -1,0 +1,181 @@
+// E17 — the lock-free speed tier in isolation: Afforest ablations (sampling
+// on/off, pure Shiloach–Vishkin), thread scaling, and the neighbor-rounds
+// knob. Wall times are informational (session.note / stdout only); the
+// answers are gated — every section fingerprints its labels and records the
+// hash in a run label backed by a tiny deterministic engine probe, so
+// bench_diff fails on any answer drift while staying blind to machine
+// speed.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "native/components.h"
+#include "support/thread_pool.h"
+
+using namespace mpcstab;
+using namespace mpcstab::bench;
+
+namespace {
+
+std::uint64_t label_hash(const std::vector<Node>& labels) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const Node v : labels) {
+    h = (h ^ v) * 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::uint64_t wall_us(const std::chrono::steady_clock::time_point& begin) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - begin)
+          .count());
+}
+
+/// Records a deterministic engine probe whose label carries `note` — the
+/// bench never touches a real cluster, so each gated fingerprint gets a
+/// tiny fixed-traffic run to hang off (two 3-word exchanges; identical
+/// totals every time).
+void record_fingerprint(Session& session, const std::string& note) {
+  MpcConfig cfg;
+  cfg.n = 32;
+  cfg.local_space = 32;
+  cfg.machines = 4;
+  Cluster probe = session.cluster(cfg);
+  {
+    obs::Span span = probe.span("fingerprint-probe");
+    for (int r = 0; r < 2; ++r) {
+      std::vector<std::vector<MpcMessage>> out(cfg.machines);
+      out[0].push_back(MpcMessage{1, {1, 2, 3}});
+      probe.exchange(std::move(out));
+    }
+  }
+  session.record(note, probe);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Session session("bench_lockfree", argc, argv);
+  banner("E17: lock-free components — ablations and scaling",
+         "CAS hook-to-min + Afforest sampling; labels identical under every "
+         "knob and thread count, wall time the only variable");
+
+  // Ablations: sampling is a pure optimization — same labels, fewer
+  // final-sweep links when the sampled giant component is real.
+  Table ablation({"graph", "n", "components", "sampled us", "no-skip us",
+                  "pure SV us", "skip frac", "labels"});
+  struct Case {
+    std::string name;
+    Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"cycle 16384", cycle_graph(16384)});
+  cases.push_back({"two_cycles 16384", two_cycles_graph(16384)});
+  cases.push_back({"grid 128x128", grid_graph(128, 128)});
+  cases.push_back({"ER n=8192 p=.0005", random_graph(8192, 0.0005, Prf(5))});
+  cases.push_back({"forest n=8192", random_forest(8192, 64, Prf(6))});
+  for (const Case& c : cases) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const native::NativeComponentsResult sampled =
+        native::components_native(c.g);
+    const std::uint64_t sampled_us = wall_us(t0);
+
+    native::NativeOptions noskip;
+    noskip.skip_giant = false;
+    const auto t1 = std::chrono::steady_clock::now();
+    const native::NativeComponentsResult plain =
+        native::components_native(c.g, noskip);
+    const std::uint64_t plain_us = wall_us(t1);
+
+    native::NativeOptions pure;
+    pure.neighbor_rounds = 0;
+    const auto t2 = std::chrono::steady_clock::now();
+    const native::NativeComponentsResult sv =
+        native::components_native(c.g, pure);
+    const std::uint64_t sv_us = wall_us(t2);
+
+    require(sampled.labels == plain.labels && sampled.labels == sv.labels,
+            "ablation labels diverged on " + c.name);
+    const std::string hash = hash_hex(label_hash(sampled.labels));
+    record_fingerprint(session, "ablation " + c.name + " labels=" + hash);
+    session.note("wall_us.sampled." + c.name, std::to_string(sampled_us));
+    ablation.add_row({c.name, std::to_string(c.g.n()),
+                      std::to_string(sampled.count),
+                      std::to_string(sampled_us), std::to_string(plain_us),
+                      std::to_string(sv_us), fmt(sampled.sampled_skip_frac, 3),
+                      hash.substr(0, 8)});
+  }
+  ablation.print(std::cout,
+                 "Afforest ablation: identical labels whether the giant-"
+                 "component skip is on, off, or the whole first phase is "
+                 "disabled (pure Shiloach-Vishkin)");
+
+  // Thread scaling: the answer is schedule-independent, so only wall time
+  // may move with the pool width.
+  Table scaling({"threads", "grid 256x256 us", "ER n=32768 us", "labels"});
+  const Graph big_grid = grid_graph(256, 256);
+  const Graph big_er = random_graph(32768, 0.0001, Prf(7));
+  const std::uint64_t want_grid = label_hash(
+      native::components_native(big_grid).labels);
+  const std::uint64_t want_er = label_hash(
+      native::components_native(big_er).labels);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    set_global_threads(threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto grid_run = native::components_native(big_grid);
+    const std::uint64_t grid_us = wall_us(t0);
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto er_run = native::components_native(big_er);
+    const std::uint64_t er_us = wall_us(t1);
+    require(label_hash(grid_run.labels) == want_grid &&
+                label_hash(er_run.labels) == want_er,
+            "labels changed with thread count");
+    scaling.add_row({std::to_string(threads), std::to_string(grid_us),
+                     std::to_string(er_us), "stable"});
+  }
+  set_global_threads(0);
+  record_fingerprint(session, "scaling grid 256x256 labels=" +
+                                  hash_hex(want_grid));
+  record_fingerprint(session,
+                     "scaling ER n=32768 labels=" + hash_hex(want_er));
+  scaling.print(std::cout,
+                "thread scaling: bit-identical labels at every pool width — "
+                "the CAS linking order is immaterial to the answer");
+
+  // The neighbor-rounds knob: more phase-1 rounds link more of the graph
+  // before sampling, shrinking the final sweep.
+  Table knob({"neighbor rounds", "cycle 16384 us", "skip frac",
+              "compress passes"});
+  const Graph knob_g = cycle_graph(16384);
+  const std::uint64_t want_knob = label_hash(
+      native::components_native(knob_g).labels);
+  for (std::uint32_t rounds : {0u, 1u, 2u, 4u}) {
+    native::NativeOptions opts;
+    opts.neighbor_rounds = rounds;
+    const auto t0 = std::chrono::steady_clock::now();
+    const native::NativeComponentsResult r =
+        native::components_native(knob_g, opts);
+    const std::uint64_t us = wall_us(t0);
+    require(label_hash(r.labels) == want_knob,
+            "labels changed with neighbor_rounds");
+    knob.add_row({std::to_string(rounds), std::to_string(us),
+                  fmt(r.sampled_skip_frac, 3),
+                  std::to_string(r.compress_passes)});
+  }
+  record_fingerprint(session,
+                     "knob cycle 16384 labels=" + hash_hex(want_knob));
+  knob.print(std::cout,
+             "neighbor-rounds knob: 0 = pure SV (no sampling), higher values "
+             "trade phase-1 work for final-sweep skips");
+  return session.finish();
+}

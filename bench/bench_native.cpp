@@ -2,6 +2,12 @@
 // through Cluster::exchange, flow-controlled) against the semantic
 // hash-to-min whose per-iteration costs are charged analytically. Matching
 // labels + comparable round accounting = the analytic charges are honest.
+// The closing section pits the accounted engine against the lock-free
+// shared-memory tier (native/components.h): identical labels, wall time as
+// the only cost — result hashes are gated through run labels, wall times
+// stay informational.
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 
 #include "algorithms/connectivity.h"
@@ -10,10 +16,32 @@
 #include "mpc/exponentiation.h"
 #include "mpc/metrics.h"
 #include "mpc/native_connectivity.h"
+#include "native/components.h"
 #include "support/math.h"
 
 using namespace mpcstab;
 using namespace mpcstab::bench;
+
+namespace {
+
+/// FNV-1a over a label vector: a stable fingerprint small enough to embed
+/// in a (gated) run label.
+std::uint64_t label_hash(const std::vector<Node>& labels) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const Node v : labels) {
+    h = (h ^ v) * 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t wall_us(const std::chrono::steady_clock::time_point& begin) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - begin)
+          .count());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Session session("bench_native", argc, argv);
@@ -111,5 +139,53 @@ int main(int argc, char** argv) {
                   "(12 sampled rounds): receive volume stays under S while "
                   "credits pace the skewed early waves");
   }
+
+  // Speed-tier comparison: the lock-free shared-memory backend against the
+  // charged hash-to-min on the same graphs. The label fingerprint rides in
+  // the recorded run label (bench_diff gates labels, so any answer drift
+  // fails the perf gate); wall times go to session.note (informational —
+  // bench_diff ignores the info object).
+  Table lockfree({"graph", "n", "components", "lock-free us", "engine us",
+                  "engine rounds", "labels agree"});
+  struct SpeedCase {
+    std::string name;
+    Graph g;
+  };
+  std::vector<SpeedCase> speed;
+  speed.push_back({"grid 32x32", grid_graph(32, 32)});
+  speed.push_back({"two_cycles 2048", two_cycles_graph(2048)});
+  speed.push_back({"ER n=1024 p=.004", random_graph(1024, 0.004, Prf(3))});
+  speed.push_back({"binary tree 4096", balanced_binary_tree(4096)});
+  for (const SpeedCase& sc : speed) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const native::NativeComponentsResult fast = native::components_native(sc.g);
+    const std::uint64_t fast_us = wall_us(t0);
+
+    const LegalGraph legal = identity(sc.g);
+    Cluster engine = session.cluster(
+        MpcConfig::for_graph(sc.g.n(), sc.g.m(), 0.6));
+    const auto t1 = std::chrono::steady_clock::now();
+    const ConnectivityResult semantic = hash_to_min_components(
+        engine, legal, 4 * ceil_log2(std::max<Node>(2, sc.g.n())) + 16);
+    const std::uint64_t engine_us = wall_us(t1);
+    const bool agree = semantic.converged && fast.labels == semantic.labels;
+    require(agree, "lock-free and engine labels diverged on " + sc.name);
+
+    char hash_hex[20];
+    std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                  static_cast<unsigned long long>(label_hash(fast.labels)));
+    session.record("lockfree " + sc.name + " labels=" + hash_hex, engine);
+    session.note("wall_us.lockfree." + sc.name, std::to_string(fast_us));
+    session.note("wall_us.engine." + sc.name, std::to_string(engine_us));
+    lockfree.add_row({sc.name, std::to_string(sc.g.n()),
+                      std::to_string(fast.count), std::to_string(fast_us),
+                      std::to_string(engine_us),
+                      std::to_string(engine.rounds()),
+                      agree ? "yes" : "NO"});
+  }
+  lockfree.print(std::cout,
+                 "lock-free shared-memory tier vs charged hash-to-min: same "
+                 "canonical labels, no rounds — wall time is the only cost "
+                 "the speed tier pays");
   return session.finish();
 }

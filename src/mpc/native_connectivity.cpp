@@ -2,14 +2,22 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdlib>
+#include <string_view>
 
 #include "mpc/pacing.h"
 #include "mpc/primitives.h"
+#include "native/components.h"
 #include "rng/splitmix.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
 
 namespace mpcstab {
+
+bool native_cross_check_enabled() {
+  const char* flag = std::getenv("MPCSTAB_NATIVE_XCHECK");
+  return flag != nullptr && *flag != '\0' && std::string_view(flag) != "0";
+}
 
 NativeConnectivityResult native_min_label_propagation(
     Cluster& cluster, const LegalGraph& g, std::uint64_t max_iterations) {
@@ -101,6 +109,17 @@ NativeConnectivityResult native_min_label_propagation(
 
   result.rounds = cluster.rounds() - start_rounds;
   result.words_moved = cluster.words_moved() - start_words;
+
+  // Differential cross-check (MPCSTAB_NATIVE_XCHECK): a converged run's
+  // labels are the canonical per-component minima, exactly what the
+  // lock-free shared-memory backend produces — so compare them verbatim.
+  // Off-model: the check charges no rounds or words.
+  if (result.converged && native_cross_check_enabled()) {
+    const native::NativeComponentsResult check = native::components_native(topo);
+    ensure(check.labels == result.labels,
+           "native cross-check: lock-free backend diverged from the "
+           "propagation labels");
+  }
   return result;
 }
 

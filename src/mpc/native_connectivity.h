@@ -32,7 +32,19 @@ struct NativeConnectivityResult {
 /// Runs min-label propagation natively: vertices sharded by hash(name),
 /// per-iteration label pushes to neighbor owners through (paced) real
 /// exchanges, convergence detected with a real aggregation tree.
+///
+/// Cross-check hook: when MPCSTAB_NATIVE_XCHECK is set (non-empty, not
+/// "0"), every converged run re-derives the labels through the lock-free
+/// shared-memory backend (native/components.h) off-model — no rounds or
+/// words are charged for the check — and fails loudly (CheckError) on any
+/// divergence. The check costs one extra shared-memory pass per run; the
+/// differential-oracle CI job and the randomized property tests enable it
+/// so both backends continuously audit each other.
 NativeConnectivityResult native_min_label_propagation(
     Cluster& cluster, const LegalGraph& g, std::uint64_t max_iterations);
+
+/// Whether the MPCSTAB_NATIVE_XCHECK cross-check is active (re-read from
+/// the environment on every call, so tests can toggle it).
+bool native_cross_check_enabled();
 
 }  // namespace mpcstab

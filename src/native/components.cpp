@@ -1,0 +1,216 @@
+#include "native/components.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "obs/registry.h"
+#include "rng/splitmix.h"
+#include "support/thread_pool.h"
+
+namespace mpcstab::native {
+
+namespace {
+
+/// Work is partitioned into a fixed, thread-count-independent number of
+/// contiguous vertex ranges so per-range scratch (retry counts, skip
+/// counts) can be summed in index order afterwards. The count over-shards
+/// relative to the pool width so a slow range does not straggle the sweep.
+struct Ranges {
+  Node n = 0;
+  std::size_t count = 0;
+
+  explicit Ranges(Node n)
+      : n(n),
+        count(std::min<std::size_t>(
+            std::max<Node>(n, 1),
+            std::max<std::size_t>(1, 8 * global_threads()))) {}
+
+  Node lo(std::size_t i) const {
+    return static_cast<Node>(static_cast<std::uint64_t>(n) * i / count);
+  }
+  Node hi(std::size_t i) const {
+    return static_cast<Node>(static_cast<std::uint64_t>(n) * (i + 1) / count);
+  }
+};
+
+/// GAP/Afforest Link: hook the higher of the two labels' roots onto the
+/// lower label. Only a current root is ever CAS-redirected, and only toward
+/// a smaller index, so the smallest index of a component can never be
+/// redirected — it is the unique surviving root, which is what makes the
+/// final labels canonical under any interleaving. Returns the number of
+/// lost CAS races (another thread moved the root first).
+inline std::uint64_t link(Node u, Node v, std::atomic<Node>* comp) {
+  std::uint64_t retries = 0;
+  Node p1 = comp[u].load(std::memory_order_relaxed);
+  Node p2 = comp[v].load(std::memory_order_relaxed);
+  while (p1 != p2) {
+    const Node high = p1 > p2 ? p1 : p2;
+    const Node low = p1 + (p2 - high);
+    const Node p_high = comp[high].load(std::memory_order_relaxed);
+    // Already linked low, or we won the race to hook the root.
+    if (p_high == low) break;
+    if (p_high == high) {
+      Node expected = high;
+      if (comp[high].compare_exchange_strong(expected, low,
+                                             std::memory_order_relaxed)) {
+        break;
+      }
+      ++retries;  // another thread redirected this root first
+    }
+    p1 = comp[comp[high].load(std::memory_order_relaxed)].load(
+        std::memory_order_relaxed);
+    p2 = comp[low].load(std::memory_order_relaxed);
+  }
+  return retries;
+}
+
+/// One full path-compression sweep: every vertex climbs to its current
+/// root. Runs after a linking barrier, so at return every comp[v] is a
+/// root (concurrent compression of other vertices only shortens paths).
+void compress(const Ranges& ranges, std::atomic<Node>* comp) {
+  parallel_for(ranges.count, [&](std::size_t r) {
+    for (Node v = ranges.lo(r); v < ranges.hi(r); ++v) {
+      while (comp[v].load(std::memory_order_relaxed) !=
+             comp[comp[v].load(std::memory_order_relaxed)].load(
+                 std::memory_order_relaxed)) {
+        comp[v].store(comp[comp[v].load(std::memory_order_relaxed)].load(
+                          std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      }
+    }
+  });
+}
+
+/// Most frequent label among `samples` deterministic index draws (the
+/// labels themselves depend on phase-1 races, so the *choice* of giant is
+/// schedule-dependent — skipping is a pure optimization either way).
+Node sample_frequent_label(const std::atomic<Node>* comp, Node n,
+                           std::uint32_t samples, std::uint64_t seed) {
+  SplitMix rng(seed);
+  std::vector<Node> seen;
+  seen.reserve(samples);
+  for (std::uint32_t i = 0; i < samples; ++i) {
+    const Node v = static_cast<Node>(rng.next_below(n));
+    seen.push_back(comp[v].load(std::memory_order_relaxed));
+  }
+  std::sort(seen.begin(), seen.end());
+  Node best = seen.front();
+  std::size_t best_run = 0;
+  for (std::size_t i = 0; i < seen.size();) {
+    std::size_t j = i;
+    while (j < seen.size() && seen[j] == seen[i]) ++j;
+    if (j - i > best_run) {
+      best_run = j - i;
+      best = seen[i];
+    }
+    i = j;
+  }
+  return best;
+}
+
+}  // namespace
+
+NativeComponentsResult components_native(const Graph& g,
+                                         const NativeOptions& opts) {
+  // Per-job attribution through the PR-7 overlay registry: effort counters
+  // land in the calling job's overlay (when bound) as well as the global
+  // registry. Written once per run, on the control path — never from the
+  // per-vertex inner loops.
+  static obs::ScopedCounter cas_retries_metric{"native.cas_retries"};
+  static obs::ScopedCounter compress_passes_metric{"native.compress_passes"};
+  static obs::ScopedGauge skip_frac_metric{"native.sampled_skip_frac"};
+
+  NativeComponentsResult result;
+  const Node n = g.n();
+  if (n == 0) {
+    cas_retries_metric.add(0);
+    compress_passes_metric.add(0);
+    skip_frac_metric.set(0);
+    return result;
+  }
+
+  const std::unique_ptr<std::atomic<Node>[]> comp(new std::atomic<Node>[n]);
+  const Ranges ranges(n);
+  parallel_for(ranges.count, [&](std::size_t r) {
+    for (Node v = ranges.lo(r); v < ranges.hi(r); ++v) {
+      comp[v].store(v, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::uint64_t> range_retries(ranges.count, 0);
+  const auto link_sweep = [&](auto&& links_of) {
+    parallel_for(ranges.count, [&](std::size_t r) {
+      std::uint64_t retries = 0;
+      for (Node v = ranges.lo(r); v < ranges.hi(r); ++v) {
+        retries += links_of(v);
+      }
+      range_retries[r] += retries;  // disjoint slot per range
+    });
+  };
+
+  // Phase 1 (Afforest): link each vertex to its first `neighbor_rounds`
+  // neighbors, compressing between rounds so the sample below reads roots.
+  const std::uint32_t k =
+      std::min<std::uint32_t>(opts.neighbor_rounds, g.max_degree());
+  for (std::uint32_t round = 0; round < k; ++round) {
+    link_sweep([&](Node v) -> std::uint64_t {
+      const auto neigh = g.neighbors(v);
+      return round < neigh.size() ? link(v, neigh[round], comp.get()) : 0;
+    });
+    compress(ranges, comp.get());
+    ++result.compress_passes;
+  }
+
+  // Phase 2: guess the most common component and skip its members in the
+  // final sweep. Every skipped edge either stays inside the giant (already
+  // linked) or is re-examined from its non-skipped endpoint, so the skip
+  // never loses an edge (undirected CSR stores both directions).
+  Node giant = n;  // sentinel: no skipping
+  const bool sampling = opts.skip_giant && k > 0 && n >= 2;
+  if (sampling) {
+    giant = sample_frequent_label(
+        comp.get(), n, std::min<std::uint32_t>(opts.sample_count, n),
+        opts.sample_seed);
+  }
+  std::vector<std::uint64_t> range_skipped(ranges.count, 0);
+  parallel_for(ranges.count, [&](std::size_t r) {
+    std::uint64_t retries = 0;
+    std::uint64_t skipped = 0;
+    for (Node v = ranges.lo(r); v < ranges.hi(r); ++v) {
+      if (sampling &&
+          comp[v].load(std::memory_order_relaxed) == giant) {
+        ++skipped;
+        continue;
+      }
+      const auto neigh = g.neighbors(v);
+      for (std::size_t i = k; i < neigh.size(); ++i) {
+        retries += link(v, neigh[i], comp.get());
+      }
+    }
+    range_retries[r] += retries;
+    range_skipped[r] = skipped;
+  });
+  compress(ranges, comp.get());
+  ++result.compress_passes;
+
+  for (std::size_t r = 0; r < ranges.count; ++r) {
+    result.cas_retries += range_retries[r];
+    result.sampled_skip_frac += static_cast<double>(range_skipped[r]);
+  }
+  result.sampled_skip_frac /= static_cast<double>(n);
+
+  result.labels.resize(n);
+  for (Node v = 0; v < n; ++v) {
+    result.labels[v] = comp[v].load(std::memory_order_relaxed);
+    if (result.labels[v] == v) ++result.count;
+  }
+
+  cas_retries_metric.add(result.cas_retries);
+  compress_passes_metric.add(result.compress_passes);
+  skip_frac_metric.set(static_cast<std::uint64_t>(
+      result.sampled_skip_frac * 1e6));  // parts per million
+  return result;
+}
+
+}  // namespace mpcstab::native

@@ -1,0 +1,78 @@
+// The *speed tier*: a second connectivity/components backend that answers
+// on shared memory as fast as the hardware allows, with no MPC round/word
+// accounting at all. Where mpc/native_connectivity.h pays for every label
+// movement through Cluster::exchange (the cost-model ground truth), this
+// backend is the raw-performance ground truth: lock-free Shiloach–Vishkin
+// over an atomic parent array (CAS hook-to-min linking, path-compression
+// passes on the job worker pool) with an Afforest-style first phase
+// (k-neighbor sampling, most-common-component detection, and a final sweep
+// that skips the sampled giant component).
+//
+// The two tiers verify each other: tools/oracle_check runs both over every
+// generator family and fails on any label-partition mismatch, so the fast
+// path doubles as a standing correctness oracle for the accounted engine
+// (see DESIGN.md "Backend tiers").
+//
+// Determinism contract: the returned labels are canonical — labels[v] is
+// the smallest node index in v's component, regardless of thread count or
+// CAS interleaving (links only ever redirect a root at a larger index
+// toward a smaller label, so the component minimum is the unique surviving
+// root). Effort metrics (CAS retries, the sampled skip fraction) ARE
+// schedule-dependent; they report how hard the backend worked, never what
+// it answered.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcstab::native {
+
+/// Tuning knobs; the defaults mirror GAP/Afforest and are safe for every
+/// graph (each phase is a pure optimization — correctness never depends on
+/// the sample hitting the actual giant component).
+struct NativeOptions {
+  /// Afforest phase 1: how many of each vertex's first neighbors are linked
+  /// before sampling. 0 skips straight to the full sweep (pure
+  /// Shiloach–Vishkin).
+  std::uint32_t neighbor_rounds = 2;
+  /// Vertices sampled to guess the most common component; clamped to n.
+  std::uint32_t sample_count = 1024;
+  /// Seed for the deterministic sample-index sequence (the *indices* are
+  /// deterministic; the labels they observe depend on phase-1 races).
+  std::uint64_t sample_seed = 1;
+  /// When false, the final sweep links every vertex (no giant-component
+  /// skipping) — the A/B ablation the tests pin against the default path.
+  bool skip_giant = true;
+};
+
+/// Outcome of one lock-free components run.
+struct NativeComponentsResult {
+  /// Canonical min-label ids: labels[v] is the smallest node index in v's
+  /// component. Bit-identical across runs and thread counts.
+  std::vector<Node> labels;
+  std::uint32_t count = 0;  ///< number of connected components
+  /// Effort metrics (schedule-dependent; also exported through the obs
+  /// registry as native.cas_retries / native.compress_passes /
+  /// native.sampled_skip_frac — see components_native()).
+  std::uint64_t cas_retries = 0;     ///< lost CAS races during linking
+  std::uint64_t compress_passes = 0; ///< full path-compression sweeps
+  /// Fraction of vertices the final sweep skipped as members of the sampled
+  /// most-common component (0 when skip_giant is off or sampling was not
+  /// worthwhile).
+  double sampled_skip_frac = 0.0;
+};
+
+/// Runs lock-free Shiloach–Vishkin + Afforest over `g` on the calling
+/// thread's current worker pool (PoolScope; the shared default pool for
+/// scope-less callers). No cluster, no accounting: wall time is the only
+/// cost. Attributes per-job metrics through the overlay registry when one
+/// is bound (obs::RegistryScope): `native.cas_retries` and
+/// `native.compress_passes` counters plus the `native.sampled_skip_frac`
+/// gauge (parts per million, so the fraction survives the registry's
+/// integer instruments).
+NativeComponentsResult components_native(const Graph& g,
+                                         const NativeOptions& opts = {});
+
+}  // namespace mpcstab::native

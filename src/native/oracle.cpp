@@ -1,0 +1,275 @@
+#include "native/oracle.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "algorithms/connectivity.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+#include "mpc/config.h"
+#include "mpc/native_connectivity.h"
+#include "native/components.h"
+#include "rng/prf.h"
+#include "support/math.h"
+
+namespace mpcstab::native {
+
+namespace {
+
+/// First-occurrence canonical renaming of a labeling. Label values are
+/// arbitrary (same_partition's contract) — a map, not a vector keyed by
+/// label, so values >= n stay in bounds.
+std::vector<Node> renamed(const std::vector<Node>& labels) {
+  std::map<Node, Node> name;  // label value -> canonical id
+  std::vector<Node> out(labels.size());
+  Node next = 0;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    const auto [slot, fresh] = name.emplace(labels[v], next);
+    if (fresh) ++next;
+    out[v] = slot->second;
+  }
+  return out;
+}
+
+struct CaseBuilder {
+  std::uint32_t seeds;
+  std::vector<OracleCase> cases;
+
+  void add(std::string family, std::string params, bool engine, double phi,
+           std::function<Graph()> build) {
+    OracleCase c;
+    c.name = params.empty() ? family : family + ":" + params;
+    c.family = std::move(family);
+    c.engine = engine;
+    c.phi = phi;
+    c.build = std::move(build);
+    cases.push_back(std::move(c));
+  }
+
+  /// Random families: one cell per seed in [1, seeds].
+  void add_seeded(std::string family, std::string params, bool engine,
+                  double phi,
+                  std::function<Graph(std::uint64_t)> build) {
+    for (std::uint64_t s = 1; s <= seeds; ++s) {
+      OracleCase c;
+      c.name = family + ":" + params + ",seed=" + std::to_string(s);
+      c.family = family;
+      c.seed = s;
+      c.engine = engine;
+      c.phi = phi;
+      c.build = [build, s] { return build(s); };
+      cases.push_back(std::move(c));
+    }
+  }
+};
+
+/// Checks one backend's labeling against the canonical one; appends a
+/// failure line on mismatch. `exact` additionally requires canonical
+/// min-label values (the lock-free backend's contract), not just the same
+/// partition.
+void check_labels(const OracleCase& c, const std::string& backend,
+                  const std::vector<Node>& got,
+                  const std::vector<Node>& canon, bool exact,
+                  OracleReport& report, std::uint32_t seeds) {
+  std::string why;
+  if (got.size() != canon.size()) {
+    why = "label vector size " + std::to_string(got.size()) + " != n " +
+          std::to_string(canon.size());
+  } else if (!same_partition(got, canon)) {
+    const std::vector<Node> a = renamed(got);
+    const std::vector<Node> b = renamed(canon);
+    for (Node v = 0; v < static_cast<Node>(a.size()); ++v) {
+      if (a[v] != b[v]) {
+        why = "partition diverges at node " + std::to_string(v);
+        break;
+      }
+    }
+  } else if (exact && got != canon) {
+    for (Node v = 0; v < static_cast<Node>(got.size()); ++v) {
+      if (got[v] != canon[v]) {
+        why = "label not canonical at node " + std::to_string(v) + ": got " +
+              std::to_string(got[v]) + ", component minimum is " +
+              std::to_string(canon[v]);
+        break;
+      }
+    }
+  }
+  if (why.empty()) return;
+  report.ok = false;
+  report.failures.push_back(c.name + " [" + backend + "]: " + why);
+  report.repros.push_back("tools/oracle_check --seeds " +
+                          std::to_string(seeds) + " --case '" + c.name +
+                          "'");
+}
+
+}  // namespace
+
+bool same_partition(const std::vector<Node>& a, const std::vector<Node>& b) {
+  if (a.size() != b.size()) return false;
+  return renamed(a) == renamed(b);
+}
+
+std::vector<Node> canonical_min_labels(const Graph& g) {
+  const Components cc = connected_components(g);
+  const Node n = g.n();
+  // Component ids are assigned in order of smallest contained node, so the
+  // first node seen with a given id is that component's minimum.
+  std::vector<Node> min_of(cc.count, n);
+  std::vector<Node> labels(n);
+  for (Node v = 0; v < n; ++v) {
+    if (min_of[cc.comp[v]] == n) min_of[cc.comp[v]] = v;
+    labels[v] = min_of[cc.comp[v]];
+  }
+  return labels;
+}
+
+std::vector<OracleCase> oracle_matrix(std::uint32_t seeds_per_family) {
+  CaseBuilder b{std::max(1u, seeds_per_family), {}};
+
+  // Deterministic families: boundary sizes plus a typical one. All are
+  // engine-checked — small enough that the simulator answers quickly.
+  b.add("path", "n=1", true, 0.5, [] { return path_graph(1); });
+  b.add("path", "n=2", true, 0.5, [] { return path_graph(2); });
+  b.add("path", "n=257", true, 0.5, [] { return path_graph(257); });
+  b.add("cycle", "n=3", true, 0.5, [] { return cycle_graph(3); });
+  b.add("cycle", "n=128", true, 0.5, [] { return cycle_graph(128); });
+  b.add("two_cycles", "n=6", true, 0.5, [] { return two_cycles_graph(6); });
+  b.add("two_cycles", "n=130", true, 0.5,
+        [] { return two_cycles_graph(130); });
+  b.add("star", "n=2", true, 0.5, [] { return star_graph(2); });
+  b.add("star", "n=100", true, 0.5, [] { return star_graph(100); });
+  b.add("complete", "n=2", true, 0.5, [] { return complete_graph(2); });
+  b.add("complete", "n=24", true, 0.7, [] { return complete_graph(24); });
+  b.add("grid", "rows=8,cols=16", true, 0.6, [] { return grid_graph(8, 16); });
+  b.add("grid", "rows=1,cols=40", true, 0.5, [] { return grid_graph(1, 40); });
+  b.add("caterpillar", "spine=10,legs=3,copies=4", true, 0.5,
+        [] { return caterpillar_forest(10, 3, 4); });
+  b.add("btree", "n=300", true, 0.5, [] { return balanced_binary_tree(300); });
+  b.add("hypercube", "d=7", true, 0.7, [] { return hypercube_graph(7); });
+
+  // Random families x seeds, engine-checked.
+  b.add_seeded("tree", "n=150", true, 0.5,
+               [](std::uint64_t s) { return random_tree(150, Prf(s)); });
+  b.add_seeded("forest", "n=200,trees=12", true, 0.5, [](std::uint64_t s) {
+    return random_forest(200, 12, Prf(s));
+  });
+  b.add_seeded("random", "n=128,p=0.05", true, 0.7, [](std::uint64_t s) {
+    return random_graph(128, 0.05, Prf(s));
+  });
+  b.add_seeded("random", "n=96,p=0.15", true, 0.8, [](std::uint64_t s) {
+    return random_graph(96, 0.15, Prf(s));
+  });
+  b.add_seeded("regular", "n=64,d=3", true, 0.6, [](std::uint64_t s) {
+    return random_regular_graph(64, 3, Prf(s));
+  });
+  b.add_seeded("bounded_degree", "n=150,max_deg=4,m=180", true, 0.6,
+               [](std::uint64_t s) {
+                 return random_bounded_degree_graph(150, 4, 180, Prf(s));
+               });
+
+  // Native-only large cells: sizes where the simulated engine would crawl
+  // but the lock-free tier answers in milliseconds; these exercise the
+  // Afforest sampling/skip machinery against a giant component (BFS stays
+  // the referee).
+  b.add("two_cycles", "n=10000", false, 0.5,
+        [] { return two_cycles_graph(10000); });
+  b.add("grid", "rows=64,cols=64", false, 0.5,
+        [] { return grid_graph(64, 64); });
+  b.add("btree", "n=20000", false, 0.5,
+        [] { return balanced_binary_tree(20000); });
+  b.add_seeded("random", "n=4096,p=0.001", false, 0.5, [](std::uint64_t s) {
+    return random_graph(4096, 0.001, Prf(s));
+  });
+  return std::move(b.cases);
+}
+
+OracleReport run_oracle(std::uint32_t seeds_per_family,
+                        const std::string& filter, std::ostream* log) {
+  const std::uint32_t seeds = std::max(1u, seeds_per_family);
+  OracleReport report;
+  for (const OracleCase& c : oracle_matrix(seeds)) {
+    if (!filter.empty() && c.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    const std::size_t failures_before = report.failures.size();
+    const Graph g = c.build();
+    const std::vector<Node> canon = canonical_min_labels(g);
+
+    // The lock-free tier, three ways: default (Afforest sampling), skip
+    // disabled, and pure Shiloach-Vishkin. All must land on the exact
+    // canonical labeling — not merely the same partition.
+    const NativeComponentsResult sampled = components_native(g);
+    check_labels(c, "native", sampled.labels, canon, /*exact=*/true, report,
+                 seeds);
+    NativeOptions noskip;
+    noskip.skip_giant = false;
+    check_labels(c, "native:skip_giant=0", components_native(g, noskip).labels,
+                 canon, /*exact=*/true, report, seeds);
+    NativeOptions pure;
+    pure.neighbor_rounds = 0;
+    check_labels(c, "native:neighbor_rounds=0",
+                 components_native(g, pure).labels, canon, /*exact=*/true,
+                 report, seeds);
+
+    std::uint64_t engine_rounds = 0;
+    if (c.engine && g.n() >= 1) {
+      const LegalGraph legal = LegalGraph::with_identity(g);
+      const MpcConfig cfg = MpcConfig::for_graph(
+          std::max<std::uint64_t>(1, g.n()), g.m(), c.phi);
+      {
+        Cluster cluster(cfg);
+        const ConnectivityResult semantic = hash_to_min_components(
+            cluster, legal, 4 * ceil_log2(std::max<Node>(2, g.n())) + 16);
+        if (!semantic.converged) {
+          report.ok = false;
+          report.failures.push_back(c.name +
+                                    " [mpc:hash-to-min]: did not converge");
+          report.repros.push_back("tools/oracle_check --seeds " +
+                                  std::to_string(seeds) + " --case '" +
+                                  c.name + "'");
+        } else {
+          check_labels(c, "mpc:hash-to-min", semantic.labels, canon,
+                       /*exact=*/false, report, seeds);
+        }
+        engine_rounds = cluster.rounds();
+      }
+      // The fully-accounted propagation audits real per-machine storage, so
+      // it only runs where one machine's space fits the widest adjacency.
+      if (cfg.local_space >= 2ull + g.max_degree()) {
+        Cluster cluster(cfg);
+        const NativeConnectivityResult paid = native_min_label_propagation(
+            cluster, legal, static_cast<std::uint64_t>(g.n()) + 16);
+        if (!paid.converged) {
+          report.ok = false;
+          report.failures.push_back(c.name +
+                                    " [mpc:propagation]: did not converge");
+          report.repros.push_back("tools/oracle_check --seeds " +
+                                  std::to_string(seeds) + " --case '" +
+                                  c.name + "'");
+        } else {
+          check_labels(c, "mpc:propagation", paid.labels, canon,
+                       /*exact=*/false, report, seeds);
+        }
+      }
+      ++report.engine_runs;
+    }
+    ++report.cases_run;
+    if (log != nullptr) {
+      std::ostringstream line;
+      line << (report.failures.size() == failures_before ? "ok   " : "FAIL ")
+           << c.name
+           << "  components=" << sampled.count
+           << " skip_frac=" << sampled.sampled_skip_frac;
+      if (c.engine) line << " engine_rounds=" << engine_rounds;
+      *log << line.str() << "\n";
+    }
+  }
+  return report;
+}
+
+}  // namespace mpcstab::native

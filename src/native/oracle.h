@@ -1,0 +1,70 @@
+// Differential oracle between the repo's two connectivity backends: the
+// lock-free shared-memory tier (native/components.h) and the accounted MPC
+// engine (algorithms/connectivity.h hash-to-min and the fully-paid
+// mpc/native_connectivity.h propagation), with BFS as the neutral ground
+// truth. The matrix spans every generator family in graph/generators.h at
+// multiple seeds; a run fails on any label-partition mismatch after
+// canonical renaming — turning the fast path into a standing correctness
+// check on the engine (and vice versa). tools/oracle_check is the CLI; CI
+// runs it as the `differential-oracle` job.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mpcstab::native {
+
+/// One (family, parameters, seed) cell of the oracle matrix.
+struct OracleCase {
+  /// Stable id doubling as the repro selector, e.g.
+  /// "random:n=128,p=0.05,seed=2" — `oracle_check --case <name>` reruns
+  /// exactly this cell.
+  std::string name;
+  std::string family;     ///< generator family ("cycle", "random", ...)
+  std::uint64_t seed = 0; ///< generator seed (0 for deterministic families)
+  /// Also run the accounted MPC backends (small instances only — the
+  /// engine pays simulated rounds; the big native-only cells exercise the
+  /// sampling/skip machinery at sizes the simulator would crawl on).
+  bool engine = false;
+  double phi = 0.5;       ///< local-space exponent for the engine runs
+  std::function<Graph()> build;
+};
+
+/// The full matrix: every generator family, deterministic families at
+/// boundary and typical sizes, random families × `seeds_per_family` seeds
+/// (>= 1), plus native-only large cells.
+std::vector<OracleCase> oracle_matrix(std::uint32_t seeds_per_family);
+
+/// True when `a` and `b` induce the same partition after renaming both by
+/// first occurrence (the label values themselves may differ).
+bool same_partition(const std::vector<Node>& a, const std::vector<Node>& b);
+
+/// The canonical labeling every backend must converge to: labels[v] is the
+/// smallest node index in v's component (derived from BFS ground truth).
+std::vector<Node> canonical_min_labels(const Graph& g);
+
+/// Outcome of one oracle sweep.
+struct OracleReport {
+  bool ok = true;
+  std::uint64_t cases_run = 0;    ///< matrix cells checked
+  std::uint64_t engine_runs = 0;  ///< cells that also ran the MPC engine
+  std::vector<std::string> failures;  ///< one human-readable line each
+  std::vector<std::string> repros;    ///< repro command per failure
+};
+
+/// Sweeps every matrix cell whose name contains `filter` (empty = all).
+/// Per cell: lock-free backend with sampling on, sampling off, and pure
+/// Shiloach–Vishkin (neighbor_rounds = 0) — all three must produce the
+/// exact canonical labeling — and, for engine cells, hash-to-min plus (when
+/// one machine's space fits the max-degree adjacency) the fully-accounted
+/// native propagation, compared up to canonical renaming. `log` (optional)
+/// receives one line per cell.
+OracleReport run_oracle(std::uint32_t seeds_per_family,
+                        const std::string& filter, std::ostream* log);
+
+}  // namespace mpcstab::native

@@ -17,6 +17,7 @@
 #include "core/lifting.h"
 #include "core/sensitivity.h"
 #include "local/engine.h"
+#include "native/components.h"
 #include "obs/registry.h"
 #include "rng/prf.h"
 #include "support/check.h"
@@ -188,6 +189,27 @@ std::string run_connectivity(Cluster& cluster, const LegalGraph& g,
       .str();
 }
 
+/// The lock-free speed tier (DESIGN.md "Backend tiers"): answers on shared
+/// memory via the job's worker pool, touches the cluster not at all — the
+/// result event's "rounds"/"words" stay 0 by construction. The answer
+/// schema matches the MPC backend's (components/converged/iterations) plus
+/// a "backend" marker; component counts are bit-identical to the engine's
+/// (the differential oracle gates exactly this). The native.* effort
+/// metrics attribute to this request through the job overlay.
+std::string run_connectivity_native(const LegalGraph& g, const Request& req) {
+  native::NativeComponentsResult result;
+  for (std::uint32_t r = 0; r < req.repeat; ++r) {
+    result = native::components_native(g.graph());
+  }
+  return std::move(
+             JsonObject()
+                 .field("components", static_cast<std::uint64_t>(result.count))
+                 .field("converged", true)
+                 .field("iterations", result.compress_passes)
+                 .field("backend", "native"))
+      .str();
+}
+
 std::string run_coloring(Cluster& cluster, const LegalGraph& g,
                          const Request& req) {
   const std::uint64_t palette =
@@ -353,6 +375,8 @@ ExecResult execute_on(Cluster& cluster, const LegalGraph& g,
         out.answer_json = std::move(JsonObject().field("pong", true)).str();
       } else if (req.op == "statusz") {
         out.answer_json = statusz_json();
+      } else if (req.op == "connectivity" && req.backend == "native") {
+        out.answer_json = run_connectivity_native(g, req);
       } else if (req.op == "connectivity") {
         out.answer_json = run_connectivity(cluster, g, req);
       } else if (req.op == "coloring") {

@@ -59,11 +59,14 @@ struct ExecResult {
   std::uint64_t rounds = 0;   ///< cluster rounds consumed by this request
   std::uint64_t words = 0;    ///< words moved by this request
   /// JSON array of this request's own metric deltas (the job overlay
-  /// registry's snapshot, obs::metrics_json_array schema). Deterministic
-  /// for a deterministic request: every overlaid instrument is
+  /// registry's snapshot, obs::metrics_json_array schema). For MPC-backend
+  /// requests this is deterministic: every overlaid engine instrument is
   /// schedule-independent, so the string is bit-identical whether the
-  /// request ran serially or beside three others. "[]" until execute_on
-  /// runs (e.g. admission failures).
+  /// request ran serially or beside three others. Native-backend requests
+  /// attribute *effort* metrics instead (native.cas_retries varies with
+  /// CAS interleaving) — their answers stay bit-identical, their overlay
+  /// does not (DESIGN.md "Backend tiers"). "[]" until execute_on runs
+  /// (e.g. admission failures).
   std::string metrics_json = "[]";
   std::optional<obs::RunRecord> record;  ///< when capture_record && ok
 };

@@ -122,6 +122,23 @@ ParsedRequest parse_request(std::string_view line) {
     return out;
   }
   req.id = uint_or(*doc, "id", 0);
+  if (const obs::JsonValue* backend = doc->find("backend");
+      backend != nullptr) {
+    if (backend->kind != obs::JsonValue::Kind::kString) {
+      out.error = "\"backend\" must be a string";
+      return out;
+    }
+    req.backend = backend->string;
+    if (req.backend != "mpc" && req.backend != "native") {
+      out.error = "unknown backend \"" + req.backend +
+                  "\" (want \"mpc\" or \"native\")";
+      return out;
+    }
+    if (req.backend == "native" && req.op != "connectivity") {
+      out.error = "backend \"native\" only supports op \"connectivity\"";
+      return out;
+    }
+  }
   req.phi = double_or(*doc, "phi", 0.5);
   req.seed = uint_or(*doc, "seed", 1);
   req.repeat = static_cast<std::uint32_t>(

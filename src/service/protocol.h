@@ -13,6 +13,13 @@
 // "palette" (coloring), "radius"/"simulations"/"s"/"t" (lifting),
 // "radius"/"seeds" (sensitivity).
 //
+// Optional "backend" selects the execution tier (DESIGN.md "Backend
+// tiers"): "mpc" (default — the accounted engine, today's wire behavior)
+// or "native" (the lock-free shared-memory tier; connectivity only). A
+// native result reports the same answer schema with "rounds":0 — no round
+// or word accounting is charged — and its per-request "metrics" carry the
+// native.* effort counters instead of engine accounting.
+//
 // Responses are NDJSON events, each echoing the request "id":
 //   {"id":1,"event":"trace","seq":3,"trace":{...}}     (when "trace":true)
 //   {"id":1,"event":"result","ok":true,"op":...,"rounds":...,"words":...,
@@ -50,6 +57,7 @@ struct GraphSpec {
 struct Request {
   std::uint64_t id = 0;          ///< echoed in every response event
   std::string op;
+  std::string backend = "mpc";   ///< execution tier: "mpc" | "native"
   GraphSpec graph;
   double phi = 0.5;
   std::uint64_t seed = 1;        ///< shared-randomness seed for the run

@@ -1,0 +1,188 @@
+// The lock-free speed tier (native/components.h): canonical min-label
+// output against BFS ground truth, Afforest ablations, agreement with both
+// accounted engine backends, overlay attribution, and multi-threaded CAS
+// stress. The determinism contract under test: labels are bit-identical
+// across runs, thread counts and tuning knobs; only the effort metrics may
+// vary.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "algorithms/connectivity.h"
+#include "graph/generators.h"
+#include "graph/legal_graph.h"
+#include "mpc/cluster.h"
+#include "mpc/config.h"
+#include "mpc/native_connectivity.h"
+#include "native/components.h"
+#include "native/oracle.h"
+#include "obs/registry.h"
+#include "rng/prf.h"
+#include "support/thread_pool.h"
+
+namespace mpcstab {
+namespace {
+
+using native::canonical_min_labels;
+using native::components_native;
+using native::NativeComponentsResult;
+using native::NativeOptions;
+
+void expect_canonical(const Graph& g, const char* what) {
+  const std::vector<Node> canon = canonical_min_labels(g);
+  const NativeComponentsResult r = components_native(g);
+  EXPECT_EQ(r.labels, canon) << what;
+  Node count = 0;
+  for (Node v = 0; v < g.n(); ++v) count += r.labels[v] == v ? 1 : 0;
+  EXPECT_EQ(r.count, count) << what;
+}
+
+TEST(NativeComponents, CanonicalAcrossFamilies) {
+  expect_canonical(path_graph(1), "path n=1");
+  expect_canonical(path_graph(257), "path n=257");
+  expect_canonical(cycle_graph(3), "cycle n=3");
+  expect_canonical(two_cycles_graph(130), "two_cycles n=130");
+  expect_canonical(star_graph(100), "star n=100");
+  expect_canonical(complete_graph(24), "complete n=24");
+  expect_canonical(grid_graph(9, 17), "grid 9x17");
+  expect_canonical(caterpillar_forest(10, 3, 4), "caterpillar 10/3/4");
+  expect_canonical(balanced_binary_tree(300), "btree n=300");
+  expect_canonical(hypercube_graph(7), "hypercube d=7");
+  expect_canonical(random_tree(150, Prf(3)), "tree n=150");
+  expect_canonical(random_forest(200, 12, Prf(4)), "forest n=200");
+  expect_canonical(random_graph(128, 0.05, Prf(5)), "random n=128");
+  expect_canonical(random_regular_graph(64, 3, Prf(6)), "regular n=64 d=3");
+}
+
+TEST(NativeComponents, EdgeCases) {
+  const NativeComponentsResult empty = components_native(Graph(0));
+  EXPECT_TRUE(empty.labels.empty());
+  EXPECT_EQ(empty.count, 0u);
+
+  const NativeComponentsResult one = components_native(Graph(1));
+  EXPECT_EQ(one.labels, std::vector<Node>{0});
+  EXPECT_EQ(one.count, 1u);
+
+  // Isolated vertices are their own canonical components.
+  const NativeComponentsResult iso = components_native(Graph(6));
+  EXPECT_EQ(iso.count, 6u);
+  for (Node v = 0; v < 6; ++v) EXPECT_EQ(iso.labels[v], v);
+}
+
+TEST(NativeComponents, AblationsAgreeBitIdentically) {
+  // Sampling on, sampling off, and pure Shiloach-Vishkin are pure
+  // optimizations of one another: identical labels, identical count.
+  const Graph graphs[] = {two_cycles_graph(2048), grid_graph(32, 32),
+                          random_graph(512, 0.01, Prf(7)),
+                          star_graph(300)};
+  for (const Graph& g : graphs) {
+    const NativeComponentsResult sampled = components_native(g);
+    NativeOptions noskip;
+    noskip.skip_giant = false;
+    NativeOptions pure;
+    pure.neighbor_rounds = 0;
+    const NativeComponentsResult plain = components_native(g, noskip);
+    const NativeComponentsResult sv = components_native(g, pure);
+    EXPECT_EQ(sampled.labels, plain.labels);
+    EXPECT_EQ(sampled.labels, sv.labels);
+    EXPECT_EQ(sampled.count, plain.count);
+    EXPECT_EQ(sampled.count, sv.count);
+    // Pure SV never samples, so it must report no skipping.
+    EXPECT_EQ(sv.sampled_skip_frac, 0.0);
+    EXPECT_EQ(plain.sampled_skip_frac, 0.0);
+  }
+}
+
+TEST(NativeComponents, SkipFractionReflectsGiantComponent) {
+  // One giant cycle: nearly every vertex should be skipped in the final
+  // sweep once the sample identifies the (only) component.
+  const NativeComponentsResult r = components_native(cycle_graph(4096));
+  EXPECT_GT(r.sampled_skip_frac, 0.9);
+  EXPECT_LE(r.sampled_skip_frac, 1.0);
+}
+
+TEST(NativeComponents, PropertyAgreesWithBothEngineBackends) {
+  // Randomized differential property: for random sparse graphs the lock-
+  // free labels, the analytically-charged hash-to-min labels and the fully
+  // accounted propagation labels must all be the same canonical minima.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Graph g = random_graph(96, 0.04, Prf(seed));
+    const LegalGraph legal = LegalGraph::with_identity(g);
+    const MpcConfig cfg = MpcConfig::for_graph(g.n(), g.m(), 0.7);
+    const NativeComponentsResult fast = components_native(g);
+
+    Cluster c1(cfg);
+    const ConnectivityResult semantic = hash_to_min_components(c1, legal, 200);
+    ASSERT_TRUE(semantic.converged) << "seed " << seed;
+    EXPECT_EQ(fast.labels, semantic.labels) << "seed " << seed;
+
+    if (cfg.local_space >= 2ull + g.max_degree()) {
+      Cluster c2(cfg);
+      const NativeConnectivityResult paid =
+          native_min_label_propagation(c2, legal, g.n() + 16);
+      ASSERT_TRUE(paid.converged) << "seed " << seed;
+      EXPECT_EQ(fast.labels, paid.labels) << "seed " << seed;
+    }
+  }
+}
+
+TEST(NativeComponents, DeterministicUnderConcurrencyStress) {
+  // Wider pool, bigger graphs, repeated runs: CAS races may change the
+  // effort metrics but never the labels.
+  set_global_threads(4);
+  const Graph graphs[] = {random_graph(2000, 0.002, Prf(11)),
+                          two_cycles_graph(4000), grid_graph(50, 40)};
+  for (const Graph& g : graphs) {
+    const std::vector<Node> canon = canonical_min_labels(g);
+    for (int run = 0; run < 5; ++run) {
+      EXPECT_EQ(components_native(g).labels, canon) << "run " << run;
+    }
+  }
+  set_global_threads(0);
+}
+
+TEST(NativeComponents, AttributesEffortMetricsToOverlay) {
+  obs::Registry overlay;
+  {
+    const obs::RegistryScope scope(&overlay);
+    const NativeComponentsResult r = components_native(cycle_graph(512));
+    EXPECT_GT(r.compress_passes, 0u);
+  }
+  // The run's effort lands in the job overlay: compress passes counted,
+  // skip fraction exported as parts per million.
+  EXPECT_GT(overlay.counter("native.compress_passes").value(), 0u);
+  const std::uint64_t ppm = overlay.gauge("native.sampled_skip_frac").value();
+  EXPECT_GT(ppm, 900000u);
+  EXPECT_LE(ppm, 1000000u);
+  // All three effort instruments register in the overlay even when their
+  // value is zero (cas_retries on an uncontended run).
+  bool saw_retries = false;
+  for (const obs::MetricSample& m : overlay.snapshot()) {
+    saw_retries = saw_retries || m.name == "native.cas_retries";
+  }
+  EXPECT_TRUE(saw_retries);
+}
+
+TEST(NativeComponents, CrossCheckHookReadsEnvironmentPerCall) {
+  unsetenv("MPCSTAB_NATIVE_XCHECK");
+  EXPECT_FALSE(native_cross_check_enabled());
+  setenv("MPCSTAB_NATIVE_XCHECK", "1", 1);
+  EXPECT_TRUE(native_cross_check_enabled());
+  setenv("MPCSTAB_NATIVE_XCHECK", "0", 1);
+  EXPECT_FALSE(native_cross_check_enabled());
+  setenv("MPCSTAB_NATIVE_XCHECK", "", 1);
+  EXPECT_FALSE(native_cross_check_enabled());
+
+  // With the hook armed, a converged propagation re-derives its labels
+  // through the lock-free tier and passes (both are canonical minima).
+  setenv("MPCSTAB_NATIVE_XCHECK", "1", 1);
+  const LegalGraph g = LegalGraph::with_identity(grid_graph(6, 10));
+  Cluster cluster(MpcConfig::for_graph(g.n(), g.graph().m()));
+  const NativeConnectivityResult r =
+      native_min_label_propagation(cluster, g, 500);
+  EXPECT_TRUE(r.converged);
+  unsetenv("MPCSTAB_NATIVE_XCHECK");
+}
+
+}  // namespace
+}  // namespace mpcstab

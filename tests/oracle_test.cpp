@@ -1,0 +1,80 @@
+// The differential oracle (native/oracle.h): matrix construction, the
+// partition comparator, canonical labeling, and the sweep itself — the
+// library-level pieces behind tools/oracle_check and the CI
+// `differential-oracle` job.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "graph/generators.h"
+#include "native/oracle.h"
+
+namespace mpcstab::native {
+namespace {
+
+TEST(OracleMatrix, CoversEveryGeneratorFamily) {
+  const std::vector<OracleCase> cases = oracle_matrix(3);
+  std::set<std::string> families;
+  for (const OracleCase& c : cases) families.insert(c.family);
+  for (const char* family :
+       {"path", "cycle", "two_cycles", "star", "complete", "grid", "tree",
+        "forest", "random", "regular", "bounded_degree", "caterpillar",
+        "btree", "hypercube"}) {
+    EXPECT_TRUE(families.count(family)) << "missing family " << family;
+  }
+}
+
+TEST(OracleMatrix, NamesAreUniqueReproSelectors) {
+  const std::vector<OracleCase> cases = oracle_matrix(3);
+  std::set<std::string> names;
+  for (const OracleCase& c : cases) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate case " << c.name;
+    ASSERT_TRUE(c.build);
+  }
+}
+
+TEST(OracleMatrix, SeedsPerFamilyScalesRandomCells) {
+  const std::size_t one = oracle_matrix(1).size();
+  const std::size_t three = oracle_matrix(3).size();
+  EXPECT_GT(three, one);
+  // 0 is clamped to 1 seed, never an empty matrix.
+  EXPECT_EQ(oracle_matrix(0).size(), one);
+}
+
+TEST(OraclePartition, ComparesUpToRenaming) {
+  EXPECT_TRUE(same_partition({0, 0, 2, 2}, {5, 5, 1, 1}));
+  EXPECT_TRUE(same_partition({}, {}));
+  EXPECT_FALSE(same_partition({0, 0, 2, 2}, {0, 0, 0, 2}));
+  EXPECT_FALSE(same_partition({0, 1}, {0, 0}));
+  EXPECT_FALSE(same_partition({0, 1}, {0, 1, 2}));  // size mismatch
+}
+
+TEST(OracleCanonical, LabelsAreComponentMinima) {
+  // two_cycles(8) splits {0..3} and {4..7}.
+  const std::vector<Node> labels = canonical_min_labels(two_cycles_graph(8));
+  const std::vector<Node> want = {0, 0, 0, 0, 4, 4, 4, 4};
+  EXPECT_EQ(labels, want);
+  EXPECT_TRUE(canonical_min_labels(Graph(0)).empty());
+}
+
+TEST(OracleRun, FilteredSweepPassesAndLogs) {
+  std::ostringstream log;
+  const OracleReport report = run_oracle(1, "cycle", &log);
+  EXPECT_TRUE(report.ok);
+  EXPECT_GT(report.cases_run, 0u);
+  EXPECT_GT(report.engine_runs, 0u);
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_TRUE(report.repros.empty());
+  EXPECT_NE(log.str().find("ok   "), std::string::npos);
+  EXPECT_EQ(log.str().find("FAIL"), std::string::npos);
+}
+
+TEST(OracleRun, UnmatchedFilterRunsNothing) {
+  const OracleReport report = run_oracle(1, "no-such-case", nullptr);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.cases_run, 0u);
+}
+
+}  // namespace
+}  // namespace mpcstab::native

@@ -47,10 +47,13 @@ cmake --build "$build" -j "$jobs"
 if [ "$mode" = "tsan" ]; then
   # The concurrency surface: the fork-join pools and nested-serial guard
   # (round_engine_test via the engine paths, batching_test's JobPools and
-  # GrainThreshold suites), and the service's admission gate + concurrent
-  # clients over live sockets (service_test). halt_on_error turns the
-  # first race into a test failure instead of a warning.
-  for t in round_engine_test batching_test service_test; do
+  # GrainThreshold suites), the service's admission gate + concurrent
+  # clients over live sockets (service_test), and the lock-free CAS
+  # linking/compression loops of the shared-memory components backend
+  # (native_components_test). halt_on_error turns the first race into a
+  # test failure instead of a warning.
+  for t in round_engine_test batching_test service_test \
+           native_components_test; do
     echo "== tsan: $t"
     TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
       "$build/tests/$t"

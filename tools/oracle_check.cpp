@@ -1,0 +1,96 @@
+// Differential-oracle harness: runs the lock-free shared-memory
+// connectivity backend and the accounted MPC engine over every generator
+// family in graph/generators.h (random families at multiple seeds) and
+// fails on any label-partition mismatch after canonical renaming. CI runs
+// this as the `differential-oracle` job; on mismatch it writes one repro
+// command per failure to --repro-file, which the job uploads as an
+// artifact.
+//
+// Usage:
+//   oracle_check [--seeds N] [--case SUBSTRING] [--list]
+//                [--repro-file PATH] [--quiet]
+//
+//   --seeds N        seeds per random family (default 3)
+//   --case S         only cells whose name contains S (repro selector)
+//   --list           print the matrix cell names and exit
+//   --repro-file P   on failure, write repro commands to P (one per line)
+//   --quiet          suppress the per-cell log, print only the summary
+//
+// Exit codes: 0 = all cells agree, 1 = mismatch, 2 = usage error.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "native/oracle.h"
+
+int main(int argc, char** argv) {
+  std::uint32_t seeds = 3;
+  std::string filter;
+  std::string repro_path;
+  bool list = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "oracle_check: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      const long parsed = std::strtol(value(), nullptr, 10);
+      if (parsed < 1 || parsed > 64) {
+        std::cerr << "oracle_check: --seeds must be in [1, 64]\n";
+        return 2;
+      }
+      seeds = static_cast<std::uint32_t>(parsed);
+    } else if (arg == "--case") {
+      filter = value();
+    } else if (arg == "--repro-file") {
+      repro_path = value();
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "oracle_check: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const auto& c : mpcstab::native::oracle_matrix(seeds)) {
+      std::cout << c.name << (c.engine ? "  [engine]" : "") << "\n";
+    }
+    return 0;
+  }
+
+  const mpcstab::native::OracleReport report = mpcstab::native::run_oracle(
+      seeds, filter, quiet ? nullptr : &std::cout);
+  if (report.cases_run == 0) {
+    std::cerr << "oracle_check: no matrix cell matches --case '" << filter
+              << "'\n";
+    return 2;
+  }
+  std::cout << "oracle_check: " << report.cases_run << " cells, "
+            << report.engine_runs << " engine-checked, "
+            << report.failures.size() << " mismatch(es)\n";
+  if (report.ok) return 0;
+
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    std::cerr << "oracle_check: MISMATCH: " << report.failures[i] << "\n"
+              << "  repro: " << report.repros[i] << "\n";
+  }
+  if (!repro_path.empty()) {
+    std::ofstream out(repro_path);
+    for (std::size_t i = 0; i < report.repros.size(); ++i) {
+      out << "# " << report.failures[i] << "\n" << report.repros[i] << "\n";
+    }
+    std::cerr << "oracle_check: wrote " << report.repros.size()
+              << " repro command(s) to " << repro_path << "\n";
+  }
+  return 1;
+}

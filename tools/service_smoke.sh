@@ -1,7 +1,8 @@
 #!/bin/sh
 # End-to-end smoke test of the mpcstabd service: happy path, deep-nesting
 # request bomb, request-size admission, space-limit surfacing, concurrent
-# clients with bit-identical accounting, and graceful SIGTERM drain, driven
+# clients with bit-identical accounting, the native speed tier agreeing
+# with the MPC backend at zero rounds, and graceful SIGTERM drain, driven
 # through mpcstab-client exactly as a deployment would. CI runs this twice:
 # once against the regular build (service-smoke job) and once against
 # build-asan with LeakSanitizer enabled (sanitizers job), so a daemon that
@@ -46,14 +47,14 @@ until grep -q "mpcstabd: listening" "$dlog" 2>/dev/null; do
   sleep 0.1
 done
 
-echo "service_smoke: 1/7 happy path"
+echo "service_smoke: 1/8 happy path"
 out="$work/happy.out"
 "$client" --socket "$sock" \
   '{"id":1,"op":"connectivity","graph":{"type":"cycle","n":64}}' \
   > "$out" || fail "happy-path client exited $?"
 grep -q '"components":1' "$out" || fail "wrong connectivity answer: $(cat "$out")"
 
-echo "service_smoke: 2/7 deeply nested JSON is BadRequest, not a crash"
+echo "service_smoke: 2/8 deeply nested JSON is BadRequest, not a crash"
 # A "[[[[..." bomb used to recurse once per bracket in the request parser
 # and could overflow the session thread's stack. It must come back as a
 # structured BadRequest with the daemon still alive and serving.
@@ -68,7 +69,7 @@ grep -q '"kind":"BadRequest"' "$out" \
   || fail "no BadRequest for nesting bomb: $(cat "$out")"
 kill -0 "$dpid" 2>/dev/null || fail "daemon died on the nesting bomb"
 
-echo "service_smoke: 3/7 oversized request is refused, not crashed"
+echo "service_smoke: 3/8 oversized request is refused, not crashed"
 out="$work/oversized.out"
 awk 'BEGIN { pad = sprintf("%8000s", ""); gsub(/ /, "x", pad);
              printf "{\"id\":2,\"op\":\"ping\",\"pad\":\"%s\"}\n", pad }' \
@@ -78,7 +79,7 @@ rc=0
 [ "$rc" -eq 2 ] || fail "oversized request: client exited $rc, want 2"
 grep -q '"kind":"Oversized"' "$out" || fail "no Oversized error: $(cat "$out")"
 
-echo "service_smoke: 4/7 space limit surfaces as a structured error"
+echo "service_smoke: 4/8 space limit surfaces as a structured error"
 out="$work/space.out"
 rc=0
 "$client" --socket "$sock" \
@@ -89,14 +90,14 @@ grep -q '"kind":"SpaceLimitError"' "$out" \
   || fail "no SpaceLimitError: $(cat "$out")"
 kill -0 "$dpid" 2>/dev/null || fail "daemon died on space-limit request"
 
-echo "service_smoke: 5/7 concurrent clients get bit-identical accounting"
+echo "service_smoke: 5/8 concurrent clients get bit-identical accounting"
 # Four clients fire the same request at once; every response must report
 # the same rounds/words — and the same per-request metrics deltas — as a
 # serial reference run of the same request: the invariant of concurrent
 # engine execution on job-scoped pools with overlay attribution. The
 # request pins an 8-machine deployment so the run ships real cross-machine
 # words (at the default deployment this graph fits one machine and the
-# exchange counters would never move — see step 6's required families).
+# exchange counters would never move — see step 7's required families).
 req='{"id":5,"op":"coloring","graph":{"type":"cycle","n":512},"machines":8}'
 ref="$work/conc_ref.out"
 "$client" --socket "$sock" "$req" > "$ref" \
@@ -135,7 +136,30 @@ $(cat "$work/conc_$c.out")"
 $(cat "$work/conc_$c.out")"
 done
 
-echo "service_smoke: 6/7 live /metrics scrape passes the format checker"
+echo "service_smoke: 6/8 native backend matches the MPC answer at rounds 0"
+# The same graph through both execution tiers: the lock-free shared-memory
+# backend must report the same component count as the accounted engine
+# while consuming zero rounds (it never touches the cluster). This also
+# registers the native.* metric families before step 7's scrape.
+mpc_out="$work/backend_mpc.out"
+nat_out="$work/backend_native.out"
+"$client" --socket "$sock" \
+  '{"id":6,"op":"connectivity","graph":{"type":"two_cycles","n":130},"phi":0.6}' \
+  > "$mpc_out" || fail "mpc-backend client exited $?"
+"$client" --socket "$sock" \
+  '{"id":7,"op":"connectivity","backend":"native","graph":{"type":"two_cycles","n":130},"phi":0.6}' \
+  > "$nat_out" || fail "native-backend client exited $?"
+mpc_components=$(sed -n 's/.*"components":\([0-9]*\).*/\1/p' "$mpc_out" | head -1)
+nat_components=$(sed -n 's/.*"components":\([0-9]*\).*/\1/p' "$nat_out" | head -1)
+[ -n "$mpc_components" ] || fail "mpc backend returned no components: $(cat "$mpc_out")"
+[ "$mpc_components" = "$nat_components" ] \
+  || fail "backends disagree: mpc=$mpc_components native=$nat_components"
+grep -q '"rounds":0' "$nat_out" \
+  || fail "native backend charged rounds: $(cat "$nat_out")"
+grep -q 'native.compress_passes' "$nat_out" \
+  || fail "native result carries no native.* metrics: $(cat "$nat_out")"
+
+echo "service_smoke: 7/8 live /metrics scrape passes the format checker"
 # The daemon bound an ephemeral metrics port (--metrics-port 0) and printed
 # it on the listening line; scrape it mid-run — after real requests, before
 # drain — so the exposition reflects a working engine, then validate the
@@ -157,11 +181,13 @@ tools_dir=$(dirname "$0")
 python3 "$tools_dir/check_prometheus.py" "$metrics" \
   --require mpcstab_service_requests_total \
   --require mpcstab_cluster_exchanges_total \
+  --require mpcstab_native_compress_passes_total \
+  --require mpcstab_native_cas_retries_total \
   || fail "/metrics exposition failed validation"
 grep -q '^mpcstab_service_requests_total [1-9]' "$metrics" \
   || fail "request counter never moved: $(grep requests_total "$metrics")"
 
-echo "service_smoke: 7/7 SIGTERM drains the in-flight request"
+echo "service_smoke: 8/8 SIGTERM drains the in-flight request"
 out="$work/drain.out"
 "$client" --socket "$sock" \
   '{"id":4,"op":"connectivity","graph":{"type":"cycle","n":4096},"repeat":60}' \
