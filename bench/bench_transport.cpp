@@ -1,0 +1,145 @@
+// Transport-substrate micro-benchmarks (google-benchmark): wave routing
+// through the active exchange backend (mpc/transport.h) plus the raw
+// shared-memory ring. Run with MPCSTAB_TRANSPORT=proc to time the sharded
+// multi-process backend; the recorded runs' paper-model accounting is
+// bit-identical across backends by contract, which is exactly what CI's
+// transport-ab job enforces on this report (wall-clock differs, totals
+// and span trees must not).
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+#include "graph/generators.h"
+#include "mpc/cluster.h"
+#include "mpc/native_connectivity.h"
+#include "mpc/proc_transport.h"
+#include "mpc/transport.h"
+#include "obs/registry.h"
+
+namespace {
+
+using namespace mpcstab;
+
+/// One all-to-neighbor wave: machine m sends 3 payload words to m+1.
+std::vector<std::vector<MpcMessage>> ring_wave(std::uint64_t machines) {
+  std::vector<std::vector<MpcMessage>> out(machines);
+  for (std::uint32_t m = 0; m < machines; ++m) {
+    out[m].push_back({static_cast<std::uint32_t>((m + 1) % machines),
+                      {m, m + 1ull, m + 2ull}});
+  }
+  return out;
+}
+
+void BM_TransportWave(benchmark::State& state) {
+  const std::uint64_t machines = state.range(0);
+  MpcConfig cfg;
+  cfg.n = machines * 64;
+  cfg.local_space = 64;
+  cfg.machines = machines;
+  Cluster cluster(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.exchange(ring_wave(machines)));
+  }
+  state.SetItemsProcessed(state.iterations() * machines);
+}
+BENCHMARK(BM_TransportWave)->Arg(64)->Arg(512);
+
+void BM_TransportWaveBatch(benchmark::State& state) {
+  const std::uint64_t machines = 64;
+  MpcConfig cfg;
+  cfg.n = machines * 64;
+  cfg.local_space = 64;
+  cfg.machines = machines;
+  Cluster cluster(cfg);
+  const std::size_t waves = state.range(0);
+  for (auto _ : state) {
+    std::vector<std::vector<std::vector<MpcMessage>>> batch;
+    batch.reserve(waves);
+    for (std::size_t w = 0; w < waves; ++w) {
+      batch.push_back(ring_wave(machines));
+    }
+    benchmark::DoNotOptimize(cluster.exchange_batch(std::move(batch)));
+  }
+  state.SetItemsProcessed(state.iterations() * machines * waves);
+}
+BENCHMARK(BM_TransportWaveBatch)->Arg(4)->Arg(16);
+
+void BM_SpscRingStream(benchmark::State& state) {
+  // Raw ring throughput: frames 16x the capacity streamed producer ->
+  // consumer through chunked flow control, the exact data path a proc
+  // wave's words take (minus the fork).
+  const std::size_t cap = 1 << 12;
+  const std::size_t n = cap * 16;
+  std::vector<std::uint64_t> memory(SpscRing::footprint_words(cap), 0);
+  std::vector<std::uint64_t> src(n, 42), dst(n, 0);
+  const auto wait = [] { std::this_thread::yield(); };
+  for (auto _ : state) {
+    SpscRing ring(memory.data(), cap, /*initialize=*/true);
+    std::thread producer([&] { ring.write(src.data(), n, wait); });
+    ring.read(dst.data(), n, wait);
+    producer.join();
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_SpscRingStream);
+
+}  // namespace
+
+// Custom main instead of BENCHMARK_MAIN(): the Session strips the
+// harness's --json/--trace flags before google-benchmark parses argv, and
+// records two real workloads whose accounting the transport-ab CI job
+// byte-compares across backends: a batched wave storm and the fully
+// accounted min-label propagation (every word through Cluster::exchange).
+int main(int argc, char** argv) {
+  mpcstab::bench::Session session("bench_transport", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  {
+    const std::uint64_t machines = 32;
+    MpcConfig cfg;
+    cfg.n = machines * 64;
+    cfg.local_space = 64;
+    cfg.machines = machines;
+    Cluster cluster = session.cluster(cfg);
+    std::vector<std::vector<std::vector<MpcMessage>>> batch;
+    for (std::size_t w = 0; w < 8; ++w) {
+      batch.push_back(ring_wave(machines));
+    }
+    cluster.exchange_batch(std::move(batch));
+    session.record("wave batch x8 m=32", cluster);
+  }
+  {
+    const LegalGraph g = LegalGraph::with_identity(cycle_graph(256));
+    MpcConfig cfg;
+    cfg.n = 256;
+    cfg.local_space = 512;
+    cfg.machines = 16;
+    Cluster cluster = session.cluster(cfg);
+    native_min_label_propagation(cluster, g, /*max_iterations=*/256);
+    session.record("min-label propagation m=16 cycle n=256", cluster);
+  }
+  // Backend context, info-only: the perf gate and the A/B byte-compare
+  // both ignore `info`, so the report can say which backend ran without
+  // breaking cross-backend identity.
+  {
+    auto& reg = mpcstab::obs::Registry::global();
+    session.note("transport", std::string(mpcstab::transport_name()));
+    session.note("transport.workers",
+                 std::to_string(mpcstab::transport_workers()));
+    session.note("transport.proc_waves",
+                 std::to_string(reg.counter("transport.proc_waves").value()));
+    session.note(
+        "transport.proc_wire_words",
+        std::to_string(reg.counter("transport.proc_wire_words").value()));
+    session.note(
+        "transport.proc_fleet_spawns",
+        std::to_string(reg.counter("transport.proc_fleet_spawns").value()));
+  }
+  return session.finish();
+}

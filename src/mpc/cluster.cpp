@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <string>
 
+#include "mpc/transport.h"
 #include "obs/registry.h"
 #include "support/check.h"
 #include "support/math.h"
@@ -38,83 +40,19 @@ WaveInboxes Cluster::exchange(std::vector<std::vector<MpcMessage>> outboxes) {
   });
 
   std::vector<std::uint64_t> received;
-  WaveInboxes inboxes = route_wave(outboxes, received);
+  WaveInboxes inboxes = route_wave(outboxes, received, /*wave_index=*/0);
   account_round(sent, received);
   return inboxes;
 }
 
 WaveInboxes Cluster::route_wave(std::vector<std::vector<MpcMessage>>& outboxes,
-                                std::vector<std::uint64_t>& received) {
-  const std::size_t machines = config_.machines;
-  received.assign(machines, 0);
-
-  // Pass 1: per-destination message and word counts.
-  std::vector<std::size_t> msg_count(machines, 0);
-  std::size_t total_msgs = 0;
-  std::size_t total_payload_words = 0;
-  for (const auto& outbox : outboxes) {
-    for (const MpcMessage& msg : outbox) {
-      received[msg.dst] += msg.payload.size() + 1;  // +1 header word
-      msg_count[msg.dst] += 1;
-      total_payload_words += msg.payload.size();
-      ++total_msgs;
-    }
-  }
-
+                                std::vector<std::uint64_t>& received,
+                                std::uint64_t wave_index) {
+  // The lease (and with it the arena reuse/alloc accounting) always lives
+  // on the coordinator; the backend only fills the leased block.
   ArenaLease lease = arena_->acquire();
-  ArenaBlock& block = *lease.block();
-
-  // Radix layout: inbox m's deliveries occupy [offsets[m], offsets[m+1]).
-  block.offsets.resize(machines + 1);
-  block.offsets[0] = 0;
-  for (std::size_t m = 0; m < machines; ++m) {
-    block.offsets[m + 1] = block.offsets[m] + msg_count[m];
-  }
-  block.deliveries.resize(total_msgs);
-  std::vector<std::size_t> msg_cursor(block.offsets.begin(),
-                                      block.offsets.end() - 1);
-
-  // Pass 2: scatter in fixed machine order (senders ascending, FIFO per
-  // sender) — the serial reference delivery order.
-  if (arena_exchange_enabled()) {
-    // All payload words land in one contiguous buffer, grouped by
-    // destination. Sizing happens before any span is taken, so the buffer
-    // never reallocates under a view.
-    block.words.resize(total_payload_words);
-    std::vector<std::size_t> word_cursor(machines, 0);
-    for (std::size_t m = 0, acc = 0; m < machines; ++m) {
-      word_cursor[m] = acc;
-      acc += received[m] - msg_count[m];  // payload words bound for m
-    }
-    for (const auto& outbox : outboxes) {
-      for (const MpcMessage& msg : outbox) {
-        std::uint64_t* slot = block.words.data() + word_cursor[msg.dst];
-        std::copy(msg.payload.begin(), msg.payload.end(), slot);
-        block.deliveries[msg_cursor[msg.dst]++] = MpcDelivery{
-            msg.dst,
-            std::span<const std::uint64_t>(slot, msg.payload.size())};
-        word_cursor[msg.dst] += msg.payload.size();
-      }
-    }
-  } else {
-    // Legacy A/B path (MPCSTAB_NO_ARENA): every payload keeps its own heap
-    // vector, moved into the block so lifetimes still follow the arena
-    // contract. Inner buffers never move, so spans into them are stable.
-    block.legacy.reserve(total_msgs);
-    for (auto& outbox : outboxes) {
-      for (MpcMessage& msg : outbox) {
-        block.legacy.push_back(std::move(msg.payload));
-        const auto& stored = block.legacy.back();
-        block.deliveries[msg_cursor[msg.dst]++] = MpcDelivery{
-            msg.dst,
-            std::span<const std::uint64_t>(stored.data(), stored.size())};
-      }
-    }
-    // Scope-resolved: route_wave runs on pool workers under exchange_batch's
-    // parallel_for, and the overlay binding propagates through the dispatch.
-    static obs::ScopedCounter fallback{"cluster.arena_fallback_msgs"};
-    fallback.add(total_msgs);
-  }
+  active_transport().route_wave(config_.machines, outboxes, *lease.block(),
+                                received, wave_index);
   return WaveInboxes(std::move(lease));
 }
 
@@ -155,12 +93,20 @@ BatchInboxes Cluster::exchange_batch(
   // they route on the pool (ArenaPool::acquire is mutex-guarded and the
   // routed content is per-wave deterministic); a wave with an invalid
   // destination is skipped — sequentially it would have aborted before
-  // delivering anything.
+  // delivering anything. Transport failures (a proc worker dying
+  // mid-wave) are recorded per wave, not thrown from the pool, so the
+  // replay below surfaces them at the lowest failed wave regardless of
+  // which pool worker hit the failure first.
   BatchInboxes inboxes(count);
   std::vector<std::vector<std::uint64_t>> received(count);
+  std::vector<std::exception_ptr> wave_error(count);
   parallel_for(count, [&](std::size_t w) {
     if (wave_bad[w]) return;
-    inboxes[w] = route_wave(waves[w], received[w]);
+    try {
+      inboxes[w] = route_wave(waves[w], received[w], w);
+    } catch (const TransportError&) {
+      wave_error[w] = std::current_exception();
+    }
   });
 
   // In-order accounting replay: wave w is accounted (and its space limits
@@ -168,6 +114,7 @@ BatchInboxes Cluster::exchange_batch(
   // with waves 0..w-1 fully accounted when wave w throws.
   for (std::size_t w = 0; w < count; ++w) {
     require(!wave_bad[w], "message destination out of range");
+    if (wave_error[w] != nullptr) std::rethrow_exception(wave_error[w]);
     const std::vector<std::uint64_t> wave_sent(
         sent.begin() + static_cast<std::ptrdiff_t>(w * machines),
         sent.begin() + static_cast<std::ptrdiff_t>((w + 1) * machines));

@@ -161,15 +161,18 @@ class Cluster {
   void account_round(const std::vector<std::uint64_t>& sent,
                      const std::vector<std::uint64_t>& received);
 
-  /// Routes one validated wave into a leased arena block: counts
-  /// per-destination messages and words (pass 1), lays out the contiguous
-  /// buffer radix-style by destination, scatters every payload (pass 2).
-  /// Fills `received` with per-machine receive volumes as a side effect.
-  /// With the arena disabled (MPCSTAB_NO_ARENA) payloads are moved into
-  /// per-message legacy storage instead; delivery order and accounting are
-  /// identical either way.
+  /// Routes one validated wave into a leased arena block through the
+  /// active Transport (mpc/transport.h): the backend fills the block with
+  /// the canonical radix layout — grouped by destination, senders
+  /// ascending, FIFO per sender — and `received` with per-machine receive
+  /// volumes. With the arena disabled (MPCSTAB_NO_ARENA) payloads land in
+  /// per-message legacy storage instead; delivery order and accounting
+  /// are identical either way, whichever backend routes. `wave_index` is
+  /// the wave's position in the caller's batch (0 for a lone exchange),
+  /// threaded through for transport error context only.
   WaveInboxes route_wave(std::vector<std::vector<MpcMessage>>& outboxes,
-                         std::vector<std::uint64_t>& received);
+                         std::vector<std::uint64_t>& received,
+                         std::uint64_t wave_index);
 
   MpcConfig config_;
   std::shared_ptr<ArenaPool> arena_ = std::make_shared<ArenaPool>();

@@ -1,0 +1,584 @@
+#include "mpc/proc_transport.h"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "obs/registry.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+namespace {
+
+// The rings carry u64 words through shared memory; the head/tail words
+// must be plain atomic loads/stores, never a hidden lock (a lock in
+// MAP_SHARED memory would not be a lock between processes).
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "SpscRing needs lock-free u64 atomics");
+
+constexpr std::uint64_t kMagic = 0x6d70637374616231ull;  // "mpcstab1"
+constexpr std::uint64_t kOpWave = 1;
+constexpr std::uint64_t kOpShutdown = 2;
+constexpr std::uint64_t kOpWaveAck = 3;
+
+/// Words per ring direction (256 KiB). Frames stream through in chunks,
+/// so this bounds resident shared memory, not wave size.
+constexpr std::size_t kRingWords = 1u << 15;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t handshake_timeout_ns() {
+  static const std::uint64_t parsed = [] {
+    const char* raw = std::getenv("MPCSTAB_TRANSPORT_TIMEOUT_MS");
+    std::uint64_t ms = 120000;  // generous: CI runners stall under load
+    if (raw != nullptr && *raw != '\0') {
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(raw, &end, 10);
+      if (end != nullptr && *end == '\0' && value > 0) ms = value;
+    }
+    return ms * 1000000ull;
+  }();
+  return parsed;
+}
+
+/// Wait policy for a ring op: yield while the peer is likely mid-copy,
+/// then sleep so a 1-CPU host schedules the peer instead of starving it.
+struct Backoff {
+  unsigned spins = 0;
+  void step() {
+    ++spins;
+    if (spins < 2048) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+};
+
+/// Thrown inside teardown's best-effort shutdown write when a worker is
+/// not draining its ring; caught locally, the worker is killed instead.
+struct ShutdownWriteStuck {};
+
+// ---------------------------------------------------------------------------
+// Worker process side. Runs after fork in a child that owns nothing but
+// its two rings: no obs registry, no pools, no stdio — any protocol or
+// allocation failure is _exit with a distinct code, which the coordinator
+// reports as a death at the wave it was serving.
+
+[[noreturn]] void worker_main(SpscRing& in, SpscRing& out) {
+  const auto wait = [backoff = Backoff{}]() mutable { backoff.step(); };
+  try {
+    std::vector<std::uint64_t> payload;
+    std::vector<std::uint64_t> descs;  // (dst, len, offset) triples
+    std::vector<std::uint64_t> resp;
+    for (;;) {
+      std::uint64_t hdr[2];
+      in.read(hdr, 2, wait);
+      if (hdr[0] != kMagic) ::_exit(4);
+      if (hdr[1] == kOpShutdown) ::_exit(0);
+      if (hdr[1] != kOpWave) ::_exit(4);
+
+      std::uint64_t wh[6];
+      in.read(wh, 6, wait);
+      const std::uint64_t wave_index = wh[0];
+      const std::uint64_t machines = wh[1];
+      const std::uint64_t lo = wh[2];
+      const std::uint64_t hi = wh[3];
+      const std::uint64_t msgs = wh[4];
+      const std::uint64_t words = wh[5];
+      if (lo > hi || hi > machines) ::_exit(4);
+      // A shard cannot exceed the coordinator's address space; anything
+      // this size is a corrupt frame, not a real wave.
+      if (msgs > (1ull << 40) || words > (1ull << 40)) ::_exit(4);
+
+      payload.resize(words);
+      descs.resize(3 * msgs);
+      std::uint64_t off = 0;
+      for (std::uint64_t i = 0; i < msgs; ++i) {
+        std::uint64_t mh[2];
+        in.read(mh, 2, wait);
+        const std::uint64_t dst = mh[0];
+        const std::uint64_t len = mh[1];
+        if (dst < lo || dst >= hi || len > words - off) ::_exit(4);
+        in.read(payload.data() + off, len, wait);
+        descs[3 * i] = dst;
+        descs[3 * i + 1] = len;
+        descs[3 * i + 2] = off;
+        off += len;
+      }
+      if (off != words) ::_exit(4);
+
+      // Shard-local radix routing — the same two passes the inproc
+      // backend runs, restricted to machines [lo, hi).
+      const std::uint64_t span = hi - lo;
+      std::vector<std::uint64_t> mcount(span, 0);
+      std::vector<std::uint64_t> mwords(span, 0);
+      for (std::uint64_t i = 0; i < msgs; ++i) {
+        mcount[descs[3 * i] - lo] += 1;
+        mwords[descs[3 * i] - lo] += descs[3 * i + 1];
+      }
+      std::vector<std::uint64_t> cursor(span, 0);
+      for (std::uint64_t m = 0, acc = 0; m < span; ++m) {
+        cursor[m] = acc;
+        acc += mcount[m];
+      }
+      std::vector<std::uint64_t> order(msgs, 0);
+      for (std::uint64_t i = 0; i < msgs; ++i) {
+        order[cursor[descs[3 * i] - lo]++] = i;
+      }
+
+      // Response: header, per-machine (deliveries, receive volume) table,
+      // then the routed shard segment — deliveries grouped by machine in
+      // canonical order, each as (len, payload words...).
+      resp.clear();
+      resp.reserve(5 + 2 * span + msgs + words);
+      resp.insert(resp.end(), {kMagic, kOpWaveAck, wave_index, msgs, words});
+      for (std::uint64_t m = 0; m < span; ++m) {
+        resp.push_back(mcount[m]);
+        resp.push_back(mwords[m] + mcount[m]);  // +1 header word per msg
+      }
+      for (std::uint64_t i = 0; i < msgs; ++i) {
+        const std::uint64_t d = order[i];
+        const std::uint64_t len = descs[3 * d + 1];
+        const std::uint64_t at = descs[3 * d + 2];
+        resp.push_back(len);
+        resp.insert(resp.end(), payload.begin() + at,
+                    payload.begin() + at + len);
+      }
+      out.write(resp.data(), resp.size(), wait);
+    }
+  } catch (...) {
+    ::_exit(3);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SpscRing
+
+SpscRing::SpscRing(std::uint64_t* memory, std::size_t capacity_words,
+                   bool initialize) {
+  control_ = reinterpret_cast<Control*>(memory);
+  data_ = memory + sizeof(Control) / sizeof(std::uint64_t);
+  capacity_ = capacity_words;
+  if (initialize) {
+    control_->head.store(0, std::memory_order_relaxed);
+    control_->tail.store(0, std::memory_order_relaxed);
+  }
+}
+
+void SpscRing::write(const std::uint64_t* src, std::size_t n,
+                     const std::function<void()>& wait) {
+  std::size_t done = 0;
+  while (done < n) {
+    const std::uint64_t tail =
+        control_->tail.load(std::memory_order_relaxed);  // sole producer
+    const std::uint64_t head = control_->head.load(std::memory_order_acquire);
+    const std::size_t used = static_cast<std::size_t>(tail - head);
+    if (used == capacity_) {
+      wait();
+      continue;
+    }
+    const std::size_t at = static_cast<std::size_t>(tail % capacity_);
+    const std::size_t chunk =
+        std::min({n - done, capacity_ - used, capacity_ - at});
+    std::memcpy(data_ + at, src + done, chunk * sizeof(std::uint64_t));
+    control_->tail.store(tail + chunk, std::memory_order_release);
+    done += chunk;
+  }
+}
+
+void SpscRing::read(std::uint64_t* dst, std::size_t n,
+                    const std::function<void()>& wait) {
+  std::size_t done = 0;
+  while (done < n) {
+    const std::uint64_t head =
+        control_->head.load(std::memory_order_relaxed);  // sole consumer
+    const std::uint64_t tail = control_->tail.load(std::memory_order_acquire);
+    const std::size_t avail = static_cast<std::size_t>(tail - head);
+    if (avail == 0) {
+      wait();
+      continue;
+    }
+    const std::size_t at = static_cast<std::size_t>(head % capacity_);
+    const std::size_t chunk = std::min({n - done, avail, capacity_ - at});
+    std::memcpy(dst + done, data_ + at, chunk * sizeof(std::uint64_t));
+    control_->head.store(head + chunk, std::memory_order_release);
+    done += chunk;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Support probe
+
+bool proc_transport_supported(std::string* reason) {
+  bool sanitized = false;
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  sanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  sanitized = true;
+#endif
+#endif
+  if (sanitized) {
+    if (reason != nullptr) {
+      *reason =
+          "fork-without-exec workers are not supported under "
+          "AddressSanitizer/ThreadSanitizer runtimes";
+    }
+    return false;
+  }
+  const char* no_fork = std::getenv("MPCSTAB_TRANSPORT_NO_FORK");
+  if (no_fork != nullptr && *no_fork != '\0' && *no_fork != '0') {
+    if (reason != nullptr) *reason = "disabled by MPCSTAB_TRANSPORT_NO_FORK";
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ProcTransport (coordinator side)
+
+ProcTransport& ProcTransport::instance() {
+  static ProcTransport transport;
+  return transport;
+}
+
+ProcTransport::~ProcTransport() { shutdown(); }
+
+void ProcTransport::warm() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ensure_running_locked();
+}
+
+void ProcTransport::shutdown() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) teardown_locked(/*graceful=*/true);
+}
+
+std::vector<pid_t> ProcTransport::worker_pids_for_test() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ensure_running_locked();
+  std::vector<pid_t> pids;
+  pids.reserve(workers_.size());
+  for (const Worker& w : workers_) pids.push_back(w.pid);
+  return pids;
+}
+
+void ProcTransport::ensure_running_locked() {
+  const unsigned want = transport_workers();
+  if (running_ && workers_.size() == want) return;
+  if (running_) teardown_locked(/*graceful=*/true);  // width changed
+
+  workers_.resize(want);
+  const std::size_t ring_words = SpscRing::footprint_words(kRingWords);
+  const long page = ::sysconf(_SC_PAGESIZE);
+  for (unsigned k = 0; k < want; ++k) {
+    Worker& w = workers_[k];
+    std::size_t bytes = 2 * ring_words * sizeof(std::uint64_t);
+    bytes = (bytes + static_cast<std::size_t>(page) - 1) /
+            static_cast<std::size_t>(page) * static_cast<std::size_t>(page);
+    // Anonymous + MAP_SHARED: inherited across fork, named nowhere, so a
+    // dead fleet can never leave a segment behind in /dev/shm.
+    void* map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (map == MAP_FAILED) {
+      teardown_locked(/*graceful=*/false);
+      throw TransportError("proc transport: mmap of worker rings failed: " +
+                           std::string(std::strerror(errno)));
+    }
+    w.mapping = map;
+    w.mapping_bytes = bytes;
+    std::uint64_t* base = static_cast<std::uint64_t*>(map);
+    w.to_worker = SpscRing(base, kRingWords, /*initialize=*/true);
+    w.from_worker = SpscRing(base + ring_words, kRingWords,
+                             /*initialize=*/true);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      teardown_locked(/*graceful=*/false);
+      throw TransportError("proc transport: fork of worker " +
+                           std::to_string(k) + " failed: " +
+                           std::string(std::strerror(errno)));
+    }
+    if (pid == 0) {
+      // Child: die with the coordinator, shed inherited handlers (a
+      // daemon's SIGTERM handler must not run in a worker), then serve
+      // waves until the shutdown frame.
+      ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+      if (::getppid() == 1) ::_exit(0);  // coordinator died before prctl
+      ::signal(SIGTERM, SIG_DFL);
+      ::signal(SIGINT, SIG_DFL);
+      worker_main(w.to_worker, w.from_worker);
+    }
+    w.pid = pid;
+  }
+  running_ = true;
+  obs::Registry::global().counter("transport.proc_fleet_spawns").add(1);
+}
+
+void ProcTransport::teardown_locked(bool graceful) {
+  if (graceful) {
+    const std::uint64_t frame[2] = {kMagic, kOpShutdown};
+    for (Worker& w : workers_) {
+      if (w.pid <= 0) continue;
+      try {
+        w.to_worker.write(frame, 2, [attempts = 0u]() mutable {
+          if (++attempts > 200) throw ShutdownWriteStuck{};
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        });
+      } catch (const ShutdownWriteStuck&) {
+        // Ring jammed — the worker is wedged or gone; SIGKILL below.
+      }
+    }
+  }
+  for (Worker& w : workers_) {
+    if (w.pid > 0) {
+      int status = 0;
+      bool reaped = false;
+      for (int i = 0; graceful && i < 2000; ++i) {  // <= ~2s of grace
+        const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+        if (r == w.pid || (r == -1 && errno == ECHILD)) {
+          reaped = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (!reaped) {
+        ::kill(w.pid, SIGKILL);
+        (void)::waitpid(w.pid, &status, 0);
+      }
+      w.pid = -1;
+    }
+    if (w.mapping != nullptr) {
+      ::munmap(w.mapping, w.mapping_bytes);
+      w.mapping = nullptr;
+      w.mapping_bytes = 0;
+    }
+  }
+  workers_.clear();
+  running_ = false;
+}
+
+void ProcTransport::wait_on_worker_locked(std::size_t k,
+                                          std::uint64_t wave_index,
+                                          std::uint64_t deadline_ns,
+                                          unsigned* spins) {
+  Worker& w = workers_[k];
+  ++*spins;
+  if ((*spins & 0x3f) == 0) {
+    int status = 0;
+    const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+    if (r == w.pid || (r == -1 && errno == ECHILD)) {
+      const pid_t dead = w.pid;
+      if (r == w.pid) w.pid = -1;  // already reaped; don't re-wait below
+      teardown_locked(/*graceful=*/false);
+      throw TransportError(
+          "proc transport: worker " + std::to_string(k) + " (pid " +
+          std::to_string(dead) + ") died mid-exchange at wave " +
+          std::to_string(wave_index) +
+          "; the fleet respawns on the next wave");
+    }
+    if (now_ns() > deadline_ns) {
+      teardown_locked(/*graceful=*/false);
+      throw TransportError("proc transport: worker " + std::to_string(k) +
+                           " handshake timed out at wave " +
+                           std::to_string(wave_index));
+    }
+  }
+  if (*spins < 2048) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void ProcTransport::route_wave(std::uint64_t machines,
+                               std::vector<std::vector<MpcMessage>>& outboxes,
+                               ArenaBlock& block,
+                               std::vector<std::uint64_t>& received,
+                               std::uint64_t wave_index) {
+  // One wave through the fleet at a time: the rings are the shared
+  // resource (batched waves from pool workers queue here, like a NIC).
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ensure_running_locked();
+  const unsigned nw = static_cast<unsigned>(workers_.size());
+
+  // Shard ownership for this wave's machine count.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> shards(nw);
+  std::vector<std::uint32_t> owner(machines, 0);
+  for (unsigned k = 0; k < nw; ++k) {
+    shards[k] = shard_range(machines, nw, k);
+    for (std::uint64_t m = shards[k].first; m < shards[k].second; ++m) {
+      owner[m] = k;
+    }
+  }
+
+  // Sizing pass: per-worker frame volume plus the coordinator's own count
+  // of what each machine must receive — the cross-check that a wire bug
+  // can never silently corrupt the paper-model accounting.
+  std::vector<std::uint64_t> frame_msgs(nw, 0);
+  std::vector<std::uint64_t> frame_words(nw, 0);
+  std::vector<std::uint64_t> expect_count(machines, 0);
+  std::vector<std::uint64_t> expect_recv(machines, 0);
+  for (const auto& outbox : outboxes) {
+    for (const MpcMessage& msg : outbox) {
+      const unsigned k = owner[msg.dst];
+      frame_msgs[k] += 1;
+      frame_words[k] += msg.payload.size();
+      expect_count[msg.dst] += 1;
+      expect_recv[msg.dst] += msg.payload.size() + 1;
+    }
+  }
+
+  // Serialize: per-worker frames in canonical order (senders ascending,
+  // FIFO per sender), restricted to the worker's shard.
+  std::vector<std::vector<std::uint64_t>> frames(nw);
+  for (unsigned k = 0; k < nw; ++k) {
+    frames[k].reserve(8 + 2 * frame_msgs[k] + frame_words[k]);
+    frames[k].insert(frames[k].end(),
+                     {kMagic, kOpWave, wave_index, machines, shards[k].first,
+                      shards[k].second, frame_msgs[k], frame_words[k]});
+  }
+  for (const auto& outbox : outboxes) {
+    for (const MpcMessage& msg : outbox) {
+      std::vector<std::uint64_t>& f = frames[owner[msg.dst]];
+      f.push_back(msg.dst);
+      f.push_back(msg.payload.size());
+      f.insert(f.end(), msg.payload.begin(), msg.payload.end());
+    }
+  }
+
+  const std::uint64_t deadline = now_ns() + handshake_timeout_ns();
+  std::uint64_t wire_words = 0;
+  for (unsigned k = 0; k < nw; ++k) {
+    unsigned spins = 0;
+    workers_[k].to_worker.write(frames[k].data(), frames[k].size(),
+                                [this, k, wave_index, deadline, &spins] {
+                                  wait_on_worker_locked(k, wave_index,
+                                                        deadline, &spins);
+                                });
+    wire_words += frames[k].size();
+  }
+
+  // Collect each shard's routed segment (worker order == machine order).
+  struct ShardResponse {
+    std::uint64_t msgs = 0;
+    std::uint64_t words = 0;
+    std::vector<std::uint64_t> table;  // (count, recv_words) per machine
+    std::vector<std::uint64_t> body;   // (len, payload...) per delivery
+  };
+  std::vector<ShardResponse> resp(nw);
+  std::uint64_t total_msgs = 0;
+  std::uint64_t total_words = 0;
+  for (unsigned k = 0; k < nw; ++k) {
+    unsigned spins = 0;
+    const auto wait = [this, k, wave_index, deadline, &spins] {
+      wait_on_worker_locked(k, wave_index, deadline, &spins);
+    };
+    std::uint64_t rh[5];
+    workers_[k].from_worker.read(rh, 5, wait);
+    if (rh[0] != kMagic || rh[1] != kOpWaveAck || rh[2] != wave_index ||
+        rh[3] != frame_msgs[k] || rh[4] != frame_words[k]) {
+      teardown_locked(/*graceful=*/false);
+      throw TransportError("proc transport: worker " + std::to_string(k) +
+                           " violated the wire protocol at wave " +
+                           std::to_string(wave_index));
+    }
+    ShardResponse& r = resp[k];
+    r.msgs = rh[3];
+    r.words = rh[4];
+    const std::uint64_t span = shards[k].second - shards[k].first;
+    r.table.resize(2 * span);
+    if (span > 0) workers_[k].from_worker.read(r.table.data(), 2 * span, wait);
+    r.body.resize(r.msgs + r.words);
+    if (!r.body.empty()) {
+      workers_[k].from_worker.read(r.body.data(), r.body.size(), wait);
+    }
+    wire_words += 5 + r.table.size() + r.body.size();
+    total_msgs += r.msgs;
+    total_words += r.words;
+  }
+
+  // Assemble the wave buffer: concatenated shard segments reproduce the
+  // inproc radix layout exactly. The workers' accounting is cross-checked
+  // against the coordinator's sizing pass first.
+  received.assign(machines, 0);
+  block.offsets.resize(machines + 1);
+  block.offsets[0] = 0;
+  for (unsigned k = 0; k < nw; ++k) {
+    for (std::uint64_t m = shards[k].first; m < shards[k].second; ++m) {
+      const std::uint64_t i = m - shards[k].first;
+      const std::uint64_t count = resp[k].table[2 * i];
+      const std::uint64_t recv = resp[k].table[2 * i + 1];
+      ensure(count == expect_count[m] && recv == expect_recv[m],
+             "proc transport: shard accounting diverged from the "
+             "coordinator's count");
+      block.offsets[m + 1] = block.offsets[m] + count;
+      received[m] = recv;
+    }
+  }
+  block.deliveries.resize(total_msgs);
+  const bool arena = arena_exchange_enabled();
+  if (arena) block.words.resize(total_words);
+  std::size_t delivery_at = 0;
+  std::size_t word_at = 0;
+  for (unsigned k = 0; k < nw; ++k) {
+    std::size_t at = 0;
+    for (std::uint64_t m = shards[k].first; m < shards[k].second; ++m) {
+      const std::uint64_t i = m - shards[k].first;
+      for (std::uint64_t d = 0; d < resp[k].table[2 * i]; ++d) {
+        const std::uint64_t len = resp[k].body[at++];
+        const std::uint64_t* src = resp[k].body.data() + at;
+        at += len;
+        if (arena) {
+          std::uint64_t* slot = block.words.data() + word_at;
+          std::copy(src, src + len, slot);
+          word_at += len;
+          block.deliveries[delivery_at++] = MpcDelivery{
+              static_cast<std::uint32_t>(m),
+              std::span<const std::uint64_t>(slot, len)};
+        } else {
+          block.legacy.emplace_back(src, src + len);
+          const auto& stored = block.legacy.back();
+          block.deliveries[delivery_at++] = MpcDelivery{
+              static_cast<std::uint32_t>(m),
+              std::span<const std::uint64_t>(stored.data(), stored.size())};
+        }
+      }
+    }
+    ensure(at == resp[k].body.size(),
+           "proc transport: shard body length diverged from its table");
+  }
+  if (!arena) {
+    // Same fallback accounting as the inproc legacy path, so the A/B
+    // matrix (arena x transport) stays bit-identical.
+    static obs::ScopedCounter fallback{"cluster.arena_fallback_msgs"};
+    fallback.add(total_msgs);
+  }
+
+  // Process-only effort metrics: proc-specific counters must never land
+  // in job overlays, which are part of the cross-backend bit-identity
+  // contract (result events byte-compare between transports).
+  obs::Registry::global().counter("transport.proc_waves").add(1);
+  obs::Registry::global().counter("transport.proc_wire_words")
+      .add(wire_words);
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,162 @@
+// The sharded multi-process exchange backend ("proc" in mpc/transport.h):
+// the paper's model run as it is stated — a coordinator fanning each
+// communication wave out to worker *processes*, one contiguous shard of
+// machines per worker, the shape Grappa's partitioned-global-address
+// delegate idiom takes on one host.
+//
+// Topology. A lazily forked fleet of N workers (transport_workers(),
+// MPCSTAB_TRANSPORT_WORKERS) is shared process-wide across clusters and
+// jobs. Worker k owns shard_range(machines, N, k) of every wave — shards
+// are recomputed per wave from the wave's machine count, so one fleet
+// serves every deployment size. Each worker is connected to the
+// coordinator by two single-producer/single-consumer rings living in one
+// anonymous MAP_SHARED mapping created before fork: no named shm segments
+// exist, so there is nothing to leak or clean up — the mapping dies with
+// the processes (the LSan teardown check in tests/run_sanitized.sh sees a
+// clean exit).
+//
+// Wire format = arena wave buffer. The coordinator serializes each wave's
+// messages to their shard owners in canonical order (senders ascending,
+// FIFO per sender); each worker radix-routes its shard exactly like the
+// inproc pass-1/pass-2 and ships back its shard's segment of the wave
+// buffer: per-machine delivery counts and receive volumes, then the
+// grouped payload words. Concatenating the shard segments in worker order
+// reproduces the inproc ArenaBlock byte for byte — the PR-6
+// buffer-ownership contract is the serialization contract.
+//
+// Accounting stays on the coordinator: workers compute and report their
+// shard's receive volumes, the coordinator cross-checks them against its
+// own count (InvariantError on mismatch — a wire bug, not a model event)
+// and charges rounds/words/metrics exactly as the inproc backend does.
+//
+// Failure model. A worker that dies mid-wave (crash, OOM-kill, operator
+// kill) is detected by the coordinator's ring wait loop (waitpid +
+// deadline) and surfaces as TransportError naming the worker and the wave
+// index — the service maps it to a structured InternalError; nothing
+// hangs. The broken fleet is torn down (remaining workers killed and
+// reaped) and respawned on the next wave.
+//
+// Fork caveat: workers are forked without exec from a process that may
+// already run pool threads; the child touches only its rings and the
+// glibc allocator (fork-safe via its atfork handlers) and leaves with
+// _exit. Sanitizer runtimes do not support this pattern — under
+// ASan/TSan proc_transport_supported() is false and the proc selection
+// falls back to inproc with a logged notice (tests/run_sanitized.sh
+// documents the skip).
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mpc/transport.h"
+
+namespace mpcstab {
+
+/// Whether the fork-based proc backend can run here: false under
+/// ASan/TSan builds and when MPCSTAB_TRANSPORT_NO_FORK is set; `reason`
+/// (optional) receives a one-line explanation for logs and test skips.
+bool proc_transport_supported(std::string* reason = nullptr);
+
+/// Single-producer/single-consumer blocking ring over caller-provided
+/// memory (u64 words). The control block and data live wherever the
+/// caller placed them — a MAP_SHARED mapping for cross-process rings, any
+/// buffer for in-process tests. Frames larger than the capacity stream
+/// through in chunks under head/tail flow control, so capacity bounds
+/// memory, not frame size.
+class SpscRing {
+ public:
+  /// Control words at the head of a ring's memory region.
+  struct Control {
+    std::atomic<std::uint64_t> head;  ///< words consumed
+    std::atomic<std::uint64_t> tail;  ///< words produced
+  };
+
+  /// Words of memory a ring of `capacity_words` needs.
+  static std::size_t footprint_words(std::size_t capacity_words) {
+    return sizeof(Control) / sizeof(std::uint64_t) + capacity_words;
+  }
+
+  SpscRing() = default;
+  /// Binds to `memory` (footprint_words(capacity) u64s). `initialize`
+  /// zeroes the control block — exactly one side does this, before the
+  /// other side attaches.
+  SpscRing(std::uint64_t* memory, std::size_t capacity_words,
+           bool initialize);
+
+  /// Blocking write/read of `n` words. `wait` is invoked repeatedly while
+  /// the ring is full/empty; it may throw (coordinator: peer death or
+  /// timeout) or just yield (worker).
+  void write(const std::uint64_t* src, std::size_t n,
+             const std::function<void()>& wait);
+  void read(std::uint64_t* dst, std::size_t n,
+            const std::function<void()>& wait);
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  Control* control_ = nullptr;
+  std::uint64_t* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+/// The proc backend (see file comment). One process-wide instance;
+/// route_wave serializes waves through the fleet under an internal mutex
+/// (batched waves from pool workers queue here — the rings are the shared
+/// resource, exactly like a NIC).
+class ProcTransport final : public Transport {
+ public:
+  static ProcTransport& instance();
+
+  std::string_view name() const override { return "proc"; }
+
+  void route_wave(std::uint64_t machines,
+                  std::vector<std::vector<MpcMessage>>& outboxes,
+                  ArenaBlock& block, std::vector<std::uint64_t>& received,
+                  std::uint64_t wave_index) override;
+
+  /// Forks the fleet now if it is not running (idempotent). The daemon
+  /// calls this at startup so the fork happens before listener threads
+  /// exist; everyone else gets it lazily at the first routed wave.
+  void warm();
+
+  /// Sends shutdown frames, reaps every worker and unmaps the rings.
+  /// Idempotent; the next wave respawns. Called at process exit.
+  void shutdown();
+
+  /// Live worker pids, fleet order (spawning it first); for tests.
+  std::vector<pid_t> worker_pids_for_test();
+
+  ~ProcTransport();
+  ProcTransport(const ProcTransport&) = delete;
+  ProcTransport& operator=(const ProcTransport&) = delete;
+
+ private:
+  ProcTransport() = default;
+
+  struct Worker {
+    pid_t pid = -1;
+    void* mapping = nullptr;
+    std::size_t mapping_bytes = 0;
+    SpscRing to_worker;
+    SpscRing from_worker;
+  };
+
+  void ensure_running_locked();
+  void teardown_locked(bool graceful);
+  /// Throws TransportError naming `wave_index` if worker k is dead or the
+  /// handshake deadline passed; otherwise yields/sleeps once.
+  void wait_on_worker_locked(std::size_t k, std::uint64_t wave_index,
+                             std::uint64_t deadline_ns, unsigned* spins);
+
+  std::mutex mutex_;
+  std::vector<Worker> workers_;
+  bool running_ = false;
+};
+
+}  // namespace mpcstab

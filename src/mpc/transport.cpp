@@ -1,0 +1,193 @@
+#include "mpc/transport.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "mpc/proc_transport.h"
+#include "obs/registry.h"
+#include "support/check.h"
+
+namespace mpcstab {
+
+namespace {
+
+/// -1 = no override, otherwise a TransportKind value.
+std::atomic<int> g_kind_override{-1};
+std::atomic<unsigned> g_workers_override{0};
+
+TransportKind env_transport_kind() {
+  static const TransportKind parsed = [] {
+    const char* raw = std::getenv("MPCSTAB_TRANSPORT");
+    if (raw == nullptr || *raw == '\0') return TransportKind::kInproc;
+    const std::string value(raw);
+    if (value == "inproc") return TransportKind::kInproc;
+    if (value == "proc") return TransportKind::kProc;
+    // A typo here must not silently fall back: the transport-ab gate
+    // would then compare inproc against itself and pass vacuously.
+    throw PreconditionError("MPCSTAB_TRANSPORT must be 'proc' or 'inproc', "
+                            "got \"" + value + "\"");
+  }();
+  return parsed;
+}
+
+unsigned env_transport_workers() {
+  static const unsigned parsed = [] {
+    const char* raw = std::getenv("MPCSTAB_TRANSPORT_WORKERS");
+    if (raw == nullptr || *raw == '\0') return 0u;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(raw, &end, 10);
+    if (end == nullptr || *end != '\0' || value == 0 || value > 64) return 0u;
+    return static_cast<unsigned>(value);
+  }();
+  return parsed;
+}
+
+/// Routes the wave in the calling process: the radix two-pass scatter the
+/// engine has always run (pass 1 counts per destination, pass 2 scatters
+/// payloads in serial reference order).
+class InprocTransport final : public Transport {
+ public:
+  std::string_view name() const override { return "inproc"; }
+
+  void route_wave(std::uint64_t machines,
+                  std::vector<std::vector<MpcMessage>>& outboxes,
+                  ArenaBlock& block, std::vector<std::uint64_t>& received,
+                  std::uint64_t /*wave_index*/) override {
+    received.assign(machines, 0);
+
+    // Pass 1: per-destination message and word counts.
+    std::vector<std::size_t> msg_count(machines, 0);
+    std::size_t total_msgs = 0;
+    std::size_t total_payload_words = 0;
+    for (const auto& outbox : outboxes) {
+      for (const MpcMessage& msg : outbox) {
+        received[msg.dst] += msg.payload.size() + 1;  // +1 header word
+        msg_count[msg.dst] += 1;
+        total_payload_words += msg.payload.size();
+        ++total_msgs;
+      }
+    }
+
+    // Radix layout: inbox m's deliveries occupy [offsets[m], offsets[m+1]).
+    block.offsets.resize(machines + 1);
+    block.offsets[0] = 0;
+    for (std::size_t m = 0; m < machines; ++m) {
+      block.offsets[m + 1] = block.offsets[m] + msg_count[m];
+    }
+    block.deliveries.resize(total_msgs);
+    std::vector<std::size_t> msg_cursor(block.offsets.begin(),
+                                        block.offsets.end() - 1);
+
+    // Pass 2: scatter in fixed machine order (senders ascending, FIFO per
+    // sender) — the serial reference delivery order.
+    if (arena_exchange_enabled()) {
+      // All payload words land in one contiguous buffer, grouped by
+      // destination. Sizing happens before any span is taken, so the
+      // buffer never reallocates under a view.
+      block.words.resize(total_payload_words);
+      std::vector<std::size_t> word_cursor(machines, 0);
+      for (std::size_t m = 0, acc = 0; m < machines; ++m) {
+        word_cursor[m] = acc;
+        acc += received[m] - msg_count[m];  // payload words bound for m
+      }
+      for (const auto& outbox : outboxes) {
+        for (const MpcMessage& msg : outbox) {
+          std::uint64_t* slot = block.words.data() + word_cursor[msg.dst];
+          std::copy(msg.payload.begin(), msg.payload.end(), slot);
+          block.deliveries[msg_cursor[msg.dst]++] = MpcDelivery{
+              msg.dst,
+              std::span<const std::uint64_t>(slot, msg.payload.size())};
+          word_cursor[msg.dst] += msg.payload.size();
+        }
+      }
+    } else {
+      // Legacy A/B path (MPCSTAB_NO_ARENA): every payload keeps its own
+      // heap vector, moved into the block so lifetimes still follow the
+      // arena contract. Inner buffers never move, so spans into them are
+      // stable.
+      block.legacy.reserve(total_msgs);
+      for (auto& outbox : outboxes) {
+        for (MpcMessage& msg : outbox) {
+          block.legacy.push_back(std::move(msg.payload));
+          const auto& stored = block.legacy.back();
+          block.deliveries[msg_cursor[msg.dst]++] = MpcDelivery{
+              msg.dst,
+              std::span<const std::uint64_t>(stored.data(), stored.size())};
+        }
+      }
+      // Scope-resolved: route_wave runs on pool workers under
+      // exchange_batch's parallel_for, and the overlay binding propagates
+      // through the dispatch.
+      static obs::ScopedCounter fallback{"cluster.arena_fallback_msgs"};
+      fallback.add(total_msgs);
+    }
+  }
+};
+
+InprocTransport& inproc_transport() {
+  static InprocTransport transport;
+  return transport;
+}
+
+}  // namespace
+
+TransportKind transport_kind() {
+  const int requested = g_kind_override.load(std::memory_order_relaxed);
+  if (requested >= 0) return static_cast<TransportKind>(requested);
+  return env_transport_kind();
+}
+
+void set_transport(TransportKind kind) {
+  g_kind_override.store(static_cast<int>(kind), std::memory_order_relaxed);
+}
+
+std::string_view transport_name() { return active_transport().name(); }
+
+unsigned transport_workers() {
+  const unsigned requested =
+      g_workers_override.load(std::memory_order_relaxed);
+  if (requested != 0) return std::min(requested, 64u);
+  if (const unsigned from_env = env_transport_workers(); from_env != 0) {
+    return from_env;
+  }
+  return 2;
+}
+
+void set_transport_workers(unsigned workers) {
+  g_workers_override.store(workers, std::memory_order_relaxed);
+}
+
+std::pair<std::uint64_t, std::uint64_t> shard_range(std::uint64_t machines,
+                                                    unsigned workers,
+                                                    unsigned k) {
+  require(workers >= 1, "shard_range needs at least one worker");
+  require(k < workers, "shard index out of range");
+  const std::uint64_t w = workers;
+  return {machines * k / w, machines * (k + 1) / w};
+}
+
+Transport& active_transport() {
+  if (transport_kind() == TransportKind::kProc) {
+    std::string reason;
+    if (proc_transport_supported(&reason)) {
+      return ProcTransport::instance();
+    }
+    // Logged fallback, not a cryptic failure: sanitizer builds (and
+    // explicitly disabled environments) run the same workload through the
+    // inproc backend — the accounting is bit-identical by contract.
+    static std::once_flag logged;
+    std::call_once(logged, [&reason] {
+      std::fprintf(stderr,
+                   "mpcstab: proc transport requested but unavailable (%s); "
+                   "routing waves in-process instead\n",
+                   reason.c_str());
+    });
+  }
+  return inproc_transport();
+}
+
+}  // namespace mpcstab

@@ -1,0 +1,110 @@
+// The pluggable exchange substrate behind Cluster::exchange /
+// exchange_batch. The engine's wave loop is transport-agnostic: it
+// validates send volumes, leases an arena block, and hands the wave to the
+// active Transport, which must fill the block with the canonical radix
+// layout (mpc/arena.h) — offsets per inbox, one contiguous payload buffer
+// grouped by destination, deliveries in serial reference order — plus the
+// per-machine receive volumes the coordinator's accounting runs on.
+//
+// Two backends implement the contract:
+//   * "inproc" (default): the wave is routed by the calling process — the
+//     single-address-space simulator the repo started with.
+//   * "proc" (mpc/proc_transport.h): N forked worker processes each own a
+//     contiguous shard of machines; every wave's payload words are
+//     serialized over shared-memory rings to the shard owners and the
+//     routed shard segments are shipped back. The arena wave buffer IS the
+//     wire format, so the two backends produce byte-identical blocks.
+//
+// Accounting is charged on the coordinator only: rounds, words, peak_recv
+// and every cluster.*/shuffle.*/pacing.* overlay metric are computed from
+// the same (sent, received) volumes whichever backend routed the wave, so
+// reports are bit-identical across backends (CI's transport-ab job gates
+// exactly this). Selection mirrors the batching/arena toggles:
+// MPCSTAB_TRANSPORT=proc|inproc at startup, set_transport() at runtime.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mpc/cluster.h"
+
+namespace mpcstab {
+
+/// Which exchange backend routes waves.
+enum class TransportKind : std::uint8_t {
+  kInproc,  ///< route in the calling process (default)
+  kProc,    ///< route through forked shard-owner worker processes
+};
+
+/// The active backend: set_transport override, else MPCSTAB_TRANSPORT
+/// ("proc" or "inproc"; anything else throws PreconditionError at first
+/// use), else inproc.
+TransportKind transport_kind();
+
+/// Selects the backend process-wide (mirrors MPCSTAB_TRANSPORT). Takes
+/// effect at the next routed wave; toggling mid-exchange is a test-only
+/// move, exactly like set_arena_exchange.
+void set_transport(TransportKind kind);
+
+/// Name of the backend route_wave would use right now ("inproc"/"proc").
+/// When proc is selected but unsupported in this build (sanitizers — see
+/// proc_transport_supported), this reports the inproc fallback.
+std::string_view transport_name();
+
+/// Worker-process count for the proc backend: set_transport_workers
+/// override, else MPCSTAB_TRANSPORT_WORKERS, else 2. Clamped to [1, 64].
+unsigned transport_workers();
+
+/// Overrides the proc worker count (0 restores env/default resolution).
+/// A running fleet of a different width is respawned at the next wave.
+void set_transport_workers(unsigned workers);
+
+/// A transport backend failed mid-wave (worker process died, wire
+/// protocol violated, handshake timed out). Deliberately NOT an
+/// mpcstab::Error: the service maps it to the "InternalError" taxonomy
+/// kind — infrastructure failure, not a request or model violation.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Contiguous machine shard [first, second) owned by worker `k` of
+/// `workers` over `machines` machines: floor partitioning, every machine
+/// owned by exactly one worker, shards ascending in k.
+std::pair<std::uint64_t, std::uint64_t> shard_range(std::uint64_t machines,
+                                                    unsigned workers,
+                                                    unsigned k);
+
+/// One exchange backend. Implementations must be thread-safe: batched
+/// waves route concurrently from pool workers (each wave into its own
+/// block).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Routes one destination-validated wave into `block`: fills offsets
+  /// (machines + 1 entries), deliveries (canonical order: grouped by
+  /// destination, senders ascending and FIFO within each), the contiguous
+  /// `words` payload buffer (or per-message `legacy` storage when the
+  /// arena is disabled), and `received[m]` = words machine m receives
+  /// including the per-message header word. `wave_index` is the wave's
+  /// position in the caller's batch (0 for a lone exchange) — error
+  /// context only. Throws TransportError on backend failure.
+  virtual void route_wave(std::uint64_t machines,
+                          std::vector<std::vector<MpcMessage>>& outboxes,
+                          ArenaBlock& block,
+                          std::vector<std::uint64_t>& received,
+                          std::uint64_t wave_index) = 0;
+};
+
+/// The backend the next wave will route through: resolves transport_kind,
+/// falling back to inproc (with one logged stderr notice) when proc is
+/// selected but unsupported in this build.
+Transport& active_transport();
+
+}  // namespace mpcstab

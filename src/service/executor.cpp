@@ -17,6 +17,8 @@
 #include "core/lifting.h"
 #include "core/sensitivity.h"
 #include "local/engine.h"
+#include "mpc/native_connectivity.h"
+#include "mpc/transport.h"
 #include "native/components.h"
 #include "obs/registry.h"
 #include "rng/prf.h"
@@ -189,6 +191,32 @@ std::string run_connectivity(Cluster& cluster, const LegalGraph& g,
       .str();
 }
 
+/// The in-model ground-truth tier: min-label propagation with every label
+/// movement paid through Cluster::exchange (mpc/native_connectivity.h) —
+/// the one service op whose result event reflects real wave traffic, so
+/// it is what the transport A/B smoke byte-compares across backends.
+std::string run_connectivity_mpc_native(Cluster& cluster,
+                                        const LegalGraph& g,
+                                        const Request& req) {
+  NativeConnectivityResult result;
+  for (std::uint32_t r = 0; r < req.repeat; ++r) {
+    // Min-label propagation moves a label one hop per iteration, so unlike
+    // hash-to-min's O(log n) doubling it needs a diameter-safe budget: a
+    // component's minimum reaches every vertex within n-1 hops and the run
+    // exits early the iteration nothing changes (n is already bounded by
+    // the max_nodes admission limit).
+    result = native_min_label_propagation(cluster, g, g.n() + 1);
+  }
+  const std::set<Node> distinct(result.labels.begin(), result.labels.end());
+  return std::move(JsonObject()
+                       .field("components",
+                              static_cast<std::uint64_t>(distinct.size()))
+                       .field("converged", result.converged)
+                       .field("iterations", result.iterations)
+                       .field("backend", "mpc-native"))
+      .str();
+}
+
 /// The lock-free speed tier (DESIGN.md "Backend tiers"): answers on shared
 /// memory via the job's worker pool, touches the cluster not at all — the
 /// result event's "rounds"/"words" stay 0 by construction. The answer
@@ -330,6 +358,9 @@ std::string statusz_json() {
   jobs += ']';
   return std::move(
              JsonObject()
+                 .field("transport", std::string(transport_name()))
+                 .field("transport_workers",
+                        static_cast<std::uint64_t>(transport_workers()))
                  .raw("metrics", obs::metrics_json_array(
                                      obs::Registry::global().snapshot()))
                  .raw("jobs", jobs))
@@ -375,6 +406,8 @@ ExecResult execute_on(Cluster& cluster, const LegalGraph& g,
         out.answer_json = std::move(JsonObject().field("pong", true)).str();
       } else if (req.op == "statusz") {
         out.answer_json = statusz_json();
+      } else if (req.op == "connectivity" && req.backend == "mpc-native") {
+        out.answer_json = run_connectivity_mpc_native(cluster, g, req);
       } else if (req.op == "connectivity" && req.backend == "native") {
         out.answer_json = run_connectivity_native(g, req);
       } else if (req.op == "connectivity") {
@@ -404,6 +437,13 @@ ExecResult execute_on(Cluster& cluster, const LegalGraph& g,
     out.error_message = e.what();
   } catch (const Error& e) {
     out.error_kind = "Error";
+    out.error_message = e.what();
+  } catch (const TransportError& e) {
+    // Exchange-substrate failure (proc worker death, wire timeout): an
+    // infrastructure fault, not a request or model violation — surfaced
+    // under the generic internal kind but with the transport's message
+    // (worker, pid, wave index) intact for the operator.
+    out.error_kind = "InternalError";
     out.error_message = e.what();
   } catch (const std::exception& e) {
     out.error_kind = "InternalError";

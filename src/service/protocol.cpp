@@ -129,13 +129,15 @@ ParsedRequest parse_request(std::string_view line) {
       return out;
     }
     req.backend = backend->string;
-    if (req.backend != "mpc" && req.backend != "native") {
+    if (req.backend != "mpc" && req.backend != "native" &&
+        req.backend != "mpc-native") {
       out.error = "unknown backend \"" + req.backend +
-                  "\" (want \"mpc\" or \"native\")";
+                  "\" (want \"mpc\", \"mpc-native\" or \"native\")";
       return out;
     }
-    if (req.backend == "native" && req.op != "connectivity") {
-      out.error = "backend \"native\" only supports op \"connectivity\"";
+    if (req.backend != "mpc" && req.op != "connectivity") {
+      out.error = "backend \"" + req.backend +
+                  "\" only supports op \"connectivity\"";
       return out;
     }
   }

@@ -57,7 +57,7 @@ struct GraphSpec {
 struct Request {
   std::uint64_t id = 0;          ///< echoed in every response event
   std::string op;
-  std::string backend = "mpc";   ///< execution tier: "mpc" | "native"
+  std::string backend = "mpc";   ///< tier: "mpc" | "mpc-native" | "native"
   GraphSpec graph;
   double phi = 0.5;
   std::uint64_t seed = 1;        ///< shared-randomness seed for the run

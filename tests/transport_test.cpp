@@ -1,0 +1,395 @@
+// The transport substrate contract (mpc/transport.h): shard ownership is
+// a partition, the rings move words intact through wrap-around, and —
+// the property CI's transport-ab job gates end to end — the proc backend
+// is observationally identical to inproc: same delivered bytes in the
+// same canonical order, same rounds/words/load accounting, same
+// SpaceLimitError at the same wave, in every combination with the arena
+// and batching toggles. Failure injection: a worker killed mid-fleet
+// surfaces as a structured TransportError naming the wave (the service
+// maps it to "InternalError"), never a hang, and the fleet respawns on
+// the next wave. Fork-based tests skip (GTEST_SKIP) where the proc
+// backend is unsupported — sanitizer builds run everything else.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "mpc/arena.h"
+#include "mpc/cluster.h"
+#include "mpc/proc_transport.h"
+#include "mpc/transport.h"
+#include "service/executor.h"
+#include "service/protocol.h"
+#include "support/check.h"
+
+namespace mpcstab {
+namespace {
+
+Cluster make_cluster(std::uint64_t machines, std::uint64_t space) {
+  MpcConfig cfg;
+  cfg.n = machines * space;
+  cfg.local_space = space;
+  cfg.machines = machines;
+  return Cluster(cfg);
+}
+
+/// Restores transport and arena selection when a test exits.
+struct TransportGuard {
+  ~TransportGuard() {
+    set_transport(TransportKind::kInproc);
+    set_transport_workers(0);
+    set_arena_exchange(true);
+  }
+};
+
+/// Requires the fork-based backend; skips the test where it cannot run.
+#define REQUIRE_PROC_OR_SKIP()                                        \
+  do {                                                                \
+    std::string why;                                                  \
+    if (!proc_transport_supported(&why)) {                            \
+      GTEST_SKIP() << "proc transport unsupported here: " << why;     \
+    }                                                                 \
+  } while (0)
+
+/// A deterministic all-to-all-ish wave: machine src sends (src % 3 + 1)
+/// messages with distinct payloads to scattered destinations.
+std::vector<std::vector<MpcMessage>> fanout_wave(std::uint64_t machines,
+                                                 std::uint64_t salt) {
+  std::vector<std::vector<MpcMessage>> outboxes(machines);
+  for (std::uint64_t src = 0; src < machines; ++src) {
+    for (std::uint64_t i = 0; i <= src % 3; ++i) {
+      MpcMessage msg;
+      msg.dst = static_cast<std::uint32_t>((src * 7 + i * 3 + salt) %
+                                           machines);
+      msg.payload = {src, i, salt, src * 1000 + i};
+      outboxes[src].push_back(std::move(msg));
+    }
+  }
+  return outboxes;
+}
+
+/// Flattens delivered inboxes into comparable bytes: (machine, payload...)
+/// per delivery, in delivery order.
+std::vector<std::uint64_t> flatten(const WaveInboxes& inboxes) {
+  std::vector<std::uint64_t> flat;
+  for (std::size_t m = 0; m < inboxes.machines(); ++m) {
+    for (const MpcDelivery& d : inboxes[m]) {
+      flat.push_back(m);
+      flat.push_back(d.payload.size());
+      flat.insert(flat.end(), d.payload.begin(), d.payload.end());
+    }
+  }
+  return flat;
+}
+
+TEST(ShardRange, PartitionsEveryMachineExactlyOnce) {
+  for (std::uint64_t machines : {0ull, 1ull, 2ull, 7ull, 64ull, 1000ull}) {
+    for (unsigned workers : {1u, 2u, 3u, 5u, 16u, 64u}) {
+      std::uint64_t covered = 0;
+      std::uint64_t prev_hi = 0;
+      for (unsigned k = 0; k < workers; ++k) {
+        const auto [lo, hi] = shard_range(machines, workers, k);
+        EXPECT_EQ(lo, prev_hi);  // contiguous and ascending
+        EXPECT_LE(lo, hi);
+        covered += hi - lo;
+        prev_hi = hi;
+      }
+      EXPECT_EQ(prev_hi, machines);
+      EXPECT_EQ(covered, machines);
+    }
+  }
+}
+
+TEST(ShardRange, RejectsBadIndices) {
+  EXPECT_THROW(shard_range(8, 0, 0), PreconditionError);
+  EXPECT_THROW(shard_range(8, 2, 2), PreconditionError);
+}
+
+TEST(SpscRing, RoundTripsWordsInProcess) {
+  const std::size_t cap = 16;
+  std::vector<std::uint64_t> memory(SpscRing::footprint_words(cap), 0);
+  SpscRing ring(memory.data(), cap, /*initialize=*/true);
+  const auto wait = [] { std::this_thread::yield(); };
+  const std::vector<std::uint64_t> sent = {1, 2, 3, 42, 0xdeadbeefull};
+  ring.write(sent.data(), sent.size(), wait);
+  std::vector<std::uint64_t> got(sent.size(), 0);
+  ring.read(got.data(), got.size(), wait);
+  EXPECT_EQ(got, sent);
+}
+
+TEST(SpscRing, StreamsFramesLargerThanCapacityAcrossThreads) {
+  // A frame 64x the ring capacity must stream through chunked flow
+  // control with every word intact and in order — this is exactly how
+  // wave frames larger than the shared mapping move in production.
+  const std::size_t cap = 64;
+  std::vector<std::uint64_t> memory(SpscRing::footprint_words(cap), 0);
+  SpscRing ring(memory.data(), cap, /*initialize=*/true);
+  const std::size_t n = cap * 64 + 13;  // not a multiple: exercises wrap
+  std::vector<std::uint64_t> sent(n);
+  for (std::size_t i = 0; i < n; ++i) sent[i] = i * 2654435761ull;
+  std::vector<std::uint64_t> got(n, 0);
+  const auto wait = [] { std::this_thread::yield(); };
+  std::thread producer([&] { ring.write(sent.data(), n, wait); });
+  ring.read(got.data(), n, wait);
+  producer.join();
+  EXPECT_EQ(got, sent);
+}
+
+TEST(Transport, DefaultIsInprocAndSelectionIsExplicit) {
+  const TransportGuard guard;
+  EXPECT_EQ(transport_kind(), TransportKind::kInproc);
+  EXPECT_EQ(transport_name(), "inproc");
+  set_transport(TransportKind::kProc);
+  EXPECT_EQ(transport_kind(), TransportKind::kProc);
+  // transport_name reports the backend actually used: "proc" when the
+  // fork backend can run here, the inproc fallback otherwise.
+  if (proc_transport_supported()) {
+    EXPECT_EQ(transport_name(), "proc");
+  } else {
+    EXPECT_EQ(transport_name(), "inproc");
+  }
+}
+
+TEST(Transport, WorkerCountResolvesOverrideThenDefault) {
+  const TransportGuard guard;
+  set_transport_workers(7);
+  EXPECT_EQ(transport_workers(), 7u);
+  set_transport_workers(200);  // clamped
+  EXPECT_EQ(transport_workers(), 64u);
+  set_transport_workers(0);  // back to env/default resolution
+  EXPECT_GE(transport_workers(), 1u);
+}
+
+TEST(Transport, ProcMatchesInprocBitForBit) {
+  REQUIRE_PROC_OR_SKIP();
+  const TransportGuard guard;
+  const std::uint64_t machines = 11;
+
+  Cluster inproc = make_cluster(machines, 1 << 10);
+  set_transport(TransportKind::kInproc);
+  const WaveInboxes a = inproc.exchange(fanout_wave(machines, 5));
+
+  Cluster proc = make_cluster(machines, 1 << 10);
+  set_transport(TransportKind::kProc);
+  set_transport_workers(3);
+  const WaveInboxes b = proc.exchange(fanout_wave(machines, 5));
+
+  EXPECT_EQ(flatten(a), flatten(b));
+  EXPECT_EQ(inproc.rounds(), proc.rounds());
+  EXPECT_EQ(inproc.words_moved(), proc.words_moved());
+  EXPECT_EQ(inproc.max_receive_load(), proc.max_receive_load());
+  EXPECT_EQ(inproc.peak_skew(), proc.peak_skew());
+}
+
+TEST(Transport, BatchWithEmptyWaveMatchesInproc) {
+  REQUIRE_PROC_OR_SKIP();
+  const TransportGuard guard;
+  const std::uint64_t machines = 6;
+  const auto waves = [&] {
+    std::vector<std::vector<std::vector<MpcMessage>>> w;
+    w.push_back(fanout_wave(machines, 1));
+    w.emplace_back(machines);  // all-empty wave: free, uncounted
+    w.push_back(fanout_wave(machines, 9));
+    return w;
+  };
+
+  Cluster inproc = make_cluster(machines, 1 << 10);
+  set_transport(TransportKind::kInproc);
+  const BatchInboxes a = inproc.exchange_batch(waves());
+
+  Cluster proc = make_cluster(machines, 1 << 10);
+  set_transport(TransportKind::kProc);
+  set_transport_workers(2);
+  const BatchInboxes b = proc.exchange_batch(waves());
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    EXPECT_EQ(flatten(a[w]), flatten(b[w])) << "wave " << w;
+  }
+  EXPECT_EQ(inproc.rounds(), proc.rounds());  // empty wave uncounted both
+  EXPECT_EQ(inproc.words_moved(), proc.words_moved());
+}
+
+TEST(Transport, EmptyWaveIsFreeUnderProc) {
+  REQUIRE_PROC_OR_SKIP();
+  const TransportGuard guard;
+  set_transport(TransportKind::kProc);
+  set_transport_workers(2);
+  Cluster cluster = make_cluster(5, 64);
+  const WaveInboxes inboxes =
+      cluster.exchange(std::vector<std::vector<MpcMessage>>(5));
+  EXPECT_EQ(inboxes.total_messages(), 0u);
+  EXPECT_EQ(cluster.rounds(), 0u);
+  EXPECT_EQ(cluster.words_moved(), 0u);
+}
+
+TEST(Transport, MaxBudgetWaveDeliversAndOverBudgetThrowsOnBothBackends) {
+  const TransportGuard guard;
+  const std::uint64_t space = 32;
+  for (const TransportKind kind :
+       {TransportKind::kInproc, TransportKind::kProc}) {
+    if (kind == TransportKind::kProc && !proc_transport_supported()) {
+      continue;
+    }
+    set_transport(kind);
+    set_transport_workers(2);
+
+    // Exactly S words each way: one message of S-1 payload words + 1
+    // header word from machine 0 to machine 1.
+    Cluster ok = make_cluster(2, space);
+    std::vector<std::vector<MpcMessage>> at_budget(2);
+    at_budget[0].push_back(
+        MpcMessage{1, std::vector<std::uint64_t>(space - 1, 7)});
+    const WaveInboxes inboxes = ok.exchange(std::move(at_budget));
+    EXPECT_EQ(ok.max_receive_load(), space);
+    ASSERT_EQ(inboxes[1].size(), 1u);
+    EXPECT_EQ(inboxes[1][0].payload.size(), space - 1);
+
+    // One word over: the round happens, is counted, then throws.
+    Cluster over = make_cluster(2, space);
+    std::vector<std::vector<MpcMessage>> too_big(2);
+    too_big[0].push_back(
+        MpcMessage{1, std::vector<std::uint64_t>(space, 7)});
+    EXPECT_THROW(over.exchange(std::move(too_big)), SpaceLimitError);
+    EXPECT_EQ(over.rounds(), 1u);
+  }
+}
+
+TEST(Transport, LegacyArenaPathMatchesAcrossBackends) {
+  REQUIRE_PROC_OR_SKIP();
+  const TransportGuard guard;
+  const std::uint64_t machines = 9;
+  set_arena_exchange(false);  // MPCSTAB_NO_ARENA path
+
+  Cluster inproc = make_cluster(machines, 1 << 10);
+  set_transport(TransportKind::kInproc);
+  const WaveInboxes a = inproc.exchange(fanout_wave(machines, 3));
+
+  Cluster proc = make_cluster(machines, 1 << 10);
+  set_transport(TransportKind::kProc);
+  set_transport_workers(4);
+  const WaveInboxes b = proc.exchange(fanout_wave(machines, 3));
+
+  EXPECT_EQ(flatten(a), flatten(b));
+  EXPECT_EQ(inproc.words_moved(), proc.words_moved());
+}
+
+TEST(Transport, MoreWorkersThanMachinesStillRoutes) {
+  REQUIRE_PROC_OR_SKIP();
+  const TransportGuard guard;
+  set_transport(TransportKind::kProc);
+  set_transport_workers(8);  // machines=3: most shards are empty
+  Cluster cluster = make_cluster(3, 1 << 10);
+  const WaveInboxes inboxes = cluster.exchange(fanout_wave(3, 2));
+  EXPECT_GT(inboxes.total_messages(), 0u);
+  EXPECT_EQ(cluster.rounds(), 1u);
+}
+
+TEST(Transport, FleetIsSharedAcrossClusters) {
+  REQUIRE_PROC_OR_SKIP();
+  const TransportGuard guard;
+  set_transport(TransportKind::kProc);
+  set_transport_workers(2);
+  const std::vector<pid_t> before =
+      ProcTransport::instance().worker_pids_for_test();
+  ASSERT_EQ(before.size(), 2u);
+  Cluster one = make_cluster(4, 256);
+  (void)one.exchange(fanout_wave(4, 1));
+  Cluster two = make_cluster(7, 256);
+  (void)two.exchange(fanout_wave(7, 2));
+  const std::vector<pid_t> after =
+      ProcTransport::instance().worker_pids_for_test();
+  EXPECT_EQ(before, after);  // no respawn between clusters or sizes
+}
+
+TEST(Transport, WorkerDeathSurfacesAsTransportErrorWithWaveIndex) {
+  REQUIRE_PROC_OR_SKIP();
+  const TransportGuard guard;
+  set_transport(TransportKind::kProc);
+  set_transport_workers(2);
+  std::vector<pid_t> pids = ProcTransport::instance().worker_pids_for_test();
+  ASSERT_EQ(pids.size(), 2u);
+  ASSERT_EQ(::kill(pids[0], SIGKILL), 0);
+
+  Cluster cluster = make_cluster(8, 1 << 10);
+  try {
+    (void)cluster.exchange(fanout_wave(8, 4));
+    FAIL() << "exchange through a dead worker must throw";
+  } catch (const TransportError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("died"), std::string::npos) << what;
+    EXPECT_NE(what.find("wave 0"), std::string::npos) << what;
+  }
+  // Nothing was accounted: the wave never completed.
+  EXPECT_EQ(cluster.rounds(), 0u);
+
+  // The fleet respawns lazily and the next wave routes fine.
+  const WaveInboxes retry = cluster.exchange(fanout_wave(8, 4));
+  EXPECT_GT(retry.total_messages(), 0u);
+  EXPECT_EQ(cluster.rounds(), 1u);
+  const std::vector<pid_t> fresh =
+      ProcTransport::instance().worker_pids_for_test();
+  EXPECT_NE(fresh, pids);
+  // The dead fleet was fully reaped — no zombie holds the old pids.
+  for (const pid_t pid : pids) {
+    EXPECT_EQ(::waitpid(pid, nullptr, WNOHANG), -1);
+    EXPECT_EQ(errno, ECHILD);
+  }
+}
+
+TEST(Transport, WorkerDeathMidBatchReplaysAtLowestFailedWave) {
+  REQUIRE_PROC_OR_SKIP();
+  const TransportGuard guard;
+  set_transport(TransportKind::kProc);
+  set_transport_workers(2);
+  std::vector<pid_t> pids = ProcTransport::instance().worker_pids_for_test();
+  ASSERT_EQ(::kill(pids[1], SIGKILL), 0);
+
+  Cluster cluster = make_cluster(8, 1 << 10);
+  std::vector<std::vector<std::vector<MpcMessage>>> waves;
+  for (std::uint64_t w = 0; w < 4; ++w) {
+    waves.push_back(fanout_wave(8, w));
+  }
+  try {
+    (void)cluster.exchange_batch(std::move(waves));
+    FAIL() << "batch through a dead worker must throw";
+  } catch (const TransportError& e) {
+    EXPECT_NE(std::string(e.what()).find("wave"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Transport, ExecutorMapsWorkerDeathToInternalError) {
+  REQUIRE_PROC_OR_SKIP();
+  const TransportGuard guard;
+  set_transport(TransportKind::kProc);
+  set_transport_workers(2);
+  std::vector<pid_t> pids = ProcTransport::instance().worker_pids_for_test();
+  ASSERT_EQ(::kill(pids[0], SIGKILL), 0);
+
+  const LegalGraph lg = LegalGraph::with_identity(path_graph(64));
+  service::Request req;
+  req.op = "connectivity";
+  req.backend = "mpc-native";  // the op that moves real words per wave
+  req.graph.type = "path";
+  req.graph.n = 64;
+  req.machines = 8;
+  req.local_space = 4096;
+  Cluster cluster(service::resolve_config(req, 64, 63));
+  const service::ExecResult res =
+      service::execute_on(cluster, lg, req, service::ExecOptions{});
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.error_kind, "InternalError");
+  EXPECT_NE(res.error_message.find("worker"), std::string::npos)
+      << res.error_message;
+}
+
+}  // namespace
+}  // namespace mpcstab

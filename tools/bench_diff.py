@@ -4,6 +4,7 @@
 Usage:
     bench_diff.py BASELINE.json CURRENT.json
     bench_diff.py --refresh BASELINE.json CURRENT.json
+    bench_diff.py --ab A.json B.json
 
 Compares the *model-determined* content of the two reports — run labels,
 cluster configurations, round/word/exchange totals and the span tree
@@ -22,6 +23,15 @@ regression.
 With --refresh, CURRENT is validated (schema, per-run shape) and written
 over BASELINE in the compact encoding the checked-in baselines use, so
 `git diff` of a refreshed baseline shows only real model changes.
+
+With --ab, the two reports are compared *byte-for-byte* after
+canonicalization (every `wall_ns` stripped recursively; the top-level
+`metrics` histograms and `info` notes dropped; keys sorted). This is the
+cross-backend identity gate (CI's transport-ab job): two runs of the same
+bench under different exchange transports must canonicalize to the exact
+same bytes — not just pass the per-field regression gate — because the
+transport contract is bit-identical accounting, not merely equal totals.
+On mismatch the differing canonical lines are printed.
 
 Exit codes: 0 = match (or refresh written), 1 = mismatch,
 2 = usage or I/O error.
@@ -155,9 +165,63 @@ def refresh(baseline_path, current_path):
     return 0
 
 
+def canonicalize(report):
+    """Model-determined content only, in a byte-stable encoding."""
+
+    def strip(node):
+        if isinstance(node, dict):
+            return {k: strip(v) for k, v in node.items() if k != "wall_ns"}
+        if isinstance(node, list):
+            return [strip(x) for x in node]
+        return node
+
+    trimmed = {
+        k: v for k, v in report.items() if k not in ("metrics", "info")
+    }
+    return json.dumps(strip(trimmed), sort_keys=True, indent=1)
+
+
+def ab_compare(a_path, b_path):
+    a = load(a_path)
+    b = load(b_path)
+    for report, which in ((a, a_path), (b, b_path)):
+        if not validate(report, which):
+            return 2
+    ca = canonicalize(a)
+    cb = canonicalize(b)
+    if ca == cb:
+        print(
+            f"bench_diff: --ab OK: {a_path} and {b_path} canonicalize to "
+            f"identical bytes ({len(ca)} chars)"
+        )
+        return 0
+    print(
+        f"bench_diff: --ab MISMATCH: {a_path} and {b_path} diverge in "
+        "model-determined content:",
+        file=sys.stderr,
+    )
+    a_lines = ca.splitlines()
+    b_lines = cb.splitlines()
+    shown = 0
+    for i in range(max(len(a_lines), len(b_lines))):
+        la = a_lines[i] if i < len(a_lines) else "<absent>"
+        lb = b_lines[i] if i < len(b_lines) else "<absent>"
+        if la != lb:
+            print(f"  line {i + 1}:", file=sys.stderr)
+            print(f"    A: {la.strip()}", file=sys.stderr)
+            print(f"    B: {lb.strip()}", file=sys.stderr)
+            shown += 1
+            if shown >= 20:
+                print("  ... (further differences omitted)", file=sys.stderr)
+                break
+    return 1
+
+
 def main(argv):
     if len(argv) == 4 and argv[1] == "--refresh":
         return refresh(argv[2], argv[3])
+    if len(argv) == 4 and argv[1] == "--ab":
+        return ab_compare(argv[2], argv[3])
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

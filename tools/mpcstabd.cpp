@@ -31,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include "mpc/proc_transport.h"
+#include "mpc/transport.h"
 #include "obs/cli.h"
 #include "obs/export.h"
 #include "service/server.h"
@@ -50,6 +52,7 @@ int usage() {
          "                 [--trace-file PATH] [--max-request-bytes N]\n"
          "                 [--max-nodes N] [--max-machines N]\n"
          "                 [--max-engines N] [--json PATH] [--trace]\n"
+         "                 [--transport proc|inproc] [--transport-workers N]\n"
          "  mpcstabd client (--socket PATH | --connect HOST:PORT)\n"
          "                 [--timeout SEC] REQUEST_JSON... | -\n";
   return 1;
@@ -96,12 +99,40 @@ int run_serve(int argc, char** argv) {
     } else if (arg == "--max-engines") {
       service::set_max_concurrent_engines(static_cast<unsigned>(
           std::strtoul(next("--max-engines"), nullptr, 10)));
+    } else if (arg == "--transport") {
+      // Mirrors MPCSTAB_TRANSPORT; the flag wins over the environment.
+      const std::string_view which = next("--transport");
+      if (which == "proc") {
+        set_transport(TransportKind::kProc);
+      } else if (which == "inproc") {
+        set_transport(TransportKind::kInproc);
+      } else {
+        std::cerr << "mpcstabd: --transport must be proc or inproc\n";
+        return usage();
+      }
+    } else if (arg == "--transport-workers") {
+      set_transport_workers(static_cast<unsigned>(
+          std::strtoul(next("--transport-workers"), nullptr, 10)));
     } else {
       std::cerr << "mpcstabd: unknown serve flag " << arg << "\n";
       return usage();
     }
   }
   opts.listen_tcp = tcp;
+  // Fork the proc fleet (when selected and supported) before any listener
+  // thread exists: fork-without-exec from a single-threaded process is
+  // the clean case, and a fleet-spawn failure surfaces here as a startup
+  // error instead of inside the first request.
+  if (transport_kind() == TransportKind::kProc &&
+      proc_transport_supported()) {
+    try {
+      ProcTransport::instance().warm();
+    } catch (const std::exception& e) {
+      std::cerr << "mpcstabd: proc transport failed to start: " << e.what()
+                << "\n";
+      return 1;
+    }
+  }
   service::Server server(std::move(opts));
   std::string error;
   if (!server.start(&error)) {
@@ -111,6 +142,10 @@ int run_serve(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
   std::cout << "mpcstabd: listening";
+  std::cout << " transport=" << transport_name();
+  if (transport_name() == "proc") {
+    std::cout << " workers=" << transport_workers();
+  }
   if (!harness.json_path.empty()) std::cout << " json=" << harness.json_path;
   if (tcp) std::cout << " tcp=127.0.0.1:" << server.tcp_port();
   if (server.metrics_port() != 0) {

@@ -2,11 +2,14 @@
 # End-to-end smoke test of the mpcstabd service: happy path, deep-nesting
 # request bomb, request-size admission, space-limit surfacing, concurrent
 # clients with bit-identical accounting, the native speed tier agreeing
-# with the MPC backend at zero rounds, and graceful SIGTERM drain, driven
-# through mpcstab-client exactly as a deployment would. CI runs this twice:
-# once against the regular build (service-smoke job) and once against
-# build-asan with LeakSanitizer enabled (sanitizers job), so a daemon that
-# leaks threads or file handles on shutdown fails the gate.
+# with the MPC backend at zero rounds, the multi-process exchange
+# transport producing a byte-identical result event, and graceful SIGTERM
+# drain, driven through mpcstab-client exactly as a deployment would. CI
+# runs this twice: once against the regular build (service-smoke job) and
+# once against build-asan with LeakSanitizer enabled (sanitizers job), so
+# a daemon that leaks threads or file handles on shutdown fails the gate.
+# Sanitizer runs set MPCSTAB_SMOKE_SKIP_PROC=1: the proc backend forks
+# workers without exec, which sanitizer runtimes cannot follow.
 #
 # Usage: service_smoke.sh BUILD_DIR [ARTIFACT_DIR]
 #   BUILD_DIR     cmake build tree containing tools/mpcstabd
@@ -47,14 +50,14 @@ until grep -q "mpcstabd: listening" "$dlog" 2>/dev/null; do
   sleep 0.1
 done
 
-echo "service_smoke: 1/8 happy path"
+echo "service_smoke: 1/9 happy path"
 out="$work/happy.out"
 "$client" --socket "$sock" \
   '{"id":1,"op":"connectivity","graph":{"type":"cycle","n":64}}' \
   > "$out" || fail "happy-path client exited $?"
 grep -q '"components":1' "$out" || fail "wrong connectivity answer: $(cat "$out")"
 
-echo "service_smoke: 2/8 deeply nested JSON is BadRequest, not a crash"
+echo "service_smoke: 2/9 deeply nested JSON is BadRequest, not a crash"
 # A "[[[[..." bomb used to recurse once per bracket in the request parser
 # and could overflow the session thread's stack. It must come back as a
 # structured BadRequest with the daemon still alive and serving.
@@ -69,7 +72,7 @@ grep -q '"kind":"BadRequest"' "$out" \
   || fail "no BadRequest for nesting bomb: $(cat "$out")"
 kill -0 "$dpid" 2>/dev/null || fail "daemon died on the nesting bomb"
 
-echo "service_smoke: 3/8 oversized request is refused, not crashed"
+echo "service_smoke: 3/9 oversized request is refused, not crashed"
 out="$work/oversized.out"
 awk 'BEGIN { pad = sprintf("%8000s", ""); gsub(/ /, "x", pad);
              printf "{\"id\":2,\"op\":\"ping\",\"pad\":\"%s\"}\n", pad }' \
@@ -79,7 +82,7 @@ rc=0
 [ "$rc" -eq 2 ] || fail "oversized request: client exited $rc, want 2"
 grep -q '"kind":"Oversized"' "$out" || fail "no Oversized error: $(cat "$out")"
 
-echo "service_smoke: 4/8 space limit surfaces as a structured error"
+echo "service_smoke: 4/9 space limit surfaces as a structured error"
 out="$work/space.out"
 rc=0
 "$client" --socket "$sock" \
@@ -90,7 +93,7 @@ grep -q '"kind":"SpaceLimitError"' "$out" \
   || fail "no SpaceLimitError: $(cat "$out")"
 kill -0 "$dpid" 2>/dev/null || fail "daemon died on space-limit request"
 
-echo "service_smoke: 5/8 concurrent clients get bit-identical accounting"
+echo "service_smoke: 5/9 concurrent clients get bit-identical accounting"
 # Four clients fire the same request at once; every response must report
 # the same rounds/words — and the same per-request metrics deltas — as a
 # serial reference run of the same request: the invariant of concurrent
@@ -136,7 +139,7 @@ $(cat "$work/conc_$c.out")"
 $(cat "$work/conc_$c.out")"
 done
 
-echo "service_smoke: 6/8 native backend matches the MPC answer at rounds 0"
+echo "service_smoke: 6/9 native backend matches the MPC answer at rounds 0"
 # The same graph through both execution tiers: the lock-free shared-memory
 # backend must report the same component count as the accounted engine
 # while consuming zero rounds (it never touches the cluster). This also
@@ -159,7 +162,7 @@ grep -q '"rounds":0' "$nat_out" \
 grep -q 'native.compress_passes' "$nat_out" \
   || fail "native result carries no native.* metrics: $(cat "$nat_out")"
 
-echo "service_smoke: 7/8 live /metrics scrape passes the format checker"
+echo "service_smoke: 7/9 live /metrics scrape passes the format checker"
 # The daemon bound an ephemeral metrics port (--metrics-port 0) and printed
 # it on the listening line; scrape it mid-run — after real requests, before
 # drain — so the exposition reflects a working engine, then validate the
@@ -187,7 +190,54 @@ python3 "$tools_dir/check_prometheus.py" "$metrics" \
 grep -q '^mpcstab_service_requests_total [1-9]' "$metrics" \
   || fail "request counter never moved: $(grep requests_total "$metrics")"
 
-echo "service_smoke: 8/8 SIGTERM drains the in-flight request"
+echo "service_smoke: 8/9 proc transport result event is byte-identical"
+# A second daemon routes every exchange wave through 2 forked worker
+# processes (MPCSTAB_TRANSPORT=proc equivalent, via the flag); the same
+# fully-accounted connectivity request — backend mpc-native moves every
+# label through real waves — must produce a byte-identical result event
+# line (answer, rounds, words, per-request metrics and all): the
+# transport bit-identity contract, end to end through the service plane.
+# seq is per-connection, so whole-line compare is exact.
+if [ "${MPCSTAB_SMOKE_SKIP_PROC:-0}" != "0" ]; then
+  echo "service_smoke:   skipped: fork-based proc workers are not" \
+    "supported under this build (sanitizer runtimes cannot follow" \
+    "fork-without-exec children); the proc/inproc contract is covered" \
+    "by the regular service-smoke and transport-ab CI jobs"
+else
+  psock="/tmp/mpcstab_smoke_proc_$$.sock"
+  pdlog="$work/daemon_proc.log"
+  "$daemon" serve --socket "$psock" --transport proc \
+    --transport-workers 2 > "$pdlog" 2>&1 &
+  ppid=$!
+  i=0
+  until grep -q "mpcstabd: listening" "$pdlog" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { dpid=$ppid; fail "proc daemon never listened"; }
+    kill -0 "$ppid" 2>/dev/null || { cat "$pdlog" >&2
+      fail "proc daemon exited during startup"; }
+    sleep 0.1
+  done
+  grep -q "transport=proc workers=2" "$pdlog" \
+    || fail "proc daemon did not announce its transport: $(cat "$pdlog")"
+  req='{"id":8,"op":"connectivity","backend":"mpc-native","graph":{"type":"two_cycles","n":130},"machines":8,"local_space":4096}'
+  "$client" --socket "$sock" "$req" > "$work/ab_inproc.out" \
+    || fail "inproc mpc-native client exited $?"
+  "$client" --socket "$psock" "$req" > "$work/ab_proc.out" \
+    || fail "proc mpc-native client exited $?"
+  in_line=$(grep '"event":"result"' "$work/ab_inproc.out" | head -1)
+  pr_line=$(grep '"event":"result"' "$work/ab_proc.out" | head -1)
+  [ -n "$in_line" ] || fail "inproc run produced no result event"
+  [ "$in_line" = "$pr_line" ] || fail "transport A/B result events differ:
+  inproc: $in_line
+  proc:   $pr_line"
+  case $in_line in
+    *'"words":0'*) fail "mpc-native A/B run moved no words: $in_line" ;;
+  esac
+  kill -TERM "$ppid" 2>/dev/null || true
+  wait "$ppid" || fail "proc daemon exited non-zero after SIGTERM"
+fi
+
+echo "service_smoke: 9/9 SIGTERM drains the in-flight request"
 out="$work/drain.out"
 "$client" --socket "$sock" \
   '{"id":4,"op":"connectivity","graph":{"type":"cycle","n":4096},"repeat":60}' \
