@@ -13,6 +13,7 @@
 
 #include "bench_common.h"
 #include "service/executor.h"
+#include "service/gateway.h"
 #include "service/protocol.h"
 #include "support/thread_pool.h"
 
@@ -237,6 +238,71 @@ int main(int argc, char** argv) {
     conc.print(std::cout,
                "concurrent clients, bit-identical accounting "
                "(info only, not gated)");
+  }
+
+  // HTTP gateway result cache: one cold miss (computes + fills the cache),
+  // then a burst of hits for the same canonical request. Wall clock is
+  // host-dependent and stays info-only; what hard-fails here are the two
+  // cache invariants — a hit's body is byte-identical to the computed
+  // response, and the hit burst never touches the engine admission gate
+  // (engine.admitted must not move).
+  {
+    service::Gateway gateway((service::GatewayOptions()));
+    const auto post = [](const char* line) {
+      service::HttpRequest req;
+      req.method = "POST";
+      req.target = "/v1/query";
+      req.version = "HTTP/1.1";
+      req.body = line;
+      return req;
+    };
+    const auto m0 = std::chrono::steady_clock::now();
+    const service::HttpResponse miss = gateway.handle(post(kRequests[0]));
+    const auto m1 = std::chrono::steady_clock::now();
+    if (miss.status != 200) {
+      std::cerr << "bench_service: gateway miss failed with status "
+                << miss.status << ": " << miss.body;
+      return 1;
+    }
+    obs::Counter& admitted =
+        obs::Registry::global().counter("engine.admitted");
+    const std::uint64_t admitted_before = admitted.value();
+    constexpr int kHits = 2000;
+    const auto h0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kHits; ++i) {
+      const service::HttpResponse hit = gateway.handle(post(kRequests[0]));
+      if (hit.status != 200 || hit.body != miss.body) {
+        std::cerr << "bench_service: cache hit " << i
+                  << " diverged from the computed response\n";
+        return 1;
+      }
+    }
+    const auto h1 = std::chrono::steady_clock::now();
+    if (admitted.value() != admitted_before) {
+      std::cerr << "bench_service: the cache-hit burst acquired "
+                << (admitted.value() - admitted_before)
+                << " engine admission slot(s) — hits must bypass the gate\n";
+      return 1;
+    }
+    const auto ns = [](auto a, auto b) {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+          .count();
+    };
+    const long long miss_ns = ns(m0, m1);
+    const long long hit_ns = ns(h0, h1) / kHits;
+    const long long hits_per_sec =
+        hit_ns > 0 ? 1000000000ll / hit_ns : 0;
+    session.note("service.cache_miss_ns", std::to_string(miss_ns));
+    session.note("service.cache_hit_ns", std::to_string(hit_ns));
+    session.note("service.cache_hits_per_sec", std::to_string(hits_per_sec));
+    Table cache({"path", "requests", "ns/req", "req/s"});
+    cache.add_row({"miss (compute + fill)", "1", std::to_string(miss_ns),
+                   "-"});
+    cache.add_row({"hit (cached body)", std::to_string(kHits),
+                   std::to_string(hit_ns), std::to_string(hits_per_sec)});
+    cache.print(std::cout,
+                "gateway result cache, hit burst gate-free and "
+                "byte-identical (info only, not gated)");
   }
   return session.finish();
 }

@@ -103,6 +103,11 @@ class EngineGate {
     slot_free_.notify_one();
   }
 
+  unsigned active() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return active_;
+  }
+
  private:
   std::mutex mutex_;
   std::condition_variable slot_free_;
@@ -335,6 +340,12 @@ unsigned max_concurrent_engines() {
 
 void set_max_concurrent_engines(unsigned limit) {
   requested_engine_limit.store(limit, std::memory_order_relaxed);
+}
+
+unsigned engine_jobs_active() { return engine_gate().active(); }
+
+bool engine_saturated() {
+  return engine_jobs_active() >= max_concurrent_engines();
 }
 
 std::string statusz_json() {

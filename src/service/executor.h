@@ -81,6 +81,15 @@ unsigned max_concurrent_engines();
 /// already past the gate finish under the limit they were admitted with.
 void set_max_concurrent_engines(unsigned limit);
 
+/// How many engine jobs currently hold an admission slot. A point-in-time
+/// read — stale by the time the caller acts on it, which is fine for its
+/// consumers (load-shedding heuristics, status displays).
+unsigned engine_jobs_active();
+
+/// True when every engine admission slot is occupied — a new engine
+/// request would queue at the gate. The gateway's shed decision.
+bool engine_saturated();
+
 /// Live process status as one JSON object:
 ///   {"metrics": [...global registry snapshot...],
 ///    "jobs": [{"job": <admission serial>, "op": "...",

@@ -1,0 +1,529 @@
+#include "service/gateway.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/export.h"
+#include "obs/registry.h"
+
+namespace mpcstab::service {
+
+namespace {
+
+/// The gateway's obs instruments, registered eagerly (Gateway ctor) so the
+/// cache families exist in the exposition before any traffic arrives —
+/// check_prometheus.py --require runs against freshly started daemons.
+struct GatewayMetrics {
+  obs::Counter& requests = obs::Registry::global().counter("service.http_requests");
+  obs::Counter& cache_hits = obs::Registry::global().counter("service.cache_hits");
+  obs::Counter& cache_misses =
+      obs::Registry::global().counter("service.cache_misses");
+  obs::Counter& shed = obs::Registry::global().counter("service.shed");
+  obs::Counter& scrapes =
+      obs::Registry::global().counter("service.metric_scrapes");
+};
+
+GatewayMetrics& gateway_metrics() {
+  static GatewayMetrics metrics;
+  return metrics;
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default:  return "Unknown";
+  }
+}
+
+/// The executor's structured error taxonomy, folded onto HTTP status
+/// codes. DeadlineExceeded is the *upstream* timing out on us → 504;
+/// SpaceLimitError is a semantically valid request the low-space model
+/// rejects → 422.
+int status_for_error_kind(const std::string& kind) {
+  if (kind == "BadRequest") return 400;
+  if (kind == "AdmissionDenied") return 403;
+  if (kind == "DeadlineExceeded") return 504;
+  if (kind == "SpaceLimitError") return 422;
+  return 500;  // Error / InternalError / anything new
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf, 16);
+}
+
+std::string error_event_body(const std::string& kind, const std::string& message,
+                             const std::string& op) {
+  JsonObject out;
+  out.field("event", "error").field("kind", kind).field("message", message);
+  if (!op.empty()) out.field("op", op);
+  std::string body = std::move(out).str();
+  body += '\n';
+  return body;
+}
+
+HttpResponse error_event_response(int status, const std::string& kind,
+                                  const std::string& message,
+                                  const std::string& op = "") {
+  HttpResponse res;
+  res.status = status;
+  res.content_type = "application/json";
+  res.body = error_event_body(kind, message, op);
+  return res;
+}
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// The request target with any query string stripped — routing is
+/// path-only, like the old metrics plane.
+std::string route_path(const std::string& target) {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string canonical_request(const Request& req) {
+  // ping is trivial, statusz is live state, and the "native" tier's effort
+  // metrics (native.cas_retries) are schedule-dependent — none of their
+  // bodies are byte-stable, so none are addressable content.
+  if (req.op == "ping" || req.op == "statusz" || req.backend == "native") {
+    return std::string();
+  }
+  std::string edges = "[";
+  for (std::size_t i = 0; i < req.graph.edges.size(); ++i) {
+    if (i != 0) edges += ',';
+    edges += '[';
+    edges += std::to_string(req.graph.edges[i].u);
+    edges += ',';
+    edges += std::to_string(req.graph.edges[i].v);
+    edges += ']';
+  }
+  edges += ']';
+  const std::string graph =
+      std::move(JsonObject()
+                    .field("type", req.graph.type)
+                    .field("n", static_cast<std::uint64_t>(req.graph.n))
+                    .field("rows", static_cast<std::uint64_t>(req.graph.rows))
+                    .field("cols", static_cast<std::uint64_t>(req.graph.cols))
+                    .field("degree",
+                           static_cast<std::uint64_t>(req.graph.degree))
+                    .field("p", req.graph.p)
+                    .field("seed", req.graph.seed)
+                    .raw("edges", edges))
+          .str();
+  // Fixed field order, every field present (parse-time defaults already
+  // applied), id/trace/deadline_ms excluded: they never change the body.
+  return std::move(JsonObject()
+                       .field("op", req.op)
+                       .field("backend", req.backend)
+                       .raw("graph", graph)
+                       .field("phi", req.phi)
+                       .field("seed", req.seed)
+                       .field("repeat", static_cast<std::uint64_t>(req.repeat))
+                       .field("local_space", req.local_space)
+                       .field("machines", req.machines)
+                       .field("palette", req.palette)
+                       .field("radius", static_cast<std::uint64_t>(req.radius))
+                       .field("simulations", req.simulations)
+                       .field("seeds", req.seeds)
+                       .field("s", static_cast<std::uint64_t>(req.s))
+                       .field("t", static_cast<std::uint64_t>(req.t))
+                       .field("t_set", req.t_set))
+      .str();
+}
+
+ResultCache::ResultCache(std::size_t budget_bytes) : budget_(budget_bytes) {
+  // Instantiate the occupancy instruments (and the eviction counter) even
+  // if this cache never sees traffic.
+  obs::Registry::global().counter("service.cache_evictions");
+  publish_occupancy_locked();
+}
+
+void ResultCache::publish_occupancy_locked() {
+  static obs::Gauge& cache_bytes =
+      obs::Registry::global().gauge("service.cache_bytes");
+  static obs::Gauge& cache_entries =
+      obs::Registry::global().gauge("service.cache_entries");
+  cache_bytes.set(bytes_);
+  cache_entries.set(lru_.size());
+}
+
+std::optional<std::string> ResultCache::lookup(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->body;
+}
+
+void ResultCache::insert(const std::string& key, std::string body) {
+  static obs::Counter& evictions =
+      obs::Registry::global().counter("service.cache_evictions");
+  const std::size_t cost = key.size() + body.size();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // Deterministic engine: a re-computed body is byte-identical, so a
+    // refresh only updates recency (and tolerates a changed size anyway).
+    bytes_ -= it->second->key.size() + it->second->body.size();
+    bytes_ += cost;
+    it->second->body = std::move(body);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    publish_occupancy_locked();
+    return;
+  }
+  if (cost > budget_) return;  // would evict everything and still not fit
+  lru_.push_front(Entry{key, std::move(body)});
+  index_.emplace(key, lru_.begin());
+  bytes_ += cost;
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.key.size() + victim.body.size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    evictions.add(1);
+  }
+  publish_occupancy_locked();
+}
+
+std::size_t ResultCache::bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::size_t ResultCache::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason_phrase(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  for (const auto& [name, value] : extra_headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+HttpRequestParser::HttpRequestParser(std::size_t max_head_bytes,
+                                     std::size_t max_body_bytes)
+    : max_head_(max_head_bytes), max_body_(max_body_bytes) {}
+
+void HttpRequestParser::fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+}
+
+HttpResponse HttpRequestParser::error_response() const {
+  return error_event_response(error_status_, "BadRequest", error_reason_);
+}
+
+HttpRequestParser::State HttpRequestParser::feed(std::string_view data) {
+  if (state_ == State::kHead) {
+    buffer_.append(data.data(), data.size());
+    data = {};
+    // The head ends at the first blank line; tolerate bare-LF clients.
+    std::size_t head_end = std::string::npos;
+    std::size_t body_start = 0;
+    if (const std::size_t crlf = buffer_.find("\r\n\r\n");
+        crlf != std::string::npos) {
+      head_end = crlf;
+      body_start = crlf + 4;
+    }
+    if (const std::size_t lf = buffer_.find("\n\n");
+        lf != std::string::npos && lf < head_end) {
+      head_end = lf;
+      body_start = lf + 2;
+    }
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > max_head_) {
+        fail(431, "request head exceeds " + std::to_string(max_head_) +
+                      " bytes");
+      }
+      return state_;
+    }
+    if (head_end > max_head_) {
+      fail(431, "request head exceeds " + std::to_string(max_head_) + " bytes");
+      return state_;
+    }
+    std::string rest = buffer_.substr(body_start);
+    buffer_.resize(head_end);
+    parse_head();
+    if (state_ == State::kError) return state_;
+    state_ = State::kBody;
+    data = rest;  // fall through: any body bytes already buffered
+    if (!data.empty()) {
+      request_.body.append(data.data(),
+                           std::min(data.size(),
+                                    body_expected_ - request_.body.size()));
+    }
+    if (request_.body.size() >= body_expected_) state_ = State::kDone;
+    buffer_.clear();
+    buffer_.shrink_to_fit();
+    return state_;
+  }
+  if (state_ == State::kBody) {
+    request_.body.append(data.data(),
+                         std::min(data.size(),
+                                  body_expected_ - request_.body.size()));
+    if (request_.body.size() >= body_expected_) state_ = State::kDone;
+  }
+  return state_;  // kDone / kError: further bytes ignored
+}
+
+void HttpRequestParser::parse_head() {
+  // Request line: METHOD SP TARGET SP VERSION.
+  std::size_t line_end = buffer_.find('\n');
+  std::string_view request_line(buffer_.data(),
+                                line_end == std::string::npos ? buffer_.size()
+                                                              : line_end);
+  request_line = trim(request_line);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos
+                                    : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    fail(400, "malformed request line");
+    return;
+  }
+  request_.method = std::string(request_line.substr(0, sp1));
+  request_.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request_.version = std::string(trim(request_line.substr(sp2 + 1)));
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.version.rfind("HTTP/", 0) != 0) {
+    fail(400, "malformed request line");
+    return;
+  }
+  // Header fields: NAME ":" VALUE, one per line, names lowercased.
+  std::size_t pos = line_end == std::string::npos ? buffer_.size()
+                                                  : line_end + 1;
+  while (pos < buffer_.size()) {
+    std::size_t end = buffer_.find('\n', pos);
+    if (end == std::string::npos) end = buffer_.size();
+    const std::string_view line =
+        trim(std::string_view(buffer_.data() + pos, end - pos));
+    pos = end + 1;
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      fail(400, "malformed header field");
+      return;
+    }
+    request_.headers.emplace_back(
+        lowercase(std::string(trim(line.substr(0, colon)))),
+        std::string(trim(line.substr(colon + 1))));
+  }
+  // Body framing: Content-Length only (the gateway does not accept chunked
+  // uploads — request documents are small and clients are simple).
+  const std::string* length = request_.header("content-length");
+  if (length == nullptr) {
+    if (request_.method == "POST" || request_.method == "PUT") {
+      fail(411, "POST requires Content-Length");
+      return;
+    }
+    body_expected_ = 0;
+    return;
+  }
+  if (length->empty() ||
+      !std::all_of(length->begin(), length->end(),
+                   [](unsigned char c) { return std::isdigit(c); }) ||
+      length->size() > 12) {
+    fail(400, "malformed Content-Length");
+    return;
+  }
+  body_expected_ = static_cast<std::size_t>(std::stoull(*length));
+  if (body_expected_ > max_body_) {
+    fail(413, "request body exceeds " + std::to_string(max_body_) + " bytes");
+    return;
+  }
+}
+
+Gateway::Gateway(GatewayOptions opts)
+    : opts_(opts), cache_(opts.cache_budget_bytes) {
+  gateway_metrics();  // register the service.cache_*/shed families eagerly
+}
+
+HttpResponse Gateway::handle(const HttpRequest& http) {
+  GatewayMetrics& metrics = gateway_metrics();
+  metrics.requests.add(1);
+  const std::string path = route_path(http.target);
+  if (path == "/healthz" || path == "/metrics" || path == "/statusz") {
+    if (http.method != "GET") {
+      HttpResponse res = error_event_response(
+          405, "BadRequest", "only GET is served on " + path);
+      res.extra_headers.emplace_back("Allow", "GET");
+      return res;
+    }
+    HttpResponse res;
+    if (path == "/healthz") {
+      res.body = "ok\n";
+    } else if (path == "/metrics") {
+      metrics.scrapes.add(1);
+      res.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      res.body = obs::prometheus_text();
+    } else {
+      res.content_type = "application/json";
+      res.body = statusz_json();
+      res.body += '\n';
+    }
+    return res;
+  }
+  if (path == "/v1/query") {
+    if (http.method != "POST") {
+      HttpResponse res = error_event_response(
+          405, "BadRequest", "queries are POSTed to /v1/query");
+      res.extra_headers.emplace_back("Allow", "POST");
+      return res;
+    }
+    return handle_query(http);
+  }
+  return error_event_response(
+      404, "BadRequest", "try /v1/query, /metrics, /statusz or /healthz");
+}
+
+HttpResponse Gateway::handle_query(const HttpRequest& http) {
+  GatewayMetrics& metrics = gateway_metrics();
+  ParsedRequest parsed = parse_request(http.body);
+  if (!parsed.request.has_value()) {
+    return error_event_response(400, "BadRequest", parsed.error);
+  }
+  const Request& req = *parsed.request;
+
+  const std::string canonical = canonical_request(req);
+  const bool cacheable = !canonical.empty();
+  std::vector<std::pair<std::string, std::string>> cache_headers;
+  if (cacheable) {
+    cache_headers.emplace_back("X-Cache-Key", hex64(fnv1a64(canonical)));
+    if (std::optional<std::string> body = cache_.lookup(canonical)) {
+      // The hit path: the body is served verbatim from the cache and the
+      // engine admission gate is never touched — engine.admitted must not
+      // move here (the acceptance invariant the smoke matrix pins).
+      metrics.cache_hits.add(1);
+      HttpResponse res;
+      res.content_type = "application/json";
+      res.extra_headers = std::move(cache_headers);
+      res.extra_headers.emplace_back("X-Cache", "hit");
+      res.body = std::move(*body);
+      return res;
+    }
+    metrics.cache_misses.add(1);
+    cache_headers.emplace_back("X-Cache", "miss");
+  } else {
+    cache_headers.emplace_back("X-Cache", "bypass");
+  }
+
+  // Sheddable tier: a cache miss that must finish within a tight deadline
+  // while every engine slot is occupied would only queue to certain
+  // deadline death at the gate — reject it now so the caller's budget
+  // survives to retry elsewhere.
+  if (req.deadline_ms != 0 && req.deadline_ms < opts_.shed_deadline_ms &&
+      engine_saturated() && req.op != "ping" && req.op != "statusz" &&
+      req.op != "sensitivity") {
+    metrics.shed.add(1);
+    HttpResponse res = error_event_response(
+        503, "Overloaded",
+        "engine saturated and deadline_ms=" + std::to_string(req.deadline_ms) +
+            " is below the shed threshold " +
+            std::to_string(opts_.shed_deadline_ms) + "ms; retry later",
+        req.op);
+    res.extra_headers = std::move(cache_headers);
+    res.extra_headers.emplace_back("Retry-After", "1");
+    return res;
+  }
+
+  ExecOptions exec_opts;
+  if (req.deadline_ms != 0) {
+    exec_opts.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(req.deadline_ms);
+  }
+  ExecResult result = execute(req, exec_opts, opts_.limits);
+  if (!result.ok) {
+    HttpResponse res =
+        error_event_response(status_for_error_kind(result.error_kind),
+                             result.error_kind, result.error_message, req.op);
+    res.extra_headers = std::move(cache_headers);
+    return res;
+  }
+
+  // Same schema as the NDJSON result event, minus the "id" echo (HTTP
+  // responses pair with their request by the connection, not an id).
+  std::string body = std::move(JsonObject()
+                                   .field("event", "result")
+                                   .field("ok", true)
+                                   .field("op", req.op)
+                                   .field("rounds", result.rounds)
+                                   .field("words", result.words)
+                                   .raw("metrics", result.metrics_json)
+                                   .raw("answer", result.answer_json))
+                         .str();
+  body += '\n';
+  if (cacheable) cache_.insert(canonical, body);
+  HttpResponse res;
+  res.content_type = "application/json";
+  res.extra_headers = std::move(cache_headers);
+  res.body = std::move(body);
+  return res;
+}
+
+}  // namespace mpcstab::service

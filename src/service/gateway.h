@@ -1,0 +1,206 @@
+// The HTTP/1.1 gateway: the service's front door for fleet traffic —
+// browsers, load balancers and scrapers speak HTTP, not raw NDJSON
+// sockets. One gateway instance sits in front of the executor and serves
+//
+//   POST /v1/query   one request JSON document (the NDJSON line schema,
+//                    protocol.h) in the body; the terminal result/error
+//                    event as the response body
+//   GET  /metrics    Prometheus 0.0.4 exposition of the global registry
+//   GET  /statusz    the executor's statusz document (global snapshot +
+//                    per-in-flight-job overlay rows)
+//   GET  /healthz    liveness probe ("ok\n", never touches the engine)
+//
+// Responses are one-shot (`Connection: close` on every exchange — load
+// balancers reconnect per request, and one-shot keeps the state machine
+// trivial). Unlike the old single-threaded metrics plane this absorbed
+// (server.cpp's metrics_loop), every gateway connection runs on its own
+// reaped session thread, so a stalled scraper holds exactly its own
+// connection and nothing else.
+//
+// Content-addressed result cache. The engine is deterministic end to end
+// (component-stable algorithms + derandomized seed selection), so a
+// canonical request maps to exactly one byte string of response — results
+// are cacheable forever. `canonical_request` re-serializes the *parsed*
+// request struct with fixed field order, normalized defaults and canonical
+// number formatting, so textually different but semantically identical
+// request documents collapse to one cache key. Cache-keyed: op, backend,
+// graph spec (type/n/rows/cols/degree/p/seed/edges), phi, seed, repeat,
+// local_space, machines, palette, radius, simulations, seeds, s, t.
+// Excluded from the key (they do not affect the response body): id, trace,
+// deadline_ms. Never cached: ping (trivial), statusz (live state), and
+// backend "native" (its answer is deterministic but its effort metrics —
+// native.cas_retries — are schedule-dependent, so the body is not
+// byte-stable across recomputation; see DESIGN.md "Backend tiers").
+// Entries are LRU-evicted against a byte budget; lookups compare the full
+// canonical string (never just the hash), so a hash collision can degrade
+// to a miss but never serve the wrong body. A cache hit is served without
+// touching the engine admission gate: `engine.admitted` does not move on
+// the hit path (the acceptance invariant bench_service and the smoke
+// matrix pin).
+//
+// Admission tiers + load shedding. A cache miss whose `deadline_ms` is
+// below `GatewayOptions::shed_deadline_ms` is a *sheddable* request: when
+// every engine admission slot is occupied (`engine_saturated()`), queueing
+// it means near-certain deadline death at the gate, so the gateway rejects
+// it immediately with 503 + `Retry-After` instead — the caller retries
+// against a less loaded replica rather than burning its budget in our
+// queue. Requests with no deadline, or a deadline at/above the threshold,
+// queue at the gate as usual (and surface 504 if they expire there).
+//
+// Everything except the socket glue is socket-free: tests and benches
+// construct HttpRequest values and call Gateway::handle directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "service/executor.h"
+#include "service/protocol.h"
+
+namespace mpcstab::service {
+
+/// Deployment knobs of one gateway instance.
+struct GatewayOptions {
+  std::size_t cache_budget_bytes = 8u << 20;  ///< result-cache byte budget
+  std::size_t max_body_bytes = 1u << 20;      ///< POST body admission cap
+  std::size_t max_head_bytes = 8u << 10;      ///< request-head admission cap
+  /// Cache-miss requests with 0 < deadline_ms < this are the sheddable
+  /// admission tier: rejected with 503 while the engine gate is saturated.
+  std::uint64_t shed_deadline_ms = 250;
+  AdmissionLimits limits;  ///< forwarded to service::execute
+};
+
+/// FNV-1a 64-bit over `s` — the content address of a canonical request.
+std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+/// The canonical cache-key form of a parsed request: fixed field order,
+/// normalized defaults, response-irrelevant fields (id/trace/deadline_ms)
+/// dropped. Returns "" for uncacheable requests (ping, statusz, backend
+/// "native") — the gateway computes those fresh every time.
+std::string canonical_request(const Request& req);
+
+/// Content-addressed LRU response cache with a byte budget. Thread-safe;
+/// entries account key + body bytes. An entry larger than the whole budget
+/// is not cached at all. Exposes its occupancy through the obs registry
+/// (`service.cache_bytes`/`service.cache_entries` gauges,
+/// `service.cache_evictions` counter); hit/miss counting stays with the
+/// caller, which knows whether a lookup was for a cacheable request.
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t budget_bytes);
+
+  /// The cached body for `key`, refreshing its recency; nullopt on miss.
+  std::optional<std::string> lookup(const std::string& key);
+
+  /// Inserts (or refreshes) `key -> body`, evicting LRU entries until the
+  /// budget holds again.
+  void insert(const std::string& key, std::string body);
+
+  std::size_t bytes() const;    ///< current occupancy (keys + bodies)
+  std::size_t entries() const;  ///< current entry count
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string body;
+  };
+
+  void publish_occupancy_locked();
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+};
+
+/// One parsed HTTP request.
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ...
+  std::string target;   ///< origin-form target, query string included
+  std::string version;  ///< "HTTP/1.1"
+  /// Header (name, value) pairs in arrival order; names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header value for `name` (lowercase); nullptr when absent.
+  const std::string* header(std::string_view name) const;
+};
+
+/// One HTTP response, serialized with Content-Length and
+/// `Connection: close` (the gateway is one exchange per connection).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  std::string body;
+
+  std::string serialize() const;  ///< full wire bytes, headers + body
+};
+
+/// Incremental HTTP/1.1 request reader: feed socket bytes as they arrive;
+/// the parser accumulates the head (bounded by max_head_bytes, 431 on
+/// overflow), validates the request line and headers, then reads exactly
+/// Content-Length body bytes (bounded by max_body_bytes, 413 on overflow;
+/// 411 for a POST without a length; 400 for malformed syntax). Socket-free
+/// so malformed-input tests need no live server.
+class HttpRequestParser {
+ public:
+  enum class State : std::uint8_t { kHead, kBody, kDone, kError };
+
+  HttpRequestParser(std::size_t max_head_bytes, std::size_t max_body_bytes);
+
+  /// Consumes `data`; returns the parser state afterwards. Once kDone or
+  /// kError is reached further bytes are ignored.
+  State feed(std::string_view data);
+
+  State state() const { return state_; }
+  const HttpRequest& request() const { return request_; }
+
+  /// The rejection response for state kError (400/411/413/431 + reason).
+  HttpResponse error_response() const;
+
+ private:
+  void parse_head();
+  void fail(int status, std::string reason);
+
+  std::size_t max_head_;
+  std::size_t max_body_;
+  State state_ = State::kHead;
+  std::string buffer_;
+  std::size_t body_expected_ = 0;
+  HttpRequest request_;
+  int error_status_ = 400;
+  std::string error_reason_;
+};
+
+/// The gateway proper: stateless HTTP dispatch over the executor plus the
+/// shared result cache. `handle` is safe to call from many session threads
+/// at once (the cache is internally locked; the executor is already
+/// concurrent behind its admission gate).
+class Gateway {
+ public:
+  explicit Gateway(GatewayOptions opts);
+
+  /// Routes one parsed request to its endpoint and produces the response.
+  HttpResponse handle(const HttpRequest& http);
+
+  const GatewayOptions& options() const { return opts_; }
+  ResultCache& cache() { return cache_; }
+
+ private:
+  HttpResponse handle_query(const HttpRequest& http);
+
+  GatewayOptions opts_;
+  ResultCache cache_;
+};
+
+}  // namespace mpcstab::service

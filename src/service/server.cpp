@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstring>
 #include <iostream>
+#include <thread>
 #include <utility>
 
 #include "obs/registry.h"
@@ -107,80 +108,24 @@ bool write_all(int fd, const std::string& data) {
   return true;
 }
 
-/// One metrics-plane HTTP exchange: read the request head (bounded, with a
-/// short overall patience so a stalled scraper cannot wedge the plane),
-/// answer GET /metrics | /statusz, close. HTTP/1.0-style: Connection:
-/// close on every response, no keep-alive — scrapes are one-shot.
-void serve_metrics_connection(int client) {
-  std::string head;
-  constexpr std::size_t kMaxHead = 8192;
-  for (int spins = 0; spins < 20; ++spins) {  // <= ~2s of patience
-    if (head.find("\r\n\r\n") != std::string::npos ||
-        head.find("\n\n") != std::string::npos || head.size() >= kMaxHead) {
-      break;
-    }
-    pollfd pfd{client, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollMs);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) continue;
-    char chunk[1024];
-    const ssize_t n = ::read(client, chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    head.append(chunk, static_cast<std::size_t>(n));
-  }
-  // Request line: METHOD SP PATH SP VERSION. Query strings are ignored.
-  std::string method;
-  std::string path;
-  {
-    const std::size_t eol = head.find_first_of("\r\n");
-    const std::string line =
-        eol == std::string::npos ? head : head.substr(0, eol);
-    const std::size_t sp1 = line.find(' ');
-    const std::size_t sp2 =
-        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
-    if (sp1 != std::string::npos) {
-      method = line.substr(0, sp1);
-      path = sp2 == std::string::npos ? line.substr(sp1 + 1)
-                                      : line.substr(sp1 + 1, sp2 - sp1 - 1);
-    }
-    if (const std::size_t q = path.find('?'); q != std::string::npos) {
-      path.resize(q);
-    }
-  }
-  const char* status = "200 OK";
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-  if (method != "GET") {
-    status = "405 Method Not Allowed";
-    body = "only GET is served here\n";
-  } else if (path == "/metrics") {
-    content_type = "text/plain; version=0.0.4; charset=utf-8";
-    body = obs::prometheus_text();
-  } else if (path == "/statusz") {
-    content_type = "application/json";
-    body = statusz_json();
-    body += '\n';
-  } else {
-    status = "404 Not Found";
-    body = "try /metrics or /statusz\n";
-  }
-  std::string response = "HTTP/1.1 ";
-  response += status;
-  response += "\r\nContent-Type: ";
-  response += content_type;
-  response += "\r\nContent-Length: ";
-  response += std::to_string(body.size());
-  response += "\r\nConnection: close\r\n\r\n";
-  response += body;
-  write_all(client, response);
-  ::close(client);
+/// Transient accept() failures: the connection is gone (or the call was
+/// interrupted) but the listener is healthy — retry immediately. Anything
+/// else (EMFILE/ENFILE/ENOMEM/ENOBUFS, ...) is resource pressure: poll()
+/// will keep reporting the listener ready, so retrying without a pause
+/// busy-loops a core exactly when the process is least able to afford it.
+bool accept_errno_transient(int err) {
+  return err == EINTR || err == ECONNABORTED || err == EAGAIN ||
+         err == EWOULDBLOCK;
 }
 
 }  // namespace
 
 Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
   report_.bench = "mpcstabd";
+  // One admission policy for both planes: the gateway enforces the same
+  // limits the NDJSON path passes to service::execute.
+  opts_.gateway.limits = opts_.limits;
+  gateway_ = std::make_unique<Gateway>(opts_.gateway);
 }
 
 Server::~Server() {
@@ -191,8 +136,8 @@ Server::~Server() {
 bool Server::start(std::string* error) {
   std::string local_error;
   if (error == nullptr) error = &local_error;
-  if (opts_.unix_path.empty() && !opts_.listen_tcp) {
-    *error = "no listener configured (need a unix path or TCP)";
+  if (opts_.unix_path.empty() && !opts_.listen_tcp && !opts_.http) {
+    *error = "no listener configured (need a unix path, TCP or HTTP)";
     return false;
   }
   if (!opts_.unix_path.empty()) {
@@ -207,10 +152,9 @@ bool Server::start(std::string* error) {
       return false;
     }
   }
-  if (opts_.metrics_http) {
-    metrics_fd_ = open_tcp_listener(opts_.metrics_http_port, &metrics_port_,
-                                    error);
-    if (metrics_fd_ < 0) {
+  if (opts_.http) {
+    http_fd_ = open_tcp_listener(opts_.http_port, &http_port_, error);
+    if (http_fd_ < 0) {
       if (unix_fd_ >= 0) ::close(unix_fd_);
       if (tcp_fd_ >= 0) ::close(tcp_fd_);
       unix_fd_ = tcp_fd_ = -1;
@@ -223,15 +167,12 @@ bool Server::start(std::string* error) {
       *error = "cannot open trace file " + opts_.trace_path;
       if (unix_fd_ >= 0) ::close(unix_fd_);
       if (tcp_fd_ >= 0) ::close(tcp_fd_);
-      if (metrics_fd_ >= 0) ::close(metrics_fd_);
-      unix_fd_ = tcp_fd_ = metrics_fd_ = -1;
+      if (http_fd_ >= 0) ::close(http_fd_);
+      unix_fd_ = tcp_fd_ = http_fd_ = -1;
       return false;
     }
   }
   accept_thread_ = std::thread([this] { accept_loop(); });
-  if (metrics_fd_ >= 0) {
-    metrics_thread_ = std::thread([this] { metrics_loop(); });
-  }
   return true;
 }
 
@@ -241,12 +182,12 @@ void Server::wait() {
   std::lock_guard<std::mutex> guard(wait_mutex_);
   if (waited_) return;
   if (accept_thread_.joinable()) accept_thread_.join();
-  if (metrics_thread_.joinable()) metrics_thread_.join();
   // Sessions can spawn only from the accept thread, so after the join the
-  // vector is final.
-  for (std::thread& session : sessions_) {
-    if (session.joinable()) session.join();
+  // list is final.
+  for (SessionSlot& session : sessions_) {
+    if (session.thread.joinable()) session.thread.join();
   }
+  sessions_.clear();
   if (capture_.is_open()) capture_.close();
   if (!opts_.json_path.empty()) {
     std::lock_guard<std::mutex> lock(report_mutex_);
@@ -267,49 +208,141 @@ void Server::capture_line(const std::string& line) {
   capture_.flush();
 }
 
+void Server::spawn_session_locked(std::function<void()> body) {
+  // The done flag outlives this Server-side bookkeeping by construction
+  // (shared_ptr), and its release store is the session's very last action,
+  // so done == true implies the thread is past all of its work — joining
+  // it cannot block on anything.
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  std::thread thread([body = std::move(body), done] {
+    body();
+    done->store(true, std::memory_order_release);
+  });
+  sessions_.push_back(SessionSlot{std::move(thread), std::move(done)});
+}
+
+void Server::reap_finished_locked() {
+  sessions_.remove_if([](SessionSlot& slot) {
+    if (!slot.done->load(std::memory_order_acquire)) return false;
+    if (slot.thread.joinable()) slot.thread.join();
+    return true;
+  });
+}
+
+std::size_t Server::live_sessions() {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  reap_finished_locked();
+  return sessions_.size();
+}
+
 void Server::accept_loop() {
   static obs::Counter& connections =
       obs::Registry::global().counter("service.connections");
+  static obs::Counter& accept_errors =
+      obs::Registry::global().counter("service.accept_errors");
+  // Accept-failure backoff (satellite of the EMFILE hot-spin fix): grows
+  // on consecutive hard failures, resets on any success.
+  constexpr int kBackoffBaseMs = 10;
+  constexpr int kBackoffCapMs = 1000;
+  int backoff_ms = kBackoffBaseMs;
   while (!draining()) {
-    pollfd fds[2];
+    pollfd fds[3];
     nfds_t nfds = 0;
     if (unix_fd_ >= 0) fds[nfds++] = pollfd{unix_fd_, POLLIN, 0};
     if (tcp_fd_ >= 0) fds[nfds++] = pollfd{tcp_fd_, POLLIN, 0};
+    if (http_fd_ >= 0) fds[nfds++] = pollfd{http_fd_, POLLIN, 0};
     const int ready = ::poll(fds, nfds, kPollMs);
     if (ready <= 0) continue;  // timeout or EINTR: re-check the drain flag
+    bool hard_failure = false;
     for (nfds_t i = 0; i < nfds; ++i) {
       if ((fds[i].revents & POLLIN) == 0) continue;
+      const bool is_http = fds[i].fd == http_fd_ && http_fd_ >= 0;
       const int client = ::accept(fds[i].fd, nullptr, nullptr);
-      if (client < 0) continue;
+      if (client < 0) {
+        if (!accept_errno_transient(errno)) {
+          // EMFILE/ENFILE & friends: poll() stays hot while the listener
+          // backlog is non-empty, so without a pause this loop spins a
+          // full core. Back off (in drain-responsive slices) instead.
+          accept_errors.add(1);
+          hard_failure = true;
+        }
+        continue;
+      }
+      backoff_ms = kBackoffBaseMs;
       connections.add(1);
       const std::uint64_t conn_id =
           next_conn_.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(sessions_mutex_);
-      sessions_.emplace_back(
-          [this, client, conn_id] { session_loop(client, conn_id); });
+      // Reap on every accept: the slot table stays proportional to live
+      // connections, not to the daemon's lifetime connection count.
+      reap_finished_locked();
+      if (is_http) {
+        spawn_session_locked(
+            [this, client, conn_id] { http_session_loop(client, conn_id); });
+      } else {
+        spawn_session_locked(
+            [this, client, conn_id] { session_loop(client, conn_id); });
+      }
+    }
+    if (hard_failure) {
+      for (int slept = 0; slept < backoff_ms && !draining();
+           slept += kPollMs) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min(kPollMs, backoff_ms - slept)));
+      }
+      backoff_ms = std::min(backoff_ms * 2, kBackoffCapMs);
     }
   }
   if (unix_fd_ >= 0) ::close(unix_fd_);
   if (tcp_fd_ >= 0) ::close(tcp_fd_);
-  unix_fd_ = tcp_fd_ = -1;
+  if (http_fd_ >= 0) ::close(http_fd_);
+  unix_fd_ = tcp_fd_ = http_fd_ = -1;
 }
 
-void Server::metrics_loop() {
-  static obs::Counter& scrapes =
-      obs::Registry::global().counter("service.metric_scrapes");
-  // One scrape at a time: the exposition is cheap to render and scrapers
-  // arrive at human cadence; sequential handling keeps the plane trivial.
-  while (!draining()) {
-    pollfd pfd{metrics_fd_, POLLIN, 0};
+/// One gateway exchange: feed socket bytes to the incremental HTTP parser
+/// (idle-bounded so an abandoned connection releases its thread), hand the
+/// parsed request to the gateway, write the response, close. One request
+/// per connection — the gateway answers `Connection: close` always.
+void Server::http_session_loop(int fd, std::uint64_t conn_id) {
+  (void)conn_id;
+  HttpRequestParser parser(gateway_->options().max_head_bytes,
+                           gateway_->options().max_body_bytes);
+  // ~10s of idle patience: generous for a loopback client, finite so a
+  // half-open socket cannot pin a session slot forever.
+  constexpr int kMaxIdlePolls = 100;
+  int idle_polls = 0;
+  while (parser.state() == HttpRequestParser::State::kHead ||
+         parser.state() == HttpRequestParser::State::kBody) {
+    if (draining() || idle_polls >= kMaxIdlePolls) {
+      ::close(fd);
+      return;
+    }
+    pollfd pfd{fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollMs);
-    if (ready <= 0) continue;  // timeout or EINTR: re-check the drain flag
-    const int client = ::accept(metrics_fd_, nullptr, nullptr);
-    if (client < 0) continue;
-    scrapes.add(1);
-    serve_metrics_connection(client);
+    if (ready < 0 && errno != EINTR) {
+      ::close(fd);
+      return;
+    }
+    if (ready <= 0) {
+      ++idle_polls;
+      continue;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);  // EOF before a complete request: nothing to answer
+      return;
+    }
+    idle_polls = 0;
+    parser.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
   }
-  ::close(metrics_fd_);
-  metrics_fd_ = -1;
+  const HttpResponse response =
+      parser.state() == HttpRequestParser::State::kDone
+          ? gateway_->handle(parser.request())
+          : parser.error_response();
+  write_all(fd, response.serialize());
+  ::close(fd);
 }
 
 void Server::handle_line(int fd, std::uint64_t conn_id, std::uint64_t* failed,

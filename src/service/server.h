@@ -2,13 +2,21 @@
 // Unix-domain and/or loopback TCP socket, executes them through
 // service::execute (concurrent engine runs behind a counting admission
 // gate; see executor.h) and streams per-request NDJSON responses — and,
-// when requested, live trace events — back to each client.
+// when requested, live trace events — back to each client. An optional
+// third listener serves the HTTP/1.1 gateway (service/gateway.h):
+// POST /v1/query through the content-addressed result cache, plus the
+// /metrics, /statusz and /healthz planes that used to live on a serial
+// single-connection metrics loop.
 //
-// Threading model: one accept thread plus one thread per connection.
-// Session threads do all their own I/O and parsing concurrently, and up to
-// max_concurrent_engines() requests drive the engine simultaneously, each
-// on its own job-scoped worker pool (requests beyond the limit queue at
-// the executor's admission gate). A shared capture file
+// Threading model: one accept thread plus one thread per connection —
+// NDJSON sessions and HTTP exchanges alike come off the same accept loop
+// into the same reaped session pool, so a stalled HTTP scraper stalls only
+// its own thread. Finished sessions are reaped (joined and dropped) on
+// every subsequent accept, so a long-lived daemon's session table stays
+// bounded by its *concurrent* connection count, not its lifetime total.
+// Up to max_concurrent_engines() requests drive the engine simultaneously,
+// each on its own job-scoped worker pool (requests beyond the limit queue
+// at the executor's admission gate). A shared capture file
 // (ServerOptions::trace_path) receives every request's trace events as
 // NDJSON, interleaved across connections but sequenced per request (`seq`
 // is per-request monotone), which is what CI uploads as the service-smoke
@@ -24,13 +32,16 @@
 #include <atomic>
 #include <cstdint>
 #include <fstream>
+#include <functional>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "obs/export.h"
 #include "service/executor.h"
+#include "service/gateway.h"
 
 namespace mpcstab::service {
 
@@ -43,12 +54,15 @@ struct ServerOptions {
   AdmissionLimits limits;
   std::string json_path;          ///< mpcstab-bench-v1 report at shutdown
   bool print_trace = false;       ///< print each request's span tree
-  /// Serve a minimal HTTP GET plane on 127.0.0.1: /metrics (Prometheus
-  /// text exposition of the global registry) and /statusz (the
-  /// statusz_json document, per-in-flight-job rows included). This is the
-  /// scrape plane only — engine requests stay on the NDJSON sockets.
-  bool metrics_http = false;
-  std::uint16_t metrics_http_port = 0;  ///< 0 = ephemeral (metrics_port())
+  /// Serve the HTTP/1.1 gateway on 127.0.0.1: POST /v1/query through the
+  /// content-addressed result cache plus GET /metrics, /statusz and
+  /// /healthz (service/gateway.h). Engine requests may use either plane;
+  /// the NDJSON sockets remain the streaming-trace path.
+  bool http = false;
+  std::uint16_t http_port = 0;    ///< 0 = ephemeral (read back via http_port())
+  GatewayOptions gateway;         ///< cache budget, shed threshold, ...
+                                  ///< (gateway.limits is overwritten by
+                                  ///< `limits` so the planes agree)
 };
 
 class Server {
@@ -66,8 +80,8 @@ class Server {
   /// Actual TCP port (after an ephemeral bind); 0 when TCP is off.
   std::uint16_t tcp_port() const { return tcp_port_; }
 
-  /// Actual metrics HTTP port; 0 when the metrics plane is off.
-  std::uint16_t metrics_port() const { return metrics_port_; }
+  /// Actual gateway HTTP port; 0 when the HTTP plane is off.
+  std::uint16_t http_port() const { return http_port_; }
 
   /// Stops accepting; in-flight requests run to completion. Idempotent and
   /// async-signal-unsafe (call from a normal thread, not a handler).
@@ -85,29 +99,45 @@ class Server {
     return served_.load(std::memory_order_relaxed);
   }
 
+  /// Session slots currently held (running sessions plus any finished ones
+  /// not yet reaped); reaps before counting. The regression handle for the
+  /// bounded-session-table contract.
+  std::size_t live_sessions();
+
  private:
+  /// One connection's thread plus its completion flag. The flag (set as
+  /// the session body's last action) marks the thread joinable-without-
+  /// blocking, which is what makes opportunistic reaping safe: join() is
+  /// only called on slots whose work has already finished.
+  struct SessionSlot {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void accept_loop();
-  void metrics_loop();
+  void spawn_session_locked(std::function<void()> body);
+  void reap_finished_locked();
   void session_loop(int fd, std::uint64_t conn_id);
+  void http_session_loop(int fd, std::uint64_t conn_id);
   void handle_line(int fd, std::uint64_t conn_id, std::uint64_t* failed,
                    const std::string& line);
   void capture_line(const std::string& line);
 
   ServerOptions opts_;
+  std::unique_ptr<Gateway> gateway_;
   int unix_fd_ = -1;
   int tcp_fd_ = -1;
-  int metrics_fd_ = -1;
+  int http_fd_ = -1;
   std::uint16_t tcp_port_ = 0;
-  std::uint16_t metrics_port_ = 0;
+  std::uint16_t http_port_ = 0;
   std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> next_conn_{0};
   std::atomic<std::uint64_t> inflight_{0};
 
   std::thread accept_thread_;
-  std::thread metrics_thread_;
   std::mutex sessions_mutex_;
-  std::vector<std::thread> sessions_;
+  std::list<SessionSlot> sessions_;
 
   std::mutex capture_mutex_;
   std::ofstream capture_;

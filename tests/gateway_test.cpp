@@ -1,0 +1,443 @@
+// HTTP/JSON gateway (src/service/gateway.*): request canonicalization and
+// content addressing, the LRU byte-budget result cache, hit-vs-miss
+// bit-identity (hits must not touch the engine admission gate), the 503
+// load-shedding tier, malformed/oversized HTTP handling, and the full
+// plane over a live socket through the server's reaped session pool.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "service/executor.h"
+#include "service/gateway.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace mpcstab::service {
+namespace {
+
+Request must_parse(const std::string& line) {
+  const ParsedRequest parsed = parse_request(line);
+  EXPECT_TRUE(parsed.request.has_value()) << parsed.error;
+  return parsed.request.value_or(Request{});
+}
+
+HttpRequest post_query(const std::string& body) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/v1/query";
+  req.version = "HTTP/1.1";
+  req.headers.emplace_back("content-length", std::to_string(body.size()));
+  req.body = body;
+  return req;
+}
+
+HttpRequest get(const std::string& target) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = target;
+  req.version = "HTTP/1.1";
+  return req;
+}
+
+const std::string* find_header(const HttpResponse& res,
+                               const std::string& name) {
+  for (const auto& [key, value] : res.extra_headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------- canonical form
+
+TEST(Canonical, FieldOrderWhitespaceAndExplicitDefaultsCollapse) {
+  // Three textually different documents, one semantic request: canonical
+  // forms (and so cache keys) must be byte-identical.
+  const std::string canonical = canonical_request(must_parse(
+      R"({"op":"connectivity","graph":{"type":"cycle","n":64},"seed":3})"));
+  ASSERT_FALSE(canonical.empty());
+  EXPECT_EQ(canonical,
+            canonical_request(must_parse(
+                R"({ "seed": 3, "graph": {"n": 64, "type": "cycle"},)"
+                R"( "op": "connectivity" })")))
+      << "field order leaked into the canonical form";
+  EXPECT_EQ(canonical,
+            canonical_request(must_parse(
+                R"({"op":"connectivity","graph":{"type":"cycle","n":64},)"
+                R"("seed":3,"repeat":1,"phi":0.5,"trace":false,)"
+                R"("unknown_future_field":17})")))
+      << "explicit defaults / unknown fields leaked into the canonical form";
+}
+
+TEST(Canonical, ResponseIrrelevantFieldsAreExcluded) {
+  const std::string base = canonical_request(must_parse(
+      R"({"op":"connectivity","graph":{"type":"cycle","n":64}})"));
+  EXPECT_EQ(base, canonical_request(must_parse(
+                      R"({"id":999,"deadline_ms":50,)"
+                      R"("op":"connectivity","graph":{"type":"cycle","n":64}})")))
+      << "id/deadline_ms must not change the content address";
+}
+
+TEST(Canonical, SemanticDifferencesChangeTheKey) {
+  const std::string base = canonical_request(must_parse(
+      R"({"op":"connectivity","graph":{"type":"cycle","n":64}})"));
+  EXPECT_NE(base, canonical_request(must_parse(
+                      R"({"op":"connectivity","graph":{"type":"cycle","n":65}})")));
+  EXPECT_NE(base, canonical_request(must_parse(
+                      R"({"op":"connectivity","seed":2,)"
+                      R"("graph":{"type":"cycle","n":64}})")));
+  EXPECT_NE(base,
+            canonical_request(must_parse(
+                R"({"op":"connectivity","backend":"mpc-native",)"
+                R"("graph":{"type":"cycle","n":64}})")))
+      << "backend tiers produce different bodies and must key separately";
+}
+
+TEST(Canonical, UncacheableRequestsHaveNoAddress) {
+  EXPECT_TRUE(canonical_request(must_parse(R"({"op":"ping"})")).empty());
+  EXPECT_TRUE(canonical_request(must_parse(R"({"op":"statusz"})")).empty());
+  // The native tier's effort metrics are schedule-dependent — its bodies
+  // are not byte-stable, so it must bypass the cache entirely.
+  EXPECT_TRUE(canonical_request(must_parse(
+                  R"({"op":"connectivity","backend":"native",)"
+                  R"("graph":{"type":"cycle","n":64}})"))
+                  .empty());
+}
+
+TEST(Canonical, Fnv1a64MatchesReferenceVectors) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);   // offset basis
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);  // published test vector
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+}
+
+// ------------------------------------------------------------ result cache
+
+TEST(ResultCache, EvictsLeastRecentlyUsedAtTheByteBudget) {
+  obs::Counter& evictions =
+      obs::Registry::global().counter("service.cache_evictions");
+  const std::uint64_t evictions0 = evictions.value();
+  // Keys and bodies of 8 bytes each: 16 bytes per entry, budget of 3.
+  ResultCache cache(48);
+  cache.insert("key-aaaa", "body-aaa");
+  cache.insert("key-bbbb", "body-bbb");
+  cache.insert("key-cccc", "body-ccc");
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.bytes(), 48u);
+
+  // Touch the oldest entry so "key-bbbb" becomes the LRU victim.
+  ASSERT_TRUE(cache.lookup("key-aaaa").has_value());
+  cache.insert("key-dddd", "body-ddd");
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_LE(cache.bytes(), 48u);
+  EXPECT_EQ(evictions.value(), evictions0 + 1);
+  EXPECT_FALSE(cache.lookup("key-bbbb").has_value())
+      << "eviction skipped the least recently used entry";
+  EXPECT_TRUE(cache.lookup("key-aaaa").has_value());
+  EXPECT_TRUE(cache.lookup("key-cccc").has_value());
+  EXPECT_EQ(cache.lookup("key-dddd").value_or(""), "body-ddd");
+}
+
+TEST(ResultCache, OverBudgetEntriesAreNotCached) {
+  ResultCache cache(16);
+  cache.insert("key", std::string(64, 'x'));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_FALSE(cache.lookup("key").has_value());
+}
+
+// -------------------------------------------------------------- hit vs miss
+
+TEST(Gateway, CacheHitIsByteIdenticalAndNeverTouchesTheEngineGate) {
+  Gateway gateway((GatewayOptions()));
+  const std::string query =
+      R"({"op":"connectivity","graph":{"type":"two_cycles","n":64}})";
+
+  const HttpResponse miss = gateway.handle(post_query(query));
+  ASSERT_EQ(miss.status, 200) << miss.body;
+  ASSERT_NE(find_header(miss, "X-Cache"), nullptr);
+  EXPECT_EQ(*find_header(miss, "X-Cache"), "miss");
+
+  obs::Counter& admitted = obs::Registry::global().counter("engine.admitted");
+  const std::uint64_t admitted0 = admitted.value();
+  // Same request, different formatting — must hit, byte-identically,
+  // without acquiring an engine admission slot (the acceptance invariant).
+  const HttpResponse hit = gateway.handle(post_query(
+      R"({ "graph": {"n": 64, "type": "two_cycles"}, "op": "connectivity",)"
+      R"( "id": 42 })"));
+  ASSERT_EQ(hit.status, 200) << hit.body;
+  EXPECT_EQ(hit.body, miss.body) << "cache hit is not byte-identical";
+  ASSERT_NE(find_header(hit, "X-Cache"), nullptr);
+  EXPECT_EQ(*find_header(hit, "X-Cache"), "hit");
+  EXPECT_EQ(admitted.value(), admitted0)
+      << "a cache hit acquired an engine admission slot";
+  ASSERT_NE(find_header(hit, "X-Cache-Key"), nullptr);
+  EXPECT_EQ(*find_header(hit, "X-Cache-Key"), *find_header(miss, "X-Cache-Key"));
+
+  const auto doc = obs::parse_json(hit.body);
+  ASSERT_TRUE(doc.has_value()) << hit.body;
+  EXPECT_EQ(doc->str("event"), "result");
+  const obs::JsonValue* answer = doc->find("answer");
+  ASSERT_NE(answer, nullptr);
+  EXPECT_EQ(answer->num("components"), 2.0);
+}
+
+TEST(Gateway, UncacheableOpsBypassTheCache) {
+  Gateway gateway((GatewayOptions()));
+  const HttpResponse first = gateway.handle(post_query(R"({"op":"ping"})"));
+  ASSERT_EQ(first.status, 200) << first.body;
+  ASSERT_NE(find_header(first, "X-Cache"), nullptr);
+  EXPECT_EQ(*find_header(first, "X-Cache"), "bypass");
+  const HttpResponse second = gateway.handle(post_query(R"({"op":"ping"})"));
+  EXPECT_EQ(*find_header(second, "X-Cache"), "bypass");
+  EXPECT_EQ(gateway.cache().entries(), 0u);
+}
+
+TEST(Gateway, ExecutorErrorsMapOntoHttpStatuses) {
+  GatewayOptions opts;
+  opts.limits.max_nodes = 100;
+  Gateway gateway(opts);
+  // AdmissionDenied → 403.
+  const HttpResponse denied = gateway.handle(post_query(
+      R"({"op":"connectivity","graph":{"type":"cycle","n":101}})"));
+  EXPECT_EQ(denied.status, 403) << denied.body;
+  // BadRequest (unknown generator) → 400.
+  const HttpResponse bad = gateway.handle(post_query(
+      R"({"op":"connectivity","graph":{"type":"moebius","n":8}})"));
+  EXPECT_EQ(bad.status, 400) << bad.body;
+  // Errors are never cached: the same denied request misses again.
+  EXPECT_EQ(gateway.cache().entries(), 0u);
+}
+
+// ------------------------------------------------------------ load shedding
+
+// Restores the configured engine-concurrency limit when a test returns or
+// fails partway (a leaked override would change later tests' admission).
+struct EngineLimitOverride {
+  explicit EngineLimitOverride(unsigned limit) {
+    set_max_concurrent_engines(limit);
+  }
+  ~EngineLimitOverride() { set_max_concurrent_engines(0); }
+};
+
+TEST(Gateway, ShedsTightDeadlineMissesWhileTheGateIsSaturated) {
+  // One engine slot, held by a request parked inside its own trace sink
+  // (deterministic saturation, no sleep races). A cache-miss POST with a
+  // deadline below the shed threshold must be rejected 503 + Retry-After
+  // without queueing; once the holder releases, the same request runs.
+  const EngineLimitOverride one(1);
+  std::mutex m;
+  std::condition_variable cv;
+  bool slot_taken = false;
+  bool release_holder = false;
+  ExecOptions hold;
+  hold.sink = [&](const obs::TraceEvent&) {
+    std::unique_lock<std::mutex> lock(m);
+    if (!slot_taken) {
+      slot_taken = true;
+      cv.notify_all();
+    }
+    cv.wait(lock, [&] { return release_holder; });
+  };
+  Request slow;
+  slow.op = "connectivity";
+  slow.graph.type = "cycle";
+  slow.graph.n = 128;
+  std::thread holder([&] {
+    const ExecResult r = execute(slow, hold, AdmissionLimits{});
+    EXPECT_TRUE(r.ok) << r.error_kind << ": " << r.error_message;
+  });
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return slot_taken; });
+  }
+  ASSERT_TRUE(engine_saturated());
+
+  Gateway gateway((GatewayOptions()));
+  obs::Counter& shed = obs::Registry::global().counter("service.shed");
+  const std::uint64_t shed0 = shed.value();
+  const std::string query =
+      R"({"op":"connectivity","deadline_ms":10,)"
+      R"("graph":{"type":"cycle","n":96}})";
+  const HttpResponse rejected = gateway.handle(post_query(query));
+  EXPECT_EQ(rejected.status, 503) << rejected.body;
+  ASSERT_NE(find_header(rejected, "Retry-After"), nullptr);
+  EXPECT_EQ(shed.value(), shed0 + 1);
+  const auto doc = obs::parse_json(rejected.body);
+  ASSERT_TRUE(doc.has_value()) << rejected.body;
+  EXPECT_EQ(doc->str("kind"), "Overloaded");
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release_holder = true;
+  }
+  cv.notify_all();
+  holder.join();
+
+  // Gate free again: the identical request must now execute (and the shed
+  // rejection must not have poisoned the cache).
+  const HttpResponse ok = gateway.handle(post_query(query));
+  EXPECT_EQ(ok.status, 200) << ok.body;
+  EXPECT_EQ(*find_header(ok, "X-Cache"), "miss");
+}
+
+// ------------------------------------------------------------ HTTP parsing
+
+HttpRequestParser::State feed_all(HttpRequestParser& parser,
+                                  const std::string& wire) {
+  // One byte at a time: the parser must be agnostic to read chunking.
+  for (const char c : wire) parser.feed(std::string_view(&c, 1));
+  return parser.state();
+}
+
+TEST(HttpParser, ParsesAPipelinedPostWholeAndBytewise) {
+  const std::string wire =
+      "POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+  HttpRequestParser whole(8192, 4096);
+  ASSERT_EQ(whole.feed(wire), HttpRequestParser::State::kDone);
+  EXPECT_EQ(whole.request().method, "POST");
+  EXPECT_EQ(whole.request().target, "/v1/query");
+  EXPECT_EQ(whole.request().body, "hello");
+  ASSERT_NE(whole.request().header("host"), nullptr);
+
+  HttpRequestParser bytewise(8192, 4096);
+  ASSERT_EQ(feed_all(bytewise, wire), HttpRequestParser::State::kDone);
+  EXPECT_EQ(bytewise.request().body, "hello");
+}
+
+TEST(HttpParser, MalformedRequestLineIs400) {
+  HttpRequestParser parser(8192, 4096);
+  EXPECT_EQ(parser.feed("garbage\r\n\r\n"), HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_response().status, 400);
+}
+
+TEST(HttpParser, PostWithoutContentLengthIs411) {
+  HttpRequestParser parser(8192, 4096);
+  EXPECT_EQ(parser.feed("POST /v1/query HTTP/1.1\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_response().status, 411);
+}
+
+TEST(HttpParser, OversizedBodyIs413) {
+  HttpRequestParser parser(8192, 64);
+  EXPECT_EQ(parser.feed("POST /v1/query HTTP/1.1\r\nContent-Length: 65\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_response().status, 413);
+}
+
+TEST(HttpParser, OversizedHeadIs431) {
+  HttpRequestParser parser(128, 4096);
+  std::string wire = "GET /healthz HTTP/1.1\r\nX-Padding: ";
+  wire.append(512, 'x');
+  EXPECT_EQ(parser.feed(wire), HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_response().status, 431);
+}
+
+TEST(Gateway, RoutesAndMethodsAreEnforced) {
+  Gateway gateway((GatewayOptions()));
+  EXPECT_EQ(gateway.handle(get("/healthz")).body, "ok\n");
+  EXPECT_EQ(gateway.handle(get("/nowhere")).status, 404);
+  const HttpResponse wrong_method = gateway.handle(get("/v1/query"));
+  EXPECT_EQ(wrong_method.status, 405);
+  ASSERT_NE(find_header(wrong_method, "Allow"), nullptr);
+  EXPECT_EQ(*find_header(wrong_method, "Allow"), "POST");
+  EXPECT_EQ(gateway.handle(post_query("not json")).status, 400);
+  // /metrics renders the Prometheus exposition with the cache families
+  // registered even before any cacheable traffic.
+  const HttpResponse metrics = gateway.handle(get("/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("mpcstab_service_cache_hits_total"),
+            std::string::npos);
+  const HttpResponse statusz = gateway.handle(get("/statusz"));
+  EXPECT_EQ(statusz.status, 200);
+  EXPECT_NE(statusz.body.find("\"jobs\""), std::string::npos);
+}
+
+// -------------------------------------------------------------- live socket
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string http_exchange(std::uint16_t port, const std::string& wire) {
+  const int fd = connect_loopback(port);
+  EXPECT_GE(fd, 0);
+  if (fd < 0) return {};
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    EXPECT_GT(n, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(Server, HttpPlaneServesQueriesHealthAndMetricsOverRealSockets) {
+  ServerOptions opts;
+  opts.http = true;  // HTTP-only server: no NDJSON listener required
+  Server server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_NE(server.http_port(), 0);
+
+  const std::string health =
+      http_exchange(server.http_port(), "GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok\n"), std::string::npos) << health;
+
+  const std::string body =
+      R"({"op":"connectivity","graph":{"type":"two_cycles","n":48}})";
+  const std::string wire = "POST /v1/query HTTP/1.1\r\nContent-Length: " +
+                           std::to_string(body.size()) + "\r\n\r\n" + body;
+  const std::string first = http_exchange(server.http_port(), wire);
+  EXPECT_NE(first.find("HTTP/1.1 200 OK"), std::string::npos) << first;
+  EXPECT_NE(first.find("X-Cache: miss"), std::string::npos) << first;
+  const std::string second = http_exchange(server.http_port(), wire);
+  EXPECT_NE(second.find("X-Cache: hit"), std::string::npos) << second;
+  // Same bytes after the (differing) X-Cache header: compare the bodies.
+  const std::string first_body = first.substr(first.find("\r\n\r\n") + 4);
+  const std::string second_body = second.substr(second.find("\r\n\r\n") + 4);
+  EXPECT_EQ(first_body, second_body);
+
+  const std::string malformed =
+      http_exchange(server.http_port(), "POST /v1/query HTTP/1.1\r\n\r\n");
+  EXPECT_NE(malformed.find("HTTP/1.1 411"), std::string::npos) << malformed;
+
+  server.begin_drain();
+  server.wait();
+  EXPECT_EQ(server.requests_served(), 0u)
+      << "HTTP queries must not count as NDJSON requests";
+}
+
+}  // namespace
+}  // namespace mpcstab::service

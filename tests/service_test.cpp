@@ -646,5 +646,44 @@ TEST(Server, DrainFinishesInflightThenRefusesNewConnections) {
   EXPECT_LT(connect_unix(path), 0);
 }
 
+TEST(Server, FinishedSessionsAreReaped) {
+  // Regression: every connection used to emplace a std::thread that was
+  // only joined at drain, so a long-lived daemon accumulated finished
+  // thread handles forever. Finished sessions are now reaped on every
+  // accept (and by live_sessions()); N sequential connections must leave
+  // the session table empty, not N entries deep.
+  const std::string path = socket_path("reap");
+  ServerOptions opts;
+  opts.unix_path = path;
+  Server server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  constexpr int kConnections = 20;
+  for (int c = 0; c < kConnections; ++c) {
+    const auto docs = parse_lines(roundtrip(
+        path, {R"({"id":)" + std::to_string(c) + R"(,"op":"ping"})"}));
+    ASSERT_NE(find_event(docs, "result"), nullptr) << "connection " << c;
+    // Sequential connections: at most the just-closed session (whose done
+    // flag may still be a few instructions away) can be unreaped.
+    EXPECT_LE(server.live_sessions(), 2u) << "after connection " << c;
+  }
+  // roundtrip returns at the client-side EOF, which the session thread
+  // delivers just before setting its done flag — give the flags a moment.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.live_sessions() != 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.live_sessions(), 0u)
+      << "finished sessions still occupy slots";
+
+  server.begin_drain();
+  server.wait();
+  EXPECT_EQ(server.requests_served(),
+            static_cast<std::uint64_t>(kConnections));
+}
+
 }  // namespace
 }  // namespace mpcstab::service

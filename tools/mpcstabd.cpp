@@ -1,7 +1,7 @@
 // mpcstabd — the long-running query service over the component-stability
 // MPC engine, plus its scripted client.
 //
-//   mpcstabd serve --socket /tmp/mpcstabd.sock [--port 0] \
+//   mpcstabd serve --socket /tmp/mpcstabd.sock [--port 0] [--http-port 0] \
 //       [--trace-file trace.ndjson] [--max-request-bytes N] [--max-nodes N] \
 //       [--max-machines N] [--max-engines N] [--json report.json] [--trace]
 //   mpcstabd client (--socket PATH | --connect HOST:PORT) [--timeout SEC] \
@@ -24,7 +24,10 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -48,7 +51,7 @@ void on_signal(int) { g_signal = 1; }
 int usage() {
   std::cerr
       << "usage:\n"
-         "  mpcstabd serve --socket PATH [--port N] [--metrics-port N]\n"
+         "  mpcstabd serve --socket PATH [--port N] [--http-port N]\n"
          "                 [--trace-file PATH] [--max-request-bytes N]\n"
          "                 [--max-nodes N] [--max-machines N]\n"
          "                 [--max-engines N] [--json PATH] [--trace]\n"
@@ -56,6 +59,31 @@ int usage() {
          "  mpcstabd client (--socket PATH | --connect HOST:PORT)\n"
          "                 [--timeout SEC] REQUEST_JSON... | -\n";
   return 1;
+}
+
+/// Strict numeric flag value: the whole token must be a base-10 unsigned
+/// integer within [0, max_value]. Anything else — "abc", "12x", "-1",
+/// overflow — is a loud usage error, matching the loud-PreconditionError
+/// convention of MPCSTAB_TRANSPORT parsing: a flag silently read as 0
+/// (the old std::strtol behavior) picks ephemeral ports and zero timeouts
+/// nobody asked for.
+std::uint64_t parse_flag_u64(const char* who, const char* flag,
+                             const char* raw, std::uint64_t max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value =
+      (raw != nullptr && *raw != '\0' && *raw != '-' && *raw != '+')
+          ? std::strtoull(raw, &end, 10)
+          : 0;
+  if (end == nullptr || end == raw || *end != '\0' || errno == ERANGE ||
+      value > max_value) {
+    std::cerr << who << ": " << flag << " expects an unsigned integer <= "
+              << max_value << ", got \"" << (raw == nullptr ? "" : raw)
+              << "\"\n";
+    usage();
+    std::exit(1);
+  }
+  return static_cast<std::uint64_t>(value);
 }
 
 int run_serve(int argc, char** argv) {
@@ -78,27 +106,33 @@ int run_serve(int argc, char** argv) {
     } else if (arg == "--port") {
       tcp = true;
       opts.tcp_port = static_cast<std::uint16_t>(
-          std::strtoul(next("--port"), nullptr, 10));
-    } else if (arg == "--metrics-port") {
+          parse_flag_u64("mpcstabd", "--port", next("--port"), 65535));
+    } else if (arg == "--http-port" || arg == "--metrics-port") {
       // 0 binds an ephemeral port; the bound port is printed on the
-      // "listening" line (metrics=...) so scrapers can discover it.
-      opts.metrics_http = true;
-      opts.metrics_http_port = static_cast<std::uint16_t>(
-          std::strtoul(next("--metrics-port"), nullptr, 10));
+      // "listening" line (http=...) so clients and scrapers can discover
+      // it. --metrics-port is the compat alias from when this plane only
+      // served /metrics and /statusz.
+      opts.http = true;
+      opts.http_port = static_cast<std::uint16_t>(parse_flag_u64(
+          "mpcstabd", "--http-port", next("--http-port"), 65535));
     } else if (arg == "--trace-file") {
       opts.trace_path = next("--trace-file");
     } else if (arg == "--max-request-bytes") {
-      opts.max_line_bytes = std::strtoull(
-          next("--max-request-bytes"), nullptr, 10);
+      opts.max_line_bytes = parse_flag_u64(
+          "mpcstabd", "--max-request-bytes", next("--max-request-bytes"),
+          std::numeric_limits<std::uint64_t>::max());
     } else if (arg == "--max-nodes") {
       opts.limits.max_nodes =
-          std::strtoull(next("--max-nodes"), nullptr, 10);
+          parse_flag_u64("mpcstabd", "--max-nodes", next("--max-nodes"),
+                         std::numeric_limits<std::uint64_t>::max());
     } else if (arg == "--max-machines") {
-      opts.limits.max_machines =
-          std::strtoull(next("--max-machines"), nullptr, 10);
+      opts.limits.max_machines = parse_flag_u64(
+          "mpcstabd", "--max-machines", next("--max-machines"),
+          std::numeric_limits<std::uint64_t>::max());
     } else if (arg == "--max-engines") {
-      service::set_max_concurrent_engines(static_cast<unsigned>(
-          std::strtoul(next("--max-engines"), nullptr, 10)));
+      service::set_max_concurrent_engines(
+          static_cast<unsigned>(parse_flag_u64(
+              "mpcstabd", "--max-engines", next("--max-engines"), 256)));
     } else if (arg == "--transport") {
       // Mirrors MPCSTAB_TRANSPORT; the flag wins over the environment.
       const std::string_view which = next("--transport");
@@ -112,7 +146,8 @@ int run_serve(int argc, char** argv) {
       }
     } else if (arg == "--transport-workers") {
       set_transport_workers(static_cast<unsigned>(
-          std::strtoul(next("--transport-workers"), nullptr, 10)));
+          parse_flag_u64("mpcstabd", "--transport-workers",
+                         next("--transport-workers"), 1024)));
     } else {
       std::cerr << "mpcstabd: unknown serve flag " << arg << "\n";
       return usage();
@@ -148,8 +183,8 @@ int run_serve(int argc, char** argv) {
   }
   if (!harness.json_path.empty()) std::cout << " json=" << harness.json_path;
   if (tcp) std::cout << " tcp=127.0.0.1:" << server.tcp_port();
-  if (server.metrics_port() != 0) {
-    std::cout << " metrics=127.0.0.1:" << server.metrics_port();
+  if (server.http_port() != 0) {
+    std::cout << " http=127.0.0.1:" << server.http_port();
   }
   std::cout << "\n" << std::flush;
   while (g_signal == 0) {
@@ -221,7 +256,13 @@ int run_client(int argc, char** argv) {
     } else if (arg == "--connect") {
       tcp_spec = next("--connect");
     } else if (arg == "--timeout") {
-      timeout_sec = std::strtol(next("--timeout"), nullptr, 10);
+      // The old std::strtol read "--timeout abc" as 0 — an instant,
+      // silent timeout. Strictly validated now; usage error on anything
+      // that is not a whole non-negative integer.
+      timeout_sec = static_cast<long>(
+          parse_flag_u64("mpcstab-client", "--timeout", next("--timeout"),
+                         static_cast<std::uint64_t>(
+                             std::numeric_limits<long>::max())));
     } else if (arg == "-" || arg == "--stdin") {
       from_stdin = true;
     } else if (!arg.empty() && arg.front() == '-') {

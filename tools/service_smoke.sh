@@ -2,9 +2,11 @@
 # End-to-end smoke test of the mpcstabd service: happy path, deep-nesting
 # request bomb, request-size admission, space-limit surfacing, concurrent
 # clients with bit-identical accounting, the native speed tier agreeing
-# with the MPC backend at zero rounds, the multi-process exchange
-# transport producing a byte-identical result event, and graceful SIGTERM
-# drain, driven through mpcstab-client exactly as a deployment would. CI
+# with the MPC backend at zero rounds, the HTTP gateway serving every op
+# in the matrix twice with byte-identical cache hits, the multi-process
+# exchange transport producing a byte-identical result event, and graceful
+# SIGTERM drain, driven through mpcstab-client exactly as a deployment
+# would. CI
 # runs this twice: once against the regular build (service-smoke job) and
 # once against build-asan with LeakSanitizer enabled (sanitizers job), so
 # a daemon that leaks threads or file handles on shutdown fails the gate.
@@ -39,7 +41,7 @@ fail() {
 }
 
 "$daemon" serve --socket "$sock" --trace-file "$trace" \
-  --metrics-port 0 --max-request-bytes 4096 > "$dlog" 2>&1 &
+  --http-port 0 --max-request-bytes 4096 > "$dlog" 2>&1 &
 dpid=$!
 # Wait for the listener (the daemon prints "listening" once sockets are up).
 i=0
@@ -50,14 +52,14 @@ until grep -q "mpcstabd: listening" "$dlog" 2>/dev/null; do
   sleep 0.1
 done
 
-echo "service_smoke: 1/9 happy path"
+echo "service_smoke: 1/10 happy path"
 out="$work/happy.out"
 "$client" --socket "$sock" \
   '{"id":1,"op":"connectivity","graph":{"type":"cycle","n":64}}' \
   > "$out" || fail "happy-path client exited $?"
 grep -q '"components":1' "$out" || fail "wrong connectivity answer: $(cat "$out")"
 
-echo "service_smoke: 2/9 deeply nested JSON is BadRequest, not a crash"
+echo "service_smoke: 2/10 deeply nested JSON is BadRequest, not a crash"
 # A "[[[[..." bomb used to recurse once per bracket in the request parser
 # and could overflow the session thread's stack. It must come back as a
 # structured BadRequest with the daemon still alive and serving.
@@ -72,7 +74,7 @@ grep -q '"kind":"BadRequest"' "$out" \
   || fail "no BadRequest for nesting bomb: $(cat "$out")"
 kill -0 "$dpid" 2>/dev/null || fail "daemon died on the nesting bomb"
 
-echo "service_smoke: 3/9 oversized request is refused, not crashed"
+echo "service_smoke: 3/10 oversized request is refused, not crashed"
 out="$work/oversized.out"
 awk 'BEGIN { pad = sprintf("%8000s", ""); gsub(/ /, "x", pad);
              printf "{\"id\":2,\"op\":\"ping\",\"pad\":\"%s\"}\n", pad }' \
@@ -82,7 +84,7 @@ rc=0
 [ "$rc" -eq 2 ] || fail "oversized request: client exited $rc, want 2"
 grep -q '"kind":"Oversized"' "$out" || fail "no Oversized error: $(cat "$out")"
 
-echo "service_smoke: 4/9 space limit surfaces as a structured error"
+echo "service_smoke: 4/10 space limit surfaces as a structured error"
 out="$work/space.out"
 rc=0
 "$client" --socket "$sock" \
@@ -93,7 +95,7 @@ grep -q '"kind":"SpaceLimitError"' "$out" \
   || fail "no SpaceLimitError: $(cat "$out")"
 kill -0 "$dpid" 2>/dev/null || fail "daemon died on space-limit request"
 
-echo "service_smoke: 5/9 concurrent clients get bit-identical accounting"
+echo "service_smoke: 5/10 concurrent clients get bit-identical accounting"
 # Four clients fire the same request at once; every response must report
 # the same rounds/words — and the same per-request metrics deltas — as a
 # serial reference run of the same request: the invariant of concurrent
@@ -139,7 +141,7 @@ $(cat "$work/conc_$c.out")"
 $(cat "$work/conc_$c.out")"
 done
 
-echo "service_smoke: 6/9 native backend matches the MPC answer at rounds 0"
+echo "service_smoke: 6/10 native backend matches the MPC answer at rounds 0"
 # The same graph through both execution tiers: the lock-free shared-memory
 # backend must report the same component count as the accounted engine
 # while consuming zero rounds (it never touches the cluster). This also
@@ -162,13 +164,13 @@ grep -q '"rounds":0' "$nat_out" \
 grep -q 'native.compress_passes' "$nat_out" \
   || fail "native result carries no native.* metrics: $(cat "$nat_out")"
 
-echo "service_smoke: 7/9 live /metrics scrape passes the format checker"
-# The daemon bound an ephemeral metrics port (--metrics-port 0) and printed
-# it on the listening line; scrape it mid-run — after real requests, before
+echo "service_smoke: 7/10 live /metrics scrape passes the format checker"
+# The daemon bound an ephemeral HTTP port (--http-port 0) and printed it
+# on the listening line; scrape it mid-run — after real requests, before
 # drain — so the exposition reflects a working engine, then validate the
 # Prometheus text format and prove the request counter moved.
-mport=$(sed -n 's/.*metrics=127\.0\.0\.1:\([0-9]*\).*/\1/p' "$dlog" | head -1)
-[ -n "$mport" ] || fail "daemon never announced a metrics port: $(cat "$dlog")"
+mport=$(sed -n 's/.*http=127\.0\.0\.1:\([0-9]*\).*/\1/p' "$dlog" | head -1)
+[ -n "$mport" ] || fail "daemon never announced an HTTP port: $(cat "$dlog")"
 metrics="$work/metrics.prom"
 python3 - "$mport" "$metrics" <<'EOF' || fail "metrics scrape failed"
 import sys, urllib.request
@@ -186,11 +188,72 @@ python3 "$tools_dir/check_prometheus.py" "$metrics" \
   --require mpcstab_cluster_exchanges_total \
   --require mpcstab_native_compress_passes_total \
   --require mpcstab_native_cas_retries_total \
+  --require mpcstab_service_cache_hits_total \
+  --require mpcstab_service_cache_misses_total \
   || fail "/metrics exposition failed validation"
 grep -q '^mpcstab_service_requests_total [1-9]' "$metrics" \
   || fail "request counter never moved: $(grep requests_total "$metrics")"
 
-echo "service_smoke: 8/9 proc transport result event is byte-identical"
+echo "service_smoke: 8/10 gateway serves the op matrix with byte-identical cache hits"
+# Every op in the smoke matrix goes through POST /v1/query twice: the
+# first POST is a cache miss that computes, the second must be a hit whose
+# body is byte-identical to the computed response and which never acquires
+# an engine admission slot (mpcstab_engine_admitted_total delta == 0
+# across the hit). /healthz is probed mid-run to prove liveness while the
+# query plane is busy. python3 stdlib only — no curl dependency.
+python3 - "$mport" <<'EOF' || fail "gateway matrix failed"
+import json
+import sys
+import urllib.request
+
+base = "http://127.0.0.1:" + sys.argv[1]
+
+def post(doc):
+    req = urllib.request.Request(
+        base + "/v1/query", data=doc.encode(), method="POST",
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=120) as resp:
+        return resp.status, dict(resp.headers.items()), resp.read()
+
+def counter(name):
+    with urllib.request.urlopen(base + "/metrics", timeout=10) as resp:
+        for line in resp.read().decode().splitlines():
+            if line.startswith(name + " "):
+                return int(float(line.split()[1]))
+    raise AssertionError("no %s in /metrics" % name)
+
+matrix = [
+    {"op": "connectivity", "graph": {"type": "two_cycles", "n": 96}},
+    {"op": "coloring", "graph": {"type": "cycle", "n": 96}},
+    {"op": "mis", "graph": {"type": "cycle", "n": 96}},
+    {"op": "lifting", "graph": {"type": "path", "n": 32},
+     "radius": 2, "simulations": 2},
+    {"op": "sensitivity", "radius": 2, "seeds": 2},
+]
+for spec in matrix:
+    doc = json.dumps(spec)
+    status, headers, body = post(doc)
+    assert status == 200, (spec["op"], status, body)
+    assert headers.get("X-Cache") == "miss", (spec["op"], headers)
+    event = json.loads(body)
+    assert event.get("ok") is True, (spec["op"], body)
+    admitted_before = counter("mpcstab_engine_admitted_total")
+    status2, headers2, body2 = post(doc)
+    assert status2 == 200, (spec["op"], status2, body2)
+    assert headers2.get("X-Cache") == "hit", (spec["op"], headers2)
+    assert body2 == body, (spec["op"], "cache hit body diverged")
+    admitted_after = counter("mpcstab_engine_admitted_total")
+    assert admitted_after == admitted_before, (
+        spec["op"], "cache hit acquired an engine admission slot",
+        admitted_before, admitted_after)
+    # /healthz mid-run: the daemon stays live while queries flow.
+    with urllib.request.urlopen(base + "/healthz", timeout=10) as resp:
+        assert resp.status == 200 and resp.read() == b"ok\n"
+print("gateway matrix: %d ops, every repeat a byte-identical gate-free hit"
+      % len(matrix))
+EOF
+
+echo "service_smoke: 9/10 proc transport result event is byte-identical"
 # A second daemon routes every exchange wave through 2 forked worker
 # processes (MPCSTAB_TRANSPORT=proc equivalent, via the flag); the same
 # fully-accounted connectivity request — backend mpc-native moves every
@@ -237,7 +300,7 @@ else
   wait "$ppid" || fail "proc daemon exited non-zero after SIGTERM"
 fi
 
-echo "service_smoke: 9/9 SIGTERM drains the in-flight request"
+echo "service_smoke: 10/10 SIGTERM drains the in-flight request"
 out="$work/drain.out"
 "$client" --socket "$sock" \
   '{"id":4,"op":"connectivity","graph":{"type":"cycle","n":4096},"repeat":60}' \
